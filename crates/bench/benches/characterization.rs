@@ -1,0 +1,64 @@
+//! Bench E-TAB2 / Theorem 2: deciding derivability from the geometric
+//! mechanism.
+//!
+//! Ablation: the O(n²) Theorem 2 column scan vs the O(n³) explicit
+//! factorization `T = G⁻¹·M`, plus the Lemma 1 determinant as the underlying
+//! linear-algebra kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use privmech_core::{
+    derive_post_processing, g_prime_matrix, geometric_mechanism, theorem2_check, Mechanism,
+    PrivacyLevel,
+};
+use privmech_linalg::Matrix;
+
+/// A derivable test subject: the geometric mechanism post-processed by a
+/// smoothing kernel. Built through the normalizing constructor because f64
+/// accumulation on large products can leave row sums a couple of ulps-of-1e-9
+/// away from one.
+fn derivable_mechanism(n: usize, level: &PrivacyLevel<f64>) -> Mechanism<f64> {
+    let g = geometric_mechanism(n, level).unwrap();
+    let t = Matrix::from_fn(n + 1, n + 1, |i, j| {
+        if i == j {
+            0.8
+        } else if i.abs_diff(j) == 1 {
+            if i == 0 || i == n {
+                0.2
+            } else {
+                0.1
+            }
+        } else {
+            0.0
+        }
+    });
+    let product = g.matrix().matmul(&t).unwrap();
+    Mechanism::from_matrix_normalized(product).unwrap()
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derivability");
+    for n in [16usize, 64, 128] {
+        let level = PrivacyLevel::new(0.3f64).unwrap();
+        let m = derivable_mechanism(n, &level);
+        let g = geometric_mechanism(n, &level).unwrap();
+        group.bench_with_input(BenchmarkId::new("theorem2_scan", n), &n, |b, _| {
+            b.iter(|| theorem2_check(black_box(&m), &level));
+        });
+        group.bench_with_input(BenchmarkId::new("explicit_inverse", n), &n, |b, _| {
+            b.iter(|| derive_post_processing(black_box(&g), &m).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lemma1_determinant");
+    for n in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("g_prime_det_f64", n), &n, |b, &n| {
+            let gp = g_prime_matrix(n, &0.3f64);
+            b.iter(|| gp.determinant().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization);
+criterion_main!(benches);

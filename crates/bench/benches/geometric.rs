@@ -1,0 +1,46 @@
+//! Bench E-FIG1: constructing the geometric mechanism and sampling from it.
+//!
+//! Ablation: matrix-row sampling vs the closed-form clamp-the-noise sampler.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use privmech_core::{geometric_mechanism, sample_geometric_output, PrivacyLevel};
+use privmech_numerics::rat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometric_construction");
+    for n in [8usize, 32, 128, 512] {
+        group.bench_with_input(BenchmarkId::new("f64", n), &n, |b, &n| {
+            let level = PrivacyLevel::new(0.25f64).unwrap();
+            b.iter(|| geometric_mechanism(black_box(n), &level).unwrap());
+        });
+    }
+    for n in [8usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, &n| {
+            let level = PrivacyLevel::new(rat(1, 4)).unwrap();
+            b.iter(|| geometric_mechanism(black_box(n), &level).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometric_sampling");
+    for n in [32usize, 256] {
+        let level = PrivacyLevel::new(0.25f64).unwrap();
+        let g = geometric_mechanism(n, &level).unwrap();
+        group.bench_with_input(BenchmarkId::new("matrix_row", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| g.sample(black_box(n / 2), &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sample_geometric_output(black_box(n), n / 2, 0.25, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_sampling);
+criterion_main!(benches);

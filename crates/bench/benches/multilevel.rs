@@ -1,0 +1,49 @@
+//! Bench E-ALG1: building the Algorithm 1 release chain and releasing through
+//! it.
+//!
+//! Ablation: correlated (Algorithm 1) vs naive independent release.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use privmech_core::{MultiLevelRelease, PrivacyLevel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn levels(k: usize) -> Vec<PrivacyLevel<f64>> {
+    (0..k)
+        .map(|i| PrivacyLevel::new(0.2 + 0.6 * i as f64 / k as f64).unwrap())
+        .collect()
+}
+
+fn bench_chain_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_chain_construction");
+    group.sample_size(10);
+    for (n, k) in [(16usize, 3usize), (64, 3), (64, 6), (128, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| MultiLevelRelease::new(black_box(n), levels(k)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_release");
+    let n = 64usize;
+    let k = 4usize;
+    let release = MultiLevelRelease::new(n, levels(k)).unwrap();
+    group.bench_function(BenchmarkId::new("correlated", format!("n{n}_k{k}")), |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| release.release(black_box(n / 2), &mut rng).unwrap());
+    });
+    group.bench_function(BenchmarkId::new("naive", format!("n{n}_k{k}")), |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| release.release_naive(black_box(n / 2), &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_construction, bench_release);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Bench for the exact-arithmetic substrate: the BigInt/Rational kernels the
+//! exact simplex spends its time in, and the exact-vs-f64 matrix ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use privmech_linalg::Matrix;
+use privmech_numerics::{BigInt, Rational};
+
+fn big(digits: usize) -> BigInt {
+    let s: String = std::iter::once('7')
+        .chain(std::iter::repeat('3').take(digits - 1))
+        .collect();
+    s.parse().unwrap()
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint");
+    for digits in [20usize, 100, 400] {
+        let a = big(digits);
+        let b = big(digits / 2 + 1);
+        group.bench_with_input(BenchmarkId::new("mul", digits), &digits, |bench, _| {
+            bench.iter(|| black_box(&a) * black_box(&b));
+        });
+        group.bench_with_input(BenchmarkId::new("div_rem", digits), &digits, |bench, _| {
+            bench.iter(|| black_box(&a).div_rem(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("gcd", digits), &digits, |bench, _| {
+            bench.iter(|| black_box(&a).gcd(black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rational_and_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rational_matrix");
+    group.sample_size(20);
+    let a = Rational::from_ratio(355, 113);
+    let b = Rational::from_ratio(-1_234_567, 89_011);
+    group.bench_function("rational_add_mul", |bench| {
+        bench.iter(|| {
+            let s = black_box(&a) + black_box(&b);
+            black_box(&s) * black_box(&a)
+        });
+    });
+
+    for n in [8usize, 16] {
+        let exact = Matrix::from_fn(n, n, |i, j| {
+            Rational::from_ratio((i * n + j + 1) as i64, (i + j + 3) as i64)
+        });
+        let float = exact.map(|v| v.to_f64());
+        group.bench_with_input(BenchmarkId::new("det_exact", n), &n, |bench, _| {
+            bench.iter(|| exact.determinant().unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("det_f64", n), &n, |bench, _| {
+            bench.iter(|| float.determinant().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bigint, bench_rational_and_matrix);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench E-TAB1 / E-THM1: the Section 2.5 tailored-optimal-mechanism LP.
+//!
+//! Ablation: exact rational simplex vs the f64 backend, and full vs interval
+//! side information.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use privmech_bench::{bench_consumer, bench_interval_consumer};
+use privmech_core::{optimal_mechanism, PrivacyLevel};
+use privmech_numerics::{rat, Rational};
+
+fn bench_optimal_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_mechanism_lp");
+    group.sample_size(10);
+
+    for n in [3usize, 4, 6, 8, 10] {
+        group.bench_with_input(BenchmarkId::new("f64_full_S", n), &n, |b, &n| {
+            let level = PrivacyLevel::new(0.25f64).unwrap();
+            let consumer = bench_consumer::<f64>(n);
+            b.iter(|| optimal_mechanism(black_box(&level), &consumer).unwrap());
+        });
+    }
+    for n in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("exact_full_S", n), &n, |b, &n| {
+            let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).unwrap();
+            let consumer = bench_consumer::<Rational>(n);
+            b.iter(|| optimal_mechanism(black_box(&level), &consumer).unwrap());
+        });
+    }
+    for n in [6usize, 10] {
+        group.bench_with_input(BenchmarkId::new("f64_interval_S", n), &n, |b, &n| {
+            let level = PrivacyLevel::new(0.25f64).unwrap();
+            let consumer = bench_interval_consumer::<f64>(n);
+            b.iter(|| optimal_mechanism(black_box(&level), &consumer).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimal_lp);
+criterion_main!(benches);

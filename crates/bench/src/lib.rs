@@ -1,0 +1,49 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Each bench file in `benches/` regenerates the computational kernel behind
+//! one experiment of DESIGN.md's per-experiment index, plus the ablations the
+//! design calls out (exact vs f64 simplex, characterization scan vs explicit
+//! inverse, correlated vs naive multi-level release).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use privmech_core::{AbsoluteError, LossFunction, MinimaxConsumer, SideInformation};
+use privmech_linalg::Scalar;
+
+/// The standard benchmark consumer: absolute-error loss with full side
+/// information over `{0..=n}`.
+pub fn bench_consumer<T: Scalar>(n: usize) -> MinimaxConsumer<T> {
+    MinimaxConsumer::new(
+        "bench",
+        Arc::new(AbsoluteError) as Arc<dyn LossFunction<T> + Send + Sync>,
+        SideInformation::full(n),
+    )
+    .expect("absolute error is monotone")
+}
+
+/// A consumer with interval side information (exercises restricted-S paths).
+pub fn bench_interval_consumer<T: Scalar>(n: usize) -> MinimaxConsumer<T> {
+    MinimaxConsumer::new(
+        "bench-interval",
+        Arc::new(AbsoluteError) as Arc<dyn LossFunction<T> + Send + Sync>,
+        SideInformation::interval(n, n / 4, 3 * n / 4).expect("non-empty interval"),
+    )
+    .expect("absolute error is monotone")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmech_numerics::Rational;
+
+    #[test]
+    fn helpers_build_consumers() {
+        let c = bench_consumer::<Rational>(4);
+        assert_eq!(c.side_information().members().len(), 5);
+        let c = bench_interval_consumer::<f64>(8);
+        assert_eq!(c.side_information().members(), &[2, 3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,127 @@
+//! The privacy parameter `α ∈ [0, 1]`.
+//!
+//! The paper parameterizes differential privacy multiplicatively: a mechanism
+//! is `α`-differentially private when the output distributions of neighboring
+//! databases are within a factor `α … 1/α` of each other (Definition 2).
+//! Smaller `α` means *weaker* privacy in this notation (`α = 0` is vacuous,
+//! `α = 1` forces the output to be independent of the data). The more common
+//! `ε`-notation corresponds to `α = e^{-ε}`.
+
+use privmech_linalg::Scalar;
+
+use crate::error::{CoreError, Result};
+
+/// A validated privacy parameter `α ∈ [0, 1]` (Definition 2 of the paper).
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub struct PrivacyLevel<T: Scalar> {
+    alpha: T,
+}
+
+impl<T: Scalar> PrivacyLevel<T> {
+    /// Validate and wrap a privacy parameter.
+    pub fn new(alpha: T) -> Result<Self> {
+        if alpha < T::zero() || alpha > T::one() {
+            return Err(CoreError::InvalidAlpha {
+                value: alpha.to_string(),
+            });
+        }
+        Ok(PrivacyLevel { alpha })
+    }
+
+    /// Construct from a machine-integer fraction, e.g. `PrivacyLevel::from_ratio(1, 4)`.
+    pub fn from_ratio(num: i64, den: i64) -> Result<Self> {
+        if den == 0 {
+            return Err(CoreError::InvalidAlpha {
+                value: format!("{num}/{den}"),
+            });
+        }
+        Self::new(T::from_ratio(num, den))
+    }
+
+    /// The underlying parameter value.
+    #[must_use]
+    pub fn alpha(&self) -> &T {
+        &self.alpha
+    }
+
+    /// Consume the wrapper and return the parameter.
+    #[must_use]
+    pub fn into_alpha(self) -> T {
+        self.alpha
+    }
+
+    /// True iff `α = 0` (no privacy constraint at all).
+    #[must_use]
+    pub fn is_vacuous(&self) -> bool {
+        self.alpha == T::zero()
+    }
+
+    /// True iff `α = 1` (absolute privacy: the output may not depend on the data).
+    #[must_use]
+    pub fn is_absolute(&self) -> bool {
+        self.alpha == T::one()
+    }
+
+    /// The equivalent `ε` of the standard `e^ε` formulation (`ε = -ln α`).
+    /// Returns `f64::INFINITY` when `α = 0`.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        let a = self.alpha.to_f64();
+        if a <= 0.0 {
+            f64::INFINITY
+        } else {
+            -a.ln()
+        }
+    }
+}
+
+impl<T: Scalar> std::fmt::Display for PrivacyLevel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "α = {}", self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmech_numerics::{rat, Rational};
+
+    #[test]
+    fn accepts_valid_range_rejects_outside() {
+        assert!(PrivacyLevel::new(rat(1, 4)).is_ok());
+        assert!(PrivacyLevel::new(Rational::zero()).is_ok());
+        assert!(PrivacyLevel::new(Rational::one()).is_ok());
+        assert!(PrivacyLevel::new(rat(5, 4)).is_err());
+        assert!(PrivacyLevel::new(rat(-1, 4)).is_err());
+        assert!(PrivacyLevel::<f64>::new(0.3).is_ok());
+        assert!(PrivacyLevel::<f64>::new(1.2).is_err());
+    }
+
+    #[test]
+    fn from_ratio_and_accessors() {
+        let a: PrivacyLevel<Rational> = PrivacyLevel::from_ratio(1, 4).unwrap();
+        assert_eq!(*a.alpha(), rat(1, 4));
+        assert_eq!(a.clone().into_alpha(), rat(1, 4));
+        assert!(!a.is_vacuous());
+        assert!(!a.is_absolute());
+        assert!(PrivacyLevel::<Rational>::from_ratio(1, 0).is_err());
+        assert!(PrivacyLevel::<Rational>::from_ratio(0, 1).unwrap().is_vacuous());
+        assert!(PrivacyLevel::<Rational>::from_ratio(1, 1).unwrap().is_absolute());
+    }
+
+    #[test]
+    fn epsilon_correspondence() {
+        let a: PrivacyLevel<f64> = PrivacyLevel::new(0.5).unwrap();
+        assert!((a.epsilon() - std::f64::consts::LN_2).abs() < 1e-12);
+        let zero: PrivacyLevel<f64> = PrivacyLevel::new(0.0).unwrap();
+        assert!(zero.epsilon().is_infinite());
+        let one: PrivacyLevel<f64> = PrivacyLevel::new(1.0).unwrap();
+        assert_eq!(one.epsilon(), 0.0);
+    }
+
+    #[test]
+    fn display_includes_value() {
+        let a: PrivacyLevel<Rational> = PrivacyLevel::from_ratio(1, 4).unwrap();
+        assert_eq!(a.to_string(), "α = 1/4");
+    }
+}

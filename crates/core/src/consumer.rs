@@ -1,0 +1,352 @@
+//! Information consumers: minimax (Section 2.3) and Bayesian (Section 2.7).
+//!
+//! A consumer owns a loss function and either a side-information set
+//! `S ⊆ {0, …, n}` (minimax) or a prior over `{0, …, n}` (Bayesian), and
+//! evaluates a mechanism by its worst-case (respectively expected) loss.
+
+use std::sync::Arc;
+
+use privmech_linalg::Scalar;
+
+use crate::error::{CoreError, Result};
+use crate::loss::{validate_monotone, LossFunction};
+use crate::mechanism::Mechanism;
+
+/// Side information `S ⊆ {0, …, n}`: the set of query results the consumer
+/// considers possible (Section 2.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SideInformation {
+    n: usize,
+    members: Vec<usize>,
+}
+
+impl SideInformation {
+    /// Build from an explicit set of possible results; the set is sorted and
+    /// de-duplicated.
+    pub fn new(n: usize, members: impl IntoIterator<Item = usize>) -> Result<Self> {
+        let mut members: Vec<usize> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        if members.is_empty() {
+            return Err(CoreError::InvalidSideInformation {
+                reason: "side information set must be non-empty".to_string(),
+            });
+        }
+        if let Some(&max) = members.last() {
+            if max > n {
+                return Err(CoreError::InvalidSideInformation {
+                    reason: format!("result {max} outside the query range 0..={n}"),
+                });
+            }
+        }
+        Ok(SideInformation { n, members })
+    }
+
+    /// The trivial side information "anything is possible": `S = {0, …, n}`.
+    pub fn full(n: usize) -> Self {
+        SideInformation {
+            n,
+            members: (0..=n).collect(),
+        }
+    }
+
+    /// An interval `{lo, …, hi}` — e.g. the drug company of Example 1 that
+    /// knows at least `lo` people bought its drug.
+    pub fn interval(n: usize, lo: usize, hi: usize) -> Result<Self> {
+        if lo > hi {
+            return Err(CoreError::InvalidSideInformation {
+                reason: format!("empty interval {lo}..={hi}"),
+            });
+        }
+        SideInformation::new(n, lo..=hi)
+    }
+
+    /// A lower bound: `S = {lo, …, n}`.
+    pub fn at_least(n: usize, lo: usize) -> Result<Self> {
+        SideInformation::interval(n, lo, n)
+    }
+
+    /// An upper bound: `S = {0, …, hi}`.
+    pub fn at_most(n: usize, hi: usize) -> Result<Self> {
+        SideInformation::interval(n, 0, hi)
+    }
+
+    /// The query-range bound `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The members of `S`, sorted ascending.
+    #[must_use]
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Whether a result is considered possible.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        self.members.binary_search(&i).is_ok()
+    }
+}
+
+/// A minimax (risk-averse) information consumer: a monotone loss function plus
+/// side information. Its dis-utility for a mechanism is the worst-case
+/// expected loss over `S` (Equation 1).
+#[derive(Clone)]
+pub struct MinimaxConsumer<T: Scalar> {
+    loss: Arc<dyn LossFunction<T> + Send + Sync>,
+    side_information: SideInformation,
+    name: String,
+}
+
+impl<T: Scalar> std::fmt::Debug for MinimaxConsumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MinimaxConsumer")
+            .field("name", &self.name)
+            .field("loss", &self.loss.name())
+            .field("side_information", &self.side_information)
+            .finish()
+    }
+}
+
+impl<T: Scalar> MinimaxConsumer<T> {
+    /// Build a consumer, validating that the loss is monotone in `|i - r|`
+    /// over the relevant domain.
+    pub fn new(
+        name: impl Into<String>,
+        loss: Arc<dyn LossFunction<T> + Send + Sync>,
+        side_information: SideInformation,
+    ) -> Result<Self> {
+        validate_monotone(side_information.n(), loss.as_ref())?;
+        Ok(MinimaxConsumer {
+            loss,
+            side_information,
+            name: name.into(),
+        })
+    }
+
+    /// The consumer's name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The consumer's loss function.
+    #[must_use]
+    pub fn loss(&self) -> &(dyn LossFunction<T> + Send + Sync) {
+        self.loss.as_ref()
+    }
+
+    /// The consumer's side information.
+    #[must_use]
+    pub fn side_information(&self) -> &SideInformation {
+        &self.side_information
+    }
+
+    /// The dis-utility `L(x) = max_{i∈S} Σ_r l(i, r)·x[i][r]` (Equation 1).
+    pub fn disutility(&self, mechanism: &Mechanism<T>) -> Result<T> {
+        if mechanism.n() != self.side_information.n() {
+            return Err(CoreError::InvalidSideInformation {
+                reason: format!(
+                    "consumer is defined for n = {}, mechanism has n = {}",
+                    self.side_information.n(),
+                    mechanism.n()
+                ),
+            });
+        }
+        mechanism.minimax_loss(self.side_information.members(), self.loss.as_ref())
+    }
+}
+
+/// A Bayesian information consumer (the model of Ghosh et al. discussed in
+/// Section 2.7): a prior over `{0, …, n}` plus a loss function; dis-utility is
+/// the prior-expected loss.
+#[derive(Clone)]
+pub struct BayesianConsumer<T: Scalar> {
+    loss: Arc<dyn LossFunction<T> + Send + Sync>,
+    prior: Vec<T>,
+    name: String,
+}
+
+impl<T: Scalar> std::fmt::Debug for BayesianConsumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BayesianConsumer")
+            .field("name", &self.name)
+            .field("loss", &self.loss.name())
+            .field("prior_len", &self.prior.len())
+            .finish()
+    }
+}
+
+impl<T: Scalar> BayesianConsumer<T> {
+    /// Build a Bayesian consumer from a prior over `{0, …, n}` (length `n+1`,
+    /// non-negative, summing to one).
+    pub fn new(
+        name: impl Into<String>,
+        loss: Arc<dyn LossFunction<T> + Send + Sync>,
+        prior: Vec<T>,
+    ) -> Result<Self> {
+        if prior.is_empty() {
+            return Err(CoreError::InvalidPrior {
+                reason: "prior must be non-empty".to_string(),
+            });
+        }
+        let mut total = T::zero();
+        for (i, p) in prior.iter().enumerate() {
+            if p.is_negative_approx() {
+                return Err(CoreError::InvalidPrior {
+                    reason: format!("prior[{i}] = {p} is negative"),
+                });
+            }
+            total = total + p.clone();
+        }
+        if !total.approx_eq(&T::one()) {
+            return Err(CoreError::InvalidPrior {
+                reason: format!("prior sums to {total}, expected 1"),
+            });
+        }
+        validate_monotone(prior.len() - 1, loss.as_ref())?;
+        Ok(BayesianConsumer {
+            loss,
+            prior,
+            name: name.into(),
+        })
+    }
+
+    /// A uniform prior over `{0, …, n}`.
+    pub fn uniform(name: impl Into<String>, loss: Arc<dyn LossFunction<T> + Send + Sync>, n: usize) -> Result<Self> {
+        let p = T::one() / T::from_i64((n + 1) as i64);
+        BayesianConsumer::new(name, loss, vec![p; n + 1])
+    }
+
+    /// The consumer's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The prior over `{0, …, n}`.
+    #[must_use]
+    pub fn prior(&self) -> &[T] {
+        &self.prior
+    }
+
+    /// The consumer's loss function.
+    #[must_use]
+    pub fn loss(&self) -> &(dyn LossFunction<T> + Send + Sync) {
+        self.loss.as_ref()
+    }
+
+    /// The query-range bound `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.prior.len() - 1
+    }
+
+    /// The Bayesian dis-utility `Σ_i prior[i] Σ_r l(i, r)·x[i][r]`.
+    pub fn disutility(&self, mechanism: &Mechanism<T>) -> Result<T> {
+        mechanism.bayesian_loss(&self.prior, self.loss.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{AbsoluteError, SquaredError};
+    use crate::mechanism::Mechanism;
+    use privmech_numerics::{rat, Rational};
+
+    #[test]
+    fn side_information_constructors() {
+        let s = SideInformation::new(5, vec![3, 1, 3, 5]).unwrap();
+        assert_eq!(s.members(), &[1, 3, 5]);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert_eq!(s.n(), 5);
+        assert_eq!(SideInformation::full(3).members(), &[0, 1, 2, 3]);
+        assert_eq!(SideInformation::interval(5, 2, 4).unwrap().members(), &[2, 3, 4]);
+        assert_eq!(SideInformation::at_least(5, 4).unwrap().members(), &[4, 5]);
+        assert_eq!(SideInformation::at_most(5, 1).unwrap().members(), &[0, 1]);
+        assert!(SideInformation::new(5, Vec::<usize>::new()).is_err());
+        assert!(SideInformation::new(5, vec![6]).is_err());
+        assert!(SideInformation::interval(5, 4, 2).is_err());
+    }
+
+    #[test]
+    fn minimax_consumer_disutility() {
+        let consumer = MinimaxConsumer::new(
+            "government",
+            Arc::new(AbsoluteError),
+            SideInformation::full(2),
+        )
+        .unwrap();
+        let m: Mechanism<Rational> = Mechanism::uniform(2);
+        // Uniform over {0,1,2}: worst input is 0 or 2 with expected |err| = 1.
+        assert_eq!(consumer.disutility(&m).unwrap(), rat(1, 1));
+        assert_eq!(consumer.name(), "government");
+        assert_eq!(consumer.loss().name(), "absolute");
+        assert_eq!(consumer.side_information().n(), 2);
+        // Mismatched n is rejected.
+        let m5: Mechanism<Rational> = Mechanism::uniform(5);
+        assert!(consumer.disutility(&m5).is_err());
+    }
+
+    #[test]
+    fn minimax_consumer_with_restricted_side_information() {
+        let consumer = MinimaxConsumer::new(
+            "drug-company",
+            Arc::new(SquaredError),
+            SideInformation::at_least(2, 1).unwrap(),
+        )
+        .unwrap();
+        let m: Mechanism<Rational> = Mechanism::uniform(2);
+        // S = {1, 2}: expected squared error at 1 is (1+0+1)/3 = 2/3, at 2 is
+        // (4+1+0)/3 = 5/3; worst case 5/3.
+        assert_eq!(consumer.disutility(&m).unwrap(), rat(5, 3));
+    }
+
+    #[test]
+    fn bayesian_consumer_validation_and_disutility() {
+        let uniform = BayesianConsumer::uniform("analyst", Arc::new(AbsoluteError), 2).unwrap();
+        assert_eq!(uniform.n(), 2);
+        assert_eq!(uniform.prior().len(), 3);
+        let m: Mechanism<Rational> = Mechanism::uniform(2);
+        // Expected |err| with uniform prior and uniform mechanism:
+        // rows 0 and 2 contribute 1 each, row 1 contributes 2/3; average 8/9.
+        assert_eq!(uniform.disutility(&m).unwrap(), rat(8, 9));
+
+        assert!(BayesianConsumer::<Rational>::new(
+            "bad",
+            Arc::new(AbsoluteError),
+            vec![]
+        )
+        .is_err());
+        assert!(BayesianConsumer::new(
+            "bad",
+            Arc::new(AbsoluteError),
+            vec![rat(1, 2), rat(1, 4)]
+        )
+        .is_err());
+        assert!(BayesianConsumer::new(
+            "bad",
+            Arc::new(AbsoluteError),
+            vec![rat(3, 2), rat(-1, 2)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn debug_formats_do_not_leak_internals() {
+        let c = MinimaxConsumer::<Rational>::new(
+            "gov",
+            Arc::new(AbsoluteError),
+            SideInformation::full(2),
+        )
+        .unwrap();
+        let s = format!("{c:?}");
+        assert!(s.contains("gov") && s.contains("absolute"));
+        let b = BayesianConsumer::<Rational>::uniform("b", Arc::new(AbsoluteError), 2).unwrap();
+        assert!(format!("{b:?}").contains("prior_len"));
+    }
+}

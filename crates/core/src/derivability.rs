@@ -1,0 +1,258 @@
+//! Derivability from the geometric mechanism (Section 3, Theorem 2).
+//!
+//! A mechanism `M` can be *derived* from the geometric mechanism `G_{n,α}` if
+//! `M = G_{n,α} · T` for a row-stochastic `T` (Definition 3). Theorem 2
+//! characterizes derivability by a local condition on every column of `M`:
+//! writing three consecutive entries of a column as `x1, x2, x3`,
+//!
+//! ```text
+//!   (1 + α²)·x2 − α·(x1 + x3) ≥ 0,
+//! ```
+//!
+//! together with the endpoint conditions `x_first ≥ α·x_second` and
+//! `x_last ≥ α·x_secondlast` (these come from Lemma 2's `i = 1` and `i = n`
+//! cases and are implied by α-differential privacy). The equivalent matrix
+//! statement is that every entry of `T = G⁻¹·M` is non-negative; this module
+//! provides both the O(n²) scan and the explicit construction of `T`.
+
+use privmech_linalg::{Matrix, Scalar};
+
+use crate::alpha::PrivacyLevel;
+use crate::error::{CoreError, Result};
+use crate::geometric::geometric_mechanism;
+use crate::mechanism::Mechanism;
+
+/// Outcome of the Theorem 2 characterization scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DerivabilityCheck {
+    /// Every column satisfies the characterization; the mechanism is derivable
+    /// from `G_{n,α}`.
+    Derivable,
+    /// The condition fails in `column` for the window starting at `row`
+    /// (rows `row`, `row+1`, `row+2`), or at an endpoint when `row + 1` equals
+    /// the first or last index.
+    Violated {
+        /// Column of the violation.
+        column: usize,
+        /// First row of the violating window.
+        row: usize,
+    },
+}
+
+impl DerivabilityCheck {
+    /// True iff the check passed.
+    #[must_use]
+    pub fn is_derivable(&self) -> bool {
+        matches!(self, DerivabilityCheck::Derivable)
+    }
+}
+
+/// Run the Theorem 2 characterization on a mechanism: the O(n²) column scan
+/// that decides derivability from `G_{n,α}` without computing `G⁻¹·M`.
+#[must_use]
+pub fn theorem2_check<T: Scalar>(mechanism: &Mechanism<T>, level: &PrivacyLevel<T>) -> DerivabilityCheck {
+    let alpha = level.alpha().clone();
+    let m = mechanism.matrix();
+    let size = mechanism.size();
+    let one_plus_alpha_sq = T::one() + alpha.clone() * alpha.clone();
+
+    for col in 0..size {
+        // Endpoint condition at the top of the column: x_0 >= α·x_1
+        // (Lemma 2, case i = 1).
+        let top = m[(0, col)].clone();
+        let second = m[(1, col)].clone();
+        if !(top.clone() - alpha.clone() * second).approx_ge(&T::zero()) {
+            return DerivabilityCheck::Violated { column: col, row: 0 };
+        }
+        // Endpoint condition at the bottom: x_n >= α·x_{n-1}
+        // (Lemma 2, case i = n).
+        let bottom = m[(size - 1, col)].clone();
+        let second_last = m[(size - 2, col)].clone();
+        if !(bottom.clone() - alpha.clone() * second_last).approx_ge(&T::zero()) {
+            return DerivabilityCheck::Violated {
+                column: col,
+                row: size - 2,
+            };
+        }
+        // Interior condition: (1 + α²)·x_{i+1} − α·(x_i + x_{i+2}) ≥ 0.
+        for row in 0..size.saturating_sub(2) {
+            let x1 = m[(row, col)].clone();
+            let x2 = m[(row + 1, col)].clone();
+            let x3 = m[(row + 2, col)].clone();
+            let lhs = one_plus_alpha_sq.clone() * x2 - alpha.clone() * (x1 + x3);
+            if !lhs.approx_ge(&T::zero()) {
+                return DerivabilityCheck::Violated { column: col, row };
+            }
+        }
+    }
+    DerivabilityCheck::Derivable
+}
+
+/// Compute the post-processing matrix `T` with `to = from · T`, i.e.
+/// `T = from⁻¹ · to`, and verify it is row-stochastic.
+///
+/// Returns [`CoreError::NotDerivable`] when `T` has a negative entry (locating
+/// the most negative one), and a linear-algebra error if `from` is singular.
+pub fn derive_post_processing<T: Scalar>(
+    from: &Mechanism<T>,
+    to: &Mechanism<T>,
+) -> Result<Matrix<T>> {
+    if from.size() != to.size() {
+        return Err(CoreError::InvalidPostProcessing {
+            reason: format!(
+                "mechanisms have different sizes: {} vs {}",
+                from.size(),
+                to.size()
+            ),
+        });
+    }
+    let inv = from.matrix().inverse().map_err(CoreError::from)?;
+    let t = inv.matmul(to.matrix()).map_err(CoreError::from)?;
+    // Locate the most negative entry, if any.
+    let mut worst: Option<(usize, usize, T)> = None;
+    for i in 0..t.rows() {
+        for j in 0..t.cols() {
+            let v = t[(i, j)].clone();
+            if v.is_negative_approx() {
+                match &worst {
+                    Some((_, _, w)) if *w <= v => {}
+                    _ => worst = Some((i, j, v)),
+                }
+            }
+        }
+    }
+    if let Some((i, j, _)) = worst {
+        return Err(CoreError::NotDerivable { column: j, row: i });
+    }
+    // Clamp float noise and return.
+    let clamped = Matrix::from_fn(t.rows(), t.cols(), |i, j| {
+        let v = t[(i, j)].clone();
+        if v < T::zero() {
+            T::zero()
+        } else {
+            v
+        }
+    });
+    Ok(clamped)
+}
+
+/// Convenience wrapper: is `mechanism` derivable from `G_{n,α}`?
+///
+/// Runs the Theorem 2 scan and, when it passes, also constructs the witness
+/// post-processing matrix (so callers get both the certificate and the
+/// factorization).
+pub fn derive_from_geometric<T: Scalar>(
+    mechanism: &Mechanism<T>,
+    level: &PrivacyLevel<T>,
+) -> Result<Matrix<T>> {
+    match theorem2_check(mechanism, level) {
+        DerivabilityCheck::Violated { column, row } => {
+            Err(CoreError::NotDerivable { column, row })
+        }
+        DerivabilityCheck::Derivable => {
+            let g = geometric_mechanism(mechanism.n(), level)?;
+            derive_post_processing(&g, mechanism)
+        }
+    }
+}
+
+/// The explicit ½-differentially-private mechanism of Appendix B that is *not*
+/// derivable from `G_{3,1/2}`.
+#[must_use]
+pub fn appendix_b_mechanism<T: Scalar>() -> Mechanism<T> {
+    let r = |num: i64, den: i64| T::from_ratio(num, den);
+    Mechanism::from_rows(vec![
+        vec![r(1, 9), r(2, 9), r(4, 9), r(2, 9)],
+        vec![r(2, 9), r(1, 9), r(2, 9), r(4, 9)],
+        vec![r(4, 9), r(2, 9), r(1, 9), r(2, 9)],
+        vec![r(13, 18), r(1, 9), r(1, 18), r(1, 9)],
+    ])
+    .expect("the Appendix B matrix is row-stochastic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmech_numerics::{rat, Rational};
+
+    fn quarter() -> PrivacyLevel<Rational> {
+        PrivacyLevel::new(rat(1, 4)).unwrap()
+    }
+
+    #[test]
+    fn geometric_is_derivable_from_itself() {
+        let level = quarter();
+        let g = geometric_mechanism(3, &level).unwrap();
+        assert!(theorem2_check(&g, &level).is_derivable());
+        let t = derive_from_geometric(&g, &level).unwrap();
+        assert_eq!(t, Matrix::identity(4));
+    }
+
+    #[test]
+    fn products_with_stochastic_matrices_are_derivable() {
+        // Anything of the form G·T with T stochastic must pass the scan and
+        // the derived post-processing must reproduce T (G is invertible).
+        let level = quarter();
+        let g = geometric_mechanism(3, &level).unwrap();
+        let t = Matrix::from_rows(vec![
+            vec![rat(1, 2), rat(1, 2), rat(0, 1), rat(0, 1)],
+            vec![rat(1, 4), rat(1, 4), rat(1, 4), rat(1, 4)],
+            vec![rat(0, 1), rat(0, 1), rat(1, 1), rat(0, 1)],
+            vec![rat(0, 1), rat(1, 3), rat(1, 3), rat(1, 3)],
+        ])
+        .unwrap();
+        let derived = g.post_process(&t).unwrap();
+        assert!(theorem2_check(&derived, &level).is_derivable());
+        let recovered = derive_from_geometric(&derived, &level).unwrap();
+        assert_eq!(recovered, t);
+    }
+
+    #[test]
+    fn appendix_b_example_is_private_but_not_derivable() {
+        let half = PrivacyLevel::new(rat(1, 2)).unwrap();
+        let m: Mechanism<Rational> = appendix_b_mechanism();
+        assert!(m.is_differentially_private(&half));
+        // The paper checks column 1 (0-indexed) at rows 0..2:
+        // (1+α²)·M[1][1] − α·(M[0][1] + M[2][1]) = 5/4·1/9 − 1/2·4/9 < 0.
+        let check = theorem2_check(&m, &half);
+        assert_eq!(check, DerivabilityCheck::Violated { column: 1, row: 0 });
+        assert!(derive_from_geometric(&m, &half).is_err());
+        // The explicit factorization also fails with a located negative entry.
+        let g = geometric_mechanism(3, &half).unwrap();
+        let err = derive_post_processing(&g, &m).unwrap_err();
+        assert!(matches!(err, CoreError::NotDerivable { .. }));
+    }
+
+    #[test]
+    fn identity_mechanism_is_not_derivable_for_positive_alpha() {
+        // The identity mechanism has adjacent zero/non-zero entries, violating
+        // even the endpoint conditions for α > 0.
+        let level = quarter();
+        let id: Mechanism<Rational> = Mechanism::identity(3);
+        assert!(!theorem2_check(&id, &level).is_derivable());
+    }
+
+    #[test]
+    fn derive_post_processing_dimension_mismatch() {
+        let level = quarter();
+        let g3 = geometric_mechanism(3, &level).unwrap();
+        let g4 = geometric_mechanism(4, &level).unwrap();
+        assert!(derive_post_processing(&g3, &g4).is_err());
+    }
+
+    #[test]
+    fn uniform_mechanism_is_derivable() {
+        // The uniform mechanism is G·T where T maps every output to the
+        // uniform distribution.
+        let level = quarter();
+        let uniform: Mechanism<Rational> = Mechanism::uniform(3);
+        assert!(theorem2_check(&uniform, &level).is_derivable());
+        let t = derive_from_geometric(&uniform, &level).unwrap();
+        assert!(t.is_row_stochastic());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(t[(i, j)], rat(1, 4));
+            }
+        }
+    }
+}

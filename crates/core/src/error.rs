@@ -1,0 +1,146 @@
+//! Error types for the privacy-mechanism core.
+
+use std::fmt;
+
+use privmech_linalg::LinalgError;
+use privmech_lp::LpError;
+
+/// Errors produced by the privacy-mechanism core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A privacy parameter outside the interval `[0, 1]` was supplied.
+    InvalidAlpha {
+        /// The offending value rendered as text.
+        value: String,
+    },
+    /// A mechanism matrix was rejected (wrong shape, negative entries, or
+    /// rows that do not sum to one).
+    InvalidMechanism {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A post-processing matrix was rejected (must be square, row-stochastic
+    /// and of the same dimension as the mechanism's output space).
+    InvalidPostProcessing {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A loss function violated the monotonicity requirement
+    /// (`l(i, r)` must be non-decreasing in `|i - r|` for every `i`).
+    NonMonotoneLoss {
+        /// The row where monotonicity fails.
+        input: usize,
+        /// The pair of outputs witnessing the violation.
+        outputs: (usize, usize),
+    },
+    /// The consumer's side information is empty or references results outside
+    /// `{0, …, n}`.
+    InvalidSideInformation {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A prior was rejected (wrong length, negative mass, or not summing to one).
+    InvalidPrior {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The requested privacy levels for a multi-level release were not
+    /// strictly increasing inside `(0, 1]`, or the list was empty.
+    InvalidPrivacyLevels {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A mechanism claimed to be derivable from the geometric mechanism is not.
+    NotDerivable {
+        /// The column and row window where Theorem 2's condition fails.
+        column: usize,
+        /// First row of the violating window.
+        row: usize,
+    },
+    /// An input (true query result) outside `{0, …, n}` was supplied.
+    InputOutOfRange {
+        /// The offending input.
+        input: usize,
+        /// The database size `n`.
+        n: usize,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+    /// An underlying linear program failed to solve.
+    Lp(LpError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidAlpha { value } => {
+                write!(f, "privacy parameter must lie in [0, 1], got {value}")
+            }
+            CoreError::InvalidMechanism { reason } => write!(f, "invalid mechanism: {reason}"),
+            CoreError::InvalidPostProcessing { reason } => {
+                write!(f, "invalid post-processing: {reason}")
+            }
+            CoreError::NonMonotoneLoss { input, outputs } => write!(
+                f,
+                "loss function is not monotone in |i - r| at input {input}, outputs {:?}",
+                outputs
+            ),
+            CoreError::InvalidSideInformation { reason } => {
+                write!(f, "invalid side information: {reason}")
+            }
+            CoreError::InvalidPrior { reason } => write!(f, "invalid prior: {reason}"),
+            CoreError::InvalidPrivacyLevels { reason } => {
+                write!(f, "invalid privacy levels: {reason}")
+            }
+            CoreError::NotDerivable { column, row } => write!(
+                f,
+                "mechanism is not derivable from the geometric mechanism \
+                 (Theorem 2 condition fails in column {column} at rows {row}..{})",
+                row + 2
+            ),
+            CoreError::InputOutOfRange { input, n } => {
+                write!(f, "input {input} outside the query range 0..={n}")
+            }
+            CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            CoreError::Lp(e) => write!(f, "linear programming error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<LpError> for CoreError {
+    fn from(e: LpError) -> Self {
+        CoreError::Lp(e)
+    }
+}
+
+/// Convenient result alias for the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::InvalidAlpha {
+            value: "3/2".to_string(),
+        };
+        assert!(e.to_string().contains("[0, 1]"));
+        let e = CoreError::NotDerivable { column: 1, row: 0 };
+        assert!(e.to_string().contains("Theorem 2"));
+        let e = CoreError::InputOutOfRange { input: 9, n: 3 };
+        assert!(e.to_string().contains("0..=3"));
+        let e: CoreError = LpError::Infeasible.into();
+        assert!(matches!(e, CoreError::Lp(LpError::Infeasible)));
+        let e: CoreError = LinalgError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+    }
+}

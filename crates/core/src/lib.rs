@@ -1,0 +1,90 @@
+//! # privmech-core
+//!
+//! A from-scratch Rust implementation of *Universally Optimal Privacy
+//! Mechanisms for Minimax Agents* (Gupte & Sundararajan, PODS 2010).
+//!
+//! The crate models oblivious differentially-private mechanisms for count
+//! queries as row-stochastic matrices and provides:
+//!
+//! * the **geometric mechanism** (unbounded and range-restricted forms,
+//!   Definitions 1 and 4) plus baseline mechanisms for comparison,
+//! * **minimax and Bayesian information consumers** with monotone loss
+//!   functions and side information (Sections 2.3 and 2.7),
+//! * the consumer's **optimal interaction** LP (Section 2.4.3) and the
+//!   consumer-tailored **optimal mechanism** LP (Section 2.5),
+//! * the **Theorem 2 characterization** of mechanisms derivable from the
+//!   geometric mechanism, with explicit post-processing factorizations,
+//! * **Algorithm 1**: correlated, collusion-resistant release of a query
+//!   result at multiple privacy levels (Lemmas 3–4), and
+//! * sampling / Monte-Carlo utilities and structural audits.
+//!
+//! The headline result (Theorem 1) — deploying the geometric mechanism and
+//! letting each rational minimax consumer post-process achieves, for *every*
+//! consumer simultaneously, the utility of the mechanism tailored to it — is
+//! directly checkable with this API:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use privmech_core::{
+//!     geometric_mechanism, optimal_interaction, optimal_mechanism,
+//!     AbsoluteError, MinimaxConsumer, PrivacyLevel, SideInformation,
+//! };
+//! use privmech_numerics::{rat, Rational};
+//!
+//! let level = PrivacyLevel::new(rat(1, 4)).unwrap();
+//! let consumer = MinimaxConsumer::<Rational>::new(
+//!     "government",
+//!     Arc::new(AbsoluteError),
+//!     SideInformation::full(3),
+//! ).unwrap();
+//!
+//! // Deploy the geometric mechanism without knowing the consumer...
+//! let geometric = geometric_mechanism(3, &level).unwrap();
+//! let interaction = optimal_interaction(&geometric, &consumer).unwrap();
+//! // ...and the consumer still reaches the loss of its tailored optimum.
+//! let tailored = optimal_mechanism(&level, &consumer).unwrap();
+//! assert_eq!(interaction.loss, tailored.loss);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alpha;
+pub mod baselines;
+pub mod consumer;
+pub mod derivability;
+pub mod error;
+pub mod geometric;
+pub mod interaction;
+pub mod loss;
+pub mod mechanism;
+pub mod multilevel;
+pub mod optimal;
+pub mod sampling;
+pub mod verify;
+
+pub use alpha::PrivacyLevel;
+pub use baselines::{randomized_response, truncated_geometric, uniform_mixture};
+pub use consumer::{BayesianConsumer, MinimaxConsumer, SideInformation};
+pub use derivability::{
+    appendix_b_mechanism, derive_from_geometric, derive_post_processing, theorem2_check,
+    DerivabilityCheck,
+};
+pub use error::{CoreError, Result};
+pub use geometric::{
+    g_prime_matrix, geometric_matrix, geometric_mechanism, lemma1_determinant,
+    range_restricted_pmf, sample_geometric_output, sample_two_sided_geometric,
+    table1b_scaled_geometric, two_sided_geometric_pmf,
+};
+pub use interaction::{bayesian_optimal_interaction, optimal_interaction, Interaction};
+pub use loss::{
+    validate_monotone, AbsoluteError, LossFunction, SquaredError, TableLoss, ToleranceError,
+    ZeroOneError,
+};
+pub use mechanism::Mechanism;
+pub use multilevel::{transition_matrix, MultiLevelRelease, StageRelease};
+pub use optimal::{optimal_mechanism, OptimalMechanism};
+pub use sampling::{
+    collusion_experiment, empirical_distribution, total_variation_distance, CollusionSummary,
+};
+pub use verify::{audit_mechanism, MechanismAudit};

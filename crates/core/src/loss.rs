@@ -1,0 +1,237 @@
+//! Loss functions of minimax information consumers (Section 2.3).
+//!
+//! A loss function `l(i, r)` quantifies the consumer's unhappiness when the
+//! mechanism returns `r` while the true result is `i`. The paper's only
+//! structural assumption is monotonicity: `l(i, r)` is non-decreasing in
+//! `|i - r|` for every fixed `i`. The three examples called out in the paper
+//! — mean error `|i-r|`, squared error `(i-r)²` and the 0/1 error — are
+//! provided as ready-made types, together with table- and closure-backed
+//! custom losses and a monotonicity validator.
+
+use privmech_linalg::{Matrix, Scalar};
+
+use crate::error::{CoreError, Result};
+
+/// A consumer loss function `l(i, r)` over true results `i` and released
+/// results `r`.
+pub trait LossFunction<T: Scalar> {
+    /// The loss incurred when the true result is `i` and `r` is released.
+    fn loss(&self, i: usize, r: usize) -> T;
+
+    /// A short human-readable name used in reports.
+    fn name(&self) -> &str {
+        "custom"
+    }
+}
+
+/// Mean (absolute) error `l(i, r) = |i - r|` — the paper's example for a
+/// government tracking the spread of flu.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbsoluteError;
+
+impl<T: Scalar> LossFunction<T> for AbsoluteError {
+    fn loss(&self, i: usize, r: usize) -> T {
+        T::from_i64(i.abs_diff(r) as i64)
+    }
+    fn name(&self) -> &str {
+        "absolute"
+    }
+}
+
+/// Squared error `l(i, r) = (i - r)²` — the paper's example for a drug company
+/// planning production.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquaredError;
+
+impl<T: Scalar> LossFunction<T> for SquaredError {
+    fn loss(&self, i: usize, r: usize) -> T {
+        let d = T::from_i64(i.abs_diff(r) as i64);
+        d.clone() * d
+    }
+    fn name(&self) -> &str {
+        "squared"
+    }
+}
+
+/// 0/1 error `l(i, r) = [i ≠ r]` — the frequency of error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZeroOneError;
+
+impl<T: Scalar> LossFunction<T> for ZeroOneError {
+    fn loss(&self, i: usize, r: usize) -> T {
+        if i == r {
+            T::zero()
+        } else {
+            T::one()
+        }
+    }
+    fn name(&self) -> &str {
+        "zero-one"
+    }
+}
+
+/// Hinge / tolerance loss: zero while `|i - r| <= width`, then grows linearly.
+/// Models a consumer who can absorb small inaccuracies at no cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToleranceError {
+    /// Number of units of error that are free.
+    pub width: usize,
+}
+
+impl<T: Scalar> LossFunction<T> for ToleranceError {
+    fn loss(&self, i: usize, r: usize) -> T {
+        let d = i.abs_diff(r);
+        T::from_i64(d.saturating_sub(self.width) as i64)
+    }
+    fn name(&self) -> &str {
+        "tolerance"
+    }
+}
+
+/// A loss given by an explicit `(n+1) × (n+1)` table.
+#[derive(Debug, Clone)]
+pub struct TableLoss<T: Scalar> {
+    table: Matrix<T>,
+    name: String,
+}
+
+impl<T: Scalar> TableLoss<T> {
+    /// Wrap an explicit loss table after validating the paper's monotonicity
+    /// requirement: for every row `i`, `l(i, r)` is non-decreasing in `|i - r|`
+    /// separately on each side of `i`.
+    pub fn new(table: Matrix<T>, name: impl Into<String>) -> Result<Self> {
+        if !table.is_square() {
+            return Err(CoreError::InvalidMechanism {
+                reason: format!("loss table must be square, got {}x{}", table.rows(), table.cols()),
+            });
+        }
+        let n = table.rows();
+        for i in 0..n {
+            // Moving right from i, the loss must not decrease.
+            for r in (i + 1)..n {
+                if table[(i, r)] < table[(i, r - 1)] {
+                    return Err(CoreError::NonMonotoneLoss {
+                        input: i,
+                        outputs: (r - 1, r),
+                    });
+                }
+            }
+            // Moving left from i, the loss must not decrease.
+            for r in (0..i).rev() {
+                if table[(i, r)] < table[(i, r + 1)] {
+                    return Err(CoreError::NonMonotoneLoss {
+                        input: i,
+                        outputs: (r + 1, r),
+                    });
+                }
+            }
+        }
+        Ok(TableLoss {
+            table,
+            name: name.into(),
+        })
+    }
+
+    /// Build a table loss by evaluating an arbitrary loss function on `{0..=n}`.
+    pub fn from_loss(n: usize, loss: &dyn LossFunction<T>, name: impl Into<String>) -> Result<Self> {
+        let table = Matrix::from_fn(n + 1, n + 1, |i, r| loss.loss(i, r));
+        TableLoss::new(table, name)
+    }
+}
+
+impl<T: Scalar> LossFunction<T> for TableLoss<T> {
+    fn loss(&self, i: usize, r: usize) -> T {
+        self.table
+            .get(i, r)
+            .cloned()
+            .unwrap_or_else(|| T::from_i64(i64::MAX / 4))
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Check the paper's monotonicity requirement for an arbitrary loss function
+/// on the domain `{0, …, n}`.
+pub fn validate_monotone<T: Scalar>(n: usize, loss: &dyn LossFunction<T>) -> Result<()> {
+    TableLoss::from_loss(n, loss, "validation").map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmech_numerics::{rat, Rational};
+
+    #[test]
+    fn builtin_losses_match_formulas() {
+        let abs = AbsoluteError;
+        let sq = SquaredError;
+        let zo = ZeroOneError;
+        assert_eq!(LossFunction::<Rational>::loss(&abs, 2, 5), rat(3, 1));
+        assert_eq!(LossFunction::<Rational>::loss(&abs, 5, 2), rat(3, 1));
+        assert_eq!(LossFunction::<Rational>::loss(&sq, 2, 5), rat(9, 1));
+        assert_eq!(LossFunction::<Rational>::loss(&zo, 3, 3), Rational::zero());
+        assert_eq!(LossFunction::<Rational>::loss(&zo, 3, 4), Rational::one());
+        assert_eq!(LossFunction::<f64>::loss(&sq, 1, 4), 9.0);
+        assert_eq!(LossFunction::<Rational>::name(&abs), "absolute");
+        assert_eq!(LossFunction::<Rational>::name(&sq), "squared");
+        assert_eq!(LossFunction::<Rational>::name(&zo), "zero-one");
+    }
+
+    #[test]
+    fn tolerance_loss_is_monotone_and_flat_near_truth() {
+        let tol = ToleranceError { width: 2 };
+        assert_eq!(LossFunction::<Rational>::loss(&tol, 5, 5), Rational::zero());
+        assert_eq!(LossFunction::<Rational>::loss(&tol, 5, 7), Rational::zero());
+        assert_eq!(LossFunction::<Rational>::loss(&tol, 5, 8), Rational::one());
+        assert_eq!(LossFunction::<Rational>::loss(&tol, 5, 1), rat(2, 1));
+        assert!(validate_monotone::<Rational>(10, &tol).is_ok());
+    }
+
+    #[test]
+    fn builtin_losses_are_monotone() {
+        assert!(validate_monotone::<Rational>(8, &AbsoluteError).is_ok());
+        assert!(validate_monotone::<Rational>(8, &SquaredError).is_ok());
+        assert!(validate_monotone::<Rational>(8, &ZeroOneError).is_ok());
+    }
+
+    #[test]
+    fn table_loss_validation() {
+        // A valid asymmetric monotone loss (over-reporting is worse).
+        let ok = Matrix::from_rows(vec![
+            vec![rat(0, 1), rat(2, 1), rat(4, 1)],
+            vec![rat(1, 1), rat(0, 1), rat(2, 1)],
+            vec![rat(2, 1), rat(1, 1), rat(0, 1)],
+        ])
+        .unwrap();
+        let loss = TableLoss::new(ok, "asymmetric").unwrap();
+        assert_eq!(loss.loss(0, 2), rat(4, 1));
+        assert_eq!(loss.name(), "asymmetric");
+        // Out-of-range lookups return a huge sentinel rather than panicking.
+        assert!(loss.loss(0, 17) > rat(1_000_000, 1));
+
+        // Non-monotone: moving further right gets cheaper.
+        let bad = Matrix::from_rows(vec![
+            vec![rat(0, 1), rat(3, 1), rat(1, 1)],
+            vec![rat(1, 1), rat(0, 1), rat(1, 1)],
+            vec![rat(2, 1), rat(1, 1), rat(0, 1)],
+        ])
+        .unwrap();
+        let err = TableLoss::new(bad, "bad").unwrap_err();
+        assert!(matches!(err, CoreError::NonMonotoneLoss { input: 0, .. }));
+
+        // Non-square tables are rejected.
+        let rect: Matrix<Rational> = Matrix::zeros(2, 3);
+        assert!(TableLoss::new(rect, "rect").is_err());
+    }
+
+    #[test]
+    fn from_loss_round_trips_builtin() {
+        let t = TableLoss::<Rational>::from_loss(4, &AbsoluteError, "abs-table").unwrap();
+        for i in 0..=4usize {
+            for r in 0..=4usize {
+                assert_eq!(t.loss(i, r), LossFunction::<Rational>::loss(&AbsoluteError, i, r));
+            }
+        }
+    }
+}

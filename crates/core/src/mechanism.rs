@@ -1,0 +1,471 @@
+//! Oblivious privacy mechanisms for count queries.
+//!
+//! An oblivious mechanism for a count query over a database of `n` rows is an
+//! `(n+1) × (n+1)` row-stochastic matrix `x`, where `x[i][r]` is the
+//! probability of releasing `r` when the true count is `i` (Section 2.2 of the
+//! paper). This module provides the validated wrapper type plus the operations
+//! the paper uses: α-differential-privacy checks (Definition 2), composition
+//! with post-processing matrices (Definition 3), expected and worst-case loss,
+//! and sampling.
+
+use privmech_linalg::{Matrix, Scalar};
+use rand::Rng;
+
+use crate::alpha::PrivacyLevel;
+use crate::error::{CoreError, Result};
+use crate::loss::LossFunction;
+
+/// An oblivious mechanism for a count query with results in `{0, …, n}`:
+/// a validated row-stochastic `(n+1) × (n+1)` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mechanism<T: Scalar> {
+    matrix: Matrix<T>,
+}
+
+impl<T: Scalar> Mechanism<T> {
+    /// Wrap a matrix as a mechanism, validating that it is square and
+    /// row-stochastic (non-negative entries, unit row sums).
+    pub fn from_matrix(matrix: Matrix<T>) -> Result<Self> {
+        if !matrix.is_square() {
+            return Err(CoreError::InvalidMechanism {
+                reason: format!(
+                    "mechanism matrix must be square, got {}x{}",
+                    matrix.rows(),
+                    matrix.cols()
+                ),
+            });
+        }
+        for (i, row) in matrix.row_iter().enumerate() {
+            let mut sum = T::zero();
+            for (r, v) in row.iter().enumerate() {
+                if v.is_negative_approx() {
+                    return Err(CoreError::InvalidMechanism {
+                        reason: format!("negative probability at ({i}, {r}): {v}"),
+                    });
+                }
+                sum = sum + v.clone();
+            }
+            if !sum.approx_eq(&T::one()) {
+                return Err(CoreError::InvalidMechanism {
+                    reason: format!("row {i} sums to {sum}, expected 1"),
+                });
+            }
+        }
+        Ok(Mechanism { matrix })
+    }
+
+    /// Build a mechanism from per-input output distributions given as rows.
+    pub fn from_rows(rows: Vec<Vec<T>>) -> Result<Self> {
+        let matrix = Matrix::from_rows(rows).map_err(CoreError::from)?;
+        Self::from_matrix(matrix)
+    }
+
+    /// Build a mechanism from an *approximately* stochastic matrix: tiny
+    /// negative entries are clamped to zero and each row is renormalized to
+    /// sum to one. This is the right constructor for matrices coming out of a
+    /// floating-point LP solve, where round-off can leave rows a few parts per
+    /// million away from exact stochasticity; with an exact scalar it is
+    /// equivalent to [`Mechanism::from_matrix`] whenever the input is already
+    /// stochastic.
+    pub fn from_matrix_normalized(matrix: Matrix<T>) -> Result<Self> {
+        if !matrix.is_square() {
+            return Err(CoreError::InvalidMechanism {
+                reason: format!(
+                    "mechanism matrix must be square, got {}x{}",
+                    matrix.rows(),
+                    matrix.cols()
+                ),
+            });
+        }
+        let size = matrix.rows();
+        let mut rows = Vec::with_capacity(size);
+        for i in 0..size {
+            let clamped: Vec<T> = (0..size)
+                .map(|r| {
+                    let v = matrix[(i, r)].clone();
+                    if v < T::zero() {
+                        T::zero()
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let sum = clamped.iter().cloned().fold(T::zero(), |a, b| a + b);
+            if !sum.is_positive_approx() {
+                return Err(CoreError::InvalidMechanism {
+                    reason: format!("row {i} has no positive mass to normalize"),
+                });
+            }
+            rows.push(clamped.into_iter().map(|v| v / sum.clone()).collect());
+        }
+        Self::from_rows(rows)
+    }
+
+    /// The database size `n` (query results range over `{0, …, n}`).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.matrix.rows() - 1
+    }
+
+    /// Number of inputs/outputs, i.e. `n + 1`.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Probability of releasing `r` when the true result is `i`.
+    pub fn prob(&self, i: usize, r: usize) -> Result<&T> {
+        self.matrix.get(i, r).ok_or(CoreError::InputOutOfRange {
+            input: i.max(r),
+            n: self.n(),
+        })
+    }
+
+    /// Borrow the underlying matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &Matrix<T> {
+        &self.matrix
+    }
+
+    /// Consume and return the underlying matrix.
+    #[must_use]
+    pub fn into_matrix(self) -> Matrix<T> {
+        self.matrix
+    }
+
+    /// The output distribution for true result `i`, as a slice.
+    pub fn row(&self, i: usize) -> Result<&[T]> {
+        if i >= self.size() {
+            return Err(CoreError::InputOutOfRange {
+                input: i,
+                n: self.n(),
+            });
+        }
+        Ok(self.matrix.row(i))
+    }
+
+    /// Check α-differential privacy for count queries (Definition 2): for all
+    /// adjacent inputs `i, i+1` and every output `r`,
+    /// `x[i+1][r] >= α·x[i][r]` and `x[i][r] >= α·x[i+1][r]`.
+    #[must_use]
+    pub fn is_differentially_private(&self, level: &PrivacyLevel<T>) -> bool {
+        let alpha = level.alpha();
+        if *alpha == T::zero() {
+            return true;
+        }
+        let size = self.size();
+        for i in 0..size - 1 {
+            for r in 0..size {
+                let cur = self.matrix[(i, r)].clone();
+                let next = self.matrix[(i + 1, r)].clone();
+                if !next.approx_ge(&(alpha.clone() * cur.clone()))
+                    || !cur.approx_ge(&(alpha.clone() * next))
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The largest `α` for which this mechanism is α-differentially private:
+    /// `min_{i,r} min(x[i][r]/x[i+1][r], x[i+1][r]/x[i][r])`, with the
+    /// convention that a zero/non-zero adjacent pair forces `α = 0` and a
+    /// zero/zero pair imposes no constraint.
+    #[must_use]
+    pub fn best_privacy_level(&self) -> T {
+        let size = self.size();
+        let mut best = T::one();
+        for i in 0..size - 1 {
+            for r in 0..size {
+                let cur = self.matrix[(i, r)].clone();
+                let next = self.matrix[(i + 1, r)].clone();
+                let cur_zero = cur.is_zero_approx();
+                let next_zero = next.is_zero_approx();
+                if cur_zero && next_zero {
+                    continue;
+                }
+                if cur_zero || next_zero {
+                    return T::zero();
+                }
+                let ratio = (cur.clone() / next.clone()).min_val(next / cur);
+                best = best.min_val(ratio);
+            }
+        }
+        best
+    }
+
+    /// Apply a post-processing (reinterpretation) matrix `t` on the outputs,
+    /// producing the induced mechanism `x · t` (Definition 3).
+    pub fn post_process(&self, t: &Matrix<T>) -> Result<Mechanism<T>> {
+        if t.rows() != self.size() || t.cols() != self.size() {
+            return Err(CoreError::InvalidPostProcessing {
+                reason: format!(
+                    "post-processing must be {0}x{0}, got {1}x{2}",
+                    self.size(),
+                    t.rows(),
+                    t.cols()
+                ),
+            });
+        }
+        if !t.is_row_stochastic() {
+            return Err(CoreError::InvalidPostProcessing {
+                reason: "post-processing matrix must be row-stochastic".to_string(),
+            });
+        }
+        let product = self.matrix.matmul(t).map_err(CoreError::from)?;
+        Mechanism::from_matrix(product)
+    }
+
+    /// Expected loss `Σ_r l(i, r) · x[i][r]` of this mechanism on input `i`.
+    pub fn expected_loss(&self, i: usize, loss: &dyn LossFunction<T>) -> Result<T> {
+        let row = self.row(i)?;
+        let mut acc = T::zero();
+        for (r, p) in row.iter().enumerate() {
+            acc = acc + loss.loss(i, r) * p.clone();
+        }
+        Ok(acc)
+    }
+
+    /// Worst-case (minimax) loss over a set of inputs:
+    /// `max_{i ∈ S} Σ_r l(i, r) · x[i][r]` (Equation 1 of the paper).
+    pub fn minimax_loss(
+        &self,
+        side_information: &[usize],
+        loss: &dyn LossFunction<T>,
+    ) -> Result<T> {
+        if side_information.is_empty() {
+            return Err(CoreError::InvalidSideInformation {
+                reason: "side information set must be non-empty".to_string(),
+            });
+        }
+        let mut worst: Option<T> = None;
+        for &i in side_information {
+            let l = self.expected_loss(i, loss)?;
+            worst = Some(match worst {
+                None => l,
+                Some(w) => w.max_val(l),
+            });
+        }
+        Ok(worst.expect("non-empty side information"))
+    }
+
+    /// Expected loss under a prior over inputs (the Bayesian objective of
+    /// Section 2.7): `Σ_i prior[i] Σ_r l(i, r) x[i][r]`.
+    pub fn bayesian_loss(&self, prior: &[T], loss: &dyn LossFunction<T>) -> Result<T> {
+        if prior.len() != self.size() {
+            return Err(CoreError::InvalidPrior {
+                reason: format!("prior has length {}, expected {}", prior.len(), self.size()),
+            });
+        }
+        let mut acc = T::zero();
+        for (i, p) in prior.iter().enumerate() {
+            if p.is_zero_approx() {
+                continue;
+            }
+            acc = acc + p.clone() * self.expected_loss(i, loss)?;
+        }
+        Ok(acc)
+    }
+
+    /// Sample an output for the true result `i` using the supplied random
+    /// number generator. Probabilities are converted to `f64` for sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, i: usize, rng: &mut R) -> Result<usize> {
+        let row = self.row(i)?;
+        let weights: Vec<f64> = row.iter().map(|p| p.to_f64().max(0.0)).collect();
+        Ok(sample_index(&weights, rng))
+    }
+
+    /// Convert the mechanism to `f64` entries (e.g. for sampling-heavy work).
+    #[must_use]
+    pub fn to_f64(&self) -> Mechanism<f64> {
+        Mechanism {
+            matrix: self.matrix.map(|v| v.to_f64()),
+        }
+    }
+
+    /// The identity mechanism (no perturbation at all); `α`-private only for
+    /// `α = 0`.
+    #[must_use]
+    pub fn identity(n: usize) -> Mechanism<T> {
+        Mechanism {
+            matrix: Matrix::identity(n + 1),
+        }
+    }
+
+    /// The uniform mechanism that ignores its input entirely; it is
+    /// `1`-differentially private (absolute privacy) but has poor utility.
+    #[must_use]
+    pub fn uniform(n: usize) -> Mechanism<T> {
+        let p = T::one() / T::from_i64((n + 1) as i64);
+        Mechanism {
+            matrix: Matrix::from_fn(n + 1, n + 1, |_, _| p.clone()),
+        }
+    }
+}
+
+/// Sample an index proportionally to non-negative `weights`.
+///
+/// Falls back to the last index if rounding error leaves residual mass.
+pub(crate) fn sample_index<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut target = rng.gen_range(0.0..total);
+    for (idx, w) in weights.iter().enumerate() {
+        if target < *w {
+            return idx;
+        }
+        target -= *w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::AbsoluteError;
+    use privmech_numerics::{rat, Rational};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simple_mechanism() -> Mechanism<Rational> {
+        // A valid 1/2-DP mechanism on {0,1,2}.
+        Mechanism::from_rows(vec![
+            vec![rat(1, 2), rat(1, 4), rat(1, 4)],
+            vec![rat(1, 4), rat(1, 2), rat(1, 4)],
+            vec![rat(1, 4), rat(1, 4), rat(1, 2)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_matrices() {
+        // Not square.
+        let err = Mechanism::from_rows(vec![vec![rat(1, 2), rat(1, 2)]]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidMechanism { .. }));
+        // Negative entry.
+        let err = Mechanism::from_rows(vec![
+            vec![rat(3, 2), rat(-1, 2)],
+            vec![rat(1, 2), rat(1, 2)],
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidMechanism { .. }));
+        // Rows not summing to one.
+        let err = Mechanism::from_rows(vec![
+            vec![rat(1, 2), rat(1, 4)],
+            vec![rat(1, 2), rat(1, 2)],
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidMechanism { .. }));
+    }
+
+    #[test]
+    fn accessors_and_bounds() {
+        let m = simple_mechanism();
+        assert_eq!(m.n(), 2);
+        assert_eq!(m.size(), 3);
+        assert_eq!(*m.prob(0, 0).unwrap(), rat(1, 2));
+        assert!(m.prob(5, 0).is_err());
+        assert!(m.row(3).is_err());
+        assert_eq!(m.row(1).unwrap()[1], rat(1, 2));
+    }
+
+    #[test]
+    fn differential_privacy_checks() {
+        let m = simple_mechanism();
+        let half = PrivacyLevel::new(rat(1, 2)).unwrap();
+        let third = PrivacyLevel::new(rat(1, 3)).unwrap();
+        let two_thirds = PrivacyLevel::new(rat(2, 3)).unwrap();
+        assert!(m.is_differentially_private(&half));
+        assert!(m.is_differentially_private(&third));
+        assert!(!m.is_differentially_private(&two_thirds));
+        assert_eq!(m.best_privacy_level(), rat(1, 2));
+        // α = 0 is always satisfied.
+        let zero = PrivacyLevel::new(Rational::zero()).unwrap();
+        assert!(Mechanism::<Rational>::identity(2).is_differentially_private(&zero));
+        // The identity mechanism has zero/non-zero adjacent entries.
+        assert_eq!(Mechanism::<Rational>::identity(2).best_privacy_level(), Rational::zero());
+        // The uniform mechanism is 1-private.
+        assert_eq!(Mechanism::<Rational>::uniform(3).best_privacy_level(), Rational::one());
+    }
+
+    #[test]
+    fn post_processing_composition() {
+        let m = simple_mechanism();
+        // Merge outputs 1 and 2 into output 1.
+        let t = Matrix::from_rows(vec![
+            vec![rat(1, 1), rat(0, 1), rat(0, 1)],
+            vec![rat(0, 1), rat(1, 1), rat(0, 1)],
+            vec![rat(0, 1), rat(1, 1), rat(0, 1)],
+        ])
+        .unwrap();
+        let induced = m.post_process(&t).unwrap();
+        assert_eq!(*induced.prob(0, 1).unwrap(), rat(1, 2));
+        assert_eq!(*induced.prob(0, 2).unwrap(), Rational::zero());
+        // Post-processing never hurts privacy (data-processing inequality).
+        assert!(induced.best_privacy_level() >= m.best_privacy_level());
+
+        // Invalid post-processing matrices are rejected.
+        let wrong_size: Matrix<Rational> = Matrix::identity(2);
+        assert!(m.post_process(&wrong_size).is_err());
+        let not_stochastic = Matrix::from_rows(vec![
+            vec![rat(1, 2), rat(0, 1), rat(0, 1)],
+            vec![rat(0, 1), rat(1, 1), rat(0, 1)],
+            vec![rat(0, 1), rat(0, 1), rat(1, 1)],
+        ])
+        .unwrap();
+        assert!(m.post_process(&not_stochastic).is_err());
+    }
+
+    #[test]
+    fn losses_expected_minimax_bayesian() {
+        let m = simple_mechanism();
+        let loss = AbsoluteError;
+        // Input 0: 1/2*0 + 1/4*1 + 1/4*2 = 3/4.
+        assert_eq!(m.expected_loss(0, &loss).unwrap(), rat(3, 4));
+        // Input 1: 1/4*1 + 1/2*0 + 1/4*1 = 1/2.
+        assert_eq!(m.expected_loss(1, &loss).unwrap(), rat(1, 2));
+        assert_eq!(m.minimax_loss(&[0, 1, 2], &loss).unwrap(), rat(3, 4));
+        assert_eq!(m.minimax_loss(&[1], &loss).unwrap(), rat(1, 2));
+        assert!(m.minimax_loss(&[], &loss).is_err());
+        let uniform_prior = vec![rat(1, 3), rat(1, 3), rat(1, 3)];
+        assert_eq!(
+            m.bayesian_loss(&uniform_prior, &loss).unwrap(),
+            rat(2, 3)
+        );
+        assert!(m.bayesian_loss(&[rat(1, 1)], &loss).is_err());
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let m = simple_mechanism().to_f64();
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[m.sample(0, &mut rng).unwrap()] += 1;
+        }
+        let freq0 = counts[0] as f64 / trials as f64;
+        assert!((freq0 - 0.5).abs() < 0.02);
+        assert!(m.sample(9, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sample_index_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_index(&[0.0, 0.0], &mut rng), 0);
+        assert_eq!(sample_index(&[0.0, 1.0], &mut rng), 1);
+    }
+
+    #[test]
+    fn identity_and_uniform_are_valid() {
+        let id: Mechanism<Rational> = Mechanism::identity(3);
+        assert_eq!(id.size(), 4);
+        assert!(Mechanism::from_matrix(id.matrix().clone()).is_ok());
+        let uni: Mechanism<Rational> = Mechanism::uniform(3);
+        assert!(uni.matrix().is_row_stochastic());
+        assert_eq!(*uni.prob(2, 1).unwrap(), rat(1, 4));
+    }
+}

@@ -1,0 +1,311 @@
+//! Multi-level, collusion-resistant release (Section 4.1, Algorithm 1).
+//!
+//! Lemma 3 shows that for `α ≤ β` there is a row-stochastic `T_{α,β}` with
+//! `G_{n,β} = G_{n,α} · T_{α,β}`: more privacy can always be "added" by
+//! post-processing. Algorithm 1 exploits this to release a query result at
+//! privacy levels `α_1 < … < α_k` by a Markov chain of successive
+//! re-perturbations: stage 1 samples from `G_{n,α_1}`, and stage `i+1`
+//! re-perturbs stage `i`'s output through `T_{α_i,α_{i+1}}`. Each consumer `i`
+//! sees a sample of the plain `α_i`-geometric mechanism, and any coalition
+//! learns no more about the database than its least-private member (Lemma 4).
+
+use privmech_linalg::{Matrix, Scalar};
+use rand::Rng;
+
+use crate::alpha::PrivacyLevel;
+use crate::error::{CoreError, Result};
+use crate::geometric::geometric_mechanism;
+use crate::mechanism::{sample_index, Mechanism};
+
+/// The stochastic matrix `T_{α,β}` with `G_{n,β} = G_{n,α} · T_{α,β}` (Lemma 3).
+///
+/// Requires `α ≤ β` and `α > 0` (for `α = 0` the geometric mechanism is the
+/// identity and the transition is simply `G_{n,β}` itself, which this function
+/// also returns).
+pub fn transition_matrix<T: Scalar>(
+    n: usize,
+    from: &PrivacyLevel<T>,
+    to: &PrivacyLevel<T>,
+) -> Result<Matrix<T>> {
+    if from.alpha() > to.alpha() {
+        return Err(CoreError::InvalidPrivacyLevels {
+            reason: format!(
+                "cannot remove privacy: from {} to {}",
+                from, to
+            ),
+        });
+    }
+    let g_to = geometric_mechanism(n, to)?;
+    if from.is_vacuous() {
+        // G_{n,0} is the identity, so T = G_{n,β}.
+        return Ok(g_to.into_matrix());
+    }
+    let g_from = geometric_mechanism(n, from)?;
+    let t = crate::derivability::derive_post_processing(&g_from, &g_to)?;
+    Ok(t)
+}
+
+/// A single released stage of [`MultiLevelRelease::release`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRelease {
+    /// Index of the privacy level (0-based, ordered by increasing α).
+    pub level_index: usize,
+    /// The released (perturbed) query result for this level.
+    pub value: usize,
+}
+
+/// Algorithm 1: correlated release of a count-query result at privacy levels
+/// `α_1 < α_2 < … < α_k`.
+#[derive(Debug, Clone)]
+pub struct MultiLevelRelease<T: Scalar> {
+    n: usize,
+    levels: Vec<PrivacyLevel<T>>,
+    /// `stages[0]` is `G_{n,α_1}`; `stages[i]` for `i ≥ 1` is `T_{α_i, α_{i+1}}`.
+    stages: Vec<Matrix<T>>,
+}
+
+impl<T: Scalar> MultiLevelRelease<T> {
+    /// Build the release chain for the given strictly increasing privacy
+    /// levels (all in `(0, 1]`).
+    pub fn new(n: usize, levels: Vec<PrivacyLevel<T>>) -> Result<Self> {
+        if levels.is_empty() {
+            return Err(CoreError::InvalidPrivacyLevels {
+                reason: "at least one privacy level is required".to_string(),
+            });
+        }
+        for level in &levels {
+            if level.is_vacuous() {
+                return Err(CoreError::InvalidPrivacyLevels {
+                    reason: "α = 0 (no privacy) cannot be released through the chain".to_string(),
+                });
+            }
+        }
+        for pair in levels.windows(2) {
+            if pair[0].alpha() >= pair[1].alpha() {
+                return Err(CoreError::InvalidPrivacyLevels {
+                    reason: format!(
+                        "privacy levels must be strictly increasing, got {} then {}",
+                        pair[0], pair[1]
+                    ),
+                });
+            }
+        }
+        let mut stages = Vec::with_capacity(levels.len());
+        stages.push(geometric_mechanism(n, &levels[0])?.into_matrix());
+        for i in 0..levels.len() - 1 {
+            stages.push(transition_matrix(n, &levels[i], &levels[i + 1])?);
+        }
+        Ok(MultiLevelRelease { n, levels, stages })
+    }
+
+    /// The count-query bound `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The privacy levels, in increasing order of α.
+    #[must_use]
+    pub fn levels(&self) -> &[PrivacyLevel<T>] {
+        &self.levels
+    }
+
+    /// The stage matrices: `G_{n,α_1}` followed by the transitions
+    /// `T_{α_i,α_{i+1}}`.
+    #[must_use]
+    pub fn stages(&self) -> &[Matrix<T>] {
+        &self.stages
+    }
+
+    /// The marginal mechanism seen by consumer `i` (0-based): the product of
+    /// the first `i+1` stages, which Lemma 3 guarantees equals `G_{n,α_{i+1}}`.
+    pub fn marginal_mechanism(&self, level_index: usize) -> Result<Mechanism<T>> {
+        if level_index >= self.levels.len() {
+            return Err(CoreError::InvalidPrivacyLevels {
+                reason: format!(
+                    "level index {level_index} out of range (have {})",
+                    self.levels.len()
+                ),
+            });
+        }
+        let mut acc = self.stages[0].clone();
+        for stage in &self.stages[1..=level_index] {
+            acc = acc.matmul(stage).map_err(CoreError::from)?;
+        }
+        Mechanism::from_matrix(acc)
+    }
+
+    /// Run Algorithm 1 once: given the true query result, produce the chained
+    /// releases `r_1, …, r_k` (one per privacy level, in increasing-α order).
+    pub fn release<R: Rng + ?Sized>(
+        &self,
+        true_result: usize,
+        rng: &mut R,
+    ) -> Result<Vec<StageRelease>> {
+        if true_result > self.n {
+            return Err(CoreError::InputOutOfRange {
+                input: true_result,
+                n: self.n,
+            });
+        }
+        let mut out = Vec::with_capacity(self.levels.len());
+        let mut current = true_result;
+        for (idx, stage) in self.stages.iter().enumerate() {
+            let weights: Vec<f64> = (0..=self.n)
+                .map(|z| stage[(current, z)].to_f64().max(0.0))
+                .collect();
+            current = sample_index(&weights, rng);
+            out.push(StageRelease {
+                level_index: idx,
+                value: current,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The *naive* alternative to Algorithm 1: perturb the true result
+    /// independently at every privacy level. Returned in the same format so
+    /// experiments can contrast collusion behaviour (averaging independent
+    /// releases concentrates around the true count; the correlated chain does
+    /// not reveal anything beyond its least-private stage).
+    pub fn release_naive<R: Rng + ?Sized>(
+        &self,
+        true_result: usize,
+        rng: &mut R,
+    ) -> Result<Vec<StageRelease>> {
+        if true_result > self.n {
+            return Err(CoreError::InputOutOfRange {
+                input: true_result,
+                n: self.n,
+            });
+        }
+        let mut out = Vec::with_capacity(self.levels.len());
+        for (idx, level) in self.levels.iter().enumerate() {
+            let g = geometric_mechanism(self.n, level)?;
+            let value = g.sample(true_result, rng)?;
+            out.push(StageRelease {
+                level_index: idx,
+                value,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmech_numerics::{rat, Rational};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn level(num: i64, den: i64) -> PrivacyLevel<Rational> {
+        PrivacyLevel::new(rat(num, den)).unwrap()
+    }
+
+    #[test]
+    fn transition_matrix_is_stochastic_and_factorizes() {
+        // Lemma 3 for several (α, β) pairs: T is stochastic and G_α·T = G_β.
+        for n in [2usize, 3, 5] {
+            for (a, b) in [((1i64, 4i64), (1i64, 2i64)), ((1, 5), (1, 3)), ((1, 3), (2, 3)), ((1, 2), (1, 1))] {
+                let from = level(a.0, a.1);
+                let to = level(b.0, b.1);
+                let t = transition_matrix(n, &from, &to).unwrap();
+                assert!(t.is_row_stochastic(), "n={n} {a:?}->{b:?}");
+                let g_from = geometric_mechanism(n, &from).unwrap();
+                let g_to = geometric_mechanism(n, &to).unwrap();
+                assert_eq!(g_from.matrix().matmul(&t).unwrap(), *g_to.matrix());
+            }
+        }
+    }
+
+    #[test]
+    fn cannot_remove_privacy() {
+        let err = transition_matrix::<Rational>(3, &level(1, 2), &level(1, 4)).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidPrivacyLevels { .. }));
+        // Equal levels give the identity transition.
+        let t = transition_matrix::<Rational>(3, &level(1, 2), &level(1, 2)).unwrap();
+        assert_eq!(t, Matrix::identity(4));
+    }
+
+    #[test]
+    fn vacuous_source_level_returns_target_geometric() {
+        let zero = PrivacyLevel::new(Rational::zero()).unwrap();
+        let t = transition_matrix::<Rational>(3, &zero, &level(1, 2)).unwrap();
+        let g = geometric_mechanism(3, &level(1, 2)).unwrap();
+        assert_eq!(t, *g.matrix());
+    }
+
+    #[test]
+    fn release_chain_construction_validation() {
+        assert!(MultiLevelRelease::<Rational>::new(3, vec![]).is_err());
+        assert!(MultiLevelRelease::new(3, vec![level(1, 2), level(1, 4)]).is_err());
+        assert!(MultiLevelRelease::new(3, vec![level(1, 4), level(1, 4)]).is_err());
+        let zero = PrivacyLevel::new(Rational::zero()).unwrap();
+        assert!(MultiLevelRelease::new(3, vec![zero, level(1, 2)]).is_err());
+        let ok = MultiLevelRelease::new(3, vec![level(1, 4), level(1, 2), level(3, 4)]).unwrap();
+        assert_eq!(ok.levels().len(), 3);
+        assert_eq!(ok.stages().len(), 3);
+        assert_eq!(ok.n(), 3);
+    }
+
+    #[test]
+    fn marginals_equal_the_plain_geometric_mechanisms() {
+        // Simultaneous utility: the mechanism seen by consumer i is exactly
+        // G_{n,α_i}, so each consumer can post-process as if the geometric
+        // mechanism had been deployed just for them.
+        let release =
+            MultiLevelRelease::new(4, vec![level(1, 5), level(1, 3), level(1, 2), level(4, 5)])
+                .unwrap();
+        for (i, lvl) in release.levels().iter().enumerate() {
+            let marginal = release.marginal_mechanism(i).unwrap();
+            let direct = geometric_mechanism(4, lvl).unwrap();
+            assert_eq!(marginal, direct, "level {i}");
+        }
+        assert!(release.marginal_mechanism(9).is_err());
+    }
+
+    #[test]
+    fn release_outputs_follow_the_marginal_distributions() {
+        let release = MultiLevelRelease::new(3, vec![level(1, 4), level(1, 2)]).unwrap();
+        let release_f = MultiLevelRelease::new(
+            3,
+            vec![PrivacyLevel::new(0.25f64).unwrap(), PrivacyLevel::new(0.5f64).unwrap()],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 30_000;
+        let true_result = 2usize;
+        let mut counts = vec![vec![0usize; 4]; 2];
+        for _ in 0..trials {
+            let rel = release_f.release(true_result, &mut rng).unwrap();
+            for stage in rel {
+                counts[stage.level_index][stage.value] += 1;
+            }
+        }
+        for (i, lvl) in release.levels().iter().enumerate() {
+            let g = geometric_mechanism(3, lvl).unwrap();
+            for z in 0..=3 {
+                let expected = g.prob(true_result, z).unwrap().to_f64();
+                let observed = counts[i][z] as f64 / trials as f64;
+                assert!(
+                    (observed - expected).abs() < 0.015,
+                    "level {i} output {z}: observed {observed}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn release_input_validation_and_naive_variant() {
+        let release = MultiLevelRelease::new(3, vec![level(1, 4), level(1, 2)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(release.release(7, &mut rng).is_err());
+        assert!(release.release_naive(7, &mut rng).is_err());
+        let chained = release.release(1, &mut rng).unwrap();
+        assert_eq!(chained.len(), 2);
+        assert!(chained.iter().all(|s| s.value <= 3));
+        let naive = release.release_naive(1, &mut rng).unwrap();
+        assert_eq!(naive.len(), 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! The consumer-tailored optimal mechanism (Section 2.5).
+//!
+//! For a *known* consumer (loss function + side information) and a privacy
+//! level α, the loss-minimizing α-differentially-private oblivious mechanism
+//! is the solution of a linear program: minimize the epigraph variable `d`
+//! subject to `d ≥ Σ_r x[i][r]·l(i,r)` for every `i ∈ S`, the adjacent-row
+//! differential-privacy inequalities of Definition 2, unit row sums, and
+//! non-negativity. Theorem 1 states that deploying the geometric mechanism and
+//! letting the consumer post-process achieves exactly this optimum — the
+//! experiments verify that equality.
+
+use privmech_linalg::{Matrix, Scalar};
+use privmech_lp::{LinExpr, Model, Relation};
+
+use crate::alpha::PrivacyLevel;
+use crate::consumer::MinimaxConsumer;
+use crate::error::{CoreError, Result};
+use crate::mechanism::Mechanism;
+
+/// The result of solving the Section 2.5 linear program.
+#[derive(Debug, Clone)]
+pub struct OptimalMechanism<T: Scalar> {
+    /// A loss-minimizing α-differentially-private mechanism for the consumer.
+    pub mechanism: Mechanism<T>,
+    /// Its (optimal) worst-case loss for the consumer.
+    pub loss: T,
+}
+
+/// Solve the Section 2.5 LP: the optimal α-differentially-private oblivious
+/// mechanism tailored to a specific minimax consumer.
+pub fn optimal_mechanism<T: Scalar>(
+    level: &PrivacyLevel<T>,
+    consumer: &MinimaxConsumer<T>,
+) -> Result<OptimalMechanism<T>> {
+    let n = consumer.side_information().n();
+    let size = n + 1;
+    let alpha = level.alpha().clone();
+
+    let mut model: Model<T> = Model::new();
+
+    // x_vars[i][r] = probability of releasing r when the true result is i.
+    let mut x_vars = Vec::with_capacity(size);
+    for i in 0..size {
+        x_vars.push(model.add_nonneg_vars(&format!("x_{i}"), size));
+    }
+
+    // Each input's output distribution sums to one.
+    for i in 0..size {
+        let mut row_sum = LinExpr::new();
+        for r in 0..size {
+            row_sum.add_term(x_vars[i][r], T::one());
+        }
+        model.add_labeled_constraint(row_sum, Relation::Eq, T::one(), Some(format!("row_{i}")))?;
+    }
+
+    // Differential privacy for count queries (Definition 2):
+    //   x[i][r] - α·x[i+1][r] >= 0   and   x[i+1][r] - α·x[i][r] >= 0.
+    if !alpha.is_zero_approx() {
+        for i in 0..n {
+            for r in 0..size {
+                let down = LinExpr::term(x_vars[i][r], T::one())
+                    .plus(x_vars[i + 1][r], -alpha.clone());
+                model.add_labeled_constraint(
+                    down,
+                    Relation::Ge,
+                    T::zero(),
+                    Some(format!("dp_down_{i}_{r}")),
+                )?;
+                let up = LinExpr::term(x_vars[i + 1][r], T::one())
+                    .plus(x_vars[i][r], -alpha.clone());
+                model.add_labeled_constraint(
+                    up,
+                    Relation::Ge,
+                    T::zero(),
+                    Some(format!("dp_up_{i}_{r}")),
+                )?;
+            }
+        }
+    }
+
+    // Epigraph objective: minimize the worst expected loss over S.
+    let loss = consumer.loss();
+    let mut exprs = Vec::new();
+    for &i in consumer.side_information().members() {
+        let mut expr = LinExpr::new();
+        for r in 0..size {
+            expr.add_term(x_vars[i][r], loss.loss(i, r));
+        }
+        exprs.push(expr);
+    }
+    model.minimize_max(exprs)?;
+
+    let solution = model.solve().map_err(CoreError::from)?;
+
+    let matrix = Matrix::from_fn(size, size, |i, r| solution.value(x_vars[i][r]).clone());
+    // Clamp tiny negative float noise and renormalize rows (a no-op for the
+    // exact backend, where the LP solution is exactly stochastic).
+    let mechanism = Mechanism::from_matrix_normalized(matrix)?;
+    let achieved = consumer.disutility(&mechanism)?;
+    Ok(OptimalMechanism {
+        mechanism,
+        loss: achieved,
+    })
+}
+
+/// Solve the Bayesian analogue of the Section 2.5 LP (the model of Ghosh,
+/// Roughgarden and Sundararajan discussed in Section 2.7): the
+/// α-differentially-private oblivious mechanism minimizing the consumer's
+/// prior-expected loss. The objective is linear, so no epigraph variable is
+/// needed; the privacy and stochasticity constraints are identical to the
+/// minimax LP.
+pub fn bayesian_optimal_mechanism<T: Scalar>(
+    level: &PrivacyLevel<T>,
+    consumer: &crate::consumer::BayesianConsumer<T>,
+) -> Result<OptimalMechanism<T>> {
+    let n = consumer.n();
+    let size = n + 1;
+    let alpha = level.alpha().clone();
+
+    let mut model: Model<T> = Model::new();
+    let mut x_vars = Vec::with_capacity(size);
+    for i in 0..size {
+        x_vars.push(model.add_nonneg_vars(&format!("x_{i}"), size));
+    }
+    for i in 0..size {
+        let mut row_sum = LinExpr::new();
+        for r in 0..size {
+            row_sum.add_term(x_vars[i][r], T::one());
+        }
+        model.add_labeled_constraint(row_sum, Relation::Eq, T::one(), Some(format!("row_{i}")))?;
+    }
+    if !alpha.is_zero_approx() {
+        for i in 0..n {
+            for r in 0..size {
+                let down = LinExpr::term(x_vars[i][r], T::one())
+                    .plus(x_vars[i + 1][r], -alpha.clone());
+                model.add_constraint(down, Relation::Ge, T::zero())?;
+                let up = LinExpr::term(x_vars[i + 1][r], T::one())
+                    .plus(x_vars[i][r], -alpha.clone());
+                model.add_constraint(up, Relation::Ge, T::zero())?;
+            }
+        }
+    }
+    let loss = consumer.loss();
+    let prior = consumer.prior();
+    let mut objective = LinExpr::new();
+    for i in 0..size {
+        if prior[i].is_zero_approx() {
+            continue;
+        }
+        for r in 0..size {
+            objective.add_term(x_vars[i][r], prior[i].clone() * loss.loss(i, r));
+        }
+    }
+    model.set_objective(privmech_lp::Sense::Minimize, objective)?;
+
+    let solution = model.solve().map_err(CoreError::from)?;
+    let matrix = Matrix::from_fn(size, size, |i, r| solution.value(x_vars[i][r]).clone());
+    let mechanism = Mechanism::from_matrix_normalized(matrix)?;
+    let achieved = consumer.disutility(&mechanism)?;
+    Ok(OptimalMechanism {
+        mechanism,
+        loss: achieved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::consumer::SideInformation;
+    use crate::geometric::geometric_mechanism;
+    use crate::interaction::optimal_interaction;
+    use crate::loss::{AbsoluteError, SquaredError, ZeroOneError};
+    use privmech_numerics::{rat, Rational};
+
+    fn paper_consumer() -> MinimaxConsumer<Rational> {
+        MinimaxConsumer::new(
+            "paper-consumer",
+            Arc::new(AbsoluteError),
+            SideInformation::full(3),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn optimal_mechanism_is_private_and_stochastic() {
+        let level = PrivacyLevel::new(rat(1, 4)).unwrap();
+        let consumer = paper_consumer();
+        let opt = optimal_mechanism(&level, &consumer).unwrap();
+        assert!(opt.mechanism.matrix().is_row_stochastic());
+        assert!(opt.mechanism.is_differentially_private(&level));
+        // The optimum cannot be worse than the raw geometric mechanism.
+        let g = geometric_mechanism(3, &level).unwrap();
+        assert!(opt.loss <= consumer.disutility(&g).unwrap());
+    }
+
+    #[test]
+    fn matches_table1a_optimal_loss() {
+        // Table 1(a) of the paper gives the optimal mechanism for the
+        // consumer (|i-r| loss, S = {0..3}, α = 1/4). The table's entries are
+        // rounded, so we compare the worst-case loss of our LP optimum to the
+        // loss achieved by interacting optimally with the geometric mechanism
+        // (Theorem 1 says both are the true optimum).
+        let level = PrivacyLevel::new(rat(1, 4)).unwrap();
+        let consumer = paper_consumer();
+        let opt = optimal_mechanism(&level, &consumer).unwrap();
+        let g = geometric_mechanism(3, &level).unwrap();
+        let interaction = optimal_interaction(&g, &consumer).unwrap();
+        assert_eq!(opt.loss, interaction.loss);
+        // And the optimum is strictly better than not post-processing at all.
+        assert!(opt.loss < consumer.disutility(&g).unwrap());
+    }
+
+    #[test]
+    fn theorem1_for_various_consumers() {
+        // Universal optimality on a small sweep (the full sweep lives in the
+        // experiments crate): for several losses and side-information sets the
+        // consumer's optimal interaction with the geometric mechanism achieves
+        // exactly the tailored LP optimum.
+        let n = 3;
+        let level = PrivacyLevel::new(rat(1, 3)).unwrap();
+        let g = geometric_mechanism(n, &level).unwrap();
+        let losses: Vec<Arc<dyn crate::loss::LossFunction<Rational> + Send + Sync>> = vec![
+            Arc::new(AbsoluteError),
+            Arc::new(SquaredError),
+            Arc::new(ZeroOneError),
+        ];
+        let side_infos = vec![
+            SideInformation::full(n),
+            SideInformation::at_least(n, 2).unwrap(),
+            SideInformation::at_most(n, 1).unwrap(),
+            SideInformation::new(n, vec![0, 3]).unwrap(),
+        ];
+        for loss in &losses {
+            for s in &side_infos {
+                let consumer =
+                    MinimaxConsumer::new("sweep", loss.clone(), s.clone()).unwrap();
+                let tailored = optimal_mechanism(&level, &consumer).unwrap();
+                let interaction = optimal_interaction(&g, &consumer).unwrap();
+                assert_eq!(
+                    tailored.loss, interaction.loss,
+                    "loss {} side-info {:?}",
+                    consumer.loss().name(),
+                    s.members()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bayesian_tailored_optimum_matches_bayesian_interaction_with_geometric() {
+        // The Ghosh–Roughgarden–Sundararajan analogue of Theorem 1: a Bayesian
+        // consumer post-processing the geometric mechanism reaches the optimum
+        // of the Bayesian-tailored LP.
+        use crate::consumer::BayesianConsumer;
+        use crate::interaction::bayesian_optimal_interaction;
+        let n = 3;
+        let level = PrivacyLevel::new(rat(1, 4)).unwrap();
+        let g = geometric_mechanism(n, &level).unwrap();
+        let priors = vec![
+            vec![rat(1, 4); 4],
+            vec![rat(1, 2), rat(1, 4), rat(1, 8), rat(1, 8)],
+            vec![rat(0, 1), rat(0, 1), rat(1, 2), rat(1, 2)],
+        ];
+        for prior in priors {
+            let consumer =
+                BayesianConsumer::new("bayes", Arc::new(AbsoluteError), prior).unwrap();
+            let tailored = bayesian_optimal_mechanism(&level, &consumer).unwrap();
+            let interaction = bayesian_optimal_interaction(&g, &consumer).unwrap();
+            assert!(tailored.mechanism.is_differentially_private(&level));
+            assert_eq!(tailored.loss, interaction.loss);
+            // And the Bayesian optimum is never worse than the minimax optimum
+            // evaluated under the same prior (the minimax mechanism guards
+            // against the worst case, the Bayesian one exploits the prior).
+            let minimax_consumer = MinimaxConsumer::new(
+                "mm",
+                Arc::new(AbsoluteError),
+                SideInformation::full(n),
+            )
+            .unwrap();
+            let minimax_opt = optimal_mechanism(&level, &minimax_consumer).unwrap();
+            let minimax_under_prior = consumer.disutility(&minimax_opt.mechanism).unwrap();
+            assert!(tailored.loss <= minimax_under_prior);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_and_one_edge_cases() {
+        let consumer = paper_consumer();
+        // α = 0: no privacy constraint, the identity achieves zero loss.
+        let zero = PrivacyLevel::new(Rational::zero()).unwrap();
+        let opt = optimal_mechanism(&zero, &consumer).unwrap();
+        assert_eq!(opt.loss, Rational::zero());
+        // α = 1: all rows must be identical; for |i-r| over {0..3} the best
+        // worst-case loss is 3/2 (split mass between outputs 1 and 2 — or any
+        // distribution minimizing the maximum distance to both ends).
+        let one = PrivacyLevel::new(Rational::one()).unwrap();
+        let opt = optimal_mechanism(&one, &consumer).unwrap();
+        assert_eq!(opt.loss, rat(3, 2));
+        assert!(opt.mechanism.is_differentially_private(&one));
+    }
+}

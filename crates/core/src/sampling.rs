@@ -1,0 +1,199 @@
+//! Monte-Carlo utilities: empirical output distributions, total-variation
+//! distance, and collusion experiments over the multi-level release chain.
+//!
+//! These helpers back the statistical experiments (E-ALG1 in DESIGN.md): they
+//! estimate output frequencies of mechanisms and of Algorithm 1's correlated
+//! chain, and quantify how much a coalition of consumers learns by averaging
+//! their releases.
+
+use privmech_linalg::Scalar;
+use rand::Rng;
+
+use crate::error::Result;
+use crate::mechanism::Mechanism;
+use crate::multilevel::MultiLevelRelease;
+
+/// Empirical output distribution of a mechanism on a fixed input.
+pub fn empirical_distribution<T: Scalar, R: Rng + ?Sized>(
+    mechanism: &Mechanism<T>,
+    input: usize,
+    trials: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>> {
+    let mut counts = vec![0usize; mechanism.size()];
+    for _ in 0..trials {
+        counts[mechanism.sample(input, rng)?] += 1;
+    }
+    Ok(counts
+        .into_iter()
+        .map(|c| c as f64 / trials as f64)
+        .collect())
+}
+
+/// Total-variation distance `½ Σ_z |p(z) − q(z)|` between two distributions
+/// given as same-length probability vectors.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn total_variation_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have the same support");
+    0.5 * p
+        .iter()
+        .zip(q.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// Outcome of a collusion experiment: colluding consumers combine their
+/// releases with an inverse-variance-weighted average (the natural de-noising
+/// attack against independent re-randomizations) and compare against using
+/// only the least-private release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollusionSummary {
+    /// Number of Monte-Carlo trials.
+    pub trials: usize,
+    /// Fraction of trials where the coalition's combined-and-rounded guess
+    /// equals the true result.
+    pub coalition_hit_rate: f64,
+    /// Fraction of trials where the single least-private release alone
+    /// (rounded) equals the true result.
+    pub least_private_hit_rate: f64,
+    /// Mean absolute error of the coalition's combined estimate.
+    pub coalition_mean_abs_error: f64,
+    /// Mean absolute error of the least-private release alone.
+    pub least_private_mean_abs_error: f64,
+}
+
+/// Run the collusion experiment on a release strategy.
+///
+/// `correlated = true` uses Algorithm 1 (the chained release); `false` uses the
+/// naive independent re-randomization. The coalition combines its `k` releases
+/// with an inverse-variance-weighted average (the variance of the two-sided
+/// geometric noise at level α is `2α/(1-α)²`), which is the natural averaging
+/// attack the paper warns about. Under the correlated chain this attack gains
+/// nothing over the least-private stage alone (Lemma 4); under the naive
+/// release it cancels noise and the coalition does strictly better.
+pub fn collusion_experiment<T: Scalar, R: Rng + ?Sized>(
+    release: &MultiLevelRelease<T>,
+    true_result: usize,
+    trials: usize,
+    correlated: bool,
+    rng: &mut R,
+) -> Result<CollusionSummary> {
+    // Inverse-variance weights per level; a vacuous weight set falls back to a
+    // plain mean.
+    let mut weights: Vec<f64> = release
+        .levels()
+        .iter()
+        .map(|level| {
+            let a = level.alpha().to_f64();
+            let variance = 2.0 * a / ((1.0 - a) * (1.0 - a)).max(f64::MIN_POSITIVE);
+            if variance <= 0.0 {
+                1.0
+            } else {
+                1.0 / variance
+            }
+        })
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    if !(total_weight.is_finite() && total_weight > 0.0) {
+        weights = vec![1.0; release.levels().len()];
+    }
+
+    let mut coalition_hits = 0usize;
+    let mut least_hits = 0usize;
+    let mut coalition_abs = 0.0f64;
+    let mut least_abs = 0.0f64;
+    for _ in 0..trials {
+        let stages = if correlated {
+            release.release(true_result, rng)?
+        } else {
+            release.release_naive(true_result, rng)?
+        };
+        let least_private = stages[0].value as f64;
+        let total: f64 = stages
+            .iter()
+            .map(|s| weights[s.level_index] * s.value as f64)
+            .sum();
+        let weight_sum: f64 = stages.iter().map(|s| weights[s.level_index]).sum();
+        let estimate = total / weight_sum;
+        if estimate.round() as usize == true_result {
+            coalition_hits += 1;
+        }
+        if least_private.round() as usize == true_result {
+            least_hits += 1;
+        }
+        coalition_abs += (estimate - true_result as f64).abs();
+        least_abs += (least_private - true_result as f64).abs();
+    }
+    Ok(CollusionSummary {
+        trials,
+        coalition_hit_rate: coalition_hits as f64 / trials as f64,
+        least_private_hit_rate: least_hits as f64 / trials as f64,
+        coalition_mean_abs_error: coalition_abs / trials as f64,
+        least_private_mean_abs_error: least_abs / trials as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::PrivacyLevel;
+    use crate::geometric::geometric_mechanism;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_distribution_converges_to_rows() {
+        let level = PrivacyLevel::new(0.3f64).unwrap();
+        let g = geometric_mechanism(5, &level).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let freq = empirical_distribution(&g, 2, 40_000, &mut rng).unwrap();
+        let expected: Vec<f64> = (0..=5).map(|z| *g.prob(2, z).unwrap()).collect();
+        assert!(total_variation_distance(&freq, &expected) < 0.01);
+    }
+
+    #[test]
+    fn total_variation_basics() {
+        assert_eq!(total_variation_distance(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(total_variation_distance(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((total_variation_distance(&[0.5, 0.5], &[0.25, 0.75]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same support")]
+    fn total_variation_rejects_mismatched_lengths() {
+        let _ = total_variation_distance(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn collusion_naive_beats_correlated_coalition() {
+        // With many naive independent releases at the same levels, averaging
+        // reduces error; with the correlated chain it does not help below the
+        // least-private stage's own error.
+        let levels = vec![
+            PrivacyLevel::new(0.4f64).unwrap(),
+            PrivacyLevel::new(0.5f64).unwrap(),
+            PrivacyLevel::new(0.6f64).unwrap(),
+            PrivacyLevel::new(0.7f64).unwrap(),
+        ];
+        let release = MultiLevelRelease::new(10, levels).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let correlated = collusion_experiment(&release, 5, 6_000, true, &mut rng).unwrap();
+        let naive = collusion_experiment(&release, 5, 6_000, false, &mut rng).unwrap();
+        // The naive coalition de-noises better than the correlated coalition.
+        assert!(
+            naive.coalition_mean_abs_error < correlated.coalition_mean_abs_error,
+            "naive {:?} vs correlated {:?}",
+            naive,
+            correlated
+        );
+        // And under correlation the coalition is no better (up to noise) than
+        // the least-private stage alone.
+        assert!(
+            correlated.coalition_mean_abs_error + 0.05
+                >= correlated.least_private_mean_abs_error
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Verification reports: one-stop structural audit of a mechanism.
+//!
+//! The experiment binaries and integration tests use [`audit_mechanism`] to
+//! collect, in a single pass, every structural property the paper cares about:
+//! stochasticity, the best achievable privacy level, whether a target α is
+//! met, and whether the mechanism is derivable from the geometric mechanism at
+//! that α (Theorem 2).
+
+use privmech_linalg::Scalar;
+
+use crate::alpha::PrivacyLevel;
+use crate::derivability::{theorem2_check, DerivabilityCheck};
+use crate::mechanism::Mechanism;
+
+/// A structural audit of a mechanism against a target privacy level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MechanismAudit<T: Scalar> {
+    /// The count-query bound `n`.
+    pub n: usize,
+    /// Whether every row is a probability distribution.
+    pub row_stochastic: bool,
+    /// The largest α for which the mechanism is α-differentially private.
+    pub best_privacy_level: T,
+    /// Whether the mechanism meets the target privacy level.
+    pub meets_target: bool,
+    /// The Theorem 2 characterization outcome at the target level.
+    pub derivability: DerivabilityCheck,
+}
+
+impl<T: Scalar> MechanismAudit<T> {
+    /// True iff the mechanism is stochastic, meets the target α, and is
+    /// derivable from the geometric mechanism at that α.
+    #[must_use]
+    pub fn is_fully_compliant(&self) -> bool {
+        self.row_stochastic && self.meets_target && self.derivability.is_derivable()
+    }
+}
+
+/// Audit a mechanism against a target privacy level.
+#[must_use]
+pub fn audit_mechanism<T: Scalar>(
+    mechanism: &Mechanism<T>,
+    target: &PrivacyLevel<T>,
+) -> MechanismAudit<T> {
+    MechanismAudit {
+        n: mechanism.n(),
+        row_stochastic: mechanism.matrix().is_row_stochastic(),
+        best_privacy_level: mechanism.best_privacy_level(),
+        meets_target: mechanism.is_differentially_private(target),
+        derivability: theorem2_check(mechanism, target),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derivability::appendix_b_mechanism;
+    use crate::geometric::geometric_mechanism;
+    use privmech_numerics::{rat, Rational};
+
+    #[test]
+    fn geometric_mechanism_is_fully_compliant() {
+        let level = PrivacyLevel::new(rat(1, 3)).unwrap();
+        let g = geometric_mechanism(4, &level).unwrap();
+        let audit = audit_mechanism(&g, &level);
+        assert!(audit.is_fully_compliant());
+        assert_eq!(audit.n, 4);
+        assert_eq!(audit.best_privacy_level, rat(1, 3));
+    }
+
+    #[test]
+    fn appendix_b_mechanism_is_private_but_not_compliant() {
+        let level = PrivacyLevel::new(rat(1, 2)).unwrap();
+        let m: Mechanism<Rational> = appendix_b_mechanism();
+        let audit = audit_mechanism(&m, &level);
+        assert!(audit.row_stochastic);
+        assert!(audit.meets_target);
+        assert!(!audit.derivability.is_derivable());
+        assert!(!audit.is_fully_compliant());
+    }
+
+    #[test]
+    fn identity_fails_the_target() {
+        let level = PrivacyLevel::new(rat(1, 2)).unwrap();
+        let id: Mechanism<Rational> = Mechanism::identity(3);
+        let audit = audit_mechanism(&id, &level);
+        assert!(audit.row_stochastic);
+        assert!(!audit.meets_target);
+        assert_eq!(audit.best_privacy_level, Rational::zero());
+        assert!(!audit.is_fully_compliant());
+    }
+}

@@ -1,0 +1,95 @@
+//! Additional invariants of the multi-level release machinery (Section 4.1)
+//! that go beyond the per-module unit tests: transitivity of the "add privacy"
+//! transitions, consistency of chained marginals with direct transitions, and
+//! interaction of the release chain with consumer optimality.
+
+use std::sync::Arc;
+
+use privmech_core::{
+    geometric_mechanism, optimal_interaction, optimal_mechanism, transition_matrix,
+    AbsoluteError, MinimaxConsumer, MultiLevelRelease, PrivacyLevel, SideInformation,
+};
+use privmech_numerics::{rat, Rational};
+
+fn level(num: i64, den: i64) -> PrivacyLevel<Rational> {
+    PrivacyLevel::new(rat(num, den)).unwrap()
+}
+
+#[test]
+fn adding_privacy_is_transitive() {
+    // T_{a,b} · T_{b,c} = T_{a,c}: re-perturbing twice is the same as one
+    // bigger re-perturbation. This is what makes Algorithm 1's chain well
+    // defined regardless of how many intermediate levels exist.
+    let n = 6;
+    let a = level(1, 5);
+    let b = level(1, 2);
+    let c = level(3, 4);
+    let t_ab = transition_matrix(n, &a, &b).unwrap();
+    let t_bc = transition_matrix(n, &b, &c).unwrap();
+    let t_ac = transition_matrix(n, &a, &c).unwrap();
+    assert_eq!(t_ab.matmul(&t_bc).unwrap(), t_ac);
+}
+
+#[test]
+fn transition_to_the_same_level_is_identity_and_composes_with_geometric() {
+    let n = 4;
+    let a = level(1, 3);
+    let t_aa = transition_matrix(n, &a, &a).unwrap();
+    assert_eq!(t_aa, privmech_linalg::Matrix::identity(n + 1));
+
+    // G_{n,a} · T_{a,b} is exactly G_{n,b} for several b >= a.
+    for (num, den) in [(2i64, 5i64), (1, 2), (2, 3), (9, 10)] {
+        let b = level(num, den);
+        let t = transition_matrix(n, &a, &b).unwrap();
+        let g_a = geometric_mechanism(n, &a).unwrap();
+        let g_b = geometric_mechanism(n, &b).unwrap();
+        assert_eq!(g_a.matrix().matmul(&t).unwrap(), *g_b.matrix());
+        // Adding privacy is itself a valid consumer interaction, so the
+        // post-processing API accepts it and produces a valid mechanism.
+        assert_eq!(g_a.post_process(&t).unwrap(), g_b);
+    }
+}
+
+#[test]
+fn consumers_at_every_level_of_a_chain_reach_their_tailored_optimum() {
+    // The end-to-end promise of Theorem 1 + Algorithm 1: release once at
+    // several privacy levels; the consumer reading level i post-processes the
+    // α_i-geometric marginal and does exactly as well as a mechanism designed
+    // for it at that level.
+    let n = 3;
+    let levels = vec![level(1, 4), level(1, 2), level(2, 3)];
+    let release = MultiLevelRelease::new(n, levels.clone()).unwrap();
+    let consumer = MinimaxConsumer::new(
+        "chain-consumer",
+        Arc::new(AbsoluteError),
+        SideInformation::at_least(n, 1).unwrap(),
+    )
+    .unwrap();
+    let mut previous_loss: Option<Rational> = None;
+    for (i, lvl) in levels.iter().enumerate() {
+        let marginal = release.marginal_mechanism(i).unwrap();
+        let interaction = optimal_interaction(&marginal, &consumer).unwrap();
+        let tailored = optimal_mechanism(lvl, &consumer).unwrap();
+        assert_eq!(interaction.loss, tailored.loss, "level {i}");
+        // More privacy (larger α) can only cost utility: the optimal loss is
+        // non-decreasing along the chain.
+        if let Some(prev) = previous_loss {
+            assert!(interaction.loss >= prev, "level {i}");
+        }
+        previous_loss = Some(interaction.loss);
+    }
+}
+
+#[test]
+fn releases_to_absolute_privacy_are_data_independent() {
+    // A chain ending at α = 1 must give the last consumer a mechanism whose
+    // rows are all identical (the output cannot depend on the data).
+    let n = 5;
+    let release = MultiLevelRelease::new(n, vec![level(1, 3), level(1, 1)]).unwrap();
+    let last = release.marginal_mechanism(1).unwrap();
+    let first_row = last.row(0).unwrap().to_vec();
+    for i in 1..=n {
+        assert_eq!(last.row(i).unwrap(), &first_row[..], "row {i}");
+    }
+    assert_eq!(last.best_privacy_level(), Rational::one());
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the paper's core invariants.
+//!
+//! These exercise, on randomized instances, the claims that the unit tests
+//! check on fixed examples: α-DP of the geometric mechanism, the
+//! data-processing inequality, the Theorem 2 characterization (both
+//! directions), Lemma 3 (adding privacy), and Theorem 1 (universal optimality)
+//! on randomly generated consumers.
+
+use std::sync::Arc;
+
+use privmech_core::{
+    derive_from_geometric, geometric_mechanism, optimal_interaction, optimal_mechanism,
+    theorem2_check, AbsoluteError, Mechanism, MinimaxConsumer, PrivacyLevel, SideInformation,
+    SquaredError, TableLoss, ZeroOneError,
+};
+use privmech_linalg::Matrix;
+use privmech_numerics::{rat, Rational};
+use proptest::prelude::*;
+
+/// Random α as a fraction num/den with 0 < num < den <= 9.
+fn arb_alpha() -> impl Strategy<Value = Rational> {
+    (1i64..=8, 2i64..=9)
+        .prop_filter("alpha must be < 1", |(n, d)| n < d)
+        .prop_map(|(n, d)| rat(n, d))
+}
+
+/// A random monotone loss table over {0..=n}: l(i, r) is a random
+/// non-decreasing function of |i - r| (shared per-distance weights per row).
+fn arb_monotone_loss(n: usize) -> impl Strategy<Value = TableLoss<Rational>> {
+    prop::collection::vec(0i64..=4, n + 1).prop_map(move |increments| {
+        // cumulative[d] = sum of increments up to distance d (non-decreasing).
+        let mut cumulative = vec![0i64; n + 1];
+        let mut acc = 0i64;
+        for d in 1..=n {
+            acc += increments[d];
+            cumulative[d] = acc;
+        }
+        let table = Matrix::from_fn(n + 1, n + 1, |i, r| rat(cumulative[i.abs_diff(r)], 1));
+        TableLoss::new(table, "random-monotone").unwrap()
+    })
+}
+
+/// Random non-empty side-information subset of {0..=n}.
+fn arb_side_info(n: usize) -> impl Strategy<Value = SideInformation> {
+    prop::collection::vec(any::<bool>(), n + 1).prop_map(move |mask| {
+        let mut members: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        if members.is_empty() {
+            members.push(n / 2);
+        }
+        SideInformation::new(n, members).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn geometric_is_exactly_alpha_private(n in 1usize..=10, alpha in arb_alpha()) {
+        let level = PrivacyLevel::new(alpha.clone()).unwrap();
+        let g = geometric_mechanism(n, &level).unwrap();
+        prop_assert!(g.matrix().is_row_stochastic());
+        prop_assert!(g.is_differentially_private(&level));
+        prop_assert_eq!(g.best_privacy_level(), alpha);
+    }
+
+    #[test]
+    fn post_processing_preserves_privacy(
+        n in 1usize..=6,
+        alpha in arb_alpha(),
+        weights in prop::collection::vec(1i64..=9, 49),
+    ) {
+        // Data-processing inequality: y α-DP and T stochastic => y·T α-DP.
+        let level = PrivacyLevel::new(alpha).unwrap();
+        let g = geometric_mechanism(n, &level).unwrap();
+        let size = n + 1;
+        let t = Matrix::from_fn(size, size, |i, j| {
+            let row: i64 = weights[(i * size)..(i * size + size)].iter().sum();
+            rat(weights[i * size + j], row)
+        });
+        let induced = g.post_process(&t).unwrap();
+        prop_assert!(induced.is_differentially_private(&level));
+        prop_assert!(induced.best_privacy_level() >= *level.alpha());
+    }
+
+    #[test]
+    fn products_of_geometric_and_stochastic_satisfy_theorem2(
+        n in 1usize..=6,
+        alpha in arb_alpha(),
+        weights in prop::collection::vec(1i64..=9, 49),
+    ) {
+        // Forward direction of Theorem 2: anything of the form G·T passes the
+        // characterization and can be re-factorized.
+        let level = PrivacyLevel::new(alpha).unwrap();
+        let size = n + 1;
+        let t = Matrix::from_fn(size, size, |i, j| {
+            let row: i64 = weights[(i * size)..(i * size + size)].iter().sum();
+            rat(weights[i * size + j], row)
+        });
+        let g = geometric_mechanism(n, &level).unwrap();
+        let derived = g.post_process(&t).unwrap();
+        prop_assert!(theorem2_check(&derived, &level).is_derivable());
+        let recovered = derive_from_geometric(&derived, &level).unwrap();
+        prop_assert_eq!(recovered, t);
+    }
+
+    #[test]
+    fn lemma3_adding_privacy(n in 1usize..=6, a in arb_alpha(), b in arb_alpha()) {
+        // For α <= β the β-geometric mechanism is derivable from the
+        // α-geometric mechanism; for α > β it is not.
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assume!(lo != hi);
+        let lo_level = PrivacyLevel::new(lo).unwrap();
+        let hi_level = PrivacyLevel::new(hi).unwrap();
+        let g_hi = geometric_mechanism(n, &hi_level).unwrap();
+        let g_lo = geometric_mechanism(n, &lo_level).unwrap();
+        // More private (larger α) from less private (smaller α): derivable.
+        let t = derive_from_geometric(&g_hi, &lo_level).unwrap();
+        prop_assert!(t.is_row_stochastic());
+        prop_assert_eq!(g_lo.matrix().matmul(&t).unwrap(), g_hi.matrix().clone());
+        // The reverse direction must fail.
+        prop_assert!(derive_from_geometric(&g_lo, &hi_level).is_err());
+    }
+
+    #[test]
+    fn theorem1_universal_optimality_random_consumers(
+        alpha in arb_alpha(),
+        loss in arb_monotone_loss(3),
+        side in arb_side_info(3),
+    ) {
+        // The consumer's optimal interaction with the geometric mechanism
+        // achieves exactly the tailored LP optimum (n = 3 keeps the exact LPs
+        // fast; the experiments sweep larger n).
+        let level = PrivacyLevel::new(alpha).unwrap();
+        let consumer = MinimaxConsumer::new("random", Arc::new(loss), side).unwrap();
+        let g = geometric_mechanism(3, &level).unwrap();
+        let tailored = optimal_mechanism(&level, &consumer).unwrap();
+        let interaction = optimal_interaction(&g, &consumer).unwrap();
+        prop_assert_eq!(tailored.loss, interaction.loss);
+    }
+
+    #[test]
+    fn optimal_mechanism_dominates_named_losses(n in 2usize..=4, alpha in arb_alpha()) {
+        // The tailored optimum is never worse than the raw geometric mechanism
+        // for each of the three named losses of the paper.
+        let level = PrivacyLevel::new(alpha).unwrap();
+        let g = geometric_mechanism(n, &level).unwrap();
+        let losses: Vec<Arc<dyn privmech_core::LossFunction<Rational> + Send + Sync>> =
+            vec![Arc::new(AbsoluteError), Arc::new(SquaredError), Arc::new(ZeroOneError)];
+        for loss in losses {
+            let consumer =
+                MinimaxConsumer::new("sweep", loss, SideInformation::full(n)).unwrap();
+            let tailored = optimal_mechanism(&level, &consumer).unwrap();
+            prop_assert!(tailored.loss <= consumer.disutility(&g).unwrap());
+            prop_assert!(tailored.mechanism.is_differentially_private(&level));
+        }
+    }
+
+    #[test]
+    fn malformed_mechanisms_are_rejected(n in 1usize..=5, bad_row in 0usize..=5, delta in 1i64..=5) {
+        // Perturbing any single entry of a valid mechanism breaks validation.
+        let level = PrivacyLevel::new(rat(1, 3)).unwrap();
+        let g = geometric_mechanism(n, &level).unwrap();
+        let row = bad_row.min(n);
+        let mut matrix = g.matrix().clone();
+        let bump = matrix[(row, 0)].clone() + rat(delta, 10);
+        matrix[(row, 0)] = bump;
+        prop_assert!(Mechanism::from_matrix(matrix).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # privmech-db
+//!
+//! The database substrate of the paper's running example: rows about
+//! individuals, predicates, count queries, the neighbor relation of
+//! differential privacy, a synthetic "San Diego flu" population generator, and
+//! the Appendix A construction showing that restricting attention to oblivious
+//! mechanisms is without loss of generality.
+//!
+//! ```
+//! use privmech_db::{CountQuery, Predicate, Record, Database};
+//!
+//! let db = Database::new(vec![
+//!     Record::new(34, "San Diego", true, false),
+//!     Record::new(51, "San Diego", false, false),
+//! ]);
+//! let q = CountQuery::new(Predicate::adults_with_flu_in("San Diego"));
+//! assert_eq!(q.evaluate(&db), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oblivious;
+pub mod records;
+
+pub use oblivious::DatabaseMechanism;
+pub use records::{CountQuery, Database, Predicate, Record, SyntheticPopulation};

@@ -1,0 +1,346 @@
+//! The Appendix A construction: obliviousness is without loss of generality.
+//!
+//! A *non-oblivious* mechanism assigns each database its own output
+//! distribution, even when two databases have the same query result. Appendix
+//! A shows that averaging the output distributions over all databases with the
+//! same query result yields an oblivious mechanism that (i) is still
+//! α-differentially private and (ii) has no larger minimax loss. This module
+//! implements that construction over an explicit universe of databases so the
+//! claim can be verified computationally (experiment E-APXA).
+
+use std::collections::BTreeMap;
+
+use privmech_core::{CoreError, LossFunction, Mechanism, PrivacyLevel, Result};
+use privmech_linalg::{Matrix, Scalar};
+
+use crate::records::{CountQuery, Database};
+
+/// A (possibly non-oblivious) mechanism over an explicit universe of
+/// databases: each database has its own distribution over outputs
+/// `{0, …, n}`, where `n` is the (common) number of rows of the databases.
+#[derive(Debug, Clone)]
+pub struct DatabaseMechanism<T: Scalar> {
+    databases: Vec<Database>,
+    /// `rows[d][r]` = probability of releasing `r` on database `d`.
+    rows: Vec<Vec<T>>,
+    query: CountQuery,
+}
+
+impl<T: Scalar> DatabaseMechanism<T> {
+    /// Build a database-level mechanism, validating shapes and stochasticity.
+    pub fn new(databases: Vec<Database>, rows: Vec<Vec<T>>, query: CountQuery) -> Result<Self> {
+        if databases.is_empty() {
+            return Err(CoreError::InvalidMechanism {
+                reason: "at least one database is required".to_string(),
+            });
+        }
+        let n = databases[0].len();
+        if databases.iter().any(|d| d.len() != n) {
+            return Err(CoreError::InvalidMechanism {
+                reason: "all databases must have the same number of rows".to_string(),
+            });
+        }
+        if rows.len() != databases.len() {
+            return Err(CoreError::InvalidMechanism {
+                reason: format!(
+                    "need one distribution per database: {} vs {}",
+                    rows.len(),
+                    databases.len()
+                ),
+            });
+        }
+        for (d, row) in rows.iter().enumerate() {
+            if row.len() != n + 1 {
+                return Err(CoreError::InvalidMechanism {
+                    reason: format!("distribution {d} has length {}, expected {}", row.len(), n + 1),
+                });
+            }
+            let mut sum = T::zero();
+            for v in row {
+                if v.is_negative_approx() {
+                    return Err(CoreError::InvalidMechanism {
+                        reason: format!("negative probability in distribution {d}"),
+                    });
+                }
+                sum = sum + v.clone();
+            }
+            if !sum.approx_eq(&T::one()) {
+                return Err(CoreError::InvalidMechanism {
+                    reason: format!("distribution {d} sums to {sum}, expected 1"),
+                });
+            }
+        }
+        Ok(DatabaseMechanism {
+            databases,
+            rows,
+            query,
+        })
+    }
+
+    /// The database universe.
+    #[must_use]
+    pub fn databases(&self) -> &[Database] {
+        &self.databases
+    }
+
+    /// The common database size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.databases[0].len()
+    }
+
+    /// The query this mechanism answers.
+    #[must_use]
+    pub fn query(&self) -> &CountQuery {
+        &self.query
+    }
+
+    /// True iff the mechanism is oblivious over this universe: databases with
+    /// the same query result have identical output distributions.
+    #[must_use]
+    pub fn is_oblivious(&self) -> bool {
+        let mut seen: BTreeMap<usize, &Vec<T>> = BTreeMap::new();
+        for (db, row) in self.databases.iter().zip(self.rows.iter()) {
+            let count = self.query.evaluate(db);
+            match seen.get(&count) {
+                None => {
+                    seen.insert(count, row);
+                }
+                Some(existing) => {
+                    if existing
+                        .iter()
+                        .zip(row.iter())
+                        .any(|(a, b)| !a.approx_eq(b))
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Check α-differential privacy over every *neighboring* pair of databases
+    /// in the universe (databases differing in at most one row).
+    #[must_use]
+    pub fn is_differentially_private(&self, level: &PrivacyLevel<T>) -> bool {
+        let alpha = level.alpha();
+        if *alpha == T::zero() {
+            return true;
+        }
+        for (a, row_a) in self.databases.iter().zip(self.rows.iter()) {
+            for (b, row_b) in self.databases.iter().zip(self.rows.iter()) {
+                if !a.is_neighbor_of(b) {
+                    continue;
+                }
+                for (pa, pb) in row_a.iter().zip(row_b.iter()) {
+                    if !pb.approx_ge(&(alpha.clone() * pa.clone()))
+                        || !pa.approx_ge(&(alpha.clone() * pb.clone()))
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Worst-case expected loss over databases whose query result lies in the
+    /// side-information set `S` (Equation 5 of Appendix A).
+    pub fn minimax_loss(
+        &self,
+        side_information: &[usize],
+        loss: &dyn LossFunction<T>,
+    ) -> Result<T> {
+        let mut worst: Option<T> = None;
+        for (db, row) in self.databases.iter().zip(self.rows.iter()) {
+            let count = self.query.evaluate(db);
+            if !side_information.contains(&count) {
+                continue;
+            }
+            let mut acc = T::zero();
+            for (r, p) in row.iter().enumerate() {
+                acc = acc + loss.loss(count, r) * p.clone();
+            }
+            worst = Some(match worst {
+                None => acc,
+                Some(w) => w.max_val(acc),
+            });
+        }
+        worst.ok_or_else(|| CoreError::InvalidSideInformation {
+            reason: "no database in the universe has a query result inside S".to_string(),
+        })
+    }
+
+    /// The Appendix A averaging construction: the oblivious mechanism whose
+    /// row for query result `i` is the average of the distributions of all
+    /// databases with that result. Query results not realized by any database
+    /// in the universe fall back to a point mass on themselves (they are never
+    /// reachable, so any valid distribution works).
+    pub fn averaged_oblivious(&self) -> Result<Mechanism<T>> {
+        let n = self.n();
+        let mut sums: Vec<Option<(Vec<T>, usize)>> = vec![None; n + 1];
+        for (db, row) in self.databases.iter().zip(self.rows.iter()) {
+            let count = self.query.evaluate(db);
+            match &mut sums[count] {
+                None => sums[count] = Some((row.clone(), 1)),
+                Some((acc, k)) => {
+                    for (a, v) in acc.iter_mut().zip(row.iter()) {
+                        *a = a.clone() + v.clone();
+                    }
+                    *k += 1;
+                }
+            }
+        }
+        let matrix = Matrix::from_fn(n + 1, n + 1, |i, r| match &sums[i] {
+            Some((acc, k)) => acc[r].clone() / T::from_i64(*k as i64),
+            None => {
+                if i == r {
+                    T::one()
+                } else {
+                    T::zero()
+                }
+            }
+        });
+        Mechanism::from_matrix(matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{Predicate, Record};
+    use privmech_core::AbsoluteError;
+    use privmech_numerics::{rat, Rational};
+
+    /// A tiny universe: two-person databases where each person either has the
+    /// flu or not (region/age/drug fixed), so the query result is 0, 1 or 2.
+    fn tiny_universe() -> (Vec<Database>, CountQuery) {
+        let person = |flu: bool| Record::new(30, "San Diego", flu, false);
+        let dbs = vec![
+            Database::new(vec![person(false), person(false)]),
+            Database::new(vec![person(false), person(true)]),
+            Database::new(vec![person(true), person(false)]),
+            Database::new(vec![person(true), person(true)]),
+        ];
+        let q = CountQuery::new(Predicate::adults_with_flu_in("San Diego"));
+        (dbs, q)
+    }
+
+    /// A non-oblivious ½-DP mechanism: the two databases with count 1 get
+    /// *different* output distributions.
+    fn non_oblivious_mechanism() -> DatabaseMechanism<Rational> {
+        let (dbs, q) = tiny_universe();
+        let rows = vec![
+            vec![rat(1, 2), rat(1, 4), rat(1, 4)],
+            vec![rat(1, 4), rat(1, 2), rat(1, 4)],
+            vec![rat(3, 8), rat(3, 8), rat(1, 4)],
+            vec![rat(1, 4), rat(1, 4), rat(1, 2)],
+        ];
+        DatabaseMechanism::new(dbs, rows, q).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_malformed_inputs() {
+        let (dbs, q) = tiny_universe();
+        assert!(DatabaseMechanism::<Rational>::new(vec![], vec![], q.clone()).is_err());
+        // Wrong number of rows.
+        assert!(
+            DatabaseMechanism::new(dbs.clone(), vec![vec![rat(1, 1); 3]; 2], q.clone()).is_err()
+        );
+        // Wrong distribution length.
+        assert!(DatabaseMechanism::new(
+            dbs.clone(),
+            vec![vec![rat(1, 2), rat(1, 2)]; 4],
+            q.clone()
+        )
+        .is_err());
+        // Negative probability.
+        let mut rows = vec![vec![rat(1, 3); 3]; 4];
+        rows[0] = vec![rat(3, 2), rat(-1, 4), rat(-1, 4)];
+        assert!(DatabaseMechanism::new(dbs.clone(), rows, q.clone()).is_err());
+        // Mixed database sizes.
+        let mut mixed = dbs.clone();
+        mixed[0] = Database::new(vec![Record::new(30, "San Diego", false, false)]);
+        assert!(DatabaseMechanism::new(mixed, vec![vec![rat(1, 3); 3]; 4], q).is_err());
+    }
+
+    #[test]
+    fn obliviousness_detection() {
+        let m = non_oblivious_mechanism();
+        assert!(!m.is_oblivious());
+        assert_eq!(m.n(), 2);
+        // Making the two count-1 databases share a distribution restores
+        // obliviousness.
+        let (dbs, q) = tiny_universe();
+        let rows = vec![
+            vec![rat(1, 2), rat(1, 4), rat(1, 4)],
+            vec![rat(1, 4), rat(1, 2), rat(1, 4)],
+            vec![rat(1, 4), rat(1, 2), rat(1, 4)],
+            vec![rat(1, 4), rat(1, 4), rat(1, 2)],
+        ];
+        let oblivious = DatabaseMechanism::new(dbs, rows, q).unwrap();
+        assert!(oblivious.is_oblivious());
+    }
+
+    #[test]
+    fn averaging_preserves_privacy_and_does_not_increase_loss() {
+        // The Appendix A claim on the tiny universe.
+        let m = non_oblivious_mechanism();
+        let half = PrivacyLevel::new(rat(1, 2)).unwrap();
+        assert!(m.is_differentially_private(&half));
+
+        let averaged = m.averaged_oblivious().unwrap();
+        assert!(averaged.matrix().is_row_stochastic());
+        assert!(averaged.is_differentially_private(&half));
+
+        let s: Vec<usize> = vec![0, 1, 2];
+        let loss = AbsoluteError;
+        let non_oblivious_loss = m.minimax_loss(&s, &loss).unwrap();
+        let oblivious_loss = averaged
+            .minimax_loss(&s, &loss)
+            .unwrap();
+        assert!(oblivious_loss <= non_oblivious_loss);
+    }
+
+    #[test]
+    fn averaged_rows_are_the_group_averages() {
+        let m = non_oblivious_mechanism();
+        let averaged = m.averaged_oblivious().unwrap();
+        // Count 1 is realized by two databases with distributions
+        // (1/4,1/2,1/4) and (3/8,3/8,1/4); the average is (5/16, 7/16, 1/4).
+        assert_eq!(*averaged.prob(1, 0).unwrap(), rat(5, 16));
+        assert_eq!(*averaged.prob(1, 1).unwrap(), rat(7, 16));
+        assert_eq!(*averaged.prob(1, 2).unwrap(), rat(1, 4));
+        // Counts 0 and 2 are realized by a single database each.
+        assert_eq!(*averaged.prob(0, 0).unwrap(), rat(1, 2));
+        assert_eq!(*averaged.prob(2, 2).unwrap(), rat(1, 2));
+    }
+
+    #[test]
+    fn minimax_loss_requires_reachable_side_information() {
+        let m = non_oblivious_mechanism();
+        assert!(m.minimax_loss(&[7], &AbsoluteError).is_err());
+        let full = m.minimax_loss(&[0, 1, 2], &AbsoluteError).unwrap();
+        let restricted = m.minimax_loss(&[1], &AbsoluteError).unwrap();
+        assert!(restricted <= full);
+    }
+
+    #[test]
+    fn dp_check_detects_violations_between_neighbors() {
+        let (dbs, q) = tiny_universe();
+        // Database 0 (count 0) and database 1 (count 1) are neighbors; give
+        // them wildly different distributions.
+        let rows = vec![
+            vec![rat(1, 1), rat(0, 1), rat(0, 1)],
+            vec![rat(0, 1), rat(1, 1), rat(0, 1)],
+            vec![rat(0, 1), rat(1, 1), rat(0, 1)],
+            vec![rat(0, 1), rat(0, 1), rat(1, 1)],
+        ];
+        let m = DatabaseMechanism::new(dbs, rows, q).unwrap();
+        let half = PrivacyLevel::new(rat(1, 2)).unwrap();
+        assert!(!m.is_differentially_private(&half));
+        let zero = PrivacyLevel::new(Rational::zero()).unwrap();
+        assert!(m.is_differentially_private(&zero));
+    }
+}

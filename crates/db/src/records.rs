@@ -1,0 +1,367 @@
+//! The database substrate of the paper's running example: rows about
+//! individuals, predicates over rows, count queries, and the neighboring
+//! relation of differential privacy.
+//!
+//! The paper's motivating query is *"How many adults from San Diego contracted
+//! the flu this October?"*. The mechanisms only ever see the true count, so
+//! any synthetic dataset with configurable prevalence exercises exactly the
+//! same code paths as the (unavailable) real data — see the substitution table
+//! in DESIGN.md.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::Rng;
+
+/// A single individual's row in the database domain `D`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// Age in years.
+    pub age: u32,
+    /// Region of residence (e.g. "San Diego").
+    pub region: String,
+    /// Whether the individual contracted the flu in the reporting period.
+    pub contracted_flu: bool,
+    /// Whether the individual bought the drug company's flu drug.
+    pub bought_drug: bool,
+}
+
+impl Record {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(age: u32, region: impl Into<String>, contracted_flu: bool, bought_drug: bool) -> Self {
+        Record {
+            age,
+            region: region.into(),
+            contracted_flu,
+            bought_drug,
+        }
+    }
+
+    /// True iff the individual is an adult (age ≥ 18).
+    #[must_use]
+    pub fn is_adult(&self) -> bool {
+        self.age >= 18
+    }
+}
+
+/// A predicate over rows; a count query counts the rows satisfying it.
+#[derive(Clone)]
+pub struct Predicate {
+    name: String,
+    test: Arc<dyn Fn(&Record) -> bool + Send + Sync>,
+}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Predicate({})", self.name)
+    }
+}
+
+impl Predicate {
+    /// Build a predicate from a closure.
+    pub fn new(name: impl Into<String>, test: impl Fn(&Record) -> bool + Send + Sync + 'static) -> Self {
+        Predicate {
+            name: name.into(),
+            test: Arc::new(test),
+        }
+    }
+
+    /// The paper's running example: adults in `region` who contracted the flu.
+    #[must_use]
+    pub fn adults_with_flu_in(region: &str) -> Self {
+        let region = region.to_string();
+        Predicate::new(
+            format!("adults with flu in {region}"),
+            move |r: &Record| r.is_adult() && r.contracted_flu && r.region == region,
+        )
+    }
+
+    /// Individuals who bought the flu drug (the drug company's side information).
+    #[must_use]
+    pub fn bought_drug() -> Self {
+        Predicate::new("bought the flu drug", |r: &Record| r.bought_drug)
+    }
+
+    /// Evaluate the predicate on a row.
+    #[must_use]
+    pub fn matches(&self, record: &Record) -> bool {
+        (self.test)(record)
+    }
+
+    /// The predicate's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Conjunction of two predicates.
+    #[must_use]
+    pub fn and(self, other: Predicate) -> Predicate {
+        let name = format!("({}) and ({})", self.name, other.name);
+        Predicate::new(name, move |r: &Record| self.matches(r) && other.matches(r))
+    }
+
+    /// Disjunction of two predicates.
+    #[must_use]
+    pub fn or(self, other: Predicate) -> Predicate {
+        let name = format!("({}) or ({})", self.name, other.name);
+        Predicate::new(name, move |r: &Record| self.matches(r) || other.matches(r))
+    }
+
+    /// Negation of a predicate.
+    #[must_use]
+    pub fn not(self) -> Predicate {
+        let name = format!("not ({})", self.name);
+        Predicate::new(name, move |r: &Record| !self.matches(r))
+    }
+}
+
+/// A database: a fixed-size collection of rows, one per individual.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Database {
+    rows: Vec<Record>,
+}
+
+impl Database {
+    /// Wrap a vector of rows.
+    #[must_use]
+    pub fn new(rows: Vec<Record>) -> Self {
+        Database { rows }
+    }
+
+    /// Number of rows `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the database has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow the rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Record] {
+        &self.rows
+    }
+
+    /// Replace a single row, producing a neighboring database.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn with_row_replaced(&self, index: usize, record: Record) -> Database {
+        let mut rows = self.rows.clone();
+        rows[index] = record;
+        Database { rows }
+    }
+
+    /// Number of rows in which two equal-sized databases differ.
+    ///
+    /// Returns `None` if the databases have different sizes (the neighbor
+    /// relation of Definition 2 is only defined for equal-sized databases).
+    #[must_use]
+    pub fn hamming_distance(&self, other: &Database) -> Option<usize> {
+        if self.len() != other.len() {
+            return None;
+        }
+        Some(
+            self.rows
+                .iter()
+                .zip(other.rows.iter())
+                .filter(|(a, b)| a != b)
+                .count(),
+        )
+    }
+
+    /// True iff the databases differ in at most one individual's data.
+    #[must_use]
+    pub fn is_neighbor_of(&self, other: &Database) -> bool {
+        matches!(self.hamming_distance(other), Some(0) | Some(1))
+    }
+}
+
+/// A count query: the number of rows satisfying a predicate, a value in
+/// `{0, …, n}`.
+#[derive(Debug, Clone)]
+pub struct CountQuery {
+    predicate: Predicate,
+}
+
+impl CountQuery {
+    /// Build a count query from a predicate.
+    #[must_use]
+    pub fn new(predicate: Predicate) -> Self {
+        CountQuery { predicate }
+    }
+
+    /// The underlying predicate.
+    #[must_use]
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// Evaluate the query on a database.
+    #[must_use]
+    pub fn evaluate(&self, db: &Database) -> usize {
+        db.rows().iter().filter(|r| self.predicate.matches(r)).count()
+    }
+
+    /// The sensitivity of a count query: changing one row changes the result
+    /// by at most one. Exposed as a method (always 1) so the bound the paper
+    /// relies on is explicit and testable.
+    #[must_use]
+    pub fn sensitivity(&self) -> usize {
+        1
+    }
+}
+
+/// Parameters of the synthetic "San Diego flu" population generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticPopulation {
+    /// Number of individuals.
+    pub size: usize,
+    /// Probability that an individual is an adult.
+    pub adult_rate: f64,
+    /// Probability that an adult contracted the flu.
+    pub flu_rate: f64,
+    /// Probability that an individual with the flu bought the drug.
+    pub drug_rate_given_flu: f64,
+    /// Probability that an individual without the flu bought the drug.
+    pub drug_rate_without_flu: f64,
+}
+
+impl Default for SyntheticPopulation {
+    fn default() -> Self {
+        SyntheticPopulation {
+            size: 1000,
+            adult_rate: 0.75,
+            flu_rate: 0.08,
+            drug_rate_given_flu: 0.6,
+            drug_rate_without_flu: 0.05,
+        }
+    }
+}
+
+impl SyntheticPopulation {
+    /// Generate a synthetic database for the given region.
+    pub fn generate<R: Rng + ?Sized>(&self, region: &str, rng: &mut R) -> Database {
+        let rows = (0..self.size)
+            .map(|_| {
+                let adult = rng.gen_bool(self.adult_rate.clamp(0.0, 1.0));
+                let age = if adult {
+                    rng.gen_range(18..=95)
+                } else {
+                    rng.gen_range(0..18)
+                };
+                let flu = rng.gen_bool(self.flu_rate.clamp(0.0, 1.0));
+                let drug_rate = if flu {
+                    self.drug_rate_given_flu
+                } else {
+                    self.drug_rate_without_flu
+                };
+                let drug = rng.gen_bool(drug_rate.clamp(0.0, 1.0));
+                Record::new(age, region, flu, drug)
+            })
+            .collect();
+        Database::new(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_db() -> Database {
+        Database::new(vec![
+            Record::new(34, "San Diego", true, true),
+            Record::new(12, "San Diego", true, false),
+            Record::new(60, "San Diego", false, false),
+            Record::new(45, "Sacramento", true, true),
+        ])
+    }
+
+    #[test]
+    fn predicates_and_count_queries() {
+        let db = sample_db();
+        let q = CountQuery::new(Predicate::adults_with_flu_in("San Diego"));
+        assert_eq!(q.evaluate(&db), 1);
+        assert_eq!(q.sensitivity(), 1);
+        let drug = CountQuery::new(Predicate::bought_drug());
+        assert_eq!(drug.evaluate(&db), 2);
+        let both = CountQuery::new(
+            Predicate::adults_with_flu_in("San Diego").and(Predicate::bought_drug()),
+        );
+        assert_eq!(both.evaluate(&db), 1);
+        let either = CountQuery::new(
+            Predicate::adults_with_flu_in("San Diego").or(Predicate::bought_drug()),
+        );
+        assert_eq!(either.evaluate(&db), 2);
+        let neither = CountQuery::new(Predicate::bought_drug().not());
+        assert_eq!(neither.evaluate(&db), 2);
+        assert!(Predicate::bought_drug().name().contains("drug"));
+        assert!(format!("{:?}", Predicate::bought_drug()).contains("Predicate"));
+    }
+
+    #[test]
+    fn neighbors_and_hamming_distance() {
+        let db = sample_db();
+        assert_eq!(db.len(), 4);
+        assert!(!db.is_empty());
+        assert!(db.is_neighbor_of(&db));
+        let neighbor = db.with_row_replaced(1, Record::new(30, "San Diego", false, false));
+        assert_eq!(db.hamming_distance(&neighbor), Some(1));
+        assert!(db.is_neighbor_of(&neighbor));
+        let far = neighbor.with_row_replaced(0, Record::new(2, "Fresno", false, false));
+        assert_eq!(db.hamming_distance(&far), Some(2));
+        assert!(!db.is_neighbor_of(&far));
+        let smaller = Database::new(db.rows()[..2].to_vec());
+        assert_eq!(db.hamming_distance(&smaller), None);
+        assert!(!db.is_neighbor_of(&smaller));
+    }
+
+    #[test]
+    fn count_query_changes_by_at_most_one_on_neighbors() {
+        let db = sample_db();
+        let q = CountQuery::new(Predicate::adults_with_flu_in("San Diego"));
+        let base = q.evaluate(&db);
+        for i in 0..db.len() {
+            for replacement in [
+                Record::new(40, "San Diego", true, false),
+                Record::new(5, "San Diego", false, false),
+                Record::new(70, "Sacramento", true, true),
+            ] {
+                let neighbor = db.with_row_replaced(i, replacement);
+                let value = q.evaluate(&neighbor);
+                assert!(base.abs_diff(value) <= q.sensitivity());
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_population_matches_parameters_roughly() {
+        let params = SyntheticPopulation {
+            size: 5000,
+            adult_rate: 0.8,
+            flu_rate: 0.1,
+            drug_rate_given_flu: 0.5,
+            drug_rate_without_flu: 0.02,
+        };
+        let mut rng = StdRng::seed_from_u64(2024);
+        let db = params.generate("San Diego", &mut rng);
+        assert_eq!(db.len(), 5000);
+        let adults = db.rows().iter().filter(|r| r.is_adult()).count() as f64 / 5000.0;
+        assert!((adults - 0.8).abs() < 0.03);
+        let flu = db.rows().iter().filter(|r| r.contracted_flu).count() as f64 / 5000.0;
+        assert!((flu - 0.1).abs() < 0.02);
+        // The query result is bounded by the database size, as the paper's
+        // "population of San Diego" side information requires.
+        let q = CountQuery::new(Predicate::adults_with_flu_in("San Diego"));
+        assert!(q.evaluate(&db) <= db.len());
+    }
+}

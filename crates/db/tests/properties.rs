@@ -1,0 +1,101 @@
+//! Property-based tests for the database substrate: count-query sensitivity,
+//! neighbor symmetry, and the Appendix A averaging construction on random
+//! non-oblivious mechanisms.
+
+use privmech_core::{AbsoluteError, PrivacyLevel};
+use privmech_db::{CountQuery, Database, DatabaseMechanism, Predicate, Record};
+use privmech_numerics::{rat, Rational};
+use proptest::prelude::*;
+
+fn record_from_bits(flu: bool, drug: bool) -> Record {
+    Record::new(40, "San Diego", flu, drug)
+}
+
+/// All 2^n databases over n binary (flu) individuals.
+fn boolean_universe(n: usize) -> Vec<Database> {
+    (0..(1usize << n))
+        .map(|mask| {
+            Database::new(
+                (0..n)
+                    .map(|i| record_from_bits((mask >> i) & 1 == 1, false))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_query_sensitivity_is_one(
+        flu in prop::collection::vec(any::<bool>(), 1..12),
+        replace_index in 0usize..12,
+        new_flu in any::<bool>(),
+        new_drug in any::<bool>(),
+    ) {
+        let db = Database::new(flu.iter().map(|&f| record_from_bits(f, false)).collect());
+        let idx = replace_index % db.len();
+        let neighbor = db.with_row_replaced(idx, record_from_bits(new_flu, new_drug));
+        let q = CountQuery::new(Predicate::adults_with_flu_in("San Diego"));
+        prop_assert!(db.is_neighbor_of(&neighbor));
+        prop_assert!(neighbor.is_neighbor_of(&db));
+        prop_assert!(q.evaluate(&db).abs_diff(q.evaluate(&neighbor)) <= 1);
+        prop_assert!(q.evaluate(&db) <= db.len());
+    }
+
+    #[test]
+    fn hamming_distance_is_symmetric_and_bounded(
+        a in prop::collection::vec(any::<bool>(), 6),
+        b in prop::collection::vec(any::<bool>(), 6),
+    ) {
+        let da = Database::new(a.iter().map(|&f| record_from_bits(f, false)).collect());
+        let db_ = Database::new(b.iter().map(|&f| record_from_bits(f, false)).collect());
+        let d1 = da.hamming_distance(&db_).unwrap();
+        let d2 = db_.hamming_distance(&da).unwrap();
+        prop_assert_eq!(d1, d2);
+        prop_assert!(d1 <= 6);
+        prop_assert_eq!(da.hamming_distance(&da), Some(0));
+    }
+
+    #[test]
+    fn averaging_random_noisy_mechanisms_preserves_privacy_and_loss(
+        weights in prop::collection::vec(1i64..=6, 8 * 4),
+    ) {
+        // Universe: all 8 databases over 3 binary rows. Build a non-oblivious
+        // mechanism by perturbing the geometric row for each database with
+        // database-specific weights, then mixing enough uniform mass to keep
+        // neighboring databases within a factor 2 of each other.
+        let n = 3usize;
+        let dbs = boolean_universe(n);
+        let q = CountQuery::new(Predicate::adults_with_flu_in("San Diego"));
+        // Each database's distribution: 3/4 uniform + 1/4 private weights.
+        let rows: Vec<Vec<Rational>> = dbs
+            .iter()
+            .enumerate()
+            .map(|(d, _)| {
+                let w = &weights[d * (n + 1)..(d + 1) * (n + 1)];
+                let total: i64 = w.iter().sum();
+                (0..=n)
+                    .map(|r| rat(3, 4) * rat(1, (n + 1) as i64) + rat(1, 4) * rat(w[r], total))
+                    .collect()
+            })
+            .collect();
+        let mechanism = DatabaseMechanism::new(dbs, rows, q).unwrap();
+        // The uniform floor of 3/16 against a maximum entry of 3/16 + 1/4
+        // keeps every ratio within [6/16 / ... ] — concretely within 1/2.37,
+        // so α = 2/5 is always satisfied.
+        let level = PrivacyLevel::new(rat(2, 5)).unwrap();
+        prop_assert!(mechanism.is_differentially_private(&level));
+
+        let averaged = mechanism.averaged_oblivious().unwrap();
+        prop_assert!(averaged.matrix().is_row_stochastic());
+        prop_assert!(averaged.is_differentially_private(&level));
+
+        let s: Vec<usize> = (0..=n).collect();
+        let loss = AbsoluteError;
+        let before = mechanism.minimax_loss(&s, &loss).unwrap();
+        let after = averaged.minimax_loss(&s, &loss).unwrap();
+        prop_assert!(after <= before);
+    }
+}

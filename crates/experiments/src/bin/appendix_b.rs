@@ -1,0 +1,70 @@
+//! Experiment E-APXB — Appendix B: a differentially private mechanism that is
+//! not derivable from the geometric mechanism.
+//!
+//! The paper exhibits an explicit ½-DP mechanism M over {0,…,3} and shows that
+//! the Theorem 2 condition fails in one column, so M ≠ G_{3,1/2}·T for any
+//! stochastic T. We verify (exactly) that M is ½-DP, locate the violated
+//! window, and also compute G⁻¹·M explicitly to exhibit the negative entry.
+
+use privmech_core::{
+    appendix_b_mechanism, geometric_mechanism, theorem2_check, DerivabilityCheck, Mechanism,
+    PrivacyLevel,
+};
+use privmech_experiments::{print_matrix, section};
+use privmech_numerics::{rat, Rational};
+
+fn main() {
+    let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 2)).unwrap();
+    let m: Mechanism<Rational> = appendix_b_mechanism();
+
+    section("Appendix B mechanism M (paper's matrix)");
+    print_matrix("M", m.matrix());
+    println!(
+        "row-stochastic: {}; is 1/2-differentially private: {}; best privacy level: {}",
+        m.matrix().is_row_stochastic(),
+        m.is_differentially_private(&level),
+        m.best_privacy_level()
+    );
+
+    section("Theorem 2 characterization");
+    match theorem2_check(&m, &level) {
+        DerivabilityCheck::Derivable => {
+            println!("UNEXPECTED: the characterization claims M is derivable");
+        }
+        DerivabilityCheck::Violated { column, row } => {
+            println!(
+                "violated in column {column}, rows {row}..{}; paper checks column 1 entries (2/9, 1/9, 2/9):",
+                row + 2
+            );
+            let alpha = level.alpha().clone();
+            let x1 = m.prob(row, column).unwrap().clone();
+            let x2 = m.prob(row + 1, column).unwrap().clone();
+            let x3 = m.prob(row + 2, column).unwrap().clone();
+            let value = (Rational::one() + alpha.clone() * alpha.clone()) * x2
+                - alpha * (x1 + x3);
+            println!(
+                "(1+α²)·x2 − α·(x1+x3) = {value} ≈ {:.4}  (paper reports −0.75/9 ≈ −0.0833)",
+                value.to_f64()
+            );
+        }
+    }
+
+    section("Explicit factorization attempt T = G⁻¹·M");
+    let g = geometric_mechanism(3, &level).unwrap();
+    let inv = g.matrix().inverse().unwrap();
+    let t = inv.matmul(m.matrix()).unwrap();
+    print_matrix("G_{3,1/2}⁻¹ · M (must contain a negative entry)", &t);
+    let negative: Vec<(usize, usize)> = (0..4)
+        .flat_map(|i| (0..4).map(move |j| (i, j)))
+        .filter(|&(i, j)| t[(i, j)].is_negative())
+        .collect();
+    println!("negative entries at positions: {negative:?}");
+    println!(
+        "generalized-stochastic (unit row sums, as the stochastic-group argument requires): {}",
+        t.is_generalized_stochastic()
+    );
+    println!(
+        "conclusion: M is {} from the geometric mechanism — matches Appendix B",
+        if negative.is_empty() { "derivable" } else { "NOT derivable" }
+    );
+}

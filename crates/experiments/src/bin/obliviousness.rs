@@ -1,0 +1,111 @@
+//! Experiment E-APXA — Appendix A: restricting to oblivious mechanisms is
+//! without loss of generality.
+//!
+//! We enumerate the universe of 2^5 databases over five binary individuals,
+//! build a deliberately non-oblivious differentially-private mechanism
+//! (databases with the same count get different output distributions), apply
+//! the paper's averaging construction, and verify that the averaged oblivious
+//! mechanism is still differentially private and has no larger worst-case
+//! loss — for several loss functions and side-information sets.
+
+use privmech_core::{AbsoluteError, LossFunction, PrivacyLevel, SquaredError, ZeroOneError};
+use privmech_db::{CountQuery, Database, DatabaseMechanism, Predicate, Record};
+use privmech_experiments::{section, Tally};
+use privmech_numerics::{rat, Rational};
+
+/// All 2^n databases over n binary (flu / no flu) individuals.
+fn boolean_universe(n: usize) -> Vec<Database> {
+    (0..(1usize << n))
+        .map(|mask| {
+            Database::new(
+                (0..n)
+                    .map(|i| Record::new(40, "San Diego", (mask >> i) & 1 == 1, false))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let n = 5usize;
+    let dbs = boolean_universe(n);
+    let query = CountQuery::new(Predicate::adults_with_flu_in("San Diego"));
+
+    section("Constructing a non-oblivious 2/5-DP mechanism over all 32 databases (n = 5)");
+    // Each database's output distribution: a uniform floor of (4/5)/(n+1) plus
+    // a bump of 1/5 whose position depends on the *identity pattern* of the
+    // database (not just its count), making the mechanism deliberately
+    // non-oblivious. Every entry is either 2/15 or 1/3, so every pair of
+    // databases is within a factor 2.5 = 1/(2/5) and the mechanism is 2/5-DP.
+    let rows: Vec<Vec<Rational>> = dbs
+        .iter()
+        .enumerate()
+        .map(|(d, db)| {
+            let count = query.evaluate(db);
+            let bump_target = (count + d % 2) % (n + 1);
+            (0..=n)
+                .map(|r| {
+                    let floor = rat(4, 5) * rat(1, (n + 1) as i64);
+                    if r == bump_target {
+                        floor + rat(1, 5)
+                    } else {
+                        floor
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mechanism = DatabaseMechanism::new(dbs, rows, query).unwrap();
+    let level = PrivacyLevel::new(rat(2, 5)).unwrap();
+    println!("is oblivious: {}", mechanism.is_oblivious());
+    println!(
+        "is 2/5-differentially private over all neighboring database pairs: {}",
+        mechanism.is_differentially_private(&level)
+    );
+
+    section("Appendix A averaging construction");
+    let averaged = mechanism.averaged_oblivious().unwrap();
+    println!(
+        "averaged mechanism row-stochastic: {}; 2/5-DP (count-query form): {}",
+        averaged.matrix().is_row_stochastic(),
+        averaged.is_differentially_private(&level)
+    );
+
+    section("Loss comparison: averaged oblivious never loses (Lemma 6)");
+    let losses: Vec<(&str, Box<dyn LossFunction<Rational>>)> = vec![
+        ("absolute", Box::new(AbsoluteError)),
+        ("squared", Box::new(SquaredError)),
+        ("zero-one", Box::new(ZeroOneError)),
+    ];
+    let side_infos: Vec<(&str, Vec<usize>)> = vec![
+        ("full", (0..=n).collect()),
+        ("at-least-3", (3..=n).collect()),
+        ("endpoints", vec![0, n]),
+    ];
+    println!(
+        "{:<10} {:<12} {:>18} {:>18} {:>8}",
+        "loss", "side-info", "non-oblivious", "averaged oblivious", "<= ?"
+    );
+    let mut tally = Tally::default();
+    for (loss_name, loss) in &losses {
+        for (side_name, side) in &side_infos {
+            let before = mechanism.minimax_loss(side, loss.as_ref()).unwrap();
+            let after = averaged.minimax_loss(side, loss.as_ref()).unwrap();
+            let ok = after <= before;
+            tally.record(ok);
+            println!(
+                "{:<10} {:<12} {:>18.5} {:>18.5} {:>8}",
+                loss_name,
+                side_name,
+                before.to_f64(),
+                after.to_f64(),
+                ok
+            );
+        }
+    }
+    let all_ok = tally.report("Appendix A checks");
+    println!(
+        "obliviousness-WLOG claim reproduced: {}",
+        if all_ok { "PASS" } else { "FAIL" }
+    );
+}

@@ -1,0 +1,119 @@
+//! Experiment E-TAB1 — Table 1 of the paper.
+//!
+//! Table 1 shows, for the consumer with loss `|i-r|`, side information
+//! `S = {0,1,2,3}`, `n = 3` and `α = 1/4`:
+//!   (a) the optimal mechanism tailored to the consumer,
+//!   (b) the (rescaled) geometric mechanism `G_{3,1/4}`, and
+//!   (c) the consumer's optimal interaction with the geometric mechanism.
+//!
+//! We regenerate all three with exact rational arithmetic. The paper's printed
+//! fractions are rounded (its Table 1(a) rows do not sum to one), so the
+//! factor-level comparison is: the exact optimum we compute is at least as
+//! good as — and within 1% of — the loss achieved by the paper's printed
+//! matrices, and Theorem 1's equality (tailored optimum = interaction with the
+//! geometric mechanism) holds exactly.
+
+use std::sync::Arc;
+
+use privmech_core::{
+    geometric_mechanism, optimal_interaction, optimal_mechanism, table1b_scaled_geometric,
+    AbsoluteError, MinimaxConsumer, PrivacyLevel, SideInformation,
+};
+use privmech_experiments::{print_matrix, print_matrix_decimal, section};
+use privmech_linalg::Matrix;
+use privmech_numerics::{rat, Rational};
+
+fn main() {
+    let n = 3usize;
+    let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).unwrap();
+    let consumer = MinimaxConsumer::new(
+        "table-1 consumer (|i-r| loss, S = {0,1,2,3})",
+        Arc::new(AbsoluteError),
+        SideInformation::full(n),
+    )
+    .unwrap();
+
+    section("Table 1(b): the geometric mechanism G_{3,1/4}");
+    let g = geometric_mechanism(n, &level).unwrap();
+    print_matrix("reproduced G_{3,1/4} (row-stochastic form)", g.matrix());
+    let scaled = table1b_scaled_geometric(n, level.alpha());
+    print_matrix(
+        "reproduced (1+α)/(1-α) · G_{3,1/4} — the scaling the paper actually prints",
+        &scaled,
+    );
+    let paper_b = Matrix::from_rows(vec![
+        vec![rat(4, 3), rat(1, 4), rat(1, 16), rat(1, 48)],
+        vec![rat(1, 3), rat(1, 1), rat(1, 4), rat(1, 12)],
+        vec![rat(1, 12), rat(1, 4), rat(1, 1), rat(1, 3)],
+        vec![rat(1, 48), rat(1, 16), rat(1, 4), rat(4, 3)],
+    ])
+    .unwrap();
+    println!(
+        "matches the paper's Table 1(b) entries exactly: {}",
+        scaled == paper_b
+    );
+
+    section("Table 1(a): optimal mechanism tailored to the consumer (Section 2.5 LP)");
+    let tailored = optimal_mechanism(&level, &consumer).unwrap();
+    print_matrix("reproduced optimal mechanism (exact)", tailored.mechanism.matrix());
+    print_matrix_decimal("reproduced optimal mechanism", tailored.mechanism.matrix());
+    println!("paper Table 1(a) (rounded by the authors):");
+    println!("[ 2/3  5/17  1/25  1/98 ]");
+    println!("[ 1/6  7/11  7/44  2/49 ]");
+    println!("[ 2/49 7/44  7/11  1/6  ]");
+    println!("[ 1/98 1/25  5/17  2/3  ]");
+    println!(
+        "reproduced optimal worst-case loss = {} ≈ {:.5}",
+        tailored.loss,
+        tailored.loss.to_f64()
+    );
+    println!(
+        "is α-differentially private: {}",
+        tailored.mechanism.is_differentially_private(&level)
+    );
+
+    section("Table 1(c): the consumer's optimal interaction with G_{3,1/4} (Section 2.4.3 LP)");
+    let interaction = optimal_interaction(&g, &consumer).unwrap();
+    print_matrix("reproduced optimal interaction T*", &interaction.post_processing);
+    print_matrix_decimal("reproduced optimal interaction T*", &interaction.post_processing);
+    println!("paper Table 1(c) (rounded by the authors):");
+    println!("[ 9/11 2/11 0    0    ]");
+    println!("[ 0    1    0    0    ]");
+    println!("[ 0    0    1    0    ]");
+    println!("[ 0    0    2/11 9/11 ]");
+    let paper_c = Matrix::from_rows(vec![
+        vec![rat(9, 11), rat(2, 11), rat(0, 1), rat(0, 1)],
+        vec![rat(0, 1), rat(1, 1), rat(0, 1), rat(0, 1)],
+        vec![rat(0, 1), rat(0, 1), rat(1, 1), rat(0, 1)],
+        vec![rat(0, 1), rat(0, 1), rat(2, 11), rat(9, 11)],
+    ])
+    .unwrap();
+    let paper_induced = g.post_process(&paper_c).unwrap();
+    let paper_loss = consumer.disutility(&paper_induced).unwrap();
+
+    section("Comparison (who wins, by how much)");
+    println!(
+        "loss of interacting with the paper's printed T  = {} ≈ {:.5}",
+        paper_loss,
+        paper_loss.to_f64()
+    );
+    println!(
+        "loss of our exact optimal interaction           = {} ≈ {:.5}",
+        interaction.loss,
+        interaction.loss.to_f64()
+    );
+    println!(
+        "loss of our exact tailored optimal mechanism    = {} ≈ {:.5}",
+        tailored.loss,
+        tailored.loss.to_f64()
+    );
+    println!(
+        "Theorem 1 equality (tailored optimum == interaction with geometric): {}",
+        tailored.loss == interaction.loss
+    );
+    let gap = (paper_loss.clone() - interaction.loss.clone()) / paper_loss;
+    println!(
+        "our exact optimum improves on the paper's rounded matrices by {:.3}% (expected < 1%)",
+        100.0 * gap.to_f64()
+    );
+}

@@ -1,0 +1,108 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table, figure or claim of the
+//! paper and prints the paper-reported value next to the reproduced value.
+//! EXPERIMENTS.md records the outcome of running every binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use privmech_linalg::{Matrix, Scalar};
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Print a matrix with a caption.
+pub fn print_matrix<T: Scalar>(caption: &str, matrix: &Matrix<T>) {
+    println!("{caption}:");
+    print!("{matrix}");
+}
+
+/// Print a matrix converted to decimals (for easier visual comparison).
+pub fn print_matrix_decimal<T: Scalar>(caption: &str, matrix: &Matrix<T>) {
+    println!("{caption} (decimal):");
+    for i in 0..matrix.rows() {
+        print!("[ ");
+        for j in 0..matrix.cols() {
+            print!("{:>8.4} ", matrix[(i, j)].to_f64());
+        }
+        println!("]");
+    }
+}
+
+/// Render a fixed-width ASCII bar for a probability (used by the Figure 1
+/// binary).
+#[must_use]
+pub fn bar(probability: f64, width: usize) -> String {
+    let filled = (probability.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { ' ' });
+    }
+    s
+}
+
+/// A simple pass/fail tally used by the sweep binaries.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Tally {
+    /// Number of checks that succeeded.
+    pub passed: usize,
+    /// Number of checks that failed.
+    pub failed: usize,
+}
+
+impl Tally {
+    /// Record one check.
+    pub fn record(&mut self, ok: bool) {
+        if ok {
+            self.passed += 1;
+        } else {
+            self.failed += 1;
+        }
+    }
+
+    /// Print the tally and return `true` when everything passed.
+    pub fn report(&self, what: &str) -> bool {
+        println!(
+            "{what}: {} passed, {} failed",
+            self.passed, self.failed
+        );
+        self.failed == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmech_numerics::rat;
+
+    #[test]
+    fn bar_widths() {
+        assert_eq!(bar(0.0, 10), "          ");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10), "#####     ");
+        assert_eq!(bar(2.0, 4), "####");
+    }
+
+    #[test]
+    fn tally_counts() {
+        let mut t = Tally::default();
+        t.record(true);
+        t.record(true);
+        t.record(false);
+        assert_eq!(t.passed, 2);
+        assert_eq!(t.failed, 1);
+        assert!(!t.report("example"));
+    }
+
+    #[test]
+    fn matrix_printers_do_not_panic() {
+        let m = Matrix::from_rows(vec![vec![rat(1, 2), rat(1, 3)]]).unwrap();
+        print_matrix("caption", &m);
+        print_matrix_decimal("caption", &m);
+        section("section");
+    }
+}

@@ -1,0 +1,32 @@
+//! # privmech-linalg
+//!
+//! Dense generic linear algebra for the `privmech` workspace.
+//!
+//! The paper represents oblivious privacy mechanisms, consumer post-processing
+//! and the geometric mechanism as small dense matrices and reasons about them
+//! with determinants, inverses and matrix products (Lemmas 1–3, Theorem 2).
+//! This crate provides exactly that toolbox, generic over a [`Scalar`] field
+//! so the same algorithms run exactly over [`privmech_numerics::Rational`] or
+//! quickly over `f64`.
+//!
+//! ```
+//! use privmech_linalg::Matrix;
+//! use privmech_numerics::{rat, Rational};
+//!
+//! // A row-stochastic post-processing matrix and its action on a mechanism row.
+//! let t = Matrix::from_rows(vec![
+//!     vec![rat(9, 11), rat(2, 11)],
+//!     vec![rat(0, 1), rat(1, 1)],
+//! ]).unwrap();
+//! assert!(t.is_row_stochastic());
+//! assert_eq!(t.determinant().unwrap(), rat(9, 11));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod scalar;
+
+pub use dense::{LinalgError, Matrix};
+pub use scalar::Scalar;

@@ -1,0 +1,202 @@
+//! The [`Scalar`] abstraction: an ordered field that the matrix, simplex and
+//! mechanism code can be written against once and instantiated with either
+//! exact rationals (the source of truth for theorem-level verification) or
+//! `f64` (for large sweeps and performance benchmarking).
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use privmech_numerics::Rational;
+
+/// An ordered field with enough structure to run Gaussian elimination and the
+/// simplex method.
+///
+/// Implementations must satisfy the usual field axioms. The `tolerance`
+/// associated function lets inexact implementations (`f64`) expose a pivoting
+/// / feasibility tolerance, while exact implementations return zero so that
+/// every comparison is exact.
+pub trait Scalar:
+    Clone
+    + Debug
+    + Display
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embed a machine integer.
+    fn from_i64(v: i64) -> Self;
+    /// Embed the fraction `num / den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    fn from_ratio(num: i64, den: i64) -> Self;
+    /// Convert to `f64` (possibly lossy) for reporting.
+    fn to_f64(&self) -> f64;
+    /// Absolute value.
+    fn abs(&self) -> Self;
+    /// Comparison tolerance: zero for exact fields, a small positive value for
+    /// floating point.
+    fn tolerance() -> Self;
+    /// Whether this scalar type is exact (comparisons are decidable equalities).
+    fn is_exact() -> bool;
+
+    /// True iff `|self| <= tolerance`.
+    fn is_zero_approx(&self) -> bool {
+        self.abs() <= Self::tolerance()
+    }
+    /// True iff `self > tolerance`.
+    fn is_positive_approx(&self) -> bool {
+        *self > Self::tolerance()
+    }
+    /// True iff `self < -tolerance`.
+    fn is_negative_approx(&self) -> bool {
+        *self < -Self::tolerance()
+    }
+    /// True iff `|self - other| <= tolerance`.
+    fn approx_eq(&self, other: &Self) -> bool {
+        (self.clone() - other.clone()).is_zero_approx()
+    }
+    /// `self >= other - tolerance`.
+    fn approx_ge(&self, other: &Self) -> bool {
+        !(self.clone() - other.clone()).is_negative_approx()
+    }
+    /// `self <= other + tolerance`.
+    fn approx_le(&self, other: &Self) -> bool {
+        !(self.clone() - other.clone()).is_positive_approx()
+    }
+    /// Smaller of two scalars.
+    fn min_val(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Larger of two scalars.
+    fn max_val(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Non-negative integer power.
+    fn powi(&self, exp: u32) -> Self {
+        let mut acc = Self::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base.clone();
+            }
+            base = base.clone() * base;
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_i64(v: i64) -> Self {
+        v as f64
+    }
+    fn from_ratio(num: i64, den: i64) -> Self {
+        assert!(den != 0, "from_ratio with zero denominator");
+        num as f64 / den as f64
+    }
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+    fn abs(&self) -> Self {
+        f64::abs(*self)
+    }
+    fn tolerance() -> Self {
+        1e-9
+    }
+    fn is_exact() -> bool {
+        false
+    }
+}
+
+impl Scalar for Rational {
+    fn zero() -> Self {
+        Rational::zero()
+    }
+    fn one() -> Self {
+        Rational::one()
+    }
+    fn from_i64(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+    fn from_ratio(num: i64, den: i64) -> Self {
+        Rational::from_ratio(num, den)
+    }
+    fn to_f64(&self) -> f64 {
+        Rational::to_f64(self)
+    }
+    fn abs(&self) -> Self {
+        Rational::abs(self)
+    }
+    fn tolerance() -> Self {
+        Rational::zero()
+    }
+    fn is_exact() -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmech_numerics::rat;
+
+    #[test]
+    fn f64_scalar_basics() {
+        assert_eq!(<f64 as Scalar>::zero(), 0.0);
+        assert_eq!(<f64 as Scalar>::one(), 1.0);
+        assert_eq!(<f64 as Scalar>::from_ratio(1, 4), 0.25);
+        assert!(!<f64 as Scalar>::is_exact());
+        assert!(1e-12f64.is_zero_approx());
+        assert!(!1e-3f64.is_zero_approx());
+        assert!(0.5f64.is_positive_approx());
+        assert!((-0.5f64).is_negative_approx());
+        assert!(0.1f64.approx_eq(&(0.1 + 1e-12)));
+        assert_eq!(Scalar::powi(&2.0f64, 10), 1024.0);
+    }
+
+    #[test]
+    fn rational_scalar_is_exact() {
+        assert!(<Rational as Scalar>::is_exact());
+        assert_eq!(<Rational as Scalar>::tolerance(), Rational::zero());
+        assert_eq!(<Rational as Scalar>::from_ratio(2, 8), rat(1, 4));
+        assert!(rat(0, 1).is_zero_approx());
+        assert!(!rat(1, 1_000_000).is_zero_approx());
+        assert!(rat(1, 1_000_000).is_positive_approx());
+        assert_eq!(Scalar::powi(&rat(1, 2), 3), rat(1, 8));
+        assert!(rat(1, 3).approx_ge(&rat(1, 3)));
+        assert!(rat(1, 3).approx_le(&rat(1, 2)));
+    }
+
+    #[test]
+    fn min_max_val() {
+        assert_eq!(rat(1, 3).min_val(rat(1, 2)), rat(1, 3));
+        assert_eq!(rat(1, 3).max_val(rat(1, 2)), rat(1, 2));
+        assert_eq!(2.0f64.min_val(3.0), 2.0);
+        assert_eq!(2.0f64.max_val(3.0), 3.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the dense matrix algebra used throughout the
+//! mechanism library: associativity, inverse identities, determinant
+//! multiplicativity, and consistency between exact and floating-point paths.
+
+use privmech_linalg::Matrix;
+use privmech_numerics::Rational;
+use proptest::prelude::*;
+
+/// Small random rational matrices with entries n/d, |n| <= 20, 1 <= d <= 9.
+fn arb_rat_matrix(n: usize) -> impl Strategy<Value = Matrix<Rational>> {
+    prop::collection::vec((-20i64..=20, 1i64..=9), n * n).prop_map(move |cells| {
+        Matrix::from_fn(n, n, |i, j| {
+            let (num, den) = cells[i * n + j];
+            Rational::from_ratio(num, den)
+        })
+    })
+}
+
+/// Random row-stochastic matrices (rows normalized positive weights).
+fn arb_stochastic_matrix(n: usize) -> impl Strategy<Value = Matrix<Rational>> {
+    prop::collection::vec(1i64..=10, n * n).prop_map(move |weights| {
+        Matrix::from_fn(n, n, |i, j| {
+            let row_sum: i64 = weights[i * n..(i + 1) * n].iter().sum();
+            Rational::from_ratio(weights[i * n + j], row_sum)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(a in arb_rat_matrix(3), b in arb_rat_matrix(3), c in arb_rat_matrix(3)) {
+        let ab_c = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let a_bc = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in arb_rat_matrix(3), b in arb_rat_matrix(3), c in arb_rat_matrix(3)) {
+        let lhs = a.matmul(&(&b + &c)).unwrap();
+        let rhs = &a.matmul(&b).unwrap() + &a.matmul(&c).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn determinant_is_multiplicative(a in arb_rat_matrix(3), b in arb_rat_matrix(3)) {
+        let da = a.determinant().unwrap();
+        let db = b.determinant().unwrap();
+        let dab = a.matmul(&b).unwrap().determinant().unwrap();
+        prop_assert_eq!(dab, da * db);
+    }
+
+    #[test]
+    fn determinant_of_transpose_matches(a in arb_rat_matrix(4)) {
+        prop_assert_eq!(a.determinant().unwrap(), a.transpose().determinant().unwrap());
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in arb_rat_matrix(3)) {
+        let det = a.determinant().unwrap();
+        prop_assume!(!det.is_zero());
+        let inv = a.inverse().unwrap();
+        prop_assert_eq!(a.matmul(&inv).unwrap(), Matrix::identity(3));
+        prop_assert_eq!(inv.matmul(&a).unwrap(), Matrix::identity(3));
+    }
+
+    #[test]
+    fn solve_agrees_with_inverse(a in arb_rat_matrix(3), b in prop::collection::vec(-10i64..=10, 3)) {
+        let det = a.determinant().unwrap();
+        prop_assume!(!det.is_zero());
+        let rhs: Vec<Rational> = b.iter().map(|&v| Rational::from_int(v)).collect();
+        let x = a.solve(&rhs).unwrap();
+        let via_inverse = a.inverse().unwrap().matvec(&rhs).unwrap();
+        prop_assert_eq!(x.clone(), via_inverse);
+        prop_assert_eq!(a.matvec(&x).unwrap(), rhs);
+    }
+
+    #[test]
+    fn stochastic_matrices_closed_under_product(a in arb_stochastic_matrix(4), b in arb_stochastic_matrix(4)) {
+        prop_assert!(a.is_row_stochastic());
+        prop_assert!(b.is_row_stochastic());
+        let product = a.matmul(&b).unwrap();
+        prop_assert!(product.is_row_stochastic());
+    }
+
+    #[test]
+    fn generalized_stochastic_inverse_stays_generalized(a in arb_stochastic_matrix(3)) {
+        // Poole's stochastic group: non-singular generalized stochastic matrices
+        // form a group, so the inverse has unit row sums (possibly negative entries).
+        let det = a.determinant().unwrap();
+        prop_assume!(!det.is_zero());
+        let inv = a.inverse().unwrap();
+        prop_assert!(inv.is_generalized_stochastic());
+    }
+
+    #[test]
+    fn exact_and_f64_determinants_agree(a in arb_rat_matrix(4)) {
+        let exact = a.determinant().unwrap().to_f64();
+        let float = a.map(|v| v.to_f64()).determinant().unwrap();
+        prop_assert!((exact - float).abs() <= 1e-6 * exact.abs().max(1.0));
+    }
+
+    #[test]
+    fn scale_then_determinant_scales_by_power(a in arb_rat_matrix(3), k in 1i64..=5) {
+        let factor = Rational::from_int(k);
+        let scaled = a.scale(&factor);
+        let expected = a.determinant().unwrap() * factor.pow(3);
+        prop_assert_eq!(scaled.determinant().unwrap(), expected);
+    }
+}

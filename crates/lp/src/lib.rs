@@ -1,0 +1,40 @@
+//! # privmech-lp
+//!
+//! A dense two-phase simplex linear-programming solver, generic over the
+//! [`privmech_linalg::Scalar`] field.
+//!
+//! The paper *Universally Optimal Privacy Mechanisms for Minimax Agents*
+//! formulates both the consumer's optimal post-processing (Section 2.4.3) and
+//! the consumer-tailored optimal mechanism (Section 2.5) as linear programs of
+//! the "minimize a maximum of linear expressions" form. This crate provides:
+//!
+//! * a small strongly-typed [`Model`] builder (variables, `<=`/`>=`/`==`
+//!   constraints, minimize/maximize objectives, and the
+//!   [`Model::minimize_max`] epigraph helper),
+//! * a two-phase dense simplex solver with Bland's anti-cycling rule,
+//!   instantiable with exact [`privmech_numerics::Rational`] pivoting (the
+//!   source of truth for every theorem-level claim) or `f64` (for speed).
+//!
+//! ```
+//! use privmech_lp::{LinExpr, Model, Relation, Sense, VarBound};
+//! use privmech_numerics::rat;
+//!
+//! let mut m = Model::new();
+//! let x = m.add_var("x", VarBound::NonNegative);
+//! let y = m.add_var("y", VarBound::NonNegative);
+//! m.add_constraint(LinExpr::term(x, rat(1, 1)).plus(y, rat(1, 1)),
+//!                  Relation::Ge, rat(2, 1)).unwrap();
+//! m.set_objective(Sense::Minimize,
+//!                 LinExpr::term(x, rat(3, 1)).plus(y, rat(5, 1))).unwrap();
+//! let sol = m.solve().unwrap();
+//! assert_eq!(sol.objective, rat(6, 1)); // put all weight on the cheap variable
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod simplex;
+
+pub use model::{Constraint, LinExpr, LpError, Model, Relation, Sense, Solution, Var, VarBound};
+pub use simplex::solve_model;

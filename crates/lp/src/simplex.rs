@@ -1,0 +1,639 @@
+//! Dense two-phase simplex solver with Bland's anti-cycling rule.
+//!
+//! The solver is generic over [`Scalar`]: with `Rational` every pivot is exact
+//! and termination is guaranteed by Bland's rule; with `f64` a small tolerance
+//! is used for the sign tests. The LPs arising from the paper (Sections 2.4.3
+//! and 2.5) are small and dense, so a full-tableau implementation is the
+//! simplest correct choice.
+
+use privmech_linalg::Scalar;
+
+use crate::model::{LpError, Model, Relation, Sense, Solution, VarBound};
+
+/// How a model variable maps onto standard-form columns.
+#[derive(Debug, Clone, Copy)]
+enum ColumnMap {
+    /// A non-negative variable occupies a single column.
+    Single(usize),
+    /// A free variable is split as `x = plus - minus`.
+    Split { plus: usize, minus: usize },
+}
+
+/// Internal standard-form representation: minimize `c^T y` subject to
+/// `A y = b`, `y >= 0`, `b >= 0`.
+struct StandardForm<T: Scalar> {
+    /// Constraint rows including slack/surplus columns but not artificials.
+    rows: Vec<Vec<T>>,
+    /// Right-hand sides, all non-negative.
+    rhs: Vec<T>,
+    /// Objective coefficients for every structural + slack column.
+    costs: Vec<T>,
+    /// Per-row basis seed: `Some(col)` if a slack column can start in the
+    /// basis, `None` if the row needs an artificial variable.
+    slack_basis: Vec<Option<usize>>,
+    /// Mapping from model variables to columns.
+    mapping: Vec<ColumnMap>,
+    /// Number of columns (structural + slack/surplus).
+    num_cols: usize,
+}
+
+fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<StandardForm<T>, LpError> {
+    let (sense, objective) = model.objective.clone().ok_or(LpError::MissingObjective)?;
+
+    // Map model variables onto non-negative columns.
+    let mut mapping = Vec::with_capacity(model.bounds.len());
+    let mut num_cols = 0usize;
+    for bound in &model.bounds {
+        match bound {
+            VarBound::NonNegative => {
+                mapping.push(ColumnMap::Single(num_cols));
+                num_cols += 1;
+            }
+            VarBound::Free => {
+                mapping.push(ColumnMap::Split {
+                    plus: num_cols,
+                    minus: num_cols + 1,
+                });
+                num_cols += 2;
+            }
+        }
+    }
+    let structural_cols = num_cols;
+
+    // Constraint rows over structural columns; slack/surplus columns appended.
+    let mut rows: Vec<Vec<T>> = Vec::with_capacity(model.constraints.len());
+    let mut rhs: Vec<T> = Vec::with_capacity(model.constraints.len());
+    let mut relations: Vec<Relation> = Vec::with_capacity(model.constraints.len());
+
+    for constraint in &model.constraints {
+        let mut row = vec![T::zero(); structural_cols];
+        for (var, coeff) in constraint.expr.terms() {
+            match mapping[var.0] {
+                ColumnMap::Single(col) => {
+                    row[col] = row[col].clone() + coeff.clone();
+                }
+                ColumnMap::Split { plus, minus } => {
+                    row[plus] = row[plus].clone() + coeff.clone();
+                    row[minus] = row[minus].clone() - coeff.clone();
+                }
+            }
+        }
+        let mut b = constraint.rhs.clone() - constraint.expr.constant_part().clone();
+        let mut relation = constraint.relation;
+        if b.is_negative_approx() {
+            // Multiply the whole row by -1 so that b >= 0, flipping <= / >=.
+            for cell in &mut row {
+                *cell = -cell.clone();
+            }
+            b = -b;
+            relation = match relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+        rows.push(row);
+        rhs.push(b);
+        relations.push(relation);
+    }
+
+    // Add slack / surplus columns.
+    let num_rows = rows.len();
+    let mut slack_basis: Vec<Option<usize>> = vec![None; num_rows];
+    for (i, relation) in relations.iter().enumerate() {
+        match relation {
+            Relation::Le => {
+                let col = num_cols;
+                num_cols += 1;
+                for (r, row) in rows.iter_mut().enumerate() {
+                    row.push(if r == i { T::one() } else { T::zero() });
+                }
+                slack_basis[i] = Some(col);
+            }
+            Relation::Ge => {
+                num_cols += 1;
+                for (r, row) in rows.iter_mut().enumerate() {
+                    row.push(if r == i { -T::one() } else { T::zero() });
+                }
+            }
+            Relation::Eq => {}
+        }
+    }
+
+    // Objective over structural columns (slack/surplus cost 0).
+    let mut costs = vec![T::zero(); num_cols];
+    let maximize = sense == Sense::Maximize;
+    for (var, coeff) in objective.terms() {
+        let signed = if maximize { -coeff.clone() } else { coeff.clone() };
+        match mapping[var.0] {
+            ColumnMap::Single(col) => costs[col] = costs[col].clone() + signed,
+            ColumnMap::Split { plus, minus } => {
+                costs[plus] = costs[plus].clone() + signed.clone();
+                costs[minus] = costs[minus].clone() - signed;
+            }
+        }
+    }
+
+    Ok(StandardForm {
+        rows,
+        rhs,
+        costs,
+        slack_basis,
+        mapping,
+        num_cols,
+    })
+}
+
+/// A full simplex tableau: `rows x (cols + 1)` with the right-hand side in the
+/// last column, plus a reduced-cost row.
+struct Tableau<T: Scalar> {
+    body: Vec<Vec<T>>,
+    /// Reduced costs for the current phase objective, length `cols + 1`
+    /// (last entry is minus the current objective value).
+    obj: Vec<T>,
+    basis: Vec<usize>,
+    cols: usize,
+    /// Columns the entering rule must skip (artificials during phase 2).
+    banned: Vec<bool>,
+}
+
+impl<T: Scalar> Tableau<T> {
+    fn rhs(&self, row: usize) -> &T {
+        &self.body[row][self.cols]
+    }
+
+    /// One simplex pivot on (`row`, `col`).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_value = self.body[row][col].clone();
+        // Normalize the pivot row.
+        for j in 0..=self.cols {
+            self.body[row][j] = self.body[row][j].clone() / pivot_value.clone();
+        }
+        // Eliminate the pivot column from all other rows and the objective row.
+        for r in 0..self.body.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.body[r][col].clone();
+            if factor.is_zero_approx() {
+                continue;
+            }
+            for j in 0..=self.cols {
+                let delta = factor.clone() * self.body[row][j].clone();
+                self.body[r][j] = self.body[r][j].clone() - delta;
+            }
+        }
+        let factor = self.obj[col].clone();
+        if !factor.is_zero_approx() {
+            for j in 0..=self.cols {
+                let delta = factor.clone() * self.body[row][j].clone();
+                self.obj[j] = self.obj[j].clone() - delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run simplex iterations with Bland's rule until optimality or
+    /// unboundedness. Returns `Err(LpError::Unbounded)` when a column with a
+    /// negative reduced cost has no positive entry.
+    fn optimize(&mut self) -> Result<(), LpError> {
+        // Generous iteration cap: Bland's rule guarantees finite termination,
+        // this cap only guards against a solver bug turning into a hang.
+        let max_iters = 50_000usize.max(100 * (self.cols + self.body.len()));
+        for _ in 0..max_iters {
+            // Entering column: smallest index with negative reduced cost.
+            let entering = (0..self.cols)
+                .find(|&j| !self.banned[j] && self.obj[j].is_negative_approx());
+            let Some(col) = entering else {
+                return Ok(());
+            };
+            // Leaving row: minimum ratio, ties broken by smallest basis index.
+            let mut best: Option<(usize, T)> = None;
+            for r in 0..self.body.len() {
+                let coeff = self.body[r][col].clone();
+                if !coeff.is_positive_approx() {
+                    continue;
+                }
+                let ratio = self.rhs(r).clone() / coeff;
+                match &best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < *bratio
+                            || (ratio == *bratio && self.basis[r] < self.basis[*br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = best else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+        Err(LpError::Internal(
+            "simplex iteration limit exceeded".to_string(),
+        ))
+    }
+}
+
+/// Solve a [`Model`] by the two-phase simplex method.
+pub fn solve_model<T: Scalar>(model: &Model<T>) -> Result<Solution<T>, LpError> {
+    let sf = build_standard_form(model)?;
+    let num_rows = sf.rows.len();
+
+    // Handle the degenerate "no constraints" case directly: the optimum is at
+    // the origin if the costs are non-negative, otherwise unbounded.
+    if num_rows == 0 {
+        for c in &sf.costs {
+            if c.is_negative_approx() {
+                return Err(LpError::Unbounded);
+            }
+        }
+        let values = extract_values(&sf, &[], &[], sf.num_cols);
+        let objective = report_objective(model, &values);
+        return Ok(Solution { objective, values });
+    }
+
+    // Build the initial tableau, adding artificial columns where no slack can
+    // seed the basis.
+    let mut artificial_cols: Vec<usize> = Vec::new();
+    let mut basis = vec![usize::MAX; num_rows];
+    let mut total_cols = sf.num_cols;
+    for (i, seed) in sf.slack_basis.iter().enumerate() {
+        match seed {
+            Some(col) => basis[i] = *col,
+            None => {
+                let col = total_cols;
+                total_cols += 1;
+                artificial_cols.push(col);
+                basis[i] = col;
+            }
+        }
+    }
+
+    let mut body: Vec<Vec<T>> = Vec::with_capacity(num_rows);
+    for (i, row) in sf.rows.iter().enumerate() {
+        let mut full = Vec::with_capacity(total_cols + 1);
+        full.extend(row.iter().cloned());
+        for &acol in &artificial_cols {
+            full.push(if basis[i] == acol { T::one() } else { T::zero() });
+        }
+        full.push(sf.rhs[i].clone());
+        body.push(full);
+    }
+
+    let is_artificial: Vec<bool> = (0..total_cols)
+        .map(|j| j >= sf.num_cols)
+        .collect();
+
+    // -------------------------- Phase 1 --------------------------
+    if !artificial_cols.is_empty() {
+        // Phase-1 objective: minimize the sum of artificial variables.
+        // Reduced costs: c1_j - sum_i c1_{B(i)} * a_ij, where c1 is 1 on
+        // artificials and 0 elsewhere.
+        let mut obj = vec![T::zero(); total_cols + 1];
+        for j in 0..total_cols {
+            let mut reduced = if is_artificial[j] { T::one() } else { T::zero() };
+            for (i, row) in body.iter().enumerate() {
+                if is_artificial[basis[i]] {
+                    reduced = reduced - row[j].clone();
+                }
+            }
+            obj[j] = reduced;
+        }
+        let mut objective_value = T::zero();
+        for (i, row) in body.iter().enumerate() {
+            if is_artificial[basis[i]] {
+                objective_value = objective_value + row[total_cols].clone();
+            }
+        }
+        obj[total_cols] = -objective_value;
+
+        let mut tableau = Tableau {
+            body,
+            obj,
+            basis,
+            cols: total_cols,
+            banned: vec![false; total_cols],
+        };
+        tableau.optimize()?;
+
+        let phase1_value = -tableau.obj[total_cols].clone();
+        if phase1_value.is_positive_approx() {
+            return Err(LpError::Infeasible);
+        }
+
+        // Drive any remaining artificial variables out of the basis.
+        for row in 0..tableau.body.len() {
+            if !is_artificial[tableau.basis[row]] {
+                continue;
+            }
+            // Find a non-artificial column with a nonzero coefficient.
+            let replacement = (0..sf.num_cols)
+                .find(|&j| !tableau.body[row][j].is_zero_approx());
+            if let Some(col) = replacement {
+                tableau.pivot(row, col);
+            }
+            // If no replacement exists the row is redundant; the artificial
+            // stays basic at value zero, which is harmless because the column
+            // is banned from entering and its value can only change through a
+            // ratio test that keeps it at zero.
+        }
+
+        body = tableau.body;
+        basis = tableau.basis;
+    }
+
+    // -------------------------- Phase 2 --------------------------
+    // Reduced costs for the real objective.
+    let mut costs_full = sf.costs.clone();
+    costs_full.resize(total_cols, T::zero());
+    let mut obj = vec![T::zero(); total_cols + 1];
+    for j in 0..total_cols {
+        let mut reduced = costs_full[j].clone();
+        for (i, row) in body.iter().enumerate() {
+            let cb = costs_full[basis[i]].clone();
+            if cb.is_zero_approx() {
+                continue;
+            }
+            reduced = reduced - cb * row[j].clone();
+        }
+        obj[j] = reduced;
+    }
+    let mut objective_value = T::zero();
+    for (i, row) in body.iter().enumerate() {
+        let cb = costs_full[basis[i]].clone();
+        if cb.is_zero_approx() {
+            continue;
+        }
+        objective_value = objective_value + cb * row[total_cols].clone();
+    }
+    obj[total_cols] = -objective_value;
+
+    let mut tableau = Tableau {
+        body,
+        obj,
+        basis,
+        cols: total_cols,
+        banned: is_artificial,
+    };
+    tableau.optimize()?;
+
+    // ----------------------- Extract solution -----------------------
+    let mut column_values = vec![T::zero(); total_cols];
+    for (i, &b) in tableau.basis.iter().enumerate() {
+        column_values[b] = tableau.rhs(i).clone();
+    }
+    let values = extract_values(&sf, &column_values, &tableau.basis, total_cols);
+    let objective = report_objective(model, &values);
+    Ok(Solution { objective, values })
+}
+
+fn extract_values<T: Scalar>(
+    sf: &StandardForm<T>,
+    column_values: &[T],
+    _basis: &[usize],
+    total_cols: usize,
+) -> Vec<T> {
+    let get = |col: usize| -> T {
+        if col < total_cols && col < column_values.len() {
+            column_values[col].clone()
+        } else {
+            T::zero()
+        }
+    };
+    sf.mapping
+        .iter()
+        .map(|m| match *m {
+            ColumnMap::Single(col) => get(col),
+            ColumnMap::Split { plus, minus } => get(plus) - get(minus),
+        })
+        .collect()
+}
+
+fn report_objective<T: Scalar>(model: &Model<T>, values: &[T]) -> T {
+    let (_, expr) = model
+        .objective
+        .as_ref()
+        .expect("objective checked during standard-form construction");
+    expr.evaluate(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{LinExpr, LpError, Model, Relation, Sense, VarBound};
+    use privmech_numerics::{rat, Rational};
+
+    #[test]
+    fn maximize_two_variable_example() {
+        // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+        // Classic Dantzig example; optimum 36 at (2, 6).
+        let mut m: Model<f64> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        let y = m.add_var("y", VarBound::NonNegative);
+        m.add_constraint(LinExpr::term(x, 1.0), Relation::Le, 4.0).unwrap();
+        m.add_constraint(LinExpr::term(y, 2.0), Relation::Le, 12.0).unwrap();
+        m.add_constraint(LinExpr::term(x, 3.0).plus(y, 2.0), Relation::Le, 18.0)
+            .unwrap();
+        m.set_objective(Sense::Maximize, LinExpr::term(x, 3.0).plus(y, 5.0))
+            .unwrap();
+        let sol = m.solve().unwrap();
+        assert!((sol.objective - 36.0).abs() < 1e-9);
+        assert!((sol.value(x) - 2.0).abs() < 1e-9);
+        assert!((sol.value(y) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_rational_solution_is_exact() {
+        // min x + y  s.t. x + 2y >= 3, 3x + y >= 4, x,y >= 0.
+        // Optimum at intersection: x = 1, y = 1, objective 2.
+        let mut m: Model<Rational> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        let y = m.add_var("y", VarBound::NonNegative);
+        m.add_constraint(
+            LinExpr::term(x, rat(1, 1)).plus(y, rat(2, 1)),
+            Relation::Ge,
+            rat(3, 1),
+        )
+        .unwrap();
+        m.add_constraint(
+            LinExpr::term(x, rat(3, 1)).plus(y, rat(1, 1)),
+            Relation::Ge,
+            rat(4, 1),
+        )
+        .unwrap();
+        m.set_objective(
+            Sense::Minimize,
+            LinExpr::term(x, rat(1, 1)).plus(y, rat(1, 1)),
+        )
+        .unwrap();
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.objective, rat(2, 1));
+        assert_eq!(*sol.value(x), rat(1, 1));
+        assert_eq!(*sol.value(y), rat(1, 1));
+    }
+
+    #[test]
+    fn equality_constraints_and_free_variables() {
+        // min |style| epigraph-free test: min z s.t. z free, z = x - 2,
+        // x + y = 5, y >= 1, all vars >= 0 except z free.
+        let mut m: Model<Rational> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        let y = m.add_var("y", VarBound::NonNegative);
+        let z = m.add_var("z", VarBound::Free);
+        m.add_constraint(
+            LinExpr::term(z, rat(1, 1)).plus(x, rat(-1, 1)),
+            Relation::Eq,
+            rat(-2, 1),
+        )
+        .unwrap();
+        m.add_constraint(
+            LinExpr::term(x, rat(1, 1)).plus(y, rat(1, 1)),
+            Relation::Eq,
+            rat(5, 1),
+        )
+        .unwrap();
+        m.add_constraint(LinExpr::term(y, rat(1, 1)), Relation::Ge, rat(1, 1))
+            .unwrap();
+        m.set_objective(Sense::Minimize, LinExpr::term(z, rat(1, 1)))
+            .unwrap();
+        let sol = m.solve().unwrap();
+        // x can go as low as 0 (then y = 5 >= 1), so z = x - 2 = -2.
+        assert_eq!(sol.objective, rat(-2, 1));
+        assert_eq!(*sol.value(z), rat(-2, 1));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m: Model<Rational> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        m.add_constraint(LinExpr::term(x, rat(1, 1)), Relation::Le, rat(1, 1))
+            .unwrap();
+        m.add_constraint(LinExpr::term(x, rat(1, 1)), Relation::Ge, rat(2, 1))
+            .unwrap();
+        m.set_objective(Sense::Minimize, LinExpr::term(x, rat(1, 1)))
+            .unwrap();
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m: Model<f64> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        m.add_constraint(LinExpr::term(x, 1.0), Relation::Ge, 1.0).unwrap();
+        m.set_objective(Sense::Maximize, LinExpr::term(x, 1.0)).unwrap();
+        assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn missing_objective_is_an_error() {
+        let m: Model<f64> = Model::new();
+        assert_eq!(m.solve().unwrap_err(), LpError::MissingObjective);
+    }
+
+    #[test]
+    fn no_constraints_minimization_at_origin() {
+        let mut m: Model<Rational> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        m.set_objective(Sense::Minimize, LinExpr::term(x, rat(3, 1)))
+            .unwrap();
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.objective, Rational::zero());
+        // And the unbounded direction is detected without constraints too.
+        let mut m2: Model<Rational> = Model::new();
+        let y = m2.add_var("y", VarBound::NonNegative);
+        m2.set_objective(Sense::Maximize, LinExpr::term(y, rat(1, 1)))
+            .unwrap();
+        assert_eq!(m2.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn minimize_max_epigraph_helper() {
+        // minimize max(x, 4 - x) over 0 <= x <= 4: optimum 2 at x = 2.
+        let mut m: Model<Rational> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        m.add_constraint(LinExpr::term(x, rat(1, 1)), Relation::Le, rat(4, 1))
+            .unwrap();
+        // Expressions: x and 4 - x.
+        let e1 = LinExpr::term(x, rat(1, 1));
+        let mut e2 = LinExpr::term(x, rat(-1, 1));
+        e2.add_constant(rat(4, 1));
+        let d = m.minimize_max(vec![e1, e2]).unwrap();
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.objective, rat(2, 1));
+        assert_eq!(*sol.value(d), rat(2, 1));
+        assert_eq!(*sol.value(x), rat(2, 1));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates_with_blands_rule() {
+        // Beale's classical cycling example (Chvátal, Linear Programming):
+        //   max 10a - 57b - 9c - 24d
+        //   s.t. 0.5a - 5.5b - 2.5c + 9d <= 0
+        //        0.5a - 1.5b - 0.5c +  d <= 0
+        //        a <= 1
+        // The textbook optimum is 1 at a = 1, c = 1, b = d = 0. Dantzig's
+        // largest-coefficient rule cycles here; Bland's rule must terminate.
+        let mut m: Model<Rational> = Model::new();
+        let a = m.add_var("a", VarBound::NonNegative);
+        let b = m.add_var("b", VarBound::NonNegative);
+        let c = m.add_var("c", VarBound::NonNegative);
+        let d = m.add_var("d", VarBound::NonNegative);
+        m.add_constraint(
+            LinExpr::term(a, rat(1, 2))
+                .plus(b, rat(-11, 2))
+                .plus(c, rat(-5, 2))
+                .plus(d, rat(9, 1)),
+            Relation::Le,
+            Rational::zero(),
+        )
+        .unwrap();
+        m.add_constraint(
+            LinExpr::term(a, rat(1, 2))
+                .plus(b, rat(-3, 2))
+                .plus(c, rat(-1, 2))
+                .plus(d, rat(1, 1)),
+            Relation::Le,
+            Rational::zero(),
+        )
+        .unwrap();
+        m.add_constraint(LinExpr::term(a, rat(1, 1)), Relation::Le, rat(1, 1))
+            .unwrap();
+        m.set_objective(
+            Sense::Maximize,
+            LinExpr::term(a, rat(10, 1))
+                .plus(b, rat(-57, 1))
+                .plus(c, rat(-9, 1))
+                .plus(d, rat(-24, 1)),
+        )
+        .unwrap();
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.objective, rat(1, 1));
+        assert_eq!(*sol.value(a), rat(1, 1));
+        assert_eq!(*sol.value(c), rat(1, 1));
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // Constraint written with a negative right-hand side.
+        let mut m: Model<Rational> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        let y = m.add_var("y", VarBound::NonNegative);
+        // -x - y <= -2  (i.e. x + y >= 2)
+        m.add_constraint(
+            LinExpr::term(x, rat(-1, 1)).plus(y, rat(-1, 1)),
+            Relation::Le,
+            rat(-2, 1),
+        )
+        .unwrap();
+        m.set_objective(
+            Sense::Minimize,
+            LinExpr::term(x, rat(2, 1)).plus(y, rat(3, 1)),
+        )
+        .unwrap();
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.objective, rat(4, 1));
+        assert_eq!(*sol.value(x), rat(2, 1));
+    }
+}

@@ -1,0 +1,174 @@
+//! Exact solutions of textbook linear programs, solved with the rational
+//! backend and checked against their known closed-form optima. These guard the
+//! simplex implementation against regressions that the randomized property
+//! tests might miss (degeneracy, equality-heavy programs, redundant
+//! constraints, mixed senses).
+
+use privmech_lp::{LinExpr, LpError, Model, Relation, Sense, VarBound};
+use privmech_numerics::{rat, Rational};
+
+fn r(n: i64) -> Rational {
+    rat(n, 1)
+}
+
+#[test]
+fn diet_style_lp_exact_optimum() {
+    // Minimize 50x + 30y subject to nutrient constraints:
+    //   2x +  y >= 12,  x + 3y >= 15,  x, y >= 0.
+    // Optimum at the intersection: x = 21/5, y = 18/5, objective 318.
+    let mut m: Model<Rational> = Model::new();
+    let x = m.add_var("x", VarBound::NonNegative);
+    let y = m.add_var("y", VarBound::NonNegative);
+    m.add_constraint(LinExpr::term(x, r(2)).plus(y, r(1)), Relation::Ge, r(12))
+        .unwrap();
+    m.add_constraint(LinExpr::term(x, r(1)).plus(y, r(3)), Relation::Ge, r(15))
+        .unwrap();
+    m.set_objective(Sense::Minimize, LinExpr::term(x, r(50)).plus(y, r(30)))
+        .unwrap();
+    let sol = m.solve().unwrap();
+    assert_eq!(*sol.value(x), rat(21, 5));
+    assert_eq!(*sol.value(y), rat(18, 5));
+    assert_eq!(sol.objective, r(318));
+}
+
+#[test]
+fn production_lp_with_redundant_constraint() {
+    // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6, x <= 100 (redundant).
+    // Known optimum 21 at (3, 3/2).
+    let mut m: Model<Rational> = Model::new();
+    let x = m.add_var("x", VarBound::NonNegative);
+    let y = m.add_var("y", VarBound::NonNegative);
+    m.add_constraint(LinExpr::term(x, r(6)).plus(y, r(4)), Relation::Le, r(24))
+        .unwrap();
+    m.add_constraint(LinExpr::term(x, r(1)).plus(y, r(2)), Relation::Le, r(6))
+        .unwrap();
+    m.add_constraint(LinExpr::term(x, r(1)), Relation::Le, r(100))
+        .unwrap();
+    m.set_objective(Sense::Maximize, LinExpr::term(x, r(5)).plus(y, r(4)))
+        .unwrap();
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.objective, r(21));
+    assert_eq!(*sol.value(x), r(3));
+    assert_eq!(*sol.value(y), rat(3, 2));
+}
+
+#[test]
+fn assignment_relaxation_is_integral() {
+    // The LP relaxation of a 3x3 assignment problem has an integral optimal
+    // vertex (Birkhoff); the simplex must find cost 1+2+1 = 4 for this matrix.
+    //   costs = [1 4 5; 7 2 3; 9 8 1] -> pick (0,0), (1,1), (2,2) = 1+2+1.
+    let costs = [[1i64, 4, 5], [7, 2, 3], [9, 8, 1]];
+    let mut m: Model<Rational> = Model::new();
+    let mut vars = Vec::new();
+    for i in 0..3 {
+        vars.push(m.add_nonneg_vars(&format!("x{i}"), 3));
+    }
+    for i in 0..3 {
+        let mut row = LinExpr::new();
+        let mut col = LinExpr::new();
+        for j in 0..3 {
+            row.add_term(vars[i][j], r(1));
+            col.add_term(vars[j][i], r(1));
+        }
+        m.add_constraint(row, Relation::Eq, r(1)).unwrap();
+        m.add_constraint(col, Relation::Eq, r(1)).unwrap();
+    }
+    let mut obj = LinExpr::new();
+    for i in 0..3 {
+        for j in 0..3 {
+            obj.add_term(vars[i][j], r(costs[i][j]));
+        }
+    }
+    m.set_objective(Sense::Minimize, obj).unwrap();
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.objective, r(4));
+    // The optimal vertex is a permutation matrix.
+    for i in 0..3 {
+        for j in 0..3 {
+            let v = sol.value(vars[i][j]);
+            assert!(*v == Rational::zero() || *v == Rational::one());
+        }
+    }
+}
+
+#[test]
+fn equality_only_program_with_negative_rhs() {
+    // x - y = -3, x + y = 7  =>  x = 2, y = 5; minimize x + 2y = 12.
+    let mut m: Model<Rational> = Model::new();
+    let x = m.add_var("x", VarBound::NonNegative);
+    let y = m.add_var("y", VarBound::NonNegative);
+    m.add_constraint(LinExpr::term(x, r(1)).plus(y, r(-1)), Relation::Eq, r(-3))
+        .unwrap();
+    m.add_constraint(LinExpr::term(x, r(1)).plus(y, r(1)), Relation::Eq, r(7))
+        .unwrap();
+    m.set_objective(Sense::Minimize, LinExpr::term(x, r(1)).plus(y, r(2)))
+        .unwrap();
+    let sol = m.solve().unwrap();
+    assert_eq!(*sol.value(x), r(2));
+    assert_eq!(*sol.value(y), r(5));
+    assert_eq!(sol.objective, r(12));
+}
+
+#[test]
+fn objective_constant_is_reported() {
+    // Constants in the objective expression must flow through to the reported
+    // optimum: minimize (x + 10) with x >= 3 is 13.
+    let mut m: Model<Rational> = Model::new();
+    let x = m.add_var("x", VarBound::NonNegative);
+    m.add_constraint(LinExpr::term(x, r(1)), Relation::Ge, r(3))
+        .unwrap();
+    let mut obj = LinExpr::term(x, r(1));
+    obj.add_constant(r(10));
+    m.set_objective(Sense::Minimize, obj).unwrap();
+    let sol = m.solve().unwrap();
+    assert_eq!(sol.objective, r(13));
+    assert_eq!(*sol.value(x), r(3));
+}
+
+#[test]
+fn free_variable_can_go_negative_in_both_backends() {
+    // minimize z subject to z >= x - 10, x <= 4, x >= 0, z free:
+    // optimum z = -10 at x = 0.
+    fn build<T: privmech_linalg::Scalar>() -> (Model<T>, privmech_lp::Var) {
+        let mut m: Model<T> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        let z = m.add_var("z", VarBound::Free);
+        let mut rhs_expr = LinExpr::term(z, T::one());
+        rhs_expr.add_term(x, -T::one());
+        m.add_constraint(rhs_expr, Relation::Ge, -T::from_i64(10)).unwrap();
+        m.add_constraint(LinExpr::term(x, T::one()), Relation::Le, T::from_i64(4))
+            .unwrap();
+        m.set_objective(Sense::Minimize, LinExpr::term(z, T::one())).unwrap();
+        (m, z)
+    }
+    let (m, z) = build::<Rational>();
+    let sol = m.solve().unwrap();
+    assert_eq!(*sol.value(z), r(-10));
+    let (m, z) = build::<f64>();
+    let sol = m.solve().unwrap();
+    assert!((sol.value(z) + 10.0).abs() < 1e-9);
+}
+
+#[test]
+fn infeasible_equalities_and_unbounded_free_objective() {
+    // Infeasible: x + y = 1 and x + y = 2.
+    let mut m: Model<Rational> = Model::new();
+    let x = m.add_var("x", VarBound::NonNegative);
+    let y = m.add_var("y", VarBound::NonNegative);
+    m.add_constraint(LinExpr::term(x, r(1)).plus(y, r(1)), Relation::Eq, r(1))
+        .unwrap();
+    m.add_constraint(LinExpr::term(x, r(1)).plus(y, r(1)), Relation::Eq, r(2))
+        .unwrap();
+    m.set_objective(Sense::Minimize, LinExpr::term(x, r(1)))
+        .unwrap();
+    assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+
+    // Unbounded: minimize a free variable with no lower bound.
+    let mut m: Model<Rational> = Model::new();
+    let z = m.add_var("z", VarBound::Free);
+    m.add_constraint(LinExpr::term(z, r(1)), Relation::Le, r(5))
+        .unwrap();
+    m.set_objective(Sense::Minimize, LinExpr::term(z, r(1)))
+        .unwrap();
+    assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+}

@@ -1,0 +1,184 @@
+//! Property-based and randomized tests for the simplex solver: feasibility of
+//! returned solutions, optimality certificates on problem families with known
+//! closed-form optima, and agreement between the exact and floating-point
+//! backends.
+
+use privmech_lp::{LinExpr, Model, Relation, Sense, VarBound};
+use privmech_numerics::{rat, Rational};
+use proptest::prelude::*;
+
+/// Check that a solution satisfies every constraint of the model it came from.
+fn assert_feasible_rational(
+    model: &Model<Rational>,
+    values: &[Rational],
+    constraints: &[(LinExpr<Rational>, Relation, Rational)],
+) {
+    let _ = model;
+    for (expr, rel, rhs) in constraints {
+        let lhs = expr.evaluate(values);
+        match rel {
+            Relation::Le => assert!(lhs <= *rhs, "violated: {lhs} <= {rhs}"),
+            Relation::Ge => assert!(lhs >= *rhs, "violated: {lhs} >= {rhs}"),
+            Relation::Eq => assert_eq!(lhs, *rhs),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transportation-style LP with known optimum: ship `demand` units from
+    /// two sources with capacities `cap0`, `cap1` and unit costs `c0 < c1`.
+    /// The optimum greedily fills the cheaper source first.
+    #[test]
+    fn greedy_transportation_optimum(
+        cap0 in 1i64..=20,
+        cap1 in 1i64..=20,
+        demand_frac in 1i64..=10,
+        c0 in 1i64..=5,
+        dc in 1i64..=5,
+    ) {
+        let total = cap0 + cap1;
+        let demand = (total * demand_frac) / 10;
+        prop_assume!(demand >= 1);
+        let c1 = c0 + dc;
+
+        let mut m: Model<Rational> = Model::new();
+        let x0 = m.add_var("x0", VarBound::NonNegative);
+        let x1 = m.add_var("x1", VarBound::NonNegative);
+        m.add_constraint(LinExpr::term(x0, rat(1, 1)), Relation::Le, rat(cap0, 1)).unwrap();
+        m.add_constraint(LinExpr::term(x1, rat(1, 1)), Relation::Le, rat(cap1, 1)).unwrap();
+        m.add_constraint(
+            LinExpr::term(x0, rat(1, 1)).plus(x1, rat(1, 1)),
+            Relation::Eq,
+            rat(demand, 1),
+        ).unwrap();
+        m.set_objective(
+            Sense::Minimize,
+            LinExpr::term(x0, rat(c0, 1)).plus(x1, rat(c1, 1)),
+        ).unwrap();
+
+        let sol = m.solve().unwrap();
+        let from_cheap = demand.min(cap0);
+        let from_expensive = demand - from_cheap;
+        let expected = c0 * from_cheap + c1 * from_expensive;
+        prop_assert_eq!(sol.objective, rat(expected, 1));
+    }
+
+    /// Random feasible LPs: minimize a non-negative cost over a standard
+    /// simplex-like region. The returned point must satisfy every constraint
+    /// and achieve an objective no larger than any of a set of random feasible
+    /// points (a weak but broad optimality sanity check).
+    #[test]
+    fn solution_is_feasible_and_not_dominated(
+        costs in prop::collection::vec(0i64..=9, 4),
+        budget in 1i64..=12,
+        probe in prop::collection::vec(0i64..=3, 4),
+    ) {
+        let mut m: Model<Rational> = Model::new();
+        let vars = m.add_nonneg_vars("x", 4);
+        // sum x_i == budget, x_i <= budget.
+        let mut sum_expr = LinExpr::new();
+        for &v in &vars {
+            sum_expr.add_term(v, rat(1, 1));
+        }
+        let mut constraints = Vec::new();
+        constraints.push((sum_expr.clone(), Relation::Eq, rat(budget, 1)));
+        m.add_constraint(sum_expr, Relation::Eq, rat(budget, 1)).unwrap();
+        for &v in &vars {
+            let e = LinExpr::term(v, rat(1, 1));
+            constraints.push((e.clone(), Relation::Le, rat(budget, 1)));
+            m.add_constraint(e, Relation::Le, rat(budget, 1)).unwrap();
+        }
+        let mut obj = LinExpr::new();
+        for (v, &c) in vars.iter().zip(costs.iter()) {
+            obj.add_term(*v, rat(c, 1));
+        }
+        m.set_objective(Sense::Minimize, obj.clone()).unwrap();
+        let sol = m.solve().unwrap();
+        assert_feasible_rational(&m, &sol.values, &constraints);
+
+        // The optimum puts all mass on the cheapest coordinate.
+        let min_cost = *costs.iter().min().unwrap();
+        prop_assert_eq!(sol.objective.clone(), rat(min_cost * budget, 1));
+
+        // Any feasible probe point must not beat the reported optimum.
+        let probe_sum: i64 = probe.iter().sum();
+        if probe_sum > 0 {
+            let probe_point: Vec<Rational> = probe
+                .iter()
+                .map(|&p| rat(p * budget, probe_sum))
+                .collect();
+            let probe_obj = obj.evaluate(&probe_point);
+            prop_assert!(sol.objective <= probe_obj);
+        }
+    }
+
+    /// The exact and f64 backends agree on random small LPs (within tolerance).
+    #[test]
+    fn exact_and_float_backends_agree(
+        a in prop::collection::vec(1i64..=9, 6),
+        b in prop::collection::vec(2i64..=15, 3),
+        c in prop::collection::vec(1i64..=9, 2),
+    ) {
+        // min c.x s.t. A x >= b (3 constraints, 2 vars), x >= 0.
+        let mut mr: Model<Rational> = Model::new();
+        let xr = mr.add_nonneg_vars("x", 2);
+        let mut mf: Model<f64> = Model::new();
+        let xf = mf.add_nonneg_vars("x", 2);
+        for i in 0..3 {
+            let er = LinExpr::term(xr[0], rat(a[2 * i], 1)).plus(xr[1], rat(a[2 * i + 1], 1));
+            let ef = LinExpr::term(xf[0], a[2 * i] as f64).plus(xf[1], a[2 * i + 1] as f64);
+            mr.add_constraint(er, Relation::Ge, rat(b[i], 1)).unwrap();
+            mf.add_constraint(ef, Relation::Ge, b[i] as f64).unwrap();
+        }
+        mr.set_objective(
+            Sense::Minimize,
+            LinExpr::term(xr[0], rat(c[0], 1)).plus(xr[1], rat(c[1], 1)),
+        ).unwrap();
+        mf.set_objective(
+            Sense::Minimize,
+            LinExpr::term(xf[0], c[0] as f64).plus(xf[1], c[1] as f64),
+        ).unwrap();
+        let sr = mr.solve().unwrap();
+        let sf = mf.solve().unwrap();
+        prop_assert!((sr.objective.to_f64() - sf.objective).abs() < 1e-6);
+    }
+
+    /// minimize_max: the epigraph optimum equals the explicit maximum of the
+    /// expressions evaluated at the returned point, and no probe point does
+    /// strictly better.
+    #[test]
+    fn minimize_max_certificate(
+        weights in prop::collection::vec(1i64..=9, 3),
+        total in 2i64..=10,
+    ) {
+        // Balance load: minimize max_i (w_i * x_i) subject to sum x_i = total.
+        let mut m: Model<Rational> = Model::new();
+        let vars = m.add_nonneg_vars("x", 3);
+        let mut sum_expr = LinExpr::new();
+        for &v in &vars {
+            sum_expr.add_term(v, rat(1, 1));
+        }
+        m.add_constraint(sum_expr, Relation::Eq, rat(total, 1)).unwrap();
+        let exprs: Vec<LinExpr<Rational>> = vars
+            .iter()
+            .zip(weights.iter())
+            .map(|(&v, &w)| LinExpr::term(v, rat(w, 1)))
+            .collect();
+        m.minimize_max(exprs.clone()).unwrap();
+        let sol = m.solve().unwrap();
+        let achieved = exprs
+            .iter()
+            .map(|e| e.evaluate(&sol.values))
+            .max()
+            .unwrap();
+        prop_assert_eq!(achieved.clone(), sol.objective.clone());
+        // Closed form: optimum is total / sum_i (1/w_i).
+        let denom: Rational = weights
+            .iter()
+            .fold(Rational::zero(), |acc, &w| acc + rat(1, w));
+        let expected = rat(total, 1) / denom;
+        prop_assert_eq!(sol.objective, expected);
+    }
+}

@@ -1,0 +1,927 @@
+//! Arbitrary-precision signed integers.
+//!
+//! The representation is a sign flag plus a little-endian vector of 64-bit
+//! limbs. The magnitude is always normalized: no trailing zero limbs, and a
+//! zero value is represented by an empty limb vector with [`Sign::Zero`].
+//!
+//! The implementation favours simplicity and correctness over raw speed:
+//! schoolbook multiplication and shift/subtract long division are more than
+//! fast enough for the matrix sizes and LP tableaux that arise when verifying
+//! privacy mechanisms exactly (a few hundred bits at most in practice).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// Flip the sign; zero stays zero.
+    #[must_use]
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+
+    /// Product-of-signs rule.
+    #[must_use]
+    pub fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (Sign::Positive, Sign::Positive) | (Sign::Negative, Sign::Negative) => Sign::Positive,
+            _ => Sign::Negative,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian 64-bit limbs of the magnitude; normalized (no trailing zeros).
+    limbs: Vec<u64>,
+}
+
+/// Error returned when parsing a [`BigInt`] or
+/// [`Rational`](crate::rational::Rational) from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNumError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseNumError {}
+
+// ---------------------------------------------------------------------------
+// Limb-level helpers (magnitude arithmetic on &[u64])
+// ---------------------------------------------------------------------------
+
+fn trim(limbs: &mut Vec<u64>) {
+    while limbs.last() == Some(&0) {
+        limbs.pop();
+    }
+}
+
+fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let x = long[i] as u128;
+        let y = if i < short.len() { short[i] as u128 } else { 0 };
+        let sum = x + y + carry as u128;
+        out.push(sum as u64);
+        carry = (sum >> 64) as u64;
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Requires `a >= b` (as magnitudes).
+fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let x = a[i] as u128;
+        let y = if i < b.len() { b[i] as u128 } else { 0 };
+        let rhs = y + borrow as u128;
+        if x >= rhs {
+            out.push((x - rhs) as u64);
+            borrow = 0;
+        } else {
+            out.push((x + (1u128 << 64) - rhs) as u64);
+            borrow = 1;
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+/// Divide magnitude by a single limb, returning (quotient, remainder).
+fn mag_div_limb(a: &[u64], d: u64) -> (Vec<u64>, u64) {
+    assert!(d != 0, "division by zero");
+    let mut out = vec![0u64; a.len()];
+    let mut rem = 0u128;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << 64) | a[i] as u128;
+        out[i] = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    trim(&mut out);
+    (out, rem as u64)
+}
+
+fn mag_shl(a: &[u64], bits: usize) -> Vec<u64> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let limb_shift = bits / 64;
+    let bit_shift = bits % 64;
+    let mut out = vec![0u64; a.len() + limb_shift + 1];
+    for (i, &x) in a.iter().enumerate() {
+        if bit_shift == 0 {
+            out[i + limb_shift] |= x;
+        } else {
+            out[i + limb_shift] |= x << bit_shift;
+            out[i + limb_shift + 1] |= x >> (64 - bit_shift);
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+fn mag_bits(a: &[u64]) -> usize {
+    match a.last() {
+        None => 0,
+        Some(&top) => 64 * (a.len() - 1) + (64 - top.leading_zeros() as usize),
+    }
+}
+
+fn mag_get_bit(a: &[u64], bit: usize) -> bool {
+    let limb = bit / 64;
+    if limb >= a.len() {
+        return false;
+    }
+    (a[limb] >> (bit % 64)) & 1 == 1
+}
+
+/// Schoolbook shift/subtract long division on magnitudes.
+/// Returns (quotient, remainder).
+fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    assert!(!b.is_empty(), "division by zero");
+    if mag_cmp(a, b) == Ordering::Less {
+        return (Vec::new(), a.to_vec());
+    }
+    if b.len() == 1 {
+        let (q, r) = mag_div_limb(a, b[0]);
+        return (q, if r == 0 { Vec::new() } else { vec![r] });
+    }
+    let n = mag_bits(a);
+    let mut quotient = vec![0u64; a.len()];
+    let mut rem: Vec<u64> = Vec::new();
+    for bit in (0..n).rev() {
+        // rem = (rem << 1) | a_bit
+        rem = mag_shl(&rem, 1);
+        if mag_get_bit(a, bit) {
+            if rem.is_empty() {
+                rem.push(1);
+            } else {
+                rem[0] |= 1;
+            }
+        }
+        if mag_cmp(&rem, b) != Ordering::Less {
+            rem = mag_sub(&rem, b);
+            quotient[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+    trim(&mut quotient);
+    trim(&mut rem);
+    (quotient, rem)
+}
+
+// ---------------------------------------------------------------------------
+// BigInt public API
+// ---------------------------------------------------------------------------
+
+impl BigInt {
+    /// The integer 0.
+    #[must_use]
+    pub fn zero() -> BigInt {
+        BigInt {
+            sign: Sign::Zero,
+            limbs: Vec::new(),
+        }
+    }
+
+    /// The integer 1.
+    #[must_use]
+    pub fn one() -> BigInt {
+        BigInt::from(1i64)
+    }
+
+    /// Construct from a sign and raw little-endian limbs (normalizing).
+    #[must_use]
+    pub fn from_sign_limbs(sign: Sign, mut limbs: Vec<u64>) -> BigInt {
+        trim(&mut limbs);
+        if limbs.is_empty() {
+            return BigInt::zero();
+        }
+        let sign = if sign == Sign::Zero { Sign::Positive } else { sign };
+        BigInt { sign, limbs }
+    }
+
+    /// The sign of this integer.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// True iff the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True iff the value is one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.limbs == [1]
+    }
+
+    /// True iff the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// True iff the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> BigInt {
+        if self.sign == Sign::Negative {
+            BigInt {
+                sign: Sign::Positive,
+                limbs: self.limbs.clone(),
+            }
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Number of significant bits of the magnitude (0 for zero).
+    #[must_use]
+    pub fn bit_length(&self) -> usize {
+        mag_bits(&self.limbs)
+    }
+
+    /// True iff the magnitude is even.
+    #[must_use]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l % 2 == 0)
+    }
+
+    /// Shift the magnitude left by `bits` (sign preserved).
+    #[must_use]
+    pub fn shl_bits(&self, bits: usize) -> BigInt {
+        BigInt::from_sign_limbs(self.sign, mag_shl(&self.limbs, bits))
+    }
+
+    /// Shift the magnitude right by `bits` (truncating towards zero in magnitude).
+    #[must_use]
+    pub fn shr_bits(&self, bits: usize) -> BigInt {
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        if limb_shift >= self.limbs.len() {
+            return BigInt::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut v = self.limbs[i] >> bit_shift;
+            if bit_shift != 0 && i + 1 < self.limbs.len() {
+                v |= self.limbs[i + 1] << (64 - bit_shift);
+            }
+            out.push(v);
+        }
+        BigInt::from_sign_limbs(self.sign, out)
+    }
+
+    /// Euclidean division returning `(quotient, remainder)` with
+    /// `self = quotient * divisor + remainder` and the remainder having the
+    /// sign of `self` (truncated division, like Rust's `/` and `%` on
+    /// primitive integers).
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn div_rem(&self, divisor: &BigInt) -> (BigInt, BigInt) {
+        assert!(!divisor.is_zero(), "BigInt division by zero");
+        let (q_mag, r_mag) = mag_divrem(&self.limbs, &divisor.limbs);
+        let q_sign = self.sign.mul(divisor.sign);
+        let r_sign = self.sign;
+        (
+            BigInt::from_sign_limbs(q_sign, q_mag),
+            BigInt::from_sign_limbs(r_sign, r_mag),
+        )
+    }
+
+    /// Greatest common divisor of the magnitudes (always non-negative).
+    #[must_use]
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        // Binary GCD on magnitudes.
+        let mut a = self.abs();
+        let mut b = other.abs();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let a_tz = a.trailing_zeros();
+        let b_tz = b.trailing_zeros();
+        let shift = a_tz.min(b_tz);
+        a = a.shr_bits(a_tz);
+        b = b.shr_bits(b_tz);
+        loop {
+            // a and b are both odd here.
+            if mag_cmp(&a.limbs, &b.limbs) == Ordering::Less {
+                std::mem::swap(&mut a, &mut b);
+            }
+            a = BigInt::from_sign_limbs(Sign::Positive, mag_sub(&a.limbs, &b.limbs));
+            if a.is_zero() {
+                return b.shl_bits(shift);
+            }
+            let tz = a.trailing_zeros();
+            a = a.shr_bits(tz);
+        }
+    }
+
+    /// Number of trailing zero bits of the magnitude (0 for zero).
+    #[must_use]
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i * 64 + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// Raise to a non-negative integer power.
+    #[must_use]
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Convert to `i64` if the value fits.
+    #[must_use]
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => {
+                let mag = self.limbs[0];
+                match self.sign {
+                    Sign::Positive => i64::try_from(mag).ok(),
+                    Sign::Negative => {
+                        if mag <= i64::MAX as u64 + 1 {
+                            Some((mag as i128 * -1) as i64)
+                        } else {
+                            None
+                        }
+                    }
+                    Sign::Zero => Some(0),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Convert to `i128` if the value fits.
+    #[must_use]
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.limbs.len() > 2 {
+            return None;
+        }
+        let mut mag: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            mag |= (l as u128) << (64 * i);
+        }
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i128::try_from(mag).ok(),
+            Sign::Negative => {
+                if mag <= i128::MAX as u128 + 1 {
+                    Some(mag.wrapping_neg() as i128)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Best-effort conversion to `f64` (may lose precision; never panics).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_length();
+        let val = if bits <= 64 {
+            self.limbs.first().copied().unwrap_or(0) as f64
+        } else {
+            // Take the top 64 bits and scale.
+            let shift = bits - 64;
+            let top = self.shr_bits(shift);
+            let mantissa = top.limbs.first().copied().unwrap_or(0) as f64;
+            mantissa * 2f64.powi(shift as i32)
+        };
+        match self.sign {
+            Sign::Negative => -val,
+            _ => val,
+        }
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let v = v as i128;
+                if v == 0 {
+                    return BigInt::zero();
+                }
+                let sign = if v < 0 { Sign::Negative } else { Sign::Positive };
+                let mag = v.unsigned_abs();
+                let mut limbs = vec![mag as u64, (mag >> 64) as u64];
+                trim(&mut limbs);
+                BigInt { sign, limbs }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> BigInt {
+                let v = v as u128;
+                if v == 0 {
+                    return BigInt::zero();
+                }
+                let mut limbs = vec![v as u64, (v >> 64) as u64];
+                trim(&mut limbs);
+                BigInt { sign: Sign::Positive, limbs }
+            }
+        }
+    )*};
+}
+
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Sign::*;
+        match (self.sign, other.sign) {
+            (Negative, Negative) => mag_cmp(&other.limbs, &self.limbs),
+            (Negative, _) => Ordering::Less,
+            (Zero, Negative) => Ordering::Greater,
+            (Zero, Zero) => Ordering::Equal,
+            (Zero, Positive) => Ordering::Less,
+            (Positive, Positive) => mag_cmp(&self.limbs, &other.limbs),
+            (Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+// Arithmetic on references; owned variants delegate.
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_limbs(a, mag_add(&self.limbs, &rhs.limbs)),
+            _ => {
+                // Different signs: subtract smaller magnitude from larger.
+                match mag_cmp(&self.limbs, &rhs.limbs) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => {
+                        BigInt::from_sign_limbs(self.sign, mag_sub(&self.limbs, &rhs.limbs))
+                    }
+                    Ordering::Less => {
+                        BigInt::from_sign_limbs(rhs.sign, mag_sub(&rhs.limbs, &self.limbs))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_sign_limbs(self.sign.mul(rhs.sign), mag_mul(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+forward_owned_binop!(Div, div);
+forward_owned_binop!(Rem, rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign for BigInt {
+    fn add_assign(&mut self, rhs: BigInt) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl SubAssign for BigInt {
+    fn sub_assign(&mut self, rhs: BigInt) {
+        *self = &*self - &rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign for BigInt {
+    fn mul_assign(&mut self, rhs: BigInt) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = self.sign.negate();
+        self
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut mag = self.limbs.clone();
+        // Peel off 19 decimal digits at a time (10^19 < 2^64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        while !mag.is_empty() {
+            let (q, r) = mag_div_limb(&mag, CHUNK);
+            digits.push(r);
+            mag = q;
+        }
+        let mut s = String::new();
+        if self.sign == Sign::Negative {
+            s.push('-');
+        }
+        s.push_str(&digits.pop().unwrap_or(0).to_string());
+        while let Some(d) = digits.pop() {
+            s.push_str(&format!("{d:019}"));
+        }
+        write!(f, "{s}")
+    }
+}
+
+impl FromStr for BigInt {
+    type Err = ParseNumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseNumError {
+                message: "empty string".to_string(),
+            });
+        }
+        let (negative, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseNumError {
+                message: format!("invalid integer literal: {s:?}"),
+            });
+        }
+        let mut acc = BigInt::zero();
+        let ten = BigInt::from(10u64);
+        for b in digits.bytes() {
+            acc = &acc * &ten + BigInt::from((b - b'0') as u64);
+        }
+        if negative {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for BigInt {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for BigInt {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(BigInt::zero().is_zero());
+        assert!(BigInt::one().is_one());
+        assert!(!BigInt::one().is_zero());
+        assert_eq!(BigInt::zero(), BigInt::from(0i64));
+        assert_eq!(BigInt::default(), BigInt::zero());
+    }
+
+    #[test]
+    fn from_primitives_roundtrip_small() {
+        for v in [-3i64, -1, 0, 1, 2, 41, i64::MAX, i64::MIN + 1] {
+            assert_eq!(BigInt::from(v).to_i64(), Some(v));
+        }
+        assert_eq!(BigInt::from(u64::MAX).to_i128(), Some(u64::MAX as i128));
+    }
+
+    #[test]
+    fn addition_and_subtraction_mixed_signs() {
+        assert_eq!(bi(5) + bi(7), bi(12));
+        assert_eq!(bi(5) + bi(-7), bi(-2));
+        assert_eq!(bi(-5) + bi(7), bi(2));
+        assert_eq!(bi(-5) + bi(-7), bi(-12));
+        assert_eq!(bi(5) - bi(7), bi(-2));
+        assert_eq!(bi(7) - bi(7), bi(0));
+        assert_eq!(bi(0) - bi(7), bi(-7));
+    }
+
+    #[test]
+    fn multiplication_signs_and_carry() {
+        assert_eq!(bi(6) * bi(7), bi(42));
+        assert_eq!(bi(-6) * bi(7), bi(-42));
+        assert_eq!(bi(-6) * bi(-7), bi(42));
+        assert_eq!(bi(0) * bi(123456), bi(0));
+        let big = BigInt::from(u64::MAX) * BigInt::from(u64::MAX);
+        assert_eq!(
+            big.to_string(),
+            "340282366920938463426481119284349108225" // (2^64-1)^2
+        );
+    }
+
+    #[test]
+    fn division_truncates_towards_zero() {
+        assert_eq!(bi(7).div_rem(&bi(2)), (bi(3), bi(1)));
+        assert_eq!(bi(-7).div_rem(&bi(2)), (bi(-3), bi(-1)));
+        assert_eq!(bi(7).div_rem(&bi(-2)), (bi(-3), bi(1)));
+        assert_eq!(bi(-7).div_rem(&bi(-2)), (bi(3), bi(-1)));
+        assert_eq!(bi(6) / bi(3), bi(2));
+        assert_eq!(bi(6) % bi(4), bi(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = bi(1).div_rem(&bi(0));
+    }
+
+    #[test]
+    fn multi_limb_division() {
+        let a: BigInt = "123456789012345678901234567890123456789".parse().unwrap();
+        let b: BigInt = "9876543210987654321".parse().unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r < b);
+        assert!(!r.is_negative());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "18446744073709551616",
+            "-340282366920938463463374607431768211456",
+            "99999999999999999999999999999999999999999999",
+        ] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigInt>().is_err());
+        assert!("abc".parse::<BigInt>().is_err());
+        assert!("12x3".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+        assert!("1.5".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_total_and_sign_aware() {
+        assert!(bi(-10) < bi(-2));
+        assert!(bi(-2) < bi(0));
+        assert!(bi(0) < bi(3));
+        assert!(bi(3) < bi(10));
+        let big: BigInt = "99999999999999999999999999".parse().unwrap();
+        assert!(bi(5) < big);
+        assert!(-big.clone() < bi(5));
+    }
+
+    #[test]
+    fn gcd_matches_euclid_examples() {
+        assert_eq!(bi(12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(-12).gcd(&bi(18)), bi(6));
+        assert_eq!(bi(0).gcd(&bi(5)), bi(5));
+        assert_eq!(bi(5).gcd(&bi(0)), bi(5));
+        assert_eq!(bi(17).gcd(&bi(13)), bi(1));
+        let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let b: BigInt = "9876543210".parse().unwrap();
+        let g = a.gcd(&b);
+        assert_eq!((&a % &g), BigInt::zero());
+        assert_eq!((&b % &g), BigInt::zero());
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(bi(2).pow(10), bi(1024));
+        assert_eq!(bi(-2).pow(3), bi(-8));
+        assert_eq!(bi(7).pow(0), bi(1));
+        assert_eq!(bi(0).pow(5), bi(0));
+        assert_eq!(bi(10).pow(25).to_string(), format!("1{}", "0".repeat(25)));
+    }
+
+    #[test]
+    fn shifts_are_multiplication_by_powers_of_two() {
+        assert_eq!(bi(5).shl_bits(3), bi(40));
+        assert_eq!(bi(40).shr_bits(3), bi(5));
+        assert_eq!(bi(41).shr_bits(3), bi(5));
+        assert_eq!(bi(1).shl_bits(130).shr_bits(130), bi(1));
+        assert_eq!(bi(0).shl_bits(64), bi(0));
+    }
+
+    #[test]
+    fn bit_length_and_trailing_zeros() {
+        assert_eq!(bi(0).bit_length(), 0);
+        assert_eq!(bi(1).bit_length(), 1);
+        assert_eq!(bi(255).bit_length(), 8);
+        assert_eq!(bi(256).bit_length(), 9);
+        assert_eq!(bi(256).trailing_zeros(), 8);
+        assert_eq!(bi(12).trailing_zeros(), 2);
+    }
+
+    #[test]
+    fn to_f64_is_close_for_large_values() {
+        let v: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let f = v.to_f64();
+        let expected = 1.2345678901234568e29;
+        assert!((f - expected).abs() / expected < 1e-12);
+        assert_eq!(bi(-42).to_f64(), -42.0);
+        assert_eq!(bi(0).to_f64(), 0.0);
+    }
+}

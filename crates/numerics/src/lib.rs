@@ -1,0 +1,30 @@
+//! # privmech-numerics
+//!
+//! Exact arithmetic substrate for the `privmech` workspace: arbitrary-precision
+//! signed integers ([`BigInt`]) and exact rationals ([`Rational`]).
+//!
+//! The paper *Universally Optimal Privacy Mechanisms for Minimax Agents*
+//! (Gupte & Sundararajan, PODS 2010) reasons about mechanism matrices whose
+//! entries are exact fractions (e.g. the optimal mechanism of Table 1, or
+//! `det G'_{n,α} = (1 − α²)^{n−1}` from Lemma 1). Verifying those claims with
+//! floating-point arithmetic would replace equalities with tolerances, so the
+//! whole workspace is generic over a scalar type and this crate provides the
+//! exact instantiation.
+//!
+//! ```
+//! use privmech_numerics::{Rational, rat};
+//!
+//! // Lemma 1: det G'_{n,α} = (1 - α²)^{n-1}, here for n = 3, α = 1/4.
+//! let alpha = rat(1, 4);
+//! let det = (Rational::one() - &alpha * &alpha).pow(2);
+//! assert_eq!(det, rat(225, 256));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod rational;
+
+pub use bigint::{BigInt, ParseNumError, Sign};
+pub use rational::{rat, Rational};

@@ -1,0 +1,657 @@
+//! Exact rational numbers backed by [`BigInt`].
+//!
+//! A [`Rational`] is always stored in lowest terms with a strictly positive
+//! denominator, so structural equality coincides with numeric equality.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::bigint::{BigInt, ParseNumError, Sign};
+
+/// An exact rational number `numerator / denominator` in lowest terms, with a
+/// strictly positive denominator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// The rational 0.
+    #[must_use]
+    pub fn zero() -> Rational {
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The rational 1.
+    #[must_use]
+    pub fn one() -> Rational {
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Construct `num / den` and normalize.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn new(num: BigInt, den: BigInt) -> Rational {
+        assert!(!den.is_zero(), "Rational with zero denominator");
+        let mut r = Rational { num, den };
+        r.normalize();
+        r
+    }
+
+    /// Construct from machine integers, e.g. `Rational::from_ratio(1, 4)`.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn from_ratio(num: i64, den: i64) -> Rational {
+        Rational::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Construct the integer `v` as a rational.
+    #[must_use]
+    pub fn from_int(v: i64) -> Rational {
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
+    }
+
+    fn normalize(&mut self) {
+        if self.den.is_negative() {
+            self.num = -std::mem::take(&mut self.num);
+            self.den = -std::mem::take(&mut self.den);
+        }
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+            return;
+        }
+        let g = self.num.gcd(&self.den);
+        if !g.is_one() {
+            self.num = &self.num / &g;
+            self.den = &self.den / &g;
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    #[must_use]
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    #[must_use]
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// True iff the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff the value is one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// True iff the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// True iff the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// True iff the value is an integer (denominator 1).
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign of the value.
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Raise to an integer power (negative exponents invert; `0^0 = 1`).
+    ///
+    /// # Panics
+    /// Panics when raising zero to a negative power.
+    #[must_use]
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp == 0 {
+            return Rational::one();
+        }
+        let mag = exp.unsigned_abs();
+        let base = Rational {
+            num: self.num.pow(mag),
+            den: self.den.pow(mag),
+        };
+        if exp < 0 {
+            base.recip()
+        } else {
+            base
+        }
+    }
+
+    /// Smaller of two rationals (by value).
+    #[must_use]
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Larger of two rationals (by value).
+    #[must_use]
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Best-effort conversion to `f64`.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        if self.num.is_zero() {
+            return 0.0;
+        }
+        let nb = self.num.bit_length() as i64;
+        let db = self.den.bit_length() as i64;
+        // Bring both magnitudes into ~60-bit range so the u64 -> f64
+        // conversion is exact-ish, then reapply the scale.
+        let shift_n = (nb - 60).max(0) as usize;
+        let shift_d = (db - 60).max(0) as usize;
+        let n = self.num.abs().shr_bits(shift_n).to_f64();
+        let d = self.den.shr_bits(shift_d).to_f64();
+        let mut v = (n / d) * 2f64.powi(shift_n as i32 - shift_d as i32);
+        if self.num.is_negative() {
+            v = -v;
+        }
+        v
+    }
+
+    /// Exact conversion from an `f64` that must be finite.
+    ///
+    /// Returns `None` for NaN or infinities. The result is the exact binary
+    /// value of the float, e.g. `0.1` becomes the dyadic rational closest to
+    /// one tenth.
+    #[must_use]
+    pub fn from_f64_exact(v: f64) -> Option<Rational> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(Rational::zero());
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { -1i64 } else { 1 };
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let fraction = bits & ((1u64 << 52) - 1);
+        let (mantissa, exp) = if exponent == 0 {
+            (fraction, -1074i64)
+        } else {
+            (fraction | (1u64 << 52), exponent - 1075)
+        };
+        let mag = BigInt::from(mantissa) * BigInt::from(sign);
+        let r = if exp >= 0 {
+            Rational::new(mag.shl_bits(exp as usize), BigInt::one())
+        } else {
+            Rational::new(mag, BigInt::one().shl_bits((-exp) as usize))
+        };
+        Some(r)
+    }
+
+    /// Round to the nearest integer (ties round away from zero).
+    #[must_use]
+    pub fn round(&self) -> BigInt {
+        let two = BigInt::from(2i64);
+        let (q, r) = self.num.div_rem(&self.den);
+        let twice_r = &r.abs() * &two;
+        if twice_r >= self.den {
+            if self.num.is_negative() {
+                q - BigInt::one()
+            } else {
+                q + BigInt::one()
+            }
+        } else {
+            q
+        }
+    }
+
+    /// Integer floor.
+    #[must_use]
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if self.num.is_negative() && !r.is_zero() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Integer ceiling.
+    #[must_use]
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if self.num.is_positive() && !r.is_zero() {
+            q + BigInt::one()
+        } else {
+            q
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(v: u64) -> Self {
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational::from_int(v as i64)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(v: u32) -> Self {
+        Rational::from_int(v as i64)
+    }
+}
+
+impl From<usize> for Rational {
+    fn from(v: usize) -> Self {
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational {
+            num: v,
+            den: BigInt::one(),
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &self.num * &rhs.den + &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &self.num * &rhs.den - &rhs.num * &self.den,
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "Rational division by zero");
+        Rational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_owned_binop_rat {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop_rat!(Add, add);
+forward_owned_binop_rat!(Sub, sub);
+forward_owned_binop_rat!(Mul, mul);
+forward_owned_binop_rat!(Div, div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = &*self - &rhs;
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl DivAssign<&Rational> for Rational {
+    fn div_assign(&mut self, rhs: &Rational) {
+        *self = &*self / rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = &*self / &rhs;
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(mut self) -> Rational {
+        self.num = -self.num;
+        self
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        -self.clone()
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl FromStr for Rational {
+    type Err = ParseNumError;
+
+    /// Parse `"a"`, `"a/b"`, or simple decimal literals like `"0.25"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let num: BigInt = n.trim().parse()?;
+            let den: BigInt = d.trim().parse()?;
+            if den.is_zero() {
+                return Err(ParseNumError {
+                    message: format!("zero denominator in {s:?}"),
+                });
+            }
+            return Ok(Rational::new(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            let negative = int_part.trim_start().starts_with('-');
+            let int: BigInt = if int_part.is_empty() || int_part == "-" {
+                BigInt::zero()
+            } else {
+                int_part.parse()?
+            };
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseNumError {
+                    message: format!("invalid decimal literal: {s:?}"),
+                });
+            }
+            let frac: BigInt = frac_part.parse()?;
+            let scale = BigInt::from(10u64).pow(frac_part.len() as u32);
+            let frac_rat = Rational::new(frac, scale);
+            let int_rat = Rational::from(int);
+            return Ok(if negative {
+                int_rat - frac_rat
+            } else {
+                int_rat + frac_rat
+            });
+        }
+        Ok(Rational::from(s.parse::<BigInt>()?))
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Rational {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Rational {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+/// Convenience constructor: `rat(1, 4)` is `1/4`.
+#[must_use]
+pub fn rat(num: i64, den: i64) -> Rational {
+    Rational::from_ratio(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes_sign_and_gcd() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 5), Rational::zero());
+        assert_eq!(rat(6, 3), Rational::from_int(2));
+        assert!(rat(6, 3).is_integer());
+        assert!(!rat(1, 3).is_integer());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = rat(1, 0);
+    }
+
+    #[test]
+    fn field_operations_small_cases() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(2, 3) / rat(4, 3), rat(1, 2));
+        assert_eq!(-rat(2, 3), rat(-2, 3));
+        assert_eq!(rat(2, 3).recip(), rat(3, 2));
+    }
+
+    #[test]
+    fn ordering_cross_multiplies() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(7, 3) > rat(2, 1));
+        assert_eq!(rat(2, 6).cmp(&rat(1, 3)), Ordering::Equal);
+        assert_eq!(rat(1, 3).max(rat(1, 2)), rat(1, 2));
+        assert_eq!(rat(1, 3).min(rat(1, 2)), rat(1, 3));
+    }
+
+    #[test]
+    fn pow_positive_and_negative_exponents() {
+        assert_eq!(rat(2, 3).pow(3), rat(8, 27));
+        assert_eq!(rat(2, 3).pow(-2), rat(9, 4));
+        assert_eq!(rat(5, 7).pow(0), Rational::one());
+        // (1 - a^2)^(n-1) identity used by Lemma 1 for a = 1/4, n = 4.
+        let a = rat(1, 4);
+        let det = (Rational::one() - &a * &a).pow(3);
+        assert_eq!(det, rat(3375, 4096));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "1", "-3", "1/2", "-7/3", "22/7", "123456789012345678901/2"] {
+            let v: Rational = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("0.25".parse::<Rational>().unwrap(), rat(1, 4));
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), rat(-1, 2));
+        assert_eq!("2.".parse::<Rational>().is_err(), true);
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("a/b".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn f64_conversions() {
+        assert_eq!(rat(1, 4).to_f64(), 0.25);
+        assert_eq!(rat(-3, 2).to_f64(), -1.5);
+        assert!((rat(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(Rational::from_f64_exact(0.25), Some(rat(1, 4)));
+        assert_eq!(Rational::from_f64_exact(-2.0), Some(rat(-2, 1)));
+        assert_eq!(Rational::from_f64_exact(f64::NAN), None);
+        assert_eq!(Rational::from_f64_exact(f64::INFINITY), None);
+        // Round-trip through the exact binary value.
+        let r = Rational::from_f64_exact(0.1).unwrap();
+        assert_eq!(r.to_f64(), 0.1);
+    }
+
+    #[test]
+    fn rounding_floor_ceil() {
+        assert_eq!(rat(7, 2).round(), BigInt::from(4i64));
+        assert_eq!(rat(-7, 2).round(), BigInt::from(-4i64));
+        assert_eq!(rat(1, 3).round(), BigInt::from(0i64));
+        assert_eq!(rat(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(rat(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(rat(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(rat(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(rat(4, 2).floor(), BigInt::from(2i64));
+        assert_eq!(rat(4, 2).ceil(), BigInt::from(2i64));
+    }
+
+    #[test]
+    fn geometric_mass_identities() {
+        // The total mass of the two-sided geometric distribution is 1:
+        // (1-a)/(1+a) * (1 + 2*sum_{z>=1} a^z) = 1, checked for truncation-free
+        // small cases via the closed form of the partial sums.
+        let a = rat(1, 5);
+        let mut partial = Rational::zero();
+        for z in 1..=60 {
+            partial += a.pow(z);
+        }
+        let approx = (Rational::one() - &a) / (Rational::one() + &a)
+            * (Rational::one() + rat(2, 1) * partial);
+        // With 60 terms the defect is a^60, astronomically small but nonzero:
+        assert!(approx < Rational::one());
+        assert!(Rational::one() - approx < rat(1, 1_000_000_000));
+    }
+}

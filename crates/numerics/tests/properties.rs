@@ -1,0 +1,161 @@
+//! Property-based tests for the exact arithmetic substrate: ring/field axioms,
+//! ordering consistency, parse/display round-trips, and division invariants.
+
+use privmech_numerics::{BigInt, Rational};
+use proptest::prelude::*;
+
+fn arb_bigint() -> impl Strategy<Value = BigInt> {
+    // Mix small values with products of large factors so multi-limb paths are hit.
+    prop_oneof![
+        any::<i64>().prop_map(BigInt::from),
+        (any::<i128>(), any::<u64>()).prop_map(|(a, b)| BigInt::from(a) * BigInt::from(b)),
+        (any::<i128>(), any::<i128>())
+            .prop_map(|(a, b)| BigInt::from(a) * BigInt::from(b) + BigInt::from(1i64)),
+    ]
+}
+
+fn arb_rational() -> impl Strategy<Value = Rational> {
+    (any::<i64>(), 1i64..=1_000_000i64, any::<bool>()).prop_map(|(n, d, neg)| {
+        let r = Rational::from_ratio(n, d);
+        if neg {
+            -r
+        } else {
+            r
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bigint_add_commutes(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn bigint_add_associates(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+    }
+
+    #[test]
+    fn bigint_mul_commutes_and_distributes(a in arb_bigint(), b in arb_bigint(), c in arb_bigint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn bigint_sub_is_add_neg(a in arb_bigint(), b in arb_bigint()) {
+        prop_assert_eq!(&a - &b, &a + &(-b.clone()));
+        prop_assert_eq!(&a - &a, BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_divrem_reconstructs(a in arb_bigint(), b in arb_bigint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&q * &b + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+        // Truncated division: remainder has the sign of the dividend (or is zero).
+        if !r.is_zero() {
+            prop_assert_eq!(r.is_negative(), a.is_negative());
+        }
+    }
+
+    #[test]
+    fn bigint_display_parse_roundtrip(a in arb_bigint()) {
+        let s = a.to_string();
+        let back: BigInt = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn bigint_ordering_consistent_with_subtraction(a in arb_bigint(), b in arb_bigint()) {
+        let diff = &a - &b;
+        prop_assert_eq!(a > b, diff.is_positive());
+        prop_assert_eq!(a == b, diff.is_zero());
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both_and_is_nonnegative(a in arb_bigint(), b in arb_bigint()) {
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_negative());
+        if !g.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+            prop_assert!((&b % &g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn bigint_shift_matches_pow2_mul(a in arb_bigint(), k in 0usize..130) {
+        let shifted = a.shl_bits(k);
+        let pow2 = BigInt::from(2i64).pow(k as u32);
+        prop_assert_eq!(shifted.clone(), &a * &pow2);
+        prop_assert_eq!(shifted.shr_bits(k), a);
+    }
+
+    #[test]
+    fn rational_field_axioms(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!((&a + &b) + &c, &a + (&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!((&a * &b) * &c, &a * (&b * &c));
+        prop_assert_eq!(&a * (&b + &c), &a * &b + &a * &c);
+        prop_assert_eq!(&a + &Rational::zero(), a.clone());
+        prop_assert_eq!(&a * &Rational::one(), a.clone());
+        prop_assert_eq!(&a - &a, Rational::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), Rational::one());
+            prop_assert_eq!(&a / &a, Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_normalization_canonical(n in any::<i64>(), d in 1i64..=1_000_000i64, k in 1i64..=1000i64) {
+        // Scaling numerator and denominator by the same factor yields the same value.
+        let a = Rational::from_ratio(n, d);
+        let b = Rational::new(
+            BigInt::from(n) * BigInt::from(k),
+            BigInt::from(d) * BigInt::from(k),
+        );
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rational_ordering_translation_invariant(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+        prop_assert_eq!(a < b, &a + &c < &b + &c);
+    }
+
+    #[test]
+    fn rational_display_parse_roundtrip(a in arb_rational()) {
+        let s = a.to_string();
+        let back: Rational = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn rational_to_f64_close(n in -1_000_000i64..1_000_000i64, d in 1i64..=1_000_000i64) {
+        let r = Rational::from_ratio(n, d);
+        let f = r.to_f64();
+        let direct = n as f64 / d as f64;
+        prop_assert!((f - direct).abs() <= 1e-9 * direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn rational_floor_ceil_round_bracket(a in arb_rational()) {
+        let fl = Rational::from(a.floor());
+        let ce = Rational::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Rational::one());
+        let rounded = Rational::from(a.round());
+        prop_assert!((rounded - &a).abs() <= Rational::from_ratio(1, 2));
+    }
+
+    #[test]
+    fn rational_from_f64_exact_roundtrip(x in -1e12f64..1e12f64) {
+        let r = Rational::from_f64_exact(x).unwrap();
+        prop_assert_eq!(r.to_f64(), x);
+    }
+}

@@ -1,0 +1,76 @@
+//! # privmech
+//!
+//! Facade crate for the `privmech` workspace: a from-scratch Rust
+//! implementation of *Universally Optimal Privacy Mechanisms for Minimax
+//! Agents* (Gupte & Sundararajan, PODS 2010) together with every substrate it
+//! relies on (exact rational arithmetic, dense linear algebra, a two-phase
+//! simplex LP solver, and a count-query database layer).
+//!
+//! Most applications only need this crate: it re-exports the full public API
+//! of the member crates under stable module names.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use privmech::prelude::*;
+//! use privmech::numerics::rat;
+//!
+//! // Publish a count at privacy level α = 1/3 with the geometric mechanism
+//! // and let a consumer with side information post-process it optimally.
+//! let level = PrivacyLevel::new(rat(1, 3)).unwrap();
+//! let deployed = geometric_mechanism(5, &level).unwrap();
+//! let consumer = MinimaxConsumer::new(
+//!     "drug company",
+//!     Arc::new(AbsoluteError),
+//!     SideInformation::at_least(5, 2).unwrap(),
+//! ).unwrap();
+//! let interaction = optimal_interaction(&deployed, &consumer).unwrap();
+//! let tailored = optimal_mechanism(&level, &consumer).unwrap();
+//! assert_eq!(interaction.loss, tailored.loss); // Theorem 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Exact arithmetic: arbitrary-precision integers and rationals.
+pub mod numerics {
+    pub use privmech_numerics::*;
+}
+
+/// Dense generic linear algebra.
+pub mod linalg {
+    pub use privmech_linalg::*;
+}
+
+/// Linear programming (two-phase simplex).
+pub mod lp {
+    pub use privmech_lp::*;
+}
+
+/// The paper's core: mechanisms, consumers, optimality, multi-level release.
+pub mod core {
+    pub use privmech_core::*;
+}
+
+/// Database substrate: records, count queries, obliviousness.
+pub mod db {
+    pub use privmech_db::*;
+}
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use privmech_core::{
+        appendix_b_mechanism, audit_mechanism, bayesian_optimal_interaction, collusion_experiment,
+        derive_from_geometric, derive_post_processing, empirical_distribution,
+        geometric_mechanism, optimal_interaction, optimal_mechanism, randomized_response,
+        sample_geometric_output, theorem2_check, total_variation_distance, transition_matrix,
+        AbsoluteError, BayesianConsumer, CoreError, DerivabilityCheck, Interaction, LossFunction,
+        Mechanism, MinimaxConsumer, MultiLevelRelease, OptimalMechanism, PrivacyLevel,
+        SideInformation, SquaredError, StageRelease, TableLoss, ToleranceError, ZeroOneError,
+    };
+    pub use privmech_db::{CountQuery, Database, DatabaseMechanism, Predicate, Record,
+        SyntheticPopulation};
+    pub use privmech_linalg::{Matrix, Scalar};
+    pub use privmech_numerics::{rat, BigInt, Rational};
+}
+
+pub use prelude::*;

@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: database → count query → geometric release →
+//! consumer post-processing → optimality, plus the multi-level release and
+//! derivability machinery, all through the `privmech` facade.
+
+use std::sync::Arc;
+
+use privmech::db::{CountQuery, Predicate, SyntheticPopulation};
+use privmech::numerics::rat;
+use privmech::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The complete pipeline of the paper's running example, with exact arithmetic.
+#[test]
+fn flu_report_pipeline_reaches_tailored_optimum_for_every_consumer() {
+    let mut rng = StdRng::seed_from_u64(20100115);
+    let population = SyntheticPopulation {
+        size: 6,
+        adult_rate: 0.9,
+        flu_rate: 0.4,
+        drug_rate_given_flu: 0.5,
+        drug_rate_without_flu: 0.1,
+    };
+    let database = population.generate("San Diego", &mut rng);
+    let query = CountQuery::new(Predicate::adults_with_flu_in("San Diego"));
+    let true_count = query.evaluate(&database);
+    let n = database.len();
+    assert!(true_count <= n);
+
+    let level = PrivacyLevel::new(rat(1, 3)).unwrap();
+    let deployed = geometric_mechanism(n, &level).unwrap();
+    assert!(deployed.is_differentially_private(&level));
+
+    // A released value is always in range.
+    let released = deployed.sample(true_count, &mut rng).unwrap();
+    assert!(released <= n);
+
+    // Three consumers with different losses and side information all reach
+    // their tailored optimum by post-processing the same deployed mechanism.
+    let consumers = vec![
+        MinimaxConsumer::new(
+            "government",
+            Arc::new(AbsoluteError) as Arc<dyn LossFunction<Rational> + Send + Sync>,
+            SideInformation::full(n),
+        )
+        .unwrap(),
+        MinimaxConsumer::new(
+            "drug-company",
+            Arc::new(SquaredError),
+            SideInformation::at_least(n, true_count.min(n)).unwrap(),
+        )
+        .unwrap(),
+        MinimaxConsumer::new(
+            "journalist",
+            Arc::new(ZeroOneError),
+            SideInformation::at_most(n, n - 1).unwrap(),
+        )
+        .unwrap(),
+    ];
+    for consumer in &consumers {
+        let raw = consumer.disutility(&deployed).unwrap();
+        let interaction = optimal_interaction(&deployed, consumer).unwrap();
+        let tailored = optimal_mechanism(&level, consumer).unwrap();
+        assert!(interaction.loss <= raw, "{}", consumer.name());
+        assert_eq!(interaction.loss, tailored.loss, "{}", consumer.name());
+        assert!(interaction.post_processing.is_row_stochastic());
+        assert!(tailored.mechanism.is_differentially_private(&level));
+        // The induced mechanism is derivable from the geometric mechanism
+        // (Theorem 1's proof route through Theorem 2).
+        assert!(theorem2_check(&interaction.induced, &level).is_derivable());
+    }
+}
+
+/// Algorithm 1 end to end: structure, sampling, and audits.
+#[test]
+fn multi_level_release_is_consistent_with_its_marginals() {
+    let n = 8usize;
+    let levels = vec![
+        PrivacyLevel::new(rat(1, 4)).unwrap(),
+        PrivacyLevel::new(rat(1, 2)).unwrap(),
+        PrivacyLevel::new(rat(2, 3)).unwrap(),
+    ];
+    let release = MultiLevelRelease::new(n, levels).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    for (i, level) in release.levels().iter().enumerate() {
+        let marginal = release.marginal_mechanism(i).unwrap();
+        assert_eq!(marginal, geometric_mechanism(n, level).unwrap());
+        let audit = audit_mechanism(&marginal, level);
+        assert!(audit.is_fully_compliant());
+    }
+
+    // Chained releases stay in range and the chain has the right length.
+    for _ in 0..50 {
+        let out = release.release(3, &mut rng).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|s| s.value <= n));
+    }
+}
+
+/// The derivability toolchain across crates: build a mechanism with the LP,
+/// factor it through the geometric mechanism, audit both.
+#[test]
+fn tailored_optimum_is_derivable_from_the_geometric_mechanism() {
+    let n = 4usize;
+    let level = PrivacyLevel::new(rat(1, 4)).unwrap();
+    let consumer = MinimaxConsumer::new(
+        "gov",
+        Arc::new(AbsoluteError),
+        SideInformation::full(n),
+    )
+    .unwrap();
+    let tailored = optimal_mechanism(&level, &consumer).unwrap();
+
+    // Section 4.2: every optimal mechanism is derivable from the geometric
+    // mechanism.
+    let t = derive_from_geometric(&tailored.mechanism, &level).unwrap();
+    assert!(t.is_row_stochastic());
+    let g = geometric_mechanism(n, &level).unwrap();
+    assert_eq!(
+        g.matrix().matmul(&t).unwrap(),
+        tailored.mechanism.matrix().clone()
+    );
+
+    // And the Appendix B mechanism is the counterexample that is private but
+    // not derivable.
+    let half = PrivacyLevel::new(rat(1, 2)).unwrap();
+    let odd: Mechanism<Rational> = appendix_b_mechanism();
+    let audit = audit_mechanism(&odd, &half);
+    assert!(audit.meets_target);
+    assert!(!audit.derivability.is_derivable());
+}
+
+/// Facade error paths: every misuse produces a typed error, never a panic.
+#[test]
+fn facade_error_paths_are_typed() {
+    // Invalid alpha.
+    assert!(PrivacyLevel::new(rat(5, 4)).is_err());
+    // Empty side information.
+    assert!(SideInformation::new(4, Vec::<usize>::new()).is_err());
+    // Mechanism with a non-stochastic row.
+    assert!(Mechanism::from_rows(vec![vec![rat(1, 2), rat(1, 4)], vec![rat(1, 2), rat(1, 2)]]).is_err());
+    // Multi-level release with decreasing levels.
+    assert!(MultiLevelRelease::<Rational>::new(
+        3,
+        vec![
+            PrivacyLevel::new(rat(1, 2)).unwrap(),
+            PrivacyLevel::new(rat(1, 4)).unwrap(),
+        ],
+    )
+    .is_err());
+    // Consumer/mechanism dimension mismatch.
+    let level = PrivacyLevel::new(rat(1, 3)).unwrap();
+    let g = geometric_mechanism(3, &level).unwrap();
+    let consumer = MinimaxConsumer::<Rational>::new(
+        "gov",
+        Arc::new(AbsoluteError),
+        SideInformation::full(7),
+    )
+    .unwrap();
+    assert!(optimal_interaction(&g, &consumer).is_err());
+    // Out-of-range sampling input.
+    let mut rng = StdRng::seed_from_u64(0);
+    assert!(g.sample(9, &mut rng).is_err());
+}
+
+/// The three baselines are valid mechanisms but never beat the tailored
+/// optimum built on the geometric mechanism.
+#[test]
+fn baselines_are_dominated_by_the_geometric_route() {
+    let n = 5usize;
+    let level = PrivacyLevel::new(rat(1, 2)).unwrap();
+    let consumer = MinimaxConsumer::new(
+        "gov",
+        Arc::new(AbsoluteError),
+        SideInformation::full(n),
+    )
+    .unwrap();
+    let tailored = optimal_mechanism(&level, &consumer).unwrap();
+    let rr = randomized_response(n, &level).unwrap();
+    assert!(rr.is_differentially_private(&level));
+    assert!(tailored.loss <= consumer.disutility(&rr).unwrap());
+    let g = geometric_mechanism(n, &level).unwrap();
+    assert!(tailored.loss <= consumer.disutility(&g).unwrap());
+}
