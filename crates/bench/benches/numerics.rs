@@ -7,7 +7,7 @@ use privmech_numerics::{BigInt, Rational};
 
 fn big(digits: usize) -> BigInt {
     let s: String = std::iter::once('7')
-        .chain(std::iter::repeat('3').take(digits - 1))
+        .chain(std::iter::repeat_n('3', digits - 1))
         .collect();
     s.parse().unwrap()
 }

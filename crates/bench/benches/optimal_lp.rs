@@ -19,7 +19,7 @@ fn bench_optimal_lp(c: &mut Criterion) {
             b.iter(|| optimal_mechanism(black_box(&level), &consumer).unwrap());
         });
     }
-    for n in [3usize, 4, 5] {
+    for n in [3usize, 4, 5, 8, 12, 16] {
         group.bench_with_input(BenchmarkId::new("exact_full_S", n), &n, |b, &n| {
             let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).unwrap();
             let consumer = bench_consumer::<Rational>(n);

@@ -1,0 +1,227 @@
+//! Perf-trajectory tool: run the LP benchmark workloads in quick mode and
+//! append one JSON record to `BENCH_lp.json`.
+//!
+//! Unlike the Criterion suite this drives `optimal_mechanism` directly, so it
+//! can record the solver's [`PivotStats`] next to each wall time — a perf
+//! regression then decomposes into "more pivots" (pricing/algorithmic) vs
+//! "slower pivots" (arithmetic/kernel).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-summary [--label <label>] [--output <path>] [--max-n <n>] [--reps <k>]
+//! ```
+//!
+//! The output file is JSON Lines: one self-contained record per invocation,
+//! so successive PRs build up a comparable history. Each record looks like
+//!
+//! ```json
+//! {"label": "pr1", "results": [
+//!   {"name": "exact_full_S/8", "scalar": "rational", "n": 8,
+//!    "median_ns": 123456, "pivots": 42, "phase1_pivots": 17,
+//!    "degenerate_pivots": 3, "fallback_activations": 0}, ...]}
+//! ```
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::Instant;
+
+use privmech_bench::{bench_consumer, bench_interval_consumer};
+use privmech_core::{optimal_mechanism, MinimaxConsumer, PrivacyLevel};
+use privmech_lp::PivotStats;
+use privmech_numerics::{rat, Rational};
+
+struct RunResult {
+    name: String,
+    scalar: &'static str,
+    n: usize,
+    median_ns: u128,
+    samples: usize,
+    stats: PivotStats,
+}
+
+/// Time `f` adaptively: slow workloads run once, fast ones `reps` times; the
+/// median is reported.
+fn time_workload<F: FnMut() -> PivotStats>(reps: usize, mut f: F) -> (u128, usize, PivotStats) {
+    let start = Instant::now();
+    let stats = f();
+    let first = start.elapsed().as_nanos();
+    // Re-running a multi-second exact solve several times buys no precision
+    // worth its wall-clock cost.
+    let extra = if first > 2_000_000_000 {
+        0
+    } else {
+        reps.saturating_sub(1)
+    };
+    let mut times = vec![first];
+    for _ in 0..extra {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], times.len(), stats)
+}
+
+fn run_exact(n: usize, reps: usize) -> RunResult {
+    let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).expect("valid alpha");
+    let consumer: MinimaxConsumer<Rational> = bench_consumer(n);
+    let (median_ns, samples, stats) = time_workload(reps, || {
+        optimal_mechanism(&level, &consumer)
+            .expect("solvable LP")
+            .lp_stats
+    });
+    RunResult {
+        name: format!("exact_full_S/{n}"),
+        scalar: "rational",
+        n,
+        median_ns,
+        samples,
+        stats,
+    }
+}
+
+fn run_f64(n: usize, reps: usize) -> RunResult {
+    let level = PrivacyLevel::new(0.25f64).expect("valid alpha");
+    let consumer: MinimaxConsumer<f64> = bench_consumer(n);
+    let (median_ns, samples, stats) = time_workload(reps, || {
+        optimal_mechanism(&level, &consumer)
+            .expect("solvable LP")
+            .lp_stats
+    });
+    RunResult {
+        name: format!("f64_full_S/{n}"),
+        scalar: "f64",
+        n,
+        median_ns,
+        samples,
+        stats,
+    }
+}
+
+fn run_f64_interval(n: usize, reps: usize) -> RunResult {
+    let level = PrivacyLevel::new(0.25f64).expect("valid alpha");
+    let consumer: MinimaxConsumer<f64> = bench_interval_consumer(n);
+    let (median_ns, samples, stats) = time_workload(reps, || {
+        optimal_mechanism(&level, &consumer)
+            .expect("solvable LP")
+            .lp_stats
+    });
+    RunResult {
+        name: format!("f64_interval_S/{n}"),
+        scalar: "f64",
+        n,
+        median_ns,
+        samples,
+        stats,
+    }
+}
+
+fn json_record(label: &str, results: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"label\": \"{label}\", \"results\": ["));
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"scalar\": \"{}\", \"n\": {}, \"median_ns\": {}, \
+             \"samples\": {}, \"pivots\": {}, \"phase1_pivots\": {}, \
+             \"degenerate_pivots\": {}, \"dantzig_pivots\": {}, \"bland_pivots\": {}, \
+             \"fallback_activations\": {}}}",
+            r.name,
+            r.scalar,
+            r.n,
+            r.median_ns,
+            r.samples,
+            r.stats.total_pivots(),
+            r.stats.phase1_pivots,
+            r.stats.degenerate_pivots,
+            r.stats.dantzig_pivots,
+            r.stats.bland_pivots,
+            r.stats.fallback_activations,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let mut label = "dev".to_string();
+    let mut output = "BENCH_lp.json".to_string();
+    let mut max_n = 16usize;
+    let mut reps = 5usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--output" => output = args.next().expect("--output needs a value"),
+            "--max-n" => {
+                max_n = args
+                    .next()
+                    .expect("--max-n needs a value")
+                    .parse()
+                    .expect("--max-n needs an integer")
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .expect("--reps needs a value")
+                    .parse()
+                    .expect("--reps needs an integer")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench-summary [--label L] [--output PATH] [--max-n N] [--reps K]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut results = Vec::new();
+    for n in [3usize, 4, 6, 8, 10] {
+        if n > max_n {
+            break;
+        }
+        eprintln!("running f64_full_S/{n} ...");
+        results.push(run_f64(n, reps));
+    }
+    for n in [6usize, 10] {
+        if n > max_n {
+            break;
+        }
+        eprintln!("running f64_interval_S/{n} ...");
+        results.push(run_f64_interval(n, reps));
+    }
+    for n in [3usize, 4, 5, 8, 12, 16] {
+        if n > max_n {
+            break;
+        }
+        eprintln!("running exact_full_S/{n} ...");
+        results.push(run_exact(n, reps));
+    }
+
+    for r in &results {
+        eprintln!(
+            "{:<22} median {:>12} ns  pivots {:>5} (phase1 {}, degenerate {}, fallbacks {})",
+            r.name,
+            r.median_ns,
+            r.stats.total_pivots(),
+            r.stats.phase1_pivots,
+            r.stats.degenerate_pivots,
+            r.stats.fallback_activations,
+        );
+    }
+
+    let record = json_record(&label, &results);
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&output)
+        .expect("open output file");
+    writeln!(file, "{record}").expect("write output file");
+    eprintln!("appended record \"{label}\" to {output}");
+}

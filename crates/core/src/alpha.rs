@@ -105,8 +105,12 @@ mod tests {
         assert!(!a.is_vacuous());
         assert!(!a.is_absolute());
         assert!(PrivacyLevel::<Rational>::from_ratio(1, 0).is_err());
-        assert!(PrivacyLevel::<Rational>::from_ratio(0, 1).unwrap().is_vacuous());
-        assert!(PrivacyLevel::<Rational>::from_ratio(1, 1).unwrap().is_absolute());
+        assert!(PrivacyLevel::<Rational>::from_ratio(0, 1)
+            .unwrap()
+            .is_vacuous());
+        assert!(PrivacyLevel::<Rational>::from_ratio(1, 1)
+            .unwrap()
+            .is_absolute());
     }
 
     #[test]

@@ -126,10 +126,7 @@ mod tests {
         );
         // α = 1 degenerates to the uniform mechanism.
         let one = PrivacyLevel::new(Rational::one()).unwrap();
-        assert_eq!(
-            randomized_response(3, &one).unwrap(),
-            Mechanism::uniform(3)
-        );
+        assert_eq!(randomized_response(3, &one).unwrap(), Mechanism::uniform(3));
     }
 
     #[test]
@@ -143,7 +140,10 @@ mod tests {
         assert!(m.best_privacy_level() > Rational::zero());
         // α = 0 is the identity.
         let zero = PrivacyLevel::new(Rational::zero()).unwrap();
-        assert_eq!(truncated_geometric(4, &zero).unwrap(), Mechanism::identity(4));
+        assert_eq!(
+            truncated_geometric(4, &zero).unwrap(),
+            Mechanism::identity(4)
+        );
     }
 
     #[test]

@@ -215,7 +215,11 @@ impl<T: Scalar> BayesianConsumer<T> {
     }
 
     /// A uniform prior over `{0, …, n}`.
-    pub fn uniform(name: impl Into<String>, loss: Arc<dyn LossFunction<T> + Send + Sync>, n: usize) -> Result<Self> {
+    pub fn uniform(
+        name: impl Into<String>,
+        loss: Arc<dyn LossFunction<T> + Send + Sync>,
+        n: usize,
+    ) -> Result<Self> {
         let p = T::one() / T::from_i64((n + 1) as i64);
         BayesianConsumer::new(name, loss, vec![p; n + 1])
     }
@@ -265,7 +269,10 @@ mod tests {
         assert!(!s.contains(2));
         assert_eq!(s.n(), 5);
         assert_eq!(SideInformation::full(3).members(), &[0, 1, 2, 3]);
-        assert_eq!(SideInformation::interval(5, 2, 4).unwrap().members(), &[2, 3, 4]);
+        assert_eq!(
+            SideInformation::interval(5, 2, 4).unwrap().members(),
+            &[2, 3, 4]
+        );
         assert_eq!(SideInformation::at_least(5, 4).unwrap().members(), &[4, 5]);
         assert_eq!(SideInformation::at_most(5, 1).unwrap().members(), &[0, 1]);
         assert!(SideInformation::new(5, Vec::<usize>::new()).is_err());
@@ -316,24 +323,15 @@ mod tests {
         // rows 0 and 2 contribute 1 each, row 1 contributes 2/3; average 8/9.
         assert_eq!(uniform.disutility(&m).unwrap(), rat(8, 9));
 
-        assert!(BayesianConsumer::<Rational>::new(
-            "bad",
-            Arc::new(AbsoluteError),
-            vec![]
-        )
-        .is_err());
-        assert!(BayesianConsumer::new(
-            "bad",
-            Arc::new(AbsoluteError),
-            vec![rat(1, 2), rat(1, 4)]
-        )
-        .is_err());
-        assert!(BayesianConsumer::new(
-            "bad",
-            Arc::new(AbsoluteError),
-            vec![rat(3, 2), rat(-1, 2)]
-        )
-        .is_err());
+        assert!(BayesianConsumer::<Rational>::new("bad", Arc::new(AbsoluteError), vec![]).is_err());
+        assert!(
+            BayesianConsumer::new("bad", Arc::new(AbsoluteError), vec![rat(1, 2), rat(1, 4)])
+                .is_err()
+        );
+        assert!(
+            BayesianConsumer::new("bad", Arc::new(AbsoluteError), vec![rat(3, 2), rat(-1, 2)])
+                .is_err()
+        );
     }
 
     #[test]

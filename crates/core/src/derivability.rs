@@ -50,7 +50,10 @@ impl DerivabilityCheck {
 /// Run the Theorem 2 characterization on a mechanism: the O(n²) column scan
 /// that decides derivability from `G_{n,α}` without computing `G⁻¹·M`.
 #[must_use]
-pub fn theorem2_check<T: Scalar>(mechanism: &Mechanism<T>, level: &PrivacyLevel<T>) -> DerivabilityCheck {
+pub fn theorem2_check<T: Scalar>(
+    mechanism: &Mechanism<T>,
+    level: &PrivacyLevel<T>,
+) -> DerivabilityCheck {
     let alpha = level.alpha().clone();
     let m = mechanism.matrix();
     let size = mechanism.size();
@@ -62,7 +65,10 @@ pub fn theorem2_check<T: Scalar>(mechanism: &Mechanism<T>, level: &PrivacyLevel<
         let top = m[(0, col)].clone();
         let second = m[(1, col)].clone();
         if !(top.clone() - alpha.clone() * second).approx_ge(&T::zero()) {
-            return DerivabilityCheck::Violated { column: col, row: 0 };
+            return DerivabilityCheck::Violated {
+                column: col,
+                row: 0,
+            };
         }
         // Endpoint condition at the bottom: x_n >= α·x_{n-1}
         // (Lemma 2, case i = n).
@@ -146,9 +152,7 @@ pub fn derive_from_geometric<T: Scalar>(
     level: &PrivacyLevel<T>,
 ) -> Result<Matrix<T>> {
     match theorem2_check(mechanism, level) {
-        DerivabilityCheck::Violated { column, row } => {
-            Err(CoreError::NotDerivable { column, row })
-        }
+        DerivabilityCheck::Violated { column, row } => Err(CoreError::NotDerivable { column, row }),
         DerivabilityCheck::Derivable => {
             let g = geometric_mechanism(mechanism.n(), level)?;
             derive_post_processing(&g, mechanism)

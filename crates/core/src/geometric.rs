@@ -145,8 +145,14 @@ mod tests {
         assert_eq!(two_sided_geometric_pmf(&a, -1), rat(2, 15));
         assert_eq!(two_sided_geometric_pmf(&a, 3), rat(2, 375));
         // α = 0 is the identity (point mass).
-        assert_eq!(two_sided_geometric_pmf(&Rational::zero(), 0), Rational::one());
-        assert_eq!(two_sided_geometric_pmf(&Rational::zero(), 2), Rational::zero());
+        assert_eq!(
+            two_sided_geometric_pmf(&Rational::zero(), 0),
+            Rational::one()
+        );
+        assert_eq!(
+            two_sided_geometric_pmf(&Rational::zero(), 2),
+            Rational::zero()
+        );
         // Symmetric in z.
         assert_eq!(
             two_sided_geometric_pmf(&a, 7),
@@ -241,7 +247,7 @@ mod tests {
     fn table1b_scaling_reproduces_paper_entries() {
         // Table 1(b) of the paper, n = 3, α = 1/4.
         let scaled = table1b_scaled_geometric(3, &rat(1, 4));
-        let expected = vec![
+        let expected = [
             vec![rat(4, 3), rat(1, 4), rat(1, 16), rat(1, 48)],
             vec![rat(1, 3), rat(1, 1), rat(1, 4), rat(1, 12)],
             vec![rat(1, 12), rat(1, 4), rat(1, 1), rat(1, 3)],
@@ -276,6 +282,7 @@ mod tests {
         for _ in 0..trials {
             counts[sample_geometric_output(n, k, alpha, &mut rng)] += 1;
         }
+        #[allow(clippy::needless_range_loop)] // z is also the pmf argument
         for z in 0..=n {
             let expected = range_restricted_pmf(n, &alpha, k, z);
             let observed = counts[z] as f64 / trials as f64;

@@ -9,7 +9,7 @@
 //! reinterpretations, which this module computes directly without an LP.
 
 use privmech_linalg::{Matrix, Scalar};
-use privmech_lp::{LinExpr, Model, Relation};
+use privmech_lp::{LinExpr, Model, PivotStats, Relation};
 
 use crate::consumer::{BayesianConsumer, MinimaxConsumer};
 use crate::error::{CoreError, Result};
@@ -25,6 +25,9 @@ pub struct Interaction<T: Scalar> {
     /// The loss achieved by the induced mechanism under the consumer's
     /// objective (worst-case for minimax, expected for Bayesian).
     pub loss: T,
+    /// Simplex pivot statistics from the underlying LP solve (all zeros for
+    /// the Bayesian interaction, which needs no LP).
+    pub lp_stats: PivotStats,
 }
 
 /// Solve the linear program of Section 2.4.3: the minimax-optimal
@@ -33,6 +36,7 @@ pub struct Interaction<T: Scalar> {
 /// Variables `T[r][r']` for all outputs `r, r'`; each row of `T` is a
 /// probability distribution; the objective minimizes
 /// `max_{i ∈ S} Σ_{r'} l(i, r') · (Σ_r y[i][r]·T[r][r'])`.
+#[allow(clippy::needless_range_loop)] // index-coupled access into t_vars[r][r']
 pub fn optimal_interaction<T: Scalar>(
     deployed: &Mechanism<T>,
     consumer: &MinimaxConsumer<T>,
@@ -64,19 +68,23 @@ pub fn optimal_interaction<T: Scalar>(
         model.add_labeled_constraint(row_sum, Relation::Eq, T::one(), Some(format!("row_{r}")))?;
     }
 
-    // One epigraph expression per possible true result in S.
-    let loss = consumer.loss();
+    // One epigraph expression per possible true result in S. The objective
+    // coefficient of t[r][r'] in row i is y[i][r] · l(i, r'): the losses are
+    // tabulated once per consumer and each coefficient is produced by a
+    // single by-reference multiply instead of re-invoking the dynamically
+    // dispatched loss function per (r, r') pair.
+    let losses = crate::loss::tabulate_loss(consumer.loss(), size);
     let mut exprs = Vec::new();
     for &i in consumer.side_information().members() {
         let mut expr = LinExpr::new();
+        let loss_row = losses.row(i);
         for r in 0..size {
-            let y_ir = deployed.prob(i, r)?.clone();
+            let y_ir = deployed.prob(i, r)?;
             if y_ir.is_zero_approx() {
                 continue;
             }
-            for rp in 0..size {
-                let coeff = y_ir.clone() * loss.loss(i, rp);
-                expr.add_term(t_vars[r][rp], coeff);
+            for (rp, cost) in loss_row.iter().enumerate() {
+                expr.add_term(t_vars[r][rp], y_ir.mul_ref(cost));
             }
         }
         exprs.push(expr);
@@ -95,6 +103,7 @@ pub fn optimal_interaction<T: Scalar>(
         post_processing: post,
         induced,
         loss: achieved,
+        lp_stats: solution.stats,
     })
 }
 
@@ -105,6 +114,7 @@ pub fn optimal_interaction<T: Scalar>(
 /// The returned post-processing matrix is a 0/1 matrix — Bayesian consumers
 /// never need randomized reinterpretation, in contrast with minimax consumers
 /// (Table 1(c) of the paper).
+#[allow(clippy::needless_range_loop)] // i indexes prior, mechanism rows and losses together
 pub fn bayesian_optimal_interaction<T: Scalar>(
     deployed: &Mechanism<T>,
     consumer: &BayesianConsumer<T>,
@@ -156,6 +166,7 @@ pub fn bayesian_optimal_interaction<T: Scalar>(
         post_processing: post,
         induced,
         loss: achieved,
+        lp_stats: PivotStats::default(),
     })
 }
 
@@ -175,12 +186,8 @@ mod tests {
         // Optimal post-processing can only improve (or keep) the consumer's loss.
         let level = PrivacyLevel::new(rat(1, 3)).unwrap();
         let g = geometric_mechanism(4, &level).unwrap();
-        let consumer = MinimaxConsumer::new(
-            "gov",
-            Arc::new(AbsoluteError),
-            SideInformation::full(4),
-        )
-        .unwrap();
+        let consumer =
+            MinimaxConsumer::new("gov", Arc::new(AbsoluteError), SideInformation::full(4)).unwrap();
         let raw = consumer.disutility(&g).unwrap();
         let interaction = optimal_interaction(&g, &consumer).unwrap();
         assert!(interaction.loss <= raw);
@@ -259,8 +266,7 @@ mod tests {
     fn bayesian_interaction_is_deterministic() {
         let level = PrivacyLevel::new(rat(1, 4)).unwrap();
         let g = geometric_mechanism(3, &level).unwrap();
-        let consumer =
-            BayesianConsumer::uniform("analyst", Arc::new(AbsoluteError), 3).unwrap();
+        let consumer = BayesianConsumer::uniform("analyst", Arc::new(AbsoluteError), 3).unwrap();
         let interaction = bayesian_optimal_interaction(&g, &consumer).unwrap();
         // Every row of the post-processing matrix is a point mass.
         for r in 0..4 {
@@ -283,9 +289,13 @@ mod tests {
         // achieves zero loss.
         let level = PrivacyLevel::new(rat(1, 3)).unwrap();
         let g = geometric_mechanism(3, &level).unwrap();
-        let prior = vec![Rational::zero(), Rational::zero(), Rational::one(), Rational::zero()];
-        let consumer =
-            BayesianConsumer::new("certain", Arc::new(ZeroOneError), prior).unwrap();
+        let prior = vec![
+            Rational::zero(),
+            Rational::zero(),
+            Rational::one(),
+            Rational::zero(),
+        ];
+        let consumer = BayesianConsumer::new("certain", Arc::new(ZeroOneError), prior).unwrap();
         let interaction = bayesian_optimal_interaction(&g, &consumer).unwrap();
         assert_eq!(interaction.loss, Rational::zero());
         for r in 0..4 {

@@ -78,8 +78,8 @@ pub use geometric::{
 };
 pub use interaction::{bayesian_optimal_interaction, optimal_interaction, Interaction};
 pub use loss::{
-    validate_monotone, AbsoluteError, LossFunction, SquaredError, TableLoss, ToleranceError,
-    ZeroOneError,
+    tabulate_loss, validate_monotone, AbsoluteError, LossFunction, SquaredError, TableLoss,
+    ToleranceError, ZeroOneError,
 };
 pub use mechanism::Mechanism;
 pub use multilevel::{transition_matrix, MultiLevelRelease, StageRelease};

@@ -24,6 +24,17 @@ pub trait LossFunction<T: Scalar> {
     }
 }
 
+/// Tabulate a loss function as a dense `size × size` matrix.
+///
+/// LP construction reads every coefficient out of one contiguous allocation
+/// instead of re-invoking the (dynamically dispatched) loss function per
+/// term; [`TableLoss::from_loss`] layers monotonicity validation on top of
+/// the same tabulation.
+#[must_use]
+pub fn tabulate_loss<T: Scalar>(loss: &dyn LossFunction<T>, size: usize) -> Matrix<T> {
+    Matrix::from_fn(size, size, |i, r| loss.loss(i, r))
+}
+
 /// Mean (absolute) error `l(i, r) = |i - r|` — the paper's example for a
 /// government tracking the spread of flu.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -102,7 +113,11 @@ impl<T: Scalar> TableLoss<T> {
     pub fn new(table: Matrix<T>, name: impl Into<String>) -> Result<Self> {
         if !table.is_square() {
             return Err(CoreError::InvalidMechanism {
-                reason: format!("loss table must be square, got {}x{}", table.rows(), table.cols()),
+                reason: format!(
+                    "loss table must be square, got {}x{}",
+                    table.rows(),
+                    table.cols()
+                ),
             });
         }
         let n = table.rows();
@@ -133,9 +148,12 @@ impl<T: Scalar> TableLoss<T> {
     }
 
     /// Build a table loss by evaluating an arbitrary loss function on `{0..=n}`.
-    pub fn from_loss(n: usize, loss: &dyn LossFunction<T>, name: impl Into<String>) -> Result<Self> {
-        let table = Matrix::from_fn(n + 1, n + 1, |i, r| loss.loss(i, r));
-        TableLoss::new(table, name)
+    pub fn from_loss(
+        n: usize,
+        loss: &dyn LossFunction<T>,
+        name: impl Into<String>,
+    ) -> Result<Self> {
+        TableLoss::new(tabulate_loss(loss, n + 1), name)
     }
 }
 
@@ -230,7 +248,10 @@ mod tests {
         let t = TableLoss::<Rational>::from_loss(4, &AbsoluteError, "abs-table").unwrap();
         for i in 0..=4usize {
             for r in 0..=4usize {
-                assert_eq!(t.loss(i, r), LossFunction::<Rational>::loss(&AbsoluteError, i, r));
+                assert_eq!(
+                    t.loss(i, r),
+                    LossFunction::<Rational>::loss(&AbsoluteError, i, r)
+                );
             }
         }
     }

@@ -353,11 +353,9 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, CoreError::InvalidMechanism { .. }));
         // Rows not summing to one.
-        let err = Mechanism::from_rows(vec![
-            vec![rat(1, 2), rat(1, 4)],
-            vec![rat(1, 2), rat(1, 2)],
-        ])
-        .unwrap_err();
+        let err =
+            Mechanism::from_rows(vec![vec![rat(1, 2), rat(1, 4)], vec![rat(1, 2), rat(1, 2)]])
+                .unwrap_err();
         assert!(matches!(err, CoreError::InvalidMechanism { .. }));
     }
 
@@ -386,9 +384,15 @@ mod tests {
         let zero = PrivacyLevel::new(Rational::zero()).unwrap();
         assert!(Mechanism::<Rational>::identity(2).is_differentially_private(&zero));
         // The identity mechanism has zero/non-zero adjacent entries.
-        assert_eq!(Mechanism::<Rational>::identity(2).best_privacy_level(), Rational::zero());
+        assert_eq!(
+            Mechanism::<Rational>::identity(2).best_privacy_level(),
+            Rational::zero()
+        );
         // The uniform mechanism is 1-private.
-        assert_eq!(Mechanism::<Rational>::uniform(3).best_privacy_level(), Rational::one());
+        assert_eq!(
+            Mechanism::<Rational>::uniform(3).best_privacy_level(),
+            Rational::one()
+        );
     }
 
     #[test]
@@ -431,10 +435,7 @@ mod tests {
         assert_eq!(m.minimax_loss(&[1], &loss).unwrap(), rat(1, 2));
         assert!(m.minimax_loss(&[], &loss).is_err());
         let uniform_prior = vec![rat(1, 3), rat(1, 3), rat(1, 3)];
-        assert_eq!(
-            m.bayesian_loss(&uniform_prior, &loss).unwrap(),
-            rat(2, 3)
-        );
+        assert_eq!(m.bayesian_loss(&uniform_prior, &loss).unwrap(), rat(2, 3));
         assert!(m.bayesian_loss(&[rat(1, 1)], &loss).is_err());
     }
 

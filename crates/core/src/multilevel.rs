@@ -29,10 +29,7 @@ pub fn transition_matrix<T: Scalar>(
 ) -> Result<Matrix<T>> {
     if from.alpha() > to.alpha() {
         return Err(CoreError::InvalidPrivacyLevels {
-            reason: format!(
-                "cannot remove privacy: from {} to {}",
-                from, to
-            ),
+            reason: format!("cannot remove privacy: from {} to {}", from, to),
         });
     }
     let g_to = geometric_mechanism(n, to)?;
@@ -207,7 +204,12 @@ mod tests {
     fn transition_matrix_is_stochastic_and_factorizes() {
         // Lemma 3 for several (α, β) pairs: T is stochastic and G_α·T = G_β.
         for n in [2usize, 3, 5] {
-            for (a, b) in [((1i64, 4i64), (1i64, 2i64)), ((1, 5), (1, 3)), ((1, 3), (2, 3)), ((1, 2), (1, 1))] {
+            for (a, b) in [
+                ((1i64, 4i64), (1i64, 2i64)),
+                ((1, 5), (1, 3)),
+                ((1, 3), (2, 3)),
+                ((1, 2), (1, 1)),
+            ] {
                 let from = level(a.0, a.1);
                 let to = level(b.0, b.1);
                 let t = transition_matrix(n, &from, &to).unwrap();
@@ -270,7 +272,10 @@ mod tests {
         let release = MultiLevelRelease::new(3, vec![level(1, 4), level(1, 2)]).unwrap();
         let release_f = MultiLevelRelease::new(
             3,
-            vec![PrivacyLevel::new(0.25f64).unwrap(), PrivacyLevel::new(0.5f64).unwrap()],
+            vec![
+                PrivacyLevel::new(0.25f64).unwrap(),
+                PrivacyLevel::new(0.5f64).unwrap(),
+            ],
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(11);
@@ -285,6 +290,7 @@ mod tests {
         }
         for (i, lvl) in release.levels().iter().enumerate() {
             let g = geometric_mechanism(3, lvl).unwrap();
+            #[allow(clippy::needless_range_loop)] // z is also the pmf argument
             for z in 0..=3 {
                 let expected = g.prob(true_result, z).unwrap().to_f64();
                 let observed = counts[i][z] as f64 / trials as f64;

@@ -10,7 +10,7 @@
 //! experiments verify that equality.
 
 use privmech_linalg::{Matrix, Scalar};
-use privmech_lp::{LinExpr, Model, Relation};
+use privmech_lp::{LinExpr, Model, PivotStats, Relation};
 
 use crate::alpha::PrivacyLevel;
 use crate::consumer::MinimaxConsumer;
@@ -24,10 +24,15 @@ pub struct OptimalMechanism<T: Scalar> {
     pub mechanism: Mechanism<T>,
     /// Its (optimal) worst-case loss for the consumer.
     pub loss: T,
+    /// Simplex pivot statistics from the underlying LP solve.
+    pub lp_stats: PivotStats,
 }
+
+use crate::loss::tabulate_loss;
 
 /// Solve the Section 2.5 LP: the optimal α-differentially-private oblivious
 /// mechanism tailored to a specific minimax consumer.
+#[allow(clippy::needless_range_loop)] // index-coupled access into x_vars[i][r]
 pub fn optimal_mechanism<T: Scalar>(
     level: &PrivacyLevel<T>,
     consumer: &MinimaxConsumer<T>,
@@ -55,19 +60,22 @@ pub fn optimal_mechanism<T: Scalar>(
 
     // Differential privacy for count queries (Definition 2):
     //   x[i][r] - α·x[i+1][r] >= 0   and   x[i+1][r] - α·x[i][r] >= 0.
+    // The negated coefficient is materialized once and cloned per term,
+    // instead of re-negating α for each of the 2·n·(n+1) constraints.
     if !alpha.is_zero_approx() {
+        let neg_alpha = -alpha;
         for i in 0..n {
             for r in 0..size {
-                let down = LinExpr::term(x_vars[i][r], T::one())
-                    .plus(x_vars[i + 1][r], -alpha.clone());
+                let down =
+                    LinExpr::term(x_vars[i][r], T::one()).plus(x_vars[i + 1][r], neg_alpha.clone());
                 model.add_labeled_constraint(
                     down,
                     Relation::Ge,
                     T::zero(),
                     Some(format!("dp_down_{i}_{r}")),
                 )?;
-                let up = LinExpr::term(x_vars[i + 1][r], T::one())
-                    .plus(x_vars[i][r], -alpha.clone());
+                let up =
+                    LinExpr::term(x_vars[i + 1][r], T::one()).plus(x_vars[i][r], neg_alpha.clone());
                 model.add_labeled_constraint(
                     up,
                     Relation::Ge,
@@ -78,13 +86,14 @@ pub fn optimal_mechanism<T: Scalar>(
         }
     }
 
-    // Epigraph objective: minimize the worst expected loss over S.
-    let loss = consumer.loss();
+    // Epigraph objective: minimize the worst expected loss over S. The loss
+    // coefficients come out of one pre-tabulated matrix row per member.
+    let losses = tabulate_loss(consumer.loss(), size);
     let mut exprs = Vec::new();
     for &i in consumer.side_information().members() {
         let mut expr = LinExpr::new();
-        for r in 0..size {
-            expr.add_term(x_vars[i][r], loss.loss(i, r));
+        for (r, cost) in losses.row(i).iter().enumerate() {
+            expr.add_term(x_vars[i][r], cost.clone());
         }
         exprs.push(expr);
     }
@@ -100,6 +109,7 @@ pub fn optimal_mechanism<T: Scalar>(
     Ok(OptimalMechanism {
         mechanism,
         loss: achieved,
+        lp_stats: solution.stats,
     })
 }
 
@@ -109,6 +119,7 @@ pub fn optimal_mechanism<T: Scalar>(
 /// prior-expected loss. The objective is linear, so no epigraph variable is
 /// needed; the privacy and stochasticity constraints are identical to the
 /// minimax LP.
+#[allow(clippy::needless_range_loop)] // index-coupled access into x_vars[i][r]
 pub fn bayesian_optimal_mechanism<T: Scalar>(
     level: &PrivacyLevel<T>,
     consumer: &crate::consumer::BayesianConsumer<T>,
@@ -130,26 +141,31 @@ pub fn bayesian_optimal_mechanism<T: Scalar>(
         model.add_labeled_constraint(row_sum, Relation::Eq, T::one(), Some(format!("row_{i}")))?;
     }
     if !alpha.is_zero_approx() {
+        let neg_alpha = -alpha;
         for i in 0..n {
             for r in 0..size {
-                let down = LinExpr::term(x_vars[i][r], T::one())
-                    .plus(x_vars[i + 1][r], -alpha.clone());
+                let down =
+                    LinExpr::term(x_vars[i][r], T::one()).plus(x_vars[i + 1][r], neg_alpha.clone());
                 model.add_constraint(down, Relation::Ge, T::zero())?;
-                let up = LinExpr::term(x_vars[i + 1][r], T::one())
-                    .plus(x_vars[i][r], -alpha.clone());
+                let up =
+                    LinExpr::term(x_vars[i + 1][r], T::one()).plus(x_vars[i][r], neg_alpha.clone());
                 model.add_constraint(up, Relation::Ge, T::zero())?;
             }
         }
     }
-    let loss = consumer.loss();
+    // Prior-weighted loss coefficients: scale each tabulated loss row by the
+    // prior mass in place rather than multiplying per term.
+    let losses = tabulate_loss(consumer.loss(), size);
     let prior = consumer.prior();
     let mut objective = LinExpr::new();
     for i in 0..size {
         if prior[i].is_zero_approx() {
             continue;
         }
-        for r in 0..size {
-            objective.add_term(x_vars[i][r], prior[i].clone() * loss.loss(i, r));
+        let mut weighted = losses.row(i).to_vec();
+        privmech_linalg::kernels::scale(&mut weighted, &prior[i]);
+        for (r, coeff) in weighted.into_iter().enumerate() {
+            objective.add_term(x_vars[i][r], coeff);
         }
     }
     model.set_objective(privmech_lp::Sense::Minimize, objective)?;
@@ -161,6 +177,7 @@ pub fn bayesian_optimal_mechanism<T: Scalar>(
     Ok(OptimalMechanism {
         mechanism,
         loss: achieved,
+        lp_stats: solution.stats,
     })
 }
 
@@ -235,12 +252,12 @@ mod tests {
         ];
         for loss in &losses {
             for s in &side_infos {
-                let consumer =
-                    MinimaxConsumer::new("sweep", loss.clone(), s.clone()).unwrap();
+                let consumer = MinimaxConsumer::new("sweep", loss.clone(), s.clone()).unwrap();
                 let tailored = optimal_mechanism(&level, &consumer).unwrap();
                 let interaction = optimal_interaction(&g, &consumer).unwrap();
                 assert_eq!(
-                    tailored.loss, interaction.loss,
+                    tailored.loss,
+                    interaction.loss,
                     "loss {} side-info {:?}",
                     consumer.loss().name(),
                     s.members()
@@ -265,8 +282,7 @@ mod tests {
             vec![rat(0, 1), rat(0, 1), rat(1, 2), rat(1, 2)],
         ];
         for prior in priors {
-            let consumer =
-                BayesianConsumer::new("bayes", Arc::new(AbsoluteError), prior).unwrap();
+            let consumer = BayesianConsumer::new("bayes", Arc::new(AbsoluteError), prior).unwrap();
             let tailored = bayesian_optimal_mechanism(&level, &consumer).unwrap();
             let interaction = bayesian_optimal_interaction(&g, &consumer).unwrap();
             assert!(tailored.mechanism.is_differentially_private(&level));
@@ -274,12 +290,9 @@ mod tests {
             // And the Bayesian optimum is never worse than the minimax optimum
             // evaluated under the same prior (the minimax mechanism guards
             // against the worst case, the Bayesian one exploits the prior).
-            let minimax_consumer = MinimaxConsumer::new(
-                "mm",
-                Arc::new(AbsoluteError),
-                SideInformation::full(n),
-            )
-            .unwrap();
+            let minimax_consumer =
+                MinimaxConsumer::new("mm", Arc::new(AbsoluteError), SideInformation::full(n))
+                    .unwrap();
             let minimax_opt = optimal_mechanism(&level, &minimax_consumer).unwrap();
             let minimax_under_prior = consumer.disutility(&minimax_opt.mechanism).unwrap();
             assert!(tailored.loss <= minimax_under_prior);

@@ -192,8 +192,7 @@ mod tests {
         // And under correlation the coalition is no better (up to noise) than
         // the least-private stage alone.
         assert!(
-            correlated.coalition_mean_abs_error + 0.05
-                >= correlated.least_private_mean_abs_error
+            correlated.coalition_mean_abs_error + 0.05 >= correlated.least_private_mean_abs_error
         );
     }
 }

@@ -6,8 +6,8 @@
 use std::sync::Arc;
 
 use privmech_core::{
-    geometric_mechanism, optimal_interaction, optimal_mechanism, transition_matrix,
-    AbsoluteError, MinimaxConsumer, MultiLevelRelease, PrivacyLevel, SideInformation,
+    geometric_mechanism, optimal_interaction, optimal_mechanism, transition_matrix, AbsoluteError,
+    MinimaxConsumer, MultiLevelRelease, PrivacyLevel, SideInformation,
 };
 use privmech_numerics::{rat, Rational};
 

@@ -52,7 +52,11 @@ impl<T: Scalar> DatabaseMechanism<T> {
         for (d, row) in rows.iter().enumerate() {
             if row.len() != n + 1 {
                 return Err(CoreError::InvalidMechanism {
-                    reason: format!("distribution {d} has length {}, expected {}", row.len(), n + 1),
+                    reason: format!(
+                        "distribution {d} has length {}, expected {}",
+                        row.len(),
+                        n + 1
+                    ),
                 });
             }
             let mut sum = T::zero();
@@ -297,9 +301,7 @@ mod tests {
         let s: Vec<usize> = vec![0, 1, 2];
         let loss = AbsoluteError;
         let non_oblivious_loss = m.minimax_loss(&s, &loss).unwrap();
-        let oblivious_loss = averaged
-            .minimax_loss(&s, &loss)
-            .unwrap();
+        let oblivious_loss = averaged.minimax_loss(&s, &loss).unwrap();
         assert!(oblivious_loss <= non_oblivious_loss);
     }
 

@@ -29,7 +29,12 @@ pub struct Record {
 impl Record {
     /// Convenience constructor.
     #[must_use]
-    pub fn new(age: u32, region: impl Into<String>, contracted_flu: bool, bought_drug: bool) -> Self {
+    pub fn new(
+        age: u32,
+        region: impl Into<String>,
+        contracted_flu: bool,
+        bought_drug: bool,
+    ) -> Self {
         Record {
             age,
             region: region.into(),
@@ -60,7 +65,10 @@ impl fmt::Debug for Predicate {
 
 impl Predicate {
     /// Build a predicate from a closure.
-    pub fn new(name: impl Into<String>, test: impl Fn(&Record) -> bool + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        test: impl Fn(&Record) -> bool + Send + Sync + 'static,
+    ) -> Self {
         Predicate {
             name: name.into(),
             test: Arc::new(test),
@@ -71,10 +79,9 @@ impl Predicate {
     #[must_use]
     pub fn adults_with_flu_in(region: &str) -> Self {
         let region = region.to_string();
-        Predicate::new(
-            format!("adults with flu in {region}"),
-            move |r: &Record| r.is_adult() && r.contracted_flu && r.region == region,
-        )
+        Predicate::new(format!("adults with flu in {region}"), move |r: &Record| {
+            r.is_adult() && r.contracted_flu && r.region == region
+        })
     }
 
     /// Individuals who bought the flu drug (the drug company's side information).
@@ -111,6 +118,7 @@ impl Predicate {
 
     /// Negation of a predicate.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // builder-style negation, not `ops::Not`
     pub fn not(self) -> Predicate {
         let name = format!("not ({})", self.name);
         Predicate::new(name, move |r: &Record| !self.matches(r))
@@ -207,7 +215,10 @@ impl CountQuery {
     /// Evaluate the query on a database.
     #[must_use]
     pub fn evaluate(&self, db: &Database) -> usize {
-        db.rows().iter().filter(|r| self.predicate.matches(r)).count()
+        db.rows()
+            .iter()
+            .filter(|r| self.predicate.matches(r))
+            .count()
     }
 
     /// The sensitivity of a count query: changing one row changes the result

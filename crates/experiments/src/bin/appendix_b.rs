@@ -40,8 +40,7 @@ fn main() {
             let x1 = m.prob(row, column).unwrap().clone();
             let x2 = m.prob(row + 1, column).unwrap().clone();
             let x3 = m.prob(row + 2, column).unwrap().clone();
-            let value = (Rational::one() + alpha.clone() * alpha.clone()) * x2
-                - alpha * (x1 + x3);
+            let value = (Rational::one() + alpha.clone() * alpha.clone()) * x2 - alpha * (x1 + x3);
             println!(
                 "(1+α²)·x2 − α·(x1+x3) = {value} ≈ {:.4}  (paper reports −0.75/9 ≈ −0.0833)",
                 value.to_f64()
@@ -65,6 +64,10 @@ fn main() {
     );
     println!(
         "conclusion: M is {} from the geometric mechanism — matches Appendix B",
-        if negative.is_empty() { "derivable" } else { "NOT derivable" }
+        if negative.is_empty() {
+            "derivable"
+        } else {
+            "NOT derivable"
+        }
     );
 }

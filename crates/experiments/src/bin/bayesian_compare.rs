@@ -19,9 +19,8 @@ use privmech_numerics::{rat, Rational};
 
 fn is_deterministic(matrix: &privmech_linalg::Matrix<Rational>) -> bool {
     (0..matrix.rows()).all(|r| {
-        (0..matrix.cols()).all(|c| {
-            matrix[(r, c)] == Rational::zero() || matrix[(r, c)] == Rational::one()
-        })
+        (0..matrix.cols())
+            .all(|c| matrix[(r, c)] == Rational::zero() || matrix[(r, c)] == Rational::one())
     })
 }
 
@@ -31,12 +30,8 @@ fn main() {
     let g = geometric_mechanism(n, &level).unwrap();
 
     section("Minimax consumer (|i-r| loss, S = {0..3}) interacting with G_{3,1/4}");
-    let minimax = MinimaxConsumer::new(
-        "minimax",
-        Arc::new(AbsoluteError),
-        SideInformation::full(n),
-    )
-    .unwrap();
+    let minimax =
+        MinimaxConsumer::new("minimax", Arc::new(AbsoluteError), SideInformation::full(n)).unwrap();
     let mm = optimal_interaction(&g, &minimax).unwrap();
     print_matrix("minimax-optimal post-processing T*", &mm.post_processing);
     println!(
@@ -54,17 +49,25 @@ fn main() {
     section("Bayesian consumers (various priors, |i-r| loss) interacting with G_{3,1/4}");
     let priors: Vec<(&str, Vec<Rational>)> = vec![
         ("uniform", vec![rat(1, 4); 4]),
-        ("skewed-low", vec![rat(1, 2), rat(1, 4), rat(1, 8), rat(1, 8)]),
-        ("skewed-high", vec![rat(1, 8), rat(1, 8), rat(1, 4), rat(1, 2)]),
-        ("point-mass-2", vec![rat(0, 1), rat(0, 1), rat(1, 1), rat(0, 1)]),
+        (
+            "skewed-low",
+            vec![rat(1, 2), rat(1, 4), rat(1, 8), rat(1, 8)],
+        ),
+        (
+            "skewed-high",
+            vec![rat(1, 8), rat(1, 8), rat(1, 4), rat(1, 2)],
+        ),
+        (
+            "point-mass-2",
+            vec![rat(0, 1), rat(0, 1), rat(1, 1), rat(0, 1)],
+        ),
     ];
     println!(
         "{:<14} {:>16} {:>16} {:>14}",
         "prior", "raw geometric", "after remap", "deterministic"
     );
     for (name, prior) in priors {
-        let consumer =
-            BayesianConsumer::new(name, Arc::new(AbsoluteError), prior).unwrap();
+        let consumer = BayesianConsumer::new(name, Arc::new(AbsoluteError), prior).unwrap();
         let raw = consumer.disutility(&g).unwrap();
         let interaction = bayesian_optimal_interaction(&g, &consumer).unwrap();
         println!(
@@ -78,7 +81,10 @@ fn main() {
     }
 
     section("Qualitative contrast (paper's Section 2.7)");
-    println!("minimax consumers may require randomized post-processing: {}", !is_deterministic(&mm.post_processing));
+    println!(
+        "minimax consumers may require randomized post-processing: {}",
+        !is_deterministic(&mm.post_processing)
+    );
     println!("Bayesian consumers always use deterministic post-processing: true (by construction of the posterior-argmin remap)");
     println!("both reach their optimum against the *same* deployed geometric mechanism — universal deployment");
 }

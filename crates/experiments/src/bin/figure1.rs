@@ -21,9 +21,14 @@ fn main() {
     let n = 20usize;
 
     section("Figure 1: geometric mechanism pmf, alpha = 0.2, true result = 5");
-    println!("paper: two-sided geometric distribution Pr[Z=z] = (1-a)/(1+a) * a^|z| around the result");
+    println!(
+        "paper: two-sided geometric distribution Pr[Z=z] = (1-a)/(1+a) * a^|z| around the result"
+    );
     println!();
-    println!("{:>6} | {:>12} | {:>12} | chart (unbounded)", "output", "unbounded", "restricted");
+    println!(
+        "{:>6} | {:>12} | {:>12} | chart (unbounded)",
+        "output", "unbounded", "restricted"
+    );
     for output in -15i64..=25 {
         let offset = output - true_result as i64;
         let unbounded = two_sided_geometric_pmf(&alpha_exact, offset);
@@ -57,6 +62,7 @@ fn main() {
         counts[sample_geometric_output(n, true_result, alpha, &mut rng)] += 1;
     }
     let mut max_abs_dev: f64 = 0.0;
+    #[allow(clippy::needless_range_loop)] // z is also the analytic pmf argument
     for z in 0..=n {
         let expected = range_restricted_pmf(n, &alpha, true_result, z);
         let observed = counts[z] as f64 / trials as f64;

@@ -11,9 +11,7 @@
 //! releases visibly cancels the noise (the failure mode the paper's
 //! construction prevents).
 
-use privmech_core::{
-    collusion_experiment, geometric_mechanism, MultiLevelRelease, PrivacyLevel,
-};
+use privmech_core::{collusion_experiment, geometric_mechanism, MultiLevelRelease, PrivacyLevel};
 use privmech_experiments::{section, Tally};
 use privmech_numerics::{rat, Rational};
 use rand::rngs::StdRng;
@@ -42,9 +40,7 @@ fn main() {
         let direct = geometric_mechanism(n, level).unwrap();
         let equal = marginal == direct;
         tally.record(equal);
-        println!(
-            "marginal mechanism at level {i} ({level}) equals G_{{n,α}} exactly: {equal}"
-        );
+        println!("marginal mechanism at level {i} ({level}) equals G_{{n,α}} exactly: {equal}");
     }
     tally.report("structural checks (Lemma 3: every stage stochastic, every marginal geometric)");
 
@@ -74,32 +70,36 @@ fn main() {
     println!(
         "{:<34} {:>18.4} {:>18.4}",
         "coalition mean |error| (averaging)",
-        correlated.coalition_mean_abs_error, naive.coalition_mean_abs_error
+        correlated.coalition_mean_abs_error,
+        naive.coalition_mean_abs_error
     );
     println!(
         "{:<34} {:>18.4} {:>18.4}",
         "least-private stage mean |error|",
-        correlated.least_private_mean_abs_error, naive.least_private_mean_abs_error
+        correlated.least_private_mean_abs_error,
+        naive.least_private_mean_abs_error
     );
     println!(
         "{:<34} {:>18.4} {:>18.4}",
-        "coalition exact-hit rate",
-        correlated.coalition_hit_rate, naive.coalition_hit_rate
+        "coalition exact-hit rate", correlated.coalition_hit_rate, naive.coalition_hit_rate
     );
     println!(
         "{:<34} {:>18.4} {:>18.4}",
         "least-private exact-hit rate",
-        correlated.least_private_hit_rate, naive.least_private_hit_rate
+        correlated.least_private_hit_rate,
+        naive.least_private_hit_rate
     );
 
     section("Shape check (paper's qualitative claim)");
-    let collusion_resistant = correlated.coalition_mean_abs_error + 0.05
-        >= correlated.least_private_mean_abs_error;
+    let collusion_resistant =
+        correlated.coalition_mean_abs_error + 0.05 >= correlated.least_private_mean_abs_error;
     let naive_leaks = naive.coalition_mean_abs_error < naive.least_private_mean_abs_error;
     println!(
         "Algorithm 1: coalition no better than least-private stage alone: {collusion_resistant}"
     );
-    println!("naive independent release: averaging cancels noise (coalition better): {naive_leaks}");
+    println!(
+        "naive independent release: averaging cancels noise (coalition better): {naive_leaks}"
+    );
     println!(
         "collusion-resistance reproduced: {}",
         if collusion_resistant && naive_leaks {

@@ -55,7 +55,10 @@ fn main() {
 
     section("Table 1(a): optimal mechanism tailored to the consumer (Section 2.5 LP)");
     let tailored = optimal_mechanism(&level, &consumer).unwrap();
-    print_matrix("reproduced optimal mechanism (exact)", tailored.mechanism.matrix());
+    print_matrix(
+        "reproduced optimal mechanism (exact)",
+        tailored.mechanism.matrix(),
+    );
     print_matrix_decimal("reproduced optimal mechanism", tailored.mechanism.matrix());
     println!("paper Table 1(a) (rounded by the authors):");
     println!("[ 2/3  5/17  1/25  1/98 ]");
@@ -74,8 +77,14 @@ fn main() {
 
     section("Table 1(c): the consumer's optimal interaction with G_{3,1/4} (Section 2.4.3 LP)");
     let interaction = optimal_interaction(&g, &consumer).unwrap();
-    print_matrix("reproduced optimal interaction T*", &interaction.post_processing);
-    print_matrix_decimal("reproduced optimal interaction T*", &interaction.post_processing);
+    print_matrix(
+        "reproduced optimal interaction T*",
+        &interaction.post_processing,
+    );
+    print_matrix_decimal(
+        "reproduced optimal interaction T*",
+        &interaction.post_processing,
+    );
     println!("paper Table 1(c) (rounded by the authors):");
     println!("[ 9/11 2/11 0    0    ]");
     println!("[ 0    1    0    0    ]");

@@ -43,7 +43,10 @@ fn side_infos(n: usize) -> Vec<(String, SideInformation)> {
 
 fn losses<T: Scalar>() -> Vec<(&'static str, Arc<dyn LossFunction<T> + Send + Sync>)> {
     vec![
-        ("absolute", Arc::new(AbsoluteError) as Arc<dyn LossFunction<T> + Send + Sync>),
+        (
+            "absolute",
+            Arc::new(AbsoluteError) as Arc<dyn LossFunction<T> + Send + Sync>,
+        ),
         ("squared", Arc::new(SquaredError)),
         ("zero-one", Arc::new(ZeroOneError)),
     ]
@@ -53,7 +56,14 @@ fn main() {
     section("Theorem 1 sweep (exact rational arithmetic, n = 2..5)");
     println!(
         "{:>3} {:>6} {:>9} {:>12} {:>14} {:>14} {:>14} {:>7}",
-        "n", "alpha", "loss", "side-info", "tailored opt", "geo+interact", "raw geometric", "equal?"
+        "n",
+        "alpha",
+        "loss",
+        "side-info",
+        "tailored opt",
+        "geo+interact",
+        "raw geometric",
+        "equal?"
     );
     let mut exact_tally = Tally::default();
     let mut dominance_tally = Tally::default();
@@ -98,8 +108,12 @@ fn main() {
     section("Theorem 1 at larger n (f64 backend)");
     println!("The exact sweep above is the source of truth: equality is certified with rational");
     println!("arithmetic. The f64 backend handles larger n quickly but its dense-tableau simplex");
-    println!("accumulates round-off on the tailored-mechanism LP (~160 rows), occasionally leaving");
-    println!("it a few percent above the true optimum. We therefore verify the practically relevant");
+    println!(
+        "accumulates round-off on the tailored-mechanism LP (~160 rows), occasionally leaving"
+    );
+    println!(
+        "it a few percent above the true optimum. We therefore verify the practically relevant"
+    );
     println!("direction with floats: interacting with the deployed geometric mechanism achieves a");
     println!("loss no worse than whatever the tailored f64 LP attains.");
     println!(
@@ -112,19 +126,17 @@ fn main() {
             let level: PrivacyLevel<f64> = PrivacyLevel::new(alpha).unwrap();
             let g = geometric_mechanism(n, &level).unwrap();
             for (loss_name, loss) in losses::<f64>() {
-                let consumer = MinimaxConsumer::new(
-                    "sweep",
-                    loss.clone(),
-                    SideInformation::full(n),
-                )
-                .unwrap();
+                let consumer =
+                    MinimaxConsumer::new("sweep", loss.clone(), SideInformation::full(n)).unwrap();
                 let tailored = optimal_mechanism(&level, &consumer).unwrap();
                 let interaction = optimal_interaction(&g, &consumer).unwrap();
                 let diff = tailored.loss - interaction.loss;
                 // Directional check: the deployed geometric mechanism plus
                 // optimal post-processing is never worse than the tailored
                 // float LP (up to float tolerance).
-                float_tally.record(interaction.loss <= tailored.loss + 1e-6 * tailored.loss.abs().max(1.0));
+                float_tally.record(
+                    interaction.loss <= tailored.loss + 1e-6 * tailored.loss.abs().max(1.0),
+                );
                 println!(
                     "{:>3} {:>6} {:>9} {:>14.6} {:>14.6} {:>12.2e}",
                     n, alpha, loss_name, tailored.loss, interaction.loss, diff

@@ -66,10 +66,7 @@ impl Tally {
 
     /// Print the tally and return `true` when everything passed.
     pub fn report(&self, what: &str) -> bool {
-        println!(
-            "{what}: {} passed, {} failed",
-            self.passed, self.failed
-        );
+        println!("{what}: {} passed, {} failed", self.passed, self.failed);
         self.failed == 0
     }
 }

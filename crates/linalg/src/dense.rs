@@ -199,6 +199,71 @@ impl<T: Scalar> Matrix<T> {
         self.data.chunks(self.cols)
     }
 
+    /// Borrow row `row` as a mutable slice.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        assert!(row < self.rows, "row index out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Borrow two distinct rows at once, the first mutably.
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds or the indices are equal.
+    #[must_use]
+    pub fn row_pair_mut(&mut self, dst: usize, src: usize) -> (&mut [T], &[T]) {
+        assert!(
+            dst < self.rows && src < self.rows,
+            "row index out of bounds"
+        );
+        assert_ne!(dst, src, "row_pair_mut needs distinct rows");
+        let cols = self.cols;
+        if dst < src {
+            let (lo, hi) = self.data.split_at_mut(src * cols);
+            (&mut lo[dst * cols..(dst + 1) * cols], &hi[..cols])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(dst * cols);
+            (&mut hi[..cols], &lo[src * cols..(src + 1) * cols])
+        }
+    }
+
+    /// In-place row axpy: `row[dst] += factor * row[src]`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds or the indices are equal.
+    pub fn row_add_scaled(&mut self, dst: usize, factor: &T, src: usize) {
+        let (d, s) = self.row_pair_mut(dst, src);
+        crate::kernels::add_scaled(d, factor, s);
+    }
+
+    /// In-place row axpy: `row[dst] -= factor * row[src]`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds or the indices are equal.
+    pub fn row_sub_scaled(&mut self, dst: usize, factor: &T, src: usize) {
+        let (d, s) = self.row_pair_mut(dst, src);
+        crate::kernels::sub_scaled(d, factor, s);
+    }
+
+    /// In-place row scaling: `row[row] *= factor`.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn row_scale(&mut self, row: usize, factor: &T) {
+        crate::kernels::scale(self.row_mut(row), factor);
+    }
+
+    /// In-place row division: `row[row] /= divisor`.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn row_div(&mut self, row: usize, divisor: &T) {
+        crate::kernels::div_all(self.row_mut(row), divisor);
+    }
+
     /// The transpose.
     #[must_use]
     pub fn transpose(&self) -> Matrix<T> {
@@ -305,14 +370,11 @@ impl<T: Scalar> Matrix<T> {
             let pivot = a[(col, col)].clone();
             det = det * pivot.clone();
             for row in (col + 1)..n {
-                let factor = a[(row, col)].clone() / pivot.clone();
+                let factor = a[(row, col)].div_ref(&pivot);
                 if factor.is_zero_approx() {
                     continue;
                 }
-                for j in col..n {
-                    let delta = factor.clone() * a[(col, j)].clone();
-                    a[(row, j)] = a[(row, j)].clone() - delta;
-                }
+                a.row_sub_scaled(row, &factor, col);
             }
         }
         Ok(det)
@@ -336,10 +398,8 @@ impl<T: Scalar> Matrix<T> {
                 inv.swap_rows(pivot_row, col);
             }
             let pivot = a[(col, col)].clone();
-            for j in 0..n {
-                a[(col, j)] = a[(col, j)].clone() / pivot.clone();
-                inv[(col, j)] = inv[(col, j)].clone() / pivot.clone();
-            }
+            a.row_div(col, &pivot);
+            inv.row_div(col, &pivot);
             for row in 0..n {
                 if row == col {
                     continue;
@@ -348,12 +408,8 @@ impl<T: Scalar> Matrix<T> {
                 if factor.is_zero_approx() {
                     continue;
                 }
-                for j in 0..n {
-                    let da = factor.clone() * a[(col, j)].clone();
-                    a[(row, j)] = a[(row, j)].clone() - da;
-                    let di = factor.clone() * inv[(col, j)].clone();
-                    inv[(row, j)] = inv[(row, j)].clone() - di;
-                }
+                a.row_sub_scaled(row, &factor, col);
+                inv.row_sub_scaled(row, &factor, col);
             }
         }
         Ok(inv)
@@ -385,16 +441,13 @@ impl<T: Scalar> Matrix<T> {
             }
             let pivot = a[(col, col)].clone();
             for row in (col + 1)..n {
-                let factor = a[(row, col)].clone() / pivot.clone();
+                let factor = a[(row, col)].div_ref(&pivot);
                 if factor.is_zero_approx() {
                     continue;
                 }
-                for j in col..n {
-                    let delta = factor.clone() * a[(col, j)].clone();
-                    a[(row, j)] = a[(row, j)].clone() - delta;
-                }
-                let delta = factor.clone() * rhs[col].clone();
-                rhs[row] = rhs[row].clone() - delta;
+                a.row_sub_scaled(row, &factor, col);
+                let (lo, hi) = rhs.split_at_mut(row);
+                hi[0].sub_mul_assign(&factor, &lo[col]);
             }
         }
         // Back substitution.
@@ -402,13 +455,13 @@ impl<T: Scalar> Matrix<T> {
         for row in (0..n).rev() {
             let mut acc = rhs[row].clone();
             for j in (row + 1)..n {
-                acc = acc - a[(row, j)].clone() * x[j].clone();
+                acc.sub_mul_assign(&a[(row, j)], &x[j]);
             }
-            let pivot = a[(row, row)].clone();
+            let pivot = &a[(row, row)];
             if pivot.is_zero_approx() {
                 return Err(LinalgError::Singular);
             }
-            x[row] = acc / pivot;
+            x[row] = acc.div_ref(pivot);
         }
         Ok(x)
     }
@@ -491,11 +544,11 @@ impl<T: Scalar> Matrix<T> {
     /// Map every entry through `f`, producing a matrix over a possibly
     /// different scalar type.
     #[must_use]
-    pub fn map<U: Scalar>(&self, mut f: impl FnMut(&T) -> U) -> Matrix<U> {
+    pub fn map<U: Scalar>(&self, f: impl FnMut(&T) -> U) -> Matrix<U> {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 
@@ -560,7 +613,8 @@ impl<T: Scalar> Sub for &Matrix<T> {
 impl<T: Scalar> Mul for &Matrix<T> {
     type Output = Matrix<T>;
     fn mul(self, rhs: &Matrix<T>) -> Matrix<T> {
-        self.matmul(rhs).expect("dimension mismatch in matrix product")
+        self.matmul(rhs)
+            .expect("dimension mismatch in matrix product")
     }
 }
 
@@ -657,7 +711,8 @@ mod tests {
 
     #[test]
     fn matmul_known_product_and_dimension_errors() {
-        let a: Matrix<f64> = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let a: Matrix<f64> =
+            Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
         let b: Matrix<f64> =
             Matrix::from_rows(vec![vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
@@ -679,7 +734,8 @@ mod tests {
 
     #[test]
     fn transpose_involution() {
-        let a: Matrix<f64> = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let a: Matrix<f64> =
+            Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
         let t = a.transpose();
         assert_eq!(t.rows(), 3);
         assert_eq!(t.cols(), 2);

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod dense;
+pub mod kernels;
 pub mod scalar;
 
 pub use dense::{LinalgError, Matrix};

@@ -49,6 +49,17 @@ pub trait Scalar:
     /// Whether this scalar type is exact (comparisons are decidable equalities).
     fn is_exact() -> bool;
 
+    /// True iff the value is exactly the additive identity.
+    ///
+    /// Unlike [`Scalar::is_zero_approx`] this carries **no tolerance**: for
+    /// `f64` it is `== 0.0`. Sparsity masks (skipping entries in row
+    /// kernels) must use this test — treating merely-small floating values
+    /// as zero would leave sub-tolerance residue unsubtracted and let the
+    /// tableau drift inconsistent over thousands of pivots.
+    fn is_exactly_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
     /// True iff `|self| <= tolerance`.
     fn is_zero_approx(&self) -> bool {
         self.abs() <= Self::tolerance()
@@ -60,6 +71,58 @@ pub trait Scalar:
     /// True iff `self < -tolerance`.
     fn is_negative_approx(&self) -> bool {
         *self < -Self::tolerance()
+    }
+
+    // ------------------------------------------------------------------
+    // By-reference arithmetic.
+    //
+    // The operator bounds above consume their operands, which forces generic
+    // code into `a.clone() * b.clone()` pairs. For `f64` that is free; for
+    // `Rational` every clone is one or two heap allocations, and the simplex
+    // inner loop performs millions of these. Implementations backed by heap
+    // data should override these with genuinely by-reference versions.
+    // ------------------------------------------------------------------
+
+    /// `self + rhs` without consuming either operand.
+    fn add_ref(&self, rhs: &Self) -> Self {
+        self.clone() + rhs.clone()
+    }
+    /// `self - rhs` without consuming either operand.
+    fn sub_ref(&self, rhs: &Self) -> Self {
+        self.clone() - rhs.clone()
+    }
+    /// `self * rhs` without consuming either operand.
+    fn mul_ref(&self, rhs: &Self) -> Self {
+        self.clone() * rhs.clone()
+    }
+    /// `self / rhs` without consuming either operand.
+    fn div_ref(&self, rhs: &Self) -> Self {
+        self.clone() / rhs.clone()
+    }
+    /// In-place `self += rhs`.
+    fn add_assign_ref(&mut self, rhs: &Self) {
+        *self = self.add_ref(rhs);
+    }
+    /// In-place `self -= rhs`.
+    fn sub_assign_ref(&mut self, rhs: &Self) {
+        *self = self.sub_ref(rhs);
+    }
+    /// In-place `self /= rhs`.
+    fn div_assign_ref(&mut self, rhs: &Self) {
+        *self = self.div_ref(rhs);
+    }
+    /// In-place fused update `self -= factor * x` — the Gaussian/simplex
+    /// elimination kernel.
+    fn sub_mul_assign(&mut self, factor: &Self, x: &Self) {
+        *self = self.sub_ref(&factor.mul_ref(x));
+    }
+    /// In-place fused update `self += factor * x`.
+    fn add_mul_assign(&mut self, factor: &Self, x: &Self) {
+        *self = self.add_ref(&factor.mul_ref(x));
+    }
+    /// In-place negation.
+    fn neg_assign(&mut self) {
+        *self = -self.clone();
     }
     /// True iff `|self - other| <= tolerance`.
     fn approx_eq(&self, other: &Self) -> bool {
@@ -157,6 +220,48 @@ impl Scalar for Rational {
     }
     fn is_exact() -> bool {
         true
+    }
+
+    // Exact sign tests: no negated-tolerance temporaries, no cross-multiply.
+    fn is_exactly_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+    fn is_zero_approx(&self) -> bool {
+        Rational::is_zero(self)
+    }
+    fn is_positive_approx(&self) -> bool {
+        Rational::is_positive(self)
+    }
+    fn is_negative_approx(&self) -> bool {
+        Rational::is_negative(self)
+    }
+
+    fn add_ref(&self, rhs: &Self) -> Self {
+        self + rhs
+    }
+    fn sub_ref(&self, rhs: &Self) -> Self {
+        self - rhs
+    }
+    fn mul_ref(&self, rhs: &Self) -> Self {
+        self * rhs
+    }
+    fn div_ref(&self, rhs: &Self) -> Self {
+        self / rhs
+    }
+    fn add_assign_ref(&mut self, rhs: &Self) {
+        *self = &*self + rhs;
+    }
+    fn sub_assign_ref(&mut self, rhs: &Self) {
+        *self = &*self - rhs;
+    }
+    fn div_assign_ref(&mut self, rhs: &Self) {
+        *self = &*self / rhs;
+    }
+    fn sub_mul_assign(&mut self, factor: &Self, x: &Self) {
+        *self = &*self - &(factor * x);
+    }
+    fn add_mul_assign(&mut self, factor: &Self, x: &Self) {
+        *self = &*self + &(factor * x);
     }
 }
 

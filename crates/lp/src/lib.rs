@@ -11,9 +11,11 @@
 //! * a small strongly-typed [`Model`] builder (variables, `<=`/`>=`/`==`
 //!   constraints, minimize/maximize objectives, and the
 //!   [`Model::minimize_max`] epigraph helper),
-//! * a two-phase dense simplex solver with Bland's anti-cycling rule,
-//!   instantiable with exact [`privmech_numerics::Rational`] pivoting (the
-//!   source of truth for every theorem-level claim) or `f64` (for speed).
+//! * a two-phase dense simplex solver with Dantzig (most-negative reduced
+//!   cost) pricing and an automatic Bland anti-cycling fallback, instantiable
+//!   with exact [`privmech_numerics::Rational`] pivoting (the source of truth
+//!   for every theorem-level claim) or `f64` (for speed). Every solve reports
+//!   [`PivotStats`] on its [`Solution`].
 //!
 //! ```
 //! use privmech_lp::{LinExpr, Model, Relation, Sense, VarBound};
@@ -37,4 +39,4 @@ pub mod model;
 pub mod simplex;
 
 pub use model::{Constraint, LinExpr, LpError, Model, Relation, Sense, Solution, Var, VarBound};
-pub use simplex::solve_model;
+pub use simplex::{solve_model, solve_model_with, PivotStats, PricingRule, SolverOptions};

@@ -206,14 +206,16 @@ impl fmt::Display for LpError {
 
 impl std::error::Error for LpError {}
 
-/// Result of a successful solve: the optimal objective value and an optimal
-/// assignment of the model's variables.
+/// Result of a successful solve: the optimal objective value, an optimal
+/// assignment of the model's variables, and solver statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution<T: Scalar> {
     /// Optimal objective value (in the model's original sense).
     pub objective: T,
     /// Value of each model variable, indexed by [`Var::index`].
     pub values: Vec<T>,
+    /// Pivot/iteration statistics recorded by the simplex solver.
+    pub stats: crate::simplex::PivotStats,
 }
 
 impl<T: Scalar> Solution<T> {
@@ -353,9 +355,19 @@ impl<T: Scalar> Model<T> {
         Ok(())
     }
 
-    /// Solve the model with the two-phase simplex method.
+    /// Solve the model with the two-phase simplex method and default options
+    /// (Dantzig pricing with the Bland anti-cycling fallback).
     pub fn solve(&self) -> Result<Solution<T>, LpError> {
         crate::simplex::solve_model(self)
+    }
+
+    /// Solve with explicit [`SolverOptions`](crate::simplex::SolverOptions)
+    /// (e.g. pure Bland pricing for cross-checking).
+    pub fn solve_with(
+        &self,
+        options: &crate::simplex::SolverOptions,
+    ) -> Result<Solution<T>, LpError> {
+        crate::simplex::solve_model_with(self, options)
     }
 }
 

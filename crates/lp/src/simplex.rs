@@ -1,14 +1,116 @@
-//! Dense two-phase simplex solver with Bland's anti-cycling rule.
+//! Dense two-phase simplex solver with Dantzig pricing and a Bland fallback.
 //!
-//! The solver is generic over [`Scalar`]: with `Rational` every pivot is exact
-//! and termination is guaranteed by Bland's rule; with `f64` a small tolerance
-//! is used for the sign tests. The LPs arising from the paper (Sections 2.4.3
-//! and 2.5) are small and dense, so a full-tableau implementation is the
-//! simplest correct choice.
+//! # Pricing strategy
+//!
+//! The solver is generic over [`Scalar`]: with `Rational` every pivot is exact;
+//! with `f64` a small tolerance is used for the sign tests. The LPs arising
+//! from the paper (Sections 2.4.3 and 2.5) are small and dense, so a
+//! full-tableau implementation remains the right backbone — but the *entering
+//! column rule* matters enormously for how many pivots (each a full O(rows ×
+//! cols) exact-arithmetic tableau update) a solve needs:
+//!
+//! * **Dantzig pricing** (the default): enter the column with the most
+//!   negative reduced cost. Empirically this takes far fewer pivots on the
+//!   privacy-mechanism LPs than Bland's rule, but on degenerate vertices it
+//!   can cycle.
+//! * **Bland fallback**: the solver counts consecutive *degenerate* pivots
+//!   (leaving ratio exactly zero, so the objective does not move). Once the
+//!   streak exceeds [`SolverOptions::degeneracy_streak_limit`], pricing
+//!   switches to Bland's smallest-index rule, which provably never cycles.
+//!   The first non-degenerate (objective-improving) pivot switches back to
+//!   Dantzig. Termination is guaranteed: while Bland is engaged no cycle can
+//!   form, so the solver eventually leaves the degenerate vertex with a strict
+//!   objective decrease, and the objective can only strictly decrease finitely
+//!   many times.
+//!
+//! Pure Bland pricing remains available through [`PricingRule::Bland`] (used
+//! by the regression tests to cross-check objectives).
+//!
+//! Dantzig pricing only engages for **exact** scalars (`T::is_exact()`): on
+//! the heavily degenerate phase-1 tableaus of the paper's LPs the
+//! most-negative-cost rule steers `f64` through ill-conditioned bases until
+//! accumulated noise fabricates infeasible/unbounded verdicts. The `f64`
+//! backend therefore always prices by Bland's rule, exactly like the solver
+//! before this rework; making Dantzig robust for floats would need scaling
+//! plus a Harris-style ratio test and is left as an open item.
+//!
+//! # Row-activity masking
+//!
+//! Each pivot first normalizes the pivot row and records its nonzero support;
+//! every other row (and the reduced-cost row) is then updated **only at those
+//! columns** via [`privmech_linalg::kernels::sub_scaled_at`]. Tableau rows
+//! from the paper's LPs are sparse (row-sum and adjacency constraints touch a
+//! handful of columns), so this skips most of each row, and the by-reference
+//! scalar kernels avoid cloning `Rational` operands.
+//!
+//! # Statistics
+//!
+//! Every solve reports a [`PivotStats`] on the returned
+//! [`Solution`](crate::model::Solution): pivot counts per phase, degenerate
+//! pivot count, how many pivots each pricing rule performed, and how often the
+//! Bland fallback engaged. The bench tooling records these alongside wall
+//! times so perf regressions can be separated into "more pivots" vs "slower
+//! pivots".
 
-use privmech_linalg::Scalar;
+use privmech_linalg::{kernels, Scalar};
 
 use crate::model::{LpError, Model, Relation, Sense, Solution, VarBound};
+
+/// Entering-column pricing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingRule {
+    /// Most-negative reduced cost, falling back to Bland's rule after a
+    /// degeneracy streak (see the module docs). The default. Only engages
+    /// for exact scalars; inexact backends always price by Bland's rule.
+    #[default]
+    DantzigWithBlandFallback,
+    /// Bland's smallest-index anti-cycling rule throughout.
+    Bland,
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// Entering-column rule.
+    pub pricing: PricingRule,
+    /// Number of consecutive degenerate pivots tolerated under Dantzig
+    /// pricing before switching to Bland's rule.
+    pub degeneracy_streak_limit: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            pricing: PricingRule::default(),
+            degeneracy_streak_limit: 8,
+        }
+    }
+}
+
+/// Pivot/iteration statistics for one solve (both phases combined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PivotStats {
+    /// Pivots performed during phase 1 (feasibility search).
+    pub phase1_pivots: usize,
+    /// Pivots performed during phase 2 (optimization).
+    pub phase2_pivots: usize,
+    /// Pivots whose leaving ratio was exactly zero (no objective movement).
+    pub degenerate_pivots: usize,
+    /// Pivots chosen by Dantzig (most-negative reduced cost) pricing.
+    pub dantzig_pivots: usize,
+    /// Pivots chosen by Bland's smallest-index rule.
+    pub bland_pivots: usize,
+    /// Times the anti-cycling fallback engaged (Dantzig → Bland).
+    pub fallback_activations: usize,
+}
+
+impl PivotStats {
+    /// Total pivots across both phases.
+    #[must_use]
+    pub fn total_pivots(&self) -> usize {
+        self.phase1_pivots + self.phase2_pivots
+    }
+}
 
 /// How a model variable maps onto standard-form columns.
 #[derive(Debug, Clone, Copy)]
@@ -69,28 +171,40 @@ fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<StandardForm<T>, L
         let mut row = vec![T::zero(); structural_cols];
         for (var, coeff) in constraint.expr.terms() {
             match mapping[var.0] {
-                ColumnMap::Single(col) => {
-                    row[col] = row[col].clone() + coeff.clone();
-                }
+                ColumnMap::Single(col) => row[col].add_assign_ref(coeff),
                 ColumnMap::Split { plus, minus } => {
-                    row[plus] = row[plus].clone() + coeff.clone();
-                    row[minus] = row[minus].clone() - coeff.clone();
+                    row[plus].add_assign_ref(coeff);
+                    row[minus].sub_assign_ref(coeff);
                 }
             }
         }
-        let mut b = constraint.rhs.clone() - constraint.expr.constant_part().clone();
+        let mut b = constraint.rhs.sub_ref(constraint.expr.constant_part());
         let mut relation = constraint.relation;
         if b.is_negative_approx() {
             // Multiply the whole row by -1 so that b >= 0, flipping <= / >=.
             for cell in &mut row {
-                *cell = -cell.clone();
+                cell.neg_assign();
             }
-            b = -b;
+            b.neg_assign();
             relation = match relation {
                 Relation::Le => Relation::Ge,
                 Relation::Ge => Relation::Le,
                 Relation::Eq => Relation::Eq,
             };
+        }
+        if T::is_exact() && relation == Relation::Ge && b.is_exactly_zero() {
+            // `expr >= 0` is `-expr <= 0`: negating lets a slack column seed
+            // the basis, so the row needs no artificial variable. The
+            // paper's LPs are dominated by such rows (2·n·(n+1) adjacency
+            // constraints with zero rhs), and without this rewrite phase 1
+            // spends thousands of degenerate pivots driving their
+            // artificials out. Exact scalars only: like Dantzig pricing,
+            // the changed pivot trajectory is a numerical-robustness hazard
+            // for the `f64` backend, which stays on the seed solver's path.
+            for cell in &mut row {
+                cell.neg_assign();
+            }
+            relation = Relation::Le;
         }
         rows.push(row);
         rhs.push(b);
@@ -124,12 +238,16 @@ fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<StandardForm<T>, L
     let mut costs = vec![T::zero(); num_cols];
     let maximize = sense == Sense::Maximize;
     for (var, coeff) in objective.terms() {
-        let signed = if maximize { -coeff.clone() } else { coeff.clone() };
+        let signed = if maximize {
+            -coeff.clone()
+        } else {
+            coeff.clone()
+        };
         match mapping[var.0] {
-            ColumnMap::Single(col) => costs[col] = costs[col].clone() + signed,
+            ColumnMap::Single(col) => costs[col].add_assign_ref(&signed),
             ColumnMap::Split { plus, minus } => {
-                costs[plus] = costs[plus].clone() + signed.clone();
-                costs[minus] = costs[minus].clone() - signed;
+                costs[plus].add_assign_ref(&signed);
+                costs[minus].sub_assign_ref(&signed);
             }
         }
     }
@@ -146,7 +264,7 @@ fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<StandardForm<T>, L
 
 /// A full simplex tableau: `rows x (cols + 1)` with the right-hand side in the
 /// last column, plus a reduced-cost row.
-struct Tableau<T: Scalar> {
+struct Tableau<'a, T: Scalar> {
     body: Vec<Vec<T>>,
     /// Reduced costs for the current phase objective, length `cols + 1`
     /// (last entry is minus the current objective value).
@@ -155,81 +273,184 @@ struct Tableau<T: Scalar> {
     cols: usize,
     /// Columns the entering rule must skip (artificials during phase 2).
     banned: Vec<bool>,
+    /// Scratch buffer for the pivot row's nonzero support, reused across
+    /// pivots so the hot loop performs no per-pivot allocation.
+    support: Vec<usize>,
+    options: &'a SolverOptions,
+    stats: &'a mut PivotStats,
 }
 
-impl<T: Scalar> Tableau<T> {
+impl<T: Scalar> Tableau<'_, T> {
     fn rhs(&self, row: usize) -> &T {
         &self.body[row][self.cols]
     }
 
     /// One simplex pivot on (`row`, `col`).
     fn pivot(&mut self, row: usize, col: usize) {
+        // Normalize the pivot row, then record its nonzero support once; all
+        // remaining updates touch only those columns.
         let pivot_value = self.body[row][col].clone();
-        // Normalize the pivot row.
-        for j in 0..=self.cols {
-            self.body[row][j] = self.body[row][j].clone() / pivot_value.clone();
-        }
-        // Eliminate the pivot column from all other rows and the objective row.
-        for r in 0..self.body.len() {
+        kernels::div_all(&mut self.body[row], &pivot_value);
+        let mut support = std::mem::take(&mut self.support);
+        kernels::nonzero_support_into(&self.body[row], &mut support);
+
+        // Eliminate the pivot column from all other rows and the objective
+        // row. The pivot row is temporarily moved out so the borrow checker
+        // allows in-place updates of its siblings.
+        let pivot_row = std::mem::take(&mut self.body[row]);
+        for (r, body_row) in self.body.iter_mut().enumerate() {
             if r == row {
                 continue;
             }
-            let factor = self.body[r][col].clone();
+            let factor = body_row[col].clone();
             if factor.is_zero_approx() {
                 continue;
             }
-            for j in 0..=self.cols {
-                let delta = factor.clone() * self.body[row][j].clone();
-                self.body[r][j] = self.body[r][j].clone() - delta;
-            }
+            kernels::sub_scaled_at(body_row, &factor, &pivot_row, &support);
+            // Exact cancellation: make the pivot column exactly zero so no
+            // residue survives in the f64 backend either.
+            body_row[col] = T::zero();
         }
         let factor = self.obj[col].clone();
         if !factor.is_zero_approx() {
-            for j in 0..=self.cols {
-                let delta = factor.clone() * self.body[row][j].clone();
-                self.obj[j] = self.obj[j].clone() - delta;
-            }
+            kernels::sub_scaled_at(&mut self.obj, &factor, &pivot_row, &support);
+            self.obj[col] = T::zero();
         }
+        self.body[row] = pivot_row;
+        self.support = support;
         self.basis[row] = col;
     }
 
-    /// Run simplex iterations with Bland's rule until optimality or
-    /// unboundedness. Returns `Err(LpError::Unbounded)` when a column with a
-    /// negative reduced cost has no positive entry.
-    fn optimize(&mut self) -> Result<(), LpError> {
-        // Generous iteration cap: Bland's rule guarantees finite termination,
-        // this cap only guards against a solver bug turning into a hang.
-        let max_iters = 50_000usize.max(100 * (self.cols + self.body.len()));
-        for _ in 0..max_iters {
-            // Entering column: smallest index with negative reduced cost.
-            let entering = (0..self.cols)
-                .find(|&j| !self.banned[j] && self.obj[j].is_negative_approx());
-            let Some(col) = entering else {
-                return Ok(());
-            };
-            // Leaving row: minimum ratio, ties broken by smallest basis index.
-            let mut best: Option<(usize, T)> = None;
-            for r in 0..self.body.len() {
-                let coeff = self.body[r][col].clone();
-                if !coeff.is_positive_approx() {
-                    continue;
-                }
-                let ratio = self.rhs(r).clone() / coeff;
-                match &best {
-                    None => best = Some((r, ratio)),
-                    Some((br, bratio)) => {
-                        if ratio < *bratio
-                            || (ratio == *bratio && self.basis[r] < self.basis[*br])
-                        {
-                            best = Some((r, ratio));
-                        }
+    /// Entering column under Bland's rule: smallest index with a negative
+    /// reduced cost.
+    fn entering_bland(&self) -> Option<usize> {
+        (0..self.cols).find(|&j| !self.banned[j] && self.obj[j].is_negative_approx())
+    }
+
+    /// Entering column under Dantzig pricing: most negative reduced cost
+    /// (ties broken towards the smaller index).
+    fn entering_dantzig(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for j in 0..self.cols {
+            if self.banned[j] || !self.obj[j].is_negative_approx() {
+                continue;
+            }
+            match best {
+                None => best = Some(j),
+                Some(b) => {
+                    if self.obj[j] < self.obj[b] {
+                        best = Some(j);
                     }
                 }
             }
-            let Some((row, _)) = best else {
+        }
+        best
+    }
+
+    /// Leaving row for entering column `col`: minimum ratio. Ties are broken
+    /// differently per pricing mode:
+    ///
+    /// * Bland mode: smallest basis index — part of Bland's anti-cycling
+    ///   termination guarantee.
+    /// * Dantzig mode: **largest pivot coefficient**. Dantzig's
+    ///   most-negative-cost column can pair a tied minimum ratio with a tiny
+    ///   pivot element; dividing the row by a near-tolerance pivot destroys
+    ///   `f64` tableaus (and bloats `Rational` entries), so among tied rows
+    ///   the best-conditioned pivot wins. Cycling concerns are delegated to
+    ///   the Bland fallback.
+    ///
+    /// Returns `None` when the column is unbounded, otherwise the row and
+    /// whether the pivot is degenerate (ratio approximately zero).
+    fn leaving_row(&self, col: usize, bland_mode: bool) -> Option<(usize, bool)> {
+        let mut best: Option<(usize, T)> = None;
+        for r in 0..self.body.len() {
+            let coeff = &self.body[r][col];
+            if !coeff.is_positive_approx() {
+                continue;
+            }
+            let ratio = self.rhs(r).div_ref(coeff);
+            match &best {
+                None => best = Some((r, ratio)),
+                Some((br, bratio)) => {
+                    if ratio == *bratio {
+                        let tie_wins = if bland_mode {
+                            self.basis[r] < self.basis[*br]
+                        } else {
+                            self.body[r][col].abs() > self.body[*br][col].abs()
+                        };
+                        if tie_wins {
+                            best = Some((r, ratio));
+                        }
+                    } else if ratio < *bratio {
+                        best = Some((r, ratio));
+                    }
+                }
+            }
+        }
+        best.map(|(r, ratio)| (r, ratio.is_zero_approx()))
+    }
+
+    /// Run simplex iterations until optimality or unboundedness, following
+    /// the configured pricing rule. Returns `Err(LpError::Unbounded)` when a
+    /// column with a negative reduced cost has no positive entry.
+    fn optimize(&mut self, phase1: bool) -> Result<(), LpError> {
+        // Generous iteration cap: the Bland fallback guarantees finite
+        // termination, this cap only guards against a solver bug turning
+        // into a hang.
+        let max_iters = 50_000usize.max(100 * (self.cols + self.body.len()));
+        let mut degenerate_streak = 0usize;
+        // Dantzig pricing is reserved for exact scalars: on the heavily
+        // degenerate phase-1 tableaus of the paper's LPs, the most-negative
+        // column rule steers `f64` through ill-conditioned bases whose noise
+        // eventually fabricates infeasible/unbounded verdicts. Inexact
+        // backends therefore always price by Bland's rule (the seed solver's
+        // behavior); exact backends get the fast pricing plus the fallback.
+        let dantzig_allowed =
+            T::is_exact() && self.options.pricing == PricingRule::DantzigWithBlandFallback;
+        let mut bland_mode = !dantzig_allowed;
+
+        for _ in 0..max_iters {
+            let entering = if bland_mode {
+                self.entering_bland()
+            } else {
+                self.entering_dantzig()
+            };
+            let Some(col) = entering else {
+                return Ok(());
+            };
+            let Some((row, degenerate)) = self.leaving_row(col, bland_mode) else {
                 return Err(LpError::Unbounded);
             };
             self.pivot(row, col);
+
+            if phase1 {
+                self.stats.phase1_pivots += 1;
+            } else {
+                self.stats.phase2_pivots += 1;
+            }
+            if bland_mode {
+                self.stats.bland_pivots += 1;
+            } else {
+                self.stats.dantzig_pivots += 1;
+            }
+            if degenerate {
+                self.stats.degenerate_pivots += 1;
+                degenerate_streak += 1;
+                if !bland_mode
+                    && dantzig_allowed
+                    && degenerate_streak > self.options.degeneracy_streak_limit
+                {
+                    bland_mode = true;
+                    self.stats.fallback_activations += 1;
+                }
+            } else {
+                degenerate_streak = 0;
+                // A strict objective improvement left the degenerate vertex;
+                // resume the cheaper-converging Dantzig rule.
+                if dantzig_allowed {
+                    bland_mode = false;
+                }
+            }
         }
         Err(LpError::Internal(
             "simplex iteration limit exceeded".to_string(),
@@ -237,10 +458,19 @@ impl<T: Scalar> Tableau<T> {
     }
 }
 
-/// Solve a [`Model`] by the two-phase simplex method.
+/// Solve a [`Model`] by the two-phase simplex method with default options.
 pub fn solve_model<T: Scalar>(model: &Model<T>) -> Result<Solution<T>, LpError> {
+    solve_model_with(model, &SolverOptions::default())
+}
+
+/// Solve a [`Model`] by the two-phase simplex method with explicit options.
+pub fn solve_model_with<T: Scalar>(
+    model: &Model<T>,
+    options: &SolverOptions,
+) -> Result<Solution<T>, LpError> {
     let sf = build_standard_form(model)?;
     let num_rows = sf.rows.len();
+    let mut stats = PivotStats::default();
 
     // Handle the degenerate "no constraints" case directly: the optimum is at
     // the origin if the costs are non-negative, otherwise unbounded.
@@ -250,9 +480,13 @@ pub fn solve_model<T: Scalar>(model: &Model<T>) -> Result<Solution<T>, LpError> 
                 return Err(LpError::Unbounded);
             }
         }
-        let values = extract_values(&sf, &[], &[], sf.num_cols);
+        let values = extract_values(&sf, &[], sf.num_cols);
         let objective = report_objective(model, &values);
-        return Ok(Solution { objective, values });
+        return Ok(Solution {
+            objective,
+            values,
+            stats,
+        });
     }
 
     // Build the initial tableau, adding artificial columns where no slack can
@@ -277,38 +511,36 @@ pub fn solve_model<T: Scalar>(model: &Model<T>) -> Result<Solution<T>, LpError> 
         let mut full = Vec::with_capacity(total_cols + 1);
         full.extend(row.iter().cloned());
         for &acol in &artificial_cols {
-            full.push(if basis[i] == acol { T::one() } else { T::zero() });
+            full.push(if basis[i] == acol {
+                T::one()
+            } else {
+                T::zero()
+            });
         }
         full.push(sf.rhs[i].clone());
         body.push(full);
     }
 
-    let is_artificial: Vec<bool> = (0..total_cols)
-        .map(|j| j >= sf.num_cols)
-        .collect();
+    let is_artificial: Vec<bool> = (0..total_cols).map(|j| j >= sf.num_cols).collect();
 
     // -------------------------- Phase 1 --------------------------
     if !artificial_cols.is_empty() {
         // Phase-1 objective: minimize the sum of artificial variables.
         // Reduced costs: c1_j - sum_i c1_{B(i)} * a_ij, where c1 is 1 on
-        // artificials and 0 elsewhere.
+        // artificials and 0 elsewhere. Start from c1 and subtract each
+        // artificially-seeded row in one kernel sweep (the rhs entry folds in
+        // minus the phase-1 objective value for free).
         let mut obj = vec![T::zero(); total_cols + 1];
-        for j in 0..total_cols {
-            let mut reduced = if is_artificial[j] { T::one() } else { T::zero() };
-            for (i, row) in body.iter().enumerate() {
-                if is_artificial[basis[i]] {
-                    reduced = reduced - row[j].clone();
-                }
+        for (j, flag) in is_artificial.iter().enumerate() {
+            if *flag {
+                obj[j] = T::one();
             }
-            obj[j] = reduced;
         }
-        let mut objective_value = T::zero();
         for (i, row) in body.iter().enumerate() {
             if is_artificial[basis[i]] {
-                objective_value = objective_value + row[total_cols].clone();
+                kernels::sub_scaled(&mut obj, &T::one(), row);
             }
         }
-        obj[total_cols] = -objective_value;
 
         let mut tableau = Tableau {
             body,
@@ -316,8 +548,11 @@ pub fn solve_model<T: Scalar>(model: &Model<T>) -> Result<Solution<T>, LpError> 
             basis,
             cols: total_cols,
             banned: vec![false; total_cols],
+            support: Vec::with_capacity(total_cols + 1),
+            options,
+            stats: &mut stats,
         };
-        tableau.optimize()?;
+        tableau.optimize(true)?;
 
         let phase1_value = -tableau.obj[total_cols].clone();
         if phase1_value.is_positive_approx() {
@@ -330,8 +565,7 @@ pub fn solve_model<T: Scalar>(model: &Model<T>) -> Result<Solution<T>, LpError> 
                 continue;
             }
             // Find a non-artificial column with a nonzero coefficient.
-            let replacement = (0..sf.num_cols)
-                .find(|&j| !tableau.body[row][j].is_zero_approx());
+            let replacement = (0..sf.num_cols).find(|&j| !tableau.body[row][j].is_zero_approx());
             if let Some(col) = replacement {
                 tableau.pivot(row, col);
             }
@@ -346,30 +580,24 @@ pub fn solve_model<T: Scalar>(model: &Model<T>) -> Result<Solution<T>, LpError> 
     }
 
     // -------------------------- Phase 2 --------------------------
-    // Reduced costs for the real objective.
+    // Reduced costs for the real objective: start from the cost vector and
+    // subtract cb_i * row_i for every basic column with a nonzero cost.
     let mut costs_full = sf.costs.clone();
     costs_full.resize(total_cols, T::zero());
-    let mut obj = vec![T::zero(); total_cols + 1];
-    for j in 0..total_cols {
-        let mut reduced = costs_full[j].clone();
-        for (i, row) in body.iter().enumerate() {
-            let cb = costs_full[basis[i]].clone();
-            if cb.is_zero_approx() {
-                continue;
-            }
-            reduced = reduced - cb * row[j].clone();
-        }
-        obj[j] = reduced;
-    }
-    let mut objective_value = T::zero();
+    let mut obj = costs_full.clone();
+    obj.push(T::zero());
     for (i, row) in body.iter().enumerate() {
-        let cb = costs_full[basis[i]].clone();
+        let cb = &costs_full[basis[i]];
         if cb.is_zero_approx() {
             continue;
         }
-        objective_value = objective_value + cb * row[total_cols].clone();
+        kernels::sub_scaled(&mut obj, cb, row);
     }
-    obj[total_cols] = -objective_value;
+    // The kernel sweep also touched the basic columns themselves; their
+    // reduced costs are zero by construction, so restore exactness for f64.
+    for (i, _) in body.iter().enumerate() {
+        obj[basis[i]] = T::zero();
+    }
 
     let mut tableau = Tableau {
         body,
@@ -377,23 +605,29 @@ pub fn solve_model<T: Scalar>(model: &Model<T>) -> Result<Solution<T>, LpError> 
         basis,
         cols: total_cols,
         banned: is_artificial,
+        support: Vec::with_capacity(total_cols + 1),
+        options,
+        stats: &mut stats,
     };
-    tableau.optimize()?;
+    tableau.optimize(false)?;
 
     // ----------------------- Extract solution -----------------------
     let mut column_values = vec![T::zero(); total_cols];
     for (i, &b) in tableau.basis.iter().enumerate() {
         column_values[b] = tableau.rhs(i).clone();
     }
-    let values = extract_values(&sf, &column_values, &tableau.basis, total_cols);
+    let values = extract_values(&sf, &column_values, total_cols);
     let objective = report_objective(model, &values);
-    Ok(Solution { objective, values })
+    Ok(Solution {
+        objective,
+        values,
+        stats,
+    })
 }
 
 fn extract_values<T: Scalar>(
     sf: &StandardForm<T>,
     column_values: &[T],
-    _basis: &[usize],
     total_cols: usize,
 ) -> Vec<T> {
     let get = |col: usize| -> T {
@@ -422,6 +656,7 @@ fn report_objective<T: Scalar>(model: &Model<T>, values: &[T]) -> T {
 
 #[cfg(test)]
 mod tests {
+    use super::{PivotStats, PricingRule, SolverOptions};
     use crate::model::{LinExpr, LpError, Model, Relation, Sense, VarBound};
     use privmech_numerics::{rat, Rational};
 
@@ -432,8 +667,10 @@ mod tests {
         let mut m: Model<f64> = Model::new();
         let x = m.add_var("x", VarBound::NonNegative);
         let y = m.add_var("y", VarBound::NonNegative);
-        m.add_constraint(LinExpr::term(x, 1.0), Relation::Le, 4.0).unwrap();
-        m.add_constraint(LinExpr::term(y, 2.0), Relation::Le, 12.0).unwrap();
+        m.add_constraint(LinExpr::term(x, 1.0), Relation::Le, 4.0)
+            .unwrap();
+        m.add_constraint(LinExpr::term(y, 2.0), Relation::Le, 12.0)
+            .unwrap();
         m.add_constraint(LinExpr::term(x, 3.0).plus(y, 2.0), Relation::Le, 18.0)
             .unwrap();
         m.set_objective(Sense::Maximize, LinExpr::term(x, 3.0).plus(y, 5.0))
@@ -442,6 +679,7 @@ mod tests {
         assert!((sol.objective - 36.0).abs() < 1e-9);
         assert!((sol.value(x) - 2.0).abs() < 1e-9);
         assert!((sol.value(y) - 6.0).abs() < 1e-9);
+        assert!(sol.stats.total_pivots() > 0);
     }
 
     #[test]
@@ -502,6 +740,8 @@ mod tests {
         // x can go as low as 0 (then y = 5 >= 1), so z = x - 2 = -2.
         assert_eq!(sol.objective, rat(-2, 1));
         assert_eq!(*sol.value(z), rat(-2, 1));
+        // Phase 1 had to run: equality rows need artificial variables.
+        assert!(sol.stats.phase1_pivots > 0);
     }
 
     #[test]
@@ -521,8 +761,10 @@ mod tests {
     fn unbounded_detected() {
         let mut m: Model<f64> = Model::new();
         let x = m.add_var("x", VarBound::NonNegative);
-        m.add_constraint(LinExpr::term(x, 1.0), Relation::Ge, 1.0).unwrap();
-        m.set_objective(Sense::Maximize, LinExpr::term(x, 1.0)).unwrap();
+        m.add_constraint(LinExpr::term(x, 1.0), Relation::Ge, 1.0)
+            .unwrap();
+        m.set_objective(Sense::Maximize, LinExpr::term(x, 1.0))
+            .unwrap();
         assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
     }
 
@@ -540,6 +782,7 @@ mod tests {
             .unwrap();
         let sol = m.solve().unwrap();
         assert_eq!(sol.objective, Rational::zero());
+        assert_eq!(sol.stats, PivotStats::default());
         // And the unbounded direction is detected without constraints too.
         let mut m2: Model<Rational> = Model::new();
         let y = m2.add_var("y", VarBound::NonNegative);
@@ -566,15 +809,14 @@ mod tests {
         assert_eq!(*sol.value(x), rat(2, 1));
     }
 
-    #[test]
-    fn degenerate_lp_terminates_with_blands_rule() {
+    fn beale_cycling_model() -> Model<Rational> {
         // Beale's classical cycling example (Chvátal, Linear Programming):
         //   max 10a - 57b - 9c - 24d
         //   s.t. 0.5a - 5.5b - 2.5c + 9d <= 0
         //        0.5a - 1.5b - 0.5c +  d <= 0
         //        a <= 1
         // The textbook optimum is 1 at a = 1, c = 1, b = d = 0. Dantzig's
-        // largest-coefficient rule cycles here; Bland's rule must terminate.
+        // largest-coefficient rule cycles here without anti-cycling help.
         let mut m: Model<Rational> = Model::new();
         let a = m.add_var("a", VarBound::NonNegative);
         let b = m.add_var("b", VarBound::NonNegative);
@@ -608,10 +850,81 @@ mod tests {
                 .plus(d, rat(-24, 1)),
         )
         .unwrap();
+        m
+    }
+
+    #[test]
+    fn degenerate_lp_terminates_with_default_pricing() {
+        let m = beale_cycling_model();
         let sol = m.solve().unwrap();
         assert_eq!(sol.objective, rat(1, 1));
-        assert_eq!(*sol.value(a), rat(1, 1));
-        assert_eq!(*sol.value(c), rat(1, 1));
+        // Beale's optimum is unique: a = 1, c = 1, b = d = 0 (vars 0..=3).
+        assert_eq!(sol.values[0], rat(1, 1));
+        assert_eq!(sol.values[1], Rational::zero());
+        assert_eq!(sol.values[2], rat(1, 1));
+        assert_eq!(sol.values[3], Rational::zero());
+        assert!(
+            sol.stats.degenerate_pivots > 0,
+            "Beale's example is degenerate"
+        );
+    }
+
+    #[test]
+    fn dantzig_fallback_matches_pure_bland_on_cycling_lp() {
+        // The degeneracy regression demanded by the perf rework: the
+        // Dantzig-with-fallback default must terminate on the classic cycling
+        // example and agree with pure Bland's rule on the objective.
+        let m = beale_cycling_model();
+        let dantzig = crate::simplex::solve_model_with(
+            &m,
+            &SolverOptions {
+                pricing: PricingRule::DantzigWithBlandFallback,
+                // Force the fallback machinery to engage almost immediately.
+                degeneracy_streak_limit: 1,
+            },
+        )
+        .unwrap();
+        let bland = crate::simplex::solve_model_with(
+            &m,
+            &SolverOptions {
+                pricing: PricingRule::Bland,
+                degeneracy_streak_limit: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(dantzig.objective, rat(1, 1));
+        assert_eq!(bland.objective, rat(1, 1));
+        assert_eq!(dantzig.objective, bland.objective);
+        assert_eq!(
+            bland.stats.dantzig_pivots, 0,
+            "pure Bland never prices by Dantzig"
+        );
+        assert!(bland.stats.bland_pivots > 0);
+    }
+
+    #[test]
+    fn pivot_stats_are_plausible() {
+        let mut m: Model<Rational> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        let y = m.add_var("y", VarBound::NonNegative);
+        m.add_constraint(
+            LinExpr::term(x, rat(1, 1)).plus(y, rat(1, 1)),
+            Relation::Le,
+            rat(10, 1),
+        )
+        .unwrap();
+        m.set_objective(
+            Sense::Maximize,
+            LinExpr::term(x, rat(1, 1)).plus(y, rat(2, 1)),
+        )
+        .unwrap();
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.objective, rat(20, 1));
+        let s = sol.stats;
+        assert_eq!(s.total_pivots(), s.phase1_pivots + s.phase2_pivots);
+        assert_eq!(s.total_pivots(), s.dantzig_pivots + s.bland_pivots);
+        assert!(s.total_pivots() >= 1);
+        assert_eq!(s.fallback_activations, 0);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! tests might miss (degeneracy, equality-heavy programs, redundant
 //! constraints, mixed senses).
 
+#![allow(clippy::needless_range_loop)] // index-coupled access into vars[i][j]
+
 use privmech_lp::{LinExpr, LpError, Model, Relation, Sense, VarBound};
 use privmech_numerics::{rat, Rational};
 
@@ -135,10 +137,12 @@ fn free_variable_can_go_negative_in_both_backends() {
         let z = m.add_var("z", VarBound::Free);
         let mut rhs_expr = LinExpr::term(z, T::one());
         rhs_expr.add_term(x, -T::one());
-        m.add_constraint(rhs_expr, Relation::Ge, -T::from_i64(10)).unwrap();
+        m.add_constraint(rhs_expr, Relation::Ge, -T::from_i64(10))
+            .unwrap();
         m.add_constraint(LinExpr::term(x, T::one()), Relation::Le, T::from_i64(4))
             .unwrap();
-        m.set_objective(Sense::Minimize, LinExpr::term(z, T::one())).unwrap();
+        m.set_objective(Sense::Minimize, LinExpr::term(z, T::one()))
+            .unwrap();
         (m, z)
     }
     let (m, z) = build::<Rational>();

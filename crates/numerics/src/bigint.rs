@@ -4,10 +4,14 @@
 //! limbs. The magnitude is always normalized: no trailing zero limbs, and a
 //! zero value is represented by an empty limb vector with [`Sign::Zero`].
 //!
-//! The implementation favours simplicity and correctness over raw speed:
-//! schoolbook multiplication and shift/subtract long division are more than
-//! fast enough for the matrix sizes and LP tableaux that arise when verifying
-//! privacy mechanisms exactly (a few hundred bits at most in practice).
+//! The exact LP tableaus this crate feeds spend most of their life on values
+//! that fit in one machine word, so every ring operation (add/sub/mul/cmp,
+//! plus gcd and div_rem) takes an inline **single-limb fast path** before
+//! falling back to the general limb loops. The multi-limb substrate is
+//! schoolbook multiplication, Knuth Algorithm D long division (TAOCP 4.3.1),
+//! and an in-place binary GCD — quadratic algorithms are more than fast
+//! enough for the few hundred bits that arise when verifying privacy
+//! mechanisms exactly.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -38,6 +42,7 @@ impl Sign {
 
     /// Product-of-signs rule.
     #[must_use]
+    #[allow(clippy::should_implement_trait)] // not an `ops::Mul` impl: takes/returns plain signs
     pub fn mul(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
@@ -199,16 +204,89 @@ fn mag_bits(a: &[u64]) -> usize {
     }
 }
 
-fn mag_get_bit(a: &[u64], bit: usize) -> bool {
-    let limb = bit / 64;
-    if limb >= a.len() {
-        return false;
+/// Subtract `b` from `a` in place. Requires `a >= b` (as magnitudes).
+fn mag_sub_in_place(a: &mut Vec<u64>, b: &[u64]) {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let x = a[i] as u128;
+        let y = if i < b.len() { b[i] as u128 } else { 0 };
+        let rhs = y + borrow as u128;
+        if x >= rhs {
+            a[i] = (x - rhs) as u64;
+            borrow = 0;
+        } else {
+            a[i] = (x + (1u128 << 64) - rhs) as u64;
+            borrow = 1;
+        }
+        if borrow == 0 && i >= b.len() {
+            break;
+        }
     }
-    (a[limb] >> (bit % 64)) & 1 == 1
+    trim(a);
 }
 
-/// Schoolbook shift/subtract long division on magnitudes.
-/// Returns (quotient, remainder).
+/// Shift a magnitude right by `bits` in place (arbitrary shift counts).
+fn mag_shr_in_place(a: &mut Vec<u64>, bits: usize) {
+    let limb_shift = bits / 64;
+    let bit_shift = bits % 64;
+    if limb_shift >= a.len() {
+        a.clear();
+        return;
+    }
+    if limb_shift > 0 {
+        a.drain(..limb_shift);
+    }
+    if bit_shift > 0 {
+        let len = a.len();
+        for i in 0..len {
+            let mut v = a[i] >> bit_shift;
+            if i + 1 < len {
+                v |= a[i + 1] << (64 - bit_shift);
+            }
+            a[i] = v;
+        }
+    }
+    trim(a);
+}
+
+/// Number of trailing zero bits of a non-zero magnitude.
+fn mag_trailing_zeros(a: &[u64]) -> usize {
+    for (i, &l) in a.iter().enumerate() {
+        if l != 0 {
+            return i * 64 + l.trailing_zeros() as usize;
+        }
+    }
+    0
+}
+
+/// Binary GCD on machine words.
+fn u64_gcd(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Long division on magnitudes via Knuth's Algorithm D (TAOCP 4.3.1) with
+/// 64-bit limbs. Returns (quotient, remainder). The previous implementation
+/// was a bit-by-bit shift/subtract loop — O(bits · limbs) with an allocation
+/// per bit — which dominated exact-LP profiles through `Rational`
+/// normalization; Algorithm D is O(limbs²) with no per-step allocation.
 fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
     assert!(!b.is_empty(), "division by zero");
     if mag_cmp(a, b) == Ordering::Less {
@@ -218,27 +296,68 @@ fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let (q, r) = mag_div_limb(a, b[0]);
         return (q, if r == 0 { Vec::new() } else { vec![r] });
     }
-    let n = mag_bits(a);
-    let mut quotient = vec![0u64; a.len()];
-    let mut rem: Vec<u64> = Vec::new();
-    for bit in (0..n).rev() {
-        // rem = (rem << 1) | a_bit
-        rem = mag_shl(&rem, 1);
-        if mag_get_bit(a, bit) {
-            if rem.is_empty() {
-                rem.push(1);
-            } else {
-                rem[0] |= 1;
+
+    // Normalize so the divisor's top limb has its high bit set; this keeps
+    // the 2-limb quotient estimate within one of the true digit.
+    let shift = b.last().expect("non-empty divisor").leading_zeros() as usize;
+    let bn = mag_shl(b, shift);
+    debug_assert_eq!(bn.len(), b.len());
+    let mut an = mag_shl(a, shift);
+    an.resize(a.len() + 1, 0);
+
+    let n = bn.len();
+    let m = an.len() - n; // number of quotient digits
+    let top = bn[n - 1] as u128;
+    let next = bn[n - 2] as u128;
+    let mut q = vec![0u64; m];
+
+    for j in (0..m).rev() {
+        // Estimate the quotient digit from the top limbs.
+        let num = ((an[j + n] as u128) << 64) | an[j + n - 1] as u128;
+        let mut qhat = num / top;
+        let mut rhat = num % top;
+        while qhat >> 64 != 0 || qhat * next > ((rhat << 64) | an[j + n - 2] as u128) {
+            qhat -= 1;
+            rhat += top;
+            if rhat >> 64 != 0 {
+                break;
             }
         }
-        if mag_cmp(&rem, b) != Ordering::Less {
-            rem = mag_sub(&rem, b);
-            quotient[bit / 64] |= 1u64 << (bit % 64);
+
+        // an[j..=j+n] -= qhat * bn
+        let mut mul_carry: u128 = 0;
+        let mut borrow: u64 = 0;
+        for i in 0..n {
+            let p = qhat * bn[i] as u128 + mul_carry;
+            mul_carry = p >> 64;
+            let (d1, b1) = an[j + i].overflowing_sub(p as u64);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            an[j + i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
         }
+        let (d1, b1) = an[j + n].overflowing_sub(mul_carry as u64);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        an[j + n] = d2;
+
+        if b1 || b2 {
+            // The estimate was one too large (rare): add the divisor back.
+            qhat -= 1;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let s = an[j + i] as u128 + bn[i] as u128 + carry;
+                an[j + i] = s as u64;
+                carry = s >> 64;
+            }
+            an[j + n] = an[j + n].wrapping_add(carry as u64);
+        }
+        q[j] = qhat as u64;
     }
-    trim(&mut quotient);
+
+    let mut rem = an[..n].to_vec();
     trim(&mut rem);
-    (quotient, rem)
+    mag_shr_in_place(&mut rem, shift);
+    trim(&mut q);
+    (q, rem)
 }
 
 // ---------------------------------------------------------------------------
@@ -268,7 +387,11 @@ impl BigInt {
         if limbs.is_empty() {
             return BigInt::zero();
         }
-        let sign = if sign == Sign::Zero { Sign::Positive } else { sign };
+        let sign = if sign == Sign::Zero {
+            Sign::Positive
+        } else {
+            sign
+        };
         BigInt { sign, limbs }
     }
 
@@ -324,7 +447,7 @@ impl BigInt {
     /// True iff the magnitude is even.
     #[must_use]
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l % 2 == 0)
+        self.limbs.first().is_none_or(|l| l % 2 == 0)
     }
 
     /// Shift the magnitude left by `bits` (sign preserved).
@@ -362,9 +485,18 @@ impl BigInt {
     #[must_use]
     pub fn div_rem(&self, divisor: &BigInt) -> (BigInt, BigInt) {
         assert!(!divisor.is_zero(), "BigInt division by zero");
-        let (q_mag, r_mag) = mag_divrem(&self.limbs, &divisor.limbs);
         let q_sign = self.sign.mul(divisor.sign);
         let r_sign = self.sign;
+        // Single-limb fast path: machine division.
+        if self.limbs.len() <= 1 && divisor.limbs.len() <= 1 {
+            let a = self.limbs.first().copied().unwrap_or(0);
+            let d = divisor.limbs[0];
+            return (
+                BigInt::from_sign_limbs(q_sign, vec![a / d]),
+                BigInt::from_sign_limbs(r_sign, vec![a % d]),
+            );
+        }
+        let (q_mag, r_mag) = mag_divrem(&self.limbs, &divisor.limbs);
         (
             BigInt::from_sign_limbs(q_sign, q_mag),
             BigInt::from_sign_limbs(r_sign, r_mag),
@@ -372,45 +504,53 @@ impl BigInt {
     }
 
     /// Greatest common divisor of the magnitudes (always non-negative).
+    ///
+    /// Machine-word inputs take a branch-free `u64` binary-GCD fast path; the
+    /// multi-limb case runs binary GCD **in place** on two limb buffers
+    /// (shift/subtract, no allocation per round) and drops to the word path
+    /// as soon as both operands fit in one limb.
     #[must_use]
     pub fn gcd(&self, other: &BigInt) -> BigInt {
-        // Binary GCD on magnitudes.
-        let mut a = self.abs();
-        let mut b = other.abs();
-        if a.is_zero() {
-            return b;
+        if self.is_zero() {
+            return other.abs();
         }
-        if b.is_zero() {
-            return a;
+        if other.is_zero() {
+            return self.abs();
         }
-        let a_tz = a.trailing_zeros();
-        let b_tz = b.trailing_zeros();
+        if self.limbs.len() == 1 && other.limbs.len() == 1 {
+            return BigInt::from(u64_gcd(self.limbs[0], other.limbs[0]));
+        }
+
+        let mut a = self.limbs.clone();
+        let mut b = other.limbs.clone();
+        let a_tz = mag_trailing_zeros(&a);
+        let b_tz = mag_trailing_zeros(&b);
         let shift = a_tz.min(b_tz);
-        a = a.shr_bits(a_tz);
-        b = b.shr_bits(b_tz);
+        mag_shr_in_place(&mut a, a_tz);
+        mag_shr_in_place(&mut b, b_tz);
         loop {
             // a and b are both odd here.
-            if mag_cmp(&a.limbs, &b.limbs) == Ordering::Less {
-                std::mem::swap(&mut a, &mut b);
+            if a.len() == 1 && b.len() == 1 {
+                let g = BigInt::from(u64_gcd(a[0], b[0]));
+                return g.shl_bits(shift);
             }
-            a = BigInt::from_sign_limbs(Sign::Positive, mag_sub(&a.limbs, &b.limbs));
-            if a.is_zero() {
-                return b.shl_bits(shift);
+            match mag_cmp(&a, &b) {
+                Ordering::Equal => {
+                    return BigInt::from_sign_limbs(Sign::Positive, a).shl_bits(shift);
+                }
+                Ordering::Less => std::mem::swap(&mut a, &mut b),
+                Ordering::Greater => {}
             }
-            let tz = a.trailing_zeros();
-            a = a.shr_bits(tz);
+            mag_sub_in_place(&mut a, &b);
+            let tz = mag_trailing_zeros(&a);
+            mag_shr_in_place(&mut a, tz);
         }
     }
 
     /// Number of trailing zero bits of the magnitude (0 for zero).
     #[must_use]
     pub fn trailing_zeros(&self) -> usize {
-        for (i, &l) in self.limbs.iter().enumerate() {
-            if l != 0 {
-                return i * 64 + l.trailing_zeros() as usize;
-            }
-        }
-        0
+        mag_trailing_zeros(&self.limbs)
     }
 
     /// Raise to a non-negative integer power.
@@ -439,7 +579,7 @@ impl BigInt {
                     Sign::Positive => i64::try_from(mag).ok(),
                     Sign::Negative => {
                         if mag <= i64::MAX as u64 + 1 {
-                            Some((mag as i128 * -1) as i64)
+                            Some(-(mag as i128) as i64)
                         } else {
                             None
                         }
@@ -559,10 +699,32 @@ impl Ord for BigInt {
 }
 
 // Arithmetic on references; owned variants delegate.
+//
+// All three ring operations take a **small-value fast path** when both
+// operands fit in a single limb: the arithmetic happens in one or two machine
+// operations on `i128`/`u128` before falling back to the general limb loops.
+// LP tableaus over `Rational` spend most of their life in exactly this regime,
+// so the fast path is the difference between a pivot being a handful of ALU
+// instructions and a tour through heap-allocating vector code.
+
+impl BigInt {
+    /// Signed `i128` view of a value known to fit in one limb.
+    #[inline]
+    fn small_i128(&self) -> i128 {
+        let mag = self.limbs.first().copied().unwrap_or(0) as i128;
+        match self.sign {
+            Sign::Negative => -mag,
+            _ => mag,
+        }
+    }
+}
 
 impl Add for &BigInt {
     type Output = BigInt;
     fn add(self, rhs: &BigInt) -> BigInt {
+        if self.limbs.len() <= 1 && rhs.limbs.len() <= 1 {
+            return BigInt::from(self.small_i128() + rhs.small_i128());
+        }
         match (self.sign, rhs.sign) {
             (Sign::Zero, _) => rhs.clone(),
             (_, Sign::Zero) => self.clone(),
@@ -586,13 +748,42 @@ impl Add for &BigInt {
 impl Sub for &BigInt {
     type Output = BigInt;
     fn sub(self, rhs: &BigInt) -> BigInt {
-        self + &(-rhs.clone())
+        if self.limbs.len() <= 1 && rhs.limbs.len() <= 1 {
+            return BigInt::from(self.small_i128() - rhs.small_i128());
+        }
+        // Mirror of addition with the right-hand sign flipped, without
+        // materializing a negated clone of `rhs`.
+        match (self.sign, rhs.sign) {
+            (_, Sign::Zero) => self.clone(),
+            (Sign::Zero, _) => {
+                let mut out = rhs.clone();
+                out.sign = out.sign.negate();
+                out
+            }
+            (a, b) if a != b => BigInt::from_sign_limbs(a, mag_add(&self.limbs, &rhs.limbs)),
+            _ => match mag_cmp(&self.limbs, &rhs.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_sign_limbs(self.sign, mag_sub(&self.limbs, &rhs.limbs))
+                }
+                Ordering::Less => {
+                    BigInt::from_sign_limbs(self.sign.negate(), mag_sub(&rhs.limbs, &self.limbs))
+                }
+            },
+        }
     }
 }
 
 impl Mul for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &BigInt) -> BigInt {
+        if self.limbs.len() <= 1 && rhs.limbs.len() <= 1 {
+            let mag = self.limbs.first().copied().unwrap_or(0) as u128
+                * rhs.limbs.first().copied().unwrap_or(0) as u128;
+            let mut limbs = vec![mag as u64, (mag >> 64) as u64];
+            trim(&mut limbs);
+            return BigInt::from_sign_limbs(self.sign.mul(rhs.sign), limbs);
+        }
         BigInt::from_sign_limbs(self.sign.mul(rhs.sign), mag_mul(&self.limbs, &rhs.limbs))
     }
 }

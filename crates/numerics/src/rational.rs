@@ -76,11 +76,34 @@ impl Rational {
             self.den = BigInt::one();
             return;
         }
+        // Integer fast path: nothing to reduce against a unit denominator.
+        if self.den.is_one() {
+            return;
+        }
         let g = self.num.gcd(&self.den);
         if !g.is_one() {
             self.num = &self.num / &g;
             self.den = &self.den / &g;
         }
+    }
+
+    /// Internal constructor for values already in lowest terms with a
+    /// positive denominator (the arithmetic fast paths guarantee this by
+    /// construction, skipping the normalization gcd).
+    #[inline]
+    fn from_reduced(num: BigInt, den: BigInt) -> Rational {
+        debug_assert!(
+            den.is_positive(),
+            "from_reduced needs a positive denominator"
+        );
+        debug_assert!(
+            num.gcd(&den).is_one() || num.is_zero(),
+            "from_reduced needs coprime parts"
+        );
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        Rational { num, den }
     }
 
     /// Numerator (sign-carrying).
@@ -147,7 +170,18 @@ impl Rational {
     #[must_use]
     pub fn recip(&self) -> Rational {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Rational::new(self.den.clone(), self.num.clone())
+        // Already in lowest terms; only the sign needs to move.
+        if self.num.is_negative() {
+            Rational {
+                num: -self.den.clone(),
+                den: -self.num.clone(),
+            }
+        } else {
+            Rational {
+                num: self.den.clone(),
+                den: self.num.clone(),
+            }
+        }
     }
 
     /// Raise to an integer power (negative exponents invert; `0^0 = 1`).
@@ -342,35 +376,122 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Sign comparison settles most simplex ratio tests without any
+        // multiplication at all.
+        let sign_rank = |s: Sign| match s {
+            Sign::Negative => 0u8,
+            Sign::Zero => 1,
+            Sign::Positive => 2,
+        };
+        match sign_rank(self.sign()).cmp(&sign_rank(other.sign())) {
+            Ordering::Equal => {}
+            order => return order,
+        }
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+/// Shared implementation of `+` / `-` using Knuth's gcd-minimizing scheme
+/// (TAOCP 4.5.1): instead of reducing `(ad ± cb) / bd` with one gcd of two
+/// large products, compute `g0 = gcd(b, d)` first and reduce the much smaller
+/// cofactors. When `g0 = 1` (the common case for random tableau entries) the
+/// result is already in lowest terms and **no** further gcd is needed.
+fn add_sub(lhs: &Rational, rhs: &Rational, subtract: bool) -> Rational {
+    if rhs.is_zero() {
+        return lhs.clone();
+    }
+    if lhs.is_zero() {
+        let mut out = rhs.clone();
+        if subtract {
+            out.num = -out.num;
+        }
+        return out;
+    }
+    let combine = |a: BigInt, b: BigInt| if subtract { a - b } else { a + b };
+
+    // Integer fast path: only one gcd-free reduction against a unit
+    // denominator can arise, and both unit cases collapse to simple forms.
+    if lhs.den.is_one() && rhs.den.is_one() {
+        return Rational {
+            num: combine(lhs.num.clone(), rhs.num.clone()),
+            den: BigInt::one(),
+        };
+    }
+    if lhs.den == rhs.den {
+        let num = combine(lhs.num.clone(), rhs.num.clone());
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.gcd(&lhs.den);
+        if g.is_one() {
+            return Rational::from_reduced(num, lhs.den.clone());
+        }
+        return Rational::from_reduced(&num / &g, &lhs.den / &g);
+    }
+
+    let g0 = lhs.den.gcd(&rhs.den);
+    if g0.is_one() {
+        // gcd(ad ± cb, bd) = 1 when both inputs are reduced and b ⟂ d.
+        let num = combine(&lhs.num * &rhs.den, &rhs.num * &lhs.den);
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        return Rational::from_reduced(num, &lhs.den * &rhs.den);
+    }
+    let b_red = &lhs.den / &g0;
+    let d_red = &rhs.den / &g0;
+    let t = combine(&lhs.num * &d_red, &rhs.num * &b_red);
+    if t.is_zero() {
+        return Rational::zero();
+    }
+    let g1 = t.gcd(&g0);
+    if g1.is_one() {
+        Rational::from_reduced(t, &b_red * &rhs.den)
+    } else {
+        Rational::from_reduced(&t / &g1, &b_red * &(&rhs.den / &g1))
     }
 }
 
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, rhs: &Rational) -> Rational {
-        Rational::new(
-            &self.num * &rhs.den + &rhs.num * &self.den,
-            &self.den * &rhs.den,
-        )
+        add_sub(self, rhs, false)
     }
 }
 
 impl Sub for &Rational {
     type Output = Rational;
     fn sub(self, rhs: &Rational) -> Rational {
-        Rational::new(
-            &self.num * &rhs.den - &rhs.num * &self.den,
-            &self.den * &rhs.den,
-        )
+        add_sub(self, rhs, true)
     }
 }
 
 impl Mul for &Rational {
     type Output = Rational;
     fn mul(self, rhs: &Rational) -> Rational {
-        Rational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+        if self.is_zero() || rhs.is_zero() {
+            return Rational::zero();
+        }
+        // Cross-cancel before multiplying: gcd(a, d) and gcd(c, b) are tiny
+        // compared to gcd(ac, bd), and the products never grow past reduced
+        // size. The result is in lowest terms by construction.
+        let g1 = self.num.gcd(&rhs.den);
+        let g2 = rhs.num.gcd(&self.den);
+        let num = if g1.is_one() && g2.is_one() {
+            &self.num * &rhs.num
+        } else {
+            &(&self.num / &g1) * &(&rhs.num / &g2)
+        };
+        let den = if g1.is_one() && g2.is_one() {
+            &self.den * &rhs.den
+        } else {
+            &(&self.den / &g2) * &(&rhs.den / &g1)
+        };
+        Rational::from_reduced(num, den)
     }
 }
 
@@ -378,7 +499,28 @@ impl Div for &Rational {
     type Output = Rational;
     fn div(self, rhs: &Rational) -> Rational {
         assert!(!rhs.is_zero(), "Rational division by zero");
-        Rational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+        if self.is_zero() {
+            return Rational::zero();
+        }
+        // a/b ÷ c/d = (a·d)/(b·c), cross-cancelled like multiplication; the
+        // only extra work is moving `c`'s sign into the numerator.
+        let g1 = self.num.gcd(&rhs.num);
+        let g2 = rhs.den.gcd(&self.den);
+        let mut num = if g1.is_one() && g2.is_one() {
+            &self.num * &rhs.den
+        } else {
+            &(&self.num / &g1) * &(&rhs.den / &g2)
+        };
+        let mut den = if g1.is_one() && g2.is_one() {
+            &self.den * &rhs.num
+        } else {
+            &(&self.den / &g2) * &(&rhs.num / &g1)
+        };
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Rational::from_reduced(num, den)
     }
 }
 
@@ -600,13 +742,21 @@ mod tests {
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for s in ["0", "1", "-3", "1/2", "-7/3", "22/7", "123456789012345678901/2"] {
+        for s in [
+            "0",
+            "1",
+            "-3",
+            "1/2",
+            "-7/3",
+            "22/7",
+            "123456789012345678901/2",
+        ] {
             let v: Rational = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }
         assert_eq!("0.25".parse::<Rational>().unwrap(), rat(1, 4));
         assert_eq!("-0.5".parse::<Rational>().unwrap(), rat(-1, 2));
-        assert_eq!("2.".parse::<Rational>().is_err(), true);
+        assert!("2.".parse::<Rational>().is_err());
         assert!("1/0".parse::<Rational>().is_err());
         assert!("a/b".parse::<Rational>().is_err());
     }

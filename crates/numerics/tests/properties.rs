@@ -159,3 +159,124 @@ proptest! {
         prop_assert_eq!(r.to_f64(), x);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Small-value fast-path agreement (perf rework regression tests).
+//
+// BigInt add/sub/mul/cmp/gcd take an inline single-limb path when both
+// operands fit in one 64-bit limb. These properties pin the fast path to two
+// independent references on randomized u64-boundary inputs: (a) an `i128`
+// model of the arithmetic, and (b) the multi-limb slow path itself, reached
+// by shifting both operands 64 bits up (which forces two-limb
+// representations while preserving the algebra).
+// ---------------------------------------------------------------------------
+
+/// Mix of boundary-heavy and uniform single-limb magnitudes.
+fn arb_u64_boundary() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        Just(1u64 << 63),
+        Just((1u64 << 63) - 1),
+        Just((1u64 << 32) - 1),
+        Just(1u64 << 32),
+        any::<u64>(),
+    ]
+}
+
+fn arb_small_bigint() -> impl Strategy<Value = BigInt> {
+    (arb_u64_boundary(), any::<bool>()).prop_map(|(mag, neg)| {
+        let v = BigInt::from(mag);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+/// Signed `i128` view of a single-limb BigInt (reference model).
+fn as_i128(v: &BigInt) -> i128 {
+    v.to_i128().expect("single-limb value fits i128")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn small_add_sub_match_i128_reference(a in arb_small_bigint(), b in arb_small_bigint()) {
+        prop_assert_eq!(as_i128(&(&a + &b)), as_i128(&a) + as_i128(&b));
+        prop_assert_eq!(as_i128(&(&a - &b)), as_i128(&a) - as_i128(&b));
+    }
+
+    #[test]
+    fn small_mul_matches_u128_reference(a in arb_u64_boundary(), b in arb_u64_boundary()) {
+        let prod = BigInt::from(a) * BigInt::from(b);
+        prop_assert_eq!(prod.to_string(), (a as u128 * b as u128).to_string());
+        let neg_prod = -BigInt::from(a) * BigInt::from(b);
+        prop_assert_eq!((-neg_prod).to_string(), (a as u128 * b as u128).to_string());
+    }
+
+    #[test]
+    fn small_cmp_matches_i128_reference(a in arb_small_bigint(), b in arb_small_bigint()) {
+        prop_assert_eq!(a.cmp(&b), as_i128(&a).cmp(&as_i128(&b)));
+    }
+
+    #[test]
+    fn fast_path_agrees_with_multi_limb_slow_path(a in arb_small_bigint(), b in arb_small_bigint()) {
+        // x -> x << 64 is an injective ring homomorphism onto two-limb values
+        // for + and -, and scales products by 2^128: every identity below
+        // forces the slow path on the left and the fast path on the right.
+        let (wa, wb) = (a.shl_bits(64), b.shl_bits(64));
+        prop_assert_eq!(&wa + &wb, (&a + &b).shl_bits(64));
+        prop_assert_eq!(&wa - &wb, (&a - &b).shl_bits(64));
+        prop_assert_eq!(&wa * &wb, (&a * &b).shl_bits(128));
+    }
+
+    #[test]
+    fn small_gcd_matches_euclid_reference(a in arb_u64_boundary(), b in arb_u64_boundary()) {
+        // Reference: schoolbook Euclid on u64.
+        let (mut x, mut y) = (a, b);
+        while y != 0 {
+            let t = x % y;
+            x = y;
+            y = t;
+        }
+        prop_assert_eq!(BigInt::from(a).gcd(&BigInt::from(b)), BigInt::from(x));
+    }
+
+    #[test]
+    fn gcd_fast_and_slow_paths_agree(a in arb_u64_boundary(), b in arb_u64_boundary(), k in 1usize..=70) {
+        // gcd(a·2^k, b·2^k) = gcd(a, b)·2^k: with k >= 1 the left side runs
+        // the multi-limb in-place binary loop whenever a or b is large, while
+        // the right side runs the u64 fast path.
+        let g_shifted = BigInt::from(a).shl_bits(k).gcd(&BigInt::from(b).shl_bits(k));
+        let g_small = BigInt::from(a).gcd(&BigInt::from(b)).shl_bits(k);
+        prop_assert_eq!(g_shifted, g_small);
+    }
+
+    #[test]
+    fn small_divrem_matches_i128_reference(a in arb_small_bigint(), b in arb_small_bigint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(as_i128(&q), as_i128(&a) / as_i128(&b));
+        prop_assert_eq!(as_i128(&r), as_i128(&a) % as_i128(&b));
+    }
+
+    #[test]
+    fn knuth_division_reconstructs_on_wide_inputs(
+        a in arb_u64_boundary(), b in arb_u64_boundary(),
+        c in arb_u64_boundary(), d in arb_u64_boundary(),
+        shift in 0usize..=130,
+    ) {
+        // Multi-limb dividend (up to ~4 limbs) over multi-limb divisor
+        // exercises Algorithm D including its rare correction branch.
+        let dividend = (BigInt::from(a) * BigInt::from(b)).shl_bits(shift) + BigInt::from(c);
+        let divisor = BigInt::from(d).shl_bits(shift / 2) + BigInt::one();
+        let (q, r) = dividend.div_rem(&divisor);
+        prop_assert_eq!(&q * &divisor + &r, dividend);
+        prop_assert!(r.abs() < divisor.abs());
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The privmech CI environment has no network access, so the workspace vendors
+//! this minimal, API-compatible subset of criterion 0.5: `Criterion`,
+//! `BenchmarkGroup` with `sample_size` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Measurement model: each benchmark is warmed up once, an iteration batch
+//! size is chosen so a sample takes a measurable slice of wall time, and the
+//! reported figure is the **median** per-iteration time over the samples.
+//!
+//! Environment knobs (used by the `bench-summary` tooling):
+//! - `PRIVMECH_BENCH_QUICK=1` — cap samples at 3 and shrink the time budget.
+//! - `PRIVMECH_BENCH_JSON=path` — append one JSON line per benchmark:
+//!   `{"name": ..., "median_ns": ..., "samples": ...}`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call, in nanoseconds.
+    median_ns: f64,
+    samples: usize,
+    sample_target: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let quick = quick_mode();
+        let budget = if quick {
+            Duration::from_millis(300)
+        } else {
+            Duration::from_secs(3)
+        };
+
+        // Warmup + batch-size calibration.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+
+        let sample_target = if quick {
+            self.sample_target.clamp(1, 3)
+        } else {
+            self.sample_target.max(1)
+        };
+        // Aim for each sample to take ~budget/samples, batching fast bodies.
+        let per_sample = budget / sample_target as u32;
+        let batch = (per_sample.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u64;
+        // For slow bodies (first iteration alone blows the budget) fall back
+        // to the smallest honest measurement: one batch of one.
+        let samples = if first > budget { 1 } else { sample_target };
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples + 1);
+        per_iter.push(first.as_nanos() as f64);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            per_iter.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.median_ns = per_iter[per_iter.len() / 2];
+        self.samples = per_iter.len();
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("PRIVMECH_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(full_name: &str, median_ns: f64, samples: usize) {
+    println!(
+        "{full_name:<50} time: [{}]  ({samples} samples)",
+        human(median_ns)
+    );
+    if let Ok(path) = std::env::var("PRIVMECH_BENCH_JSON") {
+        if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                f,
+                "{{\"name\": \"{full_name}\", \"median_ns\": {median_ns:.1}, \"samples\": {samples}}}"
+            );
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            median_ns: 0.0,
+            samples: 0,
+            sample_target: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), b.median_ns, b.samples);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            median_ns: 0.0,
+            samples: 0,
+            sample_target: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.median_ns, b.samples);
+        self
+    }
+
+    /// Finish the group (a no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: "default".to_string(),
+            sample_size: 10,
+            _criterion: self,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("mul", 20).id, "mul/20");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("PRIVMECH_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+}

@@ -53,10 +53,22 @@ fn main() {
     println!("n = {n}, side information: count >= {lower_bound}, loss = |i - r|, α = 1/3");
     println!();
     println!("worst-case expected error of each strategy:");
-    println!("  1. accept the raw geometric release       : {:.4}", raw.to_f64());
-    println!("  2. clamp the release into [{lower_bound}, {n}]            : {:.4}", clamp_loss.to_f64());
-    println!("  3. LP-optimal post-processing (Sec. 2.4.3): {:.4}", interaction.loss.to_f64());
-    println!("  reference: tailored optimal mechanism     : {:.4}", tailored.loss.to_f64());
+    println!(
+        "  1. accept the raw geometric release       : {:.4}",
+        raw.to_f64()
+    );
+    println!(
+        "  2. clamp the release into [{lower_bound}, {n}]            : {:.4}",
+        clamp_loss.to_f64()
+    );
+    println!(
+        "  3. LP-optimal post-processing (Sec. 2.4.3): {:.4}",
+        interaction.loss.to_f64()
+    );
+    println!(
+        "  reference: tailored optimal mechanism     : {:.4}",
+        tailored.loss.to_f64()
+    );
     println!();
     println!(
         "optimal post-processing recovers {:.1}% of the gap between the raw release and the \

@@ -50,9 +50,18 @@ fn main() {
     let tailored = optimal_mechanism(&level, &consumer).unwrap();
 
     println!();
-    println!("worst-case expected |error| of the raw geometric release : {:.4}", raw_loss.to_f64());
-    println!("after the consumer's optimal post-processing             : {:.4}", interaction.loss.to_f64());
-    println!("optimal mechanism tailored to this consumer              : {:.4}", tailored.loss.to_f64());
+    println!(
+        "worst-case expected |error| of the raw geometric release : {:.4}",
+        raw_loss.to_f64()
+    );
+    println!(
+        "after the consumer's optimal post-processing             : {:.4}",
+        interaction.loss.to_f64()
+    );
+    println!(
+        "optimal mechanism tailored to this consumer              : {:.4}",
+        tailored.loss.to_f64()
+    );
     println!();
     println!(
         "Theorem 1 (universal optimality): post-processing the universally deployed geometric \

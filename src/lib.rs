@@ -60,15 +60,16 @@ pub mod db {
 pub mod prelude {
     pub use privmech_core::{
         appendix_b_mechanism, audit_mechanism, bayesian_optimal_interaction, collusion_experiment,
-        derive_from_geometric, derive_post_processing, empirical_distribution,
-        geometric_mechanism, optimal_interaction, optimal_mechanism, randomized_response,
-        sample_geometric_output, theorem2_check, total_variation_distance, transition_matrix,
-        AbsoluteError, BayesianConsumer, CoreError, DerivabilityCheck, Interaction, LossFunction,
-        Mechanism, MinimaxConsumer, MultiLevelRelease, OptimalMechanism, PrivacyLevel,
-        SideInformation, SquaredError, StageRelease, TableLoss, ToleranceError, ZeroOneError,
+        derive_from_geometric, derive_post_processing, empirical_distribution, geometric_mechanism,
+        optimal_interaction, optimal_mechanism, randomized_response, sample_geometric_output,
+        theorem2_check, total_variation_distance, transition_matrix, AbsoluteError,
+        BayesianConsumer, CoreError, DerivabilityCheck, Interaction, LossFunction, Mechanism,
+        MinimaxConsumer, MultiLevelRelease, OptimalMechanism, PrivacyLevel, SideInformation,
+        SquaredError, StageRelease, TableLoss, ToleranceError, ZeroOneError,
     };
-    pub use privmech_db::{CountQuery, Database, DatabaseMechanism, Predicate, Record,
-        SyntheticPopulation};
+    pub use privmech_db::{
+        CountQuery, Database, DatabaseMechanism, Predicate, Record, SyntheticPopulation,
+    };
     pub use privmech_linalg::{Matrix, Scalar};
     pub use privmech_numerics::{rat, BigInt, Rational};
 }

@@ -104,12 +104,8 @@ fn multi_level_release_is_consistent_with_its_marginals() {
 fn tailored_optimum_is_derivable_from_the_geometric_mechanism() {
     let n = 4usize;
     let level = PrivacyLevel::new(rat(1, 4)).unwrap();
-    let consumer = MinimaxConsumer::new(
-        "gov",
-        Arc::new(AbsoluteError),
-        SideInformation::full(n),
-    )
-    .unwrap();
+    let consumer =
+        MinimaxConsumer::new("gov", Arc::new(AbsoluteError), SideInformation::full(n)).unwrap();
     let tailored = optimal_mechanism(&level, &consumer).unwrap();
 
     // Section 4.2: every optimal mechanism is derivable from the geometric
@@ -139,7 +135,9 @@ fn facade_error_paths_are_typed() {
     // Empty side information.
     assert!(SideInformation::new(4, Vec::<usize>::new()).is_err());
     // Mechanism with a non-stochastic row.
-    assert!(Mechanism::from_rows(vec![vec![rat(1, 2), rat(1, 4)], vec![rat(1, 2), rat(1, 2)]]).is_err());
+    assert!(
+        Mechanism::from_rows(vec![vec![rat(1, 2), rat(1, 4)], vec![rat(1, 2), rat(1, 2)]]).is_err()
+    );
     // Multi-level release with decreasing levels.
     assert!(MultiLevelRelease::<Rational>::new(
         3,
@@ -152,12 +150,9 @@ fn facade_error_paths_are_typed() {
     // Consumer/mechanism dimension mismatch.
     let level = PrivacyLevel::new(rat(1, 3)).unwrap();
     let g = geometric_mechanism(3, &level).unwrap();
-    let consumer = MinimaxConsumer::<Rational>::new(
-        "gov",
-        Arc::new(AbsoluteError),
-        SideInformation::full(7),
-    )
-    .unwrap();
+    let consumer =
+        MinimaxConsumer::<Rational>::new("gov", Arc::new(AbsoluteError), SideInformation::full(7))
+            .unwrap();
     assert!(optimal_interaction(&g, &consumer).is_err());
     // Out-of-range sampling input.
     let mut rng = StdRng::seed_from_u64(0);
@@ -170,12 +165,8 @@ fn facade_error_paths_are_typed() {
 fn baselines_are_dominated_by_the_geometric_route() {
     let n = 5usize;
     let level = PrivacyLevel::new(rat(1, 2)).unwrap();
-    let consumer = MinimaxConsumer::new(
-        "gov",
-        Arc::new(AbsoluteError),
-        SideInformation::full(n),
-    )
-    .unwrap();
+    let consumer =
+        MinimaxConsumer::new("gov", Arc::new(AbsoluteError), SideInformation::full(n)).unwrap();
     let tailored = optimal_mechanism(&level, &consumer).unwrap();
     let rr = randomized_response(n, &level).unwrap();
     assert!(rr.is_differentially_private(&level));
