@@ -1,45 +1,46 @@
 //! Bench E-TAB1(c): the Section 2.4.3 optimal-interaction LP.
 //!
 //! Ablation: the LP-based minimax interaction vs the direct posterior-argmin
-//! remap available to Bayesian consumers.
+//! remap available to Bayesian consumers, both through the engine.
 
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use privmech_bench::bench_consumer;
 use privmech_core::{
-    bayesian_optimal_interaction, geometric_mechanism, optimal_interaction, AbsoluteError,
-    BayesianConsumer, PrivacyLevel,
+    AbsoluteError, BayesianConsumer, PrivacyEngine, PrivacyLevel, ValidatedRequest,
 };
 use privmech_numerics::{rat, Rational};
 
 fn bench_interaction(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimal_interaction_lp");
     group.sample_size(10);
+    let engine = PrivacyEngine::with_threads(1);
 
     for n in [3usize, 4, 6, 8, 12] {
         group.bench_with_input(BenchmarkId::new("minimax_lp_f64", n), &n, |b, &n| {
             let level = PrivacyLevel::new(0.25f64).unwrap();
-            let g = geometric_mechanism(n, &level).unwrap();
-            let consumer = bench_consumer::<f64>(n);
-            b.iter(|| optimal_interaction(black_box(&g), &consumer).unwrap());
+            let g = engine.geometric(n, &level).unwrap();
+            let request = ValidatedRequest::minimax(level, bench_consumer::<f64>(n));
+            b.iter(|| engine.interact(black_box(&g), &request).unwrap());
         });
     }
     for n in [3usize, 4, 5] {
         group.bench_with_input(BenchmarkId::new("minimax_lp_exact", n), &n, |b, &n| {
             let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).unwrap();
-            let g = geometric_mechanism(n, &level).unwrap();
-            let consumer = bench_consumer::<Rational>(n);
-            b.iter(|| optimal_interaction(black_box(&g), &consumer).unwrap());
+            let g = engine.geometric(n, &level).unwrap();
+            let request = ValidatedRequest::minimax(level, bench_consumer::<Rational>(n));
+            b.iter(|| engine.interact(black_box(&g), &request).unwrap());
         });
     }
     for n in [6usize, 12] {
         group.bench_with_input(BenchmarkId::new("bayesian_direct_f64", n), &n, |b, &n| {
             let level = PrivacyLevel::new(0.25f64).unwrap();
-            let g = geometric_mechanism(n, &level).unwrap();
+            let g = engine.geometric(n, &level).unwrap();
             let consumer =
                 BayesianConsumer::<f64>::uniform("bench", Arc::new(AbsoluteError), n).unwrap();
-            b.iter(|| bayesian_optimal_interaction(black_box(&g), &consumer).unwrap());
+            let request = ValidatedRequest::bayesian(level, consumer);
+            b.iter(|| engine.interact(black_box(&g), &request).unwrap());
         });
     }
     group.finish();

@@ -1,36 +1,53 @@
-//! Bench E-TAB1 / E-THM1: the Section 2.5 tailored-optimal-mechanism LP.
+//! Bench E-TAB1 / E-THM1: computing the consumer-tailored optimal mechanism.
 //!
-//! Ablation: exact rational simplex vs the f64 backend, and full vs interval
-//! side information.
+//! Ablations: exact rational simplex vs the f64 backend, full vs interval
+//! side information, and the direct Section 2.5 LP vs the Theorem 1
+//! geometric-factorization route (deploy `G_{n,α}`, solve the much smaller
+//! interaction LP). Benchmark IDs for the direct LP match the pre-engine
+//! records so `BENCH_lp.json` stays a comparable trajectory.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use privmech_bench::{bench_consumer, bench_interval_consumer};
-use privmech_core::{optimal_mechanism, PrivacyLevel};
+use privmech_core::{PrivacyEngine, PrivacyLevel, SolveStrategy, ValidatedRequest};
 use privmech_numerics::{rat, Rational};
 
 fn bench_optimal_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimal_mechanism_lp");
     group.sample_size(10);
+    let engine = PrivacyEngine::with_threads(1);
 
     for n in [3usize, 4, 6, 8, 10] {
         group.bench_with_input(BenchmarkId::new("f64_full_S", n), &n, |b, &n| {
             let level = PrivacyLevel::new(0.25f64).unwrap();
-            let consumer = bench_consumer::<f64>(n);
-            b.iter(|| optimal_mechanism(black_box(&level), &consumer).unwrap());
+            let request = ValidatedRequest::minimax(level, bench_consumer::<f64>(n))
+                .with_strategy(SolveStrategy::DirectLp);
+            b.iter(|| engine.solve(black_box(&request)).unwrap());
         });
     }
     for n in [3usize, 4, 5, 8, 12, 16] {
         group.bench_with_input(BenchmarkId::new("exact_full_S", n), &n, |b, &n| {
             let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).unwrap();
-            let consumer = bench_consumer::<Rational>(n);
-            b.iter(|| optimal_mechanism(black_box(&level), &consumer).unwrap());
+            let request = ValidatedRequest::minimax(level, bench_consumer::<Rational>(n))
+                .with_strategy(SolveStrategy::DirectLp);
+            b.iter(|| engine.solve(black_box(&request)).unwrap());
         });
     }
     for n in [6usize, 10] {
         group.bench_with_input(BenchmarkId::new("f64_interval_S", n), &n, |b, &n| {
             let level = PrivacyLevel::new(0.25f64).unwrap();
-            let consumer = bench_interval_consumer::<f64>(n);
-            b.iter(|| optimal_mechanism(black_box(&level), &consumer).unwrap());
+            let request = ValidatedRequest::minimax(level, bench_interval_consumer::<f64>(n))
+                .with_strategy(SolveStrategy::DirectLp);
+            b.iter(|| engine.solve(black_box(&request)).unwrap());
+        });
+    }
+    // The Theorem 1 route: same optimal loss through an LP with ~2n(n+1)
+    // fewer rows.
+    for n in [5usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("exact_factorized", n), &n, |b, &n| {
+            let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).unwrap();
+            let request = ValidatedRequest::minimax(level, bench_consumer::<Rational>(n))
+                .with_strategy(SolveStrategy::GeometricFactorization);
+            b.iter(|| engine.solve(black_box(&request)).unwrap());
         });
     }
     group.finish();

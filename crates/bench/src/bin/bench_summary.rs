@@ -1,8 +1,8 @@
 //! Perf-trajectory tool: run the LP benchmark workloads in quick mode and
 //! append one JSON record to `BENCH_lp.json`.
 //!
-//! Unlike the Criterion suite this drives `optimal_mechanism` directly, so it
-//! can record the solver's [`PivotStats`] next to each wall time — a perf
+//! Unlike the Criterion suite this drives the engine directly, so it can
+//! record the solver's [`PivotStats`] next to each wall time — a perf
 //! regression then decomposes into "more pivots" (pricing/algorithmic) vs
 //! "slower pivots" (arithmetic/kernel).
 //!
@@ -10,25 +10,28 @@
 //!
 //! ```text
 //! bench-summary [--label <label>] [--output <path>] [--max-n <n>] [--reps <k>]
+//!               [--sweep] [--sweep-n <n>] [--sweep-points <k>] [--sweep-threads <t>]
 //! ```
+//!
+//! `--sweep` appends an α-sweep comparison record instead of the per-size
+//! solve record: a 16-point exact α-sweep solved (a) cold, by sequential
+//! per-α calls of the deprecated `optimal_mechanism` free function, (b) by
+//! the warm-started `engine.sweep` on the same Section 2.5 LP (strategy
+//! DirectLp — results asserted bit-identical to the cold baseline), and (c)
+//! by the engine's default Theorem-1 factorization strategy (losses asserted
+//! bit-identical; mechanisms optimal and derivable by construction).
 //!
 //! The output file is JSON Lines: one self-contained record per invocation,
-//! so successive PRs build up a comparable history. Each record looks like
-//!
-//! ```json
-//! {"label": "pr1", "results": [
-//!   {"name": "exact_full_S/8", "scalar": "rational", "n": 8,
-//!    "median_ns": 123456, "pivots": 42, "phase1_pivots": 17,
-//!    "degenerate_pivots": 3, "fallback_activations": 0}, ...]}
-//! ```
+//! so successive PRs build up a comparable history.
 
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::time::Instant;
 
 use privmech_bench::{bench_consumer, bench_interval_consumer};
-use privmech_core::{optimal_mechanism, MinimaxConsumer, PrivacyLevel};
-use privmech_lp::PivotStats;
+use privmech_core::{
+    MinimaxConsumer, PivotStats, PrivacyEngine, PrivacyLevel, SolveStrategy, ValidatedRequest,
+};
 use privmech_numerics::{rat, Rational};
 
 struct RunResult {
@@ -63,14 +66,19 @@ fn time_workload<F: FnMut() -> PivotStats>(reps: usize, mut f: F) -> (u128, usiz
     (times[times.len() / 2], times.len(), stats)
 }
 
+fn direct_request<T: privmech_linalg::Scalar>(
+    level: PrivacyLevel<T>,
+    consumer: MinimaxConsumer<T>,
+) -> ValidatedRequest<T> {
+    ValidatedRequest::minimax(level, consumer).with_strategy(SolveStrategy::DirectLp)
+}
+
 fn run_exact(n: usize, reps: usize) -> RunResult {
+    let engine = PrivacyEngine::with_threads(1);
     let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).expect("valid alpha");
-    let consumer: MinimaxConsumer<Rational> = bench_consumer(n);
-    let (median_ns, samples, stats) = time_workload(reps, || {
-        optimal_mechanism(&level, &consumer)
-            .expect("solvable LP")
-            .lp_stats
-    });
+    let request = direct_request(level, bench_consumer(n));
+    let (median_ns, samples, stats) =
+        time_workload(reps, || engine.solve(&request).expect("solvable LP").stats);
     RunResult {
         name: format!("exact_full_S/{n}"),
         scalar: "rational",
@@ -82,13 +90,11 @@ fn run_exact(n: usize, reps: usize) -> RunResult {
 }
 
 fn run_f64(n: usize, reps: usize) -> RunResult {
+    let engine = PrivacyEngine::with_threads(1);
     let level = PrivacyLevel::new(0.25f64).expect("valid alpha");
-    let consumer: MinimaxConsumer<f64> = bench_consumer(n);
-    let (median_ns, samples, stats) = time_workload(reps, || {
-        optimal_mechanism(&level, &consumer)
-            .expect("solvable LP")
-            .lp_stats
-    });
+    let request = direct_request(level, bench_consumer(n));
+    let (median_ns, samples, stats) =
+        time_workload(reps, || engine.solve(&request).expect("solvable LP").stats);
     RunResult {
         name: format!("f64_full_S/{n}"),
         scalar: "f64",
@@ -100,13 +106,11 @@ fn run_f64(n: usize, reps: usize) -> RunResult {
 }
 
 fn run_f64_interval(n: usize, reps: usize) -> RunResult {
+    let engine = PrivacyEngine::with_threads(1);
     let level = PrivacyLevel::new(0.25f64).expect("valid alpha");
-    let consumer: MinimaxConsumer<f64> = bench_interval_consumer(n);
-    let (median_ns, samples, stats) = time_workload(reps, || {
-        optimal_mechanism(&level, &consumer)
-            .expect("solvable LP")
-            .lp_stats
-    });
+    let request = direct_request(level, bench_interval_consumer(n));
+    let (median_ns, samples, stats) =
+        time_workload(reps, || engine.solve(&request).expect("solvable LP").stats);
     RunResult {
         name: format!("f64_interval_S/{n}"),
         scalar: "f64",
@@ -146,11 +150,94 @@ fn json_record(label: &str, results: &[RunResult]) -> String {
     out
 }
 
+/// The α-sweep acceptance benchmark: `sweep_points` exact levels
+/// `α_k = k / (points + 1)` over the full-S absolute-error consumer at
+/// `sweep_n`.
+fn run_sweep(label: &str, n: usize, points: usize, threads: usize) -> String {
+    if points == 0 {
+        eprintln!("--sweep-points must be at least 1");
+        std::process::exit(2);
+    }
+    let levels: Vec<PrivacyLevel<Rational>> = (1..=points)
+        .map(|k| PrivacyLevel::new(rat(k as i64, points as i64 + 1)).expect("alpha in (0,1)"))
+        .collect();
+    let consumer: MinimaxConsumer<Rational> = bench_consumer(n);
+
+    // (a) Cold baseline: sequential per-α calls of the seed free function.
+    eprintln!("sweep baseline: {points} sequential cold optimal_mechanism calls at n = {n} ...");
+    let start = Instant::now();
+    #[allow(deprecated)]
+    let cold: Vec<_> = levels
+        .iter()
+        .map(|level| privmech_core::optimal_mechanism(level, &consumer).expect("solvable LP"))
+        .collect();
+    let cold_ns = start.elapsed().as_nanos();
+
+    // (b) Warm-started engine sweep on the same Section 2.5 LP.
+    eprintln!("sweep direct: engine.sweep (DirectLp template, {threads} threads) ...");
+    let engine = PrivacyEngine::with_threads(threads);
+    let direct_req = direct_request(levels[0].clone(), consumer.clone());
+    let start = Instant::now();
+    let direct = engine.sweep(&levels, &direct_req).expect("sweepable LP");
+    let direct_ns = start.elapsed().as_nanos();
+    let mut direct_identical = true;
+    for (c, d) in cold.iter().zip(&direct) {
+        direct_identical &= c.mechanism == d.mechanism && c.loss == d.loss;
+    }
+    assert!(
+        direct_identical,
+        "DirectLp sweep must be bit-identical to the cold free-function baseline"
+    );
+
+    // (c) The engine's default strategy: Theorem 1 factorization.
+    eprintln!("sweep factorized: engine.sweep (GeometricFactorization, {threads} threads) ...");
+    let factor_req = ValidatedRequest::minimax(levels[0].clone(), consumer.clone());
+    let start = Instant::now();
+    let factored = engine.sweep(&levels, &factor_req).expect("sweepable LP");
+    let factor_ns = start.elapsed().as_nanos();
+    let mut losses_identical = true;
+    for ((level, c), f) in levels.iter().zip(&cold).zip(&factored) {
+        losses_identical &= c.loss == f.loss;
+        assert!(
+            f.mechanism.is_differentially_private(level),
+            "factorized sweep mechanism must be α-DP"
+        );
+    }
+    assert!(
+        losses_identical,
+        "Theorem 1: factorized sweep losses must equal the tailored optima bit for bit"
+    );
+
+    let speedup_direct = cold_ns as f64 / direct_ns as f64;
+    let speedup_factor = cold_ns as f64 / factor_ns as f64;
+    eprintln!(
+        "cold sequential: {:.3}s | direct warm sweep: {:.3}s ({speedup_direct:.2}x) | \
+         factorized warm sweep: {:.3}s ({speedup_factor:.2}x)",
+        cold_ns as f64 / 1e9,
+        direct_ns as f64 / 1e9,
+        factor_ns as f64 / 1e9,
+    );
+
+    format!(
+        "{{\"label\": \"{label}\", \"sweep\": {{\"n\": {n}, \"points\": {points}, \
+         \"threads\": {threads}, \"scalar\": \"rational\", \
+         \"cold_sequential_ns\": {cold_ns}, \"warm_direct_sweep_ns\": {direct_ns}, \
+         \"warm_factorized_sweep_ns\": {factor_ns}, \
+         \"speedup_direct\": {speedup_direct:.4}, \"speedup_factorized\": {speedup_factor:.4}, \
+         \"direct_bit_identical\": {direct_identical}, \
+         \"factorized_losses_bit_identical\": {losses_identical}}}}}"
+    )
+}
+
 fn main() {
     let mut label = "dev".to_string();
     let mut output = "BENCH_lp.json".to_string();
     let mut max_n = 16usize;
     let mut reps = 5usize;
+    let mut sweep = false;
+    let mut sweep_n = 6usize;
+    let mut sweep_points = 16usize;
+    let mut sweep_threads = 4usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -171,52 +258,79 @@ fn main() {
                     .parse()
                     .expect("--reps needs an integer")
             }
+            "--sweep" => sweep = true,
+            "--sweep-n" => {
+                sweep_n = args
+                    .next()
+                    .expect("--sweep-n needs a value")
+                    .parse()
+                    .expect("--sweep-n needs an integer")
+            }
+            "--sweep-points" => {
+                sweep_points = args
+                    .next()
+                    .expect("--sweep-points needs a value")
+                    .parse()
+                    .expect("--sweep-points needs an integer")
+            }
+            "--sweep-threads" => {
+                sweep_threads = args
+                    .next()
+                    .expect("--sweep-threads needs a value")
+                    .parse()
+                    .expect("--sweep-threads needs an integer")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: bench-summary [--label L] [--output PATH] [--max-n N] [--reps K]"
+                    "usage: bench-summary [--label L] [--output PATH] [--max-n N] [--reps K] \
+                     [--sweep] [--sweep-n N] [--sweep-points K] [--sweep-threads T]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let mut results = Vec::new();
-    for n in [3usize, 4, 6, 8, 10] {
-        if n > max_n {
-            break;
+    let record = if sweep {
+        run_sweep(&label, sweep_n, sweep_points, sweep_threads)
+    } else {
+        let mut results = Vec::new();
+        for n in [3usize, 4, 6, 8, 10] {
+            if n > max_n {
+                break;
+            }
+            eprintln!("running f64_full_S/{n} ...");
+            results.push(run_f64(n, reps));
         }
-        eprintln!("running f64_full_S/{n} ...");
-        results.push(run_f64(n, reps));
-    }
-    for n in [6usize, 10] {
-        if n > max_n {
-            break;
+        for n in [6usize, 10] {
+            if n > max_n {
+                break;
+            }
+            eprintln!("running f64_interval_S/{n} ...");
+            results.push(run_f64_interval(n, reps));
         }
-        eprintln!("running f64_interval_S/{n} ...");
-        results.push(run_f64_interval(n, reps));
-    }
-    for n in [3usize, 4, 5, 8, 12, 16] {
-        if n > max_n {
-            break;
+        for n in [3usize, 4, 5, 8, 12, 16] {
+            if n > max_n {
+                break;
+            }
+            eprintln!("running exact_full_S/{n} ...");
+            results.push(run_exact(n, reps));
         }
-        eprintln!("running exact_full_S/{n} ...");
-        results.push(run_exact(n, reps));
-    }
 
-    for r in &results {
-        eprintln!(
-            "{:<22} median {:>12} ns  pivots {:>5} (phase1 {}, degenerate {}, fallbacks {})",
-            r.name,
-            r.median_ns,
-            r.stats.total_pivots(),
-            r.stats.phase1_pivots,
-            r.stats.degenerate_pivots,
-            r.stats.fallback_activations,
-        );
-    }
+        for r in &results {
+            eprintln!(
+                "{:<22} median {:>12} ns  pivots {:>5} (phase1 {}, degenerate {}, fallbacks {})",
+                r.name,
+                r.median_ns,
+                r.stats.total_pivots(),
+                r.stats.phase1_pivots,
+                r.stats.degenerate_pivots,
+                r.stats.fallback_activations,
+            );
+        }
+        json_record(&label, &results)
+    };
 
-    let record = json_record(&label, &results);
     let mut file = OpenOptions::new()
         .create(true)
         .append(true)

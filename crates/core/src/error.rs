@@ -57,6 +57,17 @@ pub enum CoreError {
         /// First row of the violating window.
         row: usize,
     },
+    /// A [`SolveRequest`](crate::engine::SolveRequest) was structurally
+    /// incomplete or inconsistent (missing loss, missing privacy level, a
+    /// prior supplied to a minimax request, …). Field-level validation
+    /// failures keep their specific variants: a bad α is
+    /// [`CoreError::InvalidAlpha`], an empty support is
+    /// [`CoreError::InvalidSideInformation`], a non-stochastic prior is
+    /// [`CoreError::InvalidPrior`].
+    InvalidRequest {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// An input (true query result) outside `{0, …, n}` was supplied.
     InputOutOfRange {
         /// The offending input.
@@ -98,6 +109,7 @@ impl fmt::Display for CoreError {
                  (Theorem 2 condition fails in column {column} at rows {row}..{})",
                 row + 2
             ),
+            CoreError::InvalidRequest { reason } => write!(f, "invalid solve request: {reason}"),
             CoreError::InputOutOfRange { input, n } => {
                 write!(f, "input {input} outside the query range 0..={n}")
             }
@@ -138,6 +150,10 @@ mod tests {
         assert!(e.to_string().contains("Theorem 2"));
         let e = CoreError::InputOutOfRange { input: 9, n: 3 };
         assert!(e.to_string().contains("0..=3"));
+        let e = CoreError::InvalidRequest {
+            reason: "missing loss".to_string(),
+        };
+        assert!(e.to_string().contains("missing loss"));
         let e: CoreError = LpError::Infeasible.into();
         assert!(matches!(e, CoreError::Lp(LpError::Infeasible)));
         let e: CoreError = LinalgError::Singular.into();

@@ -18,31 +18,33 @@
 //!   result at multiple privacy levels (Lemmas 3–4), and
 //! * sampling / Monte-Carlo utilities and structural audits.
 //!
-//! The headline result (Theorem 1) — deploying the geometric mechanism and
+//! The primary entry point is the session-oriented [`engine::PrivacyEngine`]:
+//! describe a consumer and privacy level as a typed [`engine::SolveRequest`],
+//! then `solve` it (or `sweep` a whole batch of α values in parallel). The
+//! headline result (Theorem 1) — deploying the geometric mechanism and
 //! letting each rational minimax consumer post-process achieves, for *every*
 //! consumer simultaneously, the utility of the mechanism tailored to it — is
 //! directly checkable with this API:
 //!
 //! ```
 //! use std::sync::Arc;
-//! use privmech_core::{
-//!     geometric_mechanism, optimal_interaction, optimal_mechanism,
-//!     AbsoluteError, MinimaxConsumer, PrivacyLevel, SideInformation,
-//! };
+//! use privmech_core::{AbsoluteError, PrivacyEngine, SolveRequest};
 //! use privmech_numerics::{rat, Rational};
 //!
-//! let level = PrivacyLevel::new(rat(1, 4)).unwrap();
-//! let consumer = MinimaxConsumer::<Rational>::new(
-//!     "government",
-//!     Arc::new(AbsoluteError),
-//!     SideInformation::full(3),
-//! ).unwrap();
+//! let engine = PrivacyEngine::new();
+//! let request = SolveRequest::<Rational>::minimax()
+//!     .name("government")
+//!     .loss(Arc::new(AbsoluteError))
+//!     .support(3, 0..=3)
+//!     .privacy_level(rat(1, 4))
+//!     .validate()
+//!     .unwrap();
 //!
 //! // Deploy the geometric mechanism without knowing the consumer...
-//! let geometric = geometric_mechanism(3, &level).unwrap();
-//! let interaction = optimal_interaction(&geometric, &consumer).unwrap();
+//! let geometric = engine.geometric(3, request.level()).unwrap();
+//! let interaction = engine.interact(&geometric, &request).unwrap();
 //! // ...and the consumer still reaches the loss of its tailored optimum.
-//! let tailored = optimal_mechanism(&level, &consumer).unwrap();
+//! let tailored = engine.solve(&request).unwrap();
 //! assert_eq!(interaction.loss, tailored.loss);
 //! ```
 
@@ -53,6 +55,7 @@ pub mod alpha;
 pub mod baselines;
 pub mod consumer;
 pub mod derivability;
+pub mod engine;
 pub mod error;
 pub mod geometric;
 pub mod interaction;
@@ -70,20 +73,30 @@ pub use derivability::{
     appendix_b_mechanism, derive_from_geometric, derive_post_processing, theorem2_check,
     DerivabilityCheck,
 };
+pub use engine::{
+    ConsumerKind, PrivacyEngine, RequestConsumer, Solve, SolveRequest, SolveStrategy,
+    ValidatedRequest,
+};
 pub use error::{CoreError, Result};
 pub use geometric::{
     g_prime_matrix, geometric_matrix, geometric_mechanism, lemma1_determinant,
     range_restricted_pmf, sample_geometric_output, sample_two_sided_geometric,
     table1b_scaled_geometric, two_sided_geometric_pmf,
 };
-pub use interaction::{bayesian_optimal_interaction, optimal_interaction, Interaction};
+pub use interaction::Interaction;
+#[allow(deprecated)] // seed call sites keep compiling through these shims
+pub use interaction::{bayesian_optimal_interaction, optimal_interaction};
 pub use loss::{
     tabulate_loss, validate_monotone, AbsoluteError, LossFunction, SquaredError, TableLoss,
     ToleranceError, ZeroOneError,
 };
-pub use mechanism::Mechanism;
+pub use mechanism::{expected_row_loss, worst_case_loss, Mechanism};
 pub use multilevel::{transition_matrix, MultiLevelRelease, StageRelease};
-pub use optimal::{optimal_mechanism, OptimalMechanism};
+pub use optimal::OptimalMechanism;
+#[allow(deprecated)] // seed call sites keep compiling through these shims
+pub use optimal::{bayesian_optimal_mechanism, optimal_mechanism};
+// Solver knobs, re-exported so engine users need not depend on privmech-lp.
+pub use privmech_lp::{PivotStats, PricingRule, SolverOptions};
 pub use sampling::{
     collusion_experiment, empirical_distribution, total_variation_distance, CollusionSummary,
 };

@@ -219,12 +219,7 @@ impl<T: Scalar> Mechanism<T> {
 
     /// Expected loss `Σ_r l(i, r) · x[i][r]` of this mechanism on input `i`.
     pub fn expected_loss(&self, i: usize, loss: &dyn LossFunction<T>) -> Result<T> {
-        let row = self.row(i)?;
-        let mut acc = T::zero();
-        for (r, p) in row.iter().enumerate() {
-            acc = acc + loss.loss(i, r) * p.clone();
-        }
-        Ok(acc)
+        Ok(expected_row_loss(i, self.row(i)?, loss))
     }
 
     /// Worst-case (minimax) loss over a set of inputs:
@@ -239,15 +234,16 @@ impl<T: Scalar> Mechanism<T> {
                 reason: "side information set must be non-empty".to_string(),
             });
         }
-        let mut worst: Option<T> = None;
         for &i in side_information {
-            let l = self.expected_loss(i, loss)?;
-            worst = Some(match worst {
-                None => l,
-                Some(w) => w.max_val(l),
-            });
+            if i >= self.size() {
+                return Err(CoreError::InputOutOfRange {
+                    input: i,
+                    n: self.n(),
+                });
+            }
         }
-        Ok(worst.expect("non-empty side information"))
+        let pairs = side_information.iter().map(|&i| (i, self.matrix.row(i)));
+        Ok(worst_case_loss(pairs, loss).expect("non-empty side information"))
     }
 
     /// Expected loss under a prior over inputs (the Bayesian objective of
@@ -302,6 +298,39 @@ impl<T: Scalar> Mechanism<T> {
             matrix: Matrix::from_fn(n + 1, n + 1, |_, _| p.clone()),
         }
     }
+}
+
+/// Expected loss `Σ_r l(input, r) · row[r]` of one output distribution.
+///
+/// The shared kernel behind [`Mechanism::expected_loss`] and the worst-case
+/// folds below; also used by the database layer, whose non-oblivious
+/// mechanisms carry one distribution per *database* rather than per count.
+#[must_use]
+pub fn expected_row_loss<T: Scalar>(input: usize, row: &[T], loss: &dyn LossFunction<T>) -> T {
+    let mut acc = T::zero();
+    for (r, p) in row.iter().enumerate() {
+        acc = acc + loss.loss(input, r) * p.clone();
+    }
+    acc
+}
+
+/// Worst-case expected loss over explicit `(input, distribution)` pairs:
+/// `max Σ_r l(input, r) · row[r]` (Equation 1 of the paper, generalized to
+/// any collection of rows). Returns `None` for an empty collection.
+pub fn worst_case_loss<'a, T, I>(rows: I, loss: &dyn LossFunction<T>) -> Option<T>
+where
+    T: Scalar,
+    I: IntoIterator<Item = (usize, &'a [T])>,
+{
+    let mut worst: Option<T> = None;
+    for (input, row) in rows {
+        let l = expected_row_loss(input, row, loss);
+        worst = Some(match worst {
+            None => l,
+            Some(w) => w.max_val(l),
+        });
+    }
+    worst
 }
 
 /// Sample an index proportionally to non-negative `weights`.

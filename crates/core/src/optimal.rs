@@ -8,13 +8,30 @@
 //! non-negativity. Theorem 1 states that deploying the geometric mechanism and
 //! letting the consumer post-process achieves exactly this optimum — the
 //! experiments verify that equality.
+//!
+//! The LP is built once per consumer as a [`TailoredLp`] template: its
+//! constraint *structure* is independent of α (only the `-α` coefficients of
+//! the differential-privacy rows change), so an α-sweep re-parameterizes the
+//! same model instead of rebuilding it — see
+//! [`PrivacyEngine::sweep`](crate::engine::PrivacyEngine::sweep). The
+//! deprecated free functions below solve the same template at a single α and
+//! are kept so seed call sites continue to compile.
+//!
+//! One deliberate departure from the seed formulation: for the vacuous level
+//! α = 0 the seed omitted the differential-privacy rows entirely, while the
+//! template always emits them (their `-α` coefficients become zero, leaving
+//! the rows trivially satisfied). The optimal *value* is unaffected — zero
+//! loss is attainable either way — but pivot counts, and on a degenerate
+//! optimum the returned vertex, can differ from the seed's at exactly α = 0.
+//! Every α > 0 builds the identical model the seed built, term for term.
 
 use privmech_linalg::{Matrix, Scalar};
-use privmech_lp::{LinExpr, Model, PivotStats, Relation};
+use privmech_lp::{LinExpr, Model, ModelTemplate, PivotStats, Relation, SolverOptions};
 
 use crate::alpha::PrivacyLevel;
-use crate::consumer::MinimaxConsumer;
+use crate::consumer::{BayesianConsumer, MinimaxConsumer};
 use crate::error::{CoreError, Result};
+use crate::loss::tabulate_loss;
 use crate::mechanism::Mechanism;
 
 /// The result of solving the Section 2.5 linear program.
@@ -28,19 +45,28 @@ pub struct OptimalMechanism<T: Scalar> {
     pub lp_stats: PivotStats,
 }
 
-use crate::loss::tabulate_loss;
+/// The Section 2.5 LP as a reusable α-parameterized template.
+///
+/// Variables `x[i][r]` (release probability), unit row sums, the
+/// `2·n·(n+1)` differential-privacy rows of Definition 2 with their `-α`
+/// coefficients registered as [`ModelTemplate`] parameter slots, and either
+/// the minimax epigraph objective or the Bayesian prior-weighted linear
+/// objective (both α-independent).
+#[derive(Debug, Clone)]
+pub(crate) struct TailoredLp<T: Scalar> {
+    template: ModelTemplate<T>,
+    x_vars: Vec<Vec<privmech_lp::Var>>,
+    size: usize,
+}
 
-/// Solve the Section 2.5 LP: the optimal α-differentially-private oblivious
-/// mechanism tailored to a specific minimax consumer.
+/// Release-probability variables `x[i][r]`, indexed `[input][output]`.
+type XVars = Vec<Vec<privmech_lp::Var>>;
+/// `(constraint index, variable)` pairs whose coefficient is the `-α` slot.
+type AlphaSlots = Vec<(usize, privmech_lp::Var)>;
+
 #[allow(clippy::needless_range_loop)] // index-coupled access into x_vars[i][r]
-pub fn optimal_mechanism<T: Scalar>(
-    level: &PrivacyLevel<T>,
-    consumer: &MinimaxConsumer<T>,
-) -> Result<OptimalMechanism<T>> {
-    let n = consumer.side_information().n();
+fn tailored_skeleton<T: Scalar>(n: usize) -> Result<(Model<T>, XVars, AlphaSlots)> {
     let size = n + 1;
-    let alpha = level.alpha().clone();
-
     let mut model: Model<T> = Model::new();
 
     // x_vars[i][r] = probability of releasing r when the true result is i.
@@ -60,56 +86,150 @@ pub fn optimal_mechanism<T: Scalar>(
 
     // Differential privacy for count queries (Definition 2):
     //   x[i][r] - α·x[i+1][r] >= 0   and   x[i+1][r] - α·x[i][r] >= 0.
-    // The negated coefficient is materialized once and cloned per term,
-    // instead of re-negating α for each of the 2·n·(n+1) constraints.
-    if !alpha.is_zero_approx() {
-        let neg_alpha = -alpha;
-        for i in 0..n {
-            for r in 0..size {
-                let down =
-                    LinExpr::term(x_vars[i][r], T::one()).plus(x_vars[i + 1][r], neg_alpha.clone());
-                model.add_labeled_constraint(
-                    down,
-                    Relation::Ge,
-                    T::zero(),
-                    Some(format!("dp_down_{i}_{r}")),
-                )?;
-                let up =
-                    LinExpr::term(x_vars[i + 1][r], T::one()).plus(x_vars[i][r], neg_alpha.clone());
-                model.add_labeled_constraint(
-                    up,
-                    Relation::Ge,
-                    T::zero(),
-                    Some(format!("dp_up_{i}_{r}")),
-                )?;
+    // The α coefficient is a template parameter: the rows are built with a
+    // placeholder (so the term is never dropped as a zero) and the slot of
+    // each second term is recorded for later binding.
+    let mut slots = Vec::with_capacity(2 * n * size);
+    let neg_one = -T::one();
+    for i in 0..n {
+        for r in 0..size {
+            let down =
+                LinExpr::term(x_vars[i][r], T::one()).plus(x_vars[i + 1][r], neg_one.clone());
+            model.add_labeled_constraint(
+                down,
+                Relation::Ge,
+                T::zero(),
+                Some(format!("dp_down_{i}_{r}")),
+            )?;
+            slots.push((model.num_constraints() - 1, x_vars[i + 1][r]));
+            let up = LinExpr::term(x_vars[i + 1][r], T::one()).plus(x_vars[i][r], neg_one.clone());
+            model.add_labeled_constraint(
+                up,
+                Relation::Ge,
+                T::zero(),
+                Some(format!("dp_up_{i}_{r}")),
+            )?;
+            slots.push((model.num_constraints() - 1, x_vars[i][r]));
+        }
+    }
+    Ok((model, x_vars, slots))
+}
+
+/// Register the `-α` parameter slots on a finished model and assemble the
+/// template (shared epilogue of the minimax and Bayesian builders).
+fn finish_template<T: Scalar>(
+    model: Model<T>,
+    slots: AlphaSlots,
+    x_vars: XVars,
+    size: usize,
+) -> Result<TailoredLp<T>> {
+    let mut template = ModelTemplate::new(model);
+    for (constraint, var) in slots {
+        template
+            .bind_scaled(constraint, var, -T::one())
+            .map_err(CoreError::from)?;
+    }
+    Ok(TailoredLp {
+        template,
+        x_vars,
+        size,
+    })
+}
+
+impl<T: Scalar> TailoredLp<T> {
+    /// Build the minimax template: epigraph objective over the members of the
+    /// consumer's side-information set.
+    pub(crate) fn for_minimax(consumer: &MinimaxConsumer<T>) -> Result<Self> {
+        let n = consumer.side_information().n();
+        let size = n + 1;
+        let (mut model, x_vars, slots) = tailored_skeleton::<T>(n)?;
+
+        // Epigraph objective: minimize the worst expected loss over S. The
+        // loss coefficients come out of one pre-tabulated matrix row per
+        // member and do not depend on α.
+        let losses = tabulate_loss(consumer.loss(), size);
+        let mut exprs = Vec::new();
+        for &i in consumer.side_information().members() {
+            let mut expr = LinExpr::new();
+            for (r, cost) in losses.row(i).iter().enumerate() {
+                expr.add_term(x_vars[i][r], cost.clone());
+            }
+            exprs.push(expr);
+        }
+        model.minimize_max(exprs)?;
+
+        finish_template(model, slots, x_vars, size)
+    }
+
+    /// Build the Bayesian template: prior-weighted linear objective (the
+    /// Section 2.7 model of Ghosh, Roughgarden and Sundararajan).
+    pub(crate) fn for_bayesian(consumer: &BayesianConsumer<T>) -> Result<Self> {
+        let n = consumer.n();
+        let size = n + 1;
+        let (mut model, x_vars, slots) = tailored_skeleton::<T>(n)?;
+
+        // Prior-weighted loss coefficients: scale each tabulated loss row by
+        // the prior mass in place rather than multiplying per term.
+        let losses = tabulate_loss(consumer.loss(), size);
+        let prior = consumer.prior();
+        let mut objective = LinExpr::new();
+        #[allow(clippy::needless_range_loop)] // i indexes prior, losses and x_vars together
+        for i in 0..size {
+            if prior[i].is_zero_approx() {
+                continue;
+            }
+            let mut weighted = losses.row(i).to_vec();
+            privmech_linalg::kernels::scale(&mut weighted, &prior[i]);
+            for (r, coeff) in weighted.into_iter().enumerate() {
+                objective.add_term(x_vars[i][r], coeff);
             }
         }
+        model.set_objective(privmech_lp::Sense::Minimize, objective)?;
+
+        finish_template(model, slots, x_vars, size)
     }
 
-    // Epigraph objective: minimize the worst expected loss over S. The loss
-    // coefficients come out of one pre-tabulated matrix row per member.
-    let losses = tabulate_loss(consumer.loss(), size);
-    let mut exprs = Vec::new();
-    for &i in consumer.side_information().members() {
-        let mut expr = LinExpr::new();
-        for (r, cost) in losses.row(i).iter().enumerate() {
-            expr.add_term(x_vars[i][r], cost.clone());
-        }
-        exprs.push(expr);
+    fn extract(&self, solution: &privmech_lp::Solution<T>) -> Result<Mechanism<T>> {
+        let matrix = Matrix::from_fn(self.size, self.size, |i, r| {
+            solution.value(self.x_vars[i][r]).clone()
+        });
+        // Clamp tiny negative float noise and renormalize rows (a no-op for
+        // the exact backend, where the LP solution is exactly stochastic).
+        Mechanism::from_matrix_normalized(matrix)
     }
-    model.minimize_max(exprs)?;
 
-    let solution = model.solve().map_err(CoreError::from)?;
+    /// Re-parameterize the template to `alpha` in place and solve.
+    pub(crate) fn solve_in_place(
+        &mut self,
+        alpha: &T,
+        options: &SolverOptions,
+    ) -> Result<(Mechanism<T>, PivotStats)> {
+        let solution = self
+            .template
+            .solve_at(alpha, options)
+            .map_err(CoreError::from)?;
+        Ok((self.extract(&solution)?, solution.stats))
+    }
+}
 
-    let matrix = Matrix::from_fn(size, size, |i, r| solution.value(x_vars[i][r]).clone());
-    // Clamp tiny negative float noise and renormalize rows (a no-op for the
-    // exact backend, where the LP solution is exactly stochastic).
-    let mechanism = Mechanism::from_matrix_normalized(matrix)?;
-    let achieved = consumer.disutility(&mechanism)?;
+/// Solve the Section 2.5 LP: the optimal α-differentially-private oblivious
+/// mechanism tailored to a specific minimax consumer.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a SolveRequest and use PrivacyEngine::solve (strategy DirectLp reproduces \
+            this function bit for bit; the default strategy is faster via Theorem 1)"
+)]
+pub fn optimal_mechanism<T: Scalar>(
+    level: &PrivacyLevel<T>,
+    consumer: &MinimaxConsumer<T>,
+) -> Result<OptimalMechanism<T>> {
+    let mut lp = TailoredLp::for_minimax(consumer)?;
+    let (mechanism, lp_stats) = lp.solve_in_place(level.alpha(), &SolverOptions::default())?;
+    let loss = consumer.disutility(&mechanism)?;
     Ok(OptimalMechanism {
         mechanism,
-        loss: achieved,
-        lp_stats: solution.stats,
+        loss,
+        lp_stats,
     })
 }
 
@@ -119,69 +239,26 @@ pub fn optimal_mechanism<T: Scalar>(
 /// prior-expected loss. The objective is linear, so no epigraph variable is
 /// needed; the privacy and stochasticity constraints are identical to the
 /// minimax LP.
-#[allow(clippy::needless_range_loop)] // index-coupled access into x_vars[i][r]
+#[deprecated(
+    since = "0.2.0",
+    note = "build a Bayesian SolveRequest and use PrivacyEngine::solve"
+)]
 pub fn bayesian_optimal_mechanism<T: Scalar>(
     level: &PrivacyLevel<T>,
-    consumer: &crate::consumer::BayesianConsumer<T>,
+    consumer: &BayesianConsumer<T>,
 ) -> Result<OptimalMechanism<T>> {
-    let n = consumer.n();
-    let size = n + 1;
-    let alpha = level.alpha().clone();
-
-    let mut model: Model<T> = Model::new();
-    let mut x_vars = Vec::with_capacity(size);
-    for i in 0..size {
-        x_vars.push(model.add_nonneg_vars(&format!("x_{i}"), size));
-    }
-    for i in 0..size {
-        let mut row_sum = LinExpr::new();
-        for r in 0..size {
-            row_sum.add_term(x_vars[i][r], T::one());
-        }
-        model.add_labeled_constraint(row_sum, Relation::Eq, T::one(), Some(format!("row_{i}")))?;
-    }
-    if !alpha.is_zero_approx() {
-        let neg_alpha = -alpha;
-        for i in 0..n {
-            for r in 0..size {
-                let down =
-                    LinExpr::term(x_vars[i][r], T::one()).plus(x_vars[i + 1][r], neg_alpha.clone());
-                model.add_constraint(down, Relation::Ge, T::zero())?;
-                let up =
-                    LinExpr::term(x_vars[i + 1][r], T::one()).plus(x_vars[i][r], neg_alpha.clone());
-                model.add_constraint(up, Relation::Ge, T::zero())?;
-            }
-        }
-    }
-    // Prior-weighted loss coefficients: scale each tabulated loss row by the
-    // prior mass in place rather than multiplying per term.
-    let losses = tabulate_loss(consumer.loss(), size);
-    let prior = consumer.prior();
-    let mut objective = LinExpr::new();
-    for i in 0..size {
-        if prior[i].is_zero_approx() {
-            continue;
-        }
-        let mut weighted = losses.row(i).to_vec();
-        privmech_linalg::kernels::scale(&mut weighted, &prior[i]);
-        for (r, coeff) in weighted.into_iter().enumerate() {
-            objective.add_term(x_vars[i][r], coeff);
-        }
-    }
-    model.set_objective(privmech_lp::Sense::Minimize, objective)?;
-
-    let solution = model.solve().map_err(CoreError::from)?;
-    let matrix = Matrix::from_fn(size, size, |i, r| solution.value(x_vars[i][r]).clone());
-    let mechanism = Mechanism::from_matrix_normalized(matrix)?;
-    let achieved = consumer.disutility(&mechanism)?;
+    let mut lp = TailoredLp::for_bayesian(consumer)?;
+    let (mechanism, lp_stats) = lp.solve_in_place(level.alpha(), &SolverOptions::default())?;
+    let loss = consumer.disutility(&mechanism)?;
     Ok(OptimalMechanism {
         mechanism,
-        loss: achieved,
-        lp_stats: solution.stats,
+        loss,
+        lp_stats,
     })
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the free-function shims must keep their seed behavior
 mod tests {
     use std::sync::Arc;
 
@@ -313,5 +390,27 @@ mod tests {
         let opt = optimal_mechanism(&one, &consumer).unwrap();
         assert_eq!(opt.loss, rat(3, 2));
         assert!(opt.mechanism.is_differentially_private(&one));
+    }
+
+    #[test]
+    fn template_reuse_matches_fresh_builds_exactly() {
+        // The warm path of a sweep: one template re-parameterized across α
+        // must agree bit for bit with a freshly built LP per α, both in-place
+        // and through the clone-per-worker instantiation.
+        let consumer = paper_consumer();
+        let options = SolverOptions::default();
+        let mut warm = TailoredLp::for_minimax(&consumer).unwrap();
+        for (num, den) in [(1i64, 4i64), (1, 2), (2, 3), (1, 5), (1, 1)] {
+            let alpha = rat(num, den);
+            let (warm_mech, warm_stats) = warm.solve_in_place(&alpha, &options).unwrap();
+            let mut cold = TailoredLp::for_minimax(&consumer).unwrap();
+            let (cold_mech, cold_stats) = cold.solve_in_place(&alpha, &options).unwrap();
+            assert_eq!(warm_mech, cold_mech, "alpha = {alpha}");
+            assert_eq!(warm_stats, cold_stats, "alpha = {alpha}");
+            // The clone-per-worker path of a parallel sweep.
+            let (inst_mech, inst_stats) = warm.clone().solve_in_place(&alpha, &options).unwrap();
+            assert_eq!(inst_mech, cold_mech, "alpha = {alpha} (worker clone)");
+            assert_eq!(inst_stats, cold_stats, "alpha = {alpha} (worker clone)");
+        }
     }
 }

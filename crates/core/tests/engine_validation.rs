@@ -1,0 +1,171 @@
+//! `SolveRequest` validation: every malformed request is rejected at
+//! `validate()` time with a stable `CoreError` variant, so engine users can
+//! match on failures programmatically.
+
+use std::sync::Arc;
+
+use privmech_core::{AbsoluteError, CoreError, LossFunction, PrivacyEngine, SolveRequest};
+use privmech_numerics::{rat, Rational};
+
+fn minimax_base() -> SolveRequest<Rational> {
+    SolveRequest::minimax()
+        .name("validation")
+        .loss(Arc::new(AbsoluteError))
+        .support(3, 0..=3)
+        .privacy_level(rat(1, 4))
+}
+
+#[test]
+fn well_formed_requests_validate_and_solve() {
+    let request = minimax_base().validate().unwrap();
+    assert_eq!(request.n(), 3);
+    assert_eq!(*request.level().alpha(), rat(1, 4));
+    let solve = PrivacyEngine::new().solve(&request).unwrap();
+    assert!(solve.mechanism.is_differentially_private(request.level()));
+}
+
+#[test]
+fn bad_alpha_is_invalid_alpha() {
+    let err = minimax_base()
+        .privacy_level(rat(5, 4))
+        .validate()
+        .unwrap_err();
+    // The builder overrides the earlier α, so exactly the bad one is checked.
+    assert!(matches!(err, CoreError::InvalidAlpha { .. }), "{err}");
+    let err = SolveRequest::<Rational>::minimax()
+        .loss(Arc::new(AbsoluteError))
+        .support(3, 0..=3)
+        .privacy_level(rat(-1, 2))
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidAlpha { .. }), "{err}");
+}
+
+#[test]
+fn empty_or_out_of_range_support_is_invalid_side_information() {
+    let err = SolveRequest::<Rational>::minimax()
+        .loss(Arc::new(AbsoluteError))
+        .support(3, std::iter::empty())
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::InvalidSideInformation { .. }),
+        "{err}"
+    );
+    let err = SolveRequest::<Rational>::minimax()
+        .loss(Arc::new(AbsoluteError))
+        .support(3, [0, 7])
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::InvalidSideInformation { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn malformed_priors_are_invalid_prior() {
+    // Does not sum to one.
+    let err = SolveRequest::<Rational>::bayesian()
+        .loss(Arc::new(AbsoluteError))
+        .prior(vec![rat(1, 2), rat(1, 4)])
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidPrior { .. }), "{err}");
+    // Negative mass.
+    let err = SolveRequest::<Rational>::bayesian()
+        .loss(Arc::new(AbsoluteError))
+        .prior(vec![rat(3, 2), rat(-1, 2)])
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidPrior { .. }), "{err}");
+    // Empty prior.
+    let err = SolveRequest::<Rational>::bayesian()
+        .loss(Arc::new(AbsoluteError))
+        .prior(Vec::new())
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidPrior { .. }), "{err}");
+}
+
+#[test]
+fn structurally_incomplete_requests_are_invalid_request() {
+    // No loss.
+    let err = SolveRequest::<Rational>::minimax()
+        .support(3, 0..=3)
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidRequest { .. }), "{err}");
+    // No privacy level.
+    let err = SolveRequest::<Rational>::minimax()
+        .loss(Arc::new(AbsoluteError))
+        .support(3, 0..=3)
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidRequest { .. }), "{err}");
+    // No side information on a minimax request.
+    let err = SolveRequest::<Rational>::minimax()
+        .loss(Arc::new(AbsoluteError))
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidRequest { .. }), "{err}");
+    // No prior on a Bayesian request.
+    let err = SolveRequest::<Rational>::bayesian()
+        .loss(Arc::new(AbsoluteError))
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidRequest { .. }), "{err}");
+    // Cross-kind fields: a prior on a minimax request…
+    let err = SolveRequest::<Rational>::minimax()
+        .loss(Arc::new(AbsoluteError))
+        .support(3, 0..=3)
+        .prior(vec![rat(1, 4); 4])
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidRequest { .. }), "{err}");
+    // …and side information on a Bayesian request.
+    let err = SolveRequest::<Rational>::bayesian()
+        .loss(Arc::new(AbsoluteError))
+        .prior(vec![rat(1, 4); 4])
+        .support(3, 0..=3)
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::InvalidRequest { .. }), "{err}");
+}
+
+#[test]
+fn non_monotone_loss_is_rejected() {
+    // Loss dips back down at distance 2: not monotone in |i - r|.
+    #[derive(Debug)]
+    struct SpikyLoss;
+    impl LossFunction<Rational> for SpikyLoss {
+        fn loss(&self, i: usize, r: usize) -> Rational {
+            match i.abs_diff(r) {
+                0 => rat(0, 1),
+                1 => rat(2, 1),
+                2 => rat(1, 1),
+                _ => rat(3, 1),
+            }
+        }
+        fn name(&self) -> &str {
+            "spiky"
+        }
+    }
+    let err = SolveRequest::<Rational>::minimax()
+        .loss(Arc::new(SpikyLoss))
+        .support(3, 0..=3)
+        .privacy_level(rat(1, 4))
+        .validate()
+        .unwrap_err();
+    assert!(matches!(err, CoreError::NonMonotoneLoss { .. }), "{err}");
+}

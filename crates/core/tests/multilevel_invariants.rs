@@ -2,6 +2,10 @@
 //! that go beyond the per-module unit tests: transitivity of the "add privacy"
 //! transitions, consistency of chained marginals with direct transitions, and
 //! interaction of the release chain with consumer optimality.
+//!
+//! Stays on the seed's free-function API so the `#[deprecated]` shims keep
+//! passing unchanged.
+#![allow(deprecated)]
 
 use std::sync::Arc;
 

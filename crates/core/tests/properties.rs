@@ -5,6 +5,11 @@
 //! data-processing inequality, the Theorem 2 characterization (both
 //! directions), Lemma 3 (adding privacy), and Theorem 1 (universal optimality)
 //! on randomly generated consumers.
+//!
+//! These tests deliberately stay on the seed's free-function API: the
+//! `#[deprecated]` shims must keep passing unchanged (the engine has its own
+//! test files, `engine_sweep.rs` and `engine_validation.rs`).
+#![allow(deprecated)]
 
 use std::sync::Arc;
 

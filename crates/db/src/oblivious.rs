@@ -151,28 +151,30 @@ impl<T: Scalar> DatabaseMechanism<T> {
 
     /// Worst-case expected loss over databases whose query result lies in the
     /// side-information set `S` (Equation 5 of Appendix A).
+    ///
+    /// The expected-loss accumulation and worst-case fold are the core
+    /// crate's [`privmech_core::worst_case_loss`] — the same kernel behind
+    /// [`privmech_core::Mechanism::minimax_loss`] — applied to one
+    /// distribution per *database* instead of one per count.
     pub fn minimax_loss(
         &self,
         side_information: &[usize],
         loss: &dyn LossFunction<T>,
     ) -> Result<T> {
-        let mut worst: Option<T> = None;
-        for (db, row) in self.databases.iter().zip(self.rows.iter()) {
-            let count = self.query.evaluate(db);
-            if !side_information.contains(&count) {
-                continue;
-            }
-            let mut acc = T::zero();
-            for (r, p) in row.iter().enumerate() {
-                acc = acc + loss.loss(count, r) * p.clone();
-            }
-            worst = Some(match worst {
-                None => acc,
-                Some(w) => w.max_val(acc),
+        let relevant = self
+            .databases
+            .iter()
+            .zip(self.rows.iter())
+            .filter_map(|(db, row)| {
+                let count = self.query.evaluate(db);
+                side_information
+                    .contains(&count)
+                    .then_some((count, row.as_slice()))
             });
-        }
-        worst.ok_or_else(|| CoreError::InvalidSideInformation {
-            reason: "no database in the universe has a query result inside S".to_string(),
+        privmech_core::worst_case_loss(relevant, loss).ok_or_else(|| {
+            CoreError::InvalidSideInformation {
+                reason: "no database in the universe has a query result inside S".to_string(),
+            }
         })
     }
 

@@ -7,13 +7,13 @@
 //! window, and also compute G⁻¹·M explicitly to exhibit the negative entry.
 
 use privmech_core::{
-    appendix_b_mechanism, geometric_mechanism, theorem2_check, DerivabilityCheck, Mechanism,
-    PrivacyLevel,
+    appendix_b_mechanism, DerivabilityCheck, Mechanism, PrivacyEngine, PrivacyLevel,
 };
 use privmech_experiments::{print_matrix, section};
 use privmech_numerics::{rat, Rational};
 
 fn main() {
+    let engine = PrivacyEngine::new();
     let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 2)).unwrap();
     let m: Mechanism<Rational> = appendix_b_mechanism();
 
@@ -27,7 +27,7 @@ fn main() {
     );
 
     section("Theorem 2 characterization");
-    match theorem2_check(&m, &level) {
+    match engine.check_derivability(&m, &level) {
         DerivabilityCheck::Derivable => {
             println!("UNEXPECTED: the characterization claims M is derivable");
         }
@@ -49,7 +49,7 @@ fn main() {
     }
 
     section("Explicit factorization attempt T = G⁻¹·M");
-    let g = geometric_mechanism(3, &level).unwrap();
+    let g = engine.geometric(3, &level).unwrap();
     let inv = g.matrix().inverse().unwrap();
     let t = inv.matmul(m.matrix()).unwrap();
     print_matrix("G_{3,1/2}⁻¹ · M (must contain a negative entry)", &t);

@@ -10,10 +10,7 @@
 
 use std::sync::Arc;
 
-use privmech_core::{
-    bayesian_optimal_interaction, geometric_mechanism, optimal_interaction, optimal_mechanism,
-    AbsoluteError, BayesianConsumer, MinimaxConsumer, PrivacyLevel, SideInformation,
-};
+use privmech_core::{AbsoluteError, PrivacyEngine, PrivacyLevel, SolveRequest, SolveStrategy};
 use privmech_experiments::{print_matrix, section};
 use privmech_numerics::{rat, Rational};
 
@@ -26,19 +23,28 @@ fn is_deterministic(matrix: &privmech_linalg::Matrix<Rational>) -> bool {
 
 fn main() {
     let n = 3usize;
+    let engine = PrivacyEngine::new();
     let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).unwrap();
-    let g = geometric_mechanism(n, &level).unwrap();
+    let g = engine.geometric(n, &level).unwrap();
 
     section("Minimax consumer (|i-r| loss, S = {0..3}) interacting with G_{3,1/4}");
-    let minimax =
-        MinimaxConsumer::new("minimax", Arc::new(AbsoluteError), SideInformation::full(n)).unwrap();
-    let mm = optimal_interaction(&g, &minimax).unwrap();
+    let minimax_request = SolveRequest::<Rational>::minimax()
+        .name("minimax")
+        .loss(Arc::new(AbsoluteError))
+        .support(n, 0..=n)
+        .at(level.clone())
+        // DirectLp so the tailored/interaction equality is the Theorem 1
+        // claim, not a construction identity.
+        .strategy(SolveStrategy::DirectLp)
+        .validate()
+        .unwrap();
+    let mm = engine.interact(&g, &minimax_request).unwrap();
     print_matrix("minimax-optimal post-processing T*", &mm.post_processing);
     println!(
         "randomized post-processing (some rows fractional): {}",
         !is_deterministic(&mm.post_processing)
     );
-    let tailored = optimal_mechanism(&level, &minimax).unwrap();
+    let tailored = engine.solve(&minimax_request).unwrap();
     println!(
         "minimax loss via interaction = {} ; tailored optimum = {} ; equal (Theorem 1): {}",
         mm.loss,
@@ -67,9 +73,15 @@ fn main() {
         "prior", "raw geometric", "after remap", "deterministic"
     );
     for (name, prior) in priors {
-        let consumer = BayesianConsumer::new(name, Arc::new(AbsoluteError), prior).unwrap();
-        let raw = consumer.disutility(&g).unwrap();
-        let interaction = bayesian_optimal_interaction(&g, &consumer).unwrap();
+        let request = SolveRequest::<Rational>::bayesian()
+            .name(name)
+            .loss(Arc::new(AbsoluteError))
+            .prior(prior)
+            .at(level.clone())
+            .validate()
+            .unwrap();
+        let raw = request.consumer().disutility(&g).unwrap();
+        let interaction = engine.interact(&g, &request).unwrap();
         println!(
             "{:<14} {:>16.5} {:>16.5} {:>14}",
             name,

@@ -7,7 +7,8 @@
 //! sampler reproduces the analytic pmf.
 
 use privmech_core::{
-    range_restricted_pmf, sample_geometric_output, two_sided_geometric_pmf, PrivacyLevel,
+    range_restricted_pmf, sample_geometric_output, two_sided_geometric_pmf, PrivacyEngine,
+    PrivacyLevel,
 };
 use privmech_experiments::{bar, section};
 use privmech_numerics::{rat, Rational};
@@ -72,7 +73,7 @@ fn main() {
 
     // The mechanism built from the pmf is exactly alpha-DP.
     let level = PrivacyLevel::new(rat(1, 5)).unwrap();
-    let g = privmech_core::geometric_mechanism(n, &level).unwrap();
+    let g = PrivacyEngine::new().geometric(n, &level).unwrap();
     println!(
         "range-restricted mechanism is row-stochastic: {} ; best privacy level = {}",
         g.matrix().is_row_stochastic(),

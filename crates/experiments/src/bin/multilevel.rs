@@ -11,7 +11,7 @@
 //! releases visibly cancels the noise (the failure mode the paper's
 //! construction prevents).
 
-use privmech_core::{collusion_experiment, geometric_mechanism, MultiLevelRelease, PrivacyLevel};
+use privmech_core::{collusion_experiment, PrivacyEngine, PrivacyLevel};
 use privmech_experiments::{section, Tally};
 use privmech_numerics::{rat, Rational};
 use rand::rngs::StdRng;
@@ -19,13 +19,14 @@ use rand::SeedableRng;
 
 fn main() {
     let n = 20usize;
+    let engine = PrivacyEngine::new();
     let exact_levels: Vec<PrivacyLevel<Rational>> = [(1i64, 5i64), (1, 3), (1, 2), (3, 4)]
         .into_iter()
         .map(|(a, b)| PrivacyLevel::new(rat(a, b)).unwrap())
         .collect();
 
     section("Lemma 3 / Algorithm 1 structure (exact, n = 20, α = 1/5 < 1/3 < 1/2 < 3/4)");
-    let release = MultiLevelRelease::new(n, exact_levels.clone()).unwrap();
+    let release = engine.multi_level(n, exact_levels.clone()).unwrap();
     let mut tally = Tally::default();
     for (i, stage) in release.stages().iter().enumerate() {
         let stochastic = stage.is_row_stochastic();
@@ -37,7 +38,7 @@ fn main() {
     }
     for (i, level) in release.levels().iter().enumerate() {
         let marginal = release.marginal_mechanism(i).unwrap();
-        let direct = geometric_mechanism(n, level).unwrap();
+        let direct = engine.geometric(n, level).unwrap();
         let equal = marginal == direct;
         tally.record(equal);
         println!("marginal mechanism at level {i} ({level}) equals G_{{n,α}} exactly: {equal}");
@@ -55,7 +56,7 @@ fn main() {
         .into_iter()
         .map(|a| PrivacyLevel::new(a).unwrap())
         .collect();
-    let float_release = MultiLevelRelease::new(collusion_n, float_levels).unwrap();
+    let float_release = engine.multi_level(collusion_n, float_levels).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
     let trials = 20_000usize;
     let true_result = 15usize;

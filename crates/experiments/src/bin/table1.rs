@@ -16,8 +16,8 @@
 use std::sync::Arc;
 
 use privmech_core::{
-    geometric_mechanism, optimal_interaction, optimal_mechanism, table1b_scaled_geometric,
-    AbsoluteError, MinimaxConsumer, PrivacyLevel, SideInformation,
+    table1b_scaled_geometric, AbsoluteError, PrivacyEngine, PrivacyLevel, SolveRequest,
+    SolveStrategy,
 };
 use privmech_experiments::{print_matrix, print_matrix_decimal, section};
 use privmech_linalg::Matrix;
@@ -25,16 +25,23 @@ use privmech_numerics::{rat, Rational};
 
 fn main() {
     let n = 3usize;
+    let engine = PrivacyEngine::new();
     let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).unwrap();
-    let consumer = MinimaxConsumer::new(
-        "table-1 consumer (|i-r| loss, S = {0,1,2,3})",
-        Arc::new(AbsoluteError),
-        SideInformation::full(n),
-    )
-    .unwrap();
+    // DirectLp: Table 1(a) is the optimal vertex of the Section 2.5 LP
+    // itself, so reproduce exactly that formulation (the default
+    // geometric-factorization strategy attains the same loss but may sit on a
+    // different optimal vertex).
+    let request = SolveRequest::<Rational>::minimax()
+        .name("table-1 consumer (|i-r| loss, S = {0,1,2,3})")
+        .loss(Arc::new(AbsoluteError))
+        .support(n, 0..=n)
+        .at(level.clone())
+        .strategy(SolveStrategy::DirectLp)
+        .validate()
+        .unwrap();
 
     section("Table 1(b): the geometric mechanism G_{3,1/4}");
-    let g = geometric_mechanism(n, &level).unwrap();
+    let g = engine.geometric(n, &level).unwrap();
     print_matrix("reproduced G_{3,1/4} (row-stochastic form)", g.matrix());
     let scaled = table1b_scaled_geometric(n, level.alpha());
     print_matrix(
@@ -54,7 +61,7 @@ fn main() {
     );
 
     section("Table 1(a): optimal mechanism tailored to the consumer (Section 2.5 LP)");
-    let tailored = optimal_mechanism(&level, &consumer).unwrap();
+    let tailored = engine.solve(&request).unwrap();
     print_matrix(
         "reproduced optimal mechanism (exact)",
         tailored.mechanism.matrix(),
@@ -76,7 +83,7 @@ fn main() {
     );
 
     section("Table 1(c): the consumer's optimal interaction with G_{3,1/4} (Section 2.4.3 LP)");
-    let interaction = optimal_interaction(&g, &consumer).unwrap();
+    let interaction = engine.interact(&g, &request).unwrap();
     print_matrix(
         "reproduced optimal interaction T*",
         &interaction.post_processing,
@@ -98,7 +105,7 @@ fn main() {
     ])
     .unwrap();
     let paper_induced = g.post_process(&paper_c).unwrap();
-    let paper_loss = consumer.disutility(&paper_induced).unwrap();
+    let paper_loss = request.consumer().disutility(&paper_induced).unwrap();
 
     section("Comparison (who wins, by how much)");
     println!(

@@ -7,11 +7,14 @@
 //! hence `det G > 0`) across a sweep of sizes and privacy levels, using exact
 //! rational arithmetic.
 
-use privmech_core::{g_prime_matrix, geometric_matrix, lemma1_determinant, PrivacyLevel};
+use privmech_core::{
+    g_prime_matrix, geometric_matrix, lemma1_determinant, PrivacyEngine, PrivacyLevel,
+};
 use privmech_experiments::{print_matrix, section, Tally};
 use privmech_numerics::{rat, Rational};
 
 fn main() {
+    let engine = PrivacyEngine::new();
     let alpha = rat(1, 4);
 
     section("Table 2: G_{3,1/4} (row-stochastic) and G'_{3,1/4} (entries α^{|i-j|})");
@@ -69,7 +72,7 @@ fn main() {
             let det_g = geometric_matrix(n, &a).determinant().unwrap();
             tally.record(det_g.is_positive());
             // And the mechanism itself is exactly α-private.
-            let g = privmech_core::geometric_mechanism(n, &level).unwrap();
+            let g = engine.geometric(n, &level).unwrap();
             tally.record(g.best_privacy_level() == a);
         }
     }

@@ -10,38 +10,37 @@
 //! for larger n. We also report how much worse the raw (un-post-processed)
 //! geometric mechanism and the randomized-response baseline are, which is the
 //! "shape" of the utility comparison the paper's model implies.
+//!
+//! The α dimension runs through [`PrivacyEngine::sweep`]: one Section 2.5 LP
+//! template per consumer, re-parameterized per α and solved across worker
+//! threads. The tailored side deliberately uses
+//! [`SolveStrategy::DirectLp`] — with the default geometric-factorization
+//! strategy the equality would hold *by construction* and verify nothing.
+//!
+//! Set `PRIVMECH_SWEEP_QUICK=1` to cap the exact sweep at n = 3 (CI smoke).
 
 use std::sync::Arc;
 
 use privmech_core::{
-    geometric_mechanism, optimal_interaction, optimal_mechanism, randomized_response,
-    AbsoluteError, LossFunction, MinimaxConsumer, PrivacyLevel, SideInformation, SquaredError,
-    ZeroOneError,
+    randomized_response, LossFunction, PrivacyEngine, PrivacyLevel, SolveRequest, SolveStrategy,
+    ValidatedRequest,
 };
 use privmech_experiments::{section, Tally};
 use privmech_linalg::Scalar;
 use privmech_numerics::{rat, Rational};
 
-fn side_infos(n: usize) -> Vec<(String, SideInformation)> {
-    let mut out = vec![("full".to_string(), SideInformation::full(n))];
+fn side_infos(n: usize) -> Vec<(String, Vec<usize>)> {
+    let mut out = vec![("full".to_string(), (0..=n).collect::<Vec<_>>())];
     if n >= 2 {
-        out.push((
-            format!("at-least-{}", n / 2),
-            SideInformation::at_least(n, n / 2).unwrap(),
-        ));
-        out.push((
-            format!("at-most-{}", n / 2),
-            SideInformation::at_most(n, n / 2).unwrap(),
-        ));
-        out.push((
-            "endpoints".to_string(),
-            SideInformation::new(n, vec![0, n]).unwrap(),
-        ));
+        out.push((format!("at-least-{}", n / 2), (n / 2..=n).collect()));
+        out.push((format!("at-most-{}", n / 2), (0..=n / 2).collect()));
+        out.push(("endpoints".to_string(), vec![0, n]));
     }
     out
 }
 
 fn losses<T: Scalar>() -> Vec<(&'static str, Arc<dyn LossFunction<T> + Send + Sync>)> {
+    use privmech_core::{AbsoluteError, SquaredError, ZeroOneError};
     vec![
         (
             "absolute",
@@ -53,7 +52,13 @@ fn losses<T: Scalar>() -> Vec<(&'static str, Arc<dyn LossFunction<T> + Send + Sy
 }
 
 fn main() {
-    section("Theorem 1 sweep (exact rational arithmetic, n = 2..5)");
+    let quick = std::env::var("PRIVMECH_SWEEP_QUICK").is_ok_and(|v| v == "1");
+    let max_n = if quick { 3 } else { 5 };
+    let engine = PrivacyEngine::new();
+
+    section(&format!(
+        "Theorem 1 sweep (exact rational arithmetic, n = 2..{max_n}, engine.sweep over α)"
+    ));
     println!(
         "{:>3} {:>6} {:>9} {:>12} {:>14} {:>14} {:>14} {:>7}",
         "n",
@@ -65,34 +70,53 @@ fn main() {
         "raw geometric",
         "equal?"
     );
+    let alphas: [(i64, i64); 5] = [(1, 5), (1, 4), (1, 3), (1, 2), (2, 3)];
+    let levels: Vec<PrivacyLevel<Rational>> = alphas
+        .iter()
+        .map(|&(num, den)| PrivacyLevel::new(rat(num, den)).unwrap())
+        .collect();
     let mut exact_tally = Tally::default();
     let mut dominance_tally = Tally::default();
-    for n in 2usize..=5 {
-        for (num, den) in [(1i64, 5i64), (1, 4), (1, 3), (1, 2), (2, 3)] {
-            let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(num, den)).unwrap();
-            let g = geometric_mechanism(n, &level).unwrap();
-            let rr = randomized_response(n, &level).unwrap();
-            for (loss_name, loss) in losses::<Rational>() {
-                for (side_name, side) in side_infos(n) {
-                    let consumer =
-                        MinimaxConsumer::new("sweep", loss.clone(), side.clone()).unwrap();
-                    let tailored = optimal_mechanism(&level, &consumer).unwrap();
-                    let interaction = optimal_interaction(&g, &consumer).unwrap();
-                    let raw = consumer.disutility(&g).unwrap();
-                    let rr_loss = consumer.disutility(&rr).unwrap();
-                    let equal = tailored.loss == interaction.loss;
+    for n in 2usize..=max_n {
+        let geometrics: Vec<_> = levels
+            .iter()
+            .map(|level| engine.geometric(n, level).unwrap())
+            .collect();
+        let rrs: Vec<_> = levels
+            .iter()
+            .map(|level| randomized_response(n, level).unwrap())
+            .collect();
+        for (loss_name, loss) in losses::<Rational>() {
+            for (side_name, side) in side_infos(n) {
+                // One request per consumer; the engine sweeps it over all α
+                // with a single warm LP template.
+                let request: ValidatedRequest<Rational> = SolveRequest::minimax()
+                    .name("sweep")
+                    .loss(loss.clone())
+                    .support(n, side.iter().copied())
+                    .at(levels[0].clone())
+                    .strategy(SolveStrategy::DirectLp)
+                    .validate()
+                    .unwrap();
+                let tailored = engine.sweep(&levels, &request).unwrap();
+                for (k, solve) in tailored.iter().enumerate() {
+                    let interaction = engine.interact(&geometrics[k], &request).unwrap();
+                    let raw = request.consumer().disutility(&geometrics[k]).unwrap();
+                    let rr_loss = request.consumer().disutility(&rrs[k]).unwrap();
+                    let equal = solve.loss == interaction.loss;
                     exact_tally.record(equal);
                     // The optimum never exceeds the raw geometric mechanism or
                     // randomized response (who-wins shape).
-                    dominance_tally.record(tailored.loss <= raw && tailored.loss <= rr_loss);
+                    dominance_tally.record(solve.loss <= raw && solve.loss <= rr_loss);
                     if side_name == "full" && loss_name == "absolute" {
+                        let (num, den) = alphas[k];
                         println!(
                             "{:>3} {:>6} {:>9} {:>12} {:>14.5} {:>14.5} {:>14.5} {:>7}",
                             n,
                             format!("{num}/{den}"),
                             loss_name,
                             side_name,
-                            tailored.loss.to_f64(),
+                            solve.loss.to_f64(),
                             interaction.loss.to_f64(),
                             raw.to_f64(),
                             equal
@@ -120,26 +144,43 @@ fn main() {
         "{:>3} {:>6} {:>9} {:>14} {:>14} {:>12}",
         "n", "alpha", "loss", "tailored opt", "geo+interact", "difference"
     );
+    let float_ns: &[usize] = if quick { &[6] } else { &[6, 7] };
+    let float_levels: Vec<PrivacyLevel<f64>> = [0.25f64, 0.5]
+        .into_iter()
+        .map(|alpha| PrivacyLevel::new(alpha).unwrap())
+        .collect();
     let mut float_tally = Tally::default();
-    for n in [6usize, 7] {
-        for alpha in [0.25f64, 0.5] {
-            let level: PrivacyLevel<f64> = PrivacyLevel::new(alpha).unwrap();
-            let g = geometric_mechanism(n, &level).unwrap();
-            for (loss_name, loss) in losses::<f64>() {
-                let consumer =
-                    MinimaxConsumer::new("sweep", loss.clone(), SideInformation::full(n)).unwrap();
-                let tailored = optimal_mechanism(&level, &consumer).unwrap();
-                let interaction = optimal_interaction(&g, &consumer).unwrap();
-                let diff = tailored.loss - interaction.loss;
+    for &n in float_ns {
+        let geometrics: Vec<_> = float_levels
+            .iter()
+            .map(|level| engine.geometric(n, level).unwrap())
+            .collect();
+        for (loss_name, loss) in losses::<f64>() {
+            let request: ValidatedRequest<f64> = SolveRequest::minimax()
+                .name("sweep")
+                .loss(loss.clone())
+                .support(n, 0..=n)
+                .at(float_levels[0].clone())
+                .strategy(SolveStrategy::DirectLp)
+                .validate()
+                .unwrap();
+            let tailored = engine.sweep(&float_levels, &request).unwrap();
+            for (k, solve) in tailored.iter().enumerate() {
+                let interaction = engine.interact(&geometrics[k], &request).unwrap();
+                let diff = solve.loss - interaction.loss;
                 // Directional check: the deployed geometric mechanism plus
                 // optimal post-processing is never worse than the tailored
                 // float LP (up to float tolerance).
-                float_tally.record(
-                    interaction.loss <= tailored.loss + 1e-6 * tailored.loss.abs().max(1.0),
-                );
+                float_tally
+                    .record(interaction.loss <= solve.loss + 1e-6 * solve.loss.abs().max(1.0));
                 println!(
                     "{:>3} {:>6} {:>9} {:>14.6} {:>14.6} {:>12.2e}",
-                    n, alpha, loss_name, tailored.loss, interaction.loss, diff
+                    n,
+                    float_levels[k].alpha(),
+                    loss_name,
+                    solve.loss,
+                    interaction.loss,
+                    diff
                 );
             }
         }
@@ -152,7 +193,7 @@ fn main() {
     println!(
         "Theorem 1 (simultaneous utility maximization): {}",
         if exact_ok && float_ok {
-            "REPRODUCED (exact equality for n <= 5; directional agreement with f64 at n = 6, 7)"
+            "REPRODUCED (exact equality for small n; directional agreement with f64 at larger n)"
         } else {
             "FAILED"
         }

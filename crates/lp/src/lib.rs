@@ -37,6 +37,10 @@
 
 pub mod model;
 pub mod simplex;
+pub mod template;
 
-pub use model::{Constraint, LinExpr, LpError, Model, Relation, Sense, Solution, Var, VarBound};
+pub use model::{
+    CoeffSlot, Constraint, LinExpr, LpError, Model, Relation, Sense, Solution, Var, VarBound,
+};
 pub use simplex::{solve_model, solve_model_with, PivotStats, PricingRule, SolverOptions};
+pub use template::ModelTemplate;

@@ -19,18 +19,19 @@ use privmech::prelude::*;
 fn main() {
     let n = 6usize;
     let lower_bound = 2usize; // l: drug doses already sold
-    let level = PrivacyLevel::new(rat(1, 3)).unwrap();
-    let deployed = geometric_mechanism(n, &level).unwrap();
-
-    let company = MinimaxConsumer::new(
-        "drug company",
-        Arc::new(AbsoluteError),
-        SideInformation::at_least(n, lower_bound).unwrap(),
-    )
-    .unwrap();
+    let engine = PrivacyEngine::new();
+    let request = SolveRequest::<Rational>::minimax()
+        .name("drug company")
+        .loss(Arc::new(AbsoluteError))
+        .support(n, lower_bound..=n)
+        .privacy_level(rat(1, 3))
+        .validate()
+        .expect("well-formed request");
+    let level = request.level().clone();
+    let deployed = engine.geometric(n, &level).unwrap();
 
     // Strategy 1: accept the raw release.
-    let raw = company.disutility(&deployed).unwrap();
+    let raw = request.consumer().disutility(&deployed).unwrap();
 
     // Strategy 2: the paper's "reasonable rule": clamp the release to [l, n].
     let clamp = Matrix::from_fn(n + 1, n + 1, |r, rp| {
@@ -42,13 +43,13 @@ fn main() {
         }
     });
     let clamped = deployed.post_process(&clamp).unwrap();
-    let clamp_loss = company.disutility(&clamped).unwrap();
+    let clamp_loss = request.consumer().disutility(&clamped).unwrap();
 
     // Strategy 3: the LP-optimal (possibly randomized) interaction.
-    let interaction = optimal_interaction(&deployed, &company).unwrap();
+    let interaction = engine.interact(&deployed, &request).unwrap();
 
-    // Reference: the mechanism tailored to the company (Section 2.5 LP).
-    let tailored = optimal_mechanism(&level, &company).unwrap();
+    // Reference: the mechanism tailored to the company.
+    let tailored = engine.solve(&request).unwrap();
 
     println!("n = {n}, side information: count >= {lower_bound}, loss = |i - r|, α = 1/3");
     println!();

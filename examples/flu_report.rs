@@ -40,58 +40,63 @@ fn main() {
     // The agency deploys the geometric mechanism at α = 1/4 and publishes a
     // single perturbed count.
     // ------------------------------------------------------------------
+    let engine = PrivacyEngine::new();
     let level = PrivacyLevel::new(rat(1, 4)).unwrap();
-    let deployed = geometric_mechanism(n, &level).unwrap();
+    let deployed = engine.geometric(n, &level).unwrap();
     let published = deployed.sample(true_count, &mut rng).unwrap();
     println!("published (perturbed) count at α = 1/4: {published}");
     println!();
 
     // ------------------------------------------------------------------
-    // Three very different readers of the same report.
+    // Three very different readers of the same report, described as typed
+    // solve requests against the same deployed level.
     // ------------------------------------------------------------------
     let drug_sales = database
         .rows()
         .iter()
         .filter(|r| r.bought_drug && r.contracted_flu && r.is_adult())
         .count();
-    let consumers: Vec<MinimaxConsumer<Rational>> = vec![
+    let requests: Vec<ValidatedRequest<Rational>> = vec![
         // The government tracks the spread of flu and cares about mean error.
-        MinimaxConsumer::new(
-            "government (|i-r| loss, no side information)",
-            Arc::new(AbsoluteError),
-            SideInformation::full(n),
-        )
-        .unwrap(),
+        SolveRequest::minimax()
+            .name("government (|i-r| loss, no side information)")
+            .loss(Arc::new(AbsoluteError))
+            .support(n, 0..=n)
+            .at(level.clone())
+            .validate()
+            .unwrap(),
         // The drug company knows how many people bought its drug, a lower
         // bound on the count (Example 1 of the paper), and cares about
         // over/under-production, i.e. squared error.
-        MinimaxConsumer::new(
-            "drug company ((i-r)^2 loss, knows count >= drug sales)",
-            Arc::new(SquaredError),
-            SideInformation::at_least(n, drug_sales).unwrap(),
-        )
-        .unwrap(),
+        SolveRequest::minimax()
+            .name("drug company ((i-r)^2 loss, knows count >= drug sales)")
+            .loss(Arc::new(SquaredError))
+            .support(n, drug_sales..=n)
+            .at(level.clone())
+            .validate()
+            .unwrap(),
         // A journalist only wants to know whether the published number is
         // exactly right, and knows the count cannot exceed half the city.
-        MinimaxConsumer::new(
-            "journalist (0/1 loss, knows count <= n/2)",
-            Arc::new(ZeroOneError),
-            SideInformation::at_most(n, n / 2).unwrap(),
-        )
-        .unwrap(),
+        SolveRequest::minimax()
+            .name("journalist (0/1 loss, knows count <= n/2)")
+            .loss(Arc::new(ZeroOneError))
+            .support(n, 0..=n / 2)
+            .at(level.clone())
+            .validate()
+            .unwrap(),
     ];
 
     println!(
         "{:<55} {:>12} {:>12} {:>12} {:>9}",
         "consumer", "raw loss", "post-proc", "tailored", "optimal?"
     );
-    for consumer in &consumers {
-        let raw = consumer.disutility(&deployed).unwrap();
-        let interaction = optimal_interaction(&deployed, consumer).unwrap();
-        let tailored = optimal_mechanism(&level, consumer).unwrap();
+    for request in &requests {
+        let raw = request.consumer().disutility(&deployed).unwrap();
+        let interaction = engine.interact(&deployed, request).unwrap();
+        let tailored = engine.solve(request).unwrap();
         println!(
             "{:<55} {:>12.4} {:>12.4} {:>12.4} {:>9}",
-            consumer.name(),
+            request.consumer().name(),
             raw.to_f64(),
             interaction.loss.to_f64(),
             tailored.loss.to_f64(),

@@ -20,11 +20,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
 
     // Internal report at α = 1/4, public report at α = 3/4.
+    let engine = PrivacyEngine::new();
     let levels = vec![
         PrivacyLevel::new(rat(1, 4)).unwrap(),
         PrivacyLevel::new(rat(3, 4)).unwrap(),
     ];
-    let release = MultiLevelRelease::new(n, levels).unwrap();
+    let release = engine.multi_level(n, levels).unwrap();
 
     println!("true count: {true_count}; levels: α = 1/4 (internal), α = 3/4 (public)");
     println!();
@@ -32,7 +33,7 @@ fn main() {
     // Structural guarantees (exact, independent of sampling).
     for (i, level) in release.levels().iter().enumerate() {
         let marginal = release.marginal_mechanism(i).unwrap();
-        let direct = geometric_mechanism(n, level).unwrap();
+        let direct = engine.geometric(n, level).unwrap();
         println!(
             "stage {i} ({level}): marginal mechanism equals the plain geometric mechanism: {}",
             marginal == direct
@@ -59,16 +60,17 @@ fn main() {
     // is clearest when several audiences sit at comparable privacy levels, so
     // the Monte-Carlo part uses four audiences at α = 0.5 … 0.65 (the
     // `multilevel` experiment binary sweeps this more thoroughly).
-    let f64_release = MultiLevelRelease::new(
-        n,
-        vec![
-            PrivacyLevel::new(0.50f64).unwrap(),
-            PrivacyLevel::new(0.55f64).unwrap(),
-            PrivacyLevel::new(0.60f64).unwrap(),
-            PrivacyLevel::new(0.65f64).unwrap(),
-        ],
-    )
-    .unwrap();
+    let f64_release = engine
+        .multi_level(
+            n,
+            vec![
+                PrivacyLevel::new(0.50f64).unwrap(),
+                PrivacyLevel::new(0.55f64).unwrap(),
+                PrivacyLevel::new(0.60f64).unwrap(),
+                PrivacyLevel::new(0.65f64).unwrap(),
+            ],
+        )
+        .unwrap();
     let correlated =
         collusion_experiment(&f64_release, true_count, 20_000, true, &mut rng).unwrap();
     let naive = collusion_experiment(&f64_release, true_count, 20_000, false, &mut rng).unwrap();

@@ -14,19 +14,64 @@
 //! use privmech::prelude::*;
 //! use privmech::numerics::rat;
 //!
-//! // Publish a count at privacy level α = 1/3 with the geometric mechanism
-//! // and let a consumer with side information post-process it optimally.
-//! let level = PrivacyLevel::new(rat(1, 3)).unwrap();
-//! let deployed = geometric_mechanism(5, &level).unwrap();
-//! let consumer = MinimaxConsumer::new(
-//!     "drug company",
-//!     Arc::new(AbsoluteError),
-//!     SideInformation::at_least(5, 2).unwrap(),
-//! ).unwrap();
-//! let interaction = optimal_interaction(&deployed, &consumer).unwrap();
-//! let tailored = optimal_mechanism(&level, &consumer).unwrap();
+//! // Describe the consumer once, typed and validated up front.
+//! let request = SolveRequest::<Rational>::minimax()
+//!     .name("drug company")
+//!     .loss(Arc::new(AbsoluteError))
+//!     .support(5, 2..=5)          // knows the count is at least 2
+//!     .privacy_level(rat(1, 3))
+//!     .validate()
+//!     .unwrap();
+//!
+//! // Publish a count with the geometric mechanism and let the consumer
+//! // post-process it optimally: Theorem 1 says that matches the mechanism
+//! // tailored to them.
+//! let engine = PrivacyEngine::new();
+//! let deployed = engine.geometric(5, request.level()).unwrap();
+//! let interaction = engine.interact(&deployed, &request).unwrap();
+//! let tailored = engine.solve(&request).unwrap();
 //! assert_eq!(interaction.loss, tailored.loss); // Theorem 1
 //! ```
+//!
+//! # API tour
+//!
+//! The primary entry point is the session-oriented [`PrivacyEngine`]:
+//!
+//! * **Describe work as requests.** [`SolveRequest`] is an untyped builder
+//!   (consumer kind, loss, side information or prior, privacy level, solve
+//!   strategy); [`SolveRequest::validate`] checks it once into a typed
+//!   [`ValidatedRequest`] with a stable [`CoreError`] variant per field
+//!   failure.
+//! * **Solve.** [`PrivacyEngine::solve`](crate::core::PrivacyEngine::solve)
+//!   returns a [`Solve`]: the tailored optimal mechanism, its loss, and the
+//!   simplex [`PivotStats`]. The default strategy routes through Theorem 1
+//!   (deploy `G_{n,α}`, solve the small interaction LP); strategy
+//!   [`SolveStrategy::DirectLp`] solves the Section 2.5 LP directly and
+//!   reproduces the deprecated [`optimal_mechanism`] free function bit for
+//!   bit.
+//! * **Sweep α in batch.**
+//!   [`PrivacyEngine::sweep`](crate::core::PrivacyEngine::sweep) solves one
+//!   request at many privacy levels: the LP is built once and
+//!   re-parameterized per α (see [`lp::ModelTemplate`]), solves are farmed
+//!   across worker threads, and results come back in input order,
+//!   bit-identical to per-level `solve` calls for the exact backend.
+//! * **Interact with deployed mechanisms.**
+//!   [`PrivacyEngine::interact`](crate::core::PrivacyEngine::interact)
+//!   computes the consumer's optimal post-processing of any deployed
+//!   mechanism (the Section 2.4.3 LP; the posterior-argmin remap for
+//!   Bayesian consumers).
+//! * **Everything else on the session.** The geometric mechanism
+//!   ([`PrivacyEngine::geometric`](crate::core::PrivacyEngine::geometric)),
+//!   Algorithm 1 multi-level release chains
+//!   ([`PrivacyEngine::multi_level`](crate::core::PrivacyEngine::multi_level)),
+//!   and the Theorem 2 derivability toolchain
+//!   ([`PrivacyEngine::check_derivability`](crate::core::PrivacyEngine::check_derivability),
+//!   [`PrivacyEngine::derive`](crate::core::PrivacyEngine::derive)).
+//!
+//! The seed's free functions ([`optimal_mechanism`], [`optimal_interaction`],
+//! `bayesian_*`) still compile behind `#[deprecated]` shims with unchanged
+//! behavior for every α > 0 (at exactly α = 0 the tailored LP now keeps its
+//! vacuous privacy rows; same optimal value — see the `core::optimal` docs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,12 +86,13 @@ pub mod linalg {
     pub use privmech_linalg::*;
 }
 
-/// Linear programming (two-phase simplex).
+/// Linear programming (two-phase simplex, parameterized model templates).
 pub mod lp {
     pub use privmech_lp::*;
 }
 
-/// The paper's core: mechanisms, consumers, optimality, multi-level release.
+/// The paper's core: the engine, mechanisms, consumers, optimality,
+/// multi-level release.
 pub mod core {
     pub use privmech_core::*;
 }
@@ -59,13 +105,19 @@ pub mod db {
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use privmech_core::{
-        appendix_b_mechanism, audit_mechanism, bayesian_optimal_interaction, collusion_experiment,
-        derive_from_geometric, derive_post_processing, empirical_distribution, geometric_mechanism,
-        optimal_interaction, optimal_mechanism, randomized_response, sample_geometric_output,
-        theorem2_check, total_variation_distance, transition_matrix, AbsoluteError,
-        BayesianConsumer, CoreError, DerivabilityCheck, Interaction, LossFunction, Mechanism,
-        MinimaxConsumer, MultiLevelRelease, OptimalMechanism, PrivacyLevel, SideInformation,
-        SquaredError, StageRelease, TableLoss, ToleranceError, ZeroOneError,
+        appendix_b_mechanism, audit_mechanism, collusion_experiment, derive_from_geometric,
+        derive_post_processing, empirical_distribution, geometric_mechanism, randomized_response,
+        sample_geometric_output, theorem2_check, total_variation_distance, transition_matrix,
+        AbsoluteError, BayesianConsumer, ConsumerKind, CoreError, DerivabilityCheck, Interaction,
+        LossFunction, Mechanism, MinimaxConsumer, MultiLevelRelease, OptimalMechanism, PivotStats,
+        PricingRule, PrivacyEngine, PrivacyLevel, RequestConsumer, SideInformation, Solve,
+        SolveRequest, SolveStrategy, SolverOptions, SquaredError, StageRelease, TableLoss,
+        ToleranceError, ValidatedRequest, ZeroOneError,
+    };
+    #[allow(deprecated)] // seed call sites keep compiling through these shims
+    pub use privmech_core::{
+        bayesian_optimal_interaction, bayesian_optimal_mechanism, optimal_interaction,
+        optimal_mechanism,
     };
     pub use privmech_db::{
         CountQuery, Database, DatabaseMechanism, Predicate, Record, SyntheticPopulation,

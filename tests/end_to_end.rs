@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: database → count query → geometric release →
 //! consumer post-processing → optimality, plus the multi-level release and
-//! derivability machinery, all through the `privmech` facade.
+//! derivability machinery, all through the `privmech` facade's
+//! [`PrivacyEngine`] API.
 
 use std::sync::Arc;
 
@@ -27,8 +28,9 @@ fn flu_report_pipeline_reaches_tailored_optimum_for_every_consumer() {
     let n = database.len();
     assert!(true_count <= n);
 
+    let engine = PrivacyEngine::new();
     let level = PrivacyLevel::new(rat(1, 3)).unwrap();
-    let deployed = geometric_mechanism(n, &level).unwrap();
+    let deployed = engine.geometric(n, &level).unwrap();
     assert!(deployed.is_differentially_private(&level));
 
     // A released value is always in range.
@@ -37,37 +39,47 @@ fn flu_report_pipeline_reaches_tailored_optimum_for_every_consumer() {
 
     // Three consumers with different losses and side information all reach
     // their tailored optimum by post-processing the same deployed mechanism.
-    let consumers = vec![
-        MinimaxConsumer::new(
-            "government",
-            Arc::new(AbsoluteError) as Arc<dyn LossFunction<Rational> + Send + Sync>,
-            SideInformation::full(n),
-        )
-        .unwrap(),
-        MinimaxConsumer::new(
-            "drug-company",
-            Arc::new(SquaredError),
-            SideInformation::at_least(n, true_count.min(n)).unwrap(),
-        )
-        .unwrap(),
-        MinimaxConsumer::new(
-            "journalist",
-            Arc::new(ZeroOneError),
-            SideInformation::at_most(n, n - 1).unwrap(),
-        )
-        .unwrap(),
+    let requests: Vec<ValidatedRequest<Rational>> = vec![
+        SolveRequest::minimax()
+            .name("government")
+            .loss(Arc::new(AbsoluteError))
+            .support(n, 0..=n)
+            .at(level.clone())
+            .validate()
+            .unwrap(),
+        SolveRequest::minimax()
+            .name("drug-company")
+            .loss(Arc::new(SquaredError))
+            .support(n, true_count.min(n)..=n)
+            .at(level.clone())
+            .validate()
+            .unwrap(),
+        SolveRequest::minimax()
+            .name("journalist")
+            .loss(Arc::new(ZeroOneError))
+            .support(n, 0..n)
+            .at(level.clone())
+            .validate()
+            .unwrap(),
     ];
-    for consumer in &consumers {
-        let raw = consumer.disutility(&deployed).unwrap();
-        let interaction = optimal_interaction(&deployed, consumer).unwrap();
-        let tailored = optimal_mechanism(&level, consumer).unwrap();
-        assert!(interaction.loss <= raw, "{}", consumer.name());
-        assert_eq!(interaction.loss, tailored.loss, "{}", consumer.name());
+    for request in &requests {
+        let raw = request.consumer().disutility(&deployed).unwrap();
+        let interaction = engine.interact(&deployed, request).unwrap();
+        let tailored = engine.solve(request).unwrap();
+        assert!(interaction.loss <= raw, "{}", request.consumer().name());
+        assert_eq!(
+            interaction.loss,
+            tailored.loss,
+            "{}",
+            request.consumer().name()
+        );
         assert!(interaction.post_processing.is_row_stochastic());
         assert!(tailored.mechanism.is_differentially_private(&level));
         // The induced mechanism is derivable from the geometric mechanism
         // (Theorem 1's proof route through Theorem 2).
-        assert!(theorem2_check(&interaction.induced, &level).is_derivable());
+        assert!(engine
+            .check_derivability(&interaction.induced, &level)
+            .is_derivable());
     }
 }
 
@@ -80,12 +92,13 @@ fn multi_level_release_is_consistent_with_its_marginals() {
         PrivacyLevel::new(rat(1, 2)).unwrap(),
         PrivacyLevel::new(rat(2, 3)).unwrap(),
     ];
-    let release = MultiLevelRelease::new(n, levels).unwrap();
+    let engine = PrivacyEngine::new();
+    let release = engine.multi_level(n, levels).unwrap();
     let mut rng = StdRng::seed_from_u64(5);
 
     for (i, level) in release.levels().iter().enumerate() {
         let marginal = release.marginal_mechanism(i).unwrap();
-        assert_eq!(marginal, geometric_mechanism(n, level).unwrap());
+        assert_eq!(marginal, engine.geometric(n, level).unwrap());
         let audit = audit_mechanism(&marginal, level);
         assert!(audit.is_fully_compliant());
     }
@@ -103,16 +116,26 @@ fn multi_level_release_is_consistent_with_its_marginals() {
 #[test]
 fn tailored_optimum_is_derivable_from_the_geometric_mechanism() {
     let n = 4usize;
+    let engine = PrivacyEngine::new();
     let level = PrivacyLevel::new(rat(1, 4)).unwrap();
-    let consumer =
-        MinimaxConsumer::new("gov", Arc::new(AbsoluteError), SideInformation::full(n)).unwrap();
-    let tailored = optimal_mechanism(&level, &consumer).unwrap();
+    // The DirectLp strategy solves the Section 2.5 LP itself, so derivability
+    // of its optimal vertex is a *theorem* (Section 4.2), not a construction
+    // artifact like it is for the default factorization strategy.
+    let request = SolveRequest::<Rational>::minimax()
+        .name("gov")
+        .loss(Arc::new(AbsoluteError))
+        .support(n, 0..=n)
+        .at(level.clone())
+        .strategy(SolveStrategy::DirectLp)
+        .validate()
+        .unwrap();
+    let tailored = engine.solve(&request).unwrap();
 
     // Section 4.2: every optimal mechanism is derivable from the geometric
     // mechanism.
-    let t = derive_from_geometric(&tailored.mechanism, &level).unwrap();
+    let t = engine.derive(&tailored.mechanism, &level).unwrap();
     assert!(t.is_row_stochastic());
-    let g = geometric_mechanism(n, &level).unwrap();
+    let g = engine.geometric(n, &level).unwrap();
     assert_eq!(
         g.matrix().matmul(&t).unwrap(),
         tailored.mechanism.matrix().clone()
@@ -130,30 +153,52 @@ fn tailored_optimum_is_derivable_from_the_geometric_mechanism() {
 /// Facade error paths: every misuse produces a typed error, never a panic.
 #[test]
 fn facade_error_paths_are_typed() {
-    // Invalid alpha.
+    // Invalid alpha — both directly and through the request builder.
     assert!(PrivacyLevel::new(rat(5, 4)).is_err());
+    assert!(matches!(
+        SolveRequest::<Rational>::minimax()
+            .loss(Arc::new(AbsoluteError))
+            .support(4, 0..=4)
+            .privacy_level(rat(5, 4))
+            .validate(),
+        Err(CoreError::InvalidAlpha { .. })
+    ));
     // Empty side information.
     assert!(SideInformation::new(4, Vec::<usize>::new()).is_err());
+    assert!(matches!(
+        SolveRequest::<Rational>::minimax()
+            .loss(Arc::new(AbsoluteError))
+            .support(4, std::iter::empty())
+            .privacy_level(rat(1, 4))
+            .validate(),
+        Err(CoreError::InvalidSideInformation { .. })
+    ));
     // Mechanism with a non-stochastic row.
     assert!(
         Mechanism::from_rows(vec![vec![rat(1, 2), rat(1, 4)], vec![rat(1, 2), rat(1, 2)]]).is_err()
     );
     // Multi-level release with decreasing levels.
-    assert!(MultiLevelRelease::<Rational>::new(
-        3,
-        vec![
-            PrivacyLevel::new(rat(1, 2)).unwrap(),
-            PrivacyLevel::new(rat(1, 4)).unwrap(),
-        ],
-    )
-    .is_err());
+    let engine = PrivacyEngine::new();
+    assert!(engine
+        .multi_level::<Rational>(
+            3,
+            vec![
+                PrivacyLevel::new(rat(1, 2)).unwrap(),
+                PrivacyLevel::new(rat(1, 4)).unwrap(),
+            ],
+        )
+        .is_err());
     // Consumer/mechanism dimension mismatch.
     let level = PrivacyLevel::new(rat(1, 3)).unwrap();
-    let g = geometric_mechanism(3, &level).unwrap();
-    let consumer =
-        MinimaxConsumer::<Rational>::new("gov", Arc::new(AbsoluteError), SideInformation::full(7))
-            .unwrap();
-    assert!(optimal_interaction(&g, &consumer).is_err());
+    let g = engine.geometric::<Rational>(3, &level).unwrap();
+    let mismatched = SolveRequest::<Rational>::minimax()
+        .name("gov")
+        .loss(Arc::new(AbsoluteError))
+        .support(7, 0..=7)
+        .at(level)
+        .validate()
+        .unwrap();
+    assert!(engine.interact(&g, &mismatched).is_err());
     // Out-of-range sampling input.
     let mut rng = StdRng::seed_from_u64(0);
     assert!(g.sample(9, &mut rng).is_err());
@@ -164,13 +209,19 @@ fn facade_error_paths_are_typed() {
 #[test]
 fn baselines_are_dominated_by_the_geometric_route() {
     let n = 5usize;
+    let engine = PrivacyEngine::new();
     let level = PrivacyLevel::new(rat(1, 2)).unwrap();
-    let consumer =
-        MinimaxConsumer::new("gov", Arc::new(AbsoluteError), SideInformation::full(n)).unwrap();
-    let tailored = optimal_mechanism(&level, &consumer).unwrap();
+    let request = SolveRequest::<Rational>::minimax()
+        .name("gov")
+        .loss(Arc::new(AbsoluteError))
+        .support(n, 0..=n)
+        .at(level.clone())
+        .validate()
+        .unwrap();
+    let tailored = engine.solve(&request).unwrap();
     let rr = randomized_response(n, &level).unwrap();
     assert!(rr.is_differentially_private(&level));
-    assert!(tailored.loss <= consumer.disutility(&rr).unwrap());
-    let g = geometric_mechanism(n, &level).unwrap();
-    assert!(tailored.loss <= consumer.disutility(&g).unwrap());
+    assert!(tailored.loss <= request.consumer().disutility(&rr).unwrap());
+    let g = engine.geometric(n, &level).unwrap();
+    assert!(tailored.loss <= request.consumer().disutility(&g).unwrap());
 }
