@@ -11,6 +11,7 @@
 //! ```text
 //! bench-summary [--label <label>] [--output <path>] [--max-n <n>] [--reps <k>]
 //!               [--sweep] [--sweep-n <n>] [--sweep-points <k>] [--sweep-threads <t>]
+//!               [--serve] [--serve-n <n>] [--serve-points <k>] [--serve-repeat <r>]
 //! ```
 //!
 //! `--sweep` appends an α-sweep comparison record instead of the per-size
@@ -20,6 +21,13 @@
 //! DirectLp — results asserted bit-identical to the cold baseline), and (c)
 //! by the engine's default Theorem-1 factorization strategy (losses asserted
 //! bit-identical; mechanisms optimal and derivable by construction).
+//!
+//! `--serve` appends a serving-layer throughput record instead: an
+//! in-process `privmech-serve` server is driven over real TCP with a
+//! repeated-request workload of `serve-points` distinct exact solves at
+//! `serve-n`, measuring cold (all cache misses) against cached (all hits)
+//! per-request latency. Every cached response is asserted byte-identical to
+//! a cache-bypassing fresh solve before the record is written.
 //!
 //! The output file is JSON Lines: one self-contained record per invocation,
 //! so successive PRs build up a comparable history.
@@ -229,6 +237,99 @@ fn run_sweep(label: &str, n: usize, points: usize, threads: usize) -> String {
     )
 }
 
+/// The serving-layer acceptance benchmark: `points` distinct exact solves at
+/// size `n` driven through a real `privmech-serve` TCP round trip, cold
+/// (every request misses) vs cached (`repeat` hot passes, every request
+/// hits), with the cached ≡ uncached byte identity asserted per request.
+fn run_serve(label: &str, n: usize, points: usize, repeat: usize) -> String {
+    use privmech_serve::proto::{CacheDisposition, CacheMode, ConsumerSpec, LossSpec};
+    use privmech_serve::{client::Client, server, server::ServerConfig};
+
+    if points == 0 || repeat == 0 {
+        eprintln!("--serve-points and --serve-repeat must be at least 1");
+        std::process::exit(2);
+    }
+    let handle = server::spawn(ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let spec = ConsumerSpec::<Rational>::minimax(n, LossSpec::Absolute);
+    let alphas: Vec<Rational> = (1..=points)
+        .map(|k| rat(k as i64, points as i64 + 1))
+        .collect();
+
+    // Cold pass: every request computes and populates the cache.
+    eprintln!("serve cold: {points} distinct solves at n = {n} over TCP ...");
+    let start = Instant::now();
+    let cold_replies: Vec<_> = alphas
+        .iter()
+        .map(|alpha| client.solve(&spec, alpha, CacheMode::Use).expect("solve"))
+        .collect();
+    let cold_ns = start.elapsed().as_nanos();
+    assert!(
+        cold_replies
+            .iter()
+            .all(|r| r.cache == CacheDisposition::Miss),
+        "cold pass must miss on every distinct request"
+    );
+
+    // Hot passes: the same requests, answered from the cache.
+    eprintln!("serve cached: {repeat} hot passes over the same {points} requests ...");
+    let start = Instant::now();
+    let mut hits = 0usize;
+    for _ in 0..repeat {
+        for (alpha, cold) in alphas.iter().zip(&cold_replies) {
+            let reply = client.solve(&spec, alpha, CacheMode::Use).expect("solve");
+            assert_eq!(reply.cache, CacheDisposition::Hit, "hot pass must hit");
+            assert_eq!(
+                reply.raw, cold.raw,
+                "cached response must be byte-identical to the cold solve"
+            );
+            hits += 1;
+        }
+    }
+    let cached_ns = start.elapsed().as_nanos();
+
+    // Runtime bit-identity against *fresh* solves: bypass the cache entirely
+    // and compare bytes.
+    eprintln!("serve verify: cache-bypassing fresh solves vs cached responses ...");
+    for (alpha, cold) in alphas.iter().zip(&cold_replies) {
+        let fresh = client
+            .solve(&spec, alpha, CacheMode::Bypass)
+            .expect("bypass solve");
+        assert_eq!(
+            fresh.raw, cold.raw,
+            "uncached engine solve must render byte-identically"
+        );
+    }
+    let stats = client.cache_stats().expect("stats");
+    assert_eq!(stats.misses as usize, points);
+    assert_eq!(stats.hits as usize, hits);
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    let cold_per = cold_ns as f64 / points as f64;
+    let cached_per = cached_ns as f64 / (points * repeat) as f64;
+    let speedup = cold_per / cached_per;
+    eprintln!(
+        "cold: {:.3}ms/request | cached: {:.4}ms/request | {speedup:.1}x",
+        cold_per / 1e6,
+        cached_per / 1e6,
+    );
+    assert!(
+        speedup >= 5.0,
+        "acceptance: cached serving must be at least 5x cold, got {speedup:.2}x"
+    );
+
+    format!(
+        "{{\"label\": \"{label}\", \"serve\": {{\"n\": {n}, \"points\": {points}, \
+         \"repeat\": {repeat}, \"scalar\": \"rational\", \"transport\": \"tcp-loopback\", \
+         \"cold_ns\": {cold_ns}, \"cached_ns\": {cached_ns}, \
+         \"cold_per_request_ns\": {cold_per:.0}, \"cached_per_request_ns\": {cached_per:.0}, \
+         \"speedup_cached\": {speedup:.4}, \"bit_identical\": true, \
+         \"cache_hits\": {}, \"cache_misses\": {}}}}}",
+        stats.hits, stats.misses
+    )
+}
+
 fn main() {
     let mut label = "dev".to_string();
     let mut output = "BENCH_lp.json".to_string();
@@ -238,6 +339,10 @@ fn main() {
     let mut sweep_n = 6usize;
     let mut sweep_points = 16usize;
     let mut sweep_threads = 4usize;
+    let mut serve = false;
+    let mut serve_n = 6usize;
+    let mut serve_points = 8usize;
+    let mut serve_repeat = 50usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -280,18 +385,43 @@ fn main() {
                     .parse()
                     .expect("--sweep-threads needs an integer")
             }
+            "--serve" => serve = true,
+            "--serve-n" => {
+                serve_n = args
+                    .next()
+                    .expect("--serve-n needs a value")
+                    .parse()
+                    .expect("--serve-n needs an integer")
+            }
+            "--serve-points" => {
+                serve_points = args
+                    .next()
+                    .expect("--serve-points needs a value")
+                    .parse()
+                    .expect("--serve-points needs an integer")
+            }
+            "--serve-repeat" => {
+                serve_repeat = args
+                    .next()
+                    .expect("--serve-repeat needs a value")
+                    .parse()
+                    .expect("--serve-repeat needs an integer")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench-summary [--label L] [--output PATH] [--max-n N] [--reps K] \
-                     [--sweep] [--sweep-n N] [--sweep-points K] [--sweep-threads T]"
+                     [--sweep] [--sweep-n N] [--sweep-points K] [--sweep-threads T] \
+                     [--serve] [--serve-n N] [--serve-points K] [--serve-repeat R]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let record = if sweep {
+    let record = if serve {
+        run_serve(&label, serve_n, serve_points, serve_repeat)
+    } else if sweep {
         run_sweep(&label, sweep_n, sweep_points, sweep_threads)
     } else {
         let mut results = Vec::new();

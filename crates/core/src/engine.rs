@@ -422,6 +422,12 @@ impl<T: Scalar> ValidatedRequest<T> {
         self.strategy
     }
 
+    /// The simplex solver options.
+    #[must_use]
+    pub fn options(&self) -> &SolverOptions {
+        &self.options
+    }
+
     /// The query-range bound `n`.
     #[must_use]
     pub fn n(&self) -> usize {

@@ -49,7 +49,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod alpha;
 pub mod baselines;
@@ -57,6 +57,7 @@ pub mod consumer;
 pub mod derivability;
 pub mod engine;
 pub mod error;
+pub mod fingerprint;
 pub mod geometric;
 pub mod interaction;
 pub mod loss;
@@ -78,6 +79,7 @@ pub use engine::{
     ValidatedRequest,
 };
 pub use error::{CoreError, Result};
+pub use fingerprint::RequestFingerprint;
 pub use geometric::{
     g_prime_matrix, geometric_matrix, geometric_mechanism, lemma1_determinant,
     range_restricted_pmf, sample_geometric_output, sample_two_sided_geometric,

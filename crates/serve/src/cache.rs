@@ -1,0 +1,328 @@
+//! A sharded, in-process LRU response cache.
+//!
+//! The paper is why this cache is *correct*, not just fast: a tailored
+//! optimum depends only on the request content (Theorem 1 makes the same
+//! deployed mechanism optimal for every consumer), so one cached solve
+//! answers every client asking the same `(kind, n, α, loss, side-info)`
+//! question. Keys are the canonical fingerprints of
+//! [`privmech_core::RequestFingerprint`] composed with the operation and
+//! scalar tag; values are whatever the server rendered — byte-identical on
+//! every future hit because rendering is deterministic.
+//!
+//! Sharding: keys are distributed over `shards` independent mutexes by the
+//! fingerprint hash, so concurrent workers contend only when they touch the
+//! same shard. Each shard runs an exact LRU (doubly-linked list over a slab),
+//! so eviction is O(1) and strictly least-recently-*used* order — a `get`
+//! refreshes recency, an overwriting `insert` refreshes it too.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use privmech_core::fingerprint::fnv1a;
+
+/// Point-in-time counters of a [`ShardedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Total capacity across shards.
+    pub capacity: usize,
+    /// Number of shards.
+    pub shards: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry<V> {
+    key: String,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an exact LRU over a slab-backed doubly-linked list.
+struct LruShard<V> {
+    map: HashMap<String, usize>,
+    slab: Vec<Entry<V>>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V: Clone> LruShard<V> {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<V> {
+        let slot = *self.map.get(key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(self.slab[slot].value.clone())
+    }
+
+    /// Insert or overwrite; returns the number of evictions performed (0/1).
+    fn insert(&mut self, key: &str, value: V) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        if let Some(&slot) = self.map.get(key) {
+            self.slab[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return 0;
+        }
+        let mut evictions = 0;
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = std::mem::take(&mut self.slab[victim].key);
+            self.map.remove(&old_key);
+            self.free.push(victim);
+            evictions = 1;
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot].key = key.to_string();
+                self.slab[slot].value = value;
+                slot
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: key.to_string(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.push_front(slot);
+        self.map.insert(key.to_string(), slot);
+        evictions
+    }
+
+    /// Keys from most to least recently used (test/introspection helper).
+    fn keys_by_recency(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut slot = self.head;
+        while slot != NIL {
+            out.push(self.slab[slot].key.clone());
+            slot = self.slab[slot].next;
+        }
+        out
+    }
+}
+
+/// A thread-safe cache of `String → V` with per-shard exact LRU eviction and
+/// global hit/miss/eviction counters.
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<LruShard<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    capacity: usize,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// A cache holding up to `capacity` entries spread over `shards` shards
+    /// (both clamped to at least 1; per-shard capacity is the ceiling
+    /// division, so total capacity is within `shards - 1` of the request).
+    /// A `capacity` of 0 disables storage: every lookup misses.
+    #[must_use]
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            capacity: per_shard * shards,
+        }
+    }
+
+    fn shard_for(&self, key: &str) -> &Mutex<LruShard<V>> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    /// Look up a key, refreshing its recency on a hit. Counts a hit or miss.
+    pub fn get(&self, key: &str) -> Option<V> {
+        let found = self
+            .shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert or overwrite a key, evicting the shard's least recently used
+    /// entry if the shard is full.
+    pub fn insert(&self, key: &str, value: V) {
+        let evicted = self
+            .shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of resident entries (sums shard sizes; a racing snapshot).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counters and occupancy.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity,
+            shards: self.shards.len(),
+        }
+    }
+
+    /// Keys of one shard from most to least recently used (for tests; shard
+    /// indices follow the same hash used for placement).
+    #[must_use]
+    pub fn shard_keys_by_recency(&self, shard: usize) -> Vec<String> {
+        self.shards[shard]
+            .lock()
+            .expect("cache shard poisoned")
+            .keys_by_recency()
+    }
+
+    /// The shard index a key maps to (stable for a given shard count).
+    #[must_use]
+    pub fn shard_index(&self, key: &str) -> usize {
+        (fnv1a(key.as_bytes()) % self.shards.len() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_lru_evicts_least_recently_used() {
+        let cache: ShardedCache<u32> = ShardedCache::new(3, 1);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        cache.insert("c", 3);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert_eq!(cache.get("a"), Some(1));
+        cache.insert("d", 4);
+        assert_eq!(cache.get("b"), None, "b was least recently used");
+        assert_eq!(cache.get("a"), Some(1));
+        assert_eq!(cache.get("c"), Some(3));
+        assert_eq!(cache.get("d"), Some(4));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(cache.shard_keys_by_recency(0), vec!["d", "c", "a"]);
+    }
+
+    #[test]
+    fn overwrite_refreshes_recency_without_eviction() {
+        let cache: ShardedCache<u32> = ShardedCache::new(2, 1);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        cache.insert("a", 10); // overwrite: no eviction, "b" is now LRU
+        assert_eq!(cache.stats().evictions, 0);
+        cache.insert("c", 3);
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("a"), Some(10));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache: ShardedCache<u32> = ShardedCache::new(0, 4);
+        cache.insert("a", 1);
+        assert_eq!(cache.get("a"), None);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().capacity, 0);
+    }
+
+    #[test]
+    fn slab_slots_are_reused_after_eviction() {
+        let cache: ShardedCache<u32> = ShardedCache::new(2, 1);
+        for i in 0..100u32 {
+            cache.insert(&format!("k{i}"), i);
+        }
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 98);
+        assert_eq!(cache.get("k99"), Some(99));
+        assert_eq!(cache.get("k98"), Some(98));
+        // The slab never grew past capacity + nothing.
+        let shard = cache.shards[0].lock().unwrap();
+        assert!(shard.slab.len() <= 2);
+    }
+}

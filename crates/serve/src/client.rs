@@ -1,0 +1,391 @@
+//! A small blocking client for the v1 protocol.
+//!
+//! One [`Client`] owns one connection and issues one request at a time
+//! (responses come back in order; open more clients for more concurrency —
+//! the server serves each connection on its own worker). The typed helpers
+//! ([`Client::solve`], [`Client::sweep`], [`Client::interact`]) mirror the
+//! engine API; [`Client::call`] sends a raw JSON request for everything else.
+//!
+//! Every typed reply carries `raw`: the canonical serialization of the
+//! response's `result` object. Two replies are byte-identical exactly when
+//! their `raw` strings are equal — this is how callers check the cached ≡
+//! uncached contract end to end.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use privmech_core::PivotStats;
+
+use crate::frame::{read_frame, write_frame};
+use crate::json::{self, Json};
+use crate::proto::{
+    rows_from_wire, stats_from_wire, CacheDisposition, CacheMode, ConsumerSpec, WireError,
+    WireScalar, PROTOCOL_VERSION,
+};
+
+/// Client-side failure: transport, protocol, or a server-reported error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or framing failure.
+    Io(io::Error),
+    /// The server answered, but not with the schema this client expects.
+    Protocol(String),
+    /// The server reported an error response.
+    Server(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A solve (or one sweep entry) as decoded from the wire.
+#[derive(Debug, Clone)]
+pub struct SolveReply<T> {
+    /// The privacy level the solve answered.
+    pub alpha: T,
+    /// The consumer's optimal loss.
+    pub loss: T,
+    /// The tailored optimal mechanism, row by row.
+    pub mechanism: Vec<Vec<T>>,
+    /// Simplex pivot statistics of the underlying solve.
+    pub stats: PivotStats,
+}
+
+/// An `interact` result as decoded from the wire.
+#[derive(Debug, Clone)]
+pub struct InteractReply<T> {
+    /// The consumer's loss after optimal post-processing.
+    pub loss: T,
+    /// The optimal post-processing matrix `T*`.
+    pub post_processing: Vec<Vec<T>>,
+    /// The induced mechanism (deployed · `T*`).
+    pub induced: Vec<Vec<T>>,
+    /// Simplex pivot statistics of the interaction LP.
+    pub stats: PivotStats,
+}
+
+/// A typed reply plus its transport metadata.
+#[derive(Debug, Clone)]
+pub struct Reply<R> {
+    /// The decoded result.
+    pub value: R,
+    /// How the server answered (hit / miss / bypass).
+    pub cache: CacheDisposition,
+    /// Canonical serialization of the `result` object — byte-comparable
+    /// across replies.
+    pub raw: String,
+}
+
+/// Server cache counters as reported by the `stats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStatsReply {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that computed fresh.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Total capacity.
+    pub capacity: u64,
+    /// Shard count.
+    pub shards: u64,
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 0,
+        })
+    }
+
+    /// Send a raw request object (the `v` and `id` fields are filled in) and
+    /// return the raw response object. Server-side errors come back as
+    /// [`ClientError::Server`].
+    pub fn call(&mut self, request: Json) -> Result<Json, ClientError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let mut framed = Json::obj()
+            .with("v", Json::num_u64(PROTOCOL_VERSION))
+            .with("id", Json::num_u64(id));
+        if let (Json::Obj(dst), Json::Obj(src)) = (&mut framed, request) {
+            dst.extend(src);
+        }
+        write_frame(&mut self.writer, json::to_string(&framed).as_bytes())?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".to_string()))?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| ClientError::Protocol("response is not UTF-8".to_string()))?;
+        let response =
+            json::parse(text).map_err(|e| ClientError::Protocol(format!("bad response: {e}")))?;
+        if response.get("id").and_then(Json::as_u64) != Some(id) {
+            return Err(ClientError::Protocol("response id mismatch".to_string()));
+        }
+        match response.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(response),
+            Some(false) => {
+                let error = response.get("error");
+                let code = error
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("internal");
+                let message = error
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                // Return the server's code through a static table so the
+                // WireError keeps its &'static str code type.
+                Err(ClientError::Server(WireError::new(
+                    intern_code(code),
+                    message,
+                )))
+            }
+            None => Err(ClientError::Protocol(
+                "response lacks an \"ok\" field".to_string(),
+            )),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let response = self.call(Json::obj().with("op", Json::str("ping")))?;
+        match result_of(&response)?.get("pong").and_then(Json::as_bool) {
+            Some(true) => Ok(()),
+            _ => Err(ClientError::Protocol("ping got no pong".to_string())),
+        }
+    }
+
+    /// Fetch the server's cache counters.
+    pub fn cache_stats(&mut self) -> Result<CacheStatsReply, ClientError> {
+        let response = self.call(Json::obj().with("op", Json::str("stats")))?;
+        let result = result_of(&response)?;
+        let field = |name: &str| {
+            result
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Protocol(format!("stats reply lacks \"{name}\"")))
+        };
+        Ok(CacheStatsReply {
+            hits: field("hits")?,
+            misses: field("misses")?,
+            evictions: field("evictions")?,
+            entries: field("entries")?,
+            capacity: field("capacity")?,
+            shards: field("shards")?,
+        })
+    }
+
+    /// Ask the server to stop accepting connections and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.call(Json::obj().with("op", Json::str("shutdown")))
+            .map(|_| ())
+    }
+
+    /// Solve one request at one privacy level.
+    pub fn solve<T: WireScalar>(
+        &mut self,
+        spec: &ConsumerSpec<T>,
+        alpha: &T,
+        cache: CacheMode,
+    ) -> Result<Reply<SolveReply<T>>, ClientError> {
+        let request = spec
+            .encode_onto(
+                Json::obj()
+                    .with("op", Json::str("solve"))
+                    .with("scalar", Json::str(T::TAG))
+                    .with("cache", Json::str(cache.as_wire())),
+            )
+            .with("alpha", alpha.to_wire());
+        let response = self.call(request)?;
+        let (result, cache, raw) = cached_result(&response)?;
+        Ok(Reply {
+            value: decode_solve(result)?,
+            cache,
+            raw,
+        })
+    }
+
+    /// Solve one request at a batch of privacy levels.
+    pub fn sweep<T: WireScalar>(
+        &mut self,
+        spec: &ConsumerSpec<T>,
+        alphas: &[T],
+        cache: CacheMode,
+    ) -> Result<Reply<Vec<SolveReply<T>>>, ClientError> {
+        let request = spec
+            .encode_onto(
+                Json::obj()
+                    .with("op", Json::str("sweep"))
+                    .with("scalar", Json::str(T::TAG))
+                    .with("cache", Json::str(cache.as_wire())),
+            )
+            .with(
+                "alphas",
+                Json::Arr(alphas.iter().map(WireScalar::to_wire).collect()),
+            );
+        let response = self.call(request)?;
+        let (result, cache, raw) = cached_result(&response)?;
+        let solves = result
+            .get("solves")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Protocol("sweep reply lacks \"solves\"".to_string()))?;
+        let value = solves
+            .iter()
+            .map(decode_solve)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Reply { value, cache, raw })
+    }
+
+    /// Optimal post-processing of a deployed mechanism.
+    pub fn interact<T: WireScalar>(
+        &mut self,
+        spec: &ConsumerSpec<T>,
+        mechanism: &[Vec<T>],
+        cache: CacheMode,
+    ) -> Result<Reply<InteractReply<T>>, ClientError> {
+        let request = spec
+            .encode_onto(
+                Json::obj()
+                    .with("op", Json::str("interact"))
+                    .with("scalar", Json::str(T::TAG))
+                    .with("cache", Json::str(cache.as_wire())),
+            )
+            .with(
+                "mechanism",
+                Json::Arr(
+                    mechanism
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(WireScalar::to_wire).collect()))
+                        .collect(),
+                ),
+            );
+        let response = self.call(request)?;
+        let (result, cache, raw) = cached_result(&response)?;
+        let loss = scalar_reply_field::<T>(result, "loss")?;
+        let post_processing = rows_from_wire(result.get("post_processing").ok_or_else(|| {
+            ClientError::Protocol("interact reply lacks \"post_processing\"".to_string())
+        })?)
+        .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let induced = rows_from_wire(result.get("induced").ok_or_else(|| {
+            ClientError::Protocol("interact reply lacks \"induced\"".to_string())
+        })?)
+        .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let stats = result
+            .get("stats")
+            .and_then(stats_from_wire)
+            .ok_or_else(|| ClientError::Protocol("interact reply lacks \"stats\"".to_string()))?;
+        Ok(Reply {
+            value: InteractReply {
+                loss,
+                post_processing,
+                induced,
+                stats,
+            },
+            cache,
+            raw,
+        })
+    }
+}
+
+fn result_of(response: &Json) -> Result<&Json, ClientError> {
+    response
+        .get("result")
+        .ok_or_else(|| ClientError::Protocol("response lacks a \"result\"".to_string()))
+}
+
+fn cached_result(response: &Json) -> Result<(&Json, CacheDisposition, String), ClientError> {
+    let result = result_of(response)?;
+    let cache = response
+        .get("cache")
+        .and_then(CacheDisposition::from_wire)
+        .ok_or_else(|| ClientError::Protocol("response lacks a \"cache\" field".to_string()))?;
+    Ok((result, cache, json::to_string(result)))
+}
+
+fn scalar_reply_field<T: WireScalar>(result: &Json, field: &str) -> Result<T, ClientError> {
+    result
+        .get(field)
+        .and_then(T::from_wire)
+        .ok_or_else(|| ClientError::Protocol(format!("reply lacks a scalar \"{field}\"")))
+}
+
+fn decode_solve<T: WireScalar>(result: &Json) -> Result<SolveReply<T>, ClientError> {
+    let alpha = scalar_reply_field::<T>(result, "alpha")?;
+    let loss = scalar_reply_field::<T>(result, "loss")?;
+    let mechanism = rows_from_wire(
+        result
+            .get("mechanism")
+            .ok_or_else(|| ClientError::Protocol("solve reply lacks \"mechanism\"".to_string()))?,
+    )
+    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+    let stats = result
+        .get("stats")
+        .and_then(stats_from_wire)
+        .ok_or_else(|| ClientError::Protocol("solve reply lacks \"stats\"".to_string()))?;
+    Ok(SolveReply {
+        alpha,
+        loss,
+        mechanism,
+        stats,
+    })
+}
+
+/// Map a server error code onto its static form (unknown codes collapse to
+/// `"internal"` — the message still carries the original text).
+fn intern_code(code: &str) -> &'static str {
+    const CODES: &[&str] = &[
+        "unsupported_version",
+        "malformed_frame",
+        "malformed_json",
+        "bad_request",
+        "unknown_op",
+        "unsupported_scalar",
+        "invalid_alpha",
+        "invalid_mechanism",
+        "invalid_post_processing",
+        "non_monotone_loss",
+        "invalid_side_information",
+        "invalid_prior",
+        "invalid_privacy_levels",
+        "not_derivable",
+        "invalid_request",
+        "input_out_of_range",
+        "linalg_error",
+        "lp_error",
+        "cache_verify_failed",
+    ];
+    CODES
+        .iter()
+        .find(|&&c| c == code)
+        .copied()
+        .unwrap_or("internal")
+}

@@ -1,0 +1,613 @@
+//! A minimal, dependency-free JSON value with a deterministic serializer.
+//!
+//! The serving layer needs exactly three properties from its wire format, and
+//! this module is built around them:
+//!
+//! 1. **Lexical number preservation.** [`Json::Num`] stores the *text* of the
+//!    number, not a parsed `f64`, so a value survives a parse → serialize
+//!    round trip bit for bit. Exact rationals travel as strings anyway, and
+//!    `f64` payloads are rendered with Rust's shortest round-tripping `{:?}`
+//!    format, so number text equality coincides with IEEE equality.
+//! 2. **Deterministic serialization.** Objects keep insertion order
+//!    ([`Json::Obj`] is an ordered list of pairs) and the writer has no
+//!    configuration, so the same value always renders to the same bytes —
+//!    this is what makes "cached response ≡ freshly computed response"
+//!    checkable by byte comparison.
+//! 3. **Bounded, total parsing.** The recursive-descent parser enforces a
+//!    nesting-depth limit and returns positioned errors instead of panicking
+//!    on any input.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts before rejecting the document.
+pub const MAX_DEPTH: usize = 64;
+
+/// A JSON value. Numbers keep their lexical form; objects keep insertion
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its canonical textual form.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered list of `(key, value)` pairs.
+    Obj(Vec<(String, Json)>),
+    /// Pre-rendered JSON spliced verbatim into the output.
+    ///
+    /// The server's cache-hit path stores *rendered* result objects
+    /// (`Arc<str>`); this variant lets them be embedded into a response
+    /// envelope without re-parsing or deep-cloning a tree. The contained
+    /// text must itself be canonical JSON produced by [`to_string`] — the
+    /// parser never creates this variant, and field accessors treat it as
+    /// opaque.
+    Raw(std::sync::Arc<str>),
+}
+
+impl Json {
+    /// An object builder starting empty.
+    #[must_use]
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key/value pair (builder style; only meaningful on `Obj`).
+    #[must_use]
+    pub fn with(mut self, key: &str, value: Json) -> Json {
+        if let Json::Obj(pairs) = &mut self {
+            pairs.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// A string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An unsigned integer number.
+    #[must_use]
+    pub fn num_u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A signed integer number.
+    #[must_use]
+    pub fn num_i64(v: i64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A finite double, rendered with the shortest round-tripping decimal
+    /// form. Returns `None` for NaN or infinities, which JSON cannot express.
+    #[must_use]
+    pub fn num_f64(v: f64) -> Option<Json> {
+        if !v.is_finite() {
+            return None;
+        }
+        // Rust's Debug for f64 is the shortest string that parses back to the
+        // same bits ("0.25", "1e300", "1.5e-8"), which is also valid JSON.
+        Some(Json::Num(format!("{v:?}")))
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, if this is an integral number in range.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `usize`, if this is an integral number in range.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The raw lexical text of the number, if this is a number.
+    #[must_use]
+    pub fn num_text(&self) -> Option<&str> {
+        match self {
+            Json::Num(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialize a value to its canonical textual form.
+#[must_use]
+pub fn to_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+fn write_value(out: &mut String, value: &Json) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(text) => out.push_str(text),
+        Json::Str(s) => write_string(out, s),
+        Json::Raw(text) => out.push_str(text),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A positioned parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document (rejects trailing garbage).
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected '{text}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting depth limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.error(format!("unexpected character '{}'", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 (it is a &str) and we only stopped
+                // on ASCII boundaries, so this slice is valid UTF-8 too.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8"));
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.error("raw control character in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let c = self.peek().ok_or_else(|| self.error("truncated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{08}'),
+            b'f' => out.push('\u{0c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xd800..0xdc00).contains(&hi) {
+                    // Surrogate pair: a low surrogate must follow.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')
+                            .map_err(|_| self.error("high surrogate not followed by \\u"))?;
+                        let lo = self.hex4()?;
+                        if !(0xdc00..0xe000).contains(&lo) {
+                            return Err(self.error("invalid low surrogate"));
+                        }
+                        0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                    } else {
+                        return Err(self.error("unpaired high surrogate"));
+                    }
+                } else if (0xdc00..0xe000).contains(&hi) {
+                    return Err(self.error("unpaired low surrogate"));
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.error("invalid code point"))?);
+            }
+            _ => return Err(self.error("unknown escape")),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("non-hex digit in \\u escape"))?;
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: "0" or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("malformed number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        Ok(Json::Num(text.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_preserve_bytes() {
+        for doc in [
+            "null",
+            "true",
+            "[1,2.5,-3e10,0.25]",
+            r#"{"a":1,"b":[{"c":"x"},null],"d":"\" \\ \n"}"#,
+            r#""plain""#,
+            "[[[[1]]]]",
+        ] {
+            let v = parse(doc).unwrap();
+            assert_eq!(to_string(&v), doc, "lexical round trip for {doc}");
+        }
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(to_string(&v), r#"{"z":1,"a":2}"#);
+        assert_eq!(v.get("z").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(2));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn escapes_round_trip_semantically() {
+        let v = parse(r#""a\u0041\t\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\t\u{e9}\u{1f600}"));
+        // Re-serialization writes the characters directly (semantic identity).
+        let re = parse(&to_string(&v)).unwrap();
+        assert_eq!(re, v);
+    }
+
+    #[test]
+    fn f64_shortest_form_round_trips() {
+        for x in [0.25, 1.0 / 3.0, 1e300, -1.5e-8, 0.1 + 0.2] {
+            let j = Json::num_f64(x).unwrap();
+            assert_eq!(j.as_f64(), Some(x), "exact bits for {x}");
+            let re = parse(&to_string(&j)).unwrap();
+            assert_eq!(re.as_f64(), Some(x));
+        }
+        assert!(Json::num_f64(f64::NAN).is_none());
+        assert!(Json::num_f64(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,",
+            "01",
+            "1.",
+            "1e",
+            "\"abc",
+            "nul",
+            "[1] 2",
+            "{\"a\"}",
+            "+1",
+            "\"\\x\"",
+            "\"\\ud800\"",
+            "\u{1}".trim_start(),
+        ] {
+            assert!(parse(doc).is_err(), "should reject {doc:?}");
+        }
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 2),
+            "]".repeat(MAX_DEPTH + 2)
+        );
+        assert!(parse(&deep).is_err(), "depth limit");
+    }
+
+    #[test]
+    fn raw_splices_verbatim() {
+        let inner = parse(r#"{"loss":"168/415","n":3}"#).unwrap();
+        let rendered: std::sync::Arc<str> = to_string(&inner).into();
+        let envelope = Json::obj()
+            .with("ok", Json::Bool(true))
+            .with("result", Json::Raw(std::sync::Arc::clone(&rendered)));
+        let spliced = to_string(&envelope);
+        assert_eq!(spliced, r#"{"ok":true,"result":{"loss":"168/415","n":3}}"#);
+        // The splice is indistinguishable from embedding the tree.
+        let tree = Json::obj()
+            .with("ok", Json::Bool(true))
+            .with("result", inner);
+        assert_eq!(spliced, to_string(&tree));
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let v = Json::obj()
+            .with("op", Json::str("ping"))
+            .with("id", Json::num_u64(7))
+            .with("neg", Json::num_i64(-3))
+            .with("flag", Json::Bool(true));
+        assert_eq!(
+            to_string(&v),
+            r#"{"op":"ping","id":7,"neg":-3,"flag":true}"#
+        );
+        assert_eq!(v.get("id").and_then(Json::as_usize), Some(7));
+        assert_eq!(v.get("flag").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("ping"));
+    }
+}

@@ -1,0 +1,74 @@
+//! # privmech-serve
+//!
+//! A cached, batched TCP serving layer over
+//! [`PrivacyEngine`](privmech_core::PrivacyEngine).
+//!
+//! The paper's central result (Theorem 1) is what makes a *server* the right
+//! shape for this workload: one mechanism is simultaneously optimal for
+//! every minimax consumer, so a solve result depends only on the request
+//! content — `(kind, n, α, loss, side information)` — and is perfectly
+//! shareable across clients. This crate turns that observation into
+//! infrastructure:
+//!
+//! * a **wire protocol**: length-prefixed JSON frames over TCP (see
+//!   [`frame`], [`json`], [`proto`] and the prose spec in
+//!   `crates/serve/PROTOCOL.md`),
+//! * a **multi-threaded request loop** ([`server`]) mapping wire requests
+//!   onto [`PrivacyEngine::solve`](privmech_core::PrivacyEngine::solve) /
+//!   [`sweep`](privmech_core::PrivacyEngine::sweep) /
+//!   [`interact`](privmech_core::PrivacyEngine::interact),
+//! * a **sharded LRU response cache** ([`cache`]) keyed on the canonical
+//!   request fingerprint
+//!   ([`ValidatedRequest::fingerprint`](privmech_core::ValidatedRequest::fingerprint)),
+//!   with hit/miss/eviction counters and a runtime-checkable guarantee that
+//!   cached responses are byte-identical to uncached solves,
+//! * a **blocking client** ([`client`]) with typed helpers mirroring the
+//!   engine API.
+//!
+//! Everything is hand-rolled on `std` — the build environment is offline, so
+//! no serde, no tokio (see the workspace shim policy in the root
+//! `Cargo.toml`).
+//!
+//! # Example
+//!
+//! Spin up an in-process server, solve the paper's flu-report example twice,
+//! and watch the second request come back from the cache:
+//!
+//! ```
+//! use privmech_numerics::{rat, Rational};
+//! use privmech_serve::client::Client;
+//! use privmech_serve::proto::{CacheDisposition, CacheMode, ConsumerSpec, LossSpec};
+//! use privmech_serve::server::{self, ServerConfig};
+//!
+//! let handle = server::spawn(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//!
+//! let government = ConsumerSpec::<Rational>::minimax(3, LossSpec::Absolute);
+//! let first = client.solve(&government, &rat(1, 4), CacheMode::Use).unwrap();
+//! let second = client.solve(&government, &rat(1, 4), CacheMode::Use).unwrap();
+//!
+//! assert_eq!(first.cache, CacheDisposition::Miss);
+//! assert_eq!(second.cache, CacheDisposition::Hit);
+//! // Byte-identical responses — the cache is invisible to results.
+//! assert_eq!(first.raw, second.raw);
+//! assert_eq!(first.value.loss, rat(168, 415)); // Table 1(a)
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod frame;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CacheStats, ShardedCache};
+pub use client::{CacheStatsReply, Client, ClientError, InteractReply, Reply, SolveReply};
+pub use json::Json;
+pub use proto::{
+    CacheDisposition, CacheMode, ConsumerSpec, LossSpec, WireError, WireScalar, PROTOCOL_VERSION,
+};
+pub use server::{spawn, ServerConfig, ServerHandle};

@@ -1,0 +1,681 @@
+//! The v1 request/response schema shared by the server and the client.
+//!
+//! The authoritative prose specification lives in `crates/serve/PROTOCOL.md`;
+//! this module is its executable form. Keep the two in sync: every schema
+//! field or error code added here must be documented there, and vice versa.
+//!
+//! Design notes:
+//!
+//! * Requests and responses are single JSON objects, one per frame (see
+//!   [`crate::frame`]). The `"v"` field carries the protocol major version;
+//!   a server answers exactly one major and rejects others with
+//!   `unsupported_version` (additive fields do not bump the version —
+//!   unknown fields are ignored).
+//! * Scalars travel in backend-tagged form (the request's `"scalar"` field):
+//!   exact rationals as strings (`"5/3"`, also accepting integer and decimal
+//!   literals), doubles as JSON numbers in shortest round-tripping form, so
+//!   IEEE equality coincides with lexical equality on the wire.
+
+use std::sync::Arc;
+
+use privmech_core::{
+    AbsoluteError, ConsumerKind, CoreError, Mechanism, PivotStats, SolveRequest, SolveStrategy,
+    SquaredError, TableLoss, ToleranceError, ValidatedRequest, ZeroOneError,
+};
+use privmech_linalg::{Matrix, Scalar};
+use privmech_numerics::Rational;
+
+use crate::json::Json;
+
+/// The protocol major version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on the query-range bound `n` a server accepts over the wire.
+///
+/// The request itself is tiny (`n` is one integer), so without this guard a
+/// 60-byte frame could demand an `(n+1)²` allocation and an astronomically
+/// large LP — an attack, not a workload (exact solves are already
+/// multi-minute by `n = 16`). Requests beyond the limit are rejected with
+/// `bad_request` before anything is allocated.
+pub const MAX_WIRE_N: usize = 1024;
+
+/// A schema- or computation-level failure, carried as `{code, message}` in
+/// error responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable machine-readable code (see `PROTOCOL.md` for the full table).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Build an error with a stable code.
+    #[must_use]
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Schema-level rejection (missing or ill-typed field).
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        WireError::new("bad_request", message)
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Map a [`CoreError`] onto its stable wire code. Field-level validation
+/// failures keep distinct codes so clients can react precisely.
+#[must_use]
+pub fn core_error_code(e: &CoreError) -> &'static str {
+    match e {
+        CoreError::InvalidAlpha { .. } => "invalid_alpha",
+        CoreError::InvalidMechanism { .. } => "invalid_mechanism",
+        CoreError::InvalidPostProcessing { .. } => "invalid_post_processing",
+        CoreError::NonMonotoneLoss { .. } => "non_monotone_loss",
+        CoreError::InvalidSideInformation { .. } => "invalid_side_information",
+        CoreError::InvalidPrior { .. } => "invalid_prior",
+        CoreError::InvalidPrivacyLevels { .. } => "invalid_privacy_levels",
+        CoreError::NotDerivable { .. } => "not_derivable",
+        CoreError::InvalidRequest { .. } => "invalid_request",
+        CoreError::InputOutOfRange { .. } => "input_out_of_range",
+        CoreError::Linalg(_) => "linalg_error",
+        CoreError::Lp(_) => "lp_error",
+    }
+}
+
+impl From<CoreError> for WireError {
+    fn from(e: CoreError) -> Self {
+        WireError::new(core_error_code(&e), e.to_string())
+    }
+}
+
+/// A scalar backend that can travel over the wire.
+pub trait WireScalar: Scalar + Send + Sync {
+    /// The request `"scalar"` tag selecting this backend.
+    const TAG: &'static str;
+
+    /// Encode one value.
+    fn to_wire(&self) -> Json;
+
+    /// Decode one value; `None` on type or syntax mismatch.
+    fn from_wire(value: &Json) -> Option<Self>;
+}
+
+impl WireScalar for Rational {
+    const TAG: &'static str = "rational";
+
+    fn to_wire(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+
+    fn from_wire(value: &Json) -> Option<Self> {
+        // Strings are the canonical form ("5/3"); integer and decimal JSON
+        // numbers are accepted for convenience and converted exactly.
+        let text = value.as_str().or_else(|| value.num_text())?;
+        text.parse().ok()
+    }
+}
+
+impl WireScalar for f64 {
+    const TAG: &'static str = "f64";
+
+    fn to_wire(&self) -> Json {
+        Json::num_f64(*self).unwrap_or(Json::Null)
+    }
+
+    fn from_wire(value: &Json) -> Option<Self> {
+        let v = value.as_f64()?;
+        v.is_finite().then_some(v)
+    }
+}
+
+/// The loss-function part of a wire request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LossSpec<T: Scalar> {
+    /// Mean absolute error `|i - r|`.
+    Absolute,
+    /// Squared error `(i - r)²`.
+    Squared,
+    /// 0/1 error `[i ≠ r]`.
+    ZeroOne,
+    /// Hinge loss, free within `width` units.
+    Tolerance(usize),
+    /// An explicit `(n+1) × (n+1)` table (validated for monotonicity
+    /// server-side).
+    Table(Vec<Vec<T>>),
+}
+
+impl<T: WireScalar> LossSpec<T> {
+    /// Encode as the request's `"loss"` field.
+    #[must_use]
+    pub fn to_wire(&self) -> Json {
+        match self {
+            LossSpec::Absolute => Json::str("absolute"),
+            LossSpec::Squared => Json::str("squared"),
+            LossSpec::ZeroOne => Json::str("zero-one"),
+            LossSpec::Tolerance(width) => Json::obj()
+                .with("kind", Json::str("tolerance"))
+                .with("width", Json::num_u64(*width as u64)),
+            LossSpec::Table(rows) => Json::obj().with("kind", Json::str("table")).with(
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|row| Json::Arr(row.iter().map(WireScalar::to_wire).collect()))
+                        .collect(),
+                ),
+            ),
+        }
+    }
+
+    /// Decode the request's `"loss"` field.
+    pub fn from_wire(value: &Json) -> Result<Self, WireError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "absolute" => Ok(LossSpec::Absolute),
+                "squared" => Ok(LossSpec::Squared),
+                "zero-one" => Ok(LossSpec::ZeroOne),
+                other => Err(WireError::bad_request(format!("unknown loss \"{other}\""))),
+            };
+        }
+        match value.get("kind").and_then(Json::as_str) {
+            Some("tolerance") => {
+                let width = value
+                    .get("width")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| WireError::bad_request("tolerance loss needs a width"))?;
+                Ok(LossSpec::Tolerance(width))
+            }
+            Some("table") => {
+                let rows = value
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| WireError::bad_request("table loss needs rows"))?;
+                let mut table = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let cells = row
+                        .as_arr()
+                        .ok_or_else(|| WireError::bad_request("table rows must be arrays"))?;
+                    let mut out = Vec::with_capacity(cells.len());
+                    for cell in cells {
+                        out.push(T::from_wire(cell).ok_or_else(|| {
+                            WireError::bad_request("unparsable scalar in loss table")
+                        })?);
+                    }
+                    table.push(out);
+                }
+                Ok(LossSpec::Table(table))
+            }
+            _ => Err(WireError::bad_request(
+                "loss must be a builtin name or {kind: tolerance|table, ...}",
+            )),
+        }
+    }
+}
+
+/// The consumer part of a wire request: everything except the privacy
+/// level(s), matching the shareable content of a solve (one cache entry
+/// serves every consumer with the same spec and α).
+#[derive(Debug, Clone)]
+pub struct ConsumerSpec<T: Scalar> {
+    /// Minimax or Bayesian.
+    pub kind: ConsumerKind,
+    /// Query-range bound `n`.
+    pub n: usize,
+    /// Minimax side information (`None` = full `{0, …, n}`).
+    pub support: Option<Vec<usize>>,
+    /// Bayesian prior over `{0, …, n}`.
+    pub prior: Option<Vec<T>>,
+    /// The loss function.
+    pub loss: LossSpec<T>,
+    /// Solve strategy (ignored by `interact`).
+    pub strategy: SolveStrategy,
+}
+
+impl<T: WireScalar> ConsumerSpec<T> {
+    /// A minimax spec with full side information and the default strategy.
+    #[must_use]
+    pub fn minimax(n: usize, loss: LossSpec<T>) -> Self {
+        ConsumerSpec {
+            kind: ConsumerKind::Minimax,
+            n,
+            support: None,
+            prior: None,
+            loss,
+            strategy: SolveStrategy::default(),
+        }
+    }
+
+    /// A Bayesian spec (`n` is inferred from the prior length).
+    #[must_use]
+    pub fn bayesian(prior: Vec<T>, loss: LossSpec<T>) -> Self {
+        ConsumerSpec {
+            kind: ConsumerKind::Bayesian,
+            n: prior.len().saturating_sub(1),
+            support: None,
+            prior: Some(prior),
+            loss,
+            strategy: SolveStrategy::default(),
+        }
+    }
+
+    /// Restrict a minimax spec's side information.
+    #[must_use]
+    pub fn with_support(mut self, support: Vec<usize>) -> Self {
+        self.support = Some(support);
+        self
+    }
+
+    /// Select the solve strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SolveStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Append this spec's fields onto a request object.
+    #[must_use]
+    pub fn encode_onto(&self, mut obj: Json) -> Json {
+        obj = obj.with(
+            "kind",
+            Json::str(match self.kind {
+                ConsumerKind::Minimax => "minimax",
+                ConsumerKind::Bayesian => "bayesian",
+            }),
+        );
+        obj = obj.with("n", Json::num_u64(self.n as u64));
+        if let Some(support) = &self.support {
+            obj = obj.with(
+                "support",
+                Json::Arr(support.iter().map(|&m| Json::num_u64(m as u64)).collect()),
+            );
+        }
+        if let Some(prior) = &self.prior {
+            obj = obj.with(
+                "prior",
+                Json::Arr(prior.iter().map(WireScalar::to_wire).collect()),
+            );
+        }
+        obj = obj.with("loss", self.loss.to_wire());
+        obj.with(
+            "strategy",
+            Json::str(match self.strategy {
+                SolveStrategy::GeometricFactorization => "factorization",
+                SolveStrategy::DirectLp => "direct",
+            }),
+        )
+    }
+
+    /// Decode a spec from a request object.
+    pub fn from_wire(obj: &Json) -> Result<Self, WireError> {
+        let kind = match obj.get("kind").and_then(Json::as_str) {
+            Some("minimax") | None => ConsumerKind::Minimax,
+            Some("bayesian") => ConsumerKind::Bayesian,
+            Some(other) => {
+                return Err(WireError::bad_request(format!(
+                    "unknown consumer kind \"{other}\""
+                )))
+            }
+        };
+        let prior = match obj.get("prior") {
+            Some(value) => {
+                let cells = value
+                    .as_arr()
+                    .ok_or_else(|| WireError::bad_request("prior must be an array"))?;
+                let mut out = Vec::with_capacity(cells.len());
+                for cell in cells {
+                    out.push(
+                        T::from_wire(cell)
+                            .ok_or_else(|| WireError::bad_request("unparsable scalar in prior"))?,
+                    );
+                }
+                Some(out)
+            }
+            None => None,
+        };
+        let n = match (obj.get("n").and_then(Json::as_usize), &prior) {
+            (Some(n), _) => n,
+            (None, Some(p)) if !p.is_empty() => p.len() - 1,
+            _ => return Err(WireError::bad_request("request needs an integer n")),
+        };
+        if n > MAX_WIRE_N {
+            return Err(WireError::bad_request(format!(
+                "n = {n} exceeds the serving limit of {MAX_WIRE_N}"
+            )));
+        }
+        let support = match obj.get("support") {
+            Some(value) => {
+                let cells = value
+                    .as_arr()
+                    .ok_or_else(|| WireError::bad_request("support must be an array"))?;
+                let mut out = Vec::with_capacity(cells.len());
+                for cell in cells {
+                    out.push(cell.as_usize().ok_or_else(|| {
+                        WireError::bad_request("support members must be non-negative integers")
+                    })?);
+                }
+                Some(out)
+            }
+            None => None,
+        };
+        let loss = LossSpec::from_wire(
+            obj.get("loss")
+                .ok_or_else(|| WireError::bad_request("request needs a loss"))?,
+        )?;
+        let strategy = match obj.get("strategy").and_then(Json::as_str) {
+            Some("factorization") | None => SolveStrategy::GeometricFactorization,
+            Some("direct") => SolveStrategy::DirectLp,
+            Some(other) => {
+                return Err(WireError::bad_request(format!(
+                    "unknown strategy \"{other}\""
+                )))
+            }
+        };
+        Ok(ConsumerSpec {
+            kind,
+            n,
+            support,
+            prior,
+            loss,
+            strategy,
+        })
+    }
+
+    /// Build the typed core request at a privacy level. All consumer-level
+    /// validation (monotone loss, support bounds, stochastic prior) happens
+    /// here, inside [`SolveRequest::validate`].
+    pub fn to_request(&self, alpha: T) -> Result<ValidatedRequest<T>, WireError> {
+        let loss: Arc<dyn privmech_core::LossFunction<T> + Send + Sync> = match &self.loss {
+            LossSpec::Absolute => Arc::new(AbsoluteError),
+            LossSpec::Squared => Arc::new(SquaredError),
+            LossSpec::ZeroOne => Arc::new(ZeroOneError),
+            LossSpec::Tolerance(width) => Arc::new(ToleranceError { width: *width }),
+            LossSpec::Table(rows) => {
+                let matrix = Matrix::from_rows(rows.clone())
+                    .map_err(|e| WireError::from(CoreError::from(e)))?;
+                Arc::new(TableLoss::new(matrix, "wire-table").map_err(WireError::from)?)
+            }
+        };
+        let builder = match self.kind {
+            ConsumerKind::Minimax => {
+                let members = self
+                    .support
+                    .clone()
+                    .unwrap_or_else(|| (0..=self.n).collect());
+                SolveRequest::minimax().support(self.n, members)
+            }
+            ConsumerKind::Bayesian => {
+                let prior = self
+                    .prior
+                    .clone()
+                    .ok_or_else(|| WireError::bad_request("bayesian request needs a prior"))?;
+                SolveRequest::bayesian().prior(prior)
+            }
+        };
+        builder
+            .name("wire")
+            .loss(loss)
+            .privacy_level(alpha)
+            .strategy(self.strategy)
+            .validate()
+            .map_err(WireError::from)
+    }
+}
+
+/// Whether a request may be answered from (and recorded into) the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Normal operation: answer from the cache when possible, record misses.
+    #[default]
+    Use,
+    /// Compute fresh and leave the cache untouched (used by clients checking
+    /// the cached ≡ uncached bit-identity contract).
+    Bypass,
+}
+
+impl CacheMode {
+    /// Encode as the request's `"cache"` field value.
+    #[must_use]
+    pub fn as_wire(self) -> &'static str {
+        match self {
+            CacheMode::Use => "use",
+            CacheMode::Bypass => "bypass",
+        }
+    }
+
+    /// Decode the request's `"cache"` field (absent = `Use`).
+    pub fn from_wire(obj: &Json) -> Result<Self, WireError> {
+        match obj.get("cache").and_then(Json::as_str) {
+            None | Some("use") => Ok(CacheMode::Use),
+            Some("bypass") => Ok(CacheMode::Bypass),
+            Some(other) => Err(WireError::bad_request(format!(
+                "unknown cache mode \"{other}\""
+            ))),
+        }
+    }
+}
+
+/// How the server answered: from the cache, by solving, or with the cache
+/// bypassed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Served from the response cache.
+    Hit,
+    /// Solved and recorded into the cache.
+    Miss,
+    /// Solved fresh with the cache bypassed on request.
+    Bypass,
+}
+
+impl CacheDisposition {
+    /// Encode as the response's `"cache"` field value.
+    #[must_use]
+    pub fn as_wire(self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Bypass => "bypass",
+        }
+    }
+
+    /// Decode the response's `"cache"` field.
+    #[must_use]
+    pub fn from_wire(value: &Json) -> Option<Self> {
+        match value.as_str()? {
+            "hit" => Some(CacheDisposition::Hit),
+            "miss" => Some(CacheDisposition::Miss),
+            "bypass" => Some(CacheDisposition::Bypass),
+            _ => None,
+        }
+    }
+}
+
+/// Encode [`PivotStats`] as a response object.
+#[must_use]
+pub fn stats_to_wire(stats: &PivotStats) -> Json {
+    Json::obj()
+        .with("phase1_pivots", Json::num_u64(stats.phase1_pivots as u64))
+        .with("phase2_pivots", Json::num_u64(stats.phase2_pivots as u64))
+        .with(
+            "degenerate_pivots",
+            Json::num_u64(stats.degenerate_pivots as u64),
+        )
+        .with("dantzig_pivots", Json::num_u64(stats.dantzig_pivots as u64))
+        .with("bland_pivots", Json::num_u64(stats.bland_pivots as u64))
+        .with(
+            "fallback_activations",
+            Json::num_u64(stats.fallback_activations as u64),
+        )
+}
+
+/// Decode a response stats object.
+#[must_use]
+pub fn stats_from_wire(value: &Json) -> Option<PivotStats> {
+    Some(PivotStats {
+        phase1_pivots: value.get("phase1_pivots")?.as_usize()?,
+        phase2_pivots: value.get("phase2_pivots")?.as_usize()?,
+        degenerate_pivots: value.get("degenerate_pivots")?.as_usize()?,
+        dantzig_pivots: value.get("dantzig_pivots")?.as_usize()?,
+        bland_pivots: value.get("bland_pivots")?.as_usize()?,
+        fallback_activations: value.get("fallback_activations")?.as_usize()?,
+    })
+}
+
+/// Encode a row-stochastic matrix (mechanism or post-processing) as nested
+/// arrays.
+#[must_use]
+pub fn matrix_to_wire<T: WireScalar>(matrix: &Matrix<T>) -> Json {
+    Json::Arr(
+        matrix
+            .row_iter()
+            .map(|row| Json::Arr(row.iter().map(WireScalar::to_wire).collect()))
+            .collect(),
+    )
+}
+
+/// Decode nested arrays into rows of scalars.
+pub fn rows_from_wire<T: WireScalar>(value: &Json) -> Result<Vec<Vec<T>>, WireError> {
+    let rows = value
+        .as_arr()
+        .ok_or_else(|| WireError::bad_request("matrix must be an array of arrays"))?;
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let cells = row
+            .as_arr()
+            .ok_or_else(|| WireError::bad_request("matrix rows must be arrays"))?;
+        let mut r = Vec::with_capacity(cells.len());
+        for cell in cells {
+            r.push(
+                T::from_wire(cell)
+                    .ok_or_else(|| WireError::bad_request("unparsable scalar in matrix"))?,
+            );
+        }
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Decode a wire matrix into a validated [`Mechanism`].
+pub fn mechanism_from_wire<T: WireScalar>(value: &Json) -> Result<Mechanism<T>, WireError> {
+    Mechanism::from_rows(rows_from_wire(value)?).map_err(WireError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privmech_numerics::rat;
+
+    #[test]
+    fn rational_wire_round_trip() {
+        for r in [rat(5, 3), rat(-7, 2), rat(0, 1), rat(4, 1)] {
+            assert_eq!(Rational::from_wire(&r.to_wire()), Some(r));
+        }
+        // Decimal and integer literals are accepted on input.
+        assert_eq!(
+            Rational::from_wire(&Json::Num("0.25".into())),
+            Some(rat(1, 4))
+        );
+        assert_eq!(Rational::from_wire(&Json::Num("3".into())), Some(rat(3, 1)));
+        assert_eq!(Rational::from_wire(&Json::Str("1/0".into())), None);
+        assert_eq!(Rational::from_wire(&Json::Bool(true)), None);
+    }
+
+    #[test]
+    fn f64_wire_round_trip_is_bit_exact() {
+        for x in [0.25f64, 1.0 / 3.0, -1.5e-8, 1e300] {
+            let decoded = f64::from_wire(&x.to_wire()).unwrap();
+            assert_eq!(decoded.to_bits(), x.to_bits());
+        }
+        assert_eq!(f64::from_wire(&Json::Str("nope".into())), None);
+    }
+
+    #[test]
+    fn loss_spec_round_trips() {
+        let specs: Vec<LossSpec<Rational>> = vec![
+            LossSpec::Absolute,
+            LossSpec::Squared,
+            LossSpec::ZeroOne,
+            LossSpec::Tolerance(2),
+            LossSpec::Table(vec![vec![rat(0, 1), rat(1, 2)], vec![rat(1, 1), rat(0, 1)]]),
+        ];
+        for spec in specs {
+            let decoded = LossSpec::<Rational>::from_wire(&spec.to_wire()).unwrap();
+            assert_eq!(decoded, spec);
+        }
+        assert!(LossSpec::<Rational>::from_wire(&Json::str("nope")).is_err());
+    }
+
+    #[test]
+    fn consumer_spec_round_trips_and_validates() {
+        let spec = ConsumerSpec::<Rational>::minimax(3, LossSpec::Absolute)
+            .with_support(vec![1, 2, 3])
+            .with_strategy(SolveStrategy::DirectLp);
+        let encoded = spec.encode_onto(Json::obj());
+        let decoded = ConsumerSpec::<Rational>::from_wire(&encoded).unwrap();
+        assert_eq!(decoded.n, 3);
+        assert_eq!(decoded.support.as_deref(), Some(&[1usize, 2, 3][..]));
+        assert_eq!(decoded.strategy, SolveStrategy::DirectLp);
+        let request = decoded.to_request(rat(1, 4)).unwrap();
+        assert_eq!(request.n(), 3);
+
+        // Core validation failures surface with their field-level codes.
+        let bad = ConsumerSpec::<Rational>::minimax(3, LossSpec::Absolute).with_support(vec![9]);
+        let err = bad.to_request(rat(1, 4)).unwrap_err();
+        assert_eq!(err.code, "invalid_side_information");
+        let err = ConsumerSpec::<Rational>::minimax(3, LossSpec::Absolute)
+            .to_request(rat(3, 2))
+            .unwrap_err();
+        assert_eq!(err.code, "invalid_alpha");
+    }
+
+    #[test]
+    fn oversized_n_is_rejected_before_allocation() {
+        let request = Json::obj()
+            .with("n", Json::Num("4000000000".into()))
+            .with("loss", Json::str("absolute"));
+        let err = ConsumerSpec::<Rational>::from_wire(&request).unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("serving limit"));
+        // The boundary itself is accepted at decode time.
+        let request = Json::obj()
+            .with("n", Json::num_u64(MAX_WIRE_N as u64))
+            .with("loss", Json::str("absolute"));
+        assert!(ConsumerSpec::<Rational>::from_wire(&request).is_ok());
+    }
+
+    #[test]
+    fn mechanism_wire_round_trip() {
+        let m = Mechanism::<Rational>::uniform(2);
+        let decoded = mechanism_from_wire::<Rational>(&matrix_to_wire(m.matrix())).unwrap();
+        assert_eq!(decoded, m);
+        // Non-stochastic matrices are rejected with the core's code.
+        let bad = Json::Arr(vec![Json::Arr(vec![
+            Json::Num("1".into()),
+            Json::Num("1".into()),
+        ])]);
+        assert!(mechanism_from_wire::<Rational>(&bad).is_err());
+    }
+
+    #[test]
+    fn stats_wire_round_trip() {
+        let stats = PivotStats {
+            phase1_pivots: 3,
+            phase2_pivots: 5,
+            degenerate_pivots: 1,
+            dantzig_pivots: 7,
+            bland_pivots: 1,
+            fallback_activations: 1,
+        };
+        assert_eq!(stats_from_wire(&stats_to_wire(&stats)), Some(stats));
+    }
+}

@@ -1,0 +1,541 @@
+//! The serving loop: a multi-threaded TCP request handler over
+//! [`PrivacyEngine`] with a sharded LRU response cache.
+//!
+//! One accept thread hands connections to a fixed pool of worker threads;
+//! each worker serves its connection's frames sequentially (pipelining
+//! within one connection would reorder responses; clients open more
+//! connections for more parallelism). Every cacheable operation is keyed on
+//! the canonical request fingerprint
+//! ([`ValidatedRequest::fingerprint`](privmech_core::ValidatedRequest::fingerprint))
+//! composed with the operation and scalar tag, so a cached response is
+//! byte-identical to what an uncached solve of the same request would render
+//! — with [`ServerConfig::verify_hits`], the server re-solves on every hit
+//! and *asserts* that identity at runtime.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use privmech_core::{Mechanism, PrivacyEngine, PrivacyLevel, Solve};
+use privmech_numerics::Rational;
+
+use crate::cache::{CacheStats, ShardedCache};
+use crate::frame::{read_frame, write_frame};
+use crate::json::{self, Json};
+use crate::proto::{
+    matrix_to_wire, mechanism_from_wire, stats_to_wire, CacheDisposition, CacheMode, ConsumerSpec,
+    WireError, WireScalar, PROTOCOL_VERSION,
+};
+
+/// Configuration of a serving instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; use port 0 for an ephemeral port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads — the number of connections served concurrently.
+    pub worker_threads: usize,
+    /// Total response-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Number of cache shards (lock granularity).
+    pub cache_shards: usize,
+    /// Re-solve on every cache hit and assert the cached response is
+    /// byte-identical to the fresh one. Turns each hit into a full solve —
+    /// for correctness harnesses, not production throughput.
+    pub verify_hits: bool,
+    /// Worker-thread budget of the per-request engine for `sweep` operations
+    /// (connection-level parallelism comes from `worker_threads`).
+    pub sweep_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            worker_threads: 4,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            verify_hits: false,
+            sweep_threads: 1,
+        }
+    }
+}
+
+struct Shared {
+    /// Rendered `result` objects by canonical request key. Storing bytes
+    /// rather than trees keeps the hit path allocation-free up to the
+    /// envelope: hits splice the `Arc<str>` into the response via
+    /// [`Json::Raw`].
+    cache: ShardedCache<Arc<str>>,
+    verify_hits: bool,
+    sweep_threads: usize,
+    stop: AtomicBool,
+    addr: SocketAddr,
+    /// Live connections by id, so a stop can unblock workers parked in
+    /// blocking reads by closing their sockets out from under them.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_seq: AtomicU64,
+}
+
+/// A running server. Dropping the handle shuts the server down and joins its
+/// threads.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Current response-cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Signal the accept loop to stop and join every thread. Also invoked on
+    /// drop; calling it explicitly surfaces the join.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Block until the server stops (e.g. a client sent the `shutdown` op).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        signal_stop(&self.shared);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn signal_stop(shared: &Shared) {
+    shared.stop.store(true, Ordering::SeqCst);
+    // Unblock the accept loop with a throwaway connection.
+    let _ = TcpStream::connect(shared.addr);
+    // Unblock workers parked in blocking reads on open connections.
+    for stream in shared
+        .conns
+        .lock()
+        .expect("connection registry poisoned")
+        .values()
+    {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Bind and start serving; returns immediately with a handle.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener =
+        TcpListener::bind(
+            config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address")
+            })?,
+        )?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+        verify_hits: config.verify_hits,
+        sweep_threads: config.sweep_threads.max(1),
+        stop: AtomicBool::new(false),
+        addr,
+        conns: Mutex::new(HashMap::new()),
+        conn_seq: AtomicU64::new(0),
+    });
+
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..config.worker_threads.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || loop {
+                let stream = {
+                    let guard = rx.lock().expect("connection queue poisoned");
+                    guard.recv()
+                };
+                match stream {
+                    Ok(stream) => serve_connection(&shared, stream),
+                    Err(_) => break, // accept loop gone: drain complete
+                }
+            })
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // A send can only fail if every worker died; stop then.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            drop(tx); // lets idle workers observe the close and exit
+        })
+    };
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(registered) = stream.try_clone() else {
+        return;
+    };
+    let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+    shared
+        .conns
+        .lock()
+        .expect("connection registry poisoned")
+        .insert(conn_id, registered);
+    // A stop signalled between the registry insert and the reads below still
+    // lands: signal_stop closes the registered clone, which shares the
+    // underlying socket with both halves.
+    if shared.stop.load(Ordering::SeqCst) {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                // A panicking handler (a solver bug, a pathological input
+                // that slipped past validation) must cost one response, not
+                // the worker thread. Handlers never hold cache locks across
+                // compute, so unwinding here cannot poison shared state.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_payload(shared, &payload)
+                }));
+                let (response, stop_after) = outcome.unwrap_or_else(|_| {
+                    (
+                        error_response(
+                            Json::Null,
+                            &WireError::new("internal", "request handler panicked"),
+                        ),
+                        false,
+                    )
+                });
+                let bytes = json::to_string(&response);
+                if write_frame(&mut writer, bytes.as_bytes()).is_err() {
+                    break;
+                }
+                if stop_after {
+                    signal_stop(shared);
+                    break;
+                }
+            }
+            Err(_) => {
+                // Oversized or truncated frame: report if the pipe still
+                // works, then drop the connection (framing is unrecoverable).
+                let response = error_response(
+                    Json::Null,
+                    &WireError::new("malformed_frame", "unreadable frame"),
+                );
+                let _ = write_frame(&mut writer, json::to_string(&response).as_bytes());
+                break;
+            }
+        }
+    }
+    shared
+        .conns
+        .lock()
+        .expect("connection registry poisoned")
+        .remove(&conn_id);
+}
+
+fn ok_response(id: Json, cache: Option<CacheDisposition>, result: Json) -> Json {
+    let mut obj = Json::obj()
+        .with("v", Json::num_u64(PROTOCOL_VERSION))
+        .with("id", id)
+        .with("ok", Json::Bool(true));
+    if let Some(disposition) = cache {
+        obj = obj.with("cache", Json::str(disposition.as_wire()));
+    }
+    obj.with("result", result)
+}
+
+fn error_response(id: Json, error: &WireError) -> Json {
+    Json::obj()
+        .with("v", Json::num_u64(PROTOCOL_VERSION))
+        .with("id", id)
+        .with("ok", Json::Bool(false))
+        .with(
+            "error",
+            Json::obj()
+                .with("code", Json::str(error.code))
+                .with("message", Json::str(error.message.clone())),
+        )
+}
+
+/// Handle one raw frame payload; returns the response and whether the server
+/// should stop after answering.
+fn handle_payload(shared: &Arc<Shared>, payload: &[u8]) -> (Json, bool) {
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return (
+            error_response(
+                Json::Null,
+                &WireError::new("malformed_json", "frame is not UTF-8"),
+            ),
+            false,
+        );
+    };
+    let request = match json::parse(text) {
+        Ok(value) => value,
+        Err(e) => {
+            return (
+                error_response(Json::Null, &WireError::new("malformed_json", e.to_string())),
+                false,
+            )
+        }
+    };
+    let id = request.get("id").cloned().unwrap_or(Json::Null);
+    match request.get("v").and_then(Json::as_u64) {
+        Some(PROTOCOL_VERSION) => {}
+        got => {
+            let message = match got {
+                Some(v) => format!("server speaks protocol v{PROTOCOL_VERSION}, request is v{v}"),
+                None => format!("request needs an integer \"v\" (= {PROTOCOL_VERSION})"),
+            };
+            return (
+                error_response(id, &WireError::new("unsupported_version", message)),
+                false,
+            );
+        }
+    }
+    let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+    match op {
+        "ping" => (
+            ok_response(id, None, Json::obj().with("pong", Json::Bool(true))),
+            false,
+        ),
+        "stats" => {
+            let stats = shared.cache.stats();
+            let result = Json::obj()
+                .with("hits", Json::num_u64(stats.hits))
+                .with("misses", Json::num_u64(stats.misses))
+                .with("evictions", Json::num_u64(stats.evictions))
+                .with("entries", Json::num_u64(stats.entries as u64))
+                .with("capacity", Json::num_u64(stats.capacity as u64))
+                .with("shards", Json::num_u64(stats.shards as u64));
+            (ok_response(id, None, result), false)
+        }
+        "shutdown" => (
+            ok_response(id, None, Json::obj().with("stopping", Json::Bool(true))),
+            true,
+        ),
+        "solve" | "sweep" | "interact" => {
+            let outcome = match request.get("scalar").and_then(Json::as_str) {
+                Some("rational") | None => handle_compute::<Rational>(shared, op, &request),
+                Some("f64") => handle_compute::<f64>(shared, op, &request),
+                Some(other) => Err(WireError::new(
+                    "unsupported_scalar",
+                    format!("unknown scalar backend \"{other}\""),
+                )),
+            };
+            match outcome {
+                Ok((result, cache)) => (ok_response(id, Some(cache), result), false),
+                Err(e) => (error_response(id, &e), false),
+            }
+        }
+        "" => (
+            error_response(id, &WireError::bad_request("request needs an \"op\"")),
+            false,
+        ),
+        other => (
+            error_response(
+                id,
+                &WireError::new("unknown_op", format!("unknown op \"{other}\"")),
+            ),
+            false,
+        ),
+    }
+}
+
+/// Answer from the cache or compute; `Bypass` computes without touching the
+/// cache. With `verify_hits`, every hit re-computes and asserts byte
+/// identity against the cached rendering.
+fn serve_cached(
+    shared: &Shared,
+    key: &str,
+    mode: CacheMode,
+    compute: impl FnOnce() -> Result<Json, WireError>,
+) -> Result<(Json, CacheDisposition), WireError> {
+    if mode == CacheMode::Bypass {
+        return Ok((compute()?, CacheDisposition::Bypass));
+    }
+    if let Some(cached) = shared.cache.get(key) {
+        if shared.verify_hits {
+            let fresh = compute()?;
+            if json::to_string(&fresh) != *cached {
+                return Err(WireError::new(
+                    "cache_verify_failed",
+                    "cached response is not byte-identical to a fresh solve",
+                ));
+            }
+        }
+        return Ok((Json::Raw(cached), CacheDisposition::Hit));
+    }
+    let fresh = compute()?;
+    let rendered: Arc<str> = json::to_string(&fresh).into();
+    shared.cache.insert(key, Arc::clone(&rendered));
+    Ok((Json::Raw(rendered), CacheDisposition::Miss))
+}
+
+fn solve_to_wire<T: WireScalar>(solve: &Solve<T>) -> Json {
+    Json::obj()
+        .with("alpha", solve.level.alpha().to_wire())
+        .with("loss", solve.loss.to_wire())
+        .with("mechanism", matrix_to_wire(solve.mechanism.matrix()))
+        .with("stats", stats_to_wire(&solve.stats))
+}
+
+fn handle_compute<T: WireScalar>(
+    shared: &Shared,
+    op: &str,
+    request: &Json,
+) -> Result<(Json, CacheDisposition), WireError> {
+    let mode = CacheMode::from_wire(request)?;
+    let spec = ConsumerSpec::<T>::from_wire(request)?;
+    match op {
+        "solve" => {
+            let alpha = scalar_field::<T>(request, "alpha")?;
+            let validated = spec.to_request(alpha)?;
+            let key = format!("solve|{}|{}", T::TAG, validated.fingerprint().canonical());
+            serve_cached(shared, &key, mode, || {
+                let solve = PrivacyEngine::with_threads(1)
+                    .solve(&validated)
+                    .map_err(WireError::from)?;
+                Ok(solve_to_wire(&solve))
+            })
+        }
+        "sweep" => {
+            let alphas = request
+                .get("alphas")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError::bad_request("sweep needs an \"alphas\" array"))?;
+            let mut levels: Vec<PrivacyLevel<T>> = Vec::with_capacity(alphas.len());
+            for value in alphas {
+                let alpha = T::from_wire(value)
+                    .ok_or_else(|| WireError::bad_request("unparsable scalar in alphas"))?;
+                levels.push(PrivacyLevel::new(alpha).map_err(WireError::from)?);
+            }
+            if levels.is_empty() {
+                // Nothing to compute or cache; report the disposition the
+                // client asked for rather than a miss that never counted.
+                let disposition = match mode {
+                    CacheMode::Bypass => CacheDisposition::Bypass,
+                    CacheMode::Use => CacheDisposition::Miss,
+                };
+                return Ok((
+                    Json::obj().with("solves", Json::Arr(Vec::new())),
+                    disposition,
+                ));
+            }
+            let validated = spec.to_request(levels[0].alpha().clone())?;
+            let levels_key = json::to_string(&Json::Arr(
+                levels.iter().map(|l| l.alpha().to_wire()).collect(),
+            ));
+            let key = format!(
+                "sweep|{}|{}|levels={levels_key}",
+                T::TAG,
+                validated.fingerprint().canonical()
+            );
+            let sweep_threads = shared.sweep_threads;
+            serve_cached(shared, &key, mode, move || {
+                let solves = PrivacyEngine::with_threads(sweep_threads)
+                    .sweep(&levels, &validated)
+                    .map_err(WireError::from)?;
+                Ok(Json::obj().with(
+                    "solves",
+                    Json::Arr(solves.iter().map(solve_to_wire).collect()),
+                ))
+            })
+        }
+        "interact" => {
+            let mechanism: Mechanism<T> = mechanism_from_wire(
+                request
+                    .get("mechanism")
+                    .ok_or_else(|| WireError::bad_request("interact needs a \"mechanism\""))?,
+            )?;
+            if mechanism.n() != spec.n {
+                return Err(WireError::bad_request(format!(
+                    "mechanism is for n = {}, request says n = {}",
+                    mechanism.n(),
+                    spec.n
+                )));
+            }
+            // The privacy level plays no role in post-processing (the
+            // deployed mechanism already embodies it) and the strategy is
+            // not consulted; both are normalized out of the cache key.
+            let spec = spec.with_strategy(Default::default());
+            let validated = spec.to_request(T::zero())?;
+            let mech_key = json::to_string(&matrix_to_wire(mechanism.matrix()));
+            let key = format!(
+                "interact|{}|{}|mech={mech_key}",
+                T::TAG,
+                validated.fingerprint().canonical()
+            );
+            serve_cached(shared, &key, mode, move || {
+                let interaction = PrivacyEngine::with_threads(1)
+                    .interact(&mechanism, &validated)
+                    .map_err(WireError::from)?;
+                Ok(Json::obj()
+                    .with("loss", interaction.loss.to_wire())
+                    .with(
+                        "post_processing",
+                        matrix_to_wire(&interaction.post_processing),
+                    )
+                    .with("induced", matrix_to_wire(interaction.induced.matrix()))
+                    .with("stats", stats_to_wire(&interaction.lp_stats)))
+            })
+        }
+        _ => unreachable!("dispatch covers every compute op"),
+    }
+}
+
+fn scalar_field<T: WireScalar>(request: &Json, field: &str) -> Result<T, WireError> {
+    let value = request
+        .get(field)
+        .ok_or_else(|| WireError::bad_request(format!("request needs \"{field}\"")))?;
+    T::from_wire(value)
+        .ok_or_else(|| WireError::bad_request(format!("unparsable scalar in \"{field}\"")))
+}

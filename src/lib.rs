@@ -7,7 +7,11 @@
 //! simplex LP solver, and a count-query database layer).
 //!
 //! Most applications only need this crate: it re-exports the full public API
-//! of the member crates under stable module names.
+//! of the member crates under stable module names. For the workspace-level
+//! view — the crate map, the request lifecycle, the bit-identity contracts,
+//! and where each paper theorem lives in the code — see
+//! [`ARCHITECTURE.md`](https://github.com/privmech/privmech/blob/main/ARCHITECTURE.md)
+//! at the repository root.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -67,6 +71,13 @@
 //!   and the Theorem 2 derivability toolchain
 //!   ([`PrivacyEngine::check_derivability`](crate::core::PrivacyEngine::check_derivability),
 //!   [`PrivacyEngine::derive`](crate::core::PrivacyEngine::derive)).
+//! * **Serve it.** The [`serve`] module hosts the engine behind a TCP
+//!   protocol with a sharded LRU response cache keyed on the canonical
+//!   request fingerprint
+//!   ([`ValidatedRequest::fingerprint`](crate::core::ValidatedRequest::fingerprint))
+//!   — one cached solve answers every consumer asking the same question
+//!   (that sharing is exactly Theorem 1's universality made operational).
+//!   Wire format: `crates/serve/PROTOCOL.md`; demo: `examples/serving.rs`.
 //!
 //! The seed's free functions ([`optimal_mechanism`], [`optimal_interaction`],
 //! `bayesian_*`) still compile behind `#[deprecated]` shims with unchanged
@@ -100,6 +111,11 @@ pub mod core {
 /// Database substrate: records, count queries, obliviousness.
 pub mod db {
     pub use privmech_db::*;
+}
+
+/// Serving layer: cached, batched TCP service over the engine.
+pub mod serve {
+    pub use privmech_serve::*;
 }
 
 /// The most commonly used items, re-exported flat.
