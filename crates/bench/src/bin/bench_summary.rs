@@ -12,6 +12,7 @@
 //! bench-summary [--label <label>] [--output <path>] [--max-n <n>] [--reps <k>]
 //!               [--sweep] [--sweep-n <n>] [--sweep-points <k>] [--sweep-threads <t>]
 //!               [--serve] [--serve-n <n>] [--serve-points <k>] [--serve-repeat <r>]
+//!               [--compare-forms] [--compare-n <n>]
 //! ```
 //!
 //! `--sweep` appends an α-sweep comparison record instead of the per-size
@@ -28,6 +29,13 @@
 //! `serve-n`, measuring cold (all cache misses) against cached (all hits)
 //! per-request latency. Every cached response is asserted byte-identical to
 //! a cache-bypassing fresh solve before the record is written.
+//!
+//! `--compare-forms` appends a solver-form identity record instead: one
+//! exact solve at `compare-n` run under both the dense tableau and the
+//! revised simplex ([`privmech_lp::SolverForm`]), runtime-asserting the
+//! bit-identity contract (equal mechanism, loss and pivot statistics) and
+//! recording the revised-over-dense speedup. CI runs this on every push so
+//! the dense ≡ revised contract is exercised outside the unit suites too.
 //!
 //! The output file is JSON Lines: one self-contained record per invocation,
 //! so successive PRs build up a comparable history.
@@ -237,6 +245,66 @@ fn run_sweep(label: &str, n: usize, points: usize, threads: usize) -> String {
     )
 }
 
+/// The solver-form identity benchmark: one exact solve at size `n` run under
+/// both simplex forms ([`privmech_lp::SolverForm::Dense`] and
+/// [`privmech_lp::SolverForm::Revised`]), asserting the PR 4 contract —
+/// bit-identical mechanism, loss and pivot statistics (identical pivot
+/// counts are the visible consequence of the identical pivot *sequence*) —
+/// and recording the revised-over-dense speedup.
+fn run_compare_forms(label: &str, n: usize) -> String {
+    use privmech_lp::{SolverForm, SolverOptions};
+    let engine = PrivacyEngine::with_threads(1);
+    let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).expect("valid alpha");
+    let with_form = |form: SolverForm| {
+        direct_request(level.clone(), bench_consumer(n)).with_options(SolverOptions {
+            form,
+            ..SolverOptions::default()
+        })
+    };
+
+    eprintln!("compare-forms: dense-tableau exact solve at n = {n} ...");
+    let start = Instant::now();
+    let dense = engine
+        .solve(&with_form(SolverForm::Dense))
+        .expect("solvable LP");
+    let dense_ns = start.elapsed().as_nanos();
+
+    eprintln!("compare-forms: revised-simplex exact solve at n = {n} ...");
+    let start = Instant::now();
+    let revised = engine
+        .solve(&with_form(SolverForm::Revised))
+        .expect("solvable LP");
+    let revised_ns = start.elapsed().as_nanos();
+
+    assert_eq!(
+        dense.mechanism, revised.mechanism,
+        "dense ≡ revised: mechanisms must be bit-identical"
+    );
+    assert_eq!(
+        dense.loss, revised.loss,
+        "dense ≡ revised: losses must be bit-identical"
+    );
+    assert_eq!(
+        dense.stats, revised.stats,
+        "dense ≡ revised: identical pivot sequences imply identical stats"
+    );
+
+    let speedup = dense_ns as f64 / revised_ns as f64;
+    eprintln!(
+        "dense: {:.3}s | revised: {:.3}s ({speedup:.2}x) | pivots {} (identical)",
+        dense_ns as f64 / 1e9,
+        revised_ns as f64 / 1e9,
+        dense.stats.total_pivots(),
+    );
+
+    format!(
+        "{{\"label\": \"{label}\", \"compare_forms\": {{\"n\": {n}, \"scalar\": \"rational\", \
+         \"dense_ns\": {dense_ns}, \"revised_ns\": {revised_ns}, \
+         \"speedup_revised\": {speedup:.4}, \"pivots\": {}, \"bit_identical\": true}}}}",
+        dense.stats.total_pivots()
+    )
+}
+
 /// The serving-layer acceptance benchmark: `points` distinct exact solves at
 /// size `n` driven through a real `privmech-serve` TCP round trip, cold
 /// (every request misses) vs cached (`repeat` hot passes, every request
@@ -343,6 +411,8 @@ fn main() {
     let mut serve_n = 6usize;
     let mut serve_points = 8usize;
     let mut serve_repeat = 50usize;
+    let mut compare_forms = false;
+    let mut compare_n = 8usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -385,6 +455,14 @@ fn main() {
                     .parse()
                     .expect("--sweep-threads needs an integer")
             }
+            "--compare-forms" => compare_forms = true,
+            "--compare-n" => {
+                compare_n = args
+                    .next()
+                    .expect("--compare-n needs a value")
+                    .parse()
+                    .expect("--compare-n needs an integer")
+            }
             "--serve" => serve = true,
             "--serve-n" => {
                 serve_n = args
@@ -412,14 +490,17 @@ fn main() {
                 eprintln!(
                     "usage: bench-summary [--label L] [--output PATH] [--max-n N] [--reps K] \
                      [--sweep] [--sweep-n N] [--sweep-points K] [--sweep-threads T] \
-                     [--serve] [--serve-n N] [--serve-points K] [--serve-repeat R]"
+                     [--serve] [--serve-n N] [--serve-points K] [--serve-repeat R] \
+                     [--compare-forms] [--compare-n N]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let record = if serve {
+    let record = if compare_forms {
+        run_compare_forms(&label, compare_n)
+    } else if serve {
         run_serve(&label, serve_n, serve_points, serve_repeat)
     } else if sweep {
         run_sweep(&label, sweep_n, sweep_points, sweep_threads)

@@ -6,7 +6,7 @@
 //! inverse, correlated vs naive multi-level release).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::sync::Arc;
 

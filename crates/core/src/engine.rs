@@ -28,8 +28,8 @@
 //! geometric mechanism by construction. When the LP optimum is not unique the
 //! returned *matrix* may differ from the direct LP's optimal vertex;
 //! [`SolveStrategy::DirectLp`] solves the Section 2.5 LP itself and
-//! reproduces the deprecated [`optimal_mechanism`]
-//! (crate::optimal::optimal_mechanism) bit for bit.
+//! reproduces the deprecated
+//! [`optimal_mechanism`](crate::optimal::optimal_mechanism) bit for bit.
 //!
 //! # Warm-started sweeps
 //!

@@ -6,7 +6,7 @@
 //! who asked. A serving layer can therefore answer every consumer with the
 //! same request content from one cached solve. This module derives the cache
 //! key: a canonical, content-based rendering of a
-//! [`ValidatedRequest`](crate::engine::ValidatedRequest) such that
+//! [`ValidatedRequest`] such that
 //!
 //! * two requests describing the same optimization problem produce the **same
 //!   fingerprint**, even when they were built from different [`LossFunction`]
@@ -33,7 +33,7 @@ use crate::engine::{RequestConsumer, SolveStrategy, ValidatedRequest};
 use crate::loss::LossFunction;
 
 /// A canonical, content-based cache key for a
-/// [`ValidatedRequest`](crate::engine::ValidatedRequest).
+/// [`ValidatedRequest`].
 ///
 /// Equality of fingerprints is equality of the canonical strings — the 64-bit
 /// [`hash`](RequestFingerprint::hash) is a convenience for shard selection and

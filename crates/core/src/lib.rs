@@ -98,7 +98,7 @@ pub use optimal::OptimalMechanism;
 #[allow(deprecated)] // seed call sites keep compiling through these shims
 pub use optimal::{bayesian_optimal_mechanism, optimal_mechanism};
 // Solver knobs, re-exported so engine users need not depend on privmech-lp.
-pub use privmech_lp::{PivotStats, PricingRule, SolverOptions};
+pub use privmech_lp::{PivotStats, PricingRule, SolverForm, SolverOptions};
 pub use sampling::{
     collusion_experiment, empirical_distribution, total_variation_distance, CollusionSummary,
 };

@@ -9,7 +9,7 @@
 //! letting the consumer post-process achieves exactly this optimum — the
 //! experiments verify that equality.
 //!
-//! The LP is built once per consumer as a [`TailoredLp`] template: its
+//! The LP is built once per consumer as a `TailoredLp` template: its
 //! constraint *structure* is independent of α (only the `-α` coefficients of
 //! the differential-privacy rows change), so an α-sweep re-parameterizes the
 //! same model instead of rebuilding it — see

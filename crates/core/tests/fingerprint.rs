@@ -176,3 +176,64 @@ proptest! {
         prop_assert_ne!(&a, &request(prior_b), "prior must enter the fingerprint");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Solver-form exclusion (PR 4).
+//
+// `SolverForm` and `refactor_interval` are execution details covered by the
+// dense ≡ revised bit-identity contract (crates/lp/SOLVER.md): they can never
+// change a result, so they are deliberately excluded from the fingerprint.
+// This keeps every cache entry produced by the pre-refactor (dense-only)
+// serving layer addressable — and verifiable — by the revised-default server.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn solver_form_and_refactor_interval_do_not_split_the_fingerprint() {
+    use privmech_lp::{PricingRule, SolverForm, SolverOptions};
+    let base = || {
+        SolveRequest::<Rational>::minimax()
+            .loss(Arc::new(AbsoluteError))
+            .support(3, 0..=3)
+            .privacy_level(rat(1, 4))
+    };
+    let reference = base().validate().unwrap().fingerprint();
+    for options in [
+        SolverOptions {
+            form: SolverForm::Dense,
+            ..SolverOptions::default()
+        },
+        SolverOptions {
+            form: SolverForm::Revised,
+            ..SolverOptions::default()
+        },
+        SolverOptions {
+            form: SolverForm::Revised,
+            refactor_interval: 1,
+            ..SolverOptions::default()
+        },
+        SolverOptions {
+            refactor_interval: SolverOptions::NEVER_REFACTOR,
+            ..SolverOptions::default()
+        },
+    ] {
+        let fp = base()
+            .solver_options(options)
+            .validate()
+            .unwrap()
+            .fingerprint();
+        assert_eq!(reference, fp, "{options:?} must not split the cache key");
+    }
+    // Result-relevant option fields still discriminate.
+    let bland = base()
+        .solver_options(SolverOptions {
+            pricing: PricingRule::Bland,
+            ..SolverOptions::default()
+        })
+        .validate()
+        .unwrap()
+        .fingerprint();
+    assert_ne!(
+        reference, bland,
+        "pricing is result-relevant and must split"
+    );
+}

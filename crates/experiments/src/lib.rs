@@ -5,7 +5,7 @@
 //! EXPERIMENTS.md records the outcome of running every binary.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use privmech_linalg::{Matrix, Scalar};
 

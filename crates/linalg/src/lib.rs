@@ -23,11 +23,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dense;
 pub mod kernels;
 pub mod scalar;
+pub mod sparse;
 
 pub use dense::{LinalgError, Matrix};
 pub use scalar::Scalar;

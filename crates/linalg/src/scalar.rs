@@ -257,11 +257,15 @@ impl Scalar for Rational {
     fn div_assign_ref(&mut self, rhs: &Self) {
         *self = &*self / rhs;
     }
+    // The fused forms hit `Rational`'s single-limb fast path (one machine
+    // gcd instead of separate mul + add/sub reductions) — this is the
+    // innermost operation of both the dense tableau update and the revised
+    // simplex's eta-vector FTRAN/BTRAN kernels.
     fn sub_mul_assign(&mut self, factor: &Self, x: &Self) {
-        *self = &*self - &(factor * x);
+        *self = self.sub_mul(factor, x);
     }
     fn add_mul_assign(&mut self, factor: &Self, x: &Self) {
-        *self = &*self + &(factor * x);
+        *self = self.add_mul(factor, x);
     }
 }
 

@@ -1,6 +1,6 @@
 //! # privmech-lp
 //!
-//! A dense two-phase simplex linear-programming solver, generic over the
+//! A two-phase simplex linear-programming solver, generic over the
 //! [`privmech_linalg::Scalar`] field.
 //!
 //! The paper *Universally Optimal Privacy Mechanisms for Minimax Agents*
@@ -11,11 +11,20 @@
 //! * a small strongly-typed [`Model`] builder (variables, `<=`/`>=`/`==`
 //!   constraints, minimize/maximize objectives, and the
 //!   [`Model::minimize_max`] epigraph helper),
-//! * a two-phase dense simplex solver with Dantzig (most-negative reduced
+//! * a two-phase simplex solver with Dantzig (most-negative reduced
 //!   cost) pricing and an automatic Bland anti-cycling fallback, instantiable
 //!   with exact [`privmech_numerics::Rational`] pivoting (the source of truth
-//!   for every theorem-level claim) or `f64` (for speed). Every solve reports
-//!   [`PivotStats`] on its [`Solution`].
+//!   for every theorem-level claim) or `f64` (for speed), in two
+//!   interchangeable forms: a **revised simplex** with a product-form basis
+//!   factorization (the [`SolverForm::Auto`] default for exact scalars) and
+//!   the classic **dense tableau** (always used by `f64`). On exact scalars
+//!   the two forms follow the identical pivot sequence and return
+//!   bit-identical solutions — the contract, the factorization lifecycle and
+//!   the standard-form construction are documented end to end in
+//!   [`SOLVER.md`](https://github.com/privmech/privmech/blob/main/crates/lp/SOLVER.md)
+//!   (in-tree: `crates/lp/SOLVER.md`). Every solve reports [`PivotStats`] on
+//!   its [`Solution`]; [`solve_model_traced`] additionally exposes the pivot
+//!   sequence itself.
 //!
 //! ```
 //! use privmech_lp::{LinExpr, Model, Relation, Sense, VarBound};
@@ -35,12 +44,20 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod basis;
 pub mod model;
+mod pricing;
+mod ratio;
+mod revised;
 pub mod simplex;
+mod standard;
 pub mod template;
 
 pub use model::{
     CoeffSlot, Constraint, LinExpr, LpError, Model, Relation, Sense, Solution, Var, VarBound,
 };
-pub use simplex::{solve_model, solve_model_with, PivotStats, PricingRule, SolverOptions};
+pub use simplex::{
+    solve_model, solve_model_traced, solve_model_with, PivotRecord, PivotStats, PricingRule,
+    SolverForm, SolverOptions, TracePhase,
+};
 pub use template::ModelTemplate;

@@ -1,0 +1,126 @@
+//! Entering-column pricing: the first stage of a simplex iteration.
+//!
+//! Both solver forms — the dense tableau and the revised simplex — price
+//! entering columns from a dense vector of reduced costs. The dense tableau
+//! maintains that vector as its objective row; the revised solver maintains
+//! it incrementally from BTRAN'd pivot rows. Because the vectors hold the
+//! *same exact values* on exact scalars and this module is the single
+//! implementation of the entering rules, the two forms select the same
+//! entering column at every iteration — one half of the dense ≡ revised
+//! pivot-sequence contract (`crates/lp/SOLVER.md`; the other half is the
+//! shared ratio test in [`crate::ratio`]).
+//!
+//! The rules themselves, and the Dantzig ↔ Bland fallback state machine,
+//! are documented on [`PricingRule`] and in the `crate::simplex` module docs.
+
+use privmech_linalg::Scalar;
+
+use crate::simplex::{PivotStats, PricingRule, SolverOptions};
+
+/// Entering column under Bland's rule: smallest index with a negative
+/// reduced cost, skipping banned columns.
+pub(crate) fn entering_bland<T: Scalar>(
+    reduced: &[T],
+    banned: &[bool],
+    cols: usize,
+) -> Option<usize> {
+    (0..cols).find(|&j| !banned[j] && reduced[j].is_negative_approx())
+}
+
+/// Entering column under Dantzig pricing: most negative reduced cost (ties
+/// broken towards the smaller index), skipping banned columns.
+pub(crate) fn entering_dantzig<T: Scalar>(
+    reduced: &[T],
+    banned: &[bool],
+    cols: usize,
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for j in 0..cols {
+        if banned[j] || !reduced[j].is_negative_approx() {
+            continue;
+        }
+        match best {
+            None => best = Some(j),
+            Some(b) => {
+                if reduced[j] < reduced[b] {
+                    best = Some(j);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// The Dantzig-with-Bland-fallback state machine, shared verbatim by both
+/// solver forms.
+///
+/// Dantzig pricing only engages for exact scalars (see the `crate::simplex`
+/// module docs for why the `f64` backend always prices by Bland's rule). A
+/// streak of more than [`SolverOptions::degeneracy_streak_limit`] consecutive
+/// degenerate pivots switches to Bland's anti-cycling rule; the first
+/// objective-improving pivot switches back.
+pub(crate) struct FallbackState {
+    bland_mode: bool,
+    dantzig_allowed: bool,
+    degenerate_streak: usize,
+    limit: usize,
+}
+
+impl FallbackState {
+    /// Initial pricing state for one phase of a solve with scalar type `T`.
+    pub(crate) fn new<T: Scalar>(options: &SolverOptions) -> Self {
+        let dantzig_allowed =
+            T::is_exact() && options.pricing == PricingRule::DantzigWithBlandFallback;
+        FallbackState {
+            bland_mode: !dantzig_allowed,
+            dantzig_allowed,
+            degenerate_streak: 0,
+            limit: options.degeneracy_streak_limit,
+        }
+    }
+
+    /// Whether the *next* selection (and its ratio-test tie-break) uses
+    /// Bland's rule.
+    pub(crate) fn bland_mode(&self) -> bool {
+        self.bland_mode
+    }
+
+    /// Select the entering column under the current mode.
+    pub(crate) fn select<T: Scalar>(
+        &self,
+        reduced: &[T],
+        banned: &[bool],
+        cols: usize,
+    ) -> Option<usize> {
+        if self.bland_mode {
+            entering_bland(reduced, banned, cols)
+        } else {
+            entering_dantzig(reduced, banned, cols)
+        }
+    }
+
+    /// Record a completed pivot: updates the per-rule pivot counters, the
+    /// degeneracy streak, and the Dantzig ↔ Bland mode.
+    pub(crate) fn after_pivot(&mut self, degenerate: bool, stats: &mut PivotStats) {
+        if self.bland_mode {
+            stats.bland_pivots += 1;
+        } else {
+            stats.dantzig_pivots += 1;
+        }
+        if degenerate {
+            stats.degenerate_pivots += 1;
+            self.degenerate_streak += 1;
+            if !self.bland_mode && self.dantzig_allowed && self.degenerate_streak > self.limit {
+                self.bland_mode = true;
+                stats.fallback_activations += 1;
+            }
+        } else {
+            self.degenerate_streak = 0;
+            // A strict objective improvement left the degenerate vertex;
+            // resume the cheaper-converging Dantzig rule.
+            if self.dantzig_allowed {
+                self.bland_mode = false;
+            }
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The revised simplex: two-phase simplex iterations priced from a
+//! product-form basis factorization instead of a dense tableau.
+//!
+//! Where the dense form ([`crate::simplex`]) rewrites every tableau row on
+//! every pivot (O(rows × cols) scalar operations), this form keeps only
+//!
+//! * the original constraint matrix, sparse, in both column- and row-major
+//!   form (it never changes),
+//! * the basis factorization as an eta file ([`crate::basis::EtaFile`]),
+//! * the current basic solution `x_B`,
+//! * the current reduced-cost vector `d` and phase objective value,
+//!
+//! and performs per pivot: one sparse **FTRAN** of the entering column (the
+//! ratio-test / pivot-column stage), one **unit BTRAN** of the leaving
+//! position (recovering the pivot row of the tableau without storing any
+//! tableau), a sparse sweep turning that row into reduced-cost updates, and
+//! one appended eta. On the paper's LPs — thousands of rows touching 2–4
+//! structural columns each — this replaces the dense update's full-matrix
+//! pass with work proportional to the factorization's actual nonzeros.
+//!
+//! # Why the pivot sequence is identical to the dense form
+//!
+//! The three decisions a simplex iteration makes — entering column, leaving
+//! position, degeneracy of the step — are functions of the reduced costs
+//! `d`, the pivot column `B⁻¹a_q`, and the basic solution `x_B`. This module
+//! maintains `d` by the *same recurrence* the dense form applies to its
+//! objective row (`d_j ← d_j − d_q·(r_j/r_q)` over the BTRAN'd pivot row),
+//! obtains the pivot column exactly via FTRAN, and updates `x_B` by the
+//! dense form's right-hand-side recurrence. Over an exact field equal
+//! recurrences from equal starting points stay equal forever, and the
+//! decisions are made by the *shared* stage implementations
+//! ([`crate::pricing`], [`crate::ratio`]) — so every entering/leaving choice
+//! coincides with the dense form's, phases included. The contract is
+//! asserted pivot-for-pivot in `tests/properties.rs` via
+//! [`crate::simplex::solve_model_traced`]. The solver therefore refuses
+//! inexact scalars (the dispatch in [`crate::simplex`] routes `f64` to the
+//! dense form unconditionally).
+
+use privmech_linalg::sparse;
+use privmech_linalg::Scalar;
+
+use crate::basis::EtaFile;
+use crate::model::LpError;
+use crate::pricing::FallbackState;
+use crate::ratio::choose_leaving;
+use crate::simplex::{record, ColumnSolution, PivotStats, SolverOptions, TracePhase, TraceSink};
+use crate::standard::StandardForm;
+
+/// All constraint data the revised iterations read, fixed for the whole
+/// solve: sparse columns and rows of `[A | slack | artificial]`.
+struct Matrix<T: Scalar> {
+    /// Sparse columns, indexed by standard-form column (artificials last).
+    cols: Vec<Vec<(usize, T)>>,
+    /// Sparse rows over the same column index space.
+    rows: Vec<Vec<(usize, T)>>,
+    /// Column count including artificials.
+    total_cols: usize,
+    /// First artificial column index (== structural + slack column count).
+    first_artificial: usize,
+}
+
+impl<T: Scalar> Matrix<T> {
+    fn build(sf: &StandardForm<T>, artificial_rows: &[usize]) -> Self {
+        let first_artificial = sf.num_cols;
+        let total_cols = sf.num_cols + artificial_rows.len();
+        let mut cols = sf.sparse_columns();
+        let mut rows = sf.sparse_rows();
+        for (k, &row) in artificial_rows.iter().enumerate() {
+            cols.push(vec![(row, T::one())]);
+            rows[row].push((first_artificial + k, T::one()));
+        }
+        Matrix {
+            cols,
+            rows,
+            total_cols,
+            first_artificial,
+        }
+    }
+
+    fn is_artificial(&self, col: usize) -> bool {
+        col >= self.first_artificial
+    }
+}
+
+/// Mutable iteration state of one revised solve.
+struct State<T: Scalar> {
+    file: EtaFile<T>,
+    /// Basic column per position.
+    basis: Vec<usize>,
+    /// Current basic solution (`x_B`), by position.
+    x_b: Vec<T>,
+    /// Reduced costs of the current phase, by column.
+    d: Vec<T>,
+    /// Current phase objective value (read for the phase-1 feasibility
+    /// verdict).
+    obj_val: T,
+    /// Dense scratch, internal-row space: FTRAN results.
+    work: Vec<T>,
+    /// Dense scratch, internal-row space: BTRAN results.
+    rho: Vec<T>,
+    /// Dense scratch, column space: the BTRAN'd pivot row.
+    row: Vec<T>,
+}
+
+impl<T: Scalar> State<T> {
+    /// Recover tableau row `position` into `self.row` (sparse sweep of
+    /// `ρᵀA`): a unit BTRAN followed by row-major accumulation over the
+    /// rows `ρ` actually touches.
+    fn compute_pivot_row(&mut self, matrix: &Matrix<T>, position: usize) {
+        sparse::clear(&mut self.rho);
+        self.file.btran_unit(&mut self.rho, position);
+        sparse::clear(&mut self.row);
+        for (r, mult) in self.rho.iter().enumerate() {
+            if mult.is_exactly_zero() {
+                continue;
+            }
+            for (j, a) in &matrix.rows[r] {
+                self.row[*j].add_mul_assign(mult, a);
+            }
+        }
+    }
+
+    /// Execute the pivot at (`position`, `entering`): update `x_B`, the
+    /// reduced costs (the dense objective-row recurrence over the BTRAN'd
+    /// pivot row — skipped with `update_costs: false` for drive-out pivots,
+    /// whose stale phase-1 costs the phase-2 rebuild discards anyway), the
+    /// eta file and the basis. `self.work` must hold the entering column's
+    /// FTRAN result.
+    fn pivot(&mut self, matrix: &Matrix<T>, position: usize, entering: usize, update_costs: bool) {
+        let pivot_value = self.work[self.file.row_of(position)].clone();
+        let theta = self.x_b[position].div_ref(&pivot_value);
+
+        // x_B ← x_B − θ·(pivot column), x_B[position] ← θ; walking the FTRAN
+        // result's nonzeros covers exactly the dense form's touched rows.
+        for (r, t) in self.work.iter().enumerate() {
+            if t.is_exactly_zero() {
+                continue;
+            }
+            let c = self.file.position_of(r);
+            if c == position {
+                continue;
+            }
+            if !theta.is_exactly_zero() {
+                self.x_b[c].sub_mul_assign(t, &theta);
+            }
+        }
+
+        // Reduced costs: d_j ← d_j − d_q·(r_j / r_q) over the recovered
+        // pivot row — the recurrence the dense form applies to its objective
+        // row — plus the objective value's matching update.
+        let d_q = self.d[entering].clone();
+        if update_costs && !d_q.is_exactly_zero() {
+            self.compute_pivot_row(matrix, position);
+            for (j, r_j) in self.row.iter().enumerate() {
+                if j == entering || r_j.is_exactly_zero() {
+                    continue;
+                }
+                let normalized = r_j.div_ref(&pivot_value);
+                self.d[j].sub_mul_assign(&d_q, &normalized);
+            }
+            self.d[entering] = T::zero();
+            self.obj_val.add_mul_assign(&d_q, &theta);
+        }
+
+        self.file.push_pivot(position, &self.work);
+        self.basis[position] = entering;
+        self.x_b[position] = theta;
+    }
+
+    /// Refactorize when the trigger fires (pivot-count interval or eta
+    /// growth; see [`EtaFile::should_refactor`]). A refactorization changes
+    /// no observable value — FTRAN/BTRAN results are exact regardless of how
+    /// the factorization is composed — so this can run at any point between
+    /// pivots.
+    fn maybe_refactor(
+        &mut self,
+        matrix: &Matrix<T>,
+        options: &SolverOptions,
+    ) -> Result<(), LpError> {
+        if self.file.should_refactor(options.refactor_interval) {
+            let basis = &self.basis;
+            let cols = &matrix.cols;
+            self.file.refactorize(|c| cols[basis[c]].as_slice())?;
+        }
+        Ok(())
+    }
+
+    /// Run simplex iterations for one phase until optimality or
+    /// unboundedness — the revised twin of the dense `Tableau::optimize`,
+    /// consuming the same pricing and ratio-test stages.
+    fn optimize(
+        &mut self,
+        matrix: &Matrix<T>,
+        banned: &[bool],
+        phase1: bool,
+        options: &SolverOptions,
+        stats: &mut PivotStats,
+        trace: &mut TraceSink<'_>,
+    ) -> Result<(), LpError> {
+        let m = self.file.dim();
+        let max_iters = 50_000usize.max(100 * (matrix.total_cols + m));
+        let mut pricing = FallbackState::new::<T>(options);
+
+        for _ in 0..max_iters {
+            let Some(entering) = pricing.select(&self.d, banned, matrix.total_cols) else {
+                return Ok(());
+            };
+            sparse::clear(&mut self.work);
+            self.file.ftran(&mut self.work, &matrix.cols[entering]);
+            let bland_mode = pricing.bland_mode();
+            let file = &self.file;
+            let work = &self.work;
+            let x_b = &self.x_b;
+            let Some((position, degenerate)) = choose_leaving(
+                m,
+                &self.basis,
+                bland_mode,
+                |c| &work[file.row_of(c)],
+                |c| &x_b[c],
+            ) else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(matrix, position, entering, true);
+            record(
+                trace,
+                if phase1 {
+                    TracePhase::Phase1
+                } else {
+                    TracePhase::Phase2
+                },
+                entering,
+                position,
+            );
+
+            if phase1 {
+                stats.phase1_pivots += 1;
+            } else {
+                stats.phase2_pivots += 1;
+            }
+            pricing.after_pivot(degenerate, stats);
+            self.maybe_refactor(matrix, options)?;
+        }
+        Err(LpError::Internal(
+            "simplex iteration limit exceeded".to_string(),
+        ))
+    }
+}
+
+/// Solve a standard-form LP by the revised simplex. Only called for exact
+/// scalars (the dispatch in [`crate::simplex`] keeps `f64` on the dense
+/// form).
+pub(crate) fn solve_revised<T: Scalar>(
+    sf: StandardForm<T>,
+    options: &SolverOptions,
+    stats: &mut PivotStats,
+    trace: &mut TraceSink<'_>,
+) -> Result<ColumnSolution<T>, LpError> {
+    debug_assert!(T::is_exact(), "revised simplex requires exact arithmetic");
+    let m = sf.rows.len();
+
+    // Initial basis: slack seeds where available, artificials elsewhere —
+    // identical to the dense form. Every seed is a unit column, so the
+    // initial basis matrix is the identity and the eta file starts empty.
+    let mut artificial_rows: Vec<usize> = Vec::new();
+    let mut basis = vec![usize::MAX; m];
+    for (i, seed) in sf.slack_basis.iter().enumerate() {
+        match seed {
+            Some(col) => basis[i] = *col,
+            None => {
+                basis[i] = sf.num_cols + artificial_rows.len();
+                artificial_rows.push(i);
+            }
+        }
+    }
+    let matrix = Matrix::build(&sf, &artificial_rows);
+
+    let mut state = State {
+        file: EtaFile::identity(m),
+        basis,
+        x_b: sf.rhs.clone(),
+        d: vec![T::zero(); matrix.total_cols],
+        obj_val: T::zero(),
+        work: vec![T::zero(); m],
+        rho: vec![T::zero(); m],
+        row: vec![T::zero(); matrix.total_cols],
+    };
+
+    // -------------------------- Phase 1 --------------------------
+    if !artificial_rows.is_empty() {
+        // Phase-1 reduced costs: c1 = 1 on artificials, minus every
+        // artificially-seeded row (B = I, so the basis inverse is trivial
+        // here); the phase objective starts at the artificials' total mass.
+        for j in matrix.first_artificial..matrix.total_cols {
+            state.d[j] = T::one();
+        }
+        for &i in &artificial_rows {
+            for (j, a) in &matrix.rows[i] {
+                state.d[*j].sub_assign_ref(a);
+            }
+            state.obj_val.add_assign_ref(&sf.rhs[i]);
+        }
+
+        let banned = vec![false; matrix.total_cols];
+        state.optimize(&matrix, &banned, true, options, stats, trace)?;
+
+        if state.obj_val.is_positive_approx() {
+            return Err(LpError::Infeasible);
+        }
+
+        // Drive any remaining artificial variables out of the basis: for
+        // each position still holding an artificial, recover its tableau row
+        // and pivot on the first non-artificial column with a nonzero entry
+        // (the dense form's scan order). These cleanup pivots move no mass
+        // (the artificial sits at value zero) and are not counted in the
+        // stats — exactly like the dense form.
+        for position in 0..m {
+            if !matrix.is_artificial(state.basis[position]) {
+                continue;
+            }
+            state.compute_pivot_row(&matrix, position);
+            let replacement = (0..sf.num_cols).find(|&j| !state.row[j].is_zero_approx());
+            if let Some(col) = replacement {
+                sparse::clear(&mut state.work);
+                state.file.ftran(&mut state.work, &matrix.cols[col]);
+                state.pivot(&matrix, position, col, false);
+                record(trace, TracePhase::DriveOut, col, position);
+            }
+            // A row with no replacement is redundant; the artificial stays
+            // basic at value zero, banned from re-entering in phase 2.
+        }
+    }
+
+    // -------------------------- Phase 2 --------------------------
+    // Reduced costs of the real objective from one dense BTRAN:
+    // d = c − (c_Bᵀ B⁻¹) A, artificial columns banned from entering.
+    let mut costs_full = sf.costs.clone();
+    costs_full.resize(matrix.total_cols, T::zero());
+    let cb: Vec<T> = state.basis.iter().map(|&b| costs_full[b].clone()).collect();
+    sparse::clear(&mut state.rho);
+    state.file.btran_dense(&mut state.rho, &cb);
+    for (j, d_j) in state.d.iter_mut().enumerate() {
+        *d_j = costs_full[j].clone();
+        let y_a = sparse::sparse_dot(&matrix.cols[j], &state.rho);
+        d_j.sub_assign_ref(&y_a);
+    }
+    // Basic columns price to exactly zero by construction.
+    for &b in &state.basis {
+        state.d[b] = T::zero();
+    }
+    state.obj_val = T::zero();
+    for (c, &b) in state.basis.iter().enumerate() {
+        state.obj_val.add_mul_assign(&costs_full[b], &state.x_b[c]);
+    }
+
+    let banned: Vec<bool> = (0..matrix.total_cols)
+        .map(|j| matrix.is_artificial(j))
+        .collect();
+    state.optimize(&matrix, &banned, false, options, stats, trace)?;
+
+    // ----------------------- Extract solution -----------------------
+    let mut column_values = vec![T::zero(); matrix.total_cols];
+    for (c, &b) in state.basis.iter().enumerate() {
+        column_values[b] = state.x_b[c].clone();
+    }
+    let total_cols = matrix.total_cols;
+    Ok(ColumnSolution {
+        sf,
+        column_values,
+        total_cols,
+    })
+}

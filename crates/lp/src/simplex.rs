@@ -1,13 +1,49 @@
-//! Dense two-phase simplex solver with Dantzig pricing and a Bland fallback.
+//! Two-phase simplex solver: Dantzig pricing with a Bland fallback, in two
+//! interchangeable forms — a dense tableau and a revised simplex with a
+//! product-form basis factorization.
+//!
+//! The full solver design — standard-form construction, the zero-rhs `>=`
+//! rewrite, the pricing rules, the basis-factorization lifecycle and the
+//! dense ≡ revised pivot-sequence contract — is documented in
+//! [`crates/lp/SOLVER.md`](https://github.com/privmech/privmech/blob/main/crates/lp/SOLVER.md)
+//! (in-tree: `crates/lp/SOLVER.md`). This module header summarizes the parts
+//! a caller needs.
+//!
+//! # Solver forms
+//!
+//! * **Dense tableau** ([`SolverForm::Dense`]): every pivot rewrites the full
+//!   `rows × cols` tableau (support-masked). Simple, battle-tested, and the
+//!   only form the `f64` backend runs (see below).
+//! * **Revised simplex** ([`SolverForm::Revised`], the [`SolverForm::Auto`]
+//!   default for exact scalars): the basis inverse is kept as an eta file
+//!   (`crate::basis`), entering columns are FTRAN'd against the original
+//!   sparse constraint columns, and the reduced-cost row is maintained from
+//!   BTRAN'd pivot rows — each iteration prices from the factorization
+//!   instead of rewriting the tableau, which is the ROADMAP's
+//!   revised-simplex performance item.
+//!
+//! **Identity contract**: on exact scalars both forms follow the *identical*
+//! pivot sequence (same entering column and leaving position at every
+//! iteration, phases included) and therefore return bit-identical solutions
+//! and [`PivotStats`]. The two forms share the entering rule
+//! (`crate::pricing`) and ratio test (`crate::ratio`) as single
+//! implementations, fed with exactly equal reduced costs / column entries
+//! (exact arithmetic knows nothing of the representation that produced
+//! them). The contract is property-tested over random and degenerate LPs
+//! ([`solve_model_traced`] exposes the pivot sequence) and pinned end-to-end
+//! through `PrivacyEngine` and the serve cache. The `f64` backend always
+//! runs the dense tableau — a float FTRAN/BTRAN rounds differently than a
+//! float tableau update, which would break both the contract and the
+//! backend's carefully preserved seed trajectory — so [`SolverForm::Auto`]
+//! (and even an explicit [`SolverForm::Revised`]) falls back to dense for
+//! inexact scalars.
 //!
 //! # Pricing strategy
 //!
-//! The solver is generic over [`Scalar`]: with `Rational` every pivot is exact;
-//! with `f64` a small tolerance is used for the sign tests. The LPs arising
-//! from the paper (Sections 2.4.3 and 2.5) are small and dense, so a
-//! full-tableau implementation remains the right backbone — but the *entering
-//! column rule* matters enormously for how many pivots (each a full O(rows ×
-//! cols) exact-arithmetic tableau update) a solve needs:
+//! The solver is generic over [`Scalar`]: with `Rational` every pivot is
+//! exact; with `f64` a small tolerance is used for the sign tests. The
+//! *entering column rule* matters enormously for how many pivots a solve
+//! needs:
 //!
 //! * **Dantzig pricing** (the default): enter the column with the most
 //!   negative reduced cost. Empirically this takes far fewer pivots on the
@@ -34,19 +70,10 @@
 //! before this rework; making Dantzig robust for floats would need scaling
 //! plus a Harris-style ratio test and is left as an open item.
 //!
-//! # Row-activity masking
-//!
-//! Each pivot first normalizes the pivot row and records its nonzero support;
-//! every other row (and the reduced-cost row) is then updated **only at those
-//! columns** via [`privmech_linalg::kernels::sub_scaled_at`]. Tableau rows
-//! from the paper's LPs are sparse (row-sum and adjacency constraints touch a
-//! handful of columns), so this skips most of each row, and the by-reference
-//! scalar kernels avoid cloning `Rational` operands.
-//!
 //! # Statistics
 //!
 //! Every solve reports a [`PivotStats`] on the returned
-//! [`Solution`](crate::model::Solution): pivot counts per phase, degenerate
+//! [`Solution`]: pivot counts per phase, degenerate
 //! pivot count, how many pivots each pricing rule performed, and how often the
 //! Bland fallback engaged. The bench tooling records these alongside wall
 //! times so perf regressions can be separated into "more pivots" vs "slower
@@ -54,7 +81,10 @@
 
 use privmech_linalg::{kernels, Scalar};
 
-use crate::model::{LpError, Model, Relation, Sense, Solution, VarBound};
+use crate::model::{LpError, Model, Solution};
+use crate::pricing::FallbackState;
+use crate::ratio::choose_leaving;
+use crate::standard::{build_standard_form, extract_values, report_objective, StandardForm};
 
 /// Entering-column pricing rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,6 +98,24 @@ pub enum PricingRule {
     Bland,
 }
 
+/// Which simplex implementation executes the solve. Both forms follow the
+/// identical pivot sequence on exact scalars (see the module docs), so this
+/// is an execution detail — it never changes a result, and is therefore
+/// deliberately excluded from request fingerprints and cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverForm {
+    /// Revised simplex for exact scalars, dense tableau for `f64`. The
+    /// default.
+    #[default]
+    Auto,
+    /// Always the dense tableau.
+    Dense,
+    /// Revised simplex where sound: exact scalars run it, inexact backends
+    /// still fall back to the dense tableau (a float FTRAN/BTRAN rounds
+    /// differently than a float tableau update; see the module docs).
+    Revised,
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverOptions {
@@ -76,6 +124,21 @@ pub struct SolverOptions {
     /// Number of consecutive degenerate pivots tolerated under Dantzig
     /// pricing before switching to Bland's rule.
     pub degeneracy_streak_limit: usize,
+    /// Which simplex implementation to run (a result-invariant execution
+    /// detail; see [`SolverForm`]).
+    pub form: SolverForm,
+    /// Revised simplex only: pivots between basis refactorizations.
+    /// [`SolverOptions::NEVER_REFACTOR`] disables refactorization (the eta
+    /// file then grows by one eta per pivot); an eta-file *growth* trigger
+    /// fires early regardless of the interval (see `crate::basis`). Ignored
+    /// by the dense form.
+    pub refactor_interval: usize,
+}
+
+impl SolverOptions {
+    /// Sentinel for [`SolverOptions::refactor_interval`] disabling
+    /// refactorization (including the eta-growth trigger) entirely.
+    pub const NEVER_REFACTOR: usize = usize::MAX;
 }
 
 impl Default for SolverOptions {
@@ -83,6 +146,8 @@ impl Default for SolverOptions {
         SolverOptions {
             pricing: PricingRule::default(),
             degeneracy_streak_limit: 8,
+            form: SolverForm::default(),
+            refactor_interval: 64,
         }
     }
 }
@@ -112,154 +177,48 @@ impl PivotStats {
     }
 }
 
-/// How a model variable maps onto standard-form columns.
-#[derive(Debug, Clone, Copy)]
-enum ColumnMap {
-    /// A non-negative variable occupies a single column.
-    Single(usize),
-    /// A free variable is split as `x = plus - minus`.
-    Split { plus: usize, minus: usize },
+/// Which stage of the two-phase method a traced pivot belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Feasibility search (minimizing the sum of artificials).
+    Phase1,
+    /// Post-phase-1 cleanup pivots driving residual artificial variables out
+    /// of a degenerate basis (not counted in [`PivotStats`]).
+    DriveOut,
+    /// Optimization of the real objective.
+    Phase2,
 }
 
-/// Internal standard-form representation: minimize `c^T y` subject to
-/// `A y = b`, `y >= 0`, `b >= 0`.
-struct StandardForm<T: Scalar> {
-    /// Constraint rows including slack/surplus columns but not artificials.
-    rows: Vec<Vec<T>>,
-    /// Right-hand sides, all non-negative.
-    rhs: Vec<T>,
-    /// Objective coefficients for every structural + slack column.
-    costs: Vec<T>,
-    /// Per-row basis seed: `Some(col)` if a slack column can start in the
-    /// basis, `None` if the row needs an artificial variable.
-    slack_basis: Vec<Option<usize>>,
-    /// Mapping from model variables to columns.
-    mapping: Vec<ColumnMap>,
-    /// Number of columns (structural + slack/surplus).
-    num_cols: usize,
+/// One pivot of a simplex solve: which standard-form column entered and
+/// which basis position left. [`solve_model_traced`] returns the full
+/// sequence; the dense ≡ revised contract tests assert the two forms produce
+/// equal traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PivotRecord {
+    /// Stage of the two-phase method.
+    pub phase: TracePhase,
+    /// Entering standard-form column index.
+    pub entering: usize,
+    /// Leaving basis position (equivalently: dense tableau row).
+    pub leaving: usize,
 }
 
-fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<StandardForm<T>, LpError> {
-    let (sense, objective) = model.objective.clone().ok_or(LpError::MissingObjective)?;
+/// Trace sink threaded through a solve; `None` costs nothing.
+pub(crate) type TraceSink<'a> = Option<&'a mut Vec<PivotRecord>>;
 
-    // Map model variables onto non-negative columns.
-    let mut mapping = Vec::with_capacity(model.bounds.len());
-    let mut num_cols = 0usize;
-    for bound in &model.bounds {
-        match bound {
-            VarBound::NonNegative => {
-                mapping.push(ColumnMap::Single(num_cols));
-                num_cols += 1;
-            }
-            VarBound::Free => {
-                mapping.push(ColumnMap::Split {
-                    plus: num_cols,
-                    minus: num_cols + 1,
-                });
-                num_cols += 2;
-            }
-        }
+pub(crate) fn record(
+    trace: &mut TraceSink<'_>,
+    phase: TracePhase,
+    entering: usize,
+    leaving: usize,
+) {
+    if let Some(t) = trace.as_deref_mut() {
+        t.push(PivotRecord {
+            phase,
+            entering,
+            leaving,
+        });
     }
-    let structural_cols = num_cols;
-
-    // Constraint rows over structural columns; slack/surplus columns appended.
-    let mut rows: Vec<Vec<T>> = Vec::with_capacity(model.constraints.len());
-    let mut rhs: Vec<T> = Vec::with_capacity(model.constraints.len());
-    let mut relations: Vec<Relation> = Vec::with_capacity(model.constraints.len());
-
-    for constraint in &model.constraints {
-        let mut row = vec![T::zero(); structural_cols];
-        for (var, coeff) in constraint.expr.terms() {
-            match mapping[var.0] {
-                ColumnMap::Single(col) => row[col].add_assign_ref(coeff),
-                ColumnMap::Split { plus, minus } => {
-                    row[plus].add_assign_ref(coeff);
-                    row[minus].sub_assign_ref(coeff);
-                }
-            }
-        }
-        let mut b = constraint.rhs.sub_ref(constraint.expr.constant_part());
-        let mut relation = constraint.relation;
-        if b.is_negative_approx() {
-            // Multiply the whole row by -1 so that b >= 0, flipping <= / >=.
-            for cell in &mut row {
-                cell.neg_assign();
-            }
-            b.neg_assign();
-            relation = match relation {
-                Relation::Le => Relation::Ge,
-                Relation::Ge => Relation::Le,
-                Relation::Eq => Relation::Eq,
-            };
-        }
-        if T::is_exact() && relation == Relation::Ge && b.is_exactly_zero() {
-            // `expr >= 0` is `-expr <= 0`: negating lets a slack column seed
-            // the basis, so the row needs no artificial variable. The
-            // paper's LPs are dominated by such rows (2·n·(n+1) adjacency
-            // constraints with zero rhs), and without this rewrite phase 1
-            // spends thousands of degenerate pivots driving their
-            // artificials out. Exact scalars only: like Dantzig pricing,
-            // the changed pivot trajectory is a numerical-robustness hazard
-            // for the `f64` backend, which stays on the seed solver's path.
-            for cell in &mut row {
-                cell.neg_assign();
-            }
-            relation = Relation::Le;
-        }
-        rows.push(row);
-        rhs.push(b);
-        relations.push(relation);
-    }
-
-    // Add slack / surplus columns.
-    let num_rows = rows.len();
-    let mut slack_basis: Vec<Option<usize>> = vec![None; num_rows];
-    for (i, relation) in relations.iter().enumerate() {
-        match relation {
-            Relation::Le => {
-                let col = num_cols;
-                num_cols += 1;
-                for (r, row) in rows.iter_mut().enumerate() {
-                    row.push(if r == i { T::one() } else { T::zero() });
-                }
-                slack_basis[i] = Some(col);
-            }
-            Relation::Ge => {
-                num_cols += 1;
-                for (r, row) in rows.iter_mut().enumerate() {
-                    row.push(if r == i { -T::one() } else { T::zero() });
-                }
-            }
-            Relation::Eq => {}
-        }
-    }
-
-    // Objective over structural columns (slack/surplus cost 0).
-    let mut costs = vec![T::zero(); num_cols];
-    let maximize = sense == Sense::Maximize;
-    for (var, coeff) in objective.terms() {
-        let signed = if maximize {
-            -coeff.clone()
-        } else {
-            coeff.clone()
-        };
-        match mapping[var.0] {
-            ColumnMap::Single(col) => costs[col].add_assign_ref(&signed),
-            ColumnMap::Split { plus, minus } => {
-                costs[plus].add_assign_ref(&signed);
-                costs[minus].sub_assign_ref(&signed);
-            }
-        }
-    }
-
-    Ok(StandardForm {
-        rows,
-        rhs,
-        costs,
-        slack_basis,
-        mapping,
-        num_cols,
-    })
 }
 
 /// A full simplex tableau: `rows x (cols + 1)` with the right-hand side in the
@@ -321,136 +280,48 @@ impl<T: Scalar> Tableau<'_, T> {
         self.basis[row] = col;
     }
 
-    /// Entering column under Bland's rule: smallest index with a negative
-    /// reduced cost.
-    fn entering_bland(&self) -> Option<usize> {
-        (0..self.cols).find(|&j| !self.banned[j] && self.obj[j].is_negative_approx())
-    }
-
-    /// Entering column under Dantzig pricing: most negative reduced cost
-    /// (ties broken towards the smaller index).
-    fn entering_dantzig(&self) -> Option<usize> {
-        let mut best: Option<usize> = None;
-        for j in 0..self.cols {
-            if self.banned[j] || !self.obj[j].is_negative_approx() {
-                continue;
-            }
-            match best {
-                None => best = Some(j),
-                Some(b) => {
-                    if self.obj[j] < self.obj[b] {
-                        best = Some(j);
-                    }
-                }
-            }
-        }
-        best
-    }
-
-    /// Leaving row for entering column `col`: minimum ratio. Ties are broken
-    /// differently per pricing mode:
-    ///
-    /// * Bland mode: smallest basis index — part of Bland's anti-cycling
-    ///   termination guarantee.
-    /// * Dantzig mode: **largest pivot coefficient**. Dantzig's
-    ///   most-negative-cost column can pair a tied minimum ratio with a tiny
-    ///   pivot element; dividing the row by a near-tolerance pivot destroys
-    ///   `f64` tableaus (and bloats `Rational` entries), so among tied rows
-    ///   the best-conditioned pivot wins. Cycling concerns are delegated to
-    ///   the Bland fallback.
-    ///
-    /// Returns `None` when the column is unbounded, otherwise the row and
-    /// whether the pivot is degenerate (ratio approximately zero).
-    fn leaving_row(&self, col: usize, bland_mode: bool) -> Option<(usize, bool)> {
-        let mut best: Option<(usize, T)> = None;
-        for r in 0..self.body.len() {
-            let coeff = &self.body[r][col];
-            if !coeff.is_positive_approx() {
-                continue;
-            }
-            let ratio = self.rhs(r).div_ref(coeff);
-            match &best {
-                None => best = Some((r, ratio)),
-                Some((br, bratio)) => {
-                    if ratio == *bratio {
-                        let tie_wins = if bland_mode {
-                            self.basis[r] < self.basis[*br]
-                        } else {
-                            self.body[r][col].abs() > self.body[*br][col].abs()
-                        };
-                        if tie_wins {
-                            best = Some((r, ratio));
-                        }
-                    } else if ratio < *bratio {
-                        best = Some((r, ratio));
-                    }
-                }
-            }
-        }
-        best.map(|(r, ratio)| (r, ratio.is_zero_approx()))
-    }
-
     /// Run simplex iterations until optimality or unboundedness, following
     /// the configured pricing rule. Returns `Err(LpError::Unbounded)` when a
     /// column with a negative reduced cost has no positive entry.
-    fn optimize(&mut self, phase1: bool) -> Result<(), LpError> {
+    fn optimize(&mut self, phase1: bool, trace: &mut TraceSink<'_>) -> Result<(), LpError> {
         // Generous iteration cap: the Bland fallback guarantees finite
         // termination, this cap only guards against a solver bug turning
         // into a hang.
         let max_iters = 50_000usize.max(100 * (self.cols + self.body.len()));
-        let mut degenerate_streak = 0usize;
-        // Dantzig pricing is reserved for exact scalars: on the heavily
-        // degenerate phase-1 tableaus of the paper's LPs, the most-negative
-        // column rule steers `f64` through ill-conditioned bases whose noise
-        // eventually fabricates infeasible/unbounded verdicts. Inexact
-        // backends therefore always price by Bland's rule (the seed solver's
-        // behavior); exact backends get the fast pricing plus the fallback.
-        let dantzig_allowed =
-            T::is_exact() && self.options.pricing == PricingRule::DantzigWithBlandFallback;
-        let mut bland_mode = !dantzig_allowed;
+        let mut pricing = FallbackState::new::<T>(self.options);
 
         for _ in 0..max_iters {
-            let entering = if bland_mode {
-                self.entering_bland()
-            } else {
-                self.entering_dantzig()
-            };
-            let Some(col) = entering else {
+            let Some(col) = pricing.select(&self.obj, &self.banned, self.cols) else {
                 return Ok(());
             };
-            let Some((row, degenerate)) = self.leaving_row(col, bland_mode) else {
+            let bland_mode = pricing.bland_mode();
+            let Some((row, degenerate)) = choose_leaving(
+                self.body.len(),
+                &self.basis,
+                bland_mode,
+                |r| &self.body[r][col],
+                |r| self.rhs(r),
+            ) else {
                 return Err(LpError::Unbounded);
             };
             self.pivot(row, col);
+            record(
+                trace,
+                if phase1 {
+                    TracePhase::Phase1
+                } else {
+                    TracePhase::Phase2
+                },
+                col,
+                row,
+            );
 
             if phase1 {
                 self.stats.phase1_pivots += 1;
             } else {
                 self.stats.phase2_pivots += 1;
             }
-            if bland_mode {
-                self.stats.bland_pivots += 1;
-            } else {
-                self.stats.dantzig_pivots += 1;
-            }
-            if degenerate {
-                self.stats.degenerate_pivots += 1;
-                degenerate_streak += 1;
-                if !bland_mode
-                    && dantzig_allowed
-                    && degenerate_streak > self.options.degeneracy_streak_limit
-                {
-                    bland_mode = true;
-                    self.stats.fallback_activations += 1;
-                }
-            } else {
-                degenerate_streak = 0;
-                // A strict objective improvement left the degenerate vertex;
-                // resume the cheaper-converging Dantzig rule.
-                if dantzig_allowed {
-                    bland_mode = false;
-                }
-            }
+            pricing.after_pivot(degenerate, self.stats);
         }
         Err(LpError::Internal(
             "simplex iteration limit exceeded".to_string(),
@@ -468,13 +339,36 @@ pub fn solve_model_with<T: Scalar>(
     model: &Model<T>,
     options: &SolverOptions,
 ) -> Result<Solution<T>, LpError> {
+    solve_impl(model, options, None)
+}
+
+/// Solve and additionally return the full pivot sequence.
+///
+/// This is the observation surface for the dense ≡ revised identity
+/// contract: the property tests solve the same model under
+/// [`SolverForm::Dense`] and [`SolverForm::Revised`] and assert the returned
+/// traces are equal element for element. Tracing allocates one
+/// [`PivotRecord`] per pivot and is otherwise free.
+pub fn solve_model_traced<T: Scalar>(
+    model: &Model<T>,
+    options: &SolverOptions,
+) -> Result<(Solution<T>, Vec<PivotRecord>), LpError> {
+    let mut trace = Vec::new();
+    let solution = solve_impl(model, options, Some(&mut trace))?;
+    Ok((solution, trace))
+}
+
+fn solve_impl<T: Scalar>(
+    model: &Model<T>,
+    options: &SolverOptions,
+    mut trace: TraceSink<'_>,
+) -> Result<Solution<T>, LpError> {
     let sf = build_standard_form(model)?;
-    let num_rows = sf.rows.len();
     let mut stats = PivotStats::default();
 
     // Handle the degenerate "no constraints" case directly: the optimum is at
     // the origin if the costs are non-negative, otherwise unbounded.
-    if num_rows == 0 {
+    if sf.rows.is_empty() {
         for c in &sf.costs {
             if c.is_negative_approx() {
                 return Err(LpError::Unbounded);
@@ -488,6 +382,47 @@ pub fn solve_model_with<T: Scalar>(
             stats,
         });
     }
+
+    // Form dispatch: the revised simplex requires exact arithmetic for its
+    // identity contract (module docs), so inexact backends always run the
+    // dense tableau.
+    let values = if T::is_exact() && options.form != SolverForm::Dense {
+        crate::revised::solve_revised(sf, options, &mut stats, &mut trace)?
+    } else {
+        solve_dense(sf, options, &mut stats, &mut trace)?
+    };
+    let extracted = values.extract(model);
+    Ok(Solution {
+        objective: extracted.0,
+        values: extracted.1,
+        stats,
+    })
+}
+
+/// The standard-form optimum both solver forms hand back: final column
+/// values plus the ingredients to map them onto model variables.
+pub(crate) struct ColumnSolution<T: Scalar> {
+    pub(crate) sf: StandardForm<T>,
+    pub(crate) column_values: Vec<T>,
+    pub(crate) total_cols: usize,
+}
+
+impl<T: Scalar> ColumnSolution<T> {
+    fn extract(&self, model: &Model<T>) -> (T, Vec<T>) {
+        let values = extract_values(&self.sf, &self.column_values, self.total_cols);
+        let objective = report_objective(model, &values);
+        (objective, values)
+    }
+}
+
+/// The dense-tableau solve (two phases + artificial-variable cleanup).
+fn solve_dense<T: Scalar>(
+    sf: StandardForm<T>,
+    options: &SolverOptions,
+    stats: &mut PivotStats,
+    trace: &mut TraceSink<'_>,
+) -> Result<ColumnSolution<T>, LpError> {
+    let num_rows = sf.rows.len();
 
     // Build the initial tableau, adding artificial columns where no slack can
     // seed the basis.
@@ -550,9 +485,9 @@ pub fn solve_model_with<T: Scalar>(
             banned: vec![false; total_cols],
             support: Vec::with_capacity(total_cols + 1),
             options,
-            stats: &mut stats,
+            stats,
         };
-        tableau.optimize(true)?;
+        tableau.optimize(true, trace)?;
 
         let phase1_value = -tableau.obj[total_cols].clone();
         if phase1_value.is_positive_approx() {
@@ -568,6 +503,7 @@ pub fn solve_model_with<T: Scalar>(
             let replacement = (0..sf.num_cols).find(|&j| !tableau.body[row][j].is_zero_approx());
             if let Some(col) = replacement {
                 tableau.pivot(row, col);
+                record(trace, TracePhase::DriveOut, col, row);
             }
             // If no replacement exists the row is redundant; the artificial
             // stays basic at value zero, which is harmless because the column
@@ -607,51 +543,20 @@ pub fn solve_model_with<T: Scalar>(
         banned: is_artificial,
         support: Vec::with_capacity(total_cols + 1),
         options,
-        stats: &mut stats,
+        stats,
     };
-    tableau.optimize(false)?;
+    tableau.optimize(false, trace)?;
 
     // ----------------------- Extract solution -----------------------
     let mut column_values = vec![T::zero(); total_cols];
     for (i, &b) in tableau.basis.iter().enumerate() {
         column_values[b] = tableau.rhs(i).clone();
     }
-    let values = extract_values(&sf, &column_values, total_cols);
-    let objective = report_objective(model, &values);
-    Ok(Solution {
-        objective,
-        values,
-        stats,
+    Ok(ColumnSolution {
+        sf,
+        column_values,
+        total_cols,
     })
-}
-
-fn extract_values<T: Scalar>(
-    sf: &StandardForm<T>,
-    column_values: &[T],
-    total_cols: usize,
-) -> Vec<T> {
-    let get = |col: usize| -> T {
-        if col < total_cols && col < column_values.len() {
-            column_values[col].clone()
-        } else {
-            T::zero()
-        }
-    };
-    sf.mapping
-        .iter()
-        .map(|m| match *m {
-            ColumnMap::Single(col) => get(col),
-            ColumnMap::Split { plus, minus } => get(plus) - get(minus),
-        })
-        .collect()
-}
-
-fn report_objective<T: Scalar>(model: &Model<T>, values: &[T]) -> T {
-    let (_, expr) = model
-        .objective
-        .as_ref()
-        .expect("objective checked during standard-form construction");
-    expr.evaluate(values)
 }
 
 #[cfg(test)]
@@ -881,6 +786,7 @@ mod tests {
                 pricing: PricingRule::DantzigWithBlandFallback,
                 // Force the fallback machinery to engage almost immediately.
                 degeneracy_streak_limit: 1,
+                ..SolverOptions::default()
             },
         )
         .unwrap();
@@ -889,6 +795,7 @@ mod tests {
             &SolverOptions {
                 pricing: PricingRule::Bland,
                 degeneracy_streak_limit: 1,
+                ..SolverOptions::default()
             },
         )
         .unwrap();
@@ -948,5 +855,33 @@ mod tests {
         let sol = m.solve().unwrap();
         assert_eq!(sol.objective, rat(4, 1));
         assert_eq!(*sol.value(x), rat(2, 1));
+    }
+
+    #[test]
+    fn dense_and_revised_agree_on_the_cycling_lp() {
+        use super::{SolverForm, TracePhase};
+        let m = beale_cycling_model();
+        let dense = crate::simplex::solve_model_traced(
+            &m,
+            &SolverOptions {
+                form: SolverForm::Dense,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        let revised = crate::simplex::solve_model_traced(
+            &m,
+            &SolverOptions {
+                form: SolverForm::Revised,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(dense.0, revised.0, "solutions must be bit-identical");
+        assert_eq!(dense.1, revised.1, "pivot sequences must be identical");
+        assert!(dense.1.iter().all(|r| matches!(
+            r.phase,
+            TracePhase::Phase1 | TracePhase::DriveOut | TracePhase::Phase2
+        )));
     }
 }

@@ -62,7 +62,7 @@ impl<T: Scalar> ModelTemplate<T> {
     /// `scale · θ` into it.
     ///
     /// The term must exist (build the template with a nonzero placeholder
-    /// coefficient so [`LinExpr::add_term`]'s zero-dropping cannot remove it).
+    /// coefficient so [`crate::model::LinExpr::add_term`]'s zero-dropping cannot remove it).
     pub fn bind_scaled(&mut self, constraint: usize, var: Var, scale: T) -> Result<(), LpError> {
         let slot = self.model.find_coeff_slot(constraint, var).ok_or_else(|| {
             LpError::Internal(format!(

@@ -182,3 +182,203 @@ proptest! {
         prop_assert_eq!(sol.objective, expected);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Dense ≡ revised identity contract (PR 4).
+//
+// The revised simplex must follow the *identical pivot sequence* as the dense
+// tableau — same entering column and leaving position at every iteration,
+// phases included — and refactorization must be unobservable. These
+// properties back the SOLVER.md contract that lets `SolverForm` stay out of
+// request fingerprints and cache keys.
+// ---------------------------------------------------------------------------
+
+use privmech_lp::{solve_model_traced, SolverForm, SolverOptions};
+
+/// A random small LP mixing `<=`/`>=`/`==` rows, negative right-hand sides
+/// (exercising the row-negation rewrite), zero-rhs `>=` rows (exercising the
+/// slack-seeding rewrite and producing degenerate vertices), and a free
+/// variable (exercising the column split).
+fn random_model(coeffs: &[i64], rhs: &[i64], costs: &[i64], free_var: bool) -> Model<Rational> {
+    let vars = 3usize;
+    let mut m: Model<Rational> = Model::new();
+    let mut xs = Vec::new();
+    for k in 0..vars {
+        let bound = if free_var && k == 0 {
+            privmech_lp::VarBound::Free
+        } else {
+            privmech_lp::VarBound::NonNegative
+        };
+        xs.push(m.add_var(format!("x{k}"), bound));
+    }
+    for (i, b) in rhs.iter().enumerate() {
+        let mut e = LinExpr::new();
+        for (k, &x) in xs.iter().enumerate() {
+            e.add_term(x, rat(coeffs[(i * vars + k) % coeffs.len()], 1));
+        }
+        let relation = match i % 3 {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        // Every third >= row gets a zero rhs: the paper's dominant row shape.
+        let b = if relation == Relation::Ge && i % 2 == 0 {
+            0
+        } else {
+            *b
+        };
+        m.add_constraint(e, relation, rat(b, 1)).unwrap();
+    }
+    let mut obj = LinExpr::new();
+    for (k, &x) in xs.iter().enumerate() {
+        obj.add_term(x, rat(costs[k % costs.len()], 1));
+    }
+    m.set_objective(Sense::Minimize, obj).unwrap();
+    m
+}
+
+fn with_form(form: SolverForm) -> SolverOptions {
+    SolverOptions {
+        form,
+        ..SolverOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline contract: dense and revised return the same `Result` —
+    /// bit-identical solution, stats, *and pivot-for-pivot trace* on
+    /// success; the same error (infeasible/unbounded) otherwise.
+    #[test]
+    fn dense_and_revised_pivot_sequences_are_identical(
+        coeffs in prop::collection::vec(-4i64..=4, 9),
+        rhs in prop::collection::vec(-6i64..=6, 5),
+        costs in prop::collection::vec(-3i64..=5, 3),
+        free_var in any::<bool>(),
+    ) {
+        let m = random_model(&coeffs, &rhs, &costs, free_var);
+        let dense = solve_model_traced(&m, &with_form(SolverForm::Dense));
+        let revised = solve_model_traced(&m, &with_form(SolverForm::Revised));
+        prop_assert_eq!(dense, revised);
+    }
+
+    /// Refactorization boundaries: refactorizing after every pivot, on the
+    /// default trigger, or never must be completely unobservable — identical
+    /// solutions and identical pivot sequences.
+    #[test]
+    fn refactorization_frequency_is_unobservable(
+        coeffs in prop::collection::vec(-4i64..=4, 9),
+        rhs in prop::collection::vec(-6i64..=6, 5),
+        costs in prop::collection::vec(-3i64..=5, 3),
+        free_var in any::<bool>(),
+    ) {
+        let m = random_model(&coeffs, &rhs, &costs, free_var);
+        let every_pivot = solve_model_traced(&m, &SolverOptions {
+            form: SolverForm::Revised,
+            refactor_interval: 1,
+            ..SolverOptions::default()
+        });
+        let default_trigger = solve_model_traced(&m, &with_form(SolverForm::Revised));
+        let never = solve_model_traced(&m, &SolverOptions {
+            form: SolverForm::Revised,
+            refactor_interval: SolverOptions::NEVER_REFACTOR,
+            ..SolverOptions::default()
+        });
+        prop_assert_eq!(&every_pivot, &default_trigger);
+        prop_assert_eq!(&default_trigger, &never);
+    }
+
+    /// The f64 backend routes every `SolverForm` onto the dense tableau (a
+    /// float FTRAN/BTRAN rounds differently than a float tableau update), so
+    /// all three forms — and all refactorization intervals — must return
+    /// byte-identical results there too.
+    #[test]
+    fn f64_solver_form_is_inert(
+        a in prop::collection::vec(1i64..=9, 6),
+        b in prop::collection::vec(1i64..=15, 3),
+        c in prop::collection::vec(1i64..=9, 2),
+    ) {
+        let mut m: Model<f64> = Model::new();
+        let xs = m.add_nonneg_vars("x", 2);
+        for i in 0..3 {
+            let e = LinExpr::term(xs[0], a[2 * i] as f64).plus(xs[1], a[2 * i + 1] as f64);
+            m.add_constraint(e, Relation::Ge, b[i] as f64).unwrap();
+        }
+        m.set_objective(
+            Sense::Minimize,
+            LinExpr::term(xs[0], c[0] as f64).plus(xs[1], c[1] as f64),
+        ).unwrap();
+        let auto = solve_model_traced(&m, &with_form(SolverForm::Auto)).unwrap();
+        let dense = solve_model_traced(&m, &with_form(SolverForm::Dense)).unwrap();
+        let revised = solve_model_traced(&m, &SolverOptions {
+            form: SolverForm::Revised,
+            refactor_interval: 1,
+            ..SolverOptions::default()
+        }).unwrap();
+        prop_assert_eq!(&auto, &dense);
+        prop_assert_eq!(&dense, &revised);
+    }
+}
+
+/// Beale's cycling LP under the revised form at every refactorization
+/// frequency: the degenerate-vertex fallback machinery (streak counting,
+/// Bland engagement) must fire identically across forms and frequencies.
+#[test]
+fn degenerate_cycling_lp_identical_across_forms_and_frequencies() {
+    // max 10a - 57b - 9c - 24d subject to Beale's rows (see crates/lp
+    // simplex unit tests); forced tiny streak limit so the fallback engages.
+    let mut m: Model<Rational> = Model::new();
+    let a = m.add_var("a", privmech_lp::VarBound::NonNegative);
+    let b = m.add_var("b", privmech_lp::VarBound::NonNegative);
+    let c = m.add_var("c", privmech_lp::VarBound::NonNegative);
+    let d = m.add_var("d", privmech_lp::VarBound::NonNegative);
+    m.add_constraint(
+        LinExpr::term(a, rat(1, 2))
+            .plus(b, rat(-11, 2))
+            .plus(c, rat(-5, 2))
+            .plus(d, rat(9, 1)),
+        Relation::Le,
+        Rational::zero(),
+    )
+    .unwrap();
+    m.add_constraint(
+        LinExpr::term(a, rat(1, 2))
+            .plus(b, rat(-3, 2))
+            .plus(c, rat(-1, 2))
+            .plus(d, rat(1, 1)),
+        Relation::Le,
+        Rational::zero(),
+    )
+    .unwrap();
+    m.add_constraint(LinExpr::term(a, rat(1, 1)), Relation::Le, rat(1, 1))
+        .unwrap();
+    m.set_objective(
+        Sense::Maximize,
+        LinExpr::term(a, rat(10, 1))
+            .plus(b, rat(-57, 1))
+            .plus(c, rat(-9, 1))
+            .plus(d, rat(-24, 1)),
+    )
+    .unwrap();
+
+    let run = |form: SolverForm, interval: usize| {
+        solve_model_traced(
+            &m,
+            &SolverOptions {
+                form,
+                refactor_interval: interval,
+                degeneracy_streak_limit: 1,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap()
+    };
+    let reference = run(SolverForm::Dense, 64);
+    assert_eq!(reference.0.objective, rat(1, 1));
+    assert!(reference.0.stats.fallback_activations > 0 || reference.0.stats.degenerate_pivots > 0);
+    for interval in [1, 64, SolverOptions::NEVER_REFACTOR] {
+        let revised = run(SolverForm::Revised, interval);
+        assert_eq!(reference, revised, "interval {interval}");
+    }
+}

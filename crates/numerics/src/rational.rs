@@ -184,6 +184,35 @@ impl Rational {
         }
     }
 
+    /// Fused `self - factor·x` in one normalization.
+    ///
+    /// This is the innermost operation of the revised simplex's eta-vector
+    /// kernels (FTRAN/BTRAN apply `w_i ← w_i - t_i·z` across every nonzero of
+    /// an eta column): computing it as `mul` then `sub` runs up to four gcd
+    /// reductions and several `BigInt` allocations. When every component fits
+    /// a single limb comfortably (`|v| < 2³¹`, so all cross products fit
+    /// `i128`) the fused form computes the unreduced `(a·d·f − c·e·b) /
+    /// (b·d·f)` in machine integers and reduces with **one** `u128` gcd.
+    /// Values outside the fast-path window fall back to the generic
+    /// cross-cancelling `mul`/`sub` path; both paths return the identical
+    /// canonical rational.
+    #[must_use]
+    pub fn sub_mul(&self, factor: &Rational, x: &Rational) -> Rational {
+        if let Some(out) = fused_mul_add_fast(self, factor, x, true) {
+            return out;
+        }
+        self - &(factor * x)
+    }
+
+    /// Fused `self + factor·x`; see [`Rational::sub_mul`] for the fast path.
+    #[must_use]
+    pub fn add_mul(&self, factor: &Rational, x: &Rational) -> Rational {
+        if let Some(out) = fused_mul_add_fast(self, factor, x, false) {
+            return out;
+        }
+        self + &(factor * x)
+    }
+
     /// Raise to an integer power (negative exponents invert; `0^0 = 1`).
     ///
     /// # Panics
@@ -393,6 +422,72 @@ impl Ord for Rational {
         // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
     }
+}
+
+/// Magnitude bound under which the fused single-limb path is safe: with all
+/// six components below `2³¹`, every cross product (`a·d·f`, `c·e·b`,
+/// `b·d·f`) stays under `2⁹³` and their sum under `2⁹⁴`, comfortably inside
+/// `i128`.
+const FUSED_FAST_LIMIT: i64 = 1 << 31;
+
+/// Binary gcd on `u128` magnitudes (both nonzero).
+fn u128_gcd(mut a: u128, mut b: u128) -> u128 {
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// `BigInt` from a signed 128-bit value (two little-endian limbs).
+fn bigint_from_i128(v: i128) -> BigInt {
+    let sign = match v.cmp(&0) {
+        Ordering::Less => Sign::Negative,
+        Ordering::Equal => Sign::Zero,
+        Ordering::Greater => Sign::Positive,
+    };
+    let mag = v.unsigned_abs();
+    BigInt::from_sign_limbs(sign, vec![mag as u64, (mag >> 64) as u64])
+}
+
+/// The single-limb fast path behind [`Rational::sub_mul`] /
+/// [`Rational::add_mul`]: `lhs ∓ factor·x` with one machine-integer gcd.
+/// Returns `None` when any component exceeds the safe magnitude window.
+fn fused_mul_add_fast(
+    lhs: &Rational,
+    factor: &Rational,
+    x: &Rational,
+    subtract: bool,
+) -> Option<Rational> {
+    let small = |b: &BigInt| -> Option<i128> {
+        let v = b.to_i64()?;
+        (-FUSED_FAST_LIMIT < v && v < FUSED_FAST_LIMIT).then_some(v as i128)
+    };
+    let (a, b) = (small(&lhs.num)?, small(&lhs.den)?);
+    let (c, d) = (small(&factor.num)?, small(&factor.den)?);
+    let (e, f) = (small(&x.num)?, small(&x.den)?);
+    let prod = c * e; // < 2⁶²
+    let num = if subtract {
+        a * (d * f) - prod * b
+    } else {
+        a * (d * f) + prod * b
+    };
+    if num == 0 {
+        return Some(Rational::zero());
+    }
+    let den = b * (d * f); // > 0: denominators are positive
+    let g = u128_gcd(num.unsigned_abs(), den as u128) as i128;
+    Some(Rational::from_reduced(
+        bigint_from_i128(num / g),
+        bigint_from_i128(den / g),
+    ))
 }
 
 /// Shared implementation of `+` / `-` using Knuth's gcd-minimizing scheme

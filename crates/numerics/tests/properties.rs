@@ -280,3 +280,61 @@ proptest! {
         prop_assert!(r.abs() < divisor.abs());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fused eta-vector operations (PR 4): `sub_mul` / `add_mul` power the revised
+// simplex's FTRAN/BTRAN kernels. Their single-limb fast path (one u128 gcd on
+// machine integers) must agree with the generic mul-then-add/sub path on both
+// sides of the 2³¹ magnitude window, including the boundary itself.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fused_sub_mul_matches_unfused_small(
+        a in -40i64..=40, b in 1i64..=40,
+        c in -40i64..=40, d in 1i64..=40,
+        e in -40i64..=40, f in 1i64..=40,
+    ) {
+        let (x, y, z) = (Rational::from_ratio(a, b), Rational::from_ratio(c, d), Rational::from_ratio(e, f));
+        prop_assert_eq!(x.sub_mul(&y, &z), &x - &(&y * &z));
+        prop_assert_eq!(x.add_mul(&y, &z), &x + &(&y * &z));
+    }
+
+    #[test]
+    fn fused_ops_agree_across_the_fast_path_boundary(
+        base in prop::collection::vec((1i64..=3, 0i64..=2), 6),
+        offset in -2i64..=2,
+    ) {
+        // Components straddling 2³¹: (2³¹ + offset) · scale, with some
+        // components small — mixes fast-path hits, misses, and the exact
+        // window edges.
+        let limit = 1i64 << 31;
+        let comp = |i: usize| -> i64 {
+            let (scale, sel) = base[i];
+            match sel {
+                0 => scale,                 // tiny: inside the window
+                1 => limit - scale,         // just inside
+                _ => limit + scale + offset.abs(), // outside: generic path
+            }
+        };
+        let x = Rational::from_ratio(comp(0) * offset.signum().max(-1), comp(1));
+        let y = Rational::from_ratio(comp(2), comp(3));
+        let z = Rational::from_ratio(-comp(4), comp(5));
+        prop_assert_eq!(x.sub_mul(&y, &z), &x - &(&y * &z));
+        prop_assert_eq!(x.add_mul(&y, &z), &x + &(&y * &z));
+    }
+
+    #[test]
+    fn fused_ops_handle_zero_operands(
+        a in -9i64..=9, b in 1i64..=9,
+    ) {
+        let x = Rational::from_ratio(a, b);
+        let zero = Rational::zero();
+        prop_assert_eq!(x.sub_mul(&zero, &x), x.clone());
+        prop_assert_eq!(x.sub_mul(&x, &zero), x.clone());
+        prop_assert_eq!(zero.sub_mul(&x, &x), -(&x * &x));
+        prop_assert_eq!(x.add_mul(&zero, &zero), x.clone());
+    }
+}

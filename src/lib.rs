@@ -52,7 +52,10 @@
 //!   (deploy `G_{n,α}`, solve the small interaction LP); strategy
 //!   [`SolveStrategy::DirectLp`] solves the Section 2.5 LP directly and
 //!   reproduces the deprecated [`optimal_mechanism`] free function bit for
-//!   bit.
+//!   bit. Exact LPs run on a revised simplex with a product-form basis
+//!   factorization ([`SolverForm`], PR 4) that is
+//!   contractually pivot-sequence-identical to the dense tableau — design
+//!   and contract in `crates/lp/SOLVER.md`.
 //! * **Sweep α in batch.**
 //!   [`PrivacyEngine::sweep`](crate::core::PrivacyEngine::sweep) solves one
 //!   request at many privacy levels: the LP is built once and
@@ -85,7 +88,7 @@
 //! vacuous privacy rows; same optimal value — see the `core::optimal` docs).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Exact arithmetic: arbitrary-precision integers and rationals.
 pub mod numerics {
@@ -97,7 +100,8 @@ pub mod linalg {
     pub use privmech_linalg::*;
 }
 
-/// Linear programming (two-phase simplex, parameterized model templates).
+/// Linear programming (two-phase simplex in revised and dense forms,
+/// parameterized model templates); solver spec: `crates/lp/SOLVER.md`.
 pub mod lp {
     pub use privmech_lp::*;
 }
@@ -127,8 +131,8 @@ pub mod prelude {
         AbsoluteError, BayesianConsumer, ConsumerKind, CoreError, DerivabilityCheck, Interaction,
         LossFunction, Mechanism, MinimaxConsumer, MultiLevelRelease, OptimalMechanism, PivotStats,
         PricingRule, PrivacyEngine, PrivacyLevel, RequestConsumer, SideInformation, Solve,
-        SolveRequest, SolveStrategy, SolverOptions, SquaredError, StageRelease, TableLoss,
-        ToleranceError, ValidatedRequest, ZeroOneError,
+        SolveRequest, SolveStrategy, SolverForm, SolverOptions, SquaredError, StageRelease,
+        TableLoss, ToleranceError, ValidatedRequest, ZeroOneError,
     };
     #[allow(deprecated)] // seed call sites keep compiling through these shims
     pub use privmech_core::{
