@@ -2,10 +2,9 @@
 //!
 //! The paper's objects are families parameterized by the privacy level α, the
 //! query range `n`, a loss function and side information. The free functions
-//! of the seed API ([`optimal_mechanism`](crate::optimal::optimal_mechanism),
-//! [`optimal_interaction`](crate::interaction::optimal_interaction), …)
-//! rebuild and solve one LP per call; this module replaces them as the
-//! primary entry point with a request/engine design:
+//! of the seed API (`optimal_mechanism`, `optimal_interaction`, … — removed
+//! in PR 5) rebuilt and solved one LP per call; this module replaces them as
+//! the primary entry point with a request/engine design:
 //!
 //! 1. describe *what* to solve with a [`SolveRequest`] builder, which is
 //!    checked once into a typed [`ValidatedRequest`] (every field error has a
@@ -28,8 +27,7 @@
 //! geometric mechanism by construction. When the LP optimum is not unique the
 //! returned *matrix* may differ from the direct LP's optimal vertex;
 //! [`SolveStrategy::DirectLp`] solves the Section 2.5 LP itself and
-//! reproduces the deprecated
-//! [`optimal_mechanism`](crate::optimal::optimal_mechanism) bit for bit.
+//! reproduces the seed's `optimal_mechanism` formulation bit for bit.
 //!
 //! # Warm-started sweeps
 //!
@@ -67,7 +65,7 @@ pub enum SolveStrategy {
     /// construction.
     #[default]
     GeometricFactorization,
-    /// Solve the Section 2.5 LP directly. Reproduces the deprecated
+    /// Solve the Section 2.5 LP directly. Reproduces the seed's
     /// `optimal_mechanism` free function bit for bit (same model, same pivot
     /// sequence; relative to the original seed formulation the only change
     /// is at exactly α = 0 — see the `crate::optimal` module docs) — the
@@ -590,6 +588,62 @@ impl PrivacyEngine {
         Self::solve_one(&mut state, request, &request.level)
     }
 
+    /// Solve the request at every level of `levels`, delivering each result
+    /// to `on_result` in **completion order** together with its input index.
+    ///
+    /// This is the incremental form behind [`PrivacyEngine::sweep`], built
+    /// for streaming consumers (the serving layer emits one wire frame per
+    /// completed α): solves are farmed across up to
+    /// [`PrivacyEngine::threads`] worker threads, and the callback fires as
+    /// each level finishes — which, with more than one worker, is generally
+    /// *not* input order. The `usize` argument is the index into `levels`
+    /// the result belongs to; every index is delivered exactly once. The
+    /// callback is invoked under an internal lock, so it may be called from
+    /// any worker thread but never concurrently with itself.
+    ///
+    /// Each solve is bit-identical to a cold per-level
+    /// [`PrivacyEngine::solve`] for exact scalars, regardless of thread
+    /// count or completion order (the LP is built once and re-parameterized
+    /// per level, each worker on its own clone). Per-level failures are
+    /// delivered through the callback as `Err`; the function itself only
+    /// fails if the shared LP template cannot be built at all.
+    pub fn sweep_with<T: Scalar + Send + Sync>(
+        &self,
+        levels: &[PrivacyLevel<T>],
+        request: &ValidatedRequest<T>,
+        mut on_result: impl FnMut(usize, Result<Solve<T>>) + Send,
+    ) -> Result<()> {
+        let base = self.build_state(request)?;
+        let workers = self.threads.min(levels.len()).max(1);
+
+        if workers <= 1 {
+            let mut state = base;
+            for (idx, level) in levels.iter().enumerate() {
+                on_result(idx, Self::solve_one(&mut state, request, level));
+            }
+            return Ok(());
+        }
+
+        let callback = Mutex::new(on_result);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = base.clone();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(level) = levels.get(idx) else {
+                            break;
+                        };
+                        let solve = Self::solve_one(&mut state, request, level);
+                        (callback.lock().expect("sweep callback poisoned"))(idx, solve);
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
     /// Solve the request at every level of `levels`, farming the solves
     /// across up to [`PrivacyEngine::threads`] worker threads.
     ///
@@ -599,43 +653,18 @@ impl PrivacyEngine {
     /// the thread count. Results are returned in input order; the request's
     /// own level is ignored in favor of `levels`. On error, the failure of
     /// the smallest level index is reported.
+    ///
+    /// This is a collect-and-reorder wrapper over
+    /// [`PrivacyEngine::sweep_with`], which delivers the same solves in
+    /// completion order for streaming consumers.
     pub fn sweep<T: Scalar + Send + Sync>(
         &self,
         levels: &[PrivacyLevel<T>],
         request: &ValidatedRequest<T>,
     ) -> Result<Vec<Solve<T>>> {
-        let base = self.build_state(request)?;
-        let workers = self.threads.min(levels.len()).max(1);
-
-        let mut slots: Vec<Option<Result<Solve<T>>>> = Vec::with_capacity(levels.len());
-        if workers <= 1 {
-            let mut state = base;
-            for level in levels {
-                slots.push(Some(Self::solve_one(&mut state, request, level)));
-            }
-        } else {
-            slots.resize_with(levels.len(), || None);
-            let results: Vec<Mutex<&mut Option<Result<Solve<T>>>>> =
-                slots.iter_mut().map(Mutex::new).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| {
-                        let mut state = base.clone();
-                        loop {
-                            let idx = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(level) = levels.get(idx) else {
-                                break;
-                            };
-                            let solve = Self::solve_one(&mut state, request, level);
-                            **results[idx].lock().expect("sweep result slot poisoned") =
-                                Some(solve);
-                        }
-                    });
-                }
-            });
-        }
-
+        let mut slots: Vec<Option<Result<Solve<T>>>> = Vec::new();
+        slots.resize_with(levels.len(), || None);
+        self.sweep_with(levels, request, |idx, solve| slots[idx] = Some(solve))?;
         let mut out = Vec::with_capacity(levels.len());
         for slot in slots {
             out.push(slot.expect("every sweep slot is filled")?);
@@ -738,24 +767,26 @@ mod tests {
     }
 
     #[test]
-    fn direct_strategy_reproduces_the_deprecated_free_function() {
-        #[allow(deprecated)]
-        let old = {
-            let level = PrivacyLevel::new(rat(1, 4)).unwrap();
+    fn direct_strategy_reproduces_the_seed_formulation() {
+        // The seed free functions are gone (PR 5); the bit-identity anchor is
+        // now the Section 2.5 template itself, solved cold at the same level
+        // with default options — exactly what the seed `optimal_mechanism`
+        // shim did.
+        let (old_mechanism, old_stats) = {
             let consumer = crate::consumer::MinimaxConsumer::new(
                 "engine-test",
                 Arc::new(AbsoluteError),
                 crate::consumer::SideInformation::full(3),
             )
             .unwrap();
-            crate::optimal::optimal_mechanism(&level, &consumer).unwrap()
+            let mut lp = crate::optimal::TailoredLp::for_minimax(&consumer).unwrap();
+            lp.solve_in_place(&rat(1, 4), &Default::default()).unwrap()
         };
         let new = PrivacyEngine::new()
             .solve(&request(SolveStrategy::DirectLp))
             .unwrap();
-        assert_eq!(old.mechanism, new.mechanism);
-        assert_eq!(old.loss, new.loss);
-        assert_eq!(old.lp_stats, new.stats);
+        assert_eq!(old_mechanism, new.mechanism);
+        assert_eq!(old_stats, new.stats);
     }
 
     #[test]
@@ -795,22 +826,25 @@ mod tests {
     }
 
     #[test]
-    fn interact_matches_the_deprecated_free_function() {
+    fn interact_matches_a_direct_interaction_lp_solve() {
+        // The engine's `interact` is a thin dispatch over `InteractionLp`;
+        // pin that down bit for bit (the seed `optimal_interaction` shim was
+        // exactly this construction).
         let req = request(SolveStrategy::GeometricFactorization);
         let level = PrivacyLevel::new(rat(1, 4)).unwrap();
         let engine = PrivacyEngine::new();
         let g = engine.geometric(3, &level).unwrap();
         let via_engine = engine.interact(&g, &req).unwrap();
-        #[allow(deprecated)]
-        let via_free = {
+        let via_lp = {
             let RequestConsumer::Minimax(c) = req.consumer() else {
                 unreachable!()
             };
-            crate::interaction::optimal_interaction(&g, c).unwrap()
+            let lp = crate::interaction::InteractionLp::build(&g, c).unwrap();
+            lp.solve(&g, &Default::default()).unwrap()
         };
-        assert_eq!(via_engine.post_processing, via_free.post_processing);
-        assert_eq!(via_engine.loss, via_free.loss);
-        assert_eq!(via_engine.lp_stats, via_free.lp_stats);
+        assert_eq!(via_engine.post_processing, via_lp.post_processing);
+        assert_eq!(via_engine.loss, via_lp.loss);
+        assert_eq!(via_engine.lp_stats, via_lp.lp_stats);
     }
 
     #[test]
@@ -818,5 +852,36 @@ mod tests {
         let req = request(SolveStrategy::GeometricFactorization);
         let swept = PrivacyEngine::new().sweep(&[], &req).unwrap();
         assert!(swept.is_empty());
+        let mut called = false;
+        PrivacyEngine::new()
+            .sweep_with(&[], &req, |_, _| called = true)
+            .unwrap();
+        assert!(!called, "no levels, no callbacks");
+    }
+
+    #[test]
+    fn sweep_with_delivers_every_index_exactly_once() {
+        let levels: Vec<PrivacyLevel<Rational>> = [(1i64, 5i64), (1, 4), (1, 2), (2, 3)]
+            .into_iter()
+            .map(|(n, d)| PrivacyLevel::new(rat(n, d)).unwrap())
+            .collect();
+        let req = request(SolveStrategy::GeometricFactorization);
+        let singles = PrivacyEngine::with_threads(1).sweep(&levels, &req).unwrap();
+        for threads in [1usize, 4] {
+            let mut seen = vec![0usize; levels.len()];
+            let mut order = Vec::new();
+            PrivacyEngine::with_threads(threads)
+                .sweep_with(&levels, &req, |idx, solve| {
+                    let solve = solve.unwrap();
+                    assert_eq!(solve.mechanism, singles[idx].mechanism, "x{threads} @{idx}");
+                    assert_eq!(solve.loss, singles[idx].loss, "x{threads} @{idx}");
+                    assert_eq!(solve.stats, singles[idx].stats, "x{threads} @{idx}");
+                    seen[idx] += 1;
+                    order.push(idx);
+                })
+                .unwrap();
+            assert!(seen.iter().all(|&c| c == 1), "each index once: {seen:?}");
+            assert_eq!(order.len(), levels.len());
+        }
     }
 }

@@ -210,44 +210,13 @@ impl<T: Scalar> InteractionLp<T> {
     }
 }
 
-/// Solve the linear program of Section 2.4.3: the minimax-optimal
-/// reinterpretation of the deployed mechanism `y` for the given consumer.
-///
-/// Variables `T[r][r']` for all outputs `r, r'`; each row of `T` is a
-/// probability distribution; the objective minimizes
-/// `max_{i ∈ S} Σ_{r'} l(i, r') · (Σ_r y[i][r]·T[r][r'])`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use PrivacyEngine::interact with a SolveRequest (identical LP, reusable across solves)"
-)]
-pub fn optimal_interaction<T: Scalar>(
-    deployed: &Mechanism<T>,
-    consumer: &MinimaxConsumer<T>,
-) -> Result<Interaction<T>> {
-    let lp = InteractionLp::build(deployed, consumer)?;
-    lp.solve(deployed, &SolverOptions::default())
-}
-
-/// The Bayesian-optimal interaction (Section 2.7): for each observed output
-/// `r`, deterministically remap it to the output `r'` minimizing the
-/// posterior-expected loss `Σ_i prior[i]·y[i][r]·l(i, r')`.
-///
-/// The returned post-processing matrix is a 0/1 matrix — Bayesian consumers
-/// never need randomized reinterpretation, in contrast with minimax consumers
+/// Shared implementation of the Bayesian posterior-argmin remap behind
+/// [`PrivacyEngine::interact`](crate::engine::PrivacyEngine::interact): for
+/// each observed output `r`, deterministically remap it to the output `r'`
+/// minimizing the posterior-expected loss `Σ_i prior[i]·y[i][r]·l(i, r')`.
+/// The post-processing matrix is 0/1 — Bayesian consumers never need
+/// randomized reinterpretation, in contrast with minimax consumers
 /// (Table 1(c) of the paper).
-#[deprecated(
-    since = "0.2.0",
-    note = "use PrivacyEngine::interact with a Bayesian SolveRequest"
-)]
-pub fn bayesian_optimal_interaction<T: Scalar>(
-    deployed: &Mechanism<T>,
-    consumer: &BayesianConsumer<T>,
-) -> Result<Interaction<T>> {
-    bayesian_interaction_impl(deployed, consumer)
-}
-
-/// Shared implementation of the Bayesian posterior-argmin remap (used by both
-/// the deprecated free function and [`PrivacyEngine`](crate::engine)).
 #[allow(clippy::needless_range_loop)] // i indexes prior, mechanism rows and losses together
 pub(crate) fn bayesian_interaction_impl<T: Scalar>(
     deployed: &Mechanism<T>,
@@ -305,7 +274,6 @@ pub(crate) fn bayesian_interaction_impl<T: Scalar>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the free-function shims must keep their seed behavior
 mod tests {
     use std::sync::Arc;
 
@@ -314,6 +282,9 @@ mod tests {
     use crate::consumer::SideInformation;
     use crate::geometric::geometric_mechanism;
     use crate::loss::{AbsoluteError, ZeroOneError};
+    // The seed recipe in one place, shared with optimal.rs's tests so the
+    // bit-identity anchors cannot drift apart.
+    use crate::seed_compat::{bayesian_optimal_interaction, optimal_interaction};
     use privmech_numerics::{rat, Rational};
 
     #[test]

@@ -65,6 +65,8 @@ pub mod mechanism;
 pub mod multilevel;
 pub mod optimal;
 pub mod sampling;
+#[cfg(test)]
+pub(crate) mod seed_compat;
 pub mod verify;
 
 pub use alpha::PrivacyLevel;
@@ -86,17 +88,12 @@ pub use geometric::{
     table1b_scaled_geometric, two_sided_geometric_pmf,
 };
 pub use interaction::Interaction;
-#[allow(deprecated)] // seed call sites keep compiling through these shims
-pub use interaction::{bayesian_optimal_interaction, optimal_interaction};
 pub use loss::{
     tabulate_loss, validate_monotone, AbsoluteError, LossFunction, SquaredError, TableLoss,
     ToleranceError, ZeroOneError,
 };
 pub use mechanism::{expected_row_loss, worst_case_loss, Mechanism};
 pub use multilevel::{transition_matrix, MultiLevelRelease, StageRelease};
-pub use optimal::OptimalMechanism;
-#[allow(deprecated)] // seed call sites keep compiling through these shims
-pub use optimal::{bayesian_optimal_mechanism, optimal_mechanism};
 // Solver knobs, re-exported so engine users need not depend on privmech-lp.
 pub use privmech_lp::{PivotStats, PricingRule, SolverForm, SolverOptions};
 pub use sampling::{

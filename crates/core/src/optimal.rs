@@ -13,9 +13,11 @@
 //! constraint *structure* is independent of α (only the `-α` coefficients of
 //! the differential-privacy rows change), so an α-sweep re-parameterizes the
 //! same model instead of rebuilding it — see
-//! [`PrivacyEngine::sweep`](crate::engine::PrivacyEngine::sweep). The
-//! deprecated free functions below solve the same template at a single α and
-//! are kept so seed call sites continue to compile.
+//! [`PrivacyEngine::sweep`](crate::engine::PrivacyEngine::sweep). The seed's
+//! free-function shims (`optimal_mechanism`, `bayesian_optimal_mechanism`)
+//! were removed in PR 5: [`SolveStrategy::DirectLp`](crate::SolveStrategy)
+//! through [`PrivacyEngine::solve`](crate::engine::PrivacyEngine::solve)
+//! solves this exact template and reproduces them bit for bit.
 //!
 //! One deliberate departure from the seed formulation: for the vacuous level
 //! α = 0 the seed omitted the differential-privacy rows entirely, while the
@@ -28,22 +30,10 @@
 use privmech_linalg::{Matrix, Scalar};
 use privmech_lp::{LinExpr, Model, ModelTemplate, PivotStats, Relation, SolverOptions};
 
-use crate::alpha::PrivacyLevel;
 use crate::consumer::{BayesianConsumer, MinimaxConsumer};
 use crate::error::{CoreError, Result};
 use crate::loss::tabulate_loss;
 use crate::mechanism::Mechanism;
-
-/// The result of solving the Section 2.5 linear program.
-#[derive(Debug, Clone)]
-pub struct OptimalMechanism<T: Scalar> {
-    /// A loss-minimizing α-differentially-private mechanism for the consumer.
-    pub mechanism: Mechanism<T>,
-    /// Its (optimal) worst-case loss for the consumer.
-    pub loss: T,
-    /// Simplex pivot statistics from the underlying LP solve.
-    pub lp_stats: PivotStats,
-}
 
 /// The Section 2.5 LP as a reusable α-parameterized template.
 ///
@@ -212,62 +202,20 @@ impl<T: Scalar> TailoredLp<T> {
     }
 }
 
-/// Solve the Section 2.5 LP: the optimal α-differentially-private oblivious
-/// mechanism tailored to a specific minimax consumer.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a SolveRequest and use PrivacyEngine::solve (strategy DirectLp reproduces \
-            this function bit for bit; the default strategy is faster via Theorem 1)"
-)]
-pub fn optimal_mechanism<T: Scalar>(
-    level: &PrivacyLevel<T>,
-    consumer: &MinimaxConsumer<T>,
-) -> Result<OptimalMechanism<T>> {
-    let mut lp = TailoredLp::for_minimax(consumer)?;
-    let (mechanism, lp_stats) = lp.solve_in_place(level.alpha(), &SolverOptions::default())?;
-    let loss = consumer.disutility(&mechanism)?;
-    Ok(OptimalMechanism {
-        mechanism,
-        loss,
-        lp_stats,
-    })
-}
-
-/// Solve the Bayesian analogue of the Section 2.5 LP (the model of Ghosh,
-/// Roughgarden and Sundararajan discussed in Section 2.7): the
-/// α-differentially-private oblivious mechanism minimizing the consumer's
-/// prior-expected loss. The objective is linear, so no epigraph variable is
-/// needed; the privacy and stochasticity constraints are identical to the
-/// minimax LP.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a Bayesian SolveRequest and use PrivacyEngine::solve"
-)]
-pub fn bayesian_optimal_mechanism<T: Scalar>(
-    level: &PrivacyLevel<T>,
-    consumer: &BayesianConsumer<T>,
-) -> Result<OptimalMechanism<T>> {
-    let mut lp = TailoredLp::for_bayesian(consumer)?;
-    let (mechanism, lp_stats) = lp.solve_in_place(level.alpha(), &SolverOptions::default())?;
-    let loss = consumer.disutility(&mechanism)?;
-    Ok(OptimalMechanism {
-        mechanism,
-        loss,
-        lp_stats,
-    })
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the free-function shims must keep their seed behavior
 mod tests {
     use std::sync::Arc;
 
     use super::*;
+    use crate::alpha::PrivacyLevel;
     use crate::consumer::SideInformation;
     use crate::geometric::geometric_mechanism;
-    use crate::interaction::optimal_interaction;
     use crate::loss::{AbsoluteError, SquaredError, ZeroOneError};
     use privmech_numerics::{rat, Rational};
+
+    // The seed recipe in one place, shared with interaction.rs's tests so the
+    // bit-identity anchors cannot drift apart.
+    use crate::seed_compat::{bayesian_optimal_mechanism, optimal_interaction, optimal_mechanism};
 
     fn paper_consumer() -> MinimaxConsumer<Rational> {
         MinimaxConsumer::new(
@@ -349,7 +297,7 @@ mod tests {
         // consumer post-processing the geometric mechanism reaches the optimum
         // of the Bayesian-tailored LP.
         use crate::consumer::BayesianConsumer;
-        use crate::interaction::bayesian_optimal_interaction;
+        use crate::seed_compat::bayesian_optimal_interaction;
         let n = 3;
         let level = PrivacyLevel::new(rat(1, 4)).unwrap();
         let g = geometric_mechanism(n, &level).unwrap();

@@ -1,0 +1,37 @@
+//! Shared test support: the seed's removed free functions, reproduced
+//! through the engine.
+//!
+//! PR 5 removed the `#[deprecated]` seed shims (`optimal_mechanism`,
+//! `optimal_interaction`, …); these helpers are the single integration-test
+//! definition of "the seed recipe" — a cold `SolveStrategy::DirectLp` engine
+//! solve of the Section 2.5 template, and a plain `engine.interact` — so the
+//! bit-identity anchors in every test file exercise exactly the same
+//! construction (the unit-test twin lives in `src/seed_compat.rs`).
+
+use privmech_core::{
+    Interaction, Mechanism, MinimaxConsumer, PrivacyEngine, PrivacyLevel, Solve, SolveStrategy,
+    ValidatedRequest,
+};
+use privmech_numerics::Rational;
+
+/// The seed `optimal_mechanism` free function through the engine: a cold
+/// `DirectLp` solve (bit-identical to the removed shim).
+pub fn optimal_mechanism(
+    level: &PrivacyLevel<Rational>,
+    consumer: &MinimaxConsumer<Rational>,
+) -> privmech_core::Result<Solve<Rational>> {
+    let request = ValidatedRequest::minimax(level.clone(), consumer.clone())
+        .with_strategy(SolveStrategy::DirectLp);
+    PrivacyEngine::with_threads(1).solve(&request)
+}
+
+/// The seed `optimal_interaction` free function through the engine (the
+/// request's privacy level plays no role in post-processing).
+pub fn optimal_interaction(
+    deployed: &Mechanism<Rational>,
+    consumer: &MinimaxConsumer<Rational>,
+) -> privmech_core::Result<Interaction<Rational>> {
+    let level = PrivacyLevel::new(Rational::zero())?;
+    let request = ValidatedRequest::minimax(level, consumer.clone());
+    PrivacyEngine::with_threads(1).interact(deployed, &request)
+}

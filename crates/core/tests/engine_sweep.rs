@@ -119,6 +119,45 @@ proptest! {
     }
 
     #[test]
+    fn sweep_with_streams_exactly_the_sweep_results(
+        levels in arb_levels(),
+        loss in arb_monotone_loss(3),
+        members in arb_members(3),
+    ) {
+        // The incremental API behind `sweep`: completion-order delivery with
+        // input indices must carry exactly the solves the input-order wrapper
+        // returns — every index exactly once, bit-identical payloads — at any
+        // thread count (out-of-order completion included).
+        let loss = Arc::new(loss);
+        for strategy in [SolveStrategy::GeometricFactorization, SolveStrategy::DirectLp] {
+            let request = SolveRequest::<Rational>::minimax()
+                .name("sweep-with-property")
+                .loss(loss.clone())
+                .support(3, members.iter().copied())
+                .privacy_level(rat(1, 2))
+                .strategy(strategy)
+                .validate()
+                .unwrap();
+            let ordered = PrivacyEngine::with_threads(1).sweep(&levels, &request).unwrap();
+            for threads in [1usize, 4] {
+                let mut delivered: Vec<Option<Solve<Rational>>> = vec![None; levels.len()];
+                let mut completion_order = Vec::new();
+                PrivacyEngine::with_threads(threads)
+                    .sweep_with(&levels, &request, |idx, solve| {
+                        completion_order.push(idx);
+                        let prev = delivered[idx].replace(solve.unwrap());
+                        assert!(prev.is_none(), "index {idx} delivered twice");
+                    })
+                    .unwrap();
+                prop_assert_eq!(completion_order.len(), levels.len());
+                let reordered: Vec<Solve<Rational>> =
+                    delivered.into_iter().map(Option::unwrap).collect();
+                assert_exact_match(&reordered, &ordered, &format!("sweep_with {strategy:?} x{threads}"));
+            }
+        }
+    }
+
+    #[test]
     fn bayesian_sweep_equals_per_level_solves_exactly(
         levels in arb_levels(),
         weights in prop::collection::vec(0i64..=5, 4),
@@ -183,11 +222,11 @@ proptest! {
 }
 
 #[test]
-fn sweep_matches_the_theorem1_equality_against_the_deprecated_api() {
-    // The warm sweep's losses must equal the seed free function's tailored
-    // optima exactly (Theorem 1 with exact arithmetic), even though the
-    // default strategy computes the mechanism through the geometric
-    // factorization instead of the Section 2.5 LP.
+fn sweep_matches_the_theorem1_equality_against_the_direct_lp() {
+    // The warm sweep's losses must equal the tailored optima of the seed's
+    // Section 2.5 formulation exactly (Theorem 1 with exact arithmetic), even
+    // though the default strategy computes the mechanism through the
+    // geometric factorization instead of the Section 2.5 LP.
     let levels: Vec<PrivacyLevel<Rational>> = [(1i64, 5i64), (1, 4), (1, 3), (1, 2), (2, 3)]
         .into_iter()
         .map(|(n, d)| PrivacyLevel::new(rat(n, d)).unwrap())
@@ -203,8 +242,12 @@ fn sweep_matches_the_theorem1_equality_against_the_deprecated_api() {
         .sweep(&levels, &request)
         .unwrap();
     for (level, s) in levels.iter().zip(&swept) {
-        #[allow(deprecated)]
-        let old = privmech_core::optimal_mechanism(level, &consumer).unwrap();
+        let old = PrivacyEngine::with_threads(1)
+            .solve(
+                &ValidatedRequest::minimax(level.clone(), consumer.clone())
+                    .with_strategy(SolveStrategy::DirectLp),
+            )
+            .unwrap();
         assert_eq!(s.loss, old.loss, "α = {}", level.alpha());
         assert!(s.mechanism.is_differentially_private(level));
         // The factorized mechanism is derivable from the geometric mechanism

@@ -3,15 +3,18 @@
 //! transitions, consistency of chained marginals with direct transitions, and
 //! interaction of the release chain with consumer optimality.
 //!
-//! Stays on the seed's free-function API so the `#[deprecated]` shims keep
-//! passing unchanged.
-#![allow(deprecated)]
+//! Tailored optima and interactions run through the engine with
+//! `SolveStrategy::DirectLp` — the seed formulation bit for bit (the
+//! free-function shims were removed in PR 5).
+
+mod common;
 
 use std::sync::Arc;
 
+use common::{optimal_interaction, optimal_mechanism};
 use privmech_core::{
-    geometric_mechanism, optimal_interaction, optimal_mechanism, transition_matrix, AbsoluteError,
-    MinimaxConsumer, MultiLevelRelease, PrivacyLevel, SideInformation,
+    geometric_mechanism, transition_matrix, AbsoluteError, MinimaxConsumer, MultiLevelRelease,
+    PrivacyLevel, SideInformation,
 };
 use privmech_numerics::{rat, Rational};
 

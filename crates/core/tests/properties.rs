@@ -6,17 +6,19 @@
 //! directions), Lemma 3 (adding privacy), and Theorem 1 (universal optimality)
 //! on randomly generated consumers.
 //!
-//! These tests deliberately stay on the seed's free-function API: the
-//! `#[deprecated]` shims must keep passing unchanged (the engine has its own
-//! test files, `engine_sweep.rs` and `engine_validation.rs`).
-#![allow(deprecated)]
+//! The tailored-optimum and interaction claims are exercised through the
+//! engine with `SolveStrategy::DirectLp`, which solves the seed's
+//! Section 2.5 LP formulation bit for bit (the free-function shims were
+//! removed in PR 5).
+
+mod common;
 
 use std::sync::Arc;
 
+use common::{optimal_interaction, optimal_mechanism};
 use privmech_core::{
-    derive_from_geometric, geometric_mechanism, optimal_interaction, optimal_mechanism,
-    theorem2_check, AbsoluteError, Mechanism, MinimaxConsumer, PrivacyLevel, SideInformation,
-    SquaredError, TableLoss, ZeroOneError,
+    derive_from_geometric, geometric_mechanism, theorem2_check, AbsoluteError, Mechanism,
+    MinimaxConsumer, PrivacyLevel, SideInformation, SquaredError, TableLoss, ZeroOneError,
 };
 use privmech_linalg::Matrix;
 use privmech_numerics::{rat, Rational};

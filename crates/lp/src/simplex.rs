@@ -169,6 +169,20 @@ pub struct PivotStats {
     pub fallback_activations: usize,
 }
 
+impl std::ops::AddAssign<&PivotStats> for PivotStats {
+    /// Field-wise accumulation — the one place aggregate statistics (e.g. a
+    /// sweep's per-α totals) are summed, so a future counter cannot be
+    /// silently dropped from one of several hand-rolled summations.
+    fn add_assign(&mut self, rhs: &PivotStats) {
+        self.phase1_pivots += rhs.phase1_pivots;
+        self.phase2_pivots += rhs.phase2_pivots;
+        self.degenerate_pivots += rhs.degenerate_pivots;
+        self.dantzig_pivots += rhs.dantzig_pivots;
+        self.bland_pivots += rhs.bland_pivots;
+        self.fallback_activations += rhs.fallback_activations;
+    }
+}
+
 impl PivotStats {
     /// Total pivots across both phases.
     #[must_use]

@@ -2,11 +2,14 @@
 //!
 //! Binds a TCP listener, prints the bound address (machine-greppable, for
 //! scripts driving an ephemeral port), and serves until a client sends the
-//! `shutdown` op.
+//! `shutdown` op. With `--cache-file`, both response caches are loaded on
+//! startup and dumped on shutdown (JSON Lines; entries are portable by the
+//! bit-identity contract), so a restart keeps the hot set.
 //!
 //! ```text
 //! privmech-serve [--addr HOST:PORT] [--threads N] [--cache-capacity N]
-//!                [--cache-shards N] [--sweep-threads N] [--verify-hits]
+//!                [--cache-shards N] [--neg-cache-capacity N]
+//!                [--sweep-threads N] [--cache-file PATH] [--verify-hits]
 //! ```
 
 use privmech_serve::server::{self, ServerConfig};
@@ -30,15 +33,21 @@ fn main() {
             "--cache-shards" => {
                 config.cache_shards = parse(&value("--cache-shards"), "--cache-shards")
             }
+            "--neg-cache-capacity" => {
+                config.neg_cache_capacity =
+                    parse(&value("--neg-cache-capacity"), "--neg-cache-capacity")
+            }
             "--sweep-threads" => {
                 config.sweep_threads = parse(&value("--sweep-threads"), "--sweep-threads")
             }
+            "--cache-file" => config.cache_file = Some(value("--cache-file").into()),
             "--verify-hits" => config.verify_hits = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: privmech-serve [--addr HOST:PORT] [--threads N] \
-                     [--cache-capacity N] [--cache-shards N] [--sweep-threads N] [--verify-hits]"
+                     [--cache-capacity N] [--cache-shards N] [--neg-cache-capacity N] \
+                     [--sweep-threads N] [--cache-file PATH] [--verify-hits]"
                 );
                 std::process::exit(2);
             }

@@ -155,6 +155,18 @@ impl<V: Clone> LruShard<V> {
         }
         out
     }
+
+    /// `(key, value)` pairs from least to most recently used, so re-inserting
+    /// them in order reproduces this shard's recency order.
+    fn entries_lru_first(&self) -> Vec<(String, V)> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut slot = self.tail;
+        while slot != NIL {
+            out.push((self.slab[slot].key.clone(), self.slab[slot].value.clone()));
+            slot = self.slab[slot].prev;
+        }
+        out
+    }
 }
 
 /// A thread-safe cache of `String → V` with per-shard exact LRU eviction and
@@ -264,6 +276,25 @@ impl<V: Clone> ShardedCache<V> {
     #[must_use]
     pub fn shard_index(&self, key: &str) -> usize {
         (fnv1a(key.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Every resident `(key, value)` pair, least recently used first within
+    /// each shard (shards concatenated). Re-inserting the pairs in order into
+    /// an empty cache of any geometry reproduces per-shard recency — this is
+    /// the export half of cross-process cache persistence (see
+    /// [`crate::persist`]).
+    #[must_use]
+    pub fn export_lru_first(&self) -> Vec<(String, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                shard
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .entries_lru_first(),
+            );
+        }
+        out
     }
 }
 

@@ -1,16 +1,29 @@
-//! A small blocking client for the v1 protocol.
+//! The typed protocol client: blocking calls over v1 semantics, and a
+//! nonblocking, pipelined surface over protocol v2.
 //!
-//! One [`Client`] owns one connection and issues one request at a time
-//! (responses come back in order; open more clients for more concurrency —
-//! the server serves each connection on its own worker). The typed helpers
-//! ([`Client::solve`], [`Client::sweep`], [`Client::interact`]) mirror the
-//! engine API; [`Client::call`] sends a raw JSON request for everything else.
+//! One [`Client`] owns one connection. On connect it **negotiates** the
+//! protocol: it sends a `hello` op and speaks v2 (tagged multi-in-flight
+//! requests, streaming sweeps) if the server answers, falling back to strict
+//! v1 request/response against older servers (which reject `hello` with
+//! `unknown_op`).
+//!
+//! The nonblocking surface is [`Client::submit`] (send a request, get a
+//! [`Ticket`]), [`Client::recv`] (the next completion from the server, any
+//! ticket), [`Client::wait`] (block for one ticket) and
+//! [`Client::sweep_stream`] (iterate a sweep's per-α results **as the server
+//! finishes them**, out of order, each tagged with its input index). The
+//! blocking helpers ([`Client::solve`], [`Client::sweep`],
+//! [`Client::interact`]) are thin wrappers over submit/wait and work
+//! identically under both negotiated versions.
 //!
 //! Every typed reply carries `raw`: the canonical serialization of the
 //! response's `result` object. Two replies are byte-identical exactly when
 //! their `raw` strings are equal — this is how callers check the cached ≡
-//! uncached contract end to end.
+//! uncached (and v1 ≡ v2) contracts end to end. A blocking v2 `sweep`
+//! reassembles the monolithic v1 `raw` from its streamed items, so the raw
+//! strings are byte-comparable **across protocol versions** too.
 
+use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -19,8 +32,8 @@ use privmech_core::PivotStats;
 use crate::frame::{read_frame, write_frame};
 use crate::json::{self, Json};
 use crate::proto::{
-    rows_from_wire, stats_from_wire, CacheDisposition, CacheMode, ConsumerSpec, WireError,
-    WireScalar, PROTOCOL_VERSION,
+    intern_code, rows_from_wire, stats_from_wire, CacheDisposition, CacheMode, ConsumerSpec,
+    WireError, WireScalar, PROTOCOL_V1, PROTOCOL_VERSION,
 };
 
 /// Client-side failure: transport, protocol, or a server-reported error.
@@ -86,11 +99,13 @@ pub struct Reply<R> {
     /// How the server answered (hit / miss / bypass).
     pub cache: CacheDisposition,
     /// Canonical serialization of the `result` object — byte-comparable
-    /// across replies.
+    /// across replies (and across protocol versions).
     pub raw: String,
 }
 
-/// Server cache counters as reported by the `stats` op.
+/// Server cache counters as reported by the `stats` op. The `neg_*` fields
+/// mirror the negative (validation-error) cache, whose counters are kept
+/// separate so error hits don't pollute the solve hit rate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStatsReply {
     /// Lookups answered from the cache.
@@ -105,18 +120,145 @@ pub struct CacheStatsReply {
     pub capacity: u64,
     /// Shard count.
     pub shards: u64,
+    /// Negative-cache lookups answered from the cache.
+    pub neg_hits: u64,
+    /// Negative-cache lookups that found nothing (every request probes once).
+    pub neg_misses: u64,
+    /// Negative-cache entries displaced by capacity pressure.
+    pub neg_evictions: u64,
+    /// Negative-cache entries currently resident.
+    pub neg_entries: u64,
+    /// Negative-cache capacity.
+    pub neg_capacity: u64,
 }
 
-/// A blocking protocol client over one TCP connection.
+/// A handle to one in-flight request, matched against completions by its
+/// client-chosen id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    id: u64,
+}
+
+impl Ticket {
+    /// The wire id this ticket's frames carry.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// One completion read off the wire (see [`Client::recv`]). Completions for
+/// different tickets may arrive in any order; a sweep produces many
+/// [`Event::SweepItem`]s closed by one terminal [`Event::SweepDone`], while
+/// every other request produces exactly one terminal [`Event::Reply`] or
+/// [`Event::Error`].
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A terminal successful reply.
+    Reply {
+        /// The request this completes.
+        ticket: Ticket,
+        /// The full response envelope.
+        response: Json,
+    },
+    /// A terminal error reply.
+    Error {
+        /// The request this completes.
+        ticket: Ticket,
+        /// The decoded server error.
+        error: WireError,
+    },
+    /// One streamed `sweep_item` frame (non-terminal).
+    SweepItem {
+        /// The sweep request this belongs to.
+        ticket: Ticket,
+        /// Index into the request's `alphas` array.
+        index: usize,
+        /// The full frame envelope (its `result` is one solve).
+        response: Json,
+    },
+    /// The terminal `sweep_done` frame.
+    SweepDone {
+        /// The sweep request this completes.
+        ticket: Ticket,
+        /// The full frame envelope (its `result` carries aggregate stats).
+        response: Json,
+    },
+}
+
+impl Event {
+    /// The ticket this event belongs to.
+    #[must_use]
+    pub fn ticket(&self) -> Ticket {
+        match self {
+            Event::Reply { ticket, .. }
+            | Event::Error { ticket, .. }
+            | Event::SweepItem { ticket, .. }
+            | Event::SweepDone { ticket, .. } => *ticket,
+        }
+    }
+
+    /// Whether this event ends its ticket's lifetime.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Event::SweepItem { .. })
+    }
+}
+
+/// A protocol client over one TCP connection: blocking typed helpers plus
+/// the pipelined submit/recv surface (see the module docs).
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    version: u64,
+    /// Completions read while looking for a different ticket, replayed in
+    /// arrival order by [`Client::recv`] / [`Client::wait`].
+    buffered: VecDeque<Event>,
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect and negotiate the protocol version: v2 if the server answers
+    /// `hello`, v1 if it rejects it (an older server).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let mut client = Self::connect_raw(addr)?;
+        client.version = PROTOCOL_VERSION;
+        match client.call(Json::obj().with("op", Json::str("hello"))) {
+            Ok(_) => {}
+            Err(ClientError::Server(e))
+                if e.code == "unknown_op" || e.code == "unsupported_version" =>
+            {
+                client.version = PROTOCOL_V1;
+            }
+            Err(ClientError::Io(e)) => return Err(e),
+            Err(other) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("version negotiation failed: {other}"),
+                ))
+            }
+        }
+        Ok(client)
+    }
+
+    /// Connect speaking exactly `version` (1 or 2), skipping negotiation —
+    /// e.g. to benchmark serial v1 request/response against pipelined v2 on
+    /// the same server.
+    pub fn connect_with_version(addr: impl ToSocketAddrs, version: u64) -> io::Result<Client> {
+        if version != PROTOCOL_V1 && version != PROTOCOL_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "this client speaks v{PROTOCOL_V1} and v{PROTOCOL_VERSION}, not v{version}"
+                ),
+            ));
+        }
+        let mut client = Self::connect_raw(addr)?;
+        client.version = version;
+        Ok(client)
+    }
+
+    fn connect_raw(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
@@ -124,55 +266,131 @@ impl Client {
             reader,
             writer: BufWriter::new(stream),
             next_id: 0,
+            version: PROTOCOL_V1,
+            buffered: VecDeque::new(),
         })
     }
 
-    /// Send a raw request object (the `v` and `id` fields are filled in) and
-    /// return the raw response object. Server-side errors come back as
-    /// [`ClientError::Server`].
-    pub fn call(&mut self, request: Json) -> Result<Json, ClientError> {
+    /// The negotiated protocol major this client stamps on requests.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Send a request without waiting for its completion. The `v` and `id`
+    /// fields are filled in; the returned [`Ticket`] matches the completion
+    /// frames. Pipelined submits work under negotiated v1 too — but only
+    /// because this client always stamps an `id` to match replies by:
+    /// against a v2-era server even v1 frames are computed concurrently and
+    /// may complete out of order (see `PROTOCOL.md`), so replies are
+    /// correlated by id, never by arrival order.
+    pub fn submit(&mut self, request: Json) -> Result<Ticket, ClientError> {
         self.next_id += 1;
         let id = self.next_id;
         let mut framed = Json::obj()
-            .with("v", Json::num_u64(PROTOCOL_VERSION))
+            .with("v", Json::num_u64(self.version))
             .with("id", Json::num_u64(id));
         if let (Json::Obj(dst), Json::Obj(src)) = (&mut framed, request) {
             dst.extend(src);
         }
         write_frame(&mut self.writer, json::to_string(&framed).as_bytes())?;
+        Ok(Ticket { id })
+    }
+
+    /// Read one frame off the wire and classify it.
+    fn read_event(&mut self) -> Result<Event, ClientError> {
         let payload = read_frame(&mut self.reader)?
             .ok_or_else(|| ClientError::Protocol("server closed the connection".to_string()))?;
         let text = std::str::from_utf8(&payload)
             .map_err(|_| ClientError::Protocol("response is not UTF-8".to_string()))?;
         let response =
             json::parse(text).map_err(|e| ClientError::Protocol(format!("bad response: {e}")))?;
-        if response.get("id").and_then(Json::as_u64) != Some(id) {
-            return Err(ClientError::Protocol("response id mismatch".to_string()));
-        }
+        let Some(id) = response.get("id").and_then(Json::as_u64) else {
+            // A response that cannot be correlated (the server could not
+            // even read an id out of the frame) is connection-fatal.
+            return Err(match decode_error(&response) {
+                Some(error) => ClientError::Server(error),
+                None => ClientError::Protocol("response lacks a numeric \"id\"".to_string()),
+            });
+        };
+        let ticket = Ticket { id };
         match response.get("ok").and_then(Json::as_bool) {
-            Some(true) => Ok(response),
-            Some(false) => {
-                let error = response.get("error");
-                let code = error
-                    .and_then(|e| e.get("code"))
-                    .and_then(Json::as_str)
-                    .unwrap_or("internal");
-                let message = error
-                    .and_then(|e| e.get("message"))
-                    .and_then(Json::as_str)
-                    .unwrap_or("")
-                    .to_string();
-                // Return the server's code through a static table so the
-                // WireError keeps its &'static str code type.
-                Err(ClientError::Server(WireError::new(
-                    intern_code(code),
-                    message,
-                )))
-            }
+            Some(true) => match response.get("stream").and_then(Json::as_str) {
+                Some("sweep_item") => {
+                    let index =
+                        response
+                            .get("index")
+                            .and_then(Json::as_usize)
+                            .ok_or_else(|| {
+                                ClientError::Protocol("sweep_item lacks an \"index\"".to_string())
+                            })?;
+                    Ok(Event::SweepItem {
+                        ticket,
+                        index,
+                        response,
+                    })
+                }
+                Some("sweep_done") => Ok(Event::SweepDone { ticket, response }),
+                Some(other) => Err(ClientError::Protocol(format!(
+                    "unknown stream frame \"{other}\""
+                ))),
+                None => Ok(Event::Reply { ticket, response }),
+            },
+            Some(false) => Ok(Event::Error {
+                ticket,
+                error: decode_error(&response).unwrap_or_else(|| {
+                    WireError::new("internal", "error response without error object")
+                }),
+            }),
             None => Err(ClientError::Protocol(
                 "response lacks an \"ok\" field".to_string(),
             )),
         }
+    }
+
+    /// The next completion from the server, for any ticket: buffered events
+    /// first (in arrival order), then the wire. Blocks until one arrives.
+    pub fn recv(&mut self) -> Result<Event, ClientError> {
+        if let Some(event) = self.buffered.pop_front() {
+            return Ok(event);
+        }
+        self.read_event()
+    }
+
+    /// The next event belonging to `ticket`, buffering events of other
+    /// tickets for later [`Client::recv`] / [`Client::wait`] calls.
+    fn next_event_for(&mut self, ticket: Ticket) -> Result<Event, ClientError> {
+        if let Some(pos) = self.buffered.iter().position(|e| e.ticket() == ticket) {
+            return Ok(self.buffered.remove(pos).expect("position just found"));
+        }
+        loop {
+            let event = self.read_event()?;
+            if event.ticket() == ticket {
+                return Ok(event);
+            }
+            self.buffered.push_back(event);
+        }
+    }
+
+    /// Block until `ticket`'s terminal reply arrives and return the response
+    /// envelope; completions for other tickets are buffered, not lost. For
+    /// streaming sweeps use [`Client::sweep_stream`] instead.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<Json, ClientError> {
+        match self.next_event_for(ticket)? {
+            Event::Reply { response, .. } => Ok(response),
+            Event::Error { error, .. } => Err(ClientError::Server(error)),
+            Event::SweepItem { .. } | Event::SweepDone { .. } => Err(ClientError::Protocol(
+                "wait() used on a streaming sweep; use sweep_stream()".to_string(),
+            )),
+        }
+    }
+
+    /// Send a raw request object (the `v` and `id` fields are filled in) and
+    /// block for the raw response object. Server-side errors come back as
+    /// [`ClientError::Server`].
+    pub fn call(&mut self, request: Json) -> Result<Json, ClientError> {
+        let ticket = self.submit(request)?;
+        self.wait(ticket)
     }
 
     /// Liveness check.
@@ -194,6 +412,8 @@ impl Client {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| ClientError::Protocol(format!("stats reply lacks \"{name}\"")))
         };
+        // The neg_* fields default to 0 against pre-v2 servers.
+        let opt = |name: &str| result.get(name).and_then(Json::as_u64).unwrap_or(0);
         Ok(CacheStatsReply {
             hits: field("hits")?,
             misses: field("misses")?,
@@ -201,7 +421,19 @@ impl Client {
             entries: field("entries")?,
             capacity: field("capacity")?,
             shards: field("shards")?,
+            neg_hits: opt("neg_hits"),
+            neg_misses: opt("neg_misses"),
+            neg_evictions: opt("neg_evictions"),
+            neg_entries: opt("neg_entries"),
+            neg_capacity: opt("neg_capacity"),
         })
+    }
+
+    /// Fetch the server's per-op latency histograms (the `metrics` op) as
+    /// the raw result object (`{ops: {<op>: {count, total_ns, buckets}}}`).
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let response = self.call(Json::obj().with("op", Json::str("metrics")))?;
+        result_of(&response).cloned()
     }
 
     /// Ask the server to stop accepting connections and exit.
@@ -210,22 +442,97 @@ impl Client {
             .map(|_| ())
     }
 
-    /// Solve one request at one privacy level.
+    fn solve_request<T: WireScalar>(spec: &ConsumerSpec<T>, alpha: &T, cache: CacheMode) -> Json {
+        spec.encode_onto(
+            Json::obj()
+                .with("op", Json::str("solve"))
+                .with("scalar", Json::str(T::TAG))
+                .with("cache", Json::str(cache.as_wire())),
+        )
+        .with("alpha", alpha.to_wire())
+    }
+
+    fn sweep_request<T: WireScalar>(
+        spec: &ConsumerSpec<T>,
+        alphas: &[T],
+        cache: CacheMode,
+    ) -> Json {
+        spec.encode_onto(
+            Json::obj()
+                .with("op", Json::str("sweep"))
+                .with("scalar", Json::str(T::TAG))
+                .with("cache", Json::str(cache.as_wire())),
+        )
+        .with(
+            "alphas",
+            Json::Arr(alphas.iter().map(WireScalar::to_wire).collect()),
+        )
+    }
+
+    fn interact_request<T: WireScalar>(
+        spec: &ConsumerSpec<T>,
+        mechanism: &[Vec<T>],
+        cache: CacheMode,
+    ) -> Json {
+        spec.encode_onto(
+            Json::obj()
+                .with("op", Json::str("interact"))
+                .with("scalar", Json::str(T::TAG))
+                .with("cache", Json::str(cache.as_wire())),
+        )
+        .with(
+            "mechanism",
+            Json::Arr(
+                mechanism
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(WireScalar::to_wire).collect()))
+                    .collect(),
+            ),
+        )
+    }
+
+    /// Submit a solve without waiting (pair with [`Client::wait`] and
+    /// [`decode_solve`], or drain completions via [`Client::recv`]).
+    pub fn submit_solve<T: WireScalar>(
+        &mut self,
+        spec: &ConsumerSpec<T>,
+        alpha: &T,
+        cache: CacheMode,
+    ) -> Result<Ticket, ClientError> {
+        self.submit(Self::solve_request(spec, alpha, cache))
+    }
+
+    /// Submit an interact without waiting.
+    pub fn submit_interact<T: WireScalar>(
+        &mut self,
+        spec: &ConsumerSpec<T>,
+        mechanism: &[Vec<T>],
+        cache: CacheMode,
+    ) -> Result<Ticket, ClientError> {
+        self.submit(Self::interact_request(spec, mechanism, cache))
+    }
+
+    /// Submit a sweep without waiting. Under v2 its completions are
+    /// `sweep_item`/`sweep_done` events; under v1, one monolithic reply.
+    pub fn submit_sweep<T: WireScalar>(
+        &mut self,
+        spec: &ConsumerSpec<T>,
+        alphas: &[T],
+        cache: CacheMode,
+    ) -> Result<Ticket, ClientError> {
+        self.submit(Self::sweep_request(spec, alphas, cache))
+    }
+
+    /// Solve one request at one privacy level (blocking; works under both
+    /// negotiated versions).
     pub fn solve<T: WireScalar>(
         &mut self,
         spec: &ConsumerSpec<T>,
         alpha: &T,
         cache: CacheMode,
     ) -> Result<Reply<SolveReply<T>>, ClientError> {
-        let request = spec
-            .encode_onto(
-                Json::obj()
-                    .with("op", Json::str("solve"))
-                    .with("scalar", Json::str(T::TAG))
-                    .with("cache", Json::str(cache.as_wire())),
-            )
-            .with("alpha", alpha.to_wire());
-        let response = self.call(request)?;
+        let ticket = self.submit_solve(spec, alpha, cache)?;
+        let response = self.wait(ticket)?;
         let (result, cache, raw) = cached_result(&response)?;
         Ok(Reply {
             value: decode_solve(result)?,
@@ -234,61 +541,69 @@ impl Client {
         })
     }
 
-    /// Solve one request at a batch of privacy levels.
+    /// Solve one request at a batch of privacy levels (blocking). Under v2
+    /// this consumes the stream and reorders to input order; `raw` is the
+    /// reassembled monolithic rendering, byte-identical to a v1 reply for
+    /// the same request.
     pub fn sweep<T: WireScalar>(
         &mut self,
         spec: &ConsumerSpec<T>,
         alphas: &[T],
         cache: CacheMode,
     ) -> Result<Reply<Vec<SolveReply<T>>>, ClientError> {
-        let request = spec
-            .encode_onto(
-                Json::obj()
-                    .with("op", Json::str("sweep"))
-                    .with("scalar", Json::str(T::TAG))
-                    .with("cache", Json::str(cache.as_wire())),
-            )
-            .with(
-                "alphas",
-                Json::Arr(alphas.iter().map(WireScalar::to_wire).collect()),
-            );
-        let response = self.call(request)?;
-        let (result, cache, raw) = cached_result(&response)?;
-        let solves = result
-            .get("solves")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| ClientError::Protocol("sweep reply lacks \"solves\"".to_string()))?;
-        let value = solves
-            .iter()
-            .map(decode_solve)
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Reply { value, cache, raw })
+        if self.version == PROTOCOL_V1 {
+            let response = self.call(Self::sweep_request(spec, alphas, cache))?;
+            let (result, cache, raw) = cached_result(&response)?;
+            let solves = result
+                .get("solves")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ClientError::Protocol("sweep reply lacks \"solves\"".to_string()))?;
+            let value = solves
+                .iter()
+                .map(decode_solve)
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Reply { value, cache, raw });
+        }
+        let mut stream = self.sweep_stream(spec, alphas, cache)?;
+        let mut slots: Vec<Option<(SolveReply<T>, String)>> = Vec::new();
+        slots.resize_with(alphas.len(), || None);
+        for item in stream.by_ref() {
+            let item = item?;
+            if item.index >= slots.len() {
+                return Err(ClientError::Protocol(format!(
+                    "sweep_item index {} out of range",
+                    item.index
+                )));
+            }
+            slots[item.index] = Some((item.value, item.raw));
+        }
+        let done = stream.done()?;
+        let mut value = Vec::with_capacity(slots.len());
+        let mut raws = Vec::with_capacity(slots.len());
+        for (k, slot) in slots.into_iter().enumerate() {
+            let (solve, item_raw) = slot.ok_or_else(|| {
+                ClientError::Protocol(format!("sweep stream never delivered index {k}"))
+            })?;
+            raws.push(item_raw);
+            value.push(solve);
+        }
+        let raw = crate::proto::assemble_solves(raws.iter().map(String::as_str));
+        Ok(Reply {
+            value,
+            cache: done.cache,
+            raw,
+        })
     }
 
-    /// Optimal post-processing of a deployed mechanism.
+    /// Optimal post-processing of a deployed mechanism (blocking).
     pub fn interact<T: WireScalar>(
         &mut self,
         spec: &ConsumerSpec<T>,
         mechanism: &[Vec<T>],
         cache: CacheMode,
     ) -> Result<Reply<InteractReply<T>>, ClientError> {
-        let request = spec
-            .encode_onto(
-                Json::obj()
-                    .with("op", Json::str("interact"))
-                    .with("scalar", Json::str(T::TAG))
-                    .with("cache", Json::str(cache.as_wire())),
-            )
-            .with(
-                "mechanism",
-                Json::Arr(
-                    mechanism
-                        .iter()
-                        .map(|row| Json::Arr(row.iter().map(WireScalar::to_wire).collect()))
-                        .collect(),
-                ),
-            );
-        let response = self.call(request)?;
+        let ticket = self.submit_interact(spec, mechanism, cache)?;
+        let response = self.wait(ticket)?;
         let (result, cache, raw) = cached_result(&response)?;
         let loss = scalar_reply_field::<T>(result, "loss")?;
         let post_processing = rows_from_wire(result.get("post_processing").ok_or_else(|| {
@@ -314,12 +629,223 @@ impl Client {
             raw,
         })
     }
+
+    /// Submit a sweep and iterate its results **in completion order**, each
+    /// tagged with its input index — the first item arrives while later
+    /// levels are still solving. Under negotiated v1 the monolithic reply is
+    /// fetched up front and replayed in input order, so consumers are
+    /// version-agnostic. Call [`SweepStream::done`] after iteration for the
+    /// terminal frame's cache disposition and aggregate statistics.
+    pub fn sweep_stream<'c, T: WireScalar>(
+        &'c mut self,
+        spec: &ConsumerSpec<T>,
+        alphas: &[T],
+        cache: CacheMode,
+    ) -> Result<SweepStream<'c, T>, ClientError> {
+        if self.version == PROTOCOL_V1 {
+            let reply = self.sweep(spec, alphas, cache)?;
+            let count = reply.value.len() as u64;
+            let stats = reply
+                .value
+                .iter()
+                .fold(PivotStats::default(), |mut acc, s| {
+                    acc += &s.stats;
+                    acc
+                });
+            let solves = match json::parse(&reply.raw) {
+                Ok(parsed) => parsed
+                    .get("solves")
+                    .and_then(Json::as_arr)
+                    .map(<[Json]>::to_vec)
+                    .unwrap_or_default(),
+                Err(_) => Vec::new(),
+            };
+            let prefetched = reply
+                .value
+                .into_iter()
+                .zip(solves)
+                .enumerate()
+                .map(|(index, (value, item))| {
+                    Ok(SweepItemReply {
+                        index,
+                        value,
+                        raw: json::to_string(&item),
+                    })
+                })
+                .collect();
+            return Ok(SweepStream {
+                client: self,
+                ticket: None,
+                prefetched,
+                done: Some(SweepDoneReply {
+                    cache: reply.cache,
+                    count,
+                    stats,
+                }),
+                terminated: false,
+                _marker: std::marker::PhantomData,
+            });
+        }
+        let ticket = self.submit_sweep(spec, alphas, cache)?;
+        Ok(SweepStream {
+            client: self,
+            ticket: Some(ticket),
+            prefetched: VecDeque::new(),
+            done: None,
+            terminated: false,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+/// One streamed sweep result.
+#[derive(Debug, Clone)]
+pub struct SweepItemReply<T> {
+    /// Index into the request's `alphas` array this solve answers.
+    pub index: usize,
+    /// The decoded solve.
+    pub value: SolveReply<T>,
+    /// Canonical serialization of the item's `result` object —
+    /// byte-identical to the corresponding element of a monolithic reply.
+    pub raw: String,
+}
+
+/// The terminal summary of a streamed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepDoneReply {
+    /// How the server answered the sweep as a whole.
+    pub cache: CacheDisposition,
+    /// Number of items streamed.
+    pub count: u64,
+    /// Field-wise sum of the items' pivot statistics.
+    pub stats: PivotStats,
+}
+
+/// An iterator over a sweep's per-α results in completion order (see
+/// [`Client::sweep_stream`]). Completions for other in-flight tickets
+/// observed while streaming are buffered on the client, not lost.
+pub struct SweepStream<'c, T: WireScalar> {
+    client: &'c mut Client,
+    /// `None` under v1 replay (everything is prefetched).
+    ticket: Option<Ticket>,
+    prefetched: VecDeque<Result<SweepItemReply<T>, ClientError>>,
+    done: Option<SweepDoneReply>,
+    terminated: bool,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: WireScalar> Iterator for SweepStream<'_, T> {
+    type Item = Result<SweepItemReply<T>, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(item) = self.prefetched.pop_front() {
+            return Some(item);
+        }
+        if self.terminated {
+            return None;
+        }
+        let ticket = self.ticket?;
+        match self.client.next_event_for(ticket) {
+            Ok(Event::SweepItem {
+                index, response, ..
+            }) => {
+                let item = (|| {
+                    let result = result_of(&response)?;
+                    Ok(SweepItemReply {
+                        index,
+                        value: decode_solve(result)?,
+                        raw: json::to_string(result),
+                    })
+                })();
+                Some(item)
+            }
+            Ok(Event::SweepDone { response, .. }) => {
+                self.terminated = true;
+                self.done = decode_sweep_done(&response).ok();
+                None
+            }
+            Ok(Event::Error { error, .. }) => {
+                self.terminated = true;
+                Some(Err(ClientError::Server(error)))
+            }
+            Ok(Event::Reply { .. }) => {
+                self.terminated = true;
+                Some(Err(ClientError::Protocol(
+                    "sweep answered with a non-stream reply".to_string(),
+                )))
+            }
+            Err(e) => {
+                self.terminated = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+impl<T: WireScalar> SweepStream<'_, T> {
+    /// The terminal frame's summary. Drains any remaining items first (they
+    /// cannot be delivered after this call), so prefer calling it once the
+    /// iterator has returned `None`. A terminal failure encountered while
+    /// draining — e.g. the server closing the stream with an error frame —
+    /// is returned as that error, not masked.
+    pub fn done(mut self) -> Result<SweepDoneReply, ClientError> {
+        loop {
+            match self.next() {
+                Some(Ok(_)) => {}
+                Some(Err(e)) => return Err(e),
+                None => break,
+            }
+        }
+        self.done.take().ok_or_else(|| {
+            ClientError::Protocol("sweep stream ended without a sweep_done frame".to_string())
+        })
+    }
 }
 
 fn result_of(response: &Json) -> Result<&Json, ClientError> {
     response
         .get("result")
         .ok_or_else(|| ClientError::Protocol("response lacks a \"result\"".to_string()))
+}
+
+fn decode_error(response: &Json) -> Option<WireError> {
+    if response.get("ok").and_then(Json::as_bool) != Some(false) {
+        return None;
+    }
+    let error = response.get("error");
+    let code = error
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or("internal");
+    let message = error
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    // Return the server's code through a static table so the WireError keeps
+    // its &'static str code type.
+    Some(WireError::new(intern_code(code), message))
+}
+
+fn decode_sweep_done(response: &Json) -> Result<SweepDoneReply, ClientError> {
+    let cache = response
+        .get("cache")
+        .and_then(CacheDisposition::from_wire)
+        .ok_or_else(|| ClientError::Protocol("sweep_done lacks a \"cache\" field".to_string()))?;
+    let result = result_of(response)?;
+    let count = result
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ClientError::Protocol("sweep_done lacks a \"count\"".to_string()))?;
+    let stats = result
+        .get("stats")
+        .and_then(stats_from_wire)
+        .ok_or_else(|| ClientError::Protocol("sweep_done lacks \"stats\"".to_string()))?;
+    Ok(SweepDoneReply {
+        cache,
+        count,
+        stats,
+    })
 }
 
 fn cached_result(response: &Json) -> Result<(&Json, CacheDisposition, String), ClientError> {
@@ -338,7 +864,9 @@ fn scalar_reply_field<T: WireScalar>(result: &Json, field: &str) -> Result<T, Cl
         .ok_or_else(|| ClientError::Protocol(format!("reply lacks a scalar \"{field}\"")))
 }
 
-fn decode_solve<T: WireScalar>(result: &Json) -> Result<SolveReply<T>, ClientError> {
+/// Decode one solve result object (a `solve` reply's `result`, one element
+/// of a monolithic sweep's `solves`, or a `sweep_item`'s `result`).
+pub fn decode_solve<T: WireScalar>(result: &Json) -> Result<SolveReply<T>, ClientError> {
     let alpha = scalar_reply_field::<T>(result, "alpha")?;
     let loss = scalar_reply_field::<T>(result, "loss")?;
     let mechanism = rows_from_wire(
@@ -357,35 +885,4 @@ fn decode_solve<T: WireScalar>(result: &Json) -> Result<SolveReply<T>, ClientErr
         mechanism,
         stats,
     })
-}
-
-/// Map a server error code onto its static form (unknown codes collapse to
-/// `"internal"` — the message still carries the original text).
-fn intern_code(code: &str) -> &'static str {
-    const CODES: &[&str] = &[
-        "unsupported_version",
-        "malformed_frame",
-        "malformed_json",
-        "bad_request",
-        "unknown_op",
-        "unsupported_scalar",
-        "invalid_alpha",
-        "invalid_mechanism",
-        "invalid_post_processing",
-        "non_monotone_loss",
-        "invalid_side_information",
-        "invalid_prior",
-        "invalid_privacy_levels",
-        "not_derivable",
-        "invalid_request",
-        "input_out_of_range",
-        "linalg_error",
-        "lp_error",
-        "cache_verify_failed",
-    ];
-    CODES
-        .iter()
-        .find(|&&c| c == code)
-        .copied()
-        .unwrap_or("internal")
 }

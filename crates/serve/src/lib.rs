@@ -10,20 +10,30 @@
 //! shareable across clients. This crate turns that observation into
 //! infrastructure:
 //!
-//! * a **wire protocol**: length-prefixed JSON frames over TCP (see
-//!   [`frame`], [`json`], [`proto`] and the prose spec in
+//! * a **wire protocol** (v2: tagged multi-in-flight requests, streaming
+//!   sweeps; v1 still accepted per frame): length-prefixed JSON frames over
+//!   TCP (see [`frame`], [`json`], [`proto`] and the prose spec in
 //!   `crates/serve/PROTOCOL.md`),
-//! * a **multi-threaded request loop** ([`server`]) mapping wire requests
-//!   onto [`PrivacyEngine::solve`](privmech_core::PrivacyEngine::solve) /
-//!   [`sweep`](privmech_core::PrivacyEngine::sweep) /
+//! * a **pipelined request loop** ([`server`]): a reader thread per
+//!   connection feeding a shared worker pool, completions serialized back
+//!   through a per-connection writer — possibly out of order, matched by
+//!   request `id` — mapping wire requests onto
+//!   [`PrivacyEngine::solve`](privmech_core::PrivacyEngine::solve) /
+//!   [`sweep_with`](privmech_core::PrivacyEngine::sweep_with) /
 //!   [`interact`](privmech_core::PrivacyEngine::interact),
 //! * a **sharded LRU response cache** ([`cache`]) keyed on the canonical
 //!   request fingerprint
 //!   ([`ValidatedRequest::fingerprint`](privmech_core::ValidatedRequest::fingerprint)),
-//!   with hit/miss/eviction counters and a runtime-checkable guarantee that
-//!   cached responses are byte-identical to uncached solves,
-//! * a **blocking client** ([`client`]) with typed helpers mirroring the
-//!   engine API.
+//!   with hit/miss/eviction counters, a runtime-checkable guarantee that
+//!   cached responses are byte-identical to uncached solves, optional
+//!   cross-process persistence ([`persist`]), and a **negative cache** for
+//!   deterministic validation errors with its own counters,
+//! * per-op **latency histograms** ([`metrics`], the `metrics` op),
+//! * a typed **client** ([`client`]): blocking helpers mirroring the engine
+//!   API plus the nonblocking surface —
+//!   [`Client::submit`](client::Client::submit) → [`Ticket`],
+//!   [`Client::recv`](client::Client::recv), and the [`SweepStream`]
+//!   iterator that yields per-α results as the server completes them.
 //!
 //! Everything is hand-rolled on `std` — the build environment is offline, so
 //! no serde, no tokio (see the workspace shim policy in the root
@@ -54,6 +64,40 @@
 //! assert_eq!(first.value.loss, rat(168, 415)); // Table 1(a)
 //! handle.shutdown();
 //! ```
+//!
+//! Pipelined (protocol v2): submit many requests on one connection, then
+//! consume completions as they arrive — and stream a sweep's per-α results
+//! in completion order:
+//!
+//! ```
+//! use privmech_numerics::{rat, Rational};
+//! use privmech_serve::client::Client;
+//! use privmech_serve::proto::{CacheMode, ConsumerSpec, LossSpec};
+//! use privmech_serve::server::{self, ServerConfig};
+//!
+//! let handle = server::spawn(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! assert_eq!(client.version(), 2); // negotiated via the hello op
+//!
+//! // Two solves in flight at once; replies are matched by ticket.
+//! let spec = ConsumerSpec::<Rational>::minimax(2, LossSpec::Absolute);
+//! let t1 = client.submit_solve(&spec, &rat(1, 4), CacheMode::Use).unwrap();
+//! let t2 = client.submit_solve(&spec, &rat(1, 2), CacheMode::Use).unwrap();
+//! let second = client.wait(t2).unwrap(); // out-of-order wait is fine
+//! let first = client.wait(t1).unwrap();
+//! assert!(first.get("result").is_some() && second.get("result").is_some());
+//!
+//! // A streaming sweep: items arrive as each α finishes, tagged by index.
+//! let alphas = vec![rat(1, 5), rat(1, 3), rat(1, 2)];
+//! let mut seen = [false; 3];
+//! let mut stream = client.sweep_stream(&spec, &alphas, CacheMode::Use).unwrap();
+//! for item in stream.by_ref() {
+//!     seen[item.unwrap().index] = true;
+//! }
+//! assert_eq!(stream.done().unwrap().count, 3);
+//! assert!(seen.iter().all(|&s| s));
+//! handle.shutdown();
+//! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -62,13 +106,20 @@ pub mod cache;
 pub mod client;
 pub mod frame;
 pub mod json;
+pub mod metrics;
+pub mod persist;
 pub mod proto;
 pub mod server;
 
 pub use cache::{CacheStats, ShardedCache};
-pub use client::{CacheStatsReply, Client, ClientError, InteractReply, Reply, SolveReply};
+pub use client::{
+    CacheStatsReply, Client, ClientError, Event, InteractReply, Reply, SolveReply, SweepDoneReply,
+    SweepItemReply, SweepStream, Ticket,
+};
 pub use json::Json;
+pub use metrics::{LatencyHistogram, Metrics};
 pub use proto::{
-    CacheDisposition, CacheMode, ConsumerSpec, LossSpec, WireError, WireScalar, PROTOCOL_VERSION,
+    CacheDisposition, CacheMode, ConsumerSpec, LossSpec, WireError, WireScalar, PROTOCOL_V1,
+    PROTOCOL_VERSION,
 };
 pub use server::{spawn, ServerConfig, ServerHandle};

@@ -1,0 +1,177 @@
+//! Cross-process cache persistence: dump/load the response caches as
+//! JSON Lines.
+//!
+//! The cached ≡ uncached **bit-identity contract** is what makes entries
+//! portable: a cache value is the canonical rendering of a deterministic
+//! function of its key, so a value written by one server process is exactly
+//! the value any future process would compute for that key. Dumping the
+//! sharded LRU on shutdown and loading it on startup therefore keeps a
+//! restarted server's hot set warm with zero correctness risk — a loaded hit
+//! still satisfies `--verify-hits`.
+//!
+//! Format: one JSON object per line,
+//! `{"kind": "result" | "error", "key": "<cache key>", "value": "<rendered JSON>"}`.
+//! `result` entries belong to the positive response cache, `error` entries to
+//! the negative validation-error cache. Lines are written least recently used
+//! first (per shard), so re-inserting them in file order reproduces recency;
+//! unreadable lines are skipped with a count, never a crash — a stale or
+//! truncated dump degrades to a colder cache, nothing worse.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::cache::ShardedCache;
+use crate::json::{self, Json};
+
+/// Outcome of loading a cache file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadReport {
+    /// Entries inserted into the positive response cache.
+    pub results: usize,
+    /// Entries inserted into the negative validation-error cache.
+    pub errors: usize,
+    /// Malformed lines skipped.
+    pub skipped: usize,
+}
+
+/// Dump both caches to `path` (atomically enough for a single writer: the
+/// file is truncated and rewritten in place on shutdown).
+pub fn dump(
+    path: &Path,
+    positive: &ShardedCache<Arc<str>>,
+    negative: &ShardedCache<Arc<str>>,
+) -> io::Result<usize> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let mut written = 0usize;
+    for (kind, cache) in [("result", positive), ("error", negative)] {
+        for (key, value) in cache.export_lru_first() {
+            let line = Json::obj()
+                .with("kind", Json::str(kind))
+                .with("key", Json::str(key))
+                .with("value", Json::str(value.as_ref()));
+            writeln!(w, "{}", json::to_string(&line))?;
+            written += 1;
+        }
+    }
+    w.flush()?;
+    Ok(written)
+}
+
+/// Load a dump produced by [`dump`] into the given caches. A missing file is
+/// an empty load, not an error; malformed lines are counted and skipped.
+pub fn load(
+    path: &Path,
+    positive: &ShardedCache<Arc<str>>,
+    negative: &ShardedCache<Arc<str>>,
+) -> io::Result<LoadReport> {
+    let file = match std::fs::File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LoadReport::default()),
+        Err(e) => return Err(e),
+    };
+    let mut report = LoadReport::default();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match json::parse(&line) {
+            Ok(value) => value,
+            Err(_) => {
+                report.skipped += 1;
+                continue;
+            }
+        };
+        let (kind, key, value) = match (
+            parsed.get("kind").and_then(Json::as_str),
+            parsed.get("key").and_then(Json::as_str),
+            parsed.get("value").and_then(Json::as_str),
+        ) {
+            (Some(kind), Some(key), Some(value)) => (kind, key, value),
+            _ => {
+                report.skipped += 1;
+                continue;
+            }
+        };
+        match kind {
+            "result" => {
+                positive.insert(key, value.into());
+                report.results += 1;
+            }
+            "error" => {
+                negative.insert(key, value.into());
+                report.errors += 1;
+            }
+            _ => report.skipped += 1,
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("privmech-persist-{name}-{}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn dump_then_load_round_trips_entries_and_recency() {
+        let path = tmp_path("roundtrip");
+        let positive: ShardedCache<Arc<str>> = ShardedCache::new(4, 1);
+        let negative: ShardedCache<Arc<str>> = ShardedCache::new(4, 1);
+        positive.insert("solve|a", Arc::from(r#"{"loss":"1/2"}"#));
+        positive.insert("solve|b", Arc::from(r#"{"loss":"1/3"}"#));
+        let _ = positive.get("solve|a"); // "b" is now LRU
+        negative.insert("neg|x", Arc::from(r#"{"code":"invalid_alpha"}"#));
+
+        let written = dump(&path, &positive, &negative).unwrap();
+        assert_eq!(written, 3);
+
+        let positive2: ShardedCache<Arc<str>> = ShardedCache::new(4, 1);
+        let negative2: ShardedCache<Arc<str>> = ShardedCache::new(4, 1);
+        let report = load(&path, &positive2, &negative2).unwrap();
+        assert_eq!(report.results, 2);
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(
+            positive2.get("solve|a").as_deref(),
+            Some(r#"{"loss":"1/2"}"#)
+        );
+        assert_eq!(
+            negative2.get("neg|x").as_deref(),
+            Some(r#"{"code":"invalid_alpha"}"#)
+        );
+        // Recency survived: "b" was dumped first (LRU), so after reload "a"
+        // is still the more recently used entry.
+        assert_eq!(
+            positive2.shard_keys_by_recency(0),
+            vec!["solve|a", "solve|b"]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_load_and_bad_lines_are_skipped() {
+        let path = tmp_path("missing");
+        let cache: ShardedCache<Arc<str>> = ShardedCache::new(4, 1);
+        let report = load(&path, &cache, &cache).unwrap();
+        assert_eq!(report, LoadReport::default());
+
+        std::fs::write(
+            &path,
+            "not json\n{\"kind\":\"mystery\",\"key\":\"k\",\"value\":\"v\"}\n\
+             {\"kind\":\"result\",\"key\":\"ok\",\"value\":\"v\"}\n",
+        )
+        .unwrap();
+        let report = load(&path, &cache, &cache).unwrap();
+        assert_eq!(report.results, 1);
+        assert_eq!(report.skipped, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,4 +1,5 @@
-//! The v1 request/response schema shared by the server and the client.
+//! The request/response schema shared by the server and the client
+//! (protocol majors v1 and v2).
 //!
 //! The authoritative prose specification lives in `crates/serve/PROTOCOL.md`;
 //! this module is its executable form. Keep the two in sync: every schema
@@ -8,9 +9,12 @@
 //!
 //! * Requests and responses are single JSON objects, one per frame (see
 //!   [`crate::frame`]). The `"v"` field carries the protocol major version;
-//!   a server answers exactly one major and rejects others with
-//!   `unsupported_version` (additive fields do not bump the version —
-//!   unknown fields are ignored).
+//!   the server accepts majors [`PROTOCOL_V1`] and [`PROTOCOL_VERSION`]
+//!   **per frame** and rejects others with `unsupported_version` (additive
+//!   fields do not bump the version — unknown fields are ignored). v2 frames
+//!   must carry a client-chosen `"id"`; many may be in flight per connection
+//!   and replies are matched by `"id"`, with `sweep` answered as a stream of
+//!   `sweep_item` frames plus a terminal `sweep_done`.
 //! * Scalars travel in backend-tagged form (the request's `"scalar"` field):
 //!   exact rationals as strings (`"5/3"`, also accepting integer and decimal
 //!   literals), doubles as JSON numbers in shortest round-tripping form, so
@@ -27,8 +31,14 @@ use privmech_numerics::Rational;
 
 use crate::json::Json;
 
-/// The protocol major version this build speaks.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// The newest protocol major this build speaks (v2: tagged multi-in-flight
+/// requests and streaming sweeps). The server also accepts [`PROTOCOL_V1`]
+/// frames — the request's `"v"` field selects, per frame, which reply shape
+/// it gets (see `PROTOCOL.md` § Versioning and negotiation).
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// The original strict request/response protocol major, still accepted.
+pub const PROTOCOL_V1: u64 = 1;
 
 /// Upper bound on the query-range bound `n` a server accepts over the wire.
 ///
@@ -98,6 +108,60 @@ impl From<CoreError> for WireError {
     fn from(e: CoreError) -> Self {
         WireError::new(core_error_code(&e), e.to_string())
     }
+}
+
+/// Whether a wire code names a **deterministic validation failure** — a
+/// [`CoreError`]-mapped rejection that depends only on the request content,
+/// never on server state. Exactly these are eligible for negative caching
+/// (`lp_error`/`linalg_error` are compute-stage and deliberately excluded).
+#[must_use]
+pub fn is_validation_code(code: &str) -> bool {
+    matches!(
+        code,
+        "invalid_alpha"
+            | "invalid_mechanism"
+            | "invalid_post_processing"
+            | "non_monotone_loss"
+            | "invalid_side_information"
+            | "invalid_prior"
+            | "invalid_privacy_levels"
+            | "not_derivable"
+            | "invalid_request"
+            | "input_out_of_range"
+    )
+}
+
+/// Map a wire error code onto its static form (unknown codes collapse to
+/// `"internal"`; messages still carry the original text). The table is the
+/// full code list of `PROTOCOL.md` § Error codes.
+#[must_use]
+pub fn intern_code(code: &str) -> &'static str {
+    const CODES: &[&str] = &[
+        "unsupported_version",
+        "malformed_frame",
+        "malformed_json",
+        "bad_request",
+        "unknown_op",
+        "unsupported_scalar",
+        "invalid_alpha",
+        "invalid_mechanism",
+        "invalid_post_processing",
+        "non_monotone_loss",
+        "invalid_side_information",
+        "invalid_prior",
+        "invalid_privacy_levels",
+        "not_derivable",
+        "invalid_request",
+        "input_out_of_range",
+        "linalg_error",
+        "lp_error",
+        "cache_verify_failed",
+    ];
+    CODES
+        .iter()
+        .find(|&&c| c == code)
+        .copied()
+        .unwrap_or("internal")
 }
 
 /// A scalar backend that can travel over the wire.
@@ -498,6 +562,25 @@ impl CacheDisposition {
             _ => None,
         }
     }
+}
+
+/// Assemble the monolithic sweep rendering `{"solves":[...]}` from per-item
+/// result renderings in input order — the **one** definition of that shape,
+/// shared by the server (cache-entry assembly from a streamed miss), the
+/// client (reassembling a v2 stream into a v1-byte-identical `raw`) and the
+/// bench harness (the independently hand-rolled copies in
+/// `tests/pipeline.rs` / `examples/pipelining.rs` stay as oracles).
+#[must_use]
+pub fn assemble_solves<'a>(items: impl IntoIterator<Item = &'a str>) -> String {
+    let mut out = String::from("{\"solves\":[");
+    for (k, item) in items.into_iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(item);
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Encode [`PivotStats`] as a response object.

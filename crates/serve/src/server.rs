@@ -1,24 +1,48 @@
-//! The serving loop: a multi-threaded TCP request handler over
-//! [`PrivacyEngine`] with a sharded LRU response cache.
+//! The serving loop: a pipelined, multi-threaded TCP request handler over
+//! [`PrivacyEngine`] with sharded LRU response caches.
 //!
-//! One accept thread hands connections to a fixed pool of worker threads;
-//! each worker serves its connection's frames sequentially (pipelining
-//! within one connection would reorder responses; clients open more
-//! connections for more parallelism). Every cacheable operation is keyed on
-//! the canonical request fingerprint
+//! # Connection anatomy (protocol v2)
+//!
+//! Every connection gets a dedicated **reader thread** that does nothing but
+//! frame decoding: each decoded request is handed to a fixed, shared pool of
+//! **worker threads** (the compute budget), and every completed response is
+//! serialized through the connection's **writer** (a mutex over the write
+//! half, so frames never interleave mid-frame). Many requests from one
+//! connection can therefore be in flight at once, and replies may complete —
+//! and be written — **out of order**; clients match them by the request `id`
+//! they chose. v1 frames run through the same machinery and still behave as
+//! strict request/response because a v1 client only ever has one request in
+//! flight. A `v2` `sweep` streams: one `sweep_item` frame per completed α
+//! (completion order, each carrying its input `index`, via
+//! [`PrivacyEngine::sweep_with`]) and a terminal `sweep_done` frame with
+//! aggregate statistics.
+//!
+//! # Caching
+//!
+//! Every cacheable operation is keyed on the canonical request fingerprint
 //! ([`ValidatedRequest::fingerprint`](privmech_core::ValidatedRequest::fingerprint))
 //! composed with the operation and scalar tag, so a cached response is
 //! byte-identical to what an uncached solve of the same request would render
 //! — with [`ServerConfig::verify_hits`], the server re-solves on every hit
-//! and *asserts* that identity at runtime.
+//! and *asserts* that identity at runtime. A v2 streaming sweep shares its
+//! cache entry with the v1 monolithic form (the entry stores the monolithic
+//! rendering; a streaming hit replays it item by item), so the two protocol
+//! majors and both cache states render byte-identical `result` objects.
+//! Deterministic **validation errors** are negatively cached under their own
+//! counters (see `PROTOCOL.md` § Negative caching), and
+//! [`ServerConfig::cache_file`] persists both caches across restarts as
+//! JSON Lines ([`crate::persist`]) — portable precisely because of the
+//! bit-identity contract.
 
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use privmech_core::{Mechanism, PrivacyEngine, PrivacyLevel, Solve};
 use privmech_numerics::Rational;
@@ -26,9 +50,12 @@ use privmech_numerics::Rational;
 use crate::cache::{CacheStats, ShardedCache};
 use crate::frame::{read_frame, write_frame};
 use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::persist;
 use crate::proto::{
-    matrix_to_wire, mechanism_from_wire, stats_to_wire, CacheDisposition, CacheMode, ConsumerSpec,
-    WireError, WireScalar, PROTOCOL_VERSION,
+    is_validation_code, matrix_to_wire, mechanism_from_wire, stats_from_wire, stats_to_wire,
+    CacheDisposition, CacheMode, ConsumerSpec, WireError, WireScalar, PROTOCOL_V1,
+    PROTOCOL_VERSION,
 };
 
 /// Configuration of a serving instance.
@@ -37,19 +64,28 @@ pub struct ServerConfig {
     /// Listen address; use port 0 for an ephemeral port (read it back from
     /// [`ServerHandle::addr`]).
     pub addr: String,
-    /// Worker threads — the number of connections served concurrently.
+    /// Worker threads — the number of requests *computed* concurrently
+    /// (connections are limited only by reader threads, not by this pool).
     pub worker_threads: usize,
     /// Total response-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
     /// Number of cache shards (lock granularity).
     pub cache_shards: usize,
-    /// Re-solve on every cache hit and assert the cached response is
-    /// byte-identical to the fresh one. Turns each hit into a full solve —
-    /// for correctness harnesses, not production throughput.
+    /// Negative-cache capacity in entries for deterministic validation
+    /// errors (0 disables negative caching).
+    pub neg_cache_capacity: usize,
+    /// Re-solve on every cache hit (positive and negative) and assert the
+    /// cached response is byte-identical to the fresh one. Turns each hit
+    /// into a full solve — for correctness harnesses, not production
+    /// throughput.
     pub verify_hits: bool,
     /// Worker-thread budget of the per-request engine for `sweep` operations
-    /// (connection-level parallelism comes from `worker_threads`).
+    /// (request-level parallelism comes from `worker_threads`).
     pub sweep_threads: usize,
+    /// Persist both caches to this JSON Lines file: loaded on startup,
+    /// dumped on shutdown, so a restarted server keeps its hot set (entries
+    /// are portable by the bit-identity contract).
+    pub cache_file: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -59,8 +95,10 @@ impl Default for ServerConfig {
             worker_threads: 4,
             cache_capacity: 4096,
             cache_shards: 8,
+            neg_cache_capacity: 1024,
             verify_hits: false,
             sweep_threads: 1,
+            cache_file: None,
         }
     }
 }
@@ -71,14 +109,96 @@ struct Shared {
     /// envelope: hits splice the `Arc<str>` into the response via
     /// [`Json::Raw`].
     cache: ShardedCache<Arc<str>>,
+    /// Rendered `{code, message}` error objects for deterministic validation
+    /// failures, with counters separate from `cache` so error hits don't
+    /// pollute the solve hit rate.
+    neg_cache: ShardedCache<Arc<str>>,
+    /// Per-op latency histograms (the `metrics` op).
+    metrics: Metrics,
     verify_hits: bool,
     sweep_threads: usize,
     stop: AtomicBool,
     addr: SocketAddr,
-    /// Live connections by id, so a stop can unblock workers parked in
-    /// blocking reads by closing their sockets out from under them.
+    /// Live connections by id, so a stop can unblock reader threads parked
+    /// in blocking reads by closing their sockets out from under them.
     conns: Mutex<HashMap<u64, TcpStream>>,
     conn_seq: AtomicU64,
+    /// Reader-thread handles, joined on shutdown (populated by the accept
+    /// loop, drained once the accept loop has exited).
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    cache_file: Option<PathBuf>,
+    dumped: AtomicBool,
+}
+
+impl Shared {
+    /// Dump both caches to the configured cache file, once.
+    fn dump_cache_file(&self) {
+        if self.dumped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(path) = &self.cache_file {
+            if let Err(e) = persist::dump(path, &self.cache, &self.neg_cache) {
+                eprintln!(
+                    "privmech-serve: cache dump to {} failed: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+/// Upper bound on one blocking socket write. Workers hold a connection's
+/// writer mutex across the write, so without a timeout a client that stops
+/// *reading* while its requests are in flight would wedge a worker — and,
+/// transitively, every worker completing a request for that connection —
+/// forever. With the timeout, the stalled write errors out, the writer is
+/// declared dead and the connection is torn down instead.
+const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// One connection's write half, shared by every worker completing one of its
+/// requests. The mutex serializes whole frames; interleaving of frames
+/// *between* requests is what the `id` tag is for.
+struct ConnWriter {
+    inner: Mutex<BufWriter<TcpStream>>,
+    /// Set on the first write failure (including a [`WRITE_TIMEOUT`] expiry,
+    /// after which the byte stream may be mid-frame and unrecoverable):
+    /// later sends fail fast instead of queueing behind a broken socket.
+    dead: AtomicBool,
+    /// A clone of the socket so a failed writer can tear the whole
+    /// connection down (unblocking its reader thread too).
+    stream: TcpStream,
+}
+
+impl ConnWriter {
+    /// Whether a write has already failed (the connection is unrecoverable).
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    fn send(&self, frame: &Json) -> io::Result<()> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection writer is dead",
+            ));
+        }
+        let bytes = json::to_string(frame);
+        let result = write_frame(
+            &mut *self.inner.lock().expect("connection writer poisoned"),
+            bytes.as_bytes(),
+        );
+        if result.is_err() {
+            self.dead.store(true, Ordering::Relaxed);
+            let _ = self.stream.shutdown(Shutdown::Both);
+        }
+        result
+    }
+}
+
+/// One decoded request frame queued for the worker pool.
+struct Job {
+    writer: Arc<ConnWriter>,
+    payload: Vec<u8>,
 }
 
 /// A running server. Dropping the handle shuts the server down and joins its
@@ -102,16 +222,38 @@ impl ServerHandle {
         self.shared.cache.stats()
     }
 
+    /// Current negative-cache (validation-error) counters.
+    #[must_use]
+    pub fn neg_cache_stats(&self) -> CacheStats {
+        self.shared.neg_cache.stats()
+    }
+
     /// Signal the accept loop to stop and join every thread. Also invoked on
     /// drop; calling it explicitly surfaces the join.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
-    /// Block until the server stops (e.g. a client sent the `shutdown` op).
+    /// Block until the server stops (e.g. a client sent the `shutdown` op),
+    /// then join every thread and persist the cache file if configured.
     pub fn join(mut self) {
+        self.join_threads();
+        self.shared.dump_cache_file();
+    }
+
+    fn join_threads(&mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        let readers: Vec<JoinHandle<()>> = self
+            .shared
+            .readers
+            .lock()
+            .expect("reader registry poisoned")
+            .drain(..)
+            .collect();
+        for reader in readers {
+            let _ = reader.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -120,12 +262,8 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         signal_stop(&self.shared);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.join_threads();
+        self.shared.dump_cache_file();
     }
 }
 
@@ -139,7 +277,7 @@ fn signal_stop(shared: &Shared) {
     shared.stop.store(true, Ordering::SeqCst);
     // Unblock the accept loop with a throwaway connection.
     let _ = TcpStream::connect(shared.addr);
-    // Unblock workers parked in blocking reads on open connections.
+    // Unblock reader threads parked in blocking reads on open connections.
     for stream in shared
         .conns
         .lock()
@@ -150,7 +288,8 @@ fn signal_stop(shared: &Shared) {
     }
 }
 
-/// Bind and start serving; returns immediately with a handle.
+/// Bind and start serving; returns immediately with a handle. If a cache
+/// file is configured and present, both caches are pre-loaded from it.
 pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener =
         TcpListener::bind(
@@ -161,28 +300,52 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+        neg_cache: ShardedCache::new(config.neg_cache_capacity, config.cache_shards),
+        metrics: Metrics::new(),
         verify_hits: config.verify_hits,
         sweep_threads: config.sweep_threads.max(1),
         stop: AtomicBool::new(false),
         addr,
         conns: Mutex::new(HashMap::new()),
         conn_seq: AtomicU64::new(0),
+        readers: Mutex::new(Vec::new()),
+        cache_file: config.cache_file.clone(),
+        dumped: AtomicBool::new(false),
     });
+    if let Some(path) = &shared.cache_file {
+        match persist::load(path, &shared.cache, &shared.neg_cache) {
+            Ok(report) if report.results + report.errors > 0 => eprintln!(
+                "privmech-serve: loaded {} result + {} error cache entries from {}",
+                report.results,
+                report.errors,
+                path.display()
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!(
+                "privmech-serve: cache load from {} failed: {e}",
+                path.display()
+            ),
+        }
+    }
 
-    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
-    let rx = Arc::new(Mutex::new(rx));
+    let (jobs_tx, jobs_rx): (Sender<Job>, Receiver<Job>) = std::sync::mpsc::channel();
+    let jobs_rx = Arc::new(Mutex::new(jobs_rx));
     let workers: Vec<JoinHandle<()>> = (0..config.worker_threads.max(1))
         .map(|_| {
-            let rx = Arc::clone(&rx);
+            let jobs_rx = Arc::clone(&jobs_rx);
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || loop {
-                let stream = {
-                    let guard = rx.lock().expect("connection queue poisoned");
+                let job = {
+                    let guard = jobs_rx.lock().expect("job queue poisoned");
                     guard.recv()
                 };
-                match stream {
-                    Ok(stream) => serve_connection(&shared, stream),
-                    Err(_) => break, // accept loop gone: drain complete
+                match job {
+                    Ok(job) => {
+                        if run_job(&shared, &job) {
+                            signal_stop(&shared);
+                        }
+                    }
+                    Err(_) => break, // every reader and the accept loop are gone
                 }
             })
         })
@@ -196,13 +359,28 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
                     break;
                 }
                 if let Ok(stream) = stream {
-                    // A send can only fail if every worker died; stop then.
-                    if tx.send(stream).is_err() {
-                        break;
+                    let shared_conn = Arc::clone(&shared);
+                    let jobs_tx = jobs_tx.clone();
+                    let reader = std::thread::spawn(move || {
+                        read_connection(&shared_conn, stream, &jobs_tx);
+                    });
+                    let mut readers = shared.readers.lock().expect("reader registry poisoned");
+                    // Reap readers of closed connections here, on the accept
+                    // path, so handles don't accumulate for the server's
+                    // lifetime (joining a finished thread doesn't block).
+                    let mut live = Vec::with_capacity(readers.len() + 1);
+                    for handle in readers.drain(..) {
+                        if handle.is_finished() {
+                            let _ = handle.join();
+                        } else {
+                            live.push(handle);
+                        }
                     }
+                    *readers = live;
+                    readers.push(reader);
                 }
             }
-            drop(tx); // lets idle workers observe the close and exit
+            drop(jobs_tx); // with the readers' clones gone, workers drain out
         })
     };
 
@@ -213,11 +391,18 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     })
 }
 
-fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let Ok(registered) = stream.try_clone() else {
+/// The per-connection reader loop: decode frames, feed the worker pool.
+fn read_connection(shared: &Arc<Shared>, stream: TcpStream, jobs_tx: &Sender<Job>) {
+    // Pipelined responses are many small back-to-back frames; leaving Nagle
+    // on would stall every frame after the first behind a delayed ACK
+    // (~40 ms each) whenever the client isn't writing.
+    let _ = stream.set_nodelay(true);
+    // Bound every blocking write so a non-reading client cannot wedge the
+    // worker pool through this connection's writer mutex (see WRITE_TIMEOUT).
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let (Ok(read_half), Ok(registered), Ok(writer_stream)) =
+        (stream.try_clone(), stream.try_clone(), stream.try_clone())
+    else {
         return;
     };
     let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
@@ -233,44 +418,33 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         let _ = stream.shutdown(Shutdown::Both);
     }
     let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    let writer = Arc::new(ConnWriter {
+        inner: Mutex::new(BufWriter::new(stream)),
+        dead: AtomicBool::new(false),
+        stream: writer_stream,
+    });
     loop {
         match read_frame(&mut reader) {
             Ok(None) => break,
             Ok(Some(payload)) => {
-                // A panicking handler (a solver bug, a pathological input
-                // that slipped past validation) must cost one response, not
-                // the worker thread. Handlers never hold cache locks across
-                // compute, so unwinding here cannot poison shared state.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_payload(shared, &payload)
-                }));
-                let (response, stop_after) = outcome.unwrap_or_else(|_| {
-                    (
-                        error_response(
-                            Json::Null,
-                            &WireError::new("internal", "request handler panicked"),
-                        ),
-                        false,
-                    )
-                });
-                let bytes = json::to_string(&response);
-                if write_frame(&mut writer, bytes.as_bytes()).is_err() {
-                    break;
-                }
-                if stop_after {
-                    signal_stop(shared);
+                let job = Job {
+                    writer: Arc::clone(&writer),
+                    payload,
+                };
+                // A send can only fail if every worker died; close then.
+                if jobs_tx.send(job).is_err() {
                     break;
                 }
             }
             Err(_) => {
                 // Oversized or truncated frame: report if the pipe still
                 // works, then drop the connection (framing is unrecoverable).
-                let response = error_response(
+                let _ = writer.send(&error_response(
+                    PROTOCOL_VERSION,
                     Json::Null,
-                    &WireError::new("malformed_frame", "unreadable frame"),
-                );
-                let _ = write_frame(&mut writer, json::to_string(&response).as_bytes());
+                    wire_error_json(&WireError::new("malformed_frame", "unreadable frame")),
+                    None,
+                ));
                 break;
             }
         }
@@ -282,9 +456,60 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         .remove(&conn_id);
 }
 
-fn ok_response(id: Json, cache: Option<CacheDisposition>, result: Json) -> Json {
+/// Handle one queued request on a worker thread; returns whether the server
+/// should stop afterwards.
+fn run_job(shared: &Arc<Shared>, job: &Job) -> bool {
+    // A request whose connection writer is already dead (stalled past
+    // WRITE_TIMEOUT, or a broken pipe) can never deliver a byte: skip the
+    // compute instead of burning a worker on it.
+    if job.writer.is_dead() {
+        return false;
+    }
+    let start = Instant::now();
+    // A panicking handler (a solver bug, a pathological input that slipped
+    // past validation) must cost one response, not the worker thread.
+    // Handlers never hold cache or writer locks across compute, so unwinding
+    // here cannot poison shared state.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_payload(shared, &job.writer, &job.payload)
+    }));
+    let (op, terminal, stop) = outcome.unwrap_or_else(|_| {
+        // Recover the request's v and id from the payload (parsing cannot
+        // panic) so a pipelined client can correlate the failure with its
+        // ticket instead of mistaking it for a connection-level error.
+        let (v, id) = std::str::from_utf8(&job.payload)
+            .ok()
+            .and_then(|text| json::parse(text).ok())
+            .map(|request| {
+                let v = match request.get("v").and_then(Json::as_u64) {
+                    Some(v @ (PROTOCOL_V1 | PROTOCOL_VERSION)) => v,
+                    _ => PROTOCOL_VERSION,
+                };
+                (v, request.get("id").cloned().unwrap_or(Json::Null))
+            })
+            .unwrap_or((PROTOCOL_VERSION, Json::Null));
+        let frame = error_response(
+            v,
+            id,
+            wire_error_json(&WireError::new("internal", "request handler panicked")),
+            None,
+        );
+        (None, frame, false)
+    });
+    // Record the latency *before* the terminal write: a client that has read
+    // this request's terminal frame must observe its sample in any later
+    // `metrics` reply, no matter which worker answers it.
+    if let Some(op) = op {
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared.metrics.record(op, ns);
+    }
+    let _ = job.writer.send(&terminal);
+    stop
+}
+
+fn ok_response(v: u64, id: Json, cache: Option<CacheDisposition>, result: Json) -> Json {
     let mut obj = Json::obj()
-        .with("v", Json::num_u64(PROTOCOL_VERSION))
+        .with("v", Json::num_u64(v))
         .with("id", id)
         .with("ok", Json::Bool(true));
     if let Some(disposition) = cache {
@@ -293,97 +518,222 @@ fn ok_response(id: Json, cache: Option<CacheDisposition>, result: Json) -> Json 
     obj.with("result", result)
 }
 
-fn error_response(id: Json, error: &WireError) -> Json {
+/// Render a [`WireError`] as the response's `error` object — also the exact
+/// form stored in the negative cache, so negative hits splice byte-identical
+/// bytes.
+fn wire_error_json(error: &WireError) -> Json {
     Json::obj()
-        .with("v", Json::num_u64(PROTOCOL_VERSION))
-        .with("id", id)
-        .with("ok", Json::Bool(false))
-        .with(
-            "error",
-            Json::obj()
-                .with("code", Json::str(error.code))
-                .with("message", Json::str(error.message.clone())),
-        )
+        .with("code", Json::str(error.code))
+        .with("message", Json::str(error.message.clone()))
 }
 
-/// Handle one raw frame payload; returns the response and whether the server
-/// should stop after answering.
-fn handle_payload(shared: &Arc<Shared>, payload: &[u8]) -> (Json, bool) {
+fn error_response(v: u64, id: Json, error: Json, cache: Option<CacheDisposition>) -> Json {
+    let mut obj = Json::obj()
+        .with("v", Json::num_u64(v))
+        .with("id", id)
+        .with("ok", Json::Bool(false));
+    if let Some(disposition) = cache {
+        obj = obj.with("cache", Json::str(disposition.as_wire()));
+    }
+    obj.with("error", error)
+}
+
+/// A `sweep_item` stream frame: one completed α, tagged with its input index.
+fn sweep_item_frame(v: u64, id: &Json, index: usize, result: Json) -> Json {
+    Json::obj()
+        .with("v", Json::num_u64(v))
+        .with("id", id.clone())
+        .with("ok", Json::Bool(true))
+        .with("stream", Json::str("sweep_item"))
+        .with("index", Json::num_u64(index as u64))
+        .with("result", result)
+}
+
+/// The terminal `sweep_done` stream frame with aggregate statistics.
+fn sweep_done_frame(v: u64, id: &Json, cache: CacheDisposition, result: Json) -> Json {
+    Json::obj()
+        .with("v", Json::num_u64(v))
+        .with("id", id.clone())
+        .with("ok", Json::Bool(true))
+        .with("stream", Json::str("sweep_done"))
+        .with("cache", Json::str(cache.as_wire()))
+        .with("result", result)
+}
+
+/// A computation failure plus its (negative-)cache disposition.
+struct ComputeError {
+    /// Rendered or tree-form `{code, message}` object.
+    error: Json,
+    cache: Option<CacheDisposition>,
+}
+
+impl From<WireError> for ComputeError {
+    fn from(e: WireError) -> Self {
+        ComputeError {
+            error: wire_error_json(&e),
+            cache: None,
+        }
+    }
+}
+
+/// Handle one raw frame payload, writing any *non-terminal* frames it
+/// produces (v2 `sweep_item`s); returns the op name (for metrics), the
+/// **terminal** response frame — written by the caller *after* recording
+/// metrics, so a client that has seen a request's terminal frame is
+/// guaranteed to observe its latency in a subsequent `metrics` call — and
+/// whether the server should stop.
+fn handle_payload(
+    shared: &Arc<Shared>,
+    writer: &Arc<ConnWriter>,
+    payload: &[u8],
+) -> (Option<&'static str>, Json, bool) {
     let Ok(text) = std::str::from_utf8(payload) else {
-        return (
-            error_response(
-                Json::Null,
-                &WireError::new("malformed_json", "frame is not UTF-8"),
-            ),
-            false,
+        let frame = error_response(
+            PROTOCOL_VERSION,
+            Json::Null,
+            wire_error_json(&WireError::new("malformed_json", "frame is not UTF-8")),
+            None,
         );
+        return (None, frame, false);
     };
     let request = match json::parse(text) {
         Ok(value) => value,
         Err(e) => {
-            return (
-                error_response(Json::Null, &WireError::new("malformed_json", e.to_string())),
-                false,
-            )
+            let frame = error_response(
+                PROTOCOL_VERSION,
+                Json::Null,
+                wire_error_json(&WireError::new("malformed_json", e.to_string())),
+                None,
+            );
+            return (None, frame, false);
         }
     };
     let id = request.get("id").cloned().unwrap_or(Json::Null);
-    match request.get("v").and_then(Json::as_u64) {
-        Some(PROTOCOL_VERSION) => {}
+    let v = match request.get("v").and_then(Json::as_u64) {
+        Some(v @ (PROTOCOL_V1 | PROTOCOL_VERSION)) => v,
         got => {
             let message = match got {
-                Some(v) => format!("server speaks protocol v{PROTOCOL_VERSION}, request is v{v}"),
-                None => format!("request needs an integer \"v\" (= {PROTOCOL_VERSION})"),
+                Some(v) => format!(
+                    "server speaks protocol v{PROTOCOL_V1} and v{PROTOCOL_VERSION}, request is v{v}"
+                ),
+                None => {
+                    format!("request needs an integer \"v\" ({PROTOCOL_V1} or {PROTOCOL_VERSION})")
+                }
             };
-            return (
-                error_response(id, &WireError::new("unsupported_version", message)),
-                false,
+            let frame = error_response(
+                PROTOCOL_VERSION,
+                id,
+                wire_error_json(&WireError::new("unsupported_version", message)),
+                None,
             );
+            return (None, frame, false);
         }
+    };
+    if v == PROTOCOL_VERSION && id == Json::Null {
+        // v2 replies are matched by id, and many may be in flight — an
+        // untagged v2 request could never be correlated.
+        let frame = error_response(
+            v,
+            Json::Null,
+            wire_error_json(&WireError::bad_request(
+                "v2 requests must carry a client-chosen \"id\"",
+            )),
+            None,
+        );
+        return (None, frame, false);
     }
     let op = request.get("op").and_then(Json::as_str).unwrap_or("");
     match op {
         "ping" => (
-            ok_response(id, None, Json::obj().with("pong", Json::Bool(true))),
+            Some("ping"),
+            ok_response(v, id, None, Json::obj().with("pong", Json::Bool(true))),
             false,
         ),
+        "hello" => {
+            // The negotiation op: clients discover the freshest major the
+            // server speaks. Pre-v2 servers answer `unknown_op`, which is the
+            // negotiated fall-back-to-v1 signal.
+            let result = Json::obj()
+                .with("server", Json::str("privmech-serve"))
+                .with(
+                    "versions",
+                    Json::Arr(vec![
+                        Json::num_u64(PROTOCOL_V1),
+                        Json::num_u64(PROTOCOL_VERSION),
+                    ]),
+                )
+                .with("max", Json::num_u64(PROTOCOL_VERSION));
+            (Some("hello"), ok_response(v, id, None, result), false)
+        }
         "stats" => {
             let stats = shared.cache.stats();
+            let neg = shared.neg_cache.stats();
             let result = Json::obj()
                 .with("hits", Json::num_u64(stats.hits))
                 .with("misses", Json::num_u64(stats.misses))
                 .with("evictions", Json::num_u64(stats.evictions))
                 .with("entries", Json::num_u64(stats.entries as u64))
                 .with("capacity", Json::num_u64(stats.capacity as u64))
-                .with("shards", Json::num_u64(stats.shards as u64));
-            (ok_response(id, None, result), false)
+                .with("shards", Json::num_u64(stats.shards as u64))
+                .with("neg_hits", Json::num_u64(neg.hits))
+                .with("neg_misses", Json::num_u64(neg.misses))
+                .with("neg_evictions", Json::num_u64(neg.evictions))
+                .with("neg_entries", Json::num_u64(neg.entries as u64))
+                .with("neg_capacity", Json::num_u64(neg.capacity as u64));
+            (Some("stats"), ok_response(v, id, None, result), false)
         }
+        "metrics" => (
+            Some("metrics"),
+            ok_response(v, id, None, shared.metrics.to_wire()),
+            false,
+        ),
         "shutdown" => (
-            ok_response(id, None, Json::obj().with("stopping", Json::Bool(true))),
+            Some("shutdown"),
+            ok_response(v, id, None, Json::obj().with("stopping", Json::Bool(true))),
             true,
         ),
         "solve" | "sweep" | "interact" => {
+            let op_name: &'static str = match op {
+                "solve" => "solve",
+                "sweep" => "sweep",
+                _ => "interact",
+            };
             let outcome = match request.get("scalar").and_then(Json::as_str) {
-                Some("rational") | None => handle_compute::<Rational>(shared, op, &request),
-                Some("f64") => handle_compute::<f64>(shared, op, &request),
-                Some(other) => Err(WireError::new(
+                Some("rational") | None => {
+                    handle_compute::<Rational>(shared, writer, op_name, v, &id, &request)
+                }
+                Some("f64") => handle_compute::<f64>(shared, writer, op_name, v, &id, &request),
+                Some(other) => Err(ComputeError::from(WireError::new(
                     "unsupported_scalar",
                     format!("unknown scalar backend \"{other}\""),
-                )),
+                ))),
             };
-            match outcome {
-                Ok((result, cache)) => (ok_response(id, Some(cache), result), false),
-                Err(e) => (error_response(id, &e), false),
-            }
+            let terminal = match outcome {
+                Ok(frame) => frame,
+                Err(e) => error_response(v, id, e.error, e.cache),
+            };
+            (Some(op_name), terminal, false)
         }
         "" => (
-            error_response(id, &WireError::bad_request("request needs an \"op\"")),
+            None,
+            error_response(
+                v,
+                id,
+                wire_error_json(&WireError::bad_request("request needs an \"op\"")),
+                None,
+            ),
             false,
         ),
         other => (
+            None,
             error_response(
+                v,
                 id,
-                &WireError::new("unknown_op", format!("unknown op \"{other}\"")),
+                wire_error_json(&WireError::new(
+                    "unknown_op",
+                    format!("unknown op \"{other}\""),
+                )),
+                None,
             ),
             false,
         ),
@@ -420,6 +770,51 @@ fn serve_cached(
     Ok((Json::Raw(rendered), CacheDisposition::Miss))
 }
 
+/// Run the validation stage of a compute op through the negative cache:
+/// deterministic validation failures (stable `CoreError`-mapped codes, see
+/// [`is_validation_code`]) are cached under `neg_key` and replayed
+/// byte-identically on repeats — with `verify_hits`, re-validated first.
+fn validate_negatively_cached<X>(
+    shared: &Shared,
+    mode: CacheMode,
+    neg_key: &str,
+    validate: impl FnOnce() -> Result<X, WireError>,
+) -> Result<X, ComputeError> {
+    if mode == CacheMode::Bypass {
+        return validate().map_err(ComputeError::from);
+    }
+    if let Some(cached) = shared.neg_cache.get(neg_key) {
+        if shared.verify_hits {
+            let fresh = match validate() {
+                Err(e) => json::to_string(&wire_error_json(&e)),
+                Ok(_) => String::new(), // a now-valid request can never match
+            };
+            if fresh != *cached {
+                return Err(ComputeError::from(WireError::new(
+                    "cache_verify_failed",
+                    "cached validation error is not identical to fresh validation",
+                )));
+            }
+        }
+        return Err(ComputeError {
+            error: Json::Raw(cached),
+            cache: Some(CacheDisposition::Hit),
+        });
+    }
+    match validate() {
+        Ok(x) => Ok(x),
+        Err(e) if is_validation_code(e.code) => {
+            let rendered: Arc<str> = json::to_string(&wire_error_json(&e)).into();
+            shared.neg_cache.insert(neg_key, Arc::clone(&rendered));
+            Err(ComputeError {
+                error: Json::Raw(rendered),
+                cache: Some(CacheDisposition::Miss),
+            })
+        }
+        Err(e) => Err(ComputeError::from(e)),
+    }
+}
+
 fn solve_to_wire<T: WireScalar>(solve: &Solve<T>) -> Json {
     Json::obj()
         .with("alpha", solve.level.alpha().to_wire())
@@ -428,93 +823,84 @@ fn solve_to_wire<T: WireScalar>(solve: &Solve<T>) -> Json {
         .with("stats", stats_to_wire(&solve.stats))
 }
 
+/// The negative-cache key of a request: the *typed* spec re-encoded
+/// canonically (so field order and lexical noise in the consumer fields
+/// don't split entries), composed with the op, scalar tag and the
+/// op-specific payload. The payload (`extra`) may be lexical — e.g. a sweep's
+/// raw `alphas` array, which might be the very thing that failed to parse —
+/// so differently-spelled equivalent payloads can split entries: a
+/// conservative split, never a wrong hit (see `PROTOCOL.md` § Negative
+/// caching).
+fn neg_key<T: WireScalar>(op: &str, spec: &ConsumerSpec<T>, extra: &str) -> String {
+    let spec_canonical = json::to_string(&spec.encode_onto(Json::obj()));
+    format!("neg|{op}|{}|{spec_canonical}|{extra}", T::TAG)
+}
+
+/// One compute op, returning its **terminal** frame (non-terminal v2
+/// `sweep_item` frames are written through `writer` as they complete).
 fn handle_compute<T: WireScalar>(
     shared: &Shared,
-    op: &str,
+    writer: &Arc<ConnWriter>,
+    op: &'static str,
+    v: u64,
+    id: &Json,
     request: &Json,
-) -> Result<(Json, CacheDisposition), WireError> {
-    let mode = CacheMode::from_wire(request)?;
-    let spec = ConsumerSpec::<T>::from_wire(request)?;
+) -> Result<Json, ComputeError> {
+    let mode = CacheMode::from_wire(request).map_err(ComputeError::from)?;
+    let spec = ConsumerSpec::<T>::from_wire(request).map_err(ComputeError::from)?;
     match op {
         "solve" => {
-            let alpha = scalar_field::<T>(request, "alpha")?;
-            let validated = spec.to_request(alpha)?;
+            let alpha = scalar_field::<T>(request, "alpha").map_err(ComputeError::from)?;
+            let neg_key = neg_key(op, &spec, &json::to_string(&alpha.to_wire()));
+            let validated = validate_negatively_cached(shared, mode, &neg_key, || {
+                spec.to_request(alpha.clone())
+            })?;
             let key = format!("solve|{}|{}", T::TAG, validated.fingerprint().canonical());
-            serve_cached(shared, &key, mode, || {
+            let (result, cache) = serve_cached(shared, &key, mode, || {
                 let solve = PrivacyEngine::with_threads(1)
                     .solve(&validated)
                     .map_err(WireError::from)?;
                 Ok(solve_to_wire(&solve))
             })
+            .map_err(ComputeError::from)?;
+            Ok(ok_response(v, id.clone(), Some(cache), result))
         }
-        "sweep" => {
-            let alphas = request
-                .get("alphas")
-                .and_then(Json::as_arr)
-                .ok_or_else(|| WireError::bad_request("sweep needs an \"alphas\" array"))?;
-            let mut levels: Vec<PrivacyLevel<T>> = Vec::with_capacity(alphas.len());
-            for value in alphas {
-                let alpha = T::from_wire(value)
-                    .ok_or_else(|| WireError::bad_request("unparsable scalar in alphas"))?;
-                levels.push(PrivacyLevel::new(alpha).map_err(WireError::from)?);
-            }
-            if levels.is_empty() {
-                // Nothing to compute or cache; report the disposition the
-                // client asked for rather than a miss that never counted.
-                let disposition = match mode {
-                    CacheMode::Bypass => CacheDisposition::Bypass,
-                    CacheMode::Use => CacheDisposition::Miss,
-                };
-                return Ok((
-                    Json::obj().with("solves", Json::Arr(Vec::new())),
-                    disposition,
-                ));
-            }
-            let validated = spec.to_request(levels[0].alpha().clone())?;
-            let levels_key = json::to_string(&Json::Arr(
-                levels.iter().map(|l| l.alpha().to_wire()).collect(),
-            ));
-            let key = format!(
-                "sweep|{}|{}|levels={levels_key}",
-                T::TAG,
-                validated.fingerprint().canonical()
-            );
-            let sweep_threads = shared.sweep_threads;
-            serve_cached(shared, &key, mode, move || {
-                let solves = PrivacyEngine::with_threads(sweep_threads)
-                    .sweep(&levels, &validated)
-                    .map_err(WireError::from)?;
-                Ok(Json::obj().with(
-                    "solves",
-                    Json::Arr(solves.iter().map(solve_to_wire).collect()),
-                ))
-            })
-        }
+        "sweep" => handle_sweep::<T>(shared, writer, v, id, request, mode, &spec),
         "interact" => {
-            let mechanism: Mechanism<T> = mechanism_from_wire(
-                request
+            let mechanism: Mechanism<T> = {
+                let wire_mech = request
                     .get("mechanism")
-                    .ok_or_else(|| WireError::bad_request("interact needs a \"mechanism\""))?,
-            )?;
-            if mechanism.n() != spec.n {
-                return Err(WireError::bad_request(format!(
-                    "mechanism is for n = {}, request says n = {}",
-                    mechanism.n(),
-                    spec.n
-                )));
-            }
+                    .ok_or_else(|| WireError::bad_request("interact needs a \"mechanism\""))
+                    .map_err(ComputeError::from)?;
+                let neg_key = neg_key(op, &spec, &json::to_string(wire_mech));
+                validate_negatively_cached(shared, mode, &neg_key, || {
+                    let mechanism: Mechanism<T> = mechanism_from_wire(wire_mech)?;
+                    if mechanism.n() != spec.n {
+                        // Deliberately *not* negative-cached: bad_request is a
+                        // schema-level code, outside `is_validation_code`.
+                        return Err(WireError::bad_request(format!(
+                            "mechanism is for n = {}, request says n = {}",
+                            mechanism.n(),
+                            spec.n
+                        )));
+                    }
+                    Ok(mechanism)
+                })?
+            };
             // The privacy level plays no role in post-processing (the
             // deployed mechanism already embodies it) and the strategy is
             // not consulted; both are normalized out of the cache key.
-            let spec = spec.with_strategy(Default::default());
-            let validated = spec.to_request(T::zero())?;
+            let spec = spec.clone().with_strategy(Default::default());
+            let neg_key = neg_key(op, &spec, "consumer");
+            let validated =
+                validate_negatively_cached(shared, mode, &neg_key, || spec.to_request(T::zero()))?;
             let mech_key = json::to_string(&matrix_to_wire(mechanism.matrix()));
             let key = format!(
                 "interact|{}|{}|mech={mech_key}",
                 T::TAG,
                 validated.fingerprint().canonical()
             );
-            serve_cached(shared, &key, mode, move || {
+            let (result, cache) = serve_cached(shared, &key, mode, move || {
                 let interaction = PrivacyEngine::with_threads(1)
                     .interact(&mechanism, &validated)
                     .map_err(WireError::from)?;
@@ -527,9 +913,188 @@ fn handle_compute<T: WireScalar>(
                     .with("induced", matrix_to_wire(interaction.induced.matrix()))
                     .with("stats", stats_to_wire(&interaction.lp_stats)))
             })
+            .map_err(ComputeError::from)?;
+            Ok(ok_response(v, id.clone(), Some(cache), result))
         }
         _ => unreachable!("dispatch covers every compute op"),
     }
+}
+
+/// The `sweep` op, in both protocol shapes: a monolithic v1 reply, or a v2
+/// stream of `sweep_item` frames (completion order, via
+/// [`PrivacyEngine::sweep_with`]) closed by `sweep_done`. Both shapes share
+/// one cache entry — the monolithic rendering — so v1 ≡ v2 ≡ cached ≡
+/// uncached, byte for byte, per solve.
+fn handle_sweep<T: WireScalar>(
+    shared: &Shared,
+    writer: &Arc<ConnWriter>,
+    v: u64,
+    id: &Json,
+    request: &Json,
+    mode: CacheMode,
+    spec: &ConsumerSpec<T>,
+) -> Result<Json, ComputeError> {
+    let alphas = request
+        .get("alphas")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError::bad_request("sweep needs an \"alphas\" array"))
+        .map_err(ComputeError::from)?;
+    let alphas_key = json::to_string(&Json::Arr(alphas.to_vec()));
+    let streaming = v == PROTOCOL_VERSION;
+
+    if alphas.is_empty() {
+        // Nothing to compute or cache; report the disposition the client
+        // asked for rather than a miss that never counted.
+        let disposition = match mode {
+            CacheMode::Bypass => CacheDisposition::Bypass,
+            CacheMode::Use => CacheDisposition::Miss,
+        };
+        if streaming {
+            let result = Json::obj()
+                .with("count", Json::num_u64(0))
+                .with("stats", stats_to_wire(&Default::default()));
+            return Ok(sweep_done_frame(v, id, disposition, result));
+        }
+        return Ok(ok_response(
+            v,
+            id.clone(),
+            Some(disposition),
+            Json::obj().with("solves", Json::Arr(Vec::new())),
+        ));
+    }
+
+    // Levels and the consumer validate through the negative cache (a bad α
+    // at any position, or a bad spec, is a deterministic rejection).
+    let neg_key = neg_key("sweep", spec, &alphas_key);
+    let (levels, validated) = validate_negatively_cached(shared, mode, &neg_key, || {
+        let mut levels: Vec<PrivacyLevel<T>> = Vec::with_capacity(alphas.len());
+        for value in alphas {
+            let alpha = T::from_wire(value)
+                .ok_or_else(|| WireError::bad_request("unparsable scalar in alphas"))?;
+            levels.push(PrivacyLevel::new(alpha).map_err(WireError::from)?);
+        }
+        let validated = spec.to_request(levels[0].alpha().clone())?;
+        Ok((levels, validated))
+    })?;
+
+    let levels_key = json::to_string(&Json::Arr(
+        levels.iter().map(|l| l.alpha().to_wire()).collect(),
+    ));
+    let key = format!(
+        "sweep|{}|{}|levels={levels_key}",
+        T::TAG,
+        validated.fingerprint().canonical()
+    );
+    let engine = PrivacyEngine::with_threads(shared.sweep_threads);
+
+    if !streaming {
+        let (result, cache) = serve_cached(shared, &key, mode, move || {
+            let solves = engine.sweep(&levels, &validated).map_err(WireError::from)?;
+            Ok(Json::obj().with(
+                "solves",
+                Json::Arr(solves.iter().map(solve_to_wire).collect()),
+            ))
+        })
+        .map_err(ComputeError::from)?;
+        return Ok(ok_response(v, id.clone(), Some(cache), result));
+    }
+
+    // v2 streaming. Cache hit: replay the monolithic entry item by item
+    // (lexical-form-preserving parsing makes each replayed item
+    // byte-identical to its slice of the cached rendering).
+    if mode == CacheMode::Use {
+        if let Some(cached) = shared.cache.get(&key) {
+            if shared.verify_hits {
+                let solves = engine
+                    .sweep(&levels, &validated)
+                    .map_err(|e| ComputeError::from(WireError::from(e)))?;
+                let fresh = json::to_string(&Json::obj().with(
+                    "solves",
+                    Json::Arr(solves.iter().map(solve_to_wire).collect()),
+                ));
+                if fresh != *cached {
+                    return Err(ComputeError::from(WireError::new(
+                        "cache_verify_failed",
+                        "cached sweep is not byte-identical to a fresh sweep",
+                    )));
+                }
+            }
+            let parsed = json::parse(&cached).map_err(|e| {
+                ComputeError::from(WireError::new(
+                    "internal",
+                    format!("unparsable cache entry: {e}"),
+                ))
+            })?;
+            let items = parsed.get("solves").and_then(Json::as_arr).ok_or_else(|| {
+                ComputeError::from(WireError::new("internal", "malformed cached sweep"))
+            })?;
+            let mut aggregate = privmech_core::PivotStats::default();
+            for (index, item) in items.iter().enumerate() {
+                if let Some(stats) = item.get("stats").and_then(stats_from_wire) {
+                    aggregate += &stats;
+                }
+                let _ = writer.send(&sweep_item_frame(v, id, index, item.clone()));
+            }
+            let result = Json::obj()
+                .with("count", Json::num_u64(items.len() as u64))
+                .with("stats", stats_to_wire(&aggregate));
+            return Ok(sweep_done_frame(v, id, CacheDisposition::Hit, result));
+        }
+    }
+
+    // Miss (or bypass): stream items as they complete, then assemble the
+    // monolithic rendering for the cache from the per-item renderings.
+    let mut rendered: Vec<Option<Arc<str>>> = vec![None; levels.len()];
+    let mut first_error: Option<(usize, WireError)> = None;
+    let mut aggregate = privmech_core::PivotStats::default();
+    {
+        let rendered = &mut rendered;
+        let first_error = &mut first_error;
+        let aggregate = &mut aggregate;
+        engine
+            .sweep_with(&levels, &validated, |index, solve| match solve {
+                Ok(solve) => {
+                    *aggregate += &solve.stats;
+                    let item: Arc<str> = json::to_string(&solve_to_wire(&solve)).into();
+                    let _ = writer.send(&sweep_item_frame(
+                        v,
+                        id,
+                        index,
+                        Json::Raw(Arc::clone(&item)),
+                    ));
+                    rendered[index] = Some(item);
+                }
+                Err(e) => {
+                    if first_error.as_ref().is_none_or(|(i, _)| index < *i) {
+                        *first_error = Some((index, WireError::from(e)));
+                    }
+                }
+            })
+            .map_err(|e| ComputeError::from(WireError::from(e)))?;
+    }
+    if let Some((index, error)) = first_error {
+        // Partial streams are closed by a terminal error frame (matched by
+        // id); already-emitted items remain valid solves of their levels.
+        return Err(ComputeError::from(WireError::new(
+            error.code,
+            format!("sweep failed at level index {index}: {}", error.message),
+        )));
+    }
+    let monolithic = crate::proto::assemble_solves(
+        rendered
+            .iter()
+            .map(|item| item.as_deref().expect("every sweep slot is filled")),
+    );
+    let disposition = if mode == CacheMode::Use {
+        shared.cache.insert(&key, monolithic.into());
+        CacheDisposition::Miss
+    } else {
+        CacheDisposition::Bypass
+    };
+    let result = Json::obj()
+        .with("count", Json::num_u64(levels.len() as u64))
+        .with("stats", stats_to_wire(&aggregate));
+    Ok(sweep_done_frame(v, id, disposition, result))
 }
 
 fn scalar_field<T: WireScalar>(request: &Json, field: &str) -> Result<T, WireError> {

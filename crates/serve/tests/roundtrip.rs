@@ -380,6 +380,15 @@ fn raw_protocol_rejections() {
     let response = call(&mut stream, b"this is not json");
     assert_eq!(code(&response), "malformed_json");
 
+    // Both majors are accepted per frame; v2 requires a correlation id.
+    let response = call(&mut stream, br#"{"v":1,"op":"ping"}"#);
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    let response = call(&mut stream, br#"{"v":2,"op":"ping","id":7}"#);
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(response.get("id").and_then(Json::as_u64), Some(7));
+    let response = call(&mut stream, br#"{"v":2,"op":"ping"}"#);
+    assert_eq!(code(&response), "bad_request", "v2 without id is rejected");
+
     // Unknown fields are ignored (forward compatibility within a major).
     let response = call(
         &mut stream,

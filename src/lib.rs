@@ -51,7 +51,7 @@
 //!   simplex [`PivotStats`]. The default strategy routes through Theorem 1
 //!   (deploy `G_{n,α}`, solve the small interaction LP); strategy
 //!   [`SolveStrategy::DirectLp`] solves the Section 2.5 LP directly and
-//!   reproduces the deprecated [`optimal_mechanism`] free function bit for
+//!   reproduces the seed's `optimal_mechanism` formulation bit for
 //!   bit. Exact LPs run on a revised simplex with a product-form basis
 //!   factorization ([`SolverForm`], PR 4) that is
 //!   contractually pivot-sequence-identical to the dense tableau — design
@@ -80,12 +80,18 @@
 //!   ([`ValidatedRequest::fingerprint`](crate::core::ValidatedRequest::fingerprint))
 //!   — one cached solve answers every consumer asking the same question
 //!   (that sharing is exactly Theorem 1's universality made operational).
-//!   Wire format: `crates/serve/PROTOCOL.md`; demo: `examples/serving.rs`.
+//!   Since PR 5 the protocol (v2) supports **tagged multi-in-flight
+//!   requests** on one connection and **streaming sweeps** (one frame per
+//!   completed α), with v1 clients still served via per-frame version
+//!   negotiation. Wire format: `crates/serve/PROTOCOL.md`; demos:
+//!   `examples/serving.rs`, `examples/pipelining.rs`.
 //!
-//! The seed's free functions ([`optimal_mechanism`], [`optimal_interaction`],
-//! `bayesian_*`) still compile behind `#[deprecated]` shims with unchanged
-//! behavior for every α > 0 (at exactly α = 0 the tailored LP now keeps its
-//! vacuous privacy rows; same optimal value — see the `core::optimal` docs).
+//! The seed's free functions (`optimal_mechanism`, `optimal_interaction`,
+//! `bayesian_*`) were removed in PR 5 after two releases as `#[deprecated]`
+//! shims; [`SolveStrategy::DirectLp`] reproduces their Section 2.5
+//! formulation bit for bit for every α > 0 (at exactly α = 0 the tailored LP
+//! keeps its vacuous privacy rows; same optimal value — see the
+//! `core::optimal` docs).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -129,15 +135,10 @@ pub mod prelude {
         derive_post_processing, empirical_distribution, geometric_mechanism, randomized_response,
         sample_geometric_output, theorem2_check, total_variation_distance, transition_matrix,
         AbsoluteError, BayesianConsumer, ConsumerKind, CoreError, DerivabilityCheck, Interaction,
-        LossFunction, Mechanism, MinimaxConsumer, MultiLevelRelease, OptimalMechanism, PivotStats,
-        PricingRule, PrivacyEngine, PrivacyLevel, RequestConsumer, SideInformation, Solve,
-        SolveRequest, SolveStrategy, SolverForm, SolverOptions, SquaredError, StageRelease,
-        TableLoss, ToleranceError, ValidatedRequest, ZeroOneError,
-    };
-    #[allow(deprecated)] // seed call sites keep compiling through these shims
-    pub use privmech_core::{
-        bayesian_optimal_interaction, bayesian_optimal_mechanism, optimal_interaction,
-        optimal_mechanism,
+        LossFunction, Mechanism, MinimaxConsumer, MultiLevelRelease, PivotStats, PricingRule,
+        PrivacyEngine, PrivacyLevel, RequestConsumer, SideInformation, Solve, SolveRequest,
+        SolveStrategy, SolverForm, SolverOptions, SquaredError, StageRelease, TableLoss,
+        ToleranceError, ValidatedRequest, ZeroOneError,
     };
     pub use privmech_db::{
         CountQuery, Database, DatabaseMechanism, Predicate, Record, SyntheticPopulation,
