@@ -14,6 +14,7 @@
 //!               [--serve] [--serve-n <n>] [--serve-points <k>] [--serve-repeat <r>]
 //!               [--serve-pipelined] [--pipeline-n <n>] [--pipeline-points <k>]
 //!               [--pipeline-solves <s>] [--compare-forms] [--compare-n <n>]
+//!               [--warm-sweep] [--warm-n <n>] [--warm-points <k>]
 //! ```
 //!
 //! `--sweep` appends an α-sweep comparison record instead of the per-size
@@ -44,8 +45,18 @@
 //! exact solve at `compare-n` run under both the dense tableau and the
 //! revised simplex ([`privmech_lp::SolverForm`]), runtime-asserting the
 //! bit-identity contract (equal mechanism, loss and pivot statistics) and
-//! recording the revised-over-dense speedup. CI runs this on every push so
-//! the dense ≡ revised contract is exercised outside the unit suites too.
+//! recording the revised-over-dense speedup, plus — since PR 6 — a
+//! devex-priced solve and a small dual-simplex warm-started sweep, both
+//! certificate-verified inside the solver and asserted to land on the
+//! default path's optimal loss. CI runs this on every push so both tiers of
+//! the correctness contract are exercised outside the unit suites too.
+//!
+//! `--warm-sweep` appends a warm-start acceptance record instead: a
+//! `warm-points`-α exact sweep at `warm-n` timed cold (sequential per-α
+//! solves from scratch) against the dual-simplex warm-started engine sweep,
+//! with per-α pivot counts recorded and every level's warm loss asserted
+//! equal to the cold optimum. Honors `PRIVMECH_SWEEP_QUICK=1` (CI smoke
+//! size).
 //!
 //! The output file is JSON Lines: one self-contained record per invocation,
 //! so successive PRs build up a comparable history.
@@ -107,6 +118,30 @@ fn run_exact(n: usize, reps: usize) -> RunResult {
         time_workload(reps, || engine.solve(&request).expect("solvable LP").stats);
     RunResult {
         name: format!("exact_full_S/{n}"),
+        scalar: "rational",
+        n,
+        median_ns,
+        samples,
+        stats,
+    }
+}
+
+/// Same exact ladder entry under devex pricing. Devex changes the pivot
+/// sequence, so each timed solve includes the engine's per-solve exact
+/// optimality certificate — the reported time is the certified fast path,
+/// not an unchecked one.
+fn run_exact_devex(n: usize, reps: usize) -> RunResult {
+    use privmech_lp::{PricingRule, SolverOptions};
+    let engine = PrivacyEngine::with_threads(1);
+    let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).expect("valid alpha");
+    let request = direct_request(level, bench_consumer(n)).with_options(SolverOptions {
+        pricing: PricingRule::Devex,
+        ..SolverOptions::default()
+    });
+    let (median_ns, samples, stats) =
+        time_workload(reps, || engine.solve(&request).expect("solvable LP").stats);
+    RunResult {
+        name: format!("exact_full_S_devex/{n}"),
         scalar: "rational",
         n,
         median_ns,
@@ -267,8 +302,15 @@ fn run_sweep(label: &str, n: usize, points: usize, threads: usize) -> String {
 /// bit-identical mechanism, loss and pivot statistics (identical pivot
 /// counts are the visible consequence of the identical pivot *sequence*) —
 /// and recording the revised-over-dense speedup.
+///
+/// Since PR 6 this smoke also covers the *certificate-verified* tier of the
+/// contract: a devex-priced solve (every devex solve is checked against the
+/// exact optimality certificate inside the solver before it is released) and
+/// a small dual-simplex warm-started α-sweep (every warm reoptimization is
+/// certificate-checked the same way), both asserted to land on the default
+/// path's optimal loss.
 fn run_compare_forms(label: &str, n: usize) -> String {
-    use privmech_lp::{SolverForm, SolverOptions};
+    use privmech_lp::{PricingRule, SolverForm, SolverOptions, WarmStartMode};
     let engine = PrivacyEngine::with_threads(1);
     let level: PrivacyLevel<Rational> = PrivacyLevel::new(rat(1, 4)).expect("valid alpha");
     let with_form = |form: SolverForm| {
@@ -305,19 +347,198 @@ fn run_compare_forms(label: &str, n: usize) -> String {
         "dense ≡ revised: identical pivot sequences imply identical stats"
     );
 
+    // Certificate tier 1: devex pricing. A different pivot sequence, so
+    // equality is at the solution level — the internal certificate proves
+    // optimality, loss equality proves it is *the* optimum.
+    eprintln!("compare-forms: devex-priced (certificate-verified) exact solve at n = {n} ...");
+    let start = Instant::now();
+    let devex = engine
+        .solve(
+            &direct_request(level.clone(), bench_consumer(n)).with_options(SolverOptions {
+                pricing: PricingRule::Devex,
+                ..SolverOptions::default()
+            }),
+        )
+        .expect("solvable LP");
+    let devex_ns = start.elapsed().as_nanos();
+    assert_eq!(
+        dense.loss, devex.loss,
+        "devex optimum must match the default-path optimal loss"
+    );
+    assert!(devex.stats.devex_pivots > 0, "devex pricing must engage");
+
+    // Certificate tier 2: a small dual-simplex warm-started sweep. Each warm
+    // reoptimization is certificate-checked inside the solver; each level's
+    // loss must equal an independent cold solve's.
+    let warm_points = 4usize;
+    eprintln!("compare-forms: {warm_points}-α dual-simplex warm sweep (certificate-verified) ...");
+    let warm_levels: Vec<PrivacyLevel<Rational>> = (1..=warm_points)
+        .map(|k| PrivacyLevel::new(rat(k as i64, warm_points as i64 + 1)).expect("alpha in (0,1)"))
+        .collect();
+    let warm_req =
+        direct_request(warm_levels[0].clone(), bench_consumer(n)).with_options(SolverOptions {
+            warm_start: WarmStartMode::DualSimplex,
+            ..SolverOptions::default()
+        });
+    let warm = engine.sweep(&warm_levels, &warm_req).expect("sweepable LP");
+    for (warm_level, w) in warm_levels.iter().zip(&warm) {
+        let cold = engine
+            .solve(&direct_request(warm_level.clone(), bench_consumer(n)))
+            .expect("solvable LP");
+        assert_eq!(
+            cold.loss, w.loss,
+            "warm-started sweep must match cold optima at the solution level"
+        );
+        assert!(
+            w.mechanism.is_differentially_private(warm_level),
+            "warm sweep mechanism must be α-DP"
+        );
+    }
+
     let speedup = dense_ns as f64 / revised_ns as f64;
     eprintln!(
-        "dense: {:.3}s | revised: {:.3}s ({speedup:.2}x) | pivots {} (identical)",
+        "dense: {:.3}s | revised: {:.3}s ({speedup:.2}x) | devex: {:.3}s | pivots {} (identical)",
         dense_ns as f64 / 1e9,
         revised_ns as f64 / 1e9,
+        devex_ns as f64 / 1e9,
         dense.stats.total_pivots(),
     );
 
     format!(
         "{{\"label\": \"{label}\", \"compare_forms\": {{\"n\": {n}, \"scalar\": \"rational\", \
          \"dense_ns\": {dense_ns}, \"revised_ns\": {revised_ns}, \
-         \"speedup_revised\": {speedup:.4}, \"pivots\": {}, \"bit_identical\": true}}}}",
+         \"speedup_revised\": {speedup:.4}, \"pivots\": {}, \"bit_identical\": true, \
+         \"devex_ns\": {devex_ns}, \"devex_loss_identical\": true, \
+         \"warm_sweep_points\": {warm_points}, \"warm_losses_identical\": true, \
+         \"certified\": true}}}}",
         dense.stats.total_pivots()
+    )
+}
+
+/// The warm-start acceptance benchmark: a `points`-α exact sweep at size `n`
+/// solved (a) cold — sequential per-α `DirectLp` engine solves, each starting
+/// from scratch — and (b) by the same engine's sweep with
+/// [`privmech_lp::WarmStartMode::DualSimplex`], which chains each α's final
+/// basis into the next solve. Both passes run `reps` times and report the
+/// median total. Every warm reoptimization is certificate-verified inside the
+/// solver; on top of that each level's warm loss is asserted equal to the
+/// cold optimum (the solution-level sweep ≡ solve guarantee), and the per-α
+/// pivot counts go into the record so it shows *where* the warm path
+/// reoptimized instead of re-solving. `PRIVMECH_SWEEP_QUICK=1` shrinks the
+/// workload to CI smoke size.
+fn run_warm_sweep(label: &str, n: usize, points: usize, reps: usize) -> String {
+    use privmech_lp::{SolverOptions, WarmStartMode};
+    let quick = std::env::var("PRIVMECH_SWEEP_QUICK").is_ok_and(|v| v == "1");
+    let (n, points, reps) = if quick {
+        (4, 6, 1)
+    } else {
+        (n, points, reps.max(1))
+    };
+    let levels: Vec<PrivacyLevel<Rational>> = (1..=points)
+        .map(|k| PrivacyLevel::new(rat(k as i64, points as i64 + 1)).expect("alpha in (0,1)"))
+        .collect();
+    let consumer: MinimaxConsumer<Rational> = bench_consumer(n);
+    // One worker: warm starts chain along the α axis, so the comparison is
+    // sequential-vs-sequential and isolates the reoptimization saving.
+    let engine = PrivacyEngine::with_threads(1);
+
+    eprintln!("warm-sweep cold: {reps}x {points} sequential cold DirectLp solves at n = {n} ...");
+    let mut cold_totals = Vec::with_capacity(reps);
+    let mut cold_results = Vec::new();
+    for rep in 0..reps {
+        let start = Instant::now();
+        let results: Vec<_> = levels
+            .iter()
+            .map(|level| {
+                engine
+                    .solve(&direct_request(level.clone(), consumer.clone()))
+                    .expect("solvable LP")
+            })
+            .collect();
+        cold_totals.push(start.elapsed().as_nanos());
+        if rep == 0 {
+            cold_results = results;
+        }
+    }
+    cold_totals.sort_unstable();
+    let cold_ns = cold_totals[cold_totals.len() / 2];
+
+    eprintln!("warm-sweep warm: {reps}x engine.sweep with dual-simplex warm starts ...");
+    let warm_req =
+        direct_request(levels[0].clone(), consumer.clone()).with_options(SolverOptions {
+            warm_start: WarmStartMode::DualSimplex,
+            ..SolverOptions::default()
+        });
+    let mut warm_totals = Vec::with_capacity(reps);
+    let mut warm_results = Vec::new();
+    for rep in 0..reps {
+        let start = Instant::now();
+        let results = engine.sweep(&levels, &warm_req).expect("sweepable LP");
+        warm_totals.push(start.elapsed().as_nanos());
+        if rep == 0 {
+            warm_results = results;
+        }
+    }
+    warm_totals.sort_unstable();
+    let warm_ns = warm_totals[warm_totals.len() / 2];
+
+    // Solution-level sweep ≡ solve: equal optimal losses, α-DP mechanisms.
+    // (The optimal vertex itself may differ under degeneracy — that is the
+    // documented weakening of the warm-start guarantee; each warm solve was
+    // already certificate-verified inside the solver.)
+    let mut per_alpha = String::new();
+    let mut warm_hits = 0usize;
+    for (k, ((level, c), w)) in levels
+        .iter()
+        .zip(&cold_results)
+        .zip(&warm_results)
+        .enumerate()
+    {
+        assert_eq!(
+            c.loss,
+            w.loss,
+            "warm sweep must match the cold optimum at alpha {}",
+            level.alpha()
+        );
+        assert!(
+            w.mechanism.is_differentially_private(level),
+            "warm sweep mechanism must be α-DP"
+        );
+        // A warm hit skipped phase 1 entirely (no artificials, no rebuild).
+        if w.stats.phase1_pivots == 0 {
+            warm_hits += 1;
+        }
+        if k > 0 {
+            per_alpha.push_str(", ");
+        }
+        per_alpha.push_str(&format!(
+            "{{\"alpha\": \"{}\", \"cold_pivots\": {}, \"warm_pivots\": {}, \
+             \"warm_dual_pivots\": {}}}",
+            level.alpha(),
+            c.stats.total_pivots(),
+            w.stats.total_pivots(),
+            w.stats.dual_pivots,
+        ));
+    }
+    assert!(
+        warm_hits > 0,
+        "at least one level must actually reoptimize from the previous basis"
+    );
+
+    let speedup = cold_ns as f64 / warm_ns as f64;
+    eprintln!(
+        "cold sequential: {:.3}s | warm sweep: {:.3}s ({speedup:.2}x) | \
+         {warm_hits}/{points} levels warm-started",
+        cold_ns as f64 / 1e9,
+        warm_ns as f64 / 1e9,
+    );
+
+    format!(
+        "{{\"label\": \"{label}\", \"warm_sweep\": {{\"n\": {n}, \"points\": {points}, \
+         \"reps\": {reps}, \"scalar\": \"rational\", \
+         \"cold_sequential_ns\": {cold_ns}, \"warm_sweep_ns\": {warm_ns}, \
+         \"speedup_warm\": {speedup:.4}, \"warm_started_levels\": {warm_hits}, \
+         \"losses_identical\": true, \"per_alpha\": [{per_alpha}]}}}}"
     )
 }
 
@@ -659,6 +880,9 @@ fn main() {
     let mut pipeline_solves = 48usize;
     let mut compare_forms = false;
     let mut compare_n = 8usize;
+    let mut warm_sweep = false;
+    let mut warm_n = 8usize;
+    let mut warm_points = 16usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -702,6 +926,21 @@ fn main() {
                     .expect("--sweep-threads needs an integer")
             }
             "--compare-forms" => compare_forms = true,
+            "--warm-sweep" => warm_sweep = true,
+            "--warm-n" => {
+                warm_n = args
+                    .next()
+                    .expect("--warm-n needs a value")
+                    .parse()
+                    .expect("--warm-n needs an integer")
+            }
+            "--warm-points" => {
+                warm_points = args
+                    .next()
+                    .expect("--warm-points needs a value")
+                    .parse()
+                    .expect("--warm-points needs an integer")
+            }
             "--compare-n" => {
                 compare_n = args
                     .next()
@@ -760,7 +999,8 @@ fn main() {
                      [--sweep] [--sweep-n N] [--sweep-points K] [--sweep-threads T] \
                      [--serve] [--serve-n N] [--serve-points K] [--serve-repeat R] \
                      [--serve-pipelined] [--pipeline-n N] [--pipeline-points K] \
-                     [--pipeline-solves S] [--compare-forms] [--compare-n N]"
+                     [--pipeline-solves S] [--compare-forms] [--compare-n N] \
+                     [--warm-sweep] [--warm-n N] [--warm-points K]"
                 );
                 std::process::exit(2);
             }
@@ -769,6 +1009,8 @@ fn main() {
 
     let record = if compare_forms {
         run_compare_forms(&label, compare_n)
+    } else if warm_sweep {
+        run_warm_sweep(&label, warm_n, warm_points, reps.min(3))
     } else if serve_pipelined {
         run_serve_pipelined(&label, pipeline_n, pipeline_points, pipeline_solves)
     } else if serve {
@@ -791,12 +1033,14 @@ fn main() {
             eprintln!("running f64_interval_S/{n} ...");
             results.push(run_f64_interval(n, reps));
         }
-        for n in [3usize, 4, 5, 8, 12, 16] {
+        for n in [3usize, 4, 5, 8, 12, 16, 20, 24] {
             if n > max_n {
                 break;
             }
             eprintln!("running exact_full_S/{n} ...");
             results.push(run_exact(n, reps));
+            eprintln!("running exact_full_S_devex/{n} ...");
+            results.push(run_exact_devex(n, reps));
         }
 
         for r in &results {

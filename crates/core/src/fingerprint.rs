@@ -27,7 +27,7 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use privmech_linalg::Scalar;
-use privmech_lp::{PricingRule, SolverOptions};
+use privmech_lp::{PricingRule, ScalingMode, SolverOptions, WarmStartMode};
 
 use crate::engine::{RequestConsumer, SolveStrategy, ValidatedRequest};
 use crate::loss::LossFunction;
@@ -95,12 +95,24 @@ fn push_options(out: &mut String, options: &SolverOptions) {
     let pricing = match options.pricing {
         PricingRule::DantzigWithBlandFallback => "dantzig-bland",
         PricingRule::Bland => "bland",
+        PricingRule::Devex => "devex",
     };
     let _ = write!(
         out,
         ";pricing={pricing};streak={}",
         options.degeneracy_streak_limit
     );
+    // Solution-relevant options enter the fingerprint; execution details
+    // (solver form, factorization kind, refactorization interval) stay out —
+    // they can never change a result. Scaling and warm-start *can* change
+    // results but default to off, and are appended only when enabled so that
+    // every pre-existing cache entry keyed without these fields still hits.
+    if options.scaling != ScalingMode::Off {
+        out.push_str(";scaling=equilibrate");
+    }
+    if options.warm_start != WarmStartMode::Off {
+        out.push_str(";warm=dual-simplex");
+    }
 }
 
 /// Append the loss table over `{0, …, n}²` in row-major order. The loss

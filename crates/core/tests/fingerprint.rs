@@ -237,3 +237,89 @@ fn solver_form_and_refactor_interval_do_not_split_the_fingerprint() {
         "pricing is result-relevant and must split"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Cache-key stability across the PR 6 option additions.
+//
+// PR 6 grew `SolverOptions` by three fields (factorization kind, scaling,
+// warm-start mode). The fingerprint policy keeps every cache entry written by
+// a pre-PR6 server addressable by a post-PR6 server:
+//
+// * `factorization` is an execution detail under the pivot-identity contract
+//   and never enters the key;
+// * `scaling` and `warm_start` can change which optimal vertex is returned,
+//   so they enter the key — but only when non-default, leaving the default
+//   rendering byte-identical to what a pre-PR6 server produced.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pr6_option_fields_leave_pre_existing_cache_keys_intact() {
+    use privmech_lp::{FactorizationKind, PricingRule, ScalingMode, SolverOptions, WarmStartMode};
+    let base = || {
+        SolveRequest::<Rational>::minimax()
+            .loss(Arc::new(AbsoluteError))
+            .support(3, 0..=3)
+            .privacy_level(rat(1, 4))
+    };
+    let reference = base().validate().unwrap().fingerprint();
+
+    // The canonical string a pre-PR6 server computed (and keyed its persisted
+    // cache entries by) for this request, pinned byte for byte. If this
+    // assertion ever fails, a deployed server's cache would silently go cold
+    // — and `--verify-hits` replay of old entries would stop finding them.
+    assert_eq!(
+        reference.canonical(),
+        "fp-v1;exact=true;n=3;alpha=1/4;strategy=factorization;\
+         pricing=dantzig-bland;streak=8;kind=minimax;S=0,1,2,3;\
+         loss=0,1,2,3|1,0,1,2|2,1,0,1|3,2,1,0"
+    );
+
+    // The factorization kind never splits the key.
+    for factorization in [
+        FactorizationKind::EtaFile,
+        FactorizationKind::LuForrestTomlin,
+    ] {
+        let fp = base()
+            .solver_options(SolverOptions {
+                factorization,
+                ..SolverOptions::default()
+            })
+            .validate()
+            .unwrap()
+            .fingerprint();
+        assert_eq!(reference, fp, "{factorization:?} must not split the key");
+    }
+
+    // Scaling and warm starts split the key exactly when enabled.
+    let scaled = base()
+        .solver_options(SolverOptions {
+            scaling: ScalingMode::Equilibrate,
+            ..SolverOptions::default()
+        })
+        .validate()
+        .unwrap()
+        .fingerprint();
+    assert_ne!(reference, scaled, "equilibration is result-relevant");
+    let warm = base()
+        .solver_options(SolverOptions {
+            warm_start: WarmStartMode::DualSimplex,
+            ..SolverOptions::default()
+        })
+        .validate()
+        .unwrap()
+        .fingerprint();
+    assert_ne!(reference, warm, "warm starts are result-relevant");
+    assert_ne!(scaled, warm);
+
+    // Devex (pre-existing field, new value) splits the key like any
+    // non-default pricing rule.
+    let devex = base()
+        .solver_options(SolverOptions {
+            pricing: PricingRule::Devex,
+            ..SolverOptions::default()
+        })
+        .validate()
+        .unwrap()
+        .fingerprint();
+    assert_ne!(reference, devex);
+}

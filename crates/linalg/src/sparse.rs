@@ -148,6 +148,139 @@ pub fn sparse_dot<T: Scalar>(entries: &[(usize, T)], dense: &[T]) -> T {
     acc
 }
 
+// ---------------------------------------------------------------------------
+// Sparse rank-one elimination kernels (LU factorization).
+//
+// An LU factorization's `L` part is a product of elementary eliminations,
+// each the identity plus one sparse row or column of multipliers. Applying
+// `L⁻¹` (FTRAN) or `L⁻ᵀ` (BTRAN) to a work vector reduces to the two
+// kernels below: a *scatter* (one source entry updates many targets) and a
+// *gather* (many source entries update one target). A column elimination is
+// a scatter forward and a gather transposed; a Forrest–Tomlin row
+// elimination is the exact mirror.
+// ---------------------------------------------------------------------------
+
+/// Scatter-shaped elimination step: `work[i] -= v · work[anchor]` for every
+/// `(i, v)` in `entries`. When `work[anchor]` is exactly zero the whole step
+/// is a no-op and no arithmetic runs — the sparsity shortcut that makes
+/// triangular solves cheap on the paper's LPs.
+///
+/// # Panics
+/// Panics if an index is out of bounds for `work`.
+pub fn sub_scaled_scatter<T: Scalar>(work: &mut [T], anchor: usize, entries: &[(usize, T)]) {
+    if work[anchor].is_exactly_zero() {
+        return;
+    }
+    // The anchor is moved out so the borrow checker allows in-place updates
+    // of the sibling entries; it is written back unchanged.
+    let z = std::mem::replace(&mut work[anchor], T::zero());
+    for (i, v) in entries {
+        work[*i].sub_mul_assign(v, &z);
+    }
+    work[anchor] = z;
+}
+
+/// Gather-shaped elimination step: `work[anchor] -= Σ v · work[i]` over
+/// `entries`, skipping terms whose `work[i]` is exactly zero.
+///
+/// # Panics
+/// Panics if an index is out of bounds for `work`.
+pub fn sub_dot_gather<T: Scalar>(work: &mut [T], anchor: usize, entries: &[(usize, T)]) {
+    // The anchor is moved out so the borrow checker allows reading the
+    // sibling entries while accumulating into it (an elimination never lists
+    // its own anchor among its entries).
+    let mut acc = std::mem::replace(&mut work[anchor], T::zero());
+    for (i, v) in entries {
+        if !work[*i].is_exactly_zero() {
+            acc.sub_mul_assign(v, &work[*i]);
+        }
+    }
+    work[anchor] = acc;
+}
+
+// ---------------------------------------------------------------------------
+// Column-wise sparse upper-triangular solves (LU factorization).
+//
+// The `U` factor is stored column-wise with two permutation arrays mapping
+// logical basis *positions* onto physical row and column indices:
+// `cpos[j]` is the column id holding position `j`, `rpos[j]` its diagonal
+// (pivot) row. Upper triangularity means every entry of column `cpos[j]`
+// sits in a row whose position is at most `j`. Both solves below need only
+// column access, which is what lets Forrest–Tomlin updates avoid
+// maintaining a row-wise copy of `U`.
+// ---------------------------------------------------------------------------
+
+/// FTRAN tail: in-place solve `U x = w` for a column-wise upper-triangular
+/// `U` (see the section comment for the layout). On return `work[rpos[j]]`
+/// holds the solution entry of position `j`. Positions whose running value
+/// is exactly zero are skipped entirely.
+///
+/// # Panics
+/// Panics if a diagonal entry is missing or indices are out of bounds.
+pub fn solve_upper_ftran<T: Scalar>(
+    work: &mut [T],
+    ucols: &[Vec<(usize, T)>],
+    cpos: &[usize],
+    rpos: &[usize],
+) {
+    for j in (0..cpos.len()).rev() {
+        let r = rpos[j];
+        if work[r].is_exactly_zero() {
+            continue;
+        }
+        let col = &ucols[cpos[j]];
+        let diag = &col
+            .iter()
+            .find(|(i, _)| *i == r)
+            .expect("upper-triangular column missing its diagonal entry")
+            .1;
+        work[r].div_assign_ref(diag);
+        let x_j = std::mem::replace(&mut work[r], T::zero());
+        for (i, v) in col {
+            if *i != r {
+                work[*i].sub_mul_assign(v, &x_j);
+            }
+        }
+        work[r] = x_j;
+    }
+}
+
+/// BTRAN head: in-place solve `Uᵀ z = c` for a column-wise upper-triangular
+/// `U`, with the input scattered as `work[rpos[j]] = c_j`. Forward
+/// substitution over positions ascending from `start_pos` (for a unit input
+/// at position `p`, every solution entry below `p` is zero, so callers pass
+/// `start_pos = p` to skip the leading prefix).
+///
+/// # Panics
+/// Panics if a diagonal entry is missing or indices are out of bounds.
+pub fn solve_upper_btran<T: Scalar>(
+    work: &mut [T],
+    ucols: &[Vec<(usize, T)>],
+    cpos: &[usize],
+    rpos: &[usize],
+    start_pos: usize,
+) {
+    for j in start_pos..cpos.len() {
+        let r = rpos[j];
+        let col = &ucols[cpos[j]];
+        let mut acc = std::mem::replace(&mut work[r], T::zero());
+        let mut diag = None;
+        for (i, v) in col {
+            if *i == r {
+                diag = Some(v);
+            } else if !work[*i].is_exactly_zero() {
+                acc.sub_mul_assign(v, &work[*i]);
+            }
+        }
+        let diag = diag.expect("upper-triangular column missing its diagonal entry");
+        work[r] = if acc.is_exactly_zero() {
+            T::zero()
+        } else {
+            acc.div_ref(diag)
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +354,63 @@ mod tests {
         let eta = Eta::from_dense(1, &dense);
         assert!(!eta.is_identity());
         assert_eq!(eta.nnz(), 2);
+    }
+
+    #[test]
+    fn scatter_and_gather_kernels_are_transposes() {
+        // E = I - l·e₀ᵀ with l over rows {1, 2}: forward scatter from row 0,
+        // transposed gather into row 0.
+        let entries = vec![(1, rat(1, 2)), (2, rat(-3, 1))];
+        let mut w = vec![rat(4, 1), rat(1, 1), rat(2, 1)];
+        sub_scaled_scatter(&mut w, 0, &entries);
+        assert_eq!(w, vec![rat(4, 1), rat(-1, 1), rat(14, 1)]);
+        let mut z = vec![rat(4, 1), rat(1, 1), rat(2, 1)];
+        sub_dot_gather(&mut z, 0, &entries);
+        // z0 = 4 - (1/2·1 + (-3)·2) = 4 + 11/2 = 19/2.
+        assert_eq!(z, vec![rat(19, 2), rat(1, 1), rat(2, 1)]);
+        // Zero anchor: scatter is a no-op.
+        let mut w = vec![Rational::zero(), rat(1, 1), rat(2, 1)];
+        let before = w.clone();
+        sub_scaled_scatter(&mut w, 0, &entries);
+        assert_eq!(w, before);
+    }
+
+    #[test]
+    fn upper_triangular_solves_match_dense_reference() {
+        // U (position space) = [[2, 1, 0], [0, 3, 1], [0, 0, 4]] with
+        // shuffled physical indices: positions (0,1,2) live in rows (2,0,1)
+        // and columns (1,2,0).
+        let rpos = vec![2usize, 0, 1];
+        let cpos = vec![1usize, 2, 0];
+        let mut ucols: Vec<Vec<(usize, Rational)>> = vec![Vec::new(); 3];
+        // Position 0 column: diagonal 2 (row 2).
+        ucols[1] = vec![(2, rat(2, 1))];
+        // Position 1 column: entry 1 at position 0 (row 2), diagonal 3 (row 0).
+        ucols[2] = vec![(2, rat(1, 1)), (0, rat(3, 1))];
+        // Position 2 column: entry 1 at position 1 (row 0), diagonal 4 (row 1).
+        ucols[0] = vec![(0, rat(1, 1)), (1, rat(4, 1))];
+
+        // FTRAN: solve U x = (5, 7, 8) in position space → scatter by rpos.
+        let mut work = vec![Rational::zero(); 3];
+        work[rpos[0]] = rat(5, 1);
+        work[rpos[1]] = rat(7, 1);
+        work[rpos[2]] = rat(8, 1);
+        solve_upper_ftran(&mut work, &ucols, &cpos, &rpos);
+        // Back substitution: x2 = 2, x1 = (7-2)/3 = 5/3, x0 = (5-5/3)/2 = 5/3.
+        assert_eq!(work[rpos[2]], rat(2, 1));
+        assert_eq!(work[rpos[1]], rat(5, 3));
+        assert_eq!(work[rpos[0]], rat(5, 3));
+
+        // BTRAN: solve Uᵀ z = e₁ (unit at position 1).
+        let mut work = vec![Rational::zero(); 3];
+        work[rpos[1]] = rat(1, 1);
+        solve_upper_btran(&mut work, &ucols, &cpos, &rpos, 1);
+        // z0 not needed (start at 1): z1 = 1/3, z2 = (0 - 1·z1)/4 = -1/12.
+        assert_eq!(work[rpos[1]], rat(1, 3));
+        assert_eq!(work[rpos[2]], rat(-1, 12));
+        // Verify Uᵀz = e₁ on position 1: 1·z0? (z0 = 0) + 3·z1 = 1. ✓
+        let recovered = rat(3, 1).mul_ref(&work[rpos[1]]);
+        assert_eq!(recovered, rat(1, 1));
     }
 
     #[test]

@@ -36,7 +36,114 @@
 use privmech_linalg::sparse::{self, Eta};
 use privmech_linalg::Scalar;
 
+use crate::lu::LuFactors;
 use crate::model::LpError;
+use crate::simplex::FactorizationKind;
+
+/// The basis factorization behind the revised simplex: either the
+/// product-form inverse kept here ([`EtaFile`]) or the sparse LU with
+/// Forrest–Tomlin updates ([`LuFactors`], the default — see
+/// [`crate::lu`]).
+///
+/// Both variants expose the identical FTRAN/BTRAN/pivot interface and
+/// produce mathematically exact results on exact scalars, so which one is
+/// active is unobservable to the solver's pivot choices — the dispatch is a
+/// pure representation switch, selected by
+/// [`FactorizationKind`][crate::simplex::FactorizationKind].
+pub(crate) enum Basis<T: Scalar> {
+    /// Product-form inverse (eta file), the pre-LU representation.
+    Eta(EtaFile<T>),
+    /// Sparse LU with Forrest–Tomlin updates.
+    Lu(LuFactors<T>),
+}
+
+impl<T: Scalar> Basis<T> {
+    /// The identity basis of dimension `m` in the requested representation.
+    pub(crate) fn identity(kind: FactorizationKind, m: usize) -> Self {
+        match kind {
+            FactorizationKind::EtaFile => Basis::Eta(EtaFile::identity(m)),
+            FactorizationKind::LuForrestTomlin => Basis::Lu(LuFactors::identity(m)),
+        }
+    }
+
+    /// Basis dimension.
+    pub(crate) fn dim(&self) -> usize {
+        match self {
+            Basis::Eta(f) => f.dim(),
+            Basis::Lu(f) => f.dim(),
+        }
+    }
+
+    /// Internal row holding basis position `c`.
+    pub(crate) fn row_of(&self, position: usize) -> usize {
+        match self {
+            Basis::Eta(f) => f.row_of(position),
+            Basis::Lu(f) => f.row_of(position),
+        }
+    }
+
+    /// Basis position of internal row `r`.
+    pub(crate) fn position_of(&self, row: usize) -> usize {
+        match self {
+            Basis::Eta(f) => f.position_of(row),
+            Basis::Lu(f) => f.position_of(row),
+        }
+    }
+
+    /// FTRAN: overwrite the zeroed `work` vector with `B⁻¹a`.
+    pub(crate) fn ftran(&self, work: &mut [T], column: &[(usize, T)]) {
+        match self {
+            Basis::Eta(f) => f.ftran(work, column),
+            Basis::Lu(f) => f.ftran(work, column),
+        }
+    }
+
+    /// BTRAN of a unit position vector.
+    pub(crate) fn btran_unit(&self, work: &mut [T], position: usize) {
+        match self {
+            Basis::Eta(f) => f.btran_unit(work, position),
+            Basis::Lu(f) => f.btran_unit(work, position),
+        }
+    }
+
+    /// BTRAN of a dense position-space vector.
+    pub(crate) fn btran_dense(&self, work: &mut [T], position_values: &[T]) {
+        match self {
+            Basis::Eta(f) => f.btran_dense(work, position_values),
+            Basis::Lu(f) => f.btran_dense(work, position_values),
+        }
+    }
+
+    /// Record a pivot at basis position `position` whose FTRAN result is
+    /// `ftran_work`.
+    pub(crate) fn push_pivot(&mut self, position: usize, ftran_work: &[T]) {
+        match self {
+            Basis::Eta(f) => f.push_pivot(position, ftran_work),
+            Basis::Lu(f) => f.push_pivot(position, ftran_work),
+        }
+    }
+
+    /// Whether the refactorization trigger (interval or growth) has fired.
+    pub(crate) fn should_refactor(&self, interval: usize) -> bool {
+        match self {
+            Basis::Eta(f) => f.should_refactor(interval),
+            Basis::Lu(f) => f.should_refactor(interval),
+        }
+    }
+
+    /// Refactorize from scratch for the basis whose position `c` holds the
+    /// sparse column `columns(c)`.
+    pub(crate) fn refactorize<'a, F>(&mut self, columns: F) -> Result<(), LpError>
+    where
+        F: Fn(usize) -> &'a [(usize, T)],
+        T: 'a,
+    {
+        match self {
+            Basis::Eta(f) => f.refactorize(columns),
+            Basis::Lu(f) => f.refactorize(columns),
+        }
+    }
+}
 
 /// Eta-file nonzero budget, as a multiple of the basis dimension: when the
 /// file holds more than `ETA_GROWTH_FACTOR · m` nonzeros a refactorization

@@ -1,0 +1,281 @@
+//! Cross-parameter warm starts: reoptimize from a previous solve's basis.
+//!
+//! An α-sweep solves the same LP structure at many parameter values; only
+//! the `-α` coefficients of the differential-privacy rows change between
+//! solves ([`crate::template`]). The cold path rebuilds feasibility from
+//! scratch every time — phase 1, drive-out, phase 2. But the optimal basis
+//! of the previous α is usually an excellent starting point for the next:
+//! re-evaluated against the new coefficients it is often still *dual
+//! feasible* (all reduced costs non-negative), in which case the **dual
+//! simplex** restores primal feasibility in a handful of pivots; failing
+//! that it is often still *primal feasible*, in which case phase 2 of the
+//! ordinary (primal) revised simplex finishes the job with no phase 1 at
+//! all. Only when the old basis is neither — or is singular under the new
+//! coefficients — does the driver fall back to a cold solve.
+//!
+//! # The dual simplex iteration
+//!
+//! Standard form `min cᵀx, Ax = b, x ≥ 0` with basis `B`, maintained
+//! invariant `d = c − AᵀB⁻ᵀc_B ≥ 0` (dual feasibility):
+//!
+//! 1. **Leaving row**: pick a position `r` with `x_B[r] < 0` (none → the
+//!    basis is primal feasible too, hence optimal).
+//! 2. **Pivot row**: recover `α_r = (B⁻¹A)_r` by a unit BTRAN plus a sparse
+//!    row sweep — the same kernel the primal revised iteration uses.
+//! 3. **Entering column**: among `j` with `α_rj < 0`, minimize the ratio
+//!    `d_j / (−α_rj)` (none → the row proves `Ax = b, x ≥ 0` unsatisfiable:
+//!    the LP is infeasible). The min-ratio choice is exactly what keeps
+//!    `d ≥ 0` through the update.
+//! 4. **Pivot**: identical algebra to the primal pivot — FTRAN the entering
+//!    column, update `x_B` and `d` by the shared recurrences, append the
+//!    basis-change to the factorization.
+//!
+//! Anti-cycling mirrors the primal solver's policy: a streak of degenerate
+//! pivots (`d_q = 0`, objective unchanged) beyond
+//! [`SolverOptions::degeneracy_streak_limit`] switches both selection rules
+//! to Bland-style smallest-index choices, which terminate finitely; a
+//! strictly improving pivot switches back.
+//!
+//! # Contract
+//!
+//! A warm-started solve generally follows a different pivot path than a
+//! cold solve and, on a degenerate optimum, may return a *different optimal
+//! vertex* — so warm starts are covered by the solution-level tier of the
+//! solver contract, never the pivot-identity tier: every warm result is
+//! verified against the exact optimality certificate
+//! ([`crate::certificate`]) before it is released, and
+//! [`crate::simplex::SolverOptions::warm_start`] defaults to off.
+
+use privmech_linalg::sparse;
+use privmech_linalg::Scalar;
+
+use crate::basis::Basis;
+use crate::model::LpError;
+use crate::simplex::{ColumnSolution, PivotStats, SolverOptions};
+use crate::standard::StandardForm;
+
+/// Result of a warm-start attempt.
+pub(crate) enum WarmOutcome<T: Scalar> {
+    /// The warm basis led to a certified optimum.
+    Solved(ColumnSolution<T>),
+    /// The warm basis was unusable (wrong shape, singular, or neither primal
+    /// nor dual feasible); the standard form is handed back for a cold solve.
+    Fallback(StandardForm<T>),
+}
+
+/// Try to reoptimize `sf` starting from `warm_basis`, a final basis returned
+/// by a previous solve of a same-structure standard form.
+///
+/// Dispatches on what the old basis still is under the new coefficients:
+/// dual feasible → dual simplex; primal feasible → primal phase 2
+/// ([`crate::revised::reoptimize_primal`]); neither → [`WarmOutcome::Fallback`].
+/// Successful outcomes are certificate-verified before release.
+pub(crate) fn warm_reoptimize<T: Scalar>(
+    sf: StandardForm<T>,
+    warm_basis: &[usize],
+    options: &SolverOptions,
+    stats: &mut PivotStats,
+) -> Result<WarmOutcome<T>, LpError> {
+    let m = sf.rows.len();
+    // Reject shapes the driver cannot reuse: dimension mismatch, duplicate
+    // entries, or artificial columns (their unit-column trick is tied to the
+    // *previous* form's redundant rows; a cold solve re-derives them).
+    if warm_basis.len() != m || warm_basis.iter().any(|&b| b >= sf.num_cols) {
+        return Ok(WarmOutcome::Fallback(sf));
+    }
+
+    let cols = sf.sparse_columns();
+    let rows = sf.sparse_rows();
+
+    let mut basis = warm_basis.to_vec();
+    let mut file: Basis<T> = Basis::identity(options.factorization, m);
+    {
+        let basis = &basis;
+        let cols = &cols;
+        if file.refactorize(|c| cols[basis[c]].as_slice()).is_err() {
+            // Singular under the new coefficients.
+            return Ok(WarmOutcome::Fallback(sf));
+        }
+    }
+
+    // x_B = B⁻¹b, read per position through the factorization's row map.
+    let rhs_sparse: Vec<(usize, T)> = sf
+        .rhs
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_exactly_zero())
+        .map(|(i, v)| (i, v.clone()))
+        .collect();
+    let mut work = vec![T::zero(); m];
+    file.ftran(&mut work, &rhs_sparse);
+    let mut x_b: Vec<T> = (0..m).map(|c| work[file.row_of(c)].clone()).collect();
+
+    // d = c − AᵀB⁻ᵀc_B from one dense BTRAN (basic columns price to exactly
+    // zero by construction).
+    let cb: Vec<T> = basis.iter().map(|&b| sf.costs[b].clone()).collect();
+    let mut rho = vec![T::zero(); m];
+    file.btran_dense(&mut rho, &cb);
+    let mut d: Vec<T> = sf.costs.clone();
+    for (i, y_i) in rho.iter().enumerate() {
+        if y_i.is_exactly_zero() {
+            continue;
+        }
+        for (j, a) in &rows[i] {
+            d[*j].sub_mul_assign(y_i, a);
+        }
+    }
+    for &b in &basis {
+        d[b] = T::zero();
+    }
+
+    if d.iter().any(|dj| dj.is_negative_approx()) {
+        // Not dual feasible. Still primal feasible → primal phase 2 warm
+        // start; otherwise give up and solve cold.
+        if x_b.iter().any(|v| v.is_negative_approx()) {
+            return Ok(WarmOutcome::Fallback(sf));
+        }
+        let solution = crate::revised::reoptimize_primal(sf, basis, options, stats)?;
+        crate::certificate::certify_column_solution(&solution)?;
+        return Ok(WarmOutcome::Solved(solution));
+    }
+
+    // ----------------------- Dual simplex loop -----------------------
+    let num_cols = sf.num_cols;
+    let mut row = vec![T::zero(); num_cols];
+    let max_iters = 50_000usize.max(100 * (num_cols + m));
+    let mut bland_mode = false;
+    let mut degenerate_streak = 0usize;
+    let mut iterations = 0usize;
+
+    loop {
+        // Leaving row: a primal-infeasible position. Most-negative value by
+        // default; smallest basic column index under Bland's rule.
+        let leaving = if bland_mode {
+            (0..m)
+                .filter(|&c| x_b[c].is_negative_approx())
+                .min_by_key(|&c| basis[c])
+        } else {
+            let mut best: Option<usize> = None;
+            for c in 0..m {
+                if !x_b[c].is_negative_approx() {
+                    continue;
+                }
+                match best {
+                    None => best = Some(c),
+                    Some(b) => {
+                        if x_b[c] < x_b[b] {
+                            best = Some(c);
+                        }
+                    }
+                }
+            }
+            best
+        };
+        let Some(position) = leaving else {
+            break; // Primal feasible and dual feasible: optimal.
+        };
+
+        iterations += 1;
+        if iterations > max_iters {
+            // Should be unreachable (Bland mode terminates finitely); hand
+            // the model to the cold path rather than failing the solve.
+            return Ok(WarmOutcome::Fallback(sf));
+        }
+
+        // Pivot row α_r via unit BTRAN + sparse row sweep.
+        sparse::clear(&mut rho);
+        file.btran_unit(&mut rho, position);
+        sparse::clear(&mut row);
+        for (r, mult) in rho.iter().enumerate() {
+            if mult.is_exactly_zero() {
+                continue;
+            }
+            for (j, a) in &rows[r] {
+                row[*j].add_mul_assign(mult, a);
+            }
+        }
+
+        // Entering column: min ratio d_j / (−α_rj) over α_rj < 0, ties to
+        // the smallest index (Bland-compatible in both modes).
+        let mut entering: Option<(usize, T)> = None;
+        for (j, r_j) in row.iter().enumerate() {
+            if !r_j.is_negative_approx() {
+                continue;
+            }
+            let ratio = d[j].div_ref(&-r_j.clone());
+            match &entering {
+                Some((_, best)) if *best <= ratio => {}
+                _ => entering = Some((j, ratio)),
+            }
+        }
+        let Some((entering, _)) = entering else {
+            // Row r reads Σ α_rj·x_j = x_B[r] < 0 with every α_rj ≥ 0 and
+            // x ≥ 0: the constraints are unsatisfiable.
+            return Err(LpError::Infeasible);
+        };
+
+        // Pivot — the same algebra as the primal revised pivot.
+        sparse::clear(&mut work);
+        file.ftran(&mut work, &cols[entering]);
+        let pivot_value = work[file.row_of(position)].clone();
+        let theta = x_b[position].div_ref(&pivot_value);
+        for (r, t) in work.iter().enumerate() {
+            if t.is_exactly_zero() {
+                continue;
+            }
+            let c = file.position_of(r);
+            if c == position || theta.is_exactly_zero() {
+                continue;
+            }
+            x_b[c].sub_mul_assign(t, &theta);
+        }
+        let d_q = d[entering].clone();
+        let degenerate = d_q.is_exactly_zero();
+        if !degenerate {
+            for (j, r_j) in row.iter().enumerate() {
+                if j == entering || r_j.is_exactly_zero() {
+                    continue;
+                }
+                let normalized = r_j.div_ref(&pivot_value);
+                d[j].sub_mul_assign(&d_q, &normalized);
+            }
+        }
+        d[entering] = T::zero();
+        file.push_pivot(position, &work);
+        basis[position] = entering;
+        x_b[position] = theta;
+
+        stats.phase2_pivots += 1;
+        stats.dual_pivots += 1;
+        if degenerate {
+            stats.degenerate_pivots += 1;
+            degenerate_streak += 1;
+            if !bland_mode && degenerate_streak > options.degeneracy_streak_limit {
+                bland_mode = true;
+                stats.fallback_activations += 1;
+            }
+        } else {
+            degenerate_streak = 0;
+            bland_mode = false;
+        }
+
+        if file.should_refactor(options.refactor_interval) {
+            let basis = &basis;
+            let cols = &cols;
+            file.refactorize(|c| cols[basis[c]].as_slice())?;
+        }
+    }
+
+    let mut column_values = vec![T::zero(); num_cols];
+    for (c, &b) in basis.iter().enumerate() {
+        column_values[b] = x_b[c].clone();
+    }
+    let solution = ColumnSolution {
+        sf,
+        column_values,
+        total_cols: num_cols,
+        basis,
+    };
+    crate::certificate::certify_column_solution(&solution)?;
+    Ok(WarmOutcome::Solved(solution))
+}

@@ -12,15 +12,21 @@
 //!   constraints, minimize/maximize objectives, and the
 //!   [`Model::minimize_max`] epigraph helper),
 //! * a two-phase simplex solver with Dantzig (most-negative reduced
-//!   cost) pricing and an automatic Bland anti-cycling fallback, instantiable
-//!   with exact [`privmech_numerics::Rational`] pivoting (the source of truth
-//!   for every theorem-level claim) or `f64` (for speed), in two
-//!   interchangeable forms: a **revised simplex** with a product-form basis
-//!   factorization (the [`SolverForm::Auto`] default for exact scalars) and
-//!   the classic **dense tableau** (always used by `f64`). On exact scalars
-//!   the two forms follow the identical pivot sequence and return
-//!   bit-identical solutions — the contract, the factorization lifecycle and
-//!   the standard-form construction are documented end to end in
+//!   cost) pricing, optional devex pricing, and an automatic Bland
+//!   anti-cycling fallback, instantiable with exact
+//!   [`privmech_numerics::Rational`] pivoting (the source of truth for every
+//!   theorem-level claim) or `f64` (for speed), in two interchangeable
+//!   forms: a **revised simplex** over a sparse LU basis factorization with
+//!   Forrest–Tomlin updates (the [`SolverForm::Auto`] default for exact
+//!   scalars; the product-form eta file remains available via
+//!   [`FactorizationKind`]) and the classic **dense tableau** (always used
+//!   by `f64`). The correctness contract has two tiers: on the default
+//!   configuration the two forms follow the identical pivot sequence and
+//!   return bit-identical solutions; non-default configurations — devex
+//!   pricing, dual-simplex warm starts ([`WarmStartMode`]) — are instead
+//!   verified per solve by an exact optimality [`certificate`]. Contract,
+//!   factorization lifecycle and standard-form construction are documented
+//!   end to end in
 //!   [`SOLVER.md`](https://github.com/privmech/privmech/blob/main/crates/lp/SOLVER.md)
 //!   (in-tree: `crates/lp/SOLVER.md`). Every solve reports [`PivotStats`] on
 //!   its [`Solution`]; [`solve_model_traced`] additionally exposes the pivot
@@ -45,6 +51,9 @@
 #![deny(missing_docs)]
 
 mod basis;
+pub mod certificate;
+mod dual_simplex;
+mod lu;
 pub mod model;
 mod pricing;
 mod ratio;
@@ -53,11 +62,12 @@ pub mod simplex;
 mod standard;
 pub mod template;
 
+pub use certificate::{check_certificate, CertificateError, OptimalityCertificate};
 pub use model::{
     CoeffSlot, Constraint, LinExpr, LpError, Model, Relation, Sense, Solution, Var, VarBound,
 };
 pub use simplex::{
-    solve_model, solve_model_traced, solve_model_with, PivotRecord, PivotStats, PricingRule,
-    SolverForm, SolverOptions, TracePhase,
+    solve_model, solve_model_traced, solve_model_with, FactorizationKind, PivotRecord, PivotStats,
+    PricingRule, ScalingMode, SolverForm, SolverOptions, TracePhase, WarmStartMode,
 };
-pub use template::ModelTemplate;
+pub use template::{ModelTemplate, WarmSweepHandle};

@@ -6,7 +6,9 @@
 //!
 //! * the original constraint matrix, sparse, in both column- and row-major
 //!   form (it never changes),
-//! * the basis factorization as an eta file ([`crate::basis::EtaFile`]),
+//! * the basis factorization ([`crate::basis::Basis`]: sparse LU with
+//!   Forrest–Tomlin updates by default, product-form eta file as the
+//!   alternative representation),
 //! * the current basic solution `x_B`,
 //! * the current reduced-cost vector `d` and phase objective value,
 //!
@@ -39,7 +41,7 @@
 use privmech_linalg::sparse;
 use privmech_linalg::Scalar;
 
-use crate::basis::EtaFile;
+use crate::basis::Basis;
 use crate::model::LpError;
 use crate::pricing::FallbackState;
 use crate::ratio::choose_leaving;
@@ -84,7 +86,7 @@ impl<T: Scalar> Matrix<T> {
 
 /// Mutable iteration state of one revised solve.
 struct State<T: Scalar> {
-    file: EtaFile<T>,
+    file: Basis<T>,
     /// Basic column per position.
     basis: Vec<usize>,
     /// Current basic solution (`x_B`), by position.
@@ -167,8 +169,8 @@ impl<T: Scalar> State<T> {
         self.x_b[position] = theta;
     }
 
-    /// Refactorize when the trigger fires (pivot-count interval or eta
-    /// growth; see [`EtaFile::should_refactor`]). A refactorization changes
+    /// Refactorize when the trigger fires (pivot-count interval or
+    /// factorization growth; see [`Basis::should_refactor`]). A refactorization changes
     /// no observable value — FTRAN/BTRAN results are exact regardless of how
     /// the factorization is composed — so this can run at any point between
     /// pivots.
@@ -220,7 +222,18 @@ impl<T: Scalar> State<T> {
             ) else {
                 return Err(LpError::Unbounded);
             };
+            let leaving_col = self.basis[position];
+            let pivot_element = self.work[self.file.row_of(position)].to_f64();
             self.pivot(matrix, position, entering, true);
+            // Devex reference-weight maintenance (no-op for other rules):
+            // `self.row` still holds the raw BTRAN'd pivot row computed by
+            // the reduced-cost update, so normalizing by the pivot element
+            // yields the same α_rj/α_rq ratios the dense form reads off its
+            // normalized row.
+            let pivot_row = &self.row;
+            pricing.update_devex_weights(entering, leaving_col, pivot_element, |j| {
+                pivot_row[j].to_f64() / pivot_element
+            });
             record(
                 trace,
                 if phase1 {
@@ -275,7 +288,7 @@ pub(crate) fn solve_revised<T: Scalar>(
     let matrix = Matrix::build(&sf, &artificial_rows);
 
     let mut state = State {
-        file: EtaFile::identity(m),
+        file: Basis::identity(options.factorization, m),
         basis,
         x_b: sf.rhs.clone(),
         d: vec![T::zero(); matrix.total_cols],
@@ -367,5 +380,88 @@ pub(crate) fn solve_revised<T: Scalar>(
         sf,
         column_values,
         total_cols,
+        basis: state.basis,
+    })
+}
+
+/// Phase 2 only, from a caller-supplied primal-feasible basis: the primal
+/// half of the cross-parameter warm start ([`crate::dual_simplex`]).
+///
+/// `basis` must contain no artificial columns and factor nonsingularly (the
+/// warm-start driver has already verified both), and `B⁻¹b ≥ 0` must hold —
+/// then the ordinary phase-2 iterations converge from it without any
+/// phase 1. Like every warm-started path this generally follows a different
+/// pivot sequence than a cold solve, so the caller certificate-verifies the
+/// result.
+pub(crate) fn reoptimize_primal<T: Scalar>(
+    sf: StandardForm<T>,
+    basis: Vec<usize>,
+    options: &SolverOptions,
+    stats: &mut PivotStats,
+) -> Result<ColumnSolution<T>, LpError> {
+    debug_assert!(T::is_exact(), "revised simplex requires exact arithmetic");
+    let m = sf.rows.len();
+    debug_assert!(basis.iter().all(|&b| b < sf.num_cols));
+    let matrix = Matrix::build(&sf, &[]);
+
+    let mut state = State {
+        file: Basis::identity(options.factorization, m),
+        basis,
+        x_b: vec![T::zero(); m],
+        d: vec![T::zero(); matrix.total_cols],
+        obj_val: T::zero(),
+        work: vec![T::zero(); m],
+        rho: vec![T::zero(); m],
+        row: vec![T::zero(); matrix.total_cols],
+    };
+    {
+        let basis = &state.basis;
+        let cols = &matrix.cols;
+        state.file.refactorize(|c| cols[basis[c]].as_slice())?;
+    }
+
+    // x_B = B⁻¹b, read per position through the factorization's row map.
+    let rhs_sparse: Vec<(usize, T)> = sf
+        .rhs
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_exactly_zero())
+        .map(|(i, v)| (i, v.clone()))
+        .collect();
+    state.file.ftran(&mut state.work, &rhs_sparse);
+    for c in 0..m {
+        state.x_b[c] = state.work[state.file.row_of(c)].clone();
+    }
+
+    // Reduced costs and objective — the phase-2 rebuild of `solve_revised`,
+    // with no artificial columns to ban.
+    let cb: Vec<T> = state.basis.iter().map(|&b| sf.costs[b].clone()).collect();
+    sparse::clear(&mut state.rho);
+    state.file.btran_dense(&mut state.rho, &cb);
+    for (j, d_j) in state.d.iter_mut().enumerate() {
+        *d_j = sf.costs[j].clone();
+        let y_a = sparse::sparse_dot(&matrix.cols[j], &state.rho);
+        d_j.sub_assign_ref(&y_a);
+    }
+    for &b in &state.basis {
+        state.d[b] = T::zero();
+    }
+    for (c, &b) in state.basis.iter().enumerate() {
+        state.obj_val.add_mul_assign(&sf.costs[b], &state.x_b[c]);
+    }
+
+    let banned = vec![false; matrix.total_cols];
+    state.optimize(&matrix, &banned, false, options, stats, &mut None)?;
+
+    let mut column_values = vec![T::zero(); matrix.total_cols];
+    for (c, &b) in state.basis.iter().enumerate() {
+        column_values[b] = state.x_b[c].clone();
+    }
+    let total_cols = matrix.total_cols;
+    Ok(ColumnSolution {
+        sf,
+        column_values,
+        total_cols,
+        basis: state.basis,
     })
 }

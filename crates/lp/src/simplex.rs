@@ -83,7 +83,7 @@ use privmech_linalg::{kernels, Scalar};
 
 use crate::model::{LpError, Model, Solution};
 use crate::pricing::FallbackState;
-use crate::ratio::choose_leaving;
+use crate::ratio::{choose_leaving, choose_leaving_harris};
 use crate::standard::{build_standard_form, extract_values, report_objective, StandardForm};
 
 /// Entering-column pricing rule.
@@ -96,6 +96,16 @@ pub enum PricingRule {
     DantzigWithBlandFallback,
     /// Bland's smallest-index anti-cycling rule throughout.
     Bland,
+    /// Devex pricing (Harris 1973): approximate steepest-edge reference
+    /// weights, selecting the column maximizing `d_j² / w_j`. Weights are
+    /// maintained in `f64` even on exact backends — the weight only *ranks*
+    /// candidates among the exactly-negative reduced costs, so an inexact
+    /// weight can never admit a non-improving column. Falls back to Bland on
+    /// degeneracy streaks exactly like Dantzig. Changes the pivot sequence
+    /// (and possibly the optimal vertex reached), so it is fingerprint- and
+    /// cache-relevant; solutions are asserted through the exact optimality
+    /// certificate ([`crate::certificate`]) instead of pivot identity.
+    Devex,
 }
 
 /// Which simplex implementation executes the solve. Both forms follow the
@@ -116,6 +126,57 @@ pub enum SolverForm {
     Revised,
 }
 
+/// Which basis-factorization representation the revised simplex maintains.
+/// Both kinds produce mathematically exact FTRAN/BTRAN results on exact
+/// scalars, so this never changes a pivot choice or a solution — like
+/// [`SolverForm`] it is an execution detail, deliberately excluded from
+/// request fingerprints and cache keys (property-tested in
+/// `crates/lp/tests/properties.rs` and `crates/core/tests/fingerprint.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FactorizationKind {
+    /// Sparse LU with Markowitz ordering and Forrest–Tomlin updates
+    /// (`crate::lu`). The default since the third solver-speed round.
+    #[default]
+    LuForrestTomlin,
+    /// Product-form inverse (eta file), the previous default, retained as a
+    /// cross-check and for the representation-invariance property tests.
+    EtaFile,
+}
+
+/// Numeric pre-conditioning for the inexact (`f64`) backend.
+///
+/// Exact backends ignore this entirely — rational arithmetic needs no
+/// conditioning, and scaling would only bloat the numerators/denominators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScalingMode {
+    /// No scaling; the `f64` backend prices by Bland's rule exactly as it
+    /// has since the seed solver, byte-preserving its pivot trajectory (and
+    /// hence every cached `f64` artifact). The default.
+    #[default]
+    Off,
+    /// Power-of-two row/column equilibration (lossless in binary floating
+    /// point) plus the Harris two-pass ratio test, which together make
+    /// Dantzig and devex pricing safe off the exact path. Changes the `f64`
+    /// pivot trajectory, so it is fingerprint-relevant when enabled.
+    Equilibrate,
+}
+
+/// Cross-parameter warm-start behavior for templated sweeps
+/// ([`crate::template::ModelTemplate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmStartMode {
+    /// Every solve starts cold from the slack/artificial basis. The default.
+    #[default]
+    Off,
+    /// Reoptimize from the previous parameter's optimal basis with the dual
+    /// simplex (`crate::dual_simplex`), falling back to a cold solve when
+    /// the carried basis is neither primal nor dual feasible. May reach a
+    /// different optimal vertex than a cold solve, so it is
+    /// fingerprint-relevant when enabled; correctness is asserted through
+    /// the exact optimality certificate.
+    DualSimplex,
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverOptions {
@@ -128,11 +189,21 @@ pub struct SolverOptions {
     /// detail; see [`SolverForm`]).
     pub form: SolverForm,
     /// Revised simplex only: pivots between basis refactorizations.
-    /// [`SolverOptions::NEVER_REFACTOR`] disables refactorization (the eta
-    /// file then grows by one eta per pivot); an eta-file *growth* trigger
+    /// [`SolverOptions::NEVER_REFACTOR`] disables refactorization (the
+    /// factorization then grows by one update per pivot); a *growth* trigger
     /// fires early regardless of the interval (see `crate::basis`). Ignored
     /// by the dense form.
     pub refactor_interval: usize,
+    /// Revised simplex only: which basis-factorization representation to
+    /// maintain (a result-invariant execution detail; see
+    /// [`FactorizationKind`]). Ignored by the dense form.
+    pub factorization: FactorizationKind,
+    /// `f64` backend only: numeric pre-conditioning (see [`ScalingMode`]).
+    /// Exact backends ignore it.
+    pub scaling: ScalingMode,
+    /// Templated sweeps only: cross-parameter warm-start behavior (see
+    /// [`WarmStartMode`]). Single solves ignore it.
+    pub warm_start: WarmStartMode,
 }
 
 impl SolverOptions {
@@ -148,6 +219,9 @@ impl Default for SolverOptions {
             degeneracy_streak_limit: 8,
             form: SolverForm::default(),
             refactor_interval: 64,
+            factorization: FactorizationKind::default(),
+            scaling: ScalingMode::default(),
+            warm_start: WarmStartMode::default(),
         }
     }
 }
@@ -163,8 +237,14 @@ pub struct PivotStats {
     pub degenerate_pivots: usize,
     /// Pivots chosen by Dantzig (most-negative reduced cost) pricing.
     pub dantzig_pivots: usize,
+    /// Pivots chosen by devex (reference-weight) pricing.
+    pub devex_pivots: usize,
     /// Pivots chosen by Bland's smallest-index rule.
     pub bland_pivots: usize,
+    /// Dual-simplex pivots performed by a cross-parameter warm start
+    /// ([`crate::template::WarmSweepHandle`]); also counted in
+    /// [`PivotStats::phase2_pivots`].
+    pub dual_pivots: usize,
     /// Times the anti-cycling fallback engaged (Dantzig → Bland).
     pub fallback_activations: usize,
 }
@@ -178,7 +258,9 @@ impl std::ops::AddAssign<&PivotStats> for PivotStats {
         self.phase2_pivots += rhs.phase2_pivots;
         self.degenerate_pivots += rhs.degenerate_pivots;
         self.dantzig_pivots += rhs.dantzig_pivots;
+        self.devex_pivots += rhs.devex_pivots;
         self.bland_pivots += rhs.bland_pivots;
+        self.dual_pivots += rhs.dual_pivots;
         self.fallback_activations += rhs.fallback_activations;
     }
 }
@@ -303,22 +385,39 @@ impl<T: Scalar> Tableau<'_, T> {
         // into a hang.
         let max_iters = 50_000usize.max(100 * (self.cols + self.body.len()));
         let mut pricing = FallbackState::new::<T>(self.options);
+        // Harris's relaxed two-pass ratio test is a floating-point conditioning
+        // device; exact scalars keep the strict test (pivot-identity contract),
+        // and Bland fallback mode bypasses it (anti-cycling guarantee).
+        let harris = !T::is_exact() && self.options.scaling == ScalingMode::Equilibrate;
 
         for _ in 0..max_iters {
             let Some(col) = pricing.select(&self.obj, &self.banned, self.cols) else {
                 return Ok(());
             };
             let bland_mode = pricing.bland_mode();
-            let Some((row, degenerate)) = choose_leaving(
-                self.body.len(),
-                &self.basis,
-                bland_mode,
-                |r| &self.body[r][col],
-                |r| self.rhs(r),
-            ) else {
+            let choice = if harris && !bland_mode {
+                choose_leaving_harris(self.body.len(), |r| &self.body[r][col], |r| self.rhs(r))
+            } else {
+                choose_leaving(
+                    self.body.len(),
+                    &self.basis,
+                    bland_mode,
+                    |r| &self.body[r][col],
+                    |r| self.rhs(r),
+                )
+            };
+            let Some((row, degenerate)) = choice else {
                 return Err(LpError::Unbounded);
             };
+            let leaving_col = self.basis[row];
+            let pivot_element = self.body[row][col].to_f64();
             self.pivot(row, col);
+            // Devex reference-weight maintenance (no-op for other rules):
+            // after the pivot the row is normalized, so its entries are
+            // exactly the α_rj/α_rq ratios the update needs.
+            let pivot_row = &self.body[row];
+            pricing
+                .update_devex_weights(col, leaving_col, pivot_element, |j| pivot_row[j].to_f64());
             record(
                 trace,
                 if phase1 {
@@ -375,9 +474,27 @@ pub fn solve_model_traced<T: Scalar>(
 fn solve_impl<T: Scalar>(
     model: &Model<T>,
     options: &SolverOptions,
-    mut trace: TraceSink<'_>,
+    trace: TraceSink<'_>,
 ) -> Result<Solution<T>, LpError> {
-    let sf = build_standard_form(model)?;
+    solve_warm(model, None, options, trace).map(|(solution, _, _)| solution)
+}
+
+/// Solve, optionally warm-starting from the final basis of a previous solve
+/// of a same-structure model ([`crate::dual_simplex`]); returns the solution
+/// together with this solve's final basis (so a sweep can chain solves) and
+/// whether the warm path actually produced the result.
+///
+/// The warm path only engages when a basis is supplied, the scalar is exact
+/// and [`SolverOptions::warm_start`] is not [`WarmStartMode::Off`]; in every
+/// other case (including any warm-start fallback) the result is exactly the
+/// cold [`solve_model_with`] result.
+pub(crate) fn solve_warm<T: Scalar>(
+    model: &Model<T>,
+    warm_basis: Option<&[usize]>,
+    options: &SolverOptions,
+    mut trace: TraceSink<'_>,
+) -> Result<(Solution<T>, Vec<usize>, bool), LpError> {
+    let mut sf = build_standard_form(model)?;
     let mut stats = PivotStats::default();
 
     // Handle the degenerate "no constraints" case directly: the optimum is at
@@ -390,27 +507,91 @@ fn solve_impl<T: Scalar>(
         }
         let values = extract_values(&sf, &[], sf.num_cols);
         let objective = report_objective(model, &values);
-        return Ok(Solution {
-            objective,
-            values,
-            stats,
-        });
+        return Ok((
+            Solution {
+                objective,
+                values,
+                stats,
+            },
+            Vec::new(),
+            false,
+        ));
     }
 
-    // Form dispatch: the revised simplex requires exact arithmetic for its
-    // identity contract (module docs), so inexact backends always run the
-    // dense tableau.
-    let values = if T::is_exact() && options.form != SolverForm::Dense {
-        crate::revised::solve_revised(sf, options, &mut stats, &mut trace)?
+    // Floating-point equilibration: power-of-two row/column scaling
+    // ([`StandardForm::equilibrate`]) conditions the tableau so the aggressive
+    // pricing rules and the Harris ratio test are safe off the exact path;
+    // the per-column factors map the scaled optimum back after the solve.
+    // Exact scalars never scale — the pivot-identity contract is stated on
+    // the raw standard form.
+    let col_factors = if !T::is_exact() && options.scaling == ScalingMode::Equilibrate {
+        Some(sf.equilibrate())
     } else {
-        solve_dense(sf, options, &mut stats, &mut trace)?
+        None
     };
+
+    // Warm start: when the caller supplies a previous basis (and the mode is
+    // on), try the dual-simplex / primal-phase-2 reoptimization first. Its
+    // successful results are certificate-verified internally; its fallback
+    // hands the standard form back untouched for the cold path below.
+    let mut sf = Some(sf);
+    let mut warm_values: Option<ColumnSolution<T>> = None;
+    if let Some(basis) = warm_basis {
+        if T::is_exact() && options.warm_start != WarmStartMode::Off {
+            match crate::dual_simplex::warm_reoptimize(
+                sf.take().expect("standard form present"),
+                basis,
+                options,
+                &mut stats,
+            )? {
+                crate::dual_simplex::WarmOutcome::Solved(v) => warm_values = Some(v),
+                crate::dual_simplex::WarmOutcome::Fallback(cold_sf) => sf = Some(cold_sf),
+            }
+        }
+    }
+
+    let warm_used = warm_values.is_some();
+    let mut values = match warm_values {
+        Some(v) => v,
+        None => {
+            let sf = sf.take().expect("standard form present");
+            // Form dispatch: the revised simplex requires exact arithmetic
+            // for its identity contract (module docs), so inexact backends
+            // always run the dense tableau.
+            let values = if T::is_exact() && options.form != SolverForm::Dense {
+                crate::revised::solve_revised(sf, options, &mut stats, &mut trace)?
+            } else {
+                solve_dense(sf, options, &mut stats, &mut trace)?
+            };
+            // Two-tier contract: the default pricing rule is covered by the
+            // dense ≡ revised pivot-identity property tests; a non-default
+            // rule changes the pivot sequence, so each of its solves is
+            // instead verified against the exact optimality certificate
+            // before the result is released.
+            if options.pricing == PricingRule::Devex {
+                crate::certificate::certify_column_solution(&values)?;
+            }
+            values
+        }
+    };
+    // Undo equilibration: the scaled problem's optimum `y` maps back to the
+    // model's columns as `x = Cy` (the certificate above, when it ran, was
+    // checked against the scaled problem, where the basis lives).
+    if let Some(factors) = &col_factors {
+        for (v, f) in values.column_values.iter_mut().zip(factors.iter()) {
+            *v = v.mul_ref(f);
+        }
+    }
     let extracted = values.extract(model);
-    Ok(Solution {
-        objective: extracted.0,
-        values: extracted.1,
-        stats,
-    })
+    Ok((
+        Solution {
+            objective: extracted.0,
+            values: extracted.1,
+            stats,
+        },
+        values.basis,
+        warm_used,
+    ))
 }
 
 /// The standard-form optimum both solver forms hand back: final column
@@ -419,6 +600,11 @@ pub(crate) struct ColumnSolution<T: Scalar> {
     pub(crate) sf: StandardForm<T>,
     pub(crate) column_values: Vec<T>,
     pub(crate) total_cols: usize,
+    /// Final basis: position → standard-form column (entries `>=
+    /// sf.num_cols` are artificials parked at value zero; position `c`'s
+    /// artificial is the unit column `e_c`). The optimality certificate
+    /// recovers the duals from this basis.
+    pub(crate) basis: Vec<usize>,
 }
 
 impl<T: Scalar> ColumnSolution<T> {
@@ -566,16 +752,18 @@ fn solve_dense<T: Scalar>(
     for (i, &b) in tableau.basis.iter().enumerate() {
         column_values[b] = tableau.rhs(i).clone();
     }
+    let basis = tableau.basis.clone();
     Ok(ColumnSolution {
         sf,
         column_values,
         total_cols,
+        basis,
     })
 }
 
 #[cfg(test)]
 mod tests {
-    use super::{PivotStats, PricingRule, SolverOptions};
+    use super::{PivotStats, PricingRule, ScalingMode, SolverOptions};
     use crate::model::{LinExpr, LpError, Model, Relation, Sense, VarBound};
     use privmech_numerics::{rat, Rational};
 
@@ -897,5 +1085,181 @@ mod tests {
             r.phase,
             TracePhase::Phase1 | TracePhase::DriveOut | TracePhase::Phase2
         )));
+    }
+
+    #[test]
+    fn devex_pricing_reaches_the_same_optimum_in_both_forms() {
+        // Devex may follow a different pivot path than Dantzig, so the pivot
+        // traces need not agree — the solution-level contract applies instead:
+        // every devex solve runs the exact optimality certificate internally
+        // (a certificate failure would surface as `LpError::Internal` here).
+        use super::SolverForm;
+        let m = beale_cycling_model();
+        let default = m.solve().unwrap();
+        for form in [SolverForm::Dense, SolverForm::Revised] {
+            let devex = crate::simplex::solve_model_with(
+                &m,
+                &SolverOptions {
+                    pricing: PricingRule::Devex,
+                    form,
+                    ..SolverOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(devex.objective, default.objective, "form {form:?}");
+            // Beale's optimum is unique, so values must match bit-for-bit too.
+            assert_eq!(devex.values, default.values, "form {form:?}");
+            assert!(
+                devex.stats.devex_pivots > 0,
+                "devex pricing should drive the pivots (form {form:?})"
+            );
+            assert_eq!(devex.stats.dantzig_pivots, 0, "form {form:?}");
+        }
+    }
+
+    #[test]
+    fn devex_pricing_matches_default_on_a_phase1_model() {
+        // Equality rows force phase-1 artificials, exercising the certificate
+        // with artificial columns still (degenerately) in the final basis.
+        let mut m: Model<Rational> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        let y = m.add_var("y", VarBound::NonNegative);
+        let z = m.add_var("z", VarBound::Free);
+        m.add_constraint(
+            LinExpr::term(z, rat(1, 1)).plus(x, rat(-1, 1)),
+            Relation::Eq,
+            rat(-2, 1),
+        )
+        .unwrap();
+        m.add_constraint(
+            LinExpr::term(x, rat(1, 1)).plus(y, rat(1, 1)),
+            Relation::Eq,
+            rat(5, 1),
+        )
+        .unwrap();
+        m.set_objective(Sense::Minimize, LinExpr::term(z, rat(1, 1)))
+            .unwrap();
+        let default = m.solve().unwrap();
+        let devex = crate::simplex::solve_model_with(
+            &m,
+            &SolverOptions {
+                pricing: PricingRule::Devex,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(devex.objective, default.objective);
+        assert_eq!(devex.objective, rat(-2, 1));
+    }
+
+    #[test]
+    fn devex_on_f64_without_scaling_falls_back_to_bland() {
+        // The unscaled f64 backend cannot trust aggressive pricing, so the
+        // fallback state pins Bland's rule from the start (same policy as
+        // Dantzig; see FallbackState::new).
+        let mut m: Model<f64> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        let y = m.add_var("y", VarBound::NonNegative);
+        m.add_constraint(LinExpr::term(x, 1.0).plus(y, 1.0), Relation::Le, 10.0)
+            .unwrap();
+        m.set_objective(Sense::Maximize, LinExpr::term(x, 1.0).plus(y, 2.0))
+            .unwrap();
+        let sol = crate::simplex::solve_model_with(
+            &m,
+            &SolverOptions {
+                pricing: PricingRule::Devex,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((sol.objective - 20.0).abs() < 1e-9);
+        assert_eq!(sol.stats.devex_pivots, 0);
+        assert!(sol.stats.bland_pivots > 0);
+    }
+
+    /// A model whose constraint rows live nine orders of magnitude apart.
+    /// After dividing out the scales it is `max 3x + 2y` subject to
+    /// `4x + y ≤ 4`, `x + y ≤ 3/2`, with unique optimum `23/6` at
+    /// `(5/6, 2/3)`.
+    fn badly_scaled_model() -> Model<f64> {
+        let mut m: Model<f64> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        let y = m.add_var("y", VarBound::NonNegative);
+        m.add_constraint(LinExpr::term(x, 4.0e6).plus(y, 1.0e6), Relation::Le, 4.0e6)
+            .unwrap();
+        m.add_constraint(
+            LinExpr::term(x, 1.0e-3).plus(y, 1.0e-3),
+            Relation::Le,
+            1.5e-3,
+        )
+        .unwrap();
+        m.set_objective(Sense::Maximize, LinExpr::term(x, 3.0).plus(y, 2.0))
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn equilibration_unlocks_dantzig_on_f64_and_preserves_the_optimum() {
+        let m = badly_scaled_model();
+        let bland = m.solve().unwrap();
+        let scaled = crate::simplex::solve_model_with(
+            &m,
+            &SolverOptions {
+                scaling: ScalingMode::Equilibrate,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        for sol in [&bland, &scaled] {
+            assert!((sol.objective - 23.0 / 6.0).abs() < 1e-6);
+            assert!((sol.values[0] - 5.0 / 6.0).abs() < 1e-6);
+            assert!((sol.values[1] - 2.0 / 3.0).abs() < 1e-6);
+        }
+        // Unscaled f64 is pinned to Bland; equilibration lifts the pin.
+        assert_eq!(bland.stats.dantzig_pivots, 0);
+        assert!(bland.stats.bland_pivots > 0);
+        assert!(scaled.stats.dantzig_pivots > 0);
+        assert_eq!(scaled.stats.bland_pivots, 0);
+    }
+
+    #[test]
+    fn devex_with_equilibration_runs_and_certifies_on_f64() {
+        // Devex on scaled f64 takes the aggressive path, and since the rule
+        // is non-default the solve is certificate-verified (against the
+        // scaled problem) before the unscaled solution is released.
+        let m = badly_scaled_model();
+        let sol = crate::simplex::solve_model_with(
+            &m,
+            &SolverOptions {
+                pricing: PricingRule::Devex,
+                scaling: ScalingMode::Equilibrate,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((sol.objective - 23.0 / 6.0).abs() < 1e-6);
+        assert!((sol.values[0] - 5.0 / 6.0).abs() < 1e-6);
+        assert!((sol.values[1] - 2.0 / 3.0).abs() < 1e-6);
+        assert!(sol.stats.devex_pivots > 0);
+        assert_eq!(sol.stats.bland_pivots, 0);
+    }
+
+    #[test]
+    fn equilibration_on_an_exact_model_is_a_no_op() {
+        // Exact scalars never scale: the option is accepted but the pivot
+        // trajectory (and hence the stats) must match the default bit for bit.
+        let m = beale_cycling_model();
+        let default = m.solve().unwrap();
+        let scaled = crate::simplex::solve_model_with(
+            &m,
+            &SolverOptions {
+                scaling: ScalingMode::Equilibrate,
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(scaled.objective, default.objective);
+        assert_eq!(scaled.values, default.values);
+        assert_eq!(scaled.stats, default.stats);
     }
 }

@@ -73,6 +73,70 @@ impl<T: Scalar> StandardForm<T> {
         cols
     }
 
+    /// Power-of-two row/column equilibration for floating-point solves
+    /// ([`ScalingMode::Equilibrate`](crate::simplex::ScalingMode)).
+    ///
+    /// Each row is scaled by `2^(−⌊log₂ max|aᵢⱼ|⌋)` (together with its
+    /// right-hand side), then each column likewise (together with its cost),
+    /// bringing every row and column maximum into `[1, 2)`. Powers of two are
+    /// exactly representable, so scaling perturbs no `f64` mantissa — it only
+    /// re-centers exponents so the solver's absolute tolerances act uniformly
+    /// across badly scaled models.
+    ///
+    /// With `R`, `C` the diagonal scale matrices, the solved problem is
+    /// `min (Cc)ᵀy  s.t. (RAC)y = Rb, y ≥ 0`; a solution maps back via
+    /// `x = Cy`, and the objective value is unchanged (`(Cc)ᵀy = cᵀx`).
+    /// Returns the per-column factors `C` for that unscaling.
+    pub(crate) fn equilibrate(&mut self) -> Vec<T> {
+        let pow2 = |e: i32| -> T {
+            // Clamp to the i64-representable exponent range; anything beyond
+            // is already far outside the solver's usable dynamic range.
+            let e = e.clamp(-62, 62);
+            if e >= 0 {
+                T::from_ratio(1i64 << e, 1)
+            } else {
+                T::from_ratio(1, 1i64 << (-e))
+            }
+        };
+        let exponent = |max: f64| -> i32 {
+            if max > 0.0 && max.is_finite() {
+                max.log2().floor() as i32
+            } else {
+                0
+            }
+        };
+
+        for (row, rhs) in self.rows.iter_mut().zip(self.rhs.iter_mut()) {
+            let max = row.iter().fold(0.0f64, |m, v| m.max(v.abs().to_f64()));
+            let e = exponent(max);
+            if e != 0 {
+                let factor = pow2(-e);
+                for v in row.iter_mut() {
+                    *v = v.mul_ref(&factor);
+                }
+                *rhs = rhs.mul_ref(&factor);
+            }
+        }
+
+        let mut col_factors = vec![T::one(); self.num_cols];
+        for (j, col_factor) in col_factors.iter_mut().enumerate() {
+            let max = self
+                .rows
+                .iter()
+                .fold(0.0f64, |m, row| m.max(row[j].abs().to_f64()));
+            let e = exponent(max);
+            if e != 0 {
+                let factor = pow2(-e);
+                for row in self.rows.iter_mut() {
+                    row[j] = row[j].mul_ref(&factor);
+                }
+                self.costs[j] = self.costs[j].mul_ref(&factor);
+                *col_factor = factor;
+            }
+        }
+        col_factors
+    }
+
     /// Row-major sparse view of the constraint matrix (structural + slack
     /// columns only).
     pub(crate) fn sparse_rows(&self) -> Vec<Vec<(usize, T)>> {

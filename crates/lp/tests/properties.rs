@@ -289,6 +289,96 @@ proptest! {
         prop_assert_eq!(&default_trigger, &never);
     }
 
+    /// Factorization-kind × refactorization-interval boundary sweep (PR 6):
+    /// the LU/Forrest–Tomlin default and the eta-file fallback must be
+    /// mutually unobservable at every refactorization frequency — identical
+    /// pivot traces under the default pricing rule — and the optimum they
+    /// agree on must survive the exact optimality certificate (solved again
+    /// under devex pricing, whose every solve is certificate-verified).
+    #[test]
+    fn factorization_kind_is_unobservable_at_every_refactor_boundary(
+        coeffs in prop::collection::vec(-4i64..=4, 9),
+        rhs in prop::collection::vec(-6i64..=6, 5),
+        costs in prop::collection::vec(-3i64..=5, 3),
+        free_var in any::<bool>(),
+    ) {
+        use privmech_lp::FactorizationKind;
+        let m = random_model(&coeffs, &rhs, &costs, free_var);
+        let reference = solve_model_traced(&m, &with_form(SolverForm::Revised));
+        for factorization in [FactorizationKind::LuForrestTomlin, FactorizationKind::EtaFile] {
+            for interval in [1, 64, SolverOptions::NEVER_REFACTOR] {
+                let run = solve_model_traced(&m, &SolverOptions {
+                    form: SolverForm::Revised,
+                    factorization,
+                    refactor_interval: interval,
+                    ..SolverOptions::default()
+                });
+                prop_assert_eq!(&reference, &run,
+                    "{:?} at interval {} diverged", factorization, interval);
+            }
+        }
+        // Certificate cross-check: devex solves are verified against the
+        // exact optimality certificate before release, so agreement on the
+        // objective proves the traced optimum certificate-identical.
+        if let Ok((sol, _)) = reference {
+            let devex = privmech_lp::solve_model_with(&m, &SolverOptions {
+                pricing: privmech_lp::PricingRule::Devex,
+                ..SolverOptions::default()
+            });
+            let devex = devex.expect("devex must solve whatever the default solved");
+            prop_assert_eq!(sol.objective, devex.objective);
+        }
+    }
+
+    /// The same boundary sweep on the equilibrated `f64` path: scaling runs
+    /// on the dense tableau, so factorization kind and refactorization
+    /// interval must stay byte-for-byte inert there too.
+    #[test]
+    fn f64_equilibrated_path_ignores_factorization_boundaries(
+        a in prop::collection::vec(1i64..=9, 6),
+        b in prop::collection::vec(1i64..=15, 3),
+        c in prop::collection::vec(1i64..=9, 2),
+    ) {
+        use privmech_lp::{FactorizationKind, ScalingMode};
+        let mut m: Model<f64> = Model::new();
+        let xs = m.add_nonneg_vars("x", 2);
+        for i in 0..3 {
+            // Spread the rows across ~7 orders of magnitude so equilibration
+            // actually rescales.
+            let scale = [1.0e3, 1.0, 1.0e-4][i];
+            let e = LinExpr::term(xs[0], a[2 * i] as f64 * scale)
+                .plus(xs[1], a[2 * i + 1] as f64 * scale);
+            m.add_constraint(e, Relation::Ge, b[i] as f64 * scale).unwrap();
+        }
+        m.set_objective(
+            Sense::Minimize,
+            LinExpr::term(xs[0], c[0] as f64).plus(xs[1], c[1] as f64),
+        ).unwrap();
+        let reference = solve_model_traced(&m, &SolverOptions {
+            scaling: ScalingMode::Equilibrate,
+            ..SolverOptions::default()
+        }).unwrap();
+        for factorization in [FactorizationKind::LuForrestTomlin, FactorizationKind::EtaFile] {
+            for interval in [1, 64, SolverOptions::NEVER_REFACTOR] {
+                let run = solve_model_traced(&m, &SolverOptions {
+                    scaling: ScalingMode::Equilibrate,
+                    factorization,
+                    refactor_interval: interval,
+                    ..SolverOptions::default()
+                }).unwrap();
+                prop_assert_eq!(&reference, &run,
+                    "{:?} at interval {} diverged", factorization, interval);
+            }
+        }
+        // Equilibration itself must not move the optimum. The unscaled solve
+        // is allowed to fail — absolute tolerances misjudge rows seven orders
+        // of magnitude apart, which is the failure mode equilibration exists
+        // to remove — but when it does solve, the optima must agree.
+        if let Ok(unscaled) = solve_model_traced(&m, &SolverOptions::default()) {
+            prop_assert!((reference.0.objective - unscaled.0.objective).abs() < 1e-6);
+        }
+    }
+
     /// The f64 backend routes every `SolverForm` onto the dense tableau (a
     /// float FTRAN/BTRAN rounds differently than a float tableau update), so
     /// all three forms — and all refactorization intervals — must return

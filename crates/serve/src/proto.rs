@@ -584,24 +584,37 @@ pub fn assemble_solves<'a>(items: impl IntoIterator<Item = &'a str>) -> String {
 }
 
 /// Encode [`PivotStats`] as a response object.
+///
+/// The devex and dual-simplex counters are emitted **only when nonzero**:
+/// they can only be nonzero under non-default solver options (which carry a
+/// different request fingerprint), so every default-path response keeps the
+/// exact byte shape it had before those counters existed — cache entries
+/// persisted by older servers still verify byte-for-byte.
 #[must_use]
 pub fn stats_to_wire(stats: &PivotStats) -> Json {
-    Json::obj()
+    let mut json = Json::obj()
         .with("phase1_pivots", Json::num_u64(stats.phase1_pivots as u64))
         .with("phase2_pivots", Json::num_u64(stats.phase2_pivots as u64))
         .with(
             "degenerate_pivots",
             Json::num_u64(stats.degenerate_pivots as u64),
         )
-        .with("dantzig_pivots", Json::num_u64(stats.dantzig_pivots as u64))
-        .with("bland_pivots", Json::num_u64(stats.bland_pivots as u64))
-        .with(
-            "fallback_activations",
-            Json::num_u64(stats.fallback_activations as u64),
-        )
+        .with("dantzig_pivots", Json::num_u64(stats.dantzig_pivots as u64));
+    if stats.devex_pivots > 0 {
+        json = json.with("devex_pivots", Json::num_u64(stats.devex_pivots as u64));
+    }
+    json = json.with("bland_pivots", Json::num_u64(stats.bland_pivots as u64));
+    if stats.dual_pivots > 0 {
+        json = json.with("dual_pivots", Json::num_u64(stats.dual_pivots as u64));
+    }
+    json.with(
+        "fallback_activations",
+        Json::num_u64(stats.fallback_activations as u64),
+    )
 }
 
-/// Decode a response stats object.
+/// Decode a response stats object (the optional counters of
+/// [`stats_to_wire`] default to zero when absent).
 #[must_use]
 pub fn stats_from_wire(value: &Json) -> Option<PivotStats> {
     Some(PivotStats {
@@ -609,7 +622,15 @@ pub fn stats_from_wire(value: &Json) -> Option<PivotStats> {
         phase2_pivots: value.get("phase2_pivots")?.as_usize()?,
         degenerate_pivots: value.get("degenerate_pivots")?.as_usize()?,
         dantzig_pivots: value.get("dantzig_pivots")?.as_usize()?,
+        devex_pivots: value
+            .get("devex_pivots")
+            .and_then(Json::as_usize)
+            .unwrap_or(0),
         bland_pivots: value.get("bland_pivots")?.as_usize()?,
+        dual_pivots: value
+            .get("dual_pivots")
+            .and_then(Json::as_usize)
+            .unwrap_or(0),
         fallback_activations: value.get("fallback_activations")?.as_usize()?,
     })
 }
@@ -756,9 +777,23 @@ mod tests {
             phase2_pivots: 5,
             degenerate_pivots: 1,
             dantzig_pivots: 7,
+            devex_pivots: 0,
             bland_pivots: 1,
+            dual_pivots: 0,
             fallback_activations: 1,
         };
         assert_eq!(stats_from_wire(&stats_to_wire(&stats)), Some(stats));
+        // The zero-valued optional counters stay off the wire, so default
+        // solves keep the pre-existing byte shape (old cache entries still
+        // verify); nonzero values round-trip.
+        let encoded = crate::json::to_string(&stats_to_wire(&stats));
+        assert!(!encoded.contains("devex_pivots"));
+        assert!(!encoded.contains("dual_pivots"));
+        let nonzero = PivotStats {
+            devex_pivots: 4,
+            dual_pivots: 2,
+            ..stats
+        };
+        assert_eq!(stats_from_wire(&stats_to_wire(&nonzero)), Some(nonzero));
     }
 }
