@@ -1,0 +1,44 @@
+//! # privmech-load
+//!
+//! An **open-loop** load-generation and capacity harness for the privmech
+//! serving tier (`privmech-serve`).
+//!
+//! Every serve-side number before this crate came from replaying small fixed
+//! workloads, which cannot support a capacity claim: a replay client waits
+//! for each reply before sending the next request (closed loop), so when the
+//! server slows down the *offered load drops with it* and queueing delay is
+//! invisible. This harness does the opposite:
+//!
+//! * [`workload`] synthesizes a heavy-tailed population of distinct
+//!   `(n, α, loss)` requests — Zipf-distributed popularity over a seeded,
+//!   deterministic template set, mixed `solve`/`sweep`/`interact` ops over
+//!   both scalar backends — the traffic shape that exercises the sharded
+//!   LRU cache and the exact-LP fallback path honestly,
+//! * [`schedule`] computes arrival timestamps **up front**, as a pure
+//!   function of the schedule (fixed-rate or ramp) and never of completion
+//!   times, so saturation shows up as queueing delay in the measured
+//!   latencies instead of silently thinning the load,
+//! * [`runner`] drives many pipelined protocol-v2 connections concurrently,
+//!   measures client-side per-op latency against the *scheduled* arrival
+//!   time (queueing included), and runs a rate-ramp search for the
+//!   saturation point — the first rate where p99 exceeds a bound or the
+//!   server fails to drain the offered load,
+//! * [`stats`] holds the exact (sorted-sample) p50/p99/p999 machinery.
+//!
+//! The `privmech-load` bin ties these together and appends a
+//! machine-readable capacity record to `BENCH_serve.json` (same JSON Lines
+//! conventions as `BENCH_lp.json`). `crates/load/LOAD.md` documents the
+//! methodology and how to reproduce a record.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod runner;
+pub mod schedule;
+pub mod stats;
+pub mod workload;
+
+pub use runner::{ramp_search, run, RampOutcome, RampStep, RunConfig, RunReport};
+pub use schedule::Schedule;
+pub use stats::{LatencyRecorder, LatencySummary};
+pub use workload::{Population, WorkloadConfig, ZipfSampler};

@@ -1,0 +1,157 @@
+//! Open-loop arrival schedules.
+//!
+//! The defining property of an **open-loop** load generator is that arrival
+//! times are decided *before* the run, independent of how fast the server
+//! answers — the antithesis of a replay client, which implicitly waits for
+//! each reply and therefore can never offer more load than the server
+//! absorbs. Everything here is a pure function from a [`Schedule`] to a
+//! vector of arrival offsets; the runner's only job is to hit those
+//! timestamps. When the server falls behind, requests queue (client-side in
+//! the socket, server-side at the backpressure gate) and the queueing delay
+//! lands in the measured latency, which is exactly the signal a capacity
+//! search needs.
+
+use std::time::Duration;
+
+/// An open-loop arrival schedule. All variants are deterministic: equal
+/// schedules produce equal arrival offsets, every time, with no dependence
+/// on wall-clock, completions, or randomness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// `count` arrivals at a constant `rate_per_sec` (arrival `k` at
+    /// `k / rate` seconds).
+    FixedRate {
+        /// Offered arrival rate in requests per second (must be positive).
+        rate_per_sec: f64,
+        /// Total number of arrivals.
+        count: usize,
+    },
+    /// `count` arrivals whose instantaneous rate ramps linearly from
+    /// `start_rate` to `end_rate`: the gap before arrival `k` is the
+    /// reciprocal of the rate interpolated at `k`.
+    Ramp {
+        /// Rate at the first arrival (requests per second, positive).
+        start_rate: f64,
+        /// Rate at the last arrival (requests per second, positive).
+        end_rate: f64,
+        /// Total number of arrivals.
+        count: usize,
+    },
+}
+
+impl Schedule {
+    /// Number of arrivals this schedule produces.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        match self {
+            Schedule::FixedRate { count, .. } | Schedule::Ramp { count, .. } => *count,
+        }
+    }
+
+    /// The arrival timestamps as offsets from the run's start instant —
+    /// monotone non-decreasing, `count()` entries. A pure function of the
+    /// schedule: by construction no completion time (or any other runtime
+    /// feedback) can influence an arrival.
+    #[must_use]
+    pub fn arrival_offsets(&self) -> Vec<Duration> {
+        match *self {
+            Schedule::FixedRate {
+                rate_per_sec,
+                count,
+            } => {
+                assert!(
+                    rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+                    "rate must be positive and finite"
+                );
+                (0..count)
+                    .map(|k| Duration::from_secs_f64(k as f64 / rate_per_sec))
+                    .collect()
+            }
+            Schedule::Ramp {
+                start_rate,
+                end_rate,
+                count,
+            } => {
+                assert!(
+                    start_rate > 0.0 && end_rate > 0.0,
+                    "ramp rates must be positive"
+                );
+                let mut offsets = Vec::with_capacity(count);
+                let mut t = 0.0f64;
+                for k in 0..count {
+                    if k > 0 {
+                        let frac = k as f64 / (count.max(2) - 1) as f64;
+                        let rate = start_rate + (end_rate - start_rate) * frac;
+                        t += 1.0 / rate;
+                    }
+                    offsets.push(Duration::from_secs_f64(t));
+                }
+                offsets
+            }
+        }
+    }
+
+    /// Mean offered rate over the whole schedule, in requests per second.
+    #[must_use]
+    pub fn offered_rate(&self) -> f64 {
+        match *self {
+            Schedule::FixedRate { rate_per_sec, .. } => rate_per_sec,
+            Schedule::Ramp {
+                start_rate,
+                end_rate,
+                ..
+            } => {
+                let span = self
+                    .arrival_offsets()
+                    .last()
+                    .copied()
+                    .unwrap_or_default()
+                    .as_secs_f64();
+                if span > 0.0 {
+                    (self.count().max(1) - 1) as f64 / span
+                } else {
+                    (start_rate + end_rate) / 2.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_offsets_are_exact_and_pure() {
+        let schedule = Schedule::FixedRate {
+            rate_per_sec: 1000.0,
+            count: 100,
+        };
+        let offsets = schedule.arrival_offsets();
+        assert_eq!(offsets.len(), 100);
+        for (k, offset) in offsets.iter().enumerate() {
+            assert_eq!(*offset, Duration::from_secs_f64(k as f64 / 1000.0));
+        }
+        // Pure: the same schedule yields the same offsets on every call.
+        assert_eq!(offsets, schedule.arrival_offsets());
+    }
+
+    #[test]
+    fn ramp_offsets_are_monotone_and_accelerate() {
+        let schedule = Schedule::Ramp {
+            start_rate: 10.0,
+            end_rate: 100.0,
+            count: 50,
+        };
+        let offsets = schedule.arrival_offsets();
+        assert_eq!(offsets.len(), 50);
+        let gaps: Vec<f64> = offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect();
+        for pair in gaps.windows(2) {
+            assert!(pair[1] < pair[0], "gaps shrink as the rate ramps up");
+        }
+        assert_eq!(offsets, schedule.arrival_offsets());
+    }
+}

@@ -1,0 +1,137 @@
+//! Exact client-side latency quantiles.
+//!
+//! A capacity harness lives or dies by its tail estimates, so nothing here
+//! approximates: every sample is kept (a `u64` per request is cheap at any
+//! rate this harness reaches) and quantiles are computed by sorting. The
+//! p-quantile of `n` sorted samples is the sample at rank `⌈p·n⌉` (1-based),
+//! i.e. the smallest value such that at least a `p` fraction of samples are
+//! ≤ it — the standard "type 1" empirical quantile, chosen because it is
+//! exact, monotone in `p`, and equals the maximum at `p = 1`.
+
+use privmech_serve::json::Json;
+
+/// Accumulates latency samples (nanoseconds) for one bucket (an op, or the
+/// run as a whole).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// A recorder with no samples.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, ns: u64) {
+        self.samples_ns.push(ns);
+    }
+
+    /// Merge another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Summarize (sorts the samples). `None` when empty.
+    #[must_use]
+    pub fn summary(&self) -> Option<LatencySummary> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let total: u128 = sorted.iter().map(|&ns| u128::from(ns)).sum();
+        Some(LatencySummary {
+            count: sorted.len() as u64,
+            p50_ns: quantile(&sorted, 0.50),
+            p99_ns: quantile(&sorted, 0.99),
+            p999_ns: quantile(&sorted, 0.999),
+            max_ns: *sorted.last().expect("nonempty"),
+            mean_ns: u64::try_from(total / sorted.len() as u128).unwrap_or(u64::MAX),
+        })
+    }
+}
+
+/// The empirical p-quantile of an ascending-sorted sample set (see module
+/// docs for the convention).
+///
+/// # Panics
+/// If `sorted` is empty.
+#[must_use]
+pub fn quantile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty(), "quantile of an empty sample set");
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Exact latency percentiles of one bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency in nanoseconds.
+    pub p999_ns: u64,
+    /// Largest observed latency in nanoseconds.
+    pub max_ns: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: u64,
+}
+
+impl LatencySummary {
+    /// Render for the bench record.
+    #[must_use]
+    pub fn to_wire(&self) -> Json {
+        Json::obj()
+            .with("count", Json::num_u64(self.count))
+            .with("p50_ns", Json::num_u64(self.p50_ns))
+            .with("p99_ns", Json::num_u64(self.p99_ns))
+            .with("p999_ns", Json::num_u64(self.p999_ns))
+            .with("max_ns", Json::num_u64(self.max_ns))
+            .with("mean_ns", Json::num_u64(self.mean_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_on_known_samples() {
+        let mut recorder = LatencyRecorder::new();
+        for ns in (1..=1000).rev() {
+            recorder.record(ns);
+        }
+        let summary = recorder.summary().expect("nonempty");
+        assert_eq!(summary.count, 1000);
+        assert_eq!(summary.p50_ns, 500);
+        assert_eq!(summary.p99_ns, 990);
+        assert_eq!(summary.p999_ns, 999);
+        assert_eq!(summary.max_ns, 1000);
+        assert_eq!(summary.mean_ns, 500); // (1000+1)/2 truncated
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let sorted = [42u64];
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(quantile(&sorted, p), 42);
+        }
+    }
+
+    #[test]
+    fn empty_recorder_has_no_summary() {
+        assert!(LatencyRecorder::new().summary().is_none());
+    }
+}

@@ -1,0 +1,271 @@
+//! Synthetic request populations: seeded, deterministic, Zipf-popular.
+//!
+//! A real deployment of universally-optimal-mechanism serving sees a
+//! heavy-tailed mix of *distinct* `(n, α, loss)` requests — optimality is
+//! query- and loss-specific, so every consumer shape is its own cache key.
+//! This module samples such a population once (seeded `StdRng`, so the same
+//! seed always yields byte-identical request bodies) and then draws request
+//! *arrivals* from a Zipf popularity distribution over it: rank `k` is
+//! requested with probability proportional to `1/(k+1)^s`. The head of the
+//! distribution stresses the response cache's hit path; the tail keeps real
+//! LP solves in the mix.
+
+use std::collections::HashSet;
+
+use privmech_core::PrivacyLevel;
+use privmech_serve::json::{self, Json};
+use privmech_serve::proto::{matrix_to_wire, ConsumerSpec, LossSpec, WireScalar};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A Zipf(s) sampler over ranks `0..count`: rank `k` is drawn with
+/// probability proportional to `1/(k+1)^s`. Sampling is one uniform draw
+/// plus a binary search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities; `cdf[k]` = P(rank ≤ k). The last entry is
+    /// exactly 1.0 by construction.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `count ≥ 1` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform; larger `s` concentrates mass on low ranks).
+    ///
+    /// # Panics
+    /// If `count == 0` or `exponent` is not finite and non-negative.
+    #[must_use]
+    pub fn new(count: usize, exponent: f64) -> Self {
+        assert!(count > 0, "a Zipf sampler needs at least one rank");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut cdf: Vec<f64> = Vec::with_capacity(count);
+        let mut total = 0.0;
+        for k in 0..count {
+            total += ((k + 1) as f64).powf(-exponent);
+            cdf.push(total);
+        }
+        for p in &mut cdf {
+            *p /= total;
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The probability of rank `k` (0-indexed).
+    #[must_use]
+    pub fn probability(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First rank whose cumulative probability covers u.
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Parameters of a synthetic population. Two equal configs generate
+/// byte-identical template sets.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Master seed for template generation (arrival sampling takes its own
+    /// seed so the same population can serve many request sequences).
+    pub seed: u64,
+    /// Number of distinct request templates (Zipf ranks).
+    pub templates: usize,
+    /// Zipf popularity exponent (≈1.1 is the classic web-traffic shape).
+    pub zipf_exponent: f64,
+    /// Largest query-range bound `n` sampled (inclusive; smallest is 2).
+    pub max_n: usize,
+    /// Relative weight of `solve` templates.
+    pub solve_weight: u32,
+    /// Relative weight of `sweep` templates.
+    pub sweep_weight: u32,
+    /// Relative weight of `interact` templates.
+    pub interact_weight: u32,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 7,
+            templates: 64,
+            zipf_exponent: 1.1,
+            max_n: 6,
+            solve_weight: 6,
+            sweep_weight: 3,
+            interact_weight: 1,
+        }
+    }
+}
+
+/// One distinct request shape: a complete request object minus the `v` and
+/// `id` envelope fields (the runner stamps those per arrival).
+#[derive(Debug, Clone)]
+pub struct RequestTemplate {
+    /// The wire op (`"solve"`, `"sweep"` or `"interact"`) — the latency
+    /// bucket this template's arrivals are recorded under.
+    pub op: &'static str,
+    /// The request body. Cloned and extended with `v`/`id` at send time.
+    pub body: Json,
+}
+
+/// A generated template set plus its popularity distribution.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// The distinct templates, most popular first (rank order).
+    pub templates: Vec<RequestTemplate>,
+    /// Popularity over template ranks.
+    pub zipf: ZipfSampler,
+}
+
+impl Population {
+    /// Generate the population for `config`: deterministic in `config` (same
+    /// config, same templates, byte for byte). Distinctness is guaranteed by
+    /// re-rolling collisions on the rendered body.
+    #[must_use]
+    pub fn generate(config: &WorkloadConfig) -> Self {
+        assert!(config.templates > 0, "population needs at least 1 template");
+        assert!(config.max_n >= 2, "max_n must be at least 2");
+        let total_weight = config.solve_weight + config.sweep_weight + config.interact_weight;
+        assert!(total_weight > 0, "op weights must not all be zero");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut templates = Vec::with_capacity(config.templates);
+        while templates.len() < config.templates {
+            let pick = rng.gen_range(0..total_weight);
+            let op: &'static str = if pick < config.solve_weight {
+                "solve"
+            } else if pick < config.solve_weight + config.sweep_weight {
+                "sweep"
+            } else {
+                "interact"
+            };
+            let n = rng.gen_range(2..=config.max_n);
+            let body = if rng.gen_bool(0.5) {
+                build_body::<privmech_numerics::Rational>(&mut rng, op, n)
+            } else {
+                build_body::<f64>(&mut rng, op, n)
+            };
+            let Some(body) = body else { continue };
+            // Distinctness by rendered bytes; collisions re-roll (the space
+            // of shapes is far larger than any practical template count, so
+            // this terminates fast).
+            if seen.insert(json::to_string(&body)) {
+                templates.push(RequestTemplate { op, body });
+            }
+        }
+        Population {
+            templates,
+            zipf: ZipfSampler::new(config.templates, config.zipf_exponent),
+        }
+    }
+
+    /// Draw a sequence of `count` template ranks (the arrival sequence),
+    /// deterministic in `seed`.
+    #[must_use]
+    pub fn sample_indices(&self, seed: u64, count: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| self.zipf.sample(&mut rng)).collect()
+    }
+}
+
+/// Sample a privacy parameter α ∈ (0, 1) as a small exact fraction — exact
+/// fractions keep the rational backend honest and render identically under
+/// both backends' wire forms for equal values of distinct spellings.
+fn sample_alpha<T: WireScalar>(rng: &mut StdRng) -> T {
+    let den = rng.gen_range(3i64..=12);
+    let num = rng.gen_range(1i64..den);
+    T::from_ratio(num, den)
+}
+
+fn sample_loss<T: WireScalar>(rng: &mut StdRng, n: usize) -> LossSpec<T> {
+    match rng.gen_range(0u32..4) {
+        0 => LossSpec::Absolute,
+        1 => LossSpec::Squared,
+        2 => LossSpec::ZeroOne,
+        _ => LossSpec::Tolerance(rng.gen_range(1..=n.max(2) - 1)),
+    }
+}
+
+/// Build one request body for `op` at query-range bound `n`. Returns `None`
+/// when a sampled shape is unusable (e.g. a geometric mechanism failing to
+/// build for a degenerate α) — the caller re-rolls.
+fn build_body<T: WireScalar>(rng: &mut StdRng, op: &'static str, n: usize) -> Option<Json> {
+    let loss = sample_loss::<T>(rng, n);
+    let spec = ConsumerSpec::<T>::minimax(n, loss);
+    let base = spec.encode_onto(
+        Json::obj()
+            .with("op", Json::str(op))
+            .with("scalar", Json::str(T::TAG)),
+    );
+    match op {
+        "solve" => {
+            let alpha: T = sample_alpha(rng);
+            Some(base.with("alpha", alpha.to_wire()))
+        }
+        "sweep" => {
+            let points = rng.gen_range(2usize..=4);
+            let alphas: Vec<Json> = (0..points)
+                .map(|_| sample_alpha::<T>(rng).to_wire())
+                .collect();
+            Some(base.with("alphas", Json::Arr(alphas)))
+        }
+        "interact" => {
+            // Deploy a tailored geometric mechanism for one α, then ask the
+            // server for another consumer's optimal post-processing of it —
+            // the paper's oblivious-deployment scenario as traffic.
+            let alpha: T = sample_alpha(rng);
+            let level = PrivacyLevel::new(alpha).ok()?;
+            let mechanism = privmech_core::geometric_mechanism(n, &level).ok()?;
+            Some(base.with("mechanism", matrix_to_wire(mechanism.matrix())))
+        }
+        _ => unreachable!("op mix only produces the three compute ops"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_probabilities_sum_to_one_and_decrease() {
+        let zipf = ZipfSampler::new(16, 1.1);
+        let total: f64 = (0..16).map(|k| zipf.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for k in 1..16 {
+            assert!(zipf.probability(k) < zipf.probability(k - 1));
+        }
+    }
+
+    #[test]
+    fn population_is_distinct_and_op_tagged() {
+        let population = Population::generate(&WorkloadConfig::default());
+        let mut rendered = HashSet::new();
+        for template in &population.templates {
+            assert!(matches!(template.op, "solve" | "sweep" | "interact"));
+            assert_eq!(
+                template.body.get("op").and_then(Json::as_str),
+                Some(template.op)
+            );
+            assert!(rendered.insert(json::to_string(&template.body)));
+        }
+        assert_eq!(rendered.len(), 64);
+    }
+}

@@ -10,6 +10,7 @@
 //! privmech-serve [--addr HOST:PORT] [--threads N] [--cache-capacity N]
 //!                [--cache-shards N] [--neg-cache-capacity N]
 //!                [--sweep-threads N] [--cache-file PATH] [--verify-hits]
+//!                [--max-inflight N]
 //! ```
 
 use privmech_serve::server::{self, ServerConfig};
@@ -42,12 +43,16 @@ fn main() {
             }
             "--cache-file" => config.cache_file = Some(value("--cache-file").into()),
             "--verify-hits" => config.verify_hits = true,
+            "--max-inflight" => {
+                config.max_inflight_per_conn = parse(&value("--max-inflight"), "--max-inflight")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: privmech-serve [--addr HOST:PORT] [--threads N] \
                      [--cache-capacity N] [--cache-shards N] [--neg-cache-capacity N] \
-                     [--sweep-threads N] [--cache-file PATH] [--verify-hits]"
+                     [--sweep-threads N] [--cache-file PATH] [--verify-hits] \
+                     [--max-inflight N]"
                 );
                 std::process::exit(2);
             }

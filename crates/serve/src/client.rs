@@ -130,6 +130,11 @@ pub struct CacheStatsReply {
     pub neg_entries: u64,
     /// Negative-cache capacity.
     pub neg_capacity: u64,
+    /// Per-connection in-flight cap (0 = unbounded; 0 against pre-PR7
+    /// servers, which did not bound the queue).
+    pub max_inflight: u64,
+    /// High-water mark of any single connection's in-flight depth.
+    pub inflight_peak: u64,
 }
 
 /// A handle to one in-flight request, matched against completions by its
@@ -426,6 +431,8 @@ impl Client {
             neg_evictions: opt("neg_evictions"),
             neg_entries: opt("neg_entries"),
             neg_capacity: opt("neg_capacity"),
+            max_inflight: opt("max_inflight"),
+            inflight_peak: opt("inflight_peak"),
         })
     }
 
@@ -433,6 +440,19 @@ impl Client {
     /// the raw result object (`{ops: {<op>: {count, total_ns, buckets}}}`).
     pub fn metrics(&mut self) -> Result<Json, ClientError> {
         let response = self.call(Json::obj().with("op", Json::str("metrics")))?;
+        result_of(&response).cloned()
+    }
+
+    /// Fetch the server's latency histograms **and zero them** in one op
+    /// (`metrics` with `reset: true`) — the snapshot covers everything since
+    /// the last reset, and the next window starts empty. For back-to-back
+    /// measurement runs; see `PROTOCOL.md` § metrics.
+    pub fn metrics_reset(&mut self) -> Result<Json, ClientError> {
+        let response = self.call(
+            Json::obj()
+                .with("op", Json::str("metrics"))
+                .with("reset", Json::Bool(true)),
+        )?;
         result_of(&response).cloned()
     }
 

@@ -102,6 +102,41 @@ impl LatencyHistogram {
             )
             .with("buckets", Json::Arr(buckets))
     }
+
+    /// Atomically-per-counter take the histogram's contents: render the same
+    /// wire object as [`LatencyHistogram::to_wire`] while zeroing every
+    /// counter via `swap(0)`. Concurrent recordings may straddle the reset
+    /// (landing partly in each window) — the right trade for observability
+    /// counters, same as the racing snapshot in `to_wire`.
+    fn take_wire(&self) -> Json {
+        let mut buckets = Vec::new();
+        for (k, bucket) in self.buckets.iter().enumerate() {
+            let count = bucket.swap(0, Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let le_ns = if k == BUCKET_COUNT - 1 {
+                0
+            } else {
+                bucket_upper_ns(k)
+            };
+            buckets.push(
+                Json::obj()
+                    .with("le_ns", Json::num_u64(le_ns))
+                    .with("count", Json::num_u64(count)),
+            );
+        }
+        Json::obj()
+            .with(
+                "count",
+                Json::num_u64(self.count.swap(0, Ordering::Relaxed)),
+            )
+            .with(
+                "total_ns",
+                Json::num_u64(self.total_ns.swap(0, Ordering::Relaxed)),
+            )
+            .with("buckets", Json::Arr(buckets))
+    }
 }
 
 /// Per-operation latency histograms, indexed by [`TRACKED_OPS`].
@@ -157,6 +192,22 @@ impl Metrics {
         }
         Json::obj().with("ops", ops)
     }
+
+    /// Render the `metrics` op result exactly as [`Metrics::to_wire`] would,
+    /// while zeroing every histogram — the `metrics` op's `reset: true` form.
+    /// Recordings racing the reset may straddle the window boundary; callers
+    /// wanting exact windows should quiesce traffic around the reset.
+    #[must_use]
+    pub fn snapshot_and_reset(&self) -> Json {
+        let mut ops = Json::obj();
+        for (op, histogram) in TRACKED_OPS.iter().zip(&self.histograms) {
+            if histogram.count() == 0 {
+                continue;
+            }
+            ops = ops.with(op, histogram.take_wire());
+        }
+        Json::obj().with("ops", ops)
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +251,23 @@ mod tests {
         // The rendering is valid, deterministic JSON.
         let text = json::to_string(&wire);
         assert_eq!(json::to_string(&json::parse(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn snapshot_and_reset_returns_window_then_zeroes() {
+        let metrics = Metrics::new();
+        metrics.record("solve", 1_500);
+        metrics.record("sweep", 900);
+        // The reset snapshot is byte-identical to a plain snapshot of the
+        // same window...
+        let plain = json::to_string(&metrics.to_wire());
+        let taken = metrics.snapshot_and_reset();
+        assert_eq!(json::to_string(&taken), plain);
+        // ...and afterwards the window is empty (all ops omitted).
+        assert_eq!(json::to_string(&metrics.to_wire()), "{\"ops\":{}}");
+        assert_eq!(metrics.histogram("solve").unwrap().count(), 0);
+        // New recordings land in the fresh window.
+        metrics.record("solve", 2_500);
+        assert_eq!(metrics.histogram("solve").unwrap().count(), 1);
     }
 }

@@ -583,6 +583,56 @@ pub fn assemble_solves<'a>(items: impl IntoIterator<Item = &'a str>) -> String {
     out
 }
 
+/// Split a monolithic sweep rendering `{"solves":[...]}` back into the
+/// renderings of its items, in order — the lexical inverse of
+/// [`assemble_solves`]. The server replays cached sweeps as v2 streams
+/// through this instead of a full tree parse: each returned slice is
+/// byte-identical to the item rendering originally assembled, so a replayed
+/// `sweep_item` costs a slice copy rather than a parse, a tree clone and a
+/// re-render. Returns `None` when the input is not of the assembled shape
+/// (wrong envelope, unbalanced nesting, or an unterminated string).
+#[must_use]
+pub fn split_solves(monolithic: &str) -> Option<Vec<&str>> {
+    let inner = monolithic
+        .strip_prefix("{\"solves\":[")?
+        .strip_suffix("]}")?;
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut item_start = 0usize;
+    for (i, &b) in inner.as_bytes().iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.checked_sub(1)?,
+            b',' if depth == 0 => {
+                items.push(&inner[item_start..i]);
+                item_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        return None;
+    }
+    items.push(&inner[item_start..]);
+    Some(items)
+}
+
 /// Encode [`PivotStats`] as a response object.
 ///
 /// The devex and dual-simplex counters are emitted **only when nonzero**:
@@ -678,6 +728,32 @@ pub fn mechanism_from_wire<T: WireScalar>(value: &Json) -> Result<Mechanism<T>, 
 mod tests {
     use super::*;
     use privmech_numerics::rat;
+
+    #[test]
+    fn split_solves_inverts_assemble_solves() {
+        // Items with nested arrays/objects, commas inside strings, and
+        // escaped quotes — everything the depth/string tracker must survive.
+        let items = [
+            r#"{"alpha":{"num":1,"den":3},"mechanism":[[1,0],[0,1]],"stats":{"pivots":2}}"#,
+            r#"{"note":"a,b],} \" tricky","stats":{"pivots":0}}"#,
+            r#"{"loss":"absolute","stats":{"pivots":7}}"#,
+        ];
+        let monolithic = assemble_solves(items.iter().copied());
+        let split = split_solves(&monolithic).expect("assembled shape");
+        assert_eq!(split, items);
+
+        assert_eq!(
+            split_solves("{\"solves\":[]}").expect("empty sweep"),
+            Vec::<&str>::new()
+        );
+        let single = assemble_solves(std::iter::once(items[0]));
+        assert_eq!(split_solves(&single).expect("single"), vec![items[0]]);
+
+        // Non-assembled shapes are rejected, not mis-split.
+        assert!(split_solves("{\"other\":[]}").is_none());
+        assert!(split_solves("{\"solves\":[{]}").is_none());
+        assert!(split_solves("{\"solves\":[\"unterminated]}").is_none());
+    }
 
     #[test]
     fn rational_wire_round_trip() {

@@ -40,7 +40,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -86,6 +86,13 @@ pub struct ServerConfig {
     /// dumped on shutdown, so a restarted server keeps its hot set (entries
     /// are portable by the bit-identity contract).
     pub cache_file: Option<PathBuf>,
+    /// Per-connection bound on decoded requests in flight (queued for or
+    /// executing on the worker pool). At the cap the connection's reader
+    /// thread stops reading frames — real backpressure through the kernel's
+    /// TCP receive window — and resumes as terminal frames are written, so a
+    /// client pipelining thousands of requests costs bounded server memory.
+    /// 0 disables the bound.
+    pub max_inflight_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +106,7 @@ impl Default for ServerConfig {
             verify_hits: false,
             sweep_threads: 1,
             cache_file: None,
+            max_inflight_per_conn: 256,
         }
     }
 }
@@ -113,6 +121,18 @@ struct Shared {
     /// failures, with counters separate from `cache` so error hits don't
     /// pollute the solve hit rate.
     neg_cache: ShardedCache<Arc<str>>,
+    /// Response-cache keys by *lexically canonical* request rendering. A
+    /// compute request's cache key is derived from its validated
+    /// fingerprint, which costs a full validation pass (loss-matrix
+    /// construction included) on every arrival — even a cache hit. Identical
+    /// canonical request bytes always validate to the identical fingerprint,
+    /// so once a request has validated, repeats can map straight to the
+    /// response-cache key and skip validation entirely. Misses here are
+    /// conservative (a differently-spelled equivalent request falls through
+    /// to full validation and lands on the same response key); entries are
+    /// only written after a successful validation; the memo is bypassed
+    /// under `verify_hits` so verification still re-validates everything.
+    key_memo: ShardedCache<Arc<str>>,
     /// Per-op latency histograms (the `metrics` op).
     metrics: Metrics,
     verify_hits: bool,
@@ -128,6 +148,13 @@ struct Shared {
     readers: Mutex<Vec<JoinHandle<()>>>,
     cache_file: Option<PathBuf>,
     dumped: AtomicBool,
+    /// Per-connection in-flight cap ([`ServerConfig::max_inflight_per_conn`];
+    /// 0 = unbounded).
+    max_inflight: usize,
+    /// High-water mark of any single connection's in-flight depth since
+    /// startup — reported by the `stats` op so load harnesses can see how
+    /// close clients come to the backpressure cap.
+    inflight_peak: AtomicU64,
 }
 
 impl Shared {
@@ -167,12 +194,48 @@ struct ConnWriter {
     /// A clone of the socket so a failed writer can tear the whole
     /// connection down (unblocking its reader thread too).
     stream: TcpStream,
+    /// Number of this connection's requests decoded but not yet answered
+    /// with a terminal frame. The reader blocks on [`ConnWriter::acquire`]
+    /// at the configured cap; workers release in [`run_job`] after the
+    /// terminal write.
+    inflight: Mutex<usize>,
+    /// Signalled on every release so a reader parked at the cap wakes.
+    inflight_cv: Condvar,
 }
 
 impl ConnWriter {
     /// Whether a write has already failed (the connection is unrecoverable).
     fn is_dead(&self) -> bool {
         self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Take one in-flight slot, blocking while the connection is at `cap`
+    /// (0 = unbounded). Returns the new depth, or `None` if the connection
+    /// died or the server stopped while waiting — the reader should close.
+    /// The wait is a timed loop rather than a bare `Condvar::wait` so a stop
+    /// signalled with no releases forthcoming still unblocks the reader.
+    fn acquire(&self, cap: usize, stop: &AtomicBool) -> Option<usize> {
+        let mut depth = self.inflight.lock().expect("inflight gate poisoned");
+        while cap != 0 && *depth >= cap {
+            if self.is_dead() || stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .inflight_cv
+                .wait_timeout(depth, std::time::Duration::from_millis(50))
+                .expect("inflight gate poisoned");
+            depth = guard;
+        }
+        *depth += 1;
+        Some(*depth)
+    }
+
+    /// Return an in-flight slot (the request's terminal frame is written).
+    fn release(&self) {
+        let mut depth = self.inflight.lock().expect("inflight gate poisoned");
+        *depth = depth.saturating_sub(1);
+        drop(depth);
+        self.inflight_cv.notify_one();
     }
 
     fn send(&self, frame: &Json) -> io::Result<()> {
@@ -301,6 +364,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
         neg_cache: ShardedCache::new(config.neg_cache_capacity, config.cache_shards),
+        key_memo: ShardedCache::new(config.cache_capacity, config.cache_shards),
         metrics: Metrics::new(),
         verify_hits: config.verify_hits,
         sweep_threads: config.sweep_threads.max(1),
@@ -311,6 +375,8 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         readers: Mutex::new(Vec::new()),
         cache_file: config.cache_file.clone(),
         dumped: AtomicBool::new(false),
+        max_inflight: config.max_inflight_per_conn,
+        inflight_peak: AtomicU64::new(0),
     });
     if let Some(path) = &shared.cache_file {
         match persist::load(path, &shared.cache, &shared.neg_cache) {
@@ -422,11 +488,23 @@ fn read_connection(shared: &Arc<Shared>, stream: TcpStream, jobs_tx: &Sender<Job
         inner: Mutex::new(BufWriter::new(stream)),
         dead: AtomicBool::new(false),
         stream: writer_stream,
+        inflight: Mutex::new(0),
+        inflight_cv: Condvar::new(),
     });
     loop {
         match read_frame(&mut reader) {
             Ok(None) => break,
             Ok(Some(payload)) => {
+                // Backpressure: take an in-flight slot *before* enqueueing;
+                // at the cap this blocks the reader, which in turn stops
+                // draining the socket, so the client's sends back up into
+                // TCP flow control instead of server memory.
+                let Some(depth) = writer.acquire(shared.max_inflight, &shared.stop) else {
+                    break;
+                };
+                shared
+                    .inflight_peak
+                    .fetch_max(depth as u64, Ordering::Relaxed);
                 let job = Job {
                     writer: Arc::clone(&writer),
                     payload,
@@ -463,6 +541,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> bool {
     // WRITE_TIMEOUT, or a broken pipe) can never deliver a byte: skip the
     // compute instead of burning a worker on it.
     if job.writer.is_dead() {
+        job.writer.release();
         return false;
     }
     let start = Instant::now();
@@ -504,6 +583,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> bool {
         shared.metrics.record(op, ns);
     }
     let _ = job.writer.send(&terminal);
+    job.writer.release();
     stop
 }
 
@@ -679,14 +759,25 @@ fn handle_payload(
                 .with("neg_misses", Json::num_u64(neg.misses))
                 .with("neg_evictions", Json::num_u64(neg.evictions))
                 .with("neg_entries", Json::num_u64(neg.entries as u64))
-                .with("neg_capacity", Json::num_u64(neg.capacity as u64));
+                .with("neg_capacity", Json::num_u64(neg.capacity as u64))
+                .with("max_inflight", Json::num_u64(shared.max_inflight as u64))
+                .with(
+                    "inflight_peak",
+                    Json::num_u64(shared.inflight_peak.load(Ordering::Relaxed)),
+                );
             (Some("stats"), ok_response(v, id, None, result), false)
         }
-        "metrics" => (
-            Some("metrics"),
-            ok_response(v, id, None, shared.metrics.to_wire()),
-            false,
-        ),
+        "metrics" => {
+            // `reset: true` returns the snapshot and zeroes the histograms
+            // in one op, giving back-to-back load runs clean measurement
+            // windows (see PROTOCOL.md § metrics).
+            let result = if request.get("reset").and_then(Json::as_bool) == Some(true) {
+                shared.metrics.snapshot_and_reset()
+            } else {
+                shared.metrics.to_wire()
+            };
+            (Some("metrics"), ok_response(v, id, None, result), false)
+        }
         "shutdown" => (
             Some("shutdown"),
             ok_response(v, id, None, Json::obj().with("stopping", Json::Bool(true))),
@@ -833,7 +924,22 @@ fn solve_to_wire<T: WireScalar>(solve: &Solve<T>) -> Json {
 /// caching).
 fn neg_key<T: WireScalar>(op: &str, spec: &ConsumerSpec<T>, extra: &str) -> String {
     let spec_canonical = json::to_string(&spec.encode_onto(Json::obj()));
-    format!("neg|{op}|{}|{spec_canonical}|{extra}", T::TAG)
+    neg_key_from(op, T::TAG, &spec_canonical, extra)
+}
+
+/// [`neg_key`] from an already-rendered canonical spec (the hot compute
+/// paths render it once and share it between the negative-cache key and the
+/// key-memo key).
+fn neg_key_from(op: &str, tag: &str, spec_canonical: &str, extra: &str) -> String {
+    format!("neg|{op}|{tag}|{spec_canonical}|{extra}")
+}
+
+/// The key-memo key of a compute request (see [`Shared::key_memo`]): op,
+/// scalar tag, the canonically re-encoded spec, and the op-specific payload
+/// rendering. Everything that feeds validation is covered, so equal memo
+/// keys imply equal validated fingerprints.
+fn memo_key(op: &str, tag: &str, spec_canonical: &str, extra: &str) -> String {
+    format!("key|{op}|{tag}|{spec_canonical}|{extra}")
 }
 
 /// One compute op, returning its **terminal** frame (non-terminal v2
@@ -851,11 +957,36 @@ fn handle_compute<T: WireScalar>(
     match op {
         "solve" => {
             let alpha = scalar_field::<T>(request, "alpha").map_err(ComputeError::from)?;
-            let neg_key = neg_key(op, &spec, &json::to_string(&alpha.to_wire()));
+            let spec_canonical = json::to_string(&spec.encode_onto(Json::obj()));
+            let alpha_canonical = json::to_string(&alpha.to_wire());
+            let memo_key = memo_key(op, T::TAG, &spec_canonical, &alpha_canonical);
+            if mode == CacheMode::Use && !shared.verify_hits {
+                // Fast hit path: a memoized key proves this exact canonical
+                // request validated before, so repeats skip straight to the
+                // cached rendering — no loss construction, no fingerprint.
+                // Routed through `serve_cached` so each request still counts
+                // exactly one response-cache lookup, and an evicted (or
+                // still-computing) entry re-validates and re-solves inline.
+                if let Some(key) = shared.key_memo.get(&memo_key) {
+                    let (result, cache) = serve_cached(shared, &key, mode, || {
+                        let validated = spec.to_request(alpha.clone())?;
+                        let solve = PrivacyEngine::with_threads(1)
+                            .solve(&validated)
+                            .map_err(WireError::from)?;
+                        Ok(solve_to_wire(&solve))
+                    })
+                    .map_err(ComputeError::from)?;
+                    return Ok(ok_response(v, id.clone(), Some(cache), result));
+                }
+            }
+            let neg_key = neg_key_from(op, T::TAG, &spec_canonical, &alpha_canonical);
             let validated = validate_negatively_cached(shared, mode, &neg_key, || {
                 spec.to_request(alpha.clone())
             })?;
             let key = format!("solve|{}|{}", T::TAG, validated.fingerprint().canonical());
+            if mode == CacheMode::Use {
+                shared.key_memo.insert(&memo_key, key.as_str().into());
+            }
             let (result, cache) = serve_cached(shared, &key, mode, || {
                 let solve = PrivacyEngine::with_threads(1)
                     .solve(&validated)
@@ -963,9 +1094,32 @@ fn handle_sweep<T: WireScalar>(
         ));
     }
 
+    let spec_canonical = json::to_string(&spec.encode_onto(Json::obj()));
+    let memo_key = memo_key("sweep", T::TAG, &spec_canonical, &alphas_key);
+    if mode == CacheMode::Use && !shared.verify_hits {
+        // Fast hit path (see `Shared::key_memo`): skip α/spec validation
+        // when this exact canonical request has validated before and its
+        // rendering is still cached. An evicted (or still-computing) entry
+        // falls through to the full path, whose own lookup then recounts the
+        // miss — an overcount only in that rare window.
+        if let Some(key) = shared.key_memo.get(&memo_key) {
+            if let Some(cached) = shared.cache.get(&key) {
+                if !streaming {
+                    return Ok(ok_response(
+                        v,
+                        id.clone(),
+                        Some(CacheDisposition::Hit),
+                        Json::Raw(cached),
+                    ));
+                }
+                return replay_sweep_hit(writer, v, id, &cached);
+            }
+        }
+    }
+
     // Levels and the consumer validate through the negative cache (a bad α
     // at any position, or a bad spec, is a deterministic rejection).
-    let neg_key = neg_key("sweep", spec, &alphas_key);
+    let neg_key = neg_key_from("sweep", T::TAG, &spec_canonical, &alphas_key);
     let (levels, validated) = validate_negatively_cached(shared, mode, &neg_key, || {
         let mut levels: Vec<PrivacyLevel<T>> = Vec::with_capacity(alphas.len());
         for value in alphas {
@@ -985,6 +1139,9 @@ fn handle_sweep<T: WireScalar>(
         T::TAG,
         validated.fingerprint().canonical()
     );
+    if mode == CacheMode::Use {
+        shared.key_memo.insert(&memo_key, key.as_str().into());
+    }
     let engine = PrivacyEngine::with_threads(shared.sweep_threads);
 
     if !streaming {
@@ -999,9 +1156,9 @@ fn handle_sweep<T: WireScalar>(
         return Ok(ok_response(v, id.clone(), Some(cache), result));
     }
 
-    // v2 streaming. Cache hit: replay the monolithic entry item by item
-    // (lexical-form-preserving parsing makes each replayed item
-    // byte-identical to its slice of the cached rendering).
+    // v2 streaming. Cache hit: replay the monolithic entry item by item —
+    // each `sweep_item` is a lexical slice of the cached rendering, so it is
+    // byte-identical to the frame the original miss streamed.
     if mode == CacheMode::Use {
         if let Some(cached) = shared.cache.get(&key) {
             if shared.verify_hits {
@@ -1019,26 +1176,7 @@ fn handle_sweep<T: WireScalar>(
                     )));
                 }
             }
-            let parsed = json::parse(&cached).map_err(|e| {
-                ComputeError::from(WireError::new(
-                    "internal",
-                    format!("unparsable cache entry: {e}"),
-                ))
-            })?;
-            let items = parsed.get("solves").and_then(Json::as_arr).ok_or_else(|| {
-                ComputeError::from(WireError::new("internal", "malformed cached sweep"))
-            })?;
-            let mut aggregate = privmech_core::PivotStats::default();
-            for (index, item) in items.iter().enumerate() {
-                if let Some(stats) = item.get("stats").and_then(stats_from_wire) {
-                    aggregate += &stats;
-                }
-                let _ = writer.send(&sweep_item_frame(v, id, index, item.clone()));
-            }
-            let result = Json::obj()
-                .with("count", Json::num_u64(items.len() as u64))
-                .with("stats", stats_to_wire(&aggregate));
-            return Ok(sweep_done_frame(v, id, CacheDisposition::Hit, result));
+            return replay_sweep_hit(writer, v, id, &cached);
         }
     }
 
@@ -1095,6 +1233,42 @@ fn handle_sweep<T: WireScalar>(
         .with("count", Json::num_u64(levels.len() as u64))
         .with("stats", stats_to_wire(&aggregate));
     Ok(sweep_done_frame(v, id, disposition, result))
+}
+
+/// Replay a cached monolithic sweep as a v2 stream. The cached entry is
+/// split lexically ([`crate::proto::split_solves`]) instead of parsed as a
+/// tree: per item the replay costs one slice copy into an `Arc<str>` plus a
+/// parse of the item's small trailing `"stats"` object (for the terminal
+/// aggregate) — the mechanism matrix, which dominates the entry's bytes,
+/// is never parsed.
+fn replay_sweep_hit(
+    writer: &Arc<ConnWriter>,
+    v: u64,
+    id: &Json,
+    cached: &Arc<str>,
+) -> Result<Json, ComputeError> {
+    let items = crate::proto::split_solves(cached)
+        .ok_or_else(|| ComputeError::from(WireError::new("internal", "malformed cached sweep")))?;
+    let mut aggregate = privmech_core::PivotStats::default();
+    for (index, item) in items.iter().enumerate() {
+        if let Some(stats) = item_stats(item) {
+            aggregate += &stats;
+        }
+        let _ = writer.send(&sweep_item_frame(v, id, index, Json::Raw(Arc::from(*item))));
+    }
+    let result = Json::obj()
+        .with("count", Json::num_u64(items.len() as u64))
+        .with("stats", stats_to_wire(&aggregate));
+    Ok(sweep_done_frame(v, id, CacheDisposition::Hit, result))
+}
+
+/// Parse just the trailing `"stats":{...}` object out of one cached solve
+/// rendering. [`solve_to_wire`] renders `stats` as the last field, so the
+/// object runs from the marker to the item's closing brace.
+fn item_stats(item: &str) -> Option<privmech_core::PivotStats> {
+    let at = item.rfind("\"stats\":")? + "\"stats\":".len();
+    let parsed = json::parse(item.get(at..item.len().checked_sub(1)?)?).ok()?;
+    stats_from_wire(&parsed)
 }
 
 fn scalar_field<T: WireScalar>(request: &Json, field: &str) -> Result<T, WireError> {
