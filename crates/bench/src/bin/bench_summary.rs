@@ -15,6 +15,7 @@
 //!               [--serve-pipelined] [--pipeline-n <n>] [--pipeline-points <k>]
 //!               [--pipeline-solves <s>] [--compare-forms] [--compare-n <n>]
 //!               [--warm-sweep] [--warm-n <n>] [--warm-points <k>]
+//!               [--sweep-mem] [--sweep-mem-n <n>] [--sweep-mem-points <k>]
 //! ```
 //!
 //! `--sweep` appends an α-sweep comparison record instead of the per-size
@@ -50,6 +51,13 @@
 //! certificate-verified inside the solver and asserted to land on the
 //! default path's optimal loss. CI runs this on every push so both tiers of
 //! the correctness contract are exercised outside the unit suites too.
+//!
+//! `--sweep-mem` appends a sweep peak-memory record instead: the same exact
+//! α-sweep solved sequentially under the dense tableau and under the
+//! CSR-backed revised simplex, with each pass's peak RSS (`VmHWM`, reset
+//! between passes via `/proc/self/clear_refs` where supported) recorded and
+//! the losses asserted bit-identical — the tracked number behind the PR 8
+//! claim that the CSR store shrinks sweep memory, not just wall-clock.
 //!
 //! `--warm-sweep` appends a warm-start acceptance record instead: a
 //! `warm-points`-α exact sweep at `warm-n` timed cold (sequential per-α
@@ -542,6 +550,97 @@ fn run_warm_sweep(label: &str, n: usize, points: usize, reps: usize) -> String {
     )
 }
 
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Reset the kernel's peak-RSS watermark (`echo 5 > /proc/self/clear_refs`)
+/// so per-pass peaks can be measured in one process. Returns whether the
+/// reset took effect.
+fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// The sweep peak-memory benchmark (PR 8): the same `points`-α exact sweep
+/// at size `n` solved sequentially under the dense tableau and under the
+/// CSR-backed revised simplex, recording each pass's peak RSS. The dense
+/// form materializes the full `[B⁻¹A | B⁻¹b]` tableau per solve; the
+/// revised form keeps only the CSR constraint store plus the basis
+/// factorization — this record makes that difference a tracked number.
+/// Losses are asserted bit-identical between the passes (they follow the
+/// identical pivot sequence, so anything else is a solver bug).
+fn run_sweep_mem(label: &str, n: usize, points: usize) -> String {
+    use privmech_lp::{SolverForm, SolverOptions};
+    let quick = std::env::var("PRIVMECH_SWEEP_QUICK").is_ok_and(|v| v == "1");
+    let (n, points) = if quick { (5, 3) } else { (n, points) };
+    let levels: Vec<PrivacyLevel<Rational>> = (1..=points)
+        .map(|k| PrivacyLevel::new(rat(k as i64, points as i64 + 1)).expect("alpha in (0,1)"))
+        .collect();
+    let consumer: MinimaxConsumer<Rational> = bench_consumer(n);
+    let engine = PrivacyEngine::with_threads(1);
+    let run_pass = |form: SolverForm| -> Vec<_> {
+        levels
+            .iter()
+            .map(|level| {
+                let req =
+                    direct_request(level.clone(), consumer.clone()).with_options(SolverOptions {
+                        form,
+                        ..SolverOptions::default()
+                    });
+                engine.solve(&req).expect("solvable LP")
+            })
+            .collect()
+    };
+
+    // Revised first: without watermark resets `VmHWM` is monotone, so this
+    // order can only *understate* the dense pass's margin, never fake one.
+    let reset_supported = reset_peak_rss();
+    eprintln!("sweep-mem: {points}-α CSR revised-simplex pass at n = {n} ...");
+    let revised = run_pass(SolverForm::Revised);
+    let revised_peak = peak_rss_bytes().unwrap_or(0);
+
+    if reset_supported {
+        reset_peak_rss();
+    }
+    eprintln!("sweep-mem: {points}-α dense-tableau pass at n = {n} ...");
+    let dense = run_pass(SolverForm::Dense);
+    let dense_peak = peak_rss_bytes().unwrap_or(0);
+
+    for (r, d) in revised.iter().zip(&dense) {
+        assert_eq!(
+            r.loss, d.loss,
+            "dense ≡ revised: sweep losses must be bit-identical"
+        );
+        assert_eq!(r.mechanism, d.mechanism, "mechanisms must be bit-identical");
+    }
+    assert!(
+        revised_peak <= dense_peak,
+        "the CSR revised pass must not out-allocate the dense tableau \
+         (revised {revised_peak} B vs dense {dense_peak} B)"
+    );
+
+    let ratio = dense_peak as f64 / revised_peak.max(1) as f64;
+    eprintln!(
+        "peak RSS — revised/CSR: {:.1} MiB | dense tableau: {:.1} MiB ({ratio:.2}x) \
+         [watermark resets {}]",
+        revised_peak as f64 / (1024.0 * 1024.0),
+        dense_peak as f64 / (1024.0 * 1024.0),
+        if reset_supported { "on" } else { "OFF" },
+    );
+
+    format!(
+        "{{\"label\": \"{label}\", \"sweep_mem\": {{\"n\": {n}, \"points\": {points}, \
+         \"scalar\": \"rational\", \"peak_rss_revised_bytes\": {revised_peak}, \
+         \"peak_rss_dense_bytes\": {dense_peak}, \"dense_over_revised\": {ratio:.4}, \
+         \"peak_reset_supported\": {reset_supported}, \"losses_identical\": true}}}}"
+    )
+}
+
 /// The serving-layer acceptance benchmark: `points` distinct exact solves at
 /// size `n` driven through a real `privmech-serve` TCP round trip, cold
 /// (every request misses) vs cached (`repeat` hot passes, every request
@@ -870,6 +969,9 @@ fn main() {
     let mut sweep_n = 6usize;
     let mut sweep_points = 16usize;
     let mut sweep_threads = 4usize;
+    let mut sweep_mem = false;
+    let mut sweep_mem_n = 10usize;
+    let mut sweep_mem_points = 4usize;
     let mut serve = false;
     let mut serve_n = 6usize;
     let mut serve_points = 8usize;
@@ -924,6 +1026,21 @@ fn main() {
                     .expect("--sweep-threads needs a value")
                     .parse()
                     .expect("--sweep-threads needs an integer")
+            }
+            "--sweep-mem" => sweep_mem = true,
+            "--sweep-mem-n" => {
+                sweep_mem_n = args
+                    .next()
+                    .expect("--sweep-mem-n needs a value")
+                    .parse()
+                    .expect("--sweep-mem-n needs an integer")
+            }
+            "--sweep-mem-points" => {
+                sweep_mem_points = args
+                    .next()
+                    .expect("--sweep-mem-points needs a value")
+                    .parse()
+                    .expect("--sweep-mem-points needs an integer")
             }
             "--compare-forms" => compare_forms = true,
             "--warm-sweep" => warm_sweep = true,
@@ -1000,7 +1117,8 @@ fn main() {
                      [--serve] [--serve-n N] [--serve-points K] [--serve-repeat R] \
                      [--serve-pipelined] [--pipeline-n N] [--pipeline-points K] \
                      [--pipeline-solves S] [--compare-forms] [--compare-n N] \
-                     [--warm-sweep] [--warm-n N] [--warm-points K]"
+                     [--warm-sweep] [--warm-n N] [--warm-points K] \
+                     [--sweep-mem] [--sweep-mem-n N] [--sweep-mem-points K]"
                 );
                 std::process::exit(2);
             }
@@ -1015,6 +1133,8 @@ fn main() {
         run_serve_pipelined(&label, pipeline_n, pipeline_points, pipeline_solves)
     } else if serve {
         run_serve(&label, serve_n, serve_points, serve_repeat)
+    } else if sweep_mem {
+        run_sweep_mem(&label, sweep_mem_n, sweep_mem_points)
     } else if sweep {
         run_sweep(&label, sweep_n, sweep_points, sweep_threads)
     } else {

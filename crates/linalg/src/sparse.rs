@@ -16,6 +16,365 @@
 
 use crate::scalar::Scalar;
 
+/// A borrowed sparse vector: parallel index/value slices, indices strictly
+/// increasing, no stored zeros. This is the view type handed out by
+/// [`Csr::row`] and consumed by the revised simplex's FTRAN/refactorization
+/// interfaces — a `Copy` pair of slices, so passing one is free.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseVec<'a, T> {
+    idx: &'a [usize],
+    val: &'a [T],
+}
+
+impl<'a, T: Scalar> SparseVec<'a, T> {
+    /// View over parallel index/value slices.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    #[must_use]
+    pub fn new(idx: &'a [usize], val: &'a [T]) -> Self {
+        assert_eq!(idx.len(), val.len(), "index/value slices must be parallel");
+        SparseVec { idx, val }
+    }
+
+    /// The index slice.
+    #[must_use]
+    pub fn indices(&self) -> &'a [usize] {
+        self.idx
+    }
+
+    /// The value slice, parallel to [`SparseVec::indices`].
+    #[must_use]
+    pub fn values(&self) -> &'a [T] {
+        self.val
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether the vector stores no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Iterate the `(index, value)` entries in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &'a T)> + 'a {
+        self.idx.iter().copied().zip(self.val.iter())
+    }
+
+    /// Owned `(index, value)` pairs (for callers that need to re-sort or
+    /// mutate a working copy, e.g. the LU refactorization).
+    #[must_use]
+    pub fn to_pairs(&self) -> Vec<(usize, T)> {
+        self.iter().map(|(i, v)| (i, v.clone())).collect()
+    }
+
+    /// Scatter the entries into the (all-zero) dense `work` vector — the
+    /// view-typed twin of [`scatter`].
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds for `work`.
+    pub fn scatter_into(&self, work: &mut [T]) {
+        for (i, v) in self.iter() {
+            work[i] = v.clone();
+        }
+    }
+
+    /// Sparse dot product `Σ val · dense[idx]`, skipping terms whose dense
+    /// operand is exactly zero — the view-typed twin of [`sparse_dot`].
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds for `dense`.
+    #[must_use]
+    pub fn dot(&self, dense: &[T]) -> T {
+        let mut acc = T::zero();
+        for (i, v) in self.iter() {
+            if !dense[i].is_exactly_zero() {
+                acc.add_mul_assign(v, &dense[i]);
+            }
+        }
+        acc
+    }
+}
+
+/// A compressed-sparse-row matrix: the constraint store behind the LP
+/// solver's standard form (`privmech-lp`'s `SOLVER.md` § CSR constraint
+/// store).
+///
+/// Layout: the classic three-array CSR. `row_ptr` has one entry per row plus
+/// a final sentinel; row `i`'s entries live at `row_ptr[i]..row_ptr[i + 1]`
+/// in the parallel `col_idx`/`values` arrays. Invariants, enforced by every
+/// constructor and checkable via [`Csr::check_invariants`]:
+///
+/// 1. `row_ptr[0] == 0`, `row_ptr` is monotone non-decreasing (strictly
+///    increasing across non-empty rows), and its last entry equals the
+///    stored-entry count;
+/// 2. within each row, column indices are **strictly increasing** and less
+///    than [`Csr::num_cols`];
+/// 3. no stored value is exactly zero.
+///
+/// Rows therefore iterate in column order and columns of the
+/// [`Csr::transpose`] iterate in row order, which is exactly the iteration
+/// order the pivot-identity contract of the LP solver depends on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T: Scalar> {
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// An empty matrix with `n_rows` rows and `n_cols` columns.
+    #[must_use]
+    pub fn empty(n_rows: usize, n_cols: usize) -> Self {
+        Csr {
+            n_cols,
+            row_ptr: vec![0; n_rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from per-row `(column, value)` entry lists. Entries within a row
+    /// may arrive unsorted and may repeat a column: they are stably sorted by
+    /// column, duplicates are summed **in arrival order** (matching what a
+    /// dense accumulation row would compute, bit for bit on `f64`), and
+    /// entries whose final value is exactly zero are dropped.
+    ///
+    /// # Panics
+    /// Panics if a column index is out of bounds.
+    #[must_use]
+    pub fn from_rows(n_cols: usize, rows: Vec<Vec<(usize, T)>>) -> Self {
+        let mut out = Csr {
+            n_cols,
+            row_ptr: Vec::with_capacity(rows.len() + 1),
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        };
+        out.row_ptr.push(0);
+        for mut row in rows {
+            row.sort_by_key(|&(c, _)| c);
+            let mut iter = row.into_iter();
+            if let Some((mut col, mut acc)) = iter.next() {
+                assert!(
+                    col < n_cols,
+                    "column index {col} out of bounds ({n_cols} columns)"
+                );
+                for (c, v) in iter {
+                    assert!(
+                        c < n_cols,
+                        "column index {c} out of bounds ({n_cols} columns)"
+                    );
+                    if c == col {
+                        acc.add_assign_ref(&v);
+                    } else {
+                        if !acc.is_exactly_zero() {
+                            out.col_idx.push(col);
+                            out.values.push(acc);
+                        }
+                        col = c;
+                        acc = v;
+                    }
+                }
+                if !acc.is_exactly_zero() {
+                    out.col_idx.push(col);
+                    out.values.push(acc);
+                }
+            }
+            out.row_ptr.push(out.col_idx.len());
+        }
+        debug_assert!(out.check_invariants().is_ok());
+        out
+    }
+
+    /// Build from dense rows, dropping exactly-zero cells.
+    ///
+    /// # Panics
+    /// Panics if a row's length differs from `n_cols`.
+    #[must_use]
+    pub fn from_dense(n_cols: usize, rows: &[Vec<T>]) -> Self {
+        let mut out = Csr {
+            n_cols,
+            row_ptr: Vec::with_capacity(rows.len() + 1),
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        };
+        out.row_ptr.push(0);
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "dense row length must equal n_cols");
+            for (c, v) in row.iter().enumerate() {
+                if !v.is_exactly_zero() {
+                    out.col_idx.push(c);
+                    out.values.push(v.clone());
+                }
+            }
+            out.row_ptr.push(out.col_idx.len());
+        }
+        debug_assert!(out.check_invariants().is_ok());
+        out
+    }
+
+    /// Materialize as dense rows (zeros included) — the oracle direction of
+    /// the dense ↔ CSR round-trip, and what the dense-tableau solver scatters
+    /// its initial tableau from.
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<Vec<T>> {
+        (0..self.num_rows())
+            .map(|i| {
+                let mut row = vec![T::zero(); self.n_cols];
+                for (c, v) in self.row(i).iter() {
+                    row[c] = v.clone();
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn num_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored (exactly nonzero) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Row `i` as a borrowed sparse vector (column indices strictly
+    /// increasing).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn row(&self, i: usize) -> SparseVec<'_, T> {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        SparseVec {
+            idx: &self.col_idx[lo..hi],
+            val: &self.values[lo..hi],
+        }
+    }
+
+    /// The row-pointer array (`num_rows + 1` entries, last == [`Csr::nnz`]).
+    #[must_use]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array, parallel to [`Csr::csr_values`].
+    #[must_use]
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The stored values in row-major order.
+    #[must_use]
+    pub fn csr_values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values (the equilibration path scales
+    /// them in place). The sparsity pattern is fixed: callers must keep every
+    /// value exactly nonzero, or [`Csr::check_invariants`] will fail.
+    #[must_use]
+    pub fn csr_values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// The transpose, built by a counting pass: entry order within each
+    /// transposed row follows the original **row** order, so the transpose of
+    /// a CSR matrix is the CSC view of the same matrix (columns iterate in
+    /// row order), with all invariants holding by construction.
+    #[must_use]
+    pub fn transpose(&self) -> Csr<T> {
+        let m = self.num_rows();
+        let mut counts = vec![0usize; self.n_cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for k in 0..self.n_cols {
+            counts[k + 1] += counts[k];
+        }
+        let row_ptr = counts.clone();
+        let nnz = self.nnz();
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![T::zero(); nnz];
+        for i in 0..m {
+            for (c, v) in self.row(i).iter() {
+                let slot = counts[c];
+                counts[c] += 1;
+                col_idx[slot] = i;
+                values[slot] = v.clone();
+            }
+        }
+        let out = Csr {
+            n_cols: m,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        debug_assert!(out.check_invariants().is_ok());
+        out
+    }
+
+    /// Verify every structural invariant (see the type docs), returning a
+    /// description of the first violation. Constructors `debug_assert` this;
+    /// the CSR invariant test suite calls it directly.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.row_ptr.first() != Some(&0) {
+            return Err("row_ptr must start at 0".to_string());
+        }
+        if *self.row_ptr.last().expect("row_ptr is never empty") != self.col_idx.len() {
+            return Err("row_ptr must end at nnz".to_string());
+        }
+        if self.col_idx.len() != self.values.len() {
+            return Err("col_idx and values must be parallel".to_string());
+        }
+        for w in self.row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(format!("row_ptr not monotone: {} > {}", w[0], w[1]));
+            }
+        }
+        for i in 0..self.num_rows() {
+            let cols = &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!(
+                        "row {i}: column indices not strictly increasing ({} then {})",
+                        w[0], w[1]
+                    ));
+                }
+            }
+            if let Some(&last) = cols.last() {
+                if last >= self.n_cols {
+                    return Err(format!("row {i}: column {last} out of bounds"));
+                }
+            }
+        }
+        for (k, v) in self.values.iter().enumerate() {
+            if v.is_exactly_zero() {
+                return Err(format!("stored explicit zero at entry {k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One eta column of a product-form basis inverse: the identity matrix with
 /// column [`Eta::pivot`] replaced by a sparse vector whose diagonal entry is
 /// [`Eta::pivot_value`] and whose off-diagonal nonzeros are

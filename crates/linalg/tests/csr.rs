@@ -1,0 +1,192 @@
+//! CSR invariant tests: the structural guarantees every [`Csr`] constructor
+//! must uphold (sorted column indices, monotone row pointers, no stored
+//! explicit zeros) and the dense ↔ CSR round-trip identity on random
+//! matrices — including empty rows/columns and the 1×1 edge.
+
+use privmech_linalg::sparse::Csr;
+use privmech_numerics::Rational;
+use proptest::prelude::*;
+
+/// Random sparse dense-row matrices: each cell is zero with probability ~2/3
+/// so empty rows and empty columns occur regularly.
+fn arb_dense(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = (usize, Vec<Vec<Rational>>)> {
+    // Generate a max-size grid plus the actual dimensions, then truncate:
+    // the vendored proptest shim has no `prop_flat_map`.
+    (
+        1..=max_rows,
+        1..=max_cols,
+        prop::collection::vec(
+            prop::collection::vec((-6i64..=6, 1i64..=4), max_cols),
+            max_rows,
+        ),
+    )
+        .prop_map(|(m, n, cells)| {
+            let rows = cells[..m]
+                .iter()
+                .map(|row| {
+                    row[..n]
+                        .iter()
+                        .map(|&(num, den)| {
+                            // Map |num| <= 2 to an exact zero: ~1/3 density.
+                            if num.abs() <= 2 {
+                                Rational::zero()
+                            } else {
+                                Rational::from_ratio(num, den)
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>();
+            (n, rows)
+        })
+}
+
+/// Assert every structural invariant directly (independent re-statement of
+/// `check_invariants`, so a bug there cannot mask a layout bug).
+fn assert_invariants(csr: &Csr<Rational>) {
+    csr.check_invariants().expect("invariants must hold");
+    let ptr = csr.row_ptr();
+    assert_eq!(ptr.len(), csr.num_rows() + 1);
+    assert_eq!(ptr[0], 0);
+    assert_eq!(*ptr.last().unwrap(), csr.nnz());
+    // Monotone row pointers, strictly increasing across non-empty rows.
+    for w in ptr.windows(2) {
+        assert!(w[0] <= w[1]);
+    }
+    for i in 0..csr.num_rows() {
+        let strictly_increased = ptr[i] < ptr[i + 1];
+        assert_eq!(strictly_increased, !csr.row(i).is_empty());
+        // Column indices strictly increasing within the row, in bounds.
+        let cols = csr.row(i).indices();
+        for w in cols.windows(2) {
+            assert!(w[0] < w[1], "row {i}: columns must strictly increase");
+        }
+        for &c in cols {
+            assert!(c < csr.num_cols());
+        }
+    }
+    // No stored explicit zeros.
+    for v in csr.csr_values() {
+        assert!(!v.is_zero(), "stored values must be exactly nonzero");
+    }
+    assert_eq!(csr.col_indices().len(), csr.csr_values().len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_roundtrip_is_identity((n, dense) in arb_dense(8, 8)) {
+        let csr = Csr::from_dense(n, &dense);
+        assert_invariants(&csr);
+        prop_assert_eq!(csr.to_dense(), dense);
+    }
+
+    #[test]
+    fn transpose_is_an_involution_and_preserves_invariants((n, dense) in arb_dense(7, 5)) {
+        let csr = Csr::from_dense(n, &dense);
+        let t = csr.transpose();
+        assert_invariants(&t);
+        prop_assert_eq!(t.num_rows(), csr.num_cols());
+        prop_assert_eq!(t.num_cols(), csr.num_rows());
+        prop_assert_eq!(t.nnz(), csr.nnz());
+        prop_assert_eq!(t.transpose(), csr);
+    }
+
+    #[test]
+    fn from_rows_matches_from_dense((n, dense) in arb_dense(6, 6)) {
+        // Present the same matrix as unsorted pair lists with split entries:
+        // each nonzero cell arrives as two addends in reversed column order.
+        let rows: Vec<Vec<(usize, Rational)>> = dense
+            .iter()
+            .map(|row| {
+                let mut entries = Vec::new();
+                for (j, v) in row.iter().enumerate().rev() {
+                    if !v.is_zero() {
+                        let half = v.clone() * Rational::from_ratio(1, 2);
+                        entries.push((j, half.clone()));
+                        entries.push((j, v.clone() - half));
+                    }
+                }
+                entries
+            })
+            .collect();
+        let built = Csr::from_rows(n, rows);
+        assert_invariants(&built);
+        prop_assert_eq!(built, Csr::from_dense(n, &dense));
+    }
+}
+
+#[test]
+fn one_by_one_edges() {
+    let zero: Csr<Rational> = Csr::from_dense(1, &[vec![Rational::zero()]]);
+    assert_eq!(zero.nnz(), 0);
+    assert_eq!(zero.row_ptr(), &[0, 0]);
+    assert!(zero.row(0).is_empty());
+    assert_eq!(zero.to_dense(), vec![vec![Rational::zero()]]);
+
+    let one: Csr<Rational> = Csr::from_dense(1, &[vec![Rational::from_int(7)]]);
+    assert_eq!(one.nnz(), 1);
+    assert_eq!(one.row_ptr(), &[0, 1]);
+    assert_eq!(one.row(0).indices(), &[0]);
+    assert_eq!(one.transpose(), one);
+}
+
+#[test]
+fn empty_rows_and_columns_survive_the_roundtrip() {
+    // Row 1 and column 2 are entirely empty.
+    let dense = vec![
+        vec![
+            Rational::from_int(1),
+            Rational::zero(),
+            Rational::zero(),
+            Rational::from_int(4),
+        ],
+        vec![
+            Rational::zero(),
+            Rational::zero(),
+            Rational::zero(),
+            Rational::zero(),
+        ],
+        vec![
+            Rational::zero(),
+            Rational::from_int(-2),
+            Rational::zero(),
+            Rational::zero(),
+        ],
+    ];
+    let csr = Csr::from_dense(4, &dense);
+    assert_eq!(csr.row_ptr(), &[0, 2, 2, 3]);
+    assert!(csr.row(1).is_empty());
+    assert_eq!(csr.to_dense(), dense);
+    let t = csr.transpose();
+    assert!(t.row(2).is_empty(), "empty column becomes empty row");
+    assert_eq!(t.transpose(), csr);
+
+    let empty: Csr<Rational> = Csr::empty(3, 5);
+    empty.check_invariants().expect("empty matrix is valid");
+    assert_eq!(empty.nnz(), 0);
+    assert_eq!(empty.transpose().num_rows(), 5);
+}
+
+#[test]
+fn from_rows_merges_duplicates_in_arrival_order_and_drops_zero_sums() {
+    let half = Rational::from_ratio(1, 2);
+    let rows = vec![
+        // Column 3: 1/2 + 1/2 = 1. Column 0: 2 + (-2) = 0, dropped.
+        vec![
+            (3, half.clone()),
+            (0, Rational::from_int(2)),
+            (3, half),
+            (0, Rational::from_int(-2)),
+        ],
+    ];
+    let csr = Csr::from_rows(4, rows);
+    csr.check_invariants().expect("invariants must hold");
+    assert_eq!(csr.nnz(), 1);
+    assert_eq!(csr.row(0).indices(), &[3]);
+    assert_eq!(csr.row(0).values(), &[Rational::from_int(1)]);
+}

@@ -33,7 +33,7 @@
 //! change any solver decision — property-tested across refactorization
 //! frequencies in `crates/lp/tests/properties.rs`.
 
-use privmech_linalg::sparse::{self, Eta};
+use privmech_linalg::sparse::{self, Eta, SparseVec};
 use privmech_linalg::Scalar;
 
 use crate::lu::LuFactors;
@@ -90,8 +90,10 @@ impl<T: Scalar> Basis<T> {
         }
     }
 
-    /// FTRAN: overwrite the zeroed `work` vector with `B⁻¹a`.
-    pub(crate) fn ftran(&self, work: &mut [T], column: &[(usize, T)]) {
+    /// FTRAN: overwrite the zeroed `work` vector with `B⁻¹a`. The column
+    /// arrives as a borrowed [`SparseVec`] view — typically a row of the
+    /// transposed CSR constraint store, with no per-call copy.
+    pub(crate) fn ftran(&self, work: &mut [T], column: SparseVec<'_, T>) {
         match self {
             Basis::Eta(f) => f.ftran(work, column),
             Basis::Lu(f) => f.ftran(work, column),
@@ -135,7 +137,7 @@ impl<T: Scalar> Basis<T> {
     /// sparse column `columns(c)`.
     pub(crate) fn refactorize<'a, F>(&mut self, columns: F) -> Result<(), LpError>
     where
-        F: Fn(usize) -> &'a [(usize, T)],
+        F: Fn(usize) -> SparseVec<'a, T>,
         T: 'a,
     {
         match self {
@@ -198,8 +200,8 @@ impl<T: Scalar> EtaFile<T> {
     /// FTRAN: overwrite the zeroed `work` vector with `E_k⁻¹⋯E_1⁻¹ a` for a
     /// sparse column `a`. Read position-space entries through
     /// [`EtaFile::row_of`].
-    pub(crate) fn ftran(&self, work: &mut [T], column: &[(usize, T)]) {
-        sparse::scatter(work, column);
+    pub(crate) fn ftran(&self, work: &mut [T], column: SparseVec<'_, T>) {
+        column.scatter_into(work);
         for eta in &self.etas {
             sparse::ftran_eta(work, eta);
         }
@@ -267,12 +269,13 @@ impl<T: Scalar> EtaFile<T> {
     /// nonsingular.
     pub(crate) fn refactorize<'a, F>(&mut self, columns: F) -> Result<(), LpError>
     where
-        F: Fn(usize) -> &'a [(usize, T)],
+        F: Fn(usize) -> SparseVec<'a, T>,
         T: 'a,
     {
         let m = self.dim();
         // Sparsest-first replay order (stable: ties by position) mimics a
-        // triangular factorization and keeps fill-in down.
+        // triangular factorization and keeps fill-in down. The CSR store
+        // answers the nnz query without materializing the column.
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by_key(|&c| (columns(c).len(), c));
 
@@ -282,7 +285,7 @@ impl<T: Scalar> EtaFile<T> {
         let mut used = vec![false; m];
         let mut work = vec![T::zero(); m];
         for &c in &order {
-            sparse::scatter(&mut work, columns(c));
+            columns(c).scatter_into(&mut work);
             for eta in &etas {
                 sparse::ftran_eta(&mut work, eta);
             }
@@ -318,20 +321,27 @@ mod tests {
     use super::*;
     use privmech_numerics::{rat, Rational};
 
+    /// Owned index/value storage a [`SparseVec`] view can borrow from.
+    type Col = (Vec<usize>, Vec<Rational>);
+
+    fn sv(col: &Col) -> SparseVec<'_, Rational> {
+        SparseVec::new(&col.0, &col.1)
+    }
+
     /// Columns of a small nonsingular matrix, sparse form.
-    fn columns() -> Vec<Vec<(usize, Rational)>> {
+    fn columns() -> Vec<Col> {
         // B = [[2, 0, 1], [0, 1, 1], [0, 0, 3]] by columns.
         vec![
-            vec![(0, rat(2, 1))],
-            vec![(1, rat(1, 1))],
-            vec![(0, rat(1, 1)), (1, rat(1, 1)), (2, rat(3, 1))],
+            (vec![0], vec![rat(2, 1)]),
+            (vec![1], vec![rat(1, 1)]),
+            (vec![0, 1, 2], vec![rat(1, 1), rat(1, 1), rat(3, 1)]),
         ]
     }
 
-    fn ftran_dense(file: &EtaFile<Rational>, col: &[(usize, Rational)]) -> Vec<Rational> {
+    fn ftran_dense(file: &EtaFile<Rational>, col: &Col) -> Vec<Rational> {
         let m = file.dim();
         let mut work = vec![Rational::zero(); m];
-        file.ftran(&mut work, col);
+        file.ftran(&mut work, sv(col));
         (0..m).map(|c| work[file.row_of(c)].clone()).collect()
     }
 
@@ -344,12 +354,12 @@ mod tests {
         let mut work = vec![Rational::zero(); 3];
         for (p, col) in cols.iter().enumerate() {
             sparse::clear(&mut work);
-            file.ftran(&mut work, col);
+            file.ftran(&mut work, sv(col));
             file.push_pivot(p, &work);
         }
         // Solve B x = (3, 2, 3)ᵀ: x = (1, 1, 1) since column sums are 3,2,...
         // B·(1,1,1) = (3, 2, 3)ᵀ.
-        let rhs = vec![(0, rat(3, 1)), (1, rat(2, 1)), (2, rat(3, 1))];
+        let rhs: Col = (vec![0, 1, 2], vec![rat(3, 1), rat(2, 1), rat(3, 1)]);
         let x = ftran_dense(&file, &rhs);
         assert_eq!(x, vec![rat(1, 1), rat(1, 1), rat(1, 1)]);
     }
@@ -361,16 +371,16 @@ mod tests {
         let mut work = vec![Rational::zero(); 3];
         for (p, col) in cols.iter().enumerate() {
             sparse::clear(&mut work);
-            file.ftran(&mut work, col);
+            file.ftran(&mut work, sv(col));
             file.push_pivot(p, &work);
         }
-        let rhs = vec![(0, rat(7, 1)), (1, rat(-2, 1)), (2, rat(5, 2))];
+        let rhs: Col = (vec![0, 1, 2], vec![rat(7, 1), rat(-2, 1), rat(5, 2)]);
         let before = ftran_dense(&file, &rhs);
         // BTRAN reference before refactorization.
         let mut y_before = vec![Rational::zero(); 3];
         file.btran_unit(&mut y_before, 2);
 
-        file.refactorize(|c| cols[c].as_slice()).unwrap();
+        file.refactorize(|c| sv(&cols[c])).unwrap();
         let after = ftran_dense(&file, &rhs);
         assert_eq!(before, after, "FTRAN must be factorization-independent");
         let mut y_after = vec![Rational::zero(); 3];
@@ -392,10 +402,13 @@ mod tests {
         let file: EtaFile<Rational> = EtaFile::identity(2);
         assert!(!file.should_refactor(usize::MAX));
         assert!(!file.should_refactor(1), "no pivots yet");
-        let cols = [vec![(0, rat(1, 2)), (1, rat(1, 3))], vec![(1, rat(2, 1))]];
+        let cols: Vec<Col> = vec![
+            (vec![0, 1], vec![rat(1, 2), rat(1, 3)]),
+            (vec![1], vec![rat(2, 1)]),
+        ];
         let mut file: EtaFile<Rational> = EtaFile::identity(2);
         let mut work = vec![Rational::zero(); 2];
-        file.ftran(&mut work, &cols[0]);
+        file.ftran(&mut work, sv(&cols[0]));
         file.push_pivot(0, &work);
         assert!(file.should_refactor(1));
         assert!(!file.should_refactor(2));
@@ -403,7 +416,7 @@ mod tests {
             !file.should_refactor(usize::MAX),
             "MAX disables both triggers"
         );
-        file.refactorize(|c| cols[c].as_slice()).unwrap();
+        file.refactorize(|c| sv(&cols[c])).unwrap();
         assert!(
             !file.should_refactor(1),
             "refactorization resets the counter"

@@ -31,6 +31,7 @@
 //! conditions are checked under the scalar tolerance and form a strong
 //! consistency test rather than a proof.
 
+use privmech_linalg::sparse::SparseVec;
 use privmech_linalg::Scalar;
 
 use crate::lu::LuFactors;
@@ -170,25 +171,26 @@ pub fn check_certificate<T: Scalar>(
 /// condition fails (both indicate a solver bug, never bad user input).
 pub(crate) fn certify_column_solution<T: Scalar>(sol: &ColumnSolution<T>) -> Result<(), LpError> {
     let sf = &sol.sf;
-    let m = sf.rows.len();
+    let m = sf.num_rows();
     if m == 0 {
         return Ok(());
     }
-    let cols = sf.sparse_columns();
-    let basis_cols: Vec<Vec<(usize, T)>> = sol
+    let cols = sf.matrix.transpose();
+    let basis_cols: Vec<(Vec<usize>, Vec<T>)> = sol
         .basis
         .iter()
         .enumerate()
         .map(|(position, &b)| {
             if b < sf.num_cols {
-                cols[b].clone()
+                let col = cols.row(b);
+                (col.indices().to_vec(), col.values().to_vec())
             } else {
-                vec![(position, T::one())]
+                (vec![position], vec![T::one()])
             }
         })
         .collect();
     let mut lu: LuFactors<T> = LuFactors::identity(m);
-    lu.refactorize(|c| basis_cols[c].as_slice())?;
+    lu.refactorize(|c| SparseVec::new(&basis_cols[c].0, &basis_cols[c].1))?;
 
     // yᵀ = c_Bᵀ B⁻¹ — artificials cost zero, like the phase-2 objective.
     let cb: Vec<T> = sol

@@ -47,6 +47,7 @@
 //! [`crate::simplex::SolverOptions::warm_start`] defaults to off.
 
 use privmech_linalg::sparse;
+use privmech_linalg::sparse::SparseVec;
 use privmech_linalg::Scalar;
 
 use crate::basis::Basis;
@@ -76,7 +77,7 @@ pub(crate) fn warm_reoptimize<T: Scalar>(
     options: &SolverOptions,
     stats: &mut PivotStats,
 ) -> Result<WarmOutcome<T>, LpError> {
-    let m = sf.rows.len();
+    let m = sf.num_rows();
     // Reject shapes the driver cannot reuse: dimension mismatch, duplicate
     // entries, or artificial columns (their unit-column trick is tied to the
     // *previous* form's redundant rows; a cold solve re-derives them).
@@ -84,30 +85,33 @@ pub(crate) fn warm_reoptimize<T: Scalar>(
         return Ok(WarmOutcome::Fallback(sf));
     }
 
-    let cols = sf.sparse_columns();
-    let rows = sf.sparse_rows();
+    // Column view: an owned transpose of the CSR store (row sweeps below
+    // read `sf.matrix` directly). Owned, not borrowed, because `sf` must
+    // stay movable for the mid-loop fallback return.
+    let cols = sf.matrix.transpose();
 
     let mut basis = warm_basis.to_vec();
     let mut file: Basis<T> = Basis::identity(options.factorization, m);
     {
         let basis = &basis;
         let cols = &cols;
-        if file.refactorize(|c| cols[basis[c]].as_slice()).is_err() {
+        if file.refactorize(|c| cols.row(basis[c])).is_err() {
             // Singular under the new coefficients.
             return Ok(WarmOutcome::Fallback(sf));
         }
     }
 
     // x_B = B⁻¹b, read per position through the factorization's row map.
-    let rhs_sparse: Vec<(usize, T)> = sf
-        .rhs
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| !v.is_exactly_zero())
-        .map(|(i, v)| (i, v.clone()))
-        .collect();
+    let mut rhs_idx: Vec<usize> = Vec::new();
+    let mut rhs_val: Vec<T> = Vec::new();
+    for (i, v) in sf.rhs.iter().enumerate() {
+        if !v.is_exactly_zero() {
+            rhs_idx.push(i);
+            rhs_val.push(v.clone());
+        }
+    }
     let mut work = vec![T::zero(); m];
-    file.ftran(&mut work, &rhs_sparse);
+    file.ftran(&mut work, SparseVec::new(&rhs_idx, &rhs_val));
     let mut x_b: Vec<T> = (0..m).map(|c| work[file.row_of(c)].clone()).collect();
 
     // d = c − AᵀB⁻ᵀc_B from one dense BTRAN (basic columns price to exactly
@@ -120,8 +124,8 @@ pub(crate) fn warm_reoptimize<T: Scalar>(
         if y_i.is_exactly_zero() {
             continue;
         }
-        for (j, a) in &rows[i] {
-            d[*j].sub_mul_assign(y_i, a);
+        for (j, a) in sf.matrix.row(i).iter() {
+            d[j].sub_mul_assign(y_i, a);
         }
     }
     for &b in &basis {
@@ -190,8 +194,8 @@ pub(crate) fn warm_reoptimize<T: Scalar>(
             if mult.is_exactly_zero() {
                 continue;
             }
-            for (j, a) in &rows[r] {
-                row[*j].add_mul_assign(mult, a);
+            for (j, a) in sf.matrix.row(r).iter() {
+                row[j].add_mul_assign(mult, a);
             }
         }
 
@@ -216,7 +220,7 @@ pub(crate) fn warm_reoptimize<T: Scalar>(
 
         // Pivot — the same algebra as the primal revised pivot.
         sparse::clear(&mut work);
-        file.ftran(&mut work, &cols[entering]);
+        file.ftran(&mut work, cols.row(entering));
         let pivot_value = work[file.row_of(position)].clone();
         let theta = x_b[position].div_ref(&pivot_value);
         for (r, t) in work.iter().enumerate() {
@@ -262,7 +266,7 @@ pub(crate) fn warm_reoptimize<T: Scalar>(
         if file.should_refactor(options.refactor_interval) {
             let basis = &basis;
             let cols = &cols;
-            file.refactorize(|c| cols[basis[c]].as_slice())?;
+            file.refactorize(|c| cols.row(basis[c]))?;
         }
     }
 
@@ -278,4 +282,118 @@ pub(crate) fn warm_reoptimize<T: Scalar>(
     };
     crate::certificate::certify_column_solution(&solution)?;
     Ok(WarmOutcome::Solved(solution))
+}
+
+#[cfg(test)]
+mod tests {
+    use privmech_numerics::{rat, Rational};
+
+    use super::{warm_reoptimize, WarmOutcome};
+    use crate::model::{LinExpr, Model, Relation, Sense, VarBound};
+    use crate::simplex::{PivotStats, SolverOptions};
+    use crate::standard::{build_standard_form, StandardForm};
+
+    /// min -x1 - x2  s.t.  x1 <= 1, x2 <= 1. Standard-form columns:
+    /// x1(0), x2(1), slack1(2), slack2(3); the optimal basis is [0, 1].
+    fn box_maximum() -> StandardForm<Rational> {
+        let mut m: Model<Rational> = Model::new();
+        let x1 = m.add_var("x1", VarBound::NonNegative);
+        let x2 = m.add_var("x2", VarBound::NonNegative);
+        m.add_constraint(LinExpr::term(x1, rat(1, 1)), Relation::Le, rat(1, 1))
+            .unwrap();
+        m.add_constraint(LinExpr::term(x2, rat(1, 1)), Relation::Le, rat(1, 1))
+            .unwrap();
+        m.set_objective(
+            Sense::Minimize,
+            LinExpr::term(x1, rat(-1, 1)).plus(x2, rat(-1, 1)),
+        )
+        .unwrap();
+        build_standard_form(&m).unwrap()
+    }
+
+    /// min c·x  s.t.  x >= 1, x <= 3. Standard-form columns: x(0),
+    /// surplus(1), slack(2). The slack/surplus basis [1, 2] reads
+    /// x_B = (-1, 3): primal infeasible by construction.
+    fn interval_lp(cost: i64) -> StandardForm<Rational> {
+        let mut m: Model<Rational> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        m.add_constraint(LinExpr::term(x, rat(1, 1)), Relation::Ge, rat(1, 1))
+            .unwrap();
+        m.add_constraint(LinExpr::term(x, rat(1, 1)), Relation::Le, rat(3, 1))
+            .unwrap();
+        m.set_objective(Sense::Minimize, LinExpr::term(x, rat(cost, 1)))
+            .unwrap();
+        build_standard_form(&m).unwrap()
+    }
+
+    fn warm(
+        sf: StandardForm<Rational>,
+        basis: &[usize],
+    ) -> (
+        Result<WarmOutcome<Rational>, crate::model::LpError>,
+        PivotStats,
+    ) {
+        let mut stats = PivotStats::default();
+        let outcome = warm_reoptimize(sf, basis, &SolverOptions::default(), &mut stats);
+        (outcome, stats)
+    }
+
+    /// A warm basis that is already optimal must be accepted with zero dual
+    /// pivots — the loop never runs, the certificate still verifies.
+    #[test]
+    fn optimal_basis_warm_start_takes_zero_pivots() {
+        let (outcome, stats) = warm(box_maximum(), &[0, 1]);
+        match outcome.unwrap() {
+            WarmOutcome::Solved(sol) => {
+                assert_eq!(sol.column_values[0], rat(1, 1));
+                assert_eq!(sol.column_values[1], rat(1, 1));
+            }
+            WarmOutcome::Fallback(_) => panic!("optimal basis must warm-start"),
+        }
+        assert_eq!(stats.dual_pivots, 0, "no dual pivots on an optimal basis");
+        assert_eq!(stats.phase1_pivots, 0, "warm starts never run phase 1");
+    }
+
+    /// A dual-feasible but primal-infeasible basis (the reparameterized-sweep
+    /// shape) is repaired by actual dual-simplex pivots.
+    #[test]
+    fn dual_feasible_basis_repairs_primal_infeasibility() {
+        // min +x: costs price every column non-negative under the slack
+        // basis, but x_B = (-1, 3) needs repair.
+        let (outcome, stats) = warm(interval_lp(1), &[1, 2]);
+        match outcome.unwrap() {
+            WarmOutcome::Solved(sol) => assert_eq!(sol.column_values[0], rat(1, 1)),
+            WarmOutcome::Fallback(_) => panic!("dual-feasible basis must warm-start"),
+        }
+        assert!(stats.dual_pivots >= 1, "repair requires dual pivots");
+    }
+
+    /// A carried basis that is neither primal nor dual feasible under the new
+    /// coefficients must hand the standard form back for a cold solve.
+    #[test]
+    fn doubly_infeasible_basis_falls_back_cold() {
+        // min -x: d[x] = -1 (dual infeasible) and x_B = (-1, 3) (primal
+        // infeasible) — nothing to warm-start from.
+        let (outcome, stats) = warm(interval_lp(-1), &[1, 2]);
+        assert!(matches!(outcome.unwrap(), WarmOutcome::Fallback(_)));
+        assert_eq!(stats.dual_pivots, 0);
+    }
+
+    /// A basis that is singular under the new coefficients (duplicate
+    /// columns) must fall back instead of erroring.
+    #[test]
+    fn singular_basis_falls_back_cold() {
+        let (outcome, _) = warm(interval_lp(1), &[0, 0]);
+        assert!(matches!(outcome.unwrap(), WarmOutcome::Fallback(_)));
+    }
+
+    /// Shape mismatches — wrong length or out-of-range columns — are
+    /// rejected before any factorization work.
+    #[test]
+    fn mismatched_basis_shapes_fall_back_cold() {
+        let (outcome, _) = warm(interval_lp(1), &[1]);
+        assert!(matches!(outcome.unwrap(), WarmOutcome::Fallback(_)));
+        let (outcome, _) = warm(interval_lp(1), &[1, 99]);
+        assert!(matches!(outcome.unwrap(), WarmOutcome::Fallback(_)));
+    }
 }

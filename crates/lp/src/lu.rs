@@ -43,7 +43,7 @@
 //! factorization kinds and refactorization frequencies in
 //! `tests/properties.rs`.
 
-use privmech_linalg::sparse;
+use privmech_linalg::sparse::{self, SparseVec};
 use privmech_linalg::Scalar;
 
 use crate::model::LpError;
@@ -160,8 +160,8 @@ impl<T: Scalar> LuFactors<T> {
     /// FTRAN: overwrite the zeroed `work` vector with `B⁻¹a` for a sparse
     /// column `a` (apply `L⁻¹`, then solve with `U`). Read position-space
     /// entries through [`LuFactors::row_of`].
-    pub(crate) fn ftran(&self, work: &mut [T], column: &[(usize, T)]) {
-        sparse::scatter(work, column);
+    pub(crate) fn ftran(&self, work: &mut [T], column: SparseVec<'_, T>) {
+        column.scatter_into(work);
         for op in &self.ops {
             op.apply(work);
         }
@@ -334,7 +334,7 @@ impl<T: Scalar> LuFactors<T> {
     /// nonsingular.
     pub(crate) fn refactorize<'a, F>(&mut self, columns: F) -> Result<(), LpError>
     where
-        F: Fn(usize) -> &'a [(usize, T)],
+        F: Fn(usize) -> SparseVec<'a, T>,
         T: 'a,
     {
         let m = self.dim();
@@ -344,7 +344,7 @@ impl<T: Scalar> LuFactors<T> {
         // scans and merge updates.
         let mut active: Vec<Vec<(usize, T)>> = (0..m)
             .map(|c| {
-                let mut col = columns(c).to_vec();
+                let mut col = columns(c).to_pairs();
                 col.sort_by_key(|&(r, _)| r);
                 col
             })
@@ -510,19 +510,26 @@ mod tests {
     use super::*;
     use privmech_numerics::{rat, Rational};
 
-    fn columns() -> Vec<Vec<(usize, Rational)>> {
+    /// Owned index/value storage a [`SparseVec`] view can borrow from.
+    type Col = (Vec<usize>, Vec<Rational>);
+
+    fn sv(col: &Col) -> SparseVec<'_, Rational> {
+        SparseVec::new(&col.0, &col.1)
+    }
+
+    fn columns() -> Vec<Col> {
         // B = [[2, 0, 1], [0, 1, 1], [0, 0, 3]] by columns.
         vec![
-            vec![(0, rat(2, 1))],
-            vec![(1, rat(1, 1))],
-            vec![(0, rat(1, 1)), (1, rat(1, 1)), (2, rat(3, 1))],
+            (vec![0], vec![rat(2, 1)]),
+            (vec![1], vec![rat(1, 1)]),
+            (vec![0, 1, 2], vec![rat(1, 1), rat(1, 1), rat(3, 1)]),
         ]
     }
 
-    fn ftran_dense(lu: &LuFactors<Rational>, col: &[(usize, Rational)]) -> Vec<Rational> {
+    fn ftran_dense(lu: &LuFactors<Rational>, col: &Col) -> Vec<Rational> {
         let m = lu.dim();
         let mut work = vec![Rational::zero(); m];
-        lu.ftran(&mut work, col);
+        lu.ftran(&mut work, sv(col));
         (0..m).map(|c| work[lu.row_of(c)].clone()).collect()
     }
 
@@ -533,11 +540,11 @@ mod tests {
         let mut work = vec![Rational::zero(); 3];
         for (p, col) in cols.iter().enumerate() {
             sparse::clear(&mut work);
-            lu.ftran(&mut work, col);
+            lu.ftran(&mut work, sv(col));
             lu.push_pivot(p, &work);
         }
         // B·(1,1,1) = (3, 2, 3)ᵀ.
-        let rhs = vec![(0, rat(3, 1)), (1, rat(2, 1)), (2, rat(3, 1))];
+        let rhs: Col = (vec![0, 1, 2], vec![rat(3, 1), rat(2, 1), rat(3, 1)]);
         let x = ftran_dense(&lu, &rhs);
         assert_eq!(x, vec![rat(1, 1), rat(1, 1), rat(1, 1)]);
     }
@@ -549,15 +556,15 @@ mod tests {
         let mut work = vec![Rational::zero(); 3];
         for (p, col) in cols.iter().enumerate() {
             sparse::clear(&mut work);
-            lu.ftran(&mut work, col);
+            lu.ftran(&mut work, sv(col));
             lu.push_pivot(p, &work);
         }
-        let rhs = vec![(0, rat(7, 1)), (1, rat(-2, 1)), (2, rat(5, 2))];
+        let rhs: Col = (vec![0, 1, 2], vec![rat(7, 1), rat(-2, 1), rat(5, 2)]);
         let before = ftran_dense(&lu, &rhs);
         let mut y_before = vec![Rational::zero(); 3];
         lu.btran_unit(&mut y_before, 2);
 
-        lu.refactorize(|c| cols[c].as_slice()).unwrap();
+        lu.refactorize(|c| sv(&cols[c])).unwrap();
         let after = ftran_dense(&lu, &rhs);
         assert_eq!(before, after, "FTRAN must be factorization-independent");
         let mut y_after = vec![Rational::zero(); 3];
@@ -574,17 +581,17 @@ mod tests {
         let mut work = vec![Rational::zero(); 3];
         for (p, col) in cols.iter().enumerate() {
             sparse::clear(&mut work);
-            lu.ftran(&mut work, col);
+            lu.ftran(&mut work, sv(col));
             lu.push_pivot(p, &work);
         }
         // Replace position 1 (column [0,1,0]ᵀ) with [1,2,1]ᵀ.
-        let entering = vec![(0, rat(1, 1)), (1, rat(2, 1)), (2, rat(1, 1))];
+        let entering: Col = (vec![0, 1, 2], vec![rat(1, 1), rat(2, 1), rat(1, 1)]);
         sparse::clear(&mut work);
-        lu.ftran(&mut work, &entering);
+        lu.ftran(&mut work, sv(&entering));
         lu.push_pivot(1, &work);
         // New B = [[2,1,1],[0,2,1],[0,1,3]] (columns 0, entering, 2).
         // Solve B x = (4, 3, 4)ᵀ: x = (1, 1, 1).
-        let rhs = vec![(0, rat(4, 1)), (1, rat(3, 1)), (2, rat(4, 1))];
+        let rhs: Col = (vec![0, 1, 2], vec![rat(4, 1), rat(3, 1), rat(4, 1)]);
         assert_eq!(
             ftran_dense(&lu, &rhs),
             vec![rat(1, 1), rat(1, 1), rat(1, 1)]
@@ -593,7 +600,7 @@ mod tests {
         let mut y = vec![Rational::zero(); 3];
         lu.btran_unit(&mut y, 0);
         // y solves Bᵀy = e_pos0; verify against all three basis columns.
-        let dot = |col: &[(usize, Rational)]| -> Rational { sparse::sparse_dot(col, &y) };
+        let dot = |col: &Col| -> Rational { sv(col).dot(&y) };
         assert_eq!(dot(&cols[0]), rat(1, 1));
         assert_eq!(dot(&entering), Rational::zero());
         assert_eq!(dot(&cols[2]), Rational::zero());
@@ -604,10 +611,13 @@ mod tests {
         let lu: LuFactors<Rational> = LuFactors::identity(2);
         assert!(!lu.should_refactor(usize::MAX));
         assert!(!lu.should_refactor(1), "no pivots yet");
-        let cols = [vec![(0, rat(1, 2)), (1, rat(1, 3))], vec![(1, rat(2, 1))]];
+        let cols: Vec<Col> = vec![
+            (vec![0, 1], vec![rat(1, 2), rat(1, 3)]),
+            (vec![1], vec![rat(2, 1)]),
+        ];
         let mut lu: LuFactors<Rational> = LuFactors::identity(2);
         let mut work = vec![Rational::zero(); 2];
-        lu.ftran(&mut work, &cols[0]);
+        lu.ftran(&mut work, sv(&cols[0]));
         lu.push_pivot(0, &work);
         assert!(lu.should_refactor(1));
         assert!(!lu.should_refactor(2));
@@ -615,7 +625,7 @@ mod tests {
             !lu.should_refactor(usize::MAX),
             "MAX disables both triggers"
         );
-        lu.refactorize(|c| cols[c].as_slice()).unwrap();
+        lu.refactorize(|c| sv(&cols[c])).unwrap();
         assert!(!lu.should_refactor(1), "refactorization resets the counter");
     }
 
@@ -625,19 +635,19 @@ mod tests {
         // diagonal columns first (which Markowitz does) produces zero
         // fill-in, while natural order would fill the whole matrix.
         let m = 8usize;
-        let mut cols: Vec<Vec<(usize, Rational)>> = Vec::new();
-        let mut dense0: Vec<(usize, Rational)> = (0..m).map(|r| (r, rat(1, 1))).collect();
-        dense0[0] = (0, rat(5, 1));
+        let mut cols: Vec<Col> = Vec::new();
+        let mut dense0: Col = ((0..m).collect(), (0..m).map(|_| rat(1, 1)).collect());
+        dense0.1[0] = rat(5, 1);
         cols.push(dense0);
         for c in 1..m {
-            cols.push(vec![(0, rat(1, 1)), (c, rat(2, 1))]);
+            cols.push((vec![0, c], vec![rat(1, 1), rat(2, 1)]));
         }
         let mut lu: LuFactors<Rational> = LuFactors::identity(m);
-        lu.refactorize(|c| cols[c].as_slice()).unwrap();
+        lu.refactorize(|c| sv(&cols[c])).unwrap();
         // Fill-free bound: every original nonzero lands in L or U and nothing
         // else appears. Natural (column-0-first) order would instead fill the
         // entire m×m matrix.
-        let original: usize = cols.iter().map(Vec::len).sum();
+        let original: usize = cols.iter().map(|c| c.0.len()).sum();
         assert!(
             lu.nnz <= original,
             "Markowitz ordering must avoid arrow-matrix fill-in (nnz = {}, original = {original})",
@@ -646,16 +656,17 @@ mod tests {
         // And the factorization actually solves: B x = column sums → x = 1.
         let mut rhs_dense = vec![Rational::zero(); m];
         for col in &cols {
-            for (r, v) in col {
+            for (r, v) in col.0.iter().zip(&col.1) {
                 rhs_dense[*r].add_assign_ref(v);
             }
         }
-        let rhs: Vec<(usize, Rational)> = rhs_dense
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| !v.is_exactly_zero())
-            .map(|(r, v)| (r, v.clone()))
-            .collect();
+        let mut rhs: Col = (Vec::new(), Vec::new());
+        for (r, v) in rhs_dense.iter().enumerate() {
+            if !v.is_exactly_zero() {
+                rhs.0.push(r);
+                rhs.1.push(v.clone());
+            }
+        }
         assert_eq!(ftran_dense(&lu, &rhs), vec![rat(1, 1); m]);
     }
 }

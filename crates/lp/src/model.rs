@@ -122,12 +122,37 @@ impl<T: Scalar> LinExpr<T> {
         self.constant = self.constant.clone() + value;
     }
 
-    /// Add another expression to this one in place.
+    /// Add another expression to this one in place, never materializing
+    /// zero coefficients.
     pub fn add_expr(&mut self, other: &LinExpr<T>) {
         for (v, c) in &other.terms {
-            self.terms.push((*v, c.clone()));
+            if !c.is_zero_approx() {
+                self.terms.push((*v, c.clone()));
+            }
         }
         self.constant = self.constant.clone() + other.constant.clone();
+    }
+
+    /// The terms stably sorted by variable, with duplicate variables summed
+    /// **in their original term order** and exactly-zero sums dropped.
+    ///
+    /// Standard-form construction consumes this instead of scattering into a
+    /// dense row: because the sort is stable, duplicates accumulate in the
+    /// same order a dense accumulation would, so the resulting coefficients
+    /// are bit-identical to the historical dense build (including on `f64`).
+    #[must_use]
+    pub fn merged_terms(&self) -> Vec<(Var, T)> {
+        let mut sorted: Vec<(Var, T)> = self.terms.clone();
+        sorted.sort_by_key(|&(v, _)| v);
+        let mut merged: Vec<(Var, T)> = Vec::with_capacity(sorted.len());
+        for (v, c) in sorted {
+            match merged.last_mut() {
+                Some((lv, lc)) if *lv == v => lc.add_assign_ref(&c),
+                _ => merged.push((v, c)),
+            }
+        }
+        merged.retain(|(_, c)| !c.is_exactly_zero());
+        merged
     }
 
     /// The (variable, coefficient) terms.
@@ -468,6 +493,24 @@ mod tests {
         // Zero coefficients are dropped.
         let z = LinExpr::new().plus(x, Rational::zero());
         assert!(z.terms().is_empty());
+    }
+
+    #[test]
+    fn merged_terms_sums_duplicates_in_order_and_drops_zeros() {
+        let mut m: Model<Rational> = Model::new();
+        let x = m.add_var("x", VarBound::NonNegative);
+        let y = m.add_var("y", VarBound::NonNegative);
+        let z = m.add_var("z", VarBound::NonNegative);
+        // y appears twice (out of order), z's terms cancel exactly.
+        let e = LinExpr::term(y, rat(1, 3))
+            .plus(z, rat(5, 1))
+            .plus(x, rat(2, 1))
+            .plus(y, rat(1, 6))
+            .plus(z, rat(-5, 1));
+        let merged = e.merged_terms();
+        assert_eq!(merged, vec![(x, rat(2, 1)), (y, rat(1, 2))]);
+        // The expression itself is untouched (CoeffSlot indices stay valid).
+        assert_eq!(e.terms().len(), 5);
     }
 
     #[test]

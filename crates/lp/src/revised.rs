@@ -4,8 +4,10 @@
 //! Where the dense form ([`crate::simplex`]) rewrites every tableau row on
 //! every pivot (O(rows × cols) scalar operations), this form keeps only
 //!
-//! * the original constraint matrix, sparse, in both column- and row-major
-//!   form (it never changes),
+//! * the original constraint matrix: the standard form's CSR store borrowed
+//!   as the row view, plus one owned transpose as the column view (neither
+//!   changes during the solve; artificial unit columns are synthesized on
+//!   demand, never stored),
 //! * the basis factorization ([`crate::basis::Basis`]: sparse LU with
 //!   Forrest–Tomlin updates by default, product-form eta file as the
 //!   alternative representation),
@@ -39,6 +41,7 @@
 //! dense form unconditionally).
 
 use privmech_linalg::sparse;
+use privmech_linalg::sparse::{Csr, SparseVec};
 use privmech_linalg::Scalar;
 
 use crate::basis::Basis;
@@ -49,34 +52,70 @@ use crate::simplex::{record, ColumnSolution, PivotStats, SolverOptions, TracePha
 use crate::standard::StandardForm;
 
 /// All constraint data the revised iterations read, fixed for the whole
-/// solve: sparse columns and rows of `[A | slack | artificial]`.
-struct Matrix<T: Scalar> {
-    /// Sparse columns, indexed by standard-form column (artificials last).
-    cols: Vec<Vec<(usize, T)>>,
-    /// Sparse rows over the same column index space.
-    rows: Vec<Vec<(usize, T)>>,
+/// solve: the standard form's CSR store (row view, borrowed) plus its
+/// transpose (column view, built once per solve). Artificial columns are
+/// never materialized — they are unit vectors synthesized on demand by
+/// [`Matrix::col`] / appended last by [`Matrix::row_entries`], matching the
+/// historical ordering of the copied sparse views exactly.
+struct Matrix<'a, T: Scalar> {
+    /// Row-major view: the constraint store itself.
+    rows: &'a Csr<T>,
+    /// Column-major view: the transpose (entries within a column iterate in
+    /// row order, the order the basis replay and FTRAN scatter expect).
+    cols: Csr<T>,
     /// Column count including artificials.
     total_cols: usize,
     /// First artificial column index (== structural + slack column count).
     first_artificial: usize,
+    /// Row of artificial `k` (column `first_artificial + k`).
+    art_rows: Vec<usize>,
+    /// Row → its artificial column, `usize::MAX` when the row has none.
+    row_art: Vec<usize>,
+    /// The artificials' single stored value, borrowed by [`Matrix::col`].
+    one: T,
 }
 
-impl<T: Scalar> Matrix<T> {
-    fn build(sf: &StandardForm<T>, artificial_rows: &[usize]) -> Self {
+impl<'a, T: Scalar> Matrix<'a, T> {
+    fn build(sf: &'a StandardForm<T>, artificial_rows: &[usize]) -> Self {
         let first_artificial = sf.num_cols;
         let total_cols = sf.num_cols + artificial_rows.len();
-        let mut cols = sf.sparse_columns();
-        let mut rows = sf.sparse_rows();
+        let mut row_art = vec![usize::MAX; sf.num_rows()];
         for (k, &row) in artificial_rows.iter().enumerate() {
-            cols.push(vec![(row, T::one())]);
-            rows[row].push((first_artificial + k, T::one()));
+            row_art[row] = first_artificial + k;
         }
         Matrix {
-            cols,
-            rows,
+            rows: &sf.matrix,
+            cols: sf.matrix.transpose(),
             total_cols,
             first_artificial,
+            art_rows: artificial_rows.to_vec(),
+            row_art,
+            one: T::one(),
         }
+    }
+
+    /// Column `j` as a borrowed sparse vector: a transpose row for real
+    /// columns, a synthesized unit vector for artificials.
+    fn col(&self, j: usize) -> SparseVec<'_, T> {
+        if j < self.first_artificial {
+            self.cols.row(j)
+        } else {
+            let k = j - self.first_artificial;
+            SparseVec::new(
+                std::slice::from_ref(&self.art_rows[k]),
+                std::slice::from_ref(&self.one),
+            )
+        }
+    }
+
+    /// Row `r`'s entries in increasing column order, the row's artificial
+    /// (largest column index, if any) last.
+    fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, &T)> + '_ {
+        let art = self.row_art[r];
+        self.rows
+            .row(r)
+            .iter()
+            .chain((art != usize::MAX).then_some((art, &self.one)))
     }
 
     fn is_artificial(&self, col: usize) -> bool {
@@ -108,7 +147,7 @@ impl<T: Scalar> State<T> {
     /// Recover tableau row `position` into `self.row` (sparse sweep of
     /// `ρᵀA`): a unit BTRAN followed by row-major accumulation over the
     /// rows `ρ` actually touches.
-    fn compute_pivot_row(&mut self, matrix: &Matrix<T>, position: usize) {
+    fn compute_pivot_row(&mut self, matrix: &Matrix<'_, T>, position: usize) {
         sparse::clear(&mut self.rho);
         self.file.btran_unit(&mut self.rho, position);
         sparse::clear(&mut self.row);
@@ -116,8 +155,8 @@ impl<T: Scalar> State<T> {
             if mult.is_exactly_zero() {
                 continue;
             }
-            for (j, a) in &matrix.rows[r] {
-                self.row[*j].add_mul_assign(mult, a);
+            for (j, a) in matrix.row_entries(r) {
+                self.row[j].add_mul_assign(mult, a);
             }
         }
     }
@@ -128,7 +167,13 @@ impl<T: Scalar> State<T> {
     /// whose stale phase-1 costs the phase-2 rebuild discards anyway), the
     /// eta file and the basis. `self.work` must hold the entering column's
     /// FTRAN result.
-    fn pivot(&mut self, matrix: &Matrix<T>, position: usize, entering: usize, update_costs: bool) {
+    fn pivot(
+        &mut self,
+        matrix: &Matrix<'_, T>,
+        position: usize,
+        entering: usize,
+        update_costs: bool,
+    ) {
         let pivot_value = self.work[self.file.row_of(position)].clone();
         let theta = self.x_b[position].div_ref(&pivot_value);
 
@@ -176,13 +221,12 @@ impl<T: Scalar> State<T> {
     /// pivots.
     fn maybe_refactor(
         &mut self,
-        matrix: &Matrix<T>,
+        matrix: &Matrix<'_, T>,
         options: &SolverOptions,
     ) -> Result<(), LpError> {
         if self.file.should_refactor(options.refactor_interval) {
             let basis = &self.basis;
-            let cols = &matrix.cols;
-            self.file.refactorize(|c| cols[basis[c]].as_slice())?;
+            self.file.refactorize(|c| matrix.col(basis[c]))?;
         }
         Ok(())
     }
@@ -192,7 +236,7 @@ impl<T: Scalar> State<T> {
     /// consuming the same pricing and ratio-test stages.
     fn optimize(
         &mut self,
-        matrix: &Matrix<T>,
+        matrix: &Matrix<'_, T>,
         banned: &[bool],
         phase1: bool,
         options: &SolverOptions,
@@ -208,7 +252,7 @@ impl<T: Scalar> State<T> {
                 return Ok(());
             };
             sparse::clear(&mut self.work);
-            self.file.ftran(&mut self.work, &matrix.cols[entering]);
+            self.file.ftran(&mut self.work, matrix.col(entering));
             let bland_mode = pricing.bland_mode();
             let file = &self.file;
             let work = &self.work;
@@ -269,7 +313,7 @@ pub(crate) fn solve_revised<T: Scalar>(
     trace: &mut TraceSink<'_>,
 ) -> Result<ColumnSolution<T>, LpError> {
     debug_assert!(T::is_exact(), "revised simplex requires exact arithmetic");
-    let m = sf.rows.len();
+    let m = sf.num_rows();
 
     // Initial basis: slack seeds where available, artificials elsewhere —
     // identical to the dense form. Every seed is a unit column, so the
@@ -307,8 +351,8 @@ pub(crate) fn solve_revised<T: Scalar>(
             state.d[j] = T::one();
         }
         for &i in &artificial_rows {
-            for (j, a) in &matrix.rows[i] {
-                state.d[*j].sub_assign_ref(a);
+            for (j, a) in matrix.row_entries(i) {
+                state.d[j].sub_assign_ref(a);
             }
             state.obj_val.add_assign_ref(&sf.rhs[i]);
         }
@@ -334,7 +378,7 @@ pub(crate) fn solve_revised<T: Scalar>(
             let replacement = (0..sf.num_cols).find(|&j| !state.row[j].is_zero_approx());
             if let Some(col) = replacement {
                 sparse::clear(&mut state.work);
-                state.file.ftran(&mut state.work, &matrix.cols[col]);
+                state.file.ftran(&mut state.work, matrix.col(col));
                 state.pivot(&matrix, position, col, false);
                 record(trace, TracePhase::DriveOut, col, position);
             }
@@ -353,7 +397,7 @@ pub(crate) fn solve_revised<T: Scalar>(
     state.file.btran_dense(&mut state.rho, &cb);
     for (j, d_j) in state.d.iter_mut().enumerate() {
         *d_j = costs_full[j].clone();
-        let y_a = sparse::sparse_dot(&matrix.cols[j], &state.rho);
+        let y_a = matrix.col(j).dot(&state.rho);
         d_j.sub_assign_ref(&y_a);
     }
     // Basic columns price to exactly zero by construction.
@@ -400,7 +444,7 @@ pub(crate) fn reoptimize_primal<T: Scalar>(
     stats: &mut PivotStats,
 ) -> Result<ColumnSolution<T>, LpError> {
     debug_assert!(T::is_exact(), "revised simplex requires exact arithmetic");
-    let m = sf.rows.len();
+    let m = sf.num_rows();
     debug_assert!(basis.iter().all(|&b| b < sf.num_cols));
     let matrix = Matrix::build(&sf, &[]);
 
@@ -416,19 +460,21 @@ pub(crate) fn reoptimize_primal<T: Scalar>(
     };
     {
         let basis = &state.basis;
-        let cols = &matrix.cols;
-        state.file.refactorize(|c| cols[basis[c]].as_slice())?;
+        state.file.refactorize(|c| matrix.col(basis[c]))?;
     }
 
     // x_B = B⁻¹b, read per position through the factorization's row map.
-    let rhs_sparse: Vec<(usize, T)> = sf
-        .rhs
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| !v.is_exactly_zero())
-        .map(|(i, v)| (i, v.clone()))
-        .collect();
-    state.file.ftran(&mut state.work, &rhs_sparse);
+    let mut rhs_idx: Vec<usize> = Vec::new();
+    let mut rhs_val: Vec<T> = Vec::new();
+    for (i, v) in sf.rhs.iter().enumerate() {
+        if !v.is_exactly_zero() {
+            rhs_idx.push(i);
+            rhs_val.push(v.clone());
+        }
+    }
+    state
+        .file
+        .ftran(&mut state.work, SparseVec::new(&rhs_idx, &rhs_val));
     for c in 0..m {
         state.x_b[c] = state.work[state.file.row_of(c)].clone();
     }
@@ -440,7 +486,7 @@ pub(crate) fn reoptimize_primal<T: Scalar>(
     state.file.btran_dense(&mut state.rho, &cb);
     for (j, d_j) in state.d.iter_mut().enumerate() {
         *d_j = sf.costs[j].clone();
-        let y_a = sparse::sparse_dot(&matrix.cols[j], &state.rho);
+        let y_a = matrix.col(j).dot(&state.rho);
         d_j.sub_assign_ref(&y_a);
     }
     for &b in &state.basis {

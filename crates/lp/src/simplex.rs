@@ -499,7 +499,7 @@ pub(crate) fn solve_warm<T: Scalar>(
 
     // Handle the degenerate "no constraints" case directly: the optimum is at
     // the origin if the costs are non-negative, otherwise unbounded.
-    if sf.rows.is_empty() {
+    if sf.num_rows() == 0 {
         for c in &sf.costs {
             if c.is_negative_approx() {
                 return Err(LpError::Unbounded);
@@ -622,7 +622,7 @@ fn solve_dense<T: Scalar>(
     stats: &mut PivotStats,
     trace: &mut TraceSink<'_>,
 ) -> Result<ColumnSolution<T>, LpError> {
-    let num_rows = sf.rows.len();
+    let num_rows = sf.num_rows();
 
     // Build the initial tableau, adding artificial columns where no slack can
     // seed the basis.
@@ -641,18 +641,18 @@ fn solve_dense<T: Scalar>(
         }
     }
 
+    // Scatter each CSR row into a dense tableau row — the one place the
+    // dense oracle materializes zeros, by design.
     let mut body: Vec<Vec<T>> = Vec::with_capacity(num_rows);
-    for (i, row) in sf.rows.iter().enumerate() {
-        let mut full = Vec::with_capacity(total_cols + 1);
-        full.extend(row.iter().cloned());
-        for &acol in &artificial_cols {
-            full.push(if basis[i] == acol {
-                T::one()
-            } else {
-                T::zero()
-            });
+    for (i, &bcol) in basis.iter().enumerate() {
+        let mut full = vec![T::zero(); total_cols + 1];
+        for (j, v) in sf.matrix.row(i).iter() {
+            full[j] = v.clone();
         }
-        full.push(sf.rhs[i].clone());
+        if artificial_cols.contains(&bcol) {
+            full[bcol] = T::one();
+        }
+        full[total_cols] = sf.rhs[i].clone();
         body.push(full);
     }
 

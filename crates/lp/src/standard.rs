@@ -16,11 +16,16 @@
 //!    column, `==` rows nothing — rows without a seed receive an artificial
 //!    variable at solve time.
 //!
-//! Because the two solver forms consume the *identical* standard form (and
-//! share the pricing and ratio-test stages in [`crate::pricing`] /
-//! [`crate::ratio`]), their pivot sequences coincide exactly on exact
-//! scalars; see `SOLVER.md` for the full argument.
+//! The constraint matrix is stored as a [`Csr`] sparse matrix: zeros are
+//! never materialized, from [`LinExpr`](crate::model::LinExpr) terms through
+//! standard form to the revised driver's column views. The dense tableau
+//! solver scatters rows from the same store, so both solver forms consume the
+//! *identical* standard form (and share the pricing and ratio-test stages in
+//! [`crate::pricing`] / [`crate::ratio`]); their pivot sequences coincide
+//! exactly on exact scalars — see `SOLVER.md` § "CSR constraint store" for
+//! the layout and the bit-identity argument.
 
+use privmech_linalg::sparse::Csr;
 use privmech_linalg::Scalar;
 
 use crate::model::{LpError, Model, Relation, Sense, VarBound};
@@ -42,8 +47,10 @@ pub(crate) enum ColumnMap {
 /// Internal standard-form representation: minimize `cᵀy` subject to
 /// `Ay = b`, `y ≥ 0`, `b ≥ 0`.
 pub(crate) struct StandardForm<T: Scalar> {
-    /// Constraint rows including slack/surplus columns but not artificials.
-    pub(crate) rows: Vec<Vec<T>>,
+    /// Constraint matrix in CSR layout, including slack/surplus columns but
+    /// not artificials (those are unit vectors the solvers append
+    /// themselves). Row entries iterate in strictly increasing column order.
+    pub(crate) matrix: Csr<T>,
     /// Right-hand sides, all non-negative.
     pub(crate) rhs: Vec<T>,
     /// Objective coefficients for every structural + slack column.
@@ -58,19 +65,18 @@ pub(crate) struct StandardForm<T: Scalar> {
 }
 
 impl<T: Scalar> StandardForm<T> {
-    /// Column-major sparse view of the constraint matrix (structural + slack
-    /// columns only; artificial columns are unit vectors the solvers append
-    /// themselves). Each column is its exactly-nonzero `(row, value)` pairs.
-    pub(crate) fn sparse_columns(&self) -> Vec<Vec<(usize, T)>> {
-        let mut cols = vec![Vec::new(); self.num_cols];
-        for (i, row) in self.rows.iter().enumerate() {
-            for (j, v) in row.iter().enumerate() {
-                if !v.is_exactly_zero() {
-                    cols[j].push((i, v.clone()));
-                }
-            }
-        }
-        cols
+    /// Number of constraint rows.
+    pub(crate) fn num_rows(&self) -> usize {
+        self.matrix.num_rows()
+    }
+
+    /// Row-major sparse view of the constraint matrix as owned `(col, value)`
+    /// pair lists — the compatibility shape consumed by the public
+    /// [`check_certificate`](crate::certificate::check_certificate) kernel.
+    pub(crate) fn sparse_rows(&self) -> Vec<Vec<(usize, T)>> {
+        (0..self.num_rows())
+            .map(|i| self.matrix.row(i).to_pairs())
+            .collect()
     }
 
     /// Power-of-two row/column equilibration for floating-point solves
@@ -81,7 +87,8 @@ impl<T: Scalar> StandardForm<T> {
     /// bringing every row and column maximum into `[1, 2)`. Powers of two are
     /// exactly representable, so scaling perturbs no `f64` mantissa — it only
     /// re-centers exponents so the solver's absolute tolerances act uniformly
-    /// across badly scaled models.
+    /// across badly scaled models. The CSR sparsity pattern is untouched:
+    /// scaling only multiplies stored values in place.
     ///
     /// With `R`, `C` the diagonal scale matrices, the solved problem is
     /// `min (Cc)ᵀy  s.t. (RAC)y = Rb, y ≥ 0`; a solution maps back via
@@ -106,55 +113,58 @@ impl<T: Scalar> StandardForm<T> {
             }
         };
 
-        for (row, rhs) in self.rows.iter_mut().zip(self.rhs.iter_mut()) {
-            let max = row.iter().fold(0.0f64, |m, v| m.max(v.abs().to_f64()));
+        let num_rows = self.num_rows();
+        for i in 0..num_rows {
+            let (lo, hi) = (self.matrix.row_ptr()[i], self.matrix.row_ptr()[i + 1]);
+            let max = self.matrix.csr_values()[lo..hi]
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs().to_f64()));
             let e = exponent(max);
             if e != 0 {
                 let factor = pow2(-e);
-                for v in row.iter_mut() {
+                for v in &mut self.matrix.csr_values_mut()[lo..hi] {
                     *v = v.mul_ref(&factor);
                 }
-                *rhs = rhs.mul_ref(&factor);
+                self.rhs[i] = self.rhs[i].mul_ref(&factor);
             }
         }
 
+        let mut col_max = vec![0.0f64; self.num_cols];
+        for (&j, v) in self
+            .matrix
+            .col_indices()
+            .iter()
+            .zip(self.matrix.csr_values())
+        {
+            col_max[j] = col_max[j].max(v.abs().to_f64());
+        }
         let mut col_factors = vec![T::one(); self.num_cols];
+        let mut scaled_col = vec![false; self.num_cols];
         for (j, col_factor) in col_factors.iter_mut().enumerate() {
-            let max = self
-                .rows
-                .iter()
-                .fold(0.0f64, |m, row| m.max(row[j].abs().to_f64()));
-            let e = exponent(max);
+            let e = exponent(col_max[j]);
             if e != 0 {
-                let factor = pow2(-e);
-                for row in self.rows.iter_mut() {
-                    row[j] = row[j].mul_ref(&factor);
-                }
-                self.costs[j] = self.costs[j].mul_ref(&factor);
-                *col_factor = factor;
+                *col_factor = pow2(-e);
+                self.costs[j] = self.costs[j].mul_ref(col_factor);
+                scaled_col[j] = true;
+            }
+        }
+        let col_idx = self.matrix.col_indices().to_vec();
+        for (k, v) in self.matrix.csr_values_mut().iter_mut().enumerate() {
+            let j = col_idx[k];
+            if scaled_col[j] {
+                *v = v.mul_ref(&col_factors[j]);
             }
         }
         col_factors
     }
-
-    /// Row-major sparse view of the constraint matrix (structural + slack
-    /// columns only).
-    pub(crate) fn sparse_rows(&self) -> Vec<Vec<(usize, T)>> {
-        self.rows
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .filter(|(_, v)| !v.is_exactly_zero())
-                    .map(|(j, v)| (j, v.clone()))
-                    .collect()
-            })
-            .collect()
-    }
 }
 
 /// Translate a [`Model`] into standard form (see the module docs for the
-/// exact rewrite sequence).
+/// exact rewrite sequence). Construction is sparse end to end: each
+/// constraint's terms are merged by [`LinExpr::merged_terms`]
+/// (stable-sorted, duplicates summed in term order, zeros dropped), mapped
+/// onto columns, and pushed straight into the CSR store — no dense row is
+/// ever allocated.
 pub(crate) fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<StandardForm<T>, LpError> {
     let (sense, objective) = model.objective.clone().ok_or(LpError::MissingObjective)?;
 
@@ -176,21 +186,23 @@ pub(crate) fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<Standar
             }
         }
     }
-    let structural_cols = num_cols;
-
-    // Constraint rows over structural columns; slack/surplus columns appended.
-    let mut rows: Vec<Vec<T>> = Vec::with_capacity(model.constraints.len());
+    // Constraint rows over structural columns as sorted sparse entry lists.
+    // Variable order → column order is monotone under `mapping` (a Split
+    // yields adjacent plus < minus), so the merged (by-Var) terms arrive in
+    // strictly increasing column order.
+    let mut rows: Vec<Vec<(usize, T)>> = Vec::with_capacity(model.constraints.len());
     let mut rhs: Vec<T> = Vec::with_capacity(model.constraints.len());
     let mut relations: Vec<Relation> = Vec::with_capacity(model.constraints.len());
 
     for constraint in &model.constraints {
-        let mut row = vec![T::zero(); structural_cols];
-        for (var, coeff) in constraint.expr.terms() {
+        let merged = constraint.expr.merged_terms();
+        let mut row: Vec<(usize, T)> = Vec::with_capacity(merged.len());
+        for (var, coeff) in merged {
             match mapping[var.0] {
-                ColumnMap::Single(col) => row[col].add_assign_ref(coeff),
+                ColumnMap::Single(col) => row.push((col, coeff)),
                 ColumnMap::Split { plus, minus } => {
-                    row[plus].add_assign_ref(coeff);
-                    row[minus].sub_assign_ref(coeff);
+                    row.push((plus, coeff.clone()));
+                    row.push((minus, -coeff));
                 }
             }
         }
@@ -198,8 +210,8 @@ pub(crate) fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<Standar
         let mut relation = constraint.relation;
         if b.is_negative_approx() {
             // Multiply the whole row by -1 so that b >= 0, flipping <= / >=.
-            for cell in &mut row {
-                cell.neg_assign();
+            for (_, v) in &mut row {
+                v.neg_assign();
             }
             b.neg_assign();
             relation = match relation {
@@ -217,8 +229,8 @@ pub(crate) fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<Standar
             // artificials out. Exact scalars only: like Dantzig pricing,
             // the changed pivot trajectory is a numerical-robustness hazard
             // for the `f64` backend, which stays on the seed solver's path.
-            for cell in &mut row {
-                cell.neg_assign();
+            for (_, v) in &mut row {
+                v.neg_assign();
             }
             relation = Relation::Le;
         }
@@ -227,7 +239,8 @@ pub(crate) fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<Standar
         relations.push(relation);
     }
 
-    // Add slack / surplus columns.
+    // Add slack / surplus columns. Their indices come after every structural
+    // column, so appending the single ±1 entry keeps each row sorted.
     let num_rows = rows.len();
     let mut slack_basis: Vec<Option<usize>> = vec![None; num_rows];
     for (i, relation) in relations.iter().enumerate() {
@@ -235,16 +248,13 @@ pub(crate) fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<Standar
             Relation::Le => {
                 let col = num_cols;
                 num_cols += 1;
-                for (r, row) in rows.iter_mut().enumerate() {
-                    row.push(if r == i { T::one() } else { T::zero() });
-                }
+                rows[i].push((col, T::one()));
                 slack_basis[i] = Some(col);
             }
             Relation::Ge => {
+                let col = num_cols;
                 num_cols += 1;
-                for (r, row) in rows.iter_mut().enumerate() {
-                    row.push(if r == i { -T::one() } else { T::zero() });
-                }
+                rows[i].push((col, -T::one()));
             }
             Relation::Eq => {}
         }
@@ -269,7 +279,7 @@ pub(crate) fn build_standard_form<T: Scalar>(model: &Model<T>) -> Result<Standar
     }
 
     Ok(StandardForm {
-        rows,
+        matrix: Csr::from_rows(num_cols, rows),
         rhs,
         costs,
         slack_basis,

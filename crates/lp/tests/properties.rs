@@ -7,6 +7,9 @@ use privmech_lp::{LinExpr, Model, Relation, Sense, VarBound};
 use privmech_numerics::{rat, Rational};
 use proptest::prelude::*;
 
+mod common;
+use common::{beale_degenerate_model, random_model, structured_corpus};
+
 /// Check that a solution satisfies every constraint of the model it came from.
 fn assert_feasible_rational(
     model: &Model<Rational>,
@@ -195,48 +198,6 @@ proptest! {
 
 use privmech_lp::{solve_model_traced, SolverForm, SolverOptions};
 
-/// A random small LP mixing `<=`/`>=`/`==` rows, negative right-hand sides
-/// (exercising the row-negation rewrite), zero-rhs `>=` rows (exercising the
-/// slack-seeding rewrite and producing degenerate vertices), and a free
-/// variable (exercising the column split).
-fn random_model(coeffs: &[i64], rhs: &[i64], costs: &[i64], free_var: bool) -> Model<Rational> {
-    let vars = 3usize;
-    let mut m: Model<Rational> = Model::new();
-    let mut xs = Vec::new();
-    for k in 0..vars {
-        let bound = if free_var && k == 0 {
-            privmech_lp::VarBound::Free
-        } else {
-            privmech_lp::VarBound::NonNegative
-        };
-        xs.push(m.add_var(format!("x{k}"), bound));
-    }
-    for (i, b) in rhs.iter().enumerate() {
-        let mut e = LinExpr::new();
-        for (k, &x) in xs.iter().enumerate() {
-            e.add_term(x, rat(coeffs[(i * vars + k) % coeffs.len()], 1));
-        }
-        let relation = match i % 3 {
-            0 => Relation::Le,
-            1 => Relation::Ge,
-            _ => Relation::Eq,
-        };
-        // Every third >= row gets a zero rhs: the paper's dominant row shape.
-        let b = if relation == Relation::Ge && i % 2 == 0 {
-            0
-        } else {
-            *b
-        };
-        m.add_constraint(e, relation, rat(b, 1)).unwrap();
-    }
-    let mut obj = LinExpr::new();
-    for (k, &x) in xs.iter().enumerate() {
-        obj.add_term(x, rat(costs[k % costs.len()], 1));
-    }
-    m.set_objective(Sense::Minimize, obj).unwrap();
-    m
-}
-
 fn with_form(form: SolverForm) -> SolverOptions {
     SolverOptions {
         form,
@@ -416,41 +377,9 @@ proptest! {
 /// Bland engagement) must fire identically across forms and frequencies.
 #[test]
 fn degenerate_cycling_lp_identical_across_forms_and_frequencies() {
-    // max 10a - 57b - 9c - 24d subject to Beale's rows (see crates/lp
-    // simplex unit tests); forced tiny streak limit so the fallback engages.
-    let mut m: Model<Rational> = Model::new();
-    let a = m.add_var("a", privmech_lp::VarBound::NonNegative);
-    let b = m.add_var("b", privmech_lp::VarBound::NonNegative);
-    let c = m.add_var("c", privmech_lp::VarBound::NonNegative);
-    let d = m.add_var("d", privmech_lp::VarBound::NonNegative);
-    m.add_constraint(
-        LinExpr::term(a, rat(1, 2))
-            .plus(b, rat(-11, 2))
-            .plus(c, rat(-5, 2))
-            .plus(d, rat(9, 1)),
-        Relation::Le,
-        Rational::zero(),
-    )
-    .unwrap();
-    m.add_constraint(
-        LinExpr::term(a, rat(1, 2))
-            .plus(b, rat(-3, 2))
-            .plus(c, rat(-1, 2))
-            .plus(d, rat(1, 1)),
-        Relation::Le,
-        Rational::zero(),
-    )
-    .unwrap();
-    m.add_constraint(LinExpr::term(a, rat(1, 1)), Relation::Le, rat(1, 1))
-        .unwrap();
-    m.set_objective(
-        Sense::Maximize,
-        LinExpr::term(a, rat(10, 1))
-            .plus(b, rat(-57, 1))
-            .plus(c, rat(-9, 1))
-            .plus(d, rat(-24, 1)),
-    )
-    .unwrap();
+    // max 10a - 57b - 9c - 24d subject to Beale's rows (shared corpus entry);
+    // forced tiny streak limit so the fallback engages.
+    let m = beale_degenerate_model();
 
     let run = |form: SolverForm, interval: usize| {
         solve_model_traced(
@@ -470,5 +399,95 @@ fn degenerate_cycling_lp_identical_across_forms_and_frequencies() {
     for interval in [1, 64, SolverOptions::NEVER_REFACTOR] {
         let revised = run(SolverForm::Revised, interval);
         assert_eq!(reference, revised, "interval {interval}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-corpus CSR ≡ dense contract (PR 8).
+//
+// The revised driver now pulls entering columns straight out of the CSR
+// constraint store, so the pivot-identity contract doubles as the proof that
+// the sparse store represents exactly the matrix the dense tableau scatters.
+// Both suites below run over the *same* structured corpus as the generators
+// above — paper-shaped DP chains, one-block-dense epigraph rows, seeded
+// random sparsity, and Beale's degenerate LP.
+// ---------------------------------------------------------------------------
+
+/// Every corpus entry: the CSR-backed revised driver must return the exact
+/// `Result` of the dense oracle — bit-identical solution, stats, and pivot
+/// trace — under both factorization kinds and at every refactorization
+/// frequency, on the exact backend.
+#[test]
+fn structured_corpus_csr_revised_matches_dense_oracle() {
+    use privmech_lp::FactorizationKind;
+    for (name, m) in structured_corpus(0xC5B8) {
+        let dense = solve_model_traced(&m, &with_form(SolverForm::Dense));
+        for factorization in [
+            FactorizationKind::LuForrestTomlin,
+            FactorizationKind::EtaFile,
+        ] {
+            for interval in [
+                1,
+                SolverOptions::default().refactor_interval,
+                SolverOptions::NEVER_REFACTOR,
+            ] {
+                let revised = solve_model_traced(
+                    &m,
+                    &SolverOptions {
+                        form: SolverForm::Revised,
+                        factorization,
+                        refactor_interval: interval,
+                        ..SolverOptions::default()
+                    },
+                );
+                assert_eq!(
+                    dense, revised,
+                    "{name}: {factorization:?} at interval {interval} diverged from dense oracle"
+                );
+            }
+        }
+    }
+}
+
+/// The generic corpus shapes on the `f64` backend: every `SolverForm` and
+/// factorization kind must be byte-for-byte inert there too (the float path
+/// routes all forms onto the dense tableau).
+#[test]
+fn structured_corpus_f64_shapes_match_dense_oracle() {
+    use privmech_lp::FactorizationKind;
+    let corpus: Vec<(&str, Model<f64>)> = vec![
+        ("dp_chain_4_alpha_1_2", common::dp_chain_model(4, (1, 2))),
+        ("dp_chain_7_alpha_2_3", common::dp_chain_model(7, (2, 3))),
+        (
+            "epigraph_block_3",
+            common::epigraph_block_model(&[1, 2, 3], 6),
+        ),
+        (
+            "epigraph_block_5",
+            common::epigraph_block_model(&[3, 1, 4, 1, 5], 10),
+        ),
+    ];
+    for (name, m) in corpus {
+        let dense = solve_model_traced(&m, &with_form(SolverForm::Dense));
+        for factorization in [
+            FactorizationKind::LuForrestTomlin,
+            FactorizationKind::EtaFile,
+        ] {
+            for interval in [1, SolverOptions::NEVER_REFACTOR] {
+                let revised = solve_model_traced(
+                    &m,
+                    &SolverOptions {
+                        form: SolverForm::Revised,
+                        factorization,
+                        refactor_interval: interval,
+                        ..SolverOptions::default()
+                    },
+                );
+                assert_eq!(
+                    dense, revised,
+                    "{name}: f64 {factorization:?} at interval {interval} diverged"
+                );
+            }
+        }
     }
 }

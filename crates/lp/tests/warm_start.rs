@@ -1,0 +1,139 @@
+//! Cross-α warm-start sweeps at the public API: the dual-simplex warm path
+//! must report losses bit-identical to cold solves at every parameter of a
+//! seeded α-sweep, and must actually warm-start (not silently fall back
+//! cold every time).
+
+use privmech_lp::{
+    LinExpr, Model, ModelTemplate, Relation, Sense, SolverOptions, VarBound, WarmStartMode,
+    WarmSweepHandle,
+};
+use privmech_numerics::{rat, Rational};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+mod common;
+
+/// DP-chain template: rows `v_i - α v_{i+1} >= 0` with the `-α` slot bound
+/// per chain row (the tailored-mechanism shape), plus normalization and a
+/// `minimize v_0` objective — the template twin of
+/// [`common::dp_chain_model`].
+fn dp_chain_template(stages: usize) -> ModelTemplate<Rational> {
+    let mut m: Model<Rational> = Model::new();
+    let mut vs = Vec::new();
+    for k in 0..=stages {
+        vs.push(m.add_var(format!("v{k}"), VarBound::NonNegative));
+    }
+    for i in 0..stages {
+        // Placeholder coefficient -1 on the parameterized term.
+        m.add_constraint(
+            LinExpr::term(vs[i], rat(1, 1)).plus(vs[i + 1], rat(-1, 1)),
+            Relation::Ge,
+            Rational::zero(),
+        )
+        .unwrap();
+    }
+    let mut sum = LinExpr::new();
+    for &v in &vs {
+        sum.add_term(v, rat(1, 1));
+    }
+    m.add_constraint(sum, Relation::Eq, rat(1, 1)).unwrap();
+    m.set_objective(Sense::Minimize, LinExpr::term(vs[0], rat(1, 1)))
+        .unwrap();
+
+    let mut t = ModelTemplate::new(m);
+    for i in 0..stages {
+        t.bind_scaled(i, vs[i + 1], rat(-1, 1)).unwrap();
+    }
+    t
+}
+
+/// Seeded α values in `(0, 1)`, sorted ascending like a real sweep.
+fn seeded_alphas(seed: u64, count: usize) -> Vec<Rational> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alphas: Vec<Rational> = (0..count)
+        .map(|_| {
+            let den = rng.gen_range(2i64..=24);
+            let num = rng.gen_range(1i64..den);
+            rat(num, den)
+        })
+        .collect();
+    alphas.sort();
+    alphas.dedup();
+    alphas
+}
+
+/// The headline satellite contract: across a seeded α-sweep, every warm
+/// objective is bit-identical to the cold objective at the same α, and the
+/// sweep genuinely reuses carried bases.
+#[test]
+fn warm_sweep_losses_are_bit_identical_to_cold() {
+    for seed in [11u64, 42, 1009] {
+        let mut warm_template = dp_chain_template(5);
+        let mut cold_template = dp_chain_template(5);
+        let warm_options = SolverOptions {
+            warm_start: WarmStartMode::DualSimplex,
+            ..SolverOptions::default()
+        };
+        let cold_options = SolverOptions::default();
+        let mut handle = WarmSweepHandle::new();
+        for alpha in seeded_alphas(seed, 12) {
+            let warm = handle
+                .solve_at(&mut warm_template, &alpha, &warm_options)
+                .unwrap();
+            let cold = cold_template.solve_at(&alpha, &cold_options).unwrap();
+            assert_eq!(
+                warm.objective, cold.objective,
+                "seed {seed}, alpha {alpha}: warm loss diverged from cold"
+            );
+        }
+        assert!(
+            handle.warm_solves() > 0,
+            "seed {seed}: the sweep never actually warm-started"
+        );
+        assert_eq!(handle.total_solves(), seeded_alphas(seed, 12).len());
+    }
+}
+
+/// Re-running the *same* α through a warm handle is a zero-iteration warm
+/// start: the carried basis is already optimal, and the result is still
+/// bit-identical to cold.
+#[test]
+fn repeated_alpha_is_a_zero_iteration_warm_start() {
+    let mut template = dp_chain_template(4);
+    let options = SolverOptions {
+        warm_start: WarmStartMode::DualSimplex,
+        ..SolverOptions::default()
+    };
+    let mut handle = WarmSweepHandle::new();
+    let alpha = rat(2, 3);
+    let first = handle.solve_at(&mut template, &alpha, &options).unwrap();
+    let second = handle.solve_at(&mut template, &alpha, &options).unwrap();
+    assert_eq!(first.objective, second.objective);
+    assert_eq!(handle.warm_solves(), 1, "second solve must reuse the basis");
+    // Zero dual pivots: the carried basis is already optimal at the same α.
+    assert_eq!(second.stats.dual_pivots, 0);
+}
+
+/// Corpus cross-check: a warm sweep over the corpus's DP-chain α values
+/// agrees with fresh cold builds of [`common::dp_chain_model`] at the same
+/// α — template rewriting and from-scratch construction price identically.
+#[test]
+fn warm_sweep_agrees_with_fresh_corpus_builds() {
+    let mut template = dp_chain_template(4);
+    let options = SolverOptions {
+        warm_start: WarmStartMode::DualSimplex,
+        ..SolverOptions::default()
+    };
+    let mut handle = WarmSweepHandle::new();
+    for (num, den) in [(1i64, 2i64), (2, 3), (3, 4), (1, 3)] {
+        let swept = handle
+            .solve_at(&mut template, &rat(num, den), &options)
+            .unwrap();
+        let fresh = common::dp_chain_model::<Rational>(4, (num, den))
+            .solve()
+            .unwrap();
+        assert_eq!(
+            swept.objective, fresh.objective,
+            "alpha {num}/{den}: template sweep diverged from fresh build"
+        );
+    }
+}

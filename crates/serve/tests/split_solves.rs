@@ -1,0 +1,115 @@
+//! Property tests for the lexical sweep splitter: [`split_solves`] must be
+//! the exact inverse of [`assemble_solves`] on adversarial item renderings —
+//! escaped quotes, backslash runs, unicode escapes, commas and brackets
+//! buried inside strings, and arrays/objects nested several levels deep.
+
+use privmech_serve::proto::{assemble_solves, split_solves};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Render one adversarial JSON value. `depth` bounds recursion; the leaves
+/// lean hard on the splitter's weak spots: quotes, escapes, and separators
+/// that are *data*, not structure.
+fn render_value(rng: &mut StdRng, depth: usize) -> String {
+    let choice = if depth == 0 {
+        rng.gen_range(0..4u32)
+    } else {
+        rng.gen_range(0..6u32)
+    };
+    match choice {
+        // Adversarial string literals.
+        0 => {
+            let mut s = String::from("\"");
+            for _ in 0..rng.gen_range(0..6usize) {
+                match rng.gen_range(0..8u32) {
+                    0 => s.push_str("\\\""),    // escaped quote
+                    1 => s.push_str("\\\\"),    // escaped backslash
+                    2 => s.push_str("\\u00e9"), // unicode escape
+                    3 => s.push_str("\\u007d"), // unicode-escaped '}'
+                    4 => s.push(','),           // separator as data
+                    5 => s.push_str("]}"),      // envelope closer as data
+                    6 => s.push_str("{["),      // openers as data
+                    _ => s.push('x'),
+                }
+            }
+            s.push('"');
+            s
+        }
+        1 => format!("{}", rng.gen_range(-999i64..=999)),
+        2 => "null".into(),
+        3 => if rng.gen_bool(0.5) { "true" } else { "false" }.into(),
+        // Nested array.
+        4 => {
+            let n = rng.gen_range(0..4usize);
+            let inner: Vec<String> = (0..n).map(|_| render_value(rng, depth - 1)).collect();
+            format!("[{}]", inner.join(","))
+        }
+        // Nested object.
+        _ => {
+            let n = rng.gen_range(0..3usize);
+            let inner: Vec<String> = (0..n)
+                .map(|k| format!("\"k{k}\":{}", render_value(rng, depth - 1)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+/// A batch of adversarial sweep-item renderings, deterministic in the seed.
+fn render_items(seed: u64, count: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| render_value(&mut rng, 3)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Split-then-concat round-trips byte-exactly: every slice equals the
+    /// item originally assembled, the count matches the input, and
+    /// reassembling the split reproduces the monolithic bytes.
+    #[test]
+    fn split_inverts_assemble_on_adversarial_items(
+        seed in any::<u64>(),
+        count in 0usize..8,
+    ) {
+        let items = render_items(seed, count);
+        let monolithic = assemble_solves(items.iter().map(String::as_str));
+        let split = split_solves(&monolithic).expect("assembled shape must split");
+        prop_assert_eq!(split.len(), items.len(), "item count must match assemble input");
+        for (got, want) in split.iter().zip(items.iter()) {
+            prop_assert_eq!(*got, want.as_str(), "slice must be byte-identical");
+        }
+        let reassembled = assemble_solves(split.into_iter());
+        prop_assert_eq!(reassembled, monolithic, "concat must round-trip byte-exactly");
+    }
+}
+
+#[test]
+fn empty_sweep_splits_to_no_items() {
+    let monolithic = assemble_solves(std::iter::empty());
+    assert_eq!(monolithic, "{\"solves\":[]}");
+    assert_eq!(split_solves(&monolithic), Some(Vec::new()));
+}
+
+#[test]
+fn malformed_envelopes_are_rejected() {
+    // Wrong envelope.
+    assert_eq!(split_solves("{\"sweep\":[1,2]}"), None);
+    assert_eq!(split_solves("{\"solves\":[1,2]"), None);
+    // Unbalanced nesting.
+    assert_eq!(split_solves("{\"solves\":[[1,2]}"), None);
+    assert_eq!(split_solves("{\"solves\":[{\"a\":1]}"), None);
+    assert_eq!(split_solves("{\"solves\":[1]]]}"), None);
+    // Unterminated string.
+    assert_eq!(split_solves("{\"solves\":[\"abc]}"), None);
+    // A close before any open underflows the depth counter.
+    assert_eq!(split_solves("{\"solves\":[}{]}"), None);
+}
+
+#[test]
+fn separators_inside_strings_do_not_split() {
+    let items = ["\"a,b\"", "\"c]}\"", "\"\\\",\\\"\"", "\"\\u002c\""];
+    let monolithic = assemble_solves(items.iter().copied());
+    let split = split_solves(&monolithic).unwrap();
+    assert_eq!(split, items);
+}
