@@ -12,17 +12,25 @@
 //!               [--seed N] [--arrival-seed N] [--templates N] [--zipf F]
 //!               [--max-n N] [--op-mix S:W:I] [--connections N] [--requests N]
 //!               [--rate R | --ramp START:END:STEPS] [--p99-bound-ms F]
-//!               [--drain-secs F]
+//!               [--drain-secs F] [--fleet N] [--serve-bin PATH]
+//!               [--shard-cache-capacity N]
 //! ```
 //!
 //! With `--rate` the harness runs one fixed-rate step; with `--ramp` it
 //! steps geometrically from START to END requests/second in STEPS steps and
 //! reports the saturation point (first step whose p99 exceeds the bound or
 //! that fails to drain). Default is `--ramp 50:1600:6`.
+//!
+//! With `--fleet N` the harness spawns N `privmech-serve` shard processes
+//! (from `--serve-bin`, default: the binary next to this one) behind an
+//! in-process consistent-hash router and measures through the router's
+//! address; the capacity record's `shards` field carries the count, so
+//! fleet records and single-process records compare like for like.
 
 use std::io::Write;
 use std::time::Duration;
 
+use privmech_load::fleet::{self, Fleet, FleetConfig};
 use privmech_load::{ramp_search, run, RunConfig, Schedule};
 use privmech_load::{Population, WorkloadConfig};
 use privmech_serve::client::Client;
@@ -42,6 +50,9 @@ struct Args {
     ramp: (f64, f64, usize),
     p99_bound: Duration,
     drain: Duration,
+    fleet: usize,
+    serve_bin: Option<String>,
+    shard_cache_capacity: Option<usize>,
 }
 
 impl Default for Args {
@@ -59,6 +70,9 @@ impl Default for Args {
             ramp: (50.0, 1600.0, 6),
             p99_bound: Duration::from_millis(50),
             drain: Duration::from_secs(10),
+            fleet: 0,
+            serve_bin: None,
+            shard_cache_capacity: None,
         }
     }
 }
@@ -78,16 +92,49 @@ fn main() {
     );
     let population = Population::generate(&args.workload);
 
-    // No --addr: measure against a private in-process server (default
-    // config), exactly like the bench harness does.
-    let (addr, local) = match &args.addr {
-        Some(addr) => (addr.clone(), None),
+    // Pick the serving side: an external server (--addr), a locally spawned
+    // fleet of shard processes behind a router (--fleet N), or a private
+    // in-process server (the default) — exactly like the bench harness does.
+    if args.addr.is_some() && args.fleet > 0 {
+        eprintln!("--addr and --fleet are mutually exclusive (a fleet is spawned locally)");
+        std::process::exit(2);
+    }
+    let mut local = None;
+    let mut local_fleet = None;
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
+        None if args.fleet > 0 => {
+            let serve_bin = match &args.serve_bin {
+                Some(path) => std::path::PathBuf::from(path),
+                None => fleet::sibling_serve_bin().unwrap_or_else(|e| {
+                    eprintln!("cannot locate privmech-serve: {e}");
+                    std::process::exit(1);
+                }),
+            };
+            let mut config = FleetConfig::new(args.fleet, serve_bin);
+            if let Some(capacity) = args.shard_cache_capacity {
+                config.shard_args = vec!["--cache-capacity".to_string(), capacity.to_string()];
+            }
+            let fleet = Fleet::spawn(&config).unwrap_or_else(|e| {
+                eprintln!("failed to spawn fleet: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "privmech-load: fleet of {} shards behind router at {}",
+                fleet.shards(),
+                fleet.addr(),
+            );
+            let addr = fleet.addr().to_string();
+            local_fleet = Some(fleet);
+            addr
+        }
         None => {
             let handle = server::spawn(ServerConfig::default()).unwrap_or_else(|e| {
                 eprintln!("failed to spawn in-process server: {e}");
                 std::process::exit(1);
             });
-            (handle.addr().to_string(), Some(handle))
+            local = Some(handle);
+            local.as_ref().expect("just set").addr().to_string()
         }
     };
     let config = RunConfig {
@@ -116,6 +163,9 @@ fn main() {
             )),
         )
         .with("connections", Json::num_u64(args.connections as u64))
+        // 1 when the target is a single process; --addr targets are opaque,
+        // so they also record as 1 unless the caller knows better.
+        .with("shards", Json::num_u64(args.fleet.max(1) as u64))
         .with("requests_per_step", Json::num_u64(args.requests as u64))
         .with(
             "p99_bound_ms",
@@ -197,6 +247,12 @@ fn main() {
 
     if let Some(handle) = local {
         handle.shutdown();
+    }
+    if let Some(fleet) = local_fleet {
+        fleet.shutdown().unwrap_or_else(|e| {
+            eprintln!("privmech-load: fleet shutdown failed: {e}");
+            std::process::exit(1);
+        });
     }
 
     if args.record {
@@ -376,13 +432,22 @@ fn parse_args() -> Args {
                 parsed.drain =
                     Duration::from_secs_f64(parse_f64(&value("--drain-secs"), "--drain-secs"))
             }
+            "--fleet" => parsed.fleet = parse(&value("--fleet"), "--fleet"),
+            "--serve-bin" => parsed.serve_bin = Some(value("--serve-bin")),
+            "--shard-cache-capacity" => {
+                parsed.shard_cache_capacity = Some(parse(
+                    &value("--shard-cache-capacity"),
+                    "--shard-cache-capacity",
+                ))
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: privmech-load [--addr HOST:PORT] [--label L] [--output PATH] \
                      [--no-record] [--seed N] [--arrival-seed N] [--templates N] [--zipf F] \
                      [--max-n N] [--op-mix S:W:I] [--connections N] [--requests N] \
-                     [--rate R | --ramp START:END:STEPS] [--p99-bound-ms F] [--drain-secs F]"
+                     [--rate R | --ramp START:END:STEPS] [--p99-bound-ms F] [--drain-secs F] \
+                     [--fleet N] [--serve-bin PATH] [--shard-cache-capacity N]"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,202 @@
+//! Fleet orchestration: spawn N real `privmech-serve` shard processes and an
+//! in-process consistent-hash router fronting them, so the capacity harness
+//! can measure a sharded deployment through the same single listen address
+//! it uses for a single server.
+//!
+//! The harness stays completely ignorant of the topology — it connects to
+//! [`Fleet::addr`] and drives load exactly as it would against one process.
+//! What changes is the serving side: the router partitions the canonical
+//! request keyspace across the shards, so each shard's LRU cache holds only
+//! its own slice and the *aggregate* cache capacity (and hit rate, and
+//! solver throughput) scales with the shard count. Shutdown goes through
+//! the router's broadcast path, which is also how every shard gets the
+//! chance to dump its `--cache-file` on the way down.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use privmech_serve::frame::{read_frame, write_frame};
+use privmech_serve::json::{self, Json};
+use privmech_serve::router::{self, RouterConfig};
+use privmech_serve::RouterHandle;
+
+/// Configuration of a locally spawned fleet.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shard processes (≥ 1).
+    pub shards: usize,
+    /// Path to the `privmech-serve` binary to spawn shards from.
+    pub serve_bin: PathBuf,
+    /// Extra CLI flags passed to every shard verbatim (e.g.
+    /// `["--cache-capacity", "96"]` to constrain each shard's LRU).
+    pub shard_args: Vec<String>,
+}
+
+impl FleetConfig {
+    /// A fleet of `shards` processes spawned from `serve_bin`, default knobs.
+    #[must_use]
+    pub fn new(shards: usize, serve_bin: PathBuf) -> Self {
+        FleetConfig {
+            shards,
+            serve_bin,
+            shard_args: Vec::new(),
+        }
+    }
+}
+
+/// One spawned shard process.
+#[derive(Debug)]
+pub struct ShardProcess {
+    child: Child,
+    addr: String,
+}
+
+impl ShardProcess {
+    /// The address the shard bound (parsed from its startup banner).
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+/// A running fleet: shard children plus the router fronting them.
+///
+/// Dropping a `Fleet` without calling [`Fleet::shutdown`] kills the shard
+/// processes instead of stopping them gracefully — fine for tests, wrong
+/// for anything relying on `--cache-file` dumps.
+pub struct Fleet {
+    shards: Vec<ShardProcess>,
+    router: Option<RouterHandle>,
+}
+
+impl Fleet {
+    /// Spawn the shard processes, wait for each to report its address, and
+    /// start the router over them.
+    pub fn spawn(config: &FleetConfig) -> io::Result<Fleet> {
+        if config.shards == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a fleet needs at least one shard",
+            ));
+        }
+        let mut shards = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            shards.push(spawn_shard(&config.serve_bin, &config.shard_args)?);
+        }
+        let router = router::spawn(RouterConfig::new(
+            shards.iter().map(|s| s.addr.clone()).collect(),
+        ))?;
+        Ok(Fleet {
+            shards,
+            router: Some(router),
+        })
+    }
+
+    /// The router's listen address — the fleet's single front door.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.router
+            .as_ref()
+            .expect("router runs until shutdown")
+            .addr()
+    }
+
+    /// Number of shard processes.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Graceful teardown: send one `shutdown` through the router (which
+    /// broadcasts it to every shard), reap the shard processes, and join
+    /// the router thread.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        let router = self.router.take().expect("router runs until shutdown");
+        let stream = TcpStream::connect(router.addr())?;
+        let body = Json::obj()
+            .with("v", Json::num_u64(2))
+            .with("id", Json::num_u64(0))
+            .with("op", Json::str("shutdown"));
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        write_frame(&mut writer, json::to_string(&body).as_bytes())?;
+        writer.flush()?;
+        let mut reader = BufReader::new(stream);
+        let _ = read_frame(&mut reader)?;
+        router.join();
+        for shard in &mut self.shards {
+            shard.child.wait()?;
+        }
+        self.shards.clear();
+        Ok(())
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        // Reached only when `shutdown` was skipped (e.g. a panicking test):
+        // don't leak child processes.
+        for shard in &mut self.shards {
+            let _ = shard.child.kill();
+            let _ = shard.child.wait();
+        }
+    }
+}
+
+/// Spawn one `privmech-serve` on an ephemeral port and parse its banner.
+fn spawn_shard(serve_bin: &Path, extra: &[String]) -> io::Result<ShardProcess> {
+    let mut child = Command::new(serve_bin)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("child stdout is piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = match lines.next() {
+        Some(Ok(line)) => line,
+        Some(Err(e)) => {
+            let _ = child.kill();
+            return Err(e);
+        }
+        None => {
+            let _ = child.kill();
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "shard exited before printing its address",
+            ));
+        }
+    };
+    let Some(addr) = banner.strip_prefix("privmech-serve listening on ") else {
+        let _ = child.kill();
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected shard banner: {banner}"),
+        ));
+    };
+    let addr = addr.to_string();
+    // Keep draining stdout so the child can never block on a full pipe.
+    std::thread::spawn(move || lines.for_each(drop));
+    Ok(ShardProcess { child, addr })
+}
+
+/// The `privmech-serve` binary expected next to the currently running one —
+/// the layout cargo produces for both `target/debug` and `target/release`.
+pub fn sibling_serve_bin() -> io::Result<PathBuf> {
+    let exe = std::env::current_exe()?;
+    let dir = exe.parent().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::NotFound, "current executable has no parent")
+    })?;
+    let candidate = dir.join(format!("privmech-serve{}", std::env::consts::EXE_SUFFIX));
+    if candidate.exists() {
+        Ok(candidate)
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "no privmech-serve next to {} — build it or pass --serve-bin",
+                exe.display()
+            ),
+        ))
+    }
+}

@@ -23,7 +23,10 @@
 //!   time (queueing included), and runs a rate-ramp search for the
 //!   saturation point — the first rate where p99 exceeds a bound or the
 //!   server fails to drain the offered load,
-//! * [`stats`] holds the exact (sorted-sample) p50/p99/p999 machinery.
+//! * [`stats`] holds the exact (sorted-sample) p50/p99/p999 machinery,
+//! * [`fleet`] spawns N real `privmech-serve` shard processes behind an
+//!   in-process consistent-hash router, so the same harness measures a
+//!   sharded deployment through one front-door address (`--fleet N`).
 //!
 //! The `privmech-load` bin ties these together and appends a
 //! machine-readable capacity record to `BENCH_serve.json` (same JSON Lines
@@ -33,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod fleet;
 pub mod runner;
 pub mod schedule;
 pub mod stats;
 pub mod workload;
 
+pub use fleet::{Fleet, FleetConfig};
 pub use runner::{ramp_search, run, RampOutcome, RampStep, RunConfig, RunReport};
 pub use schedule::Schedule;
 pub use stats::{LatencyRecorder, LatencySummary};

@@ -14,9 +14,10 @@
 //!   sweeps; v1 still accepted per frame): length-prefixed JSON frames over
 //!   TCP (see [`frame`], [`json`], [`proto`] and the prose spec in
 //!   `crates/serve/PROTOCOL.md`),
-//! * a **pipelined request loop** ([`server`]): a reader thread per
-//!   connection feeding a shared worker pool, completions serialized back
-//!   through a per-connection writer — possibly out of order, matched by
+//! * a **pipelined request loop** ([`server`]): an epoll-style readiness
+//!   loop (hand-rolled bindings, nonblocking sockets, per-connection frame
+//!   state machines) feeding a shared worker pool, completions queued back
+//!   through a per-connection outbox — possibly out of order, matched by
 //!   request `id` — mapping wire requests onto
 //!   [`PrivacyEngine::solve`](privmech_core::PrivacyEngine::solve) /
 //!   [`sweep_with`](privmech_core::PrivacyEngine::sweep_with) /
@@ -33,7 +34,12 @@
 //!   API plus the nonblocking surface —
 //!   [`Client::submit`](client::Client::submit) → [`Ticket`],
 //!   [`Client::recv`](client::Client::recv), and the [`SweepStream`]
-//!   iterator that yields per-α results as the server completes them.
+//!   iterator that yields per-α results as the server completes them,
+//! * a **fleet tier** ([`ring`], [`router`], the `privmech-router` binary):
+//!   N shard processes behind one listen address, each v2 frame forwarded to
+//!   the shard chosen by consistent hashing on the canonical request key, so
+//!   the cache keyspace partitions with zero cross-shard coordination and
+//!   routed responses stay byte-identical to a single process.
 //!
 //! Everything is hand-rolled on `std` — the build environment is offline, so
 //! no serde, no tokio (see the workspace shim policy in the root
@@ -99,7 +105,9 @@
 //! handle.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one FFI module below can opt back in; every
+// other module stays safe-only.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cache;
@@ -109,7 +117,12 @@ pub mod json;
 pub mod metrics;
 pub mod persist;
 pub mod proto;
+pub(crate) mod readiness;
+pub mod ring;
+pub mod router;
 pub mod server;
+#[allow(unsafe_code)]
+pub(crate) mod sys;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use client::{
@@ -122,4 +135,6 @@ pub use proto::{
     CacheDisposition, CacheMode, ConsumerSpec, LossSpec, WireError, WireScalar, PROTOCOL_V1,
     PROTOCOL_VERSION,
 };
+pub use ring::ShardRing;
+pub use router::{RouterConfig, RouterHandle};
 pub use server::{spawn, ServerConfig, ServerHandle};

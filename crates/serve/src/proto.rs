@@ -156,12 +156,45 @@ pub fn intern_code(code: &str) -> &'static str {
         "linalg_error",
         "lp_error",
         "cache_verify_failed",
+        "shard_unavailable",
     ];
     CODES
         .iter()
         .find(|&&c| c == code)
         .copied()
         .unwrap_or("internal")
+}
+
+/// The **routing key** of a compute request: the canonical spelling of the
+/// parts that determine its response — op, scalar tag, the canonically
+/// re-encoded consumer spec, and the op-specific payload — mirroring the
+/// server's key-memo keys, so every spelling of a request that would share a
+/// memoized cache key also routes to the same shard.
+///
+/// `None` for non-compute ops, undecodable specs, and missing payload fields
+/// — requests whose (error) response doesn't depend on cache state, so the
+/// router may send them anywhere. The decode here never *validates* (no loss
+/// matrices, no fingerprints): routing costs one parse and one re-render.
+#[must_use]
+pub fn routing_key(request: &Json) -> Option<String> {
+    let op = request.get("op").and_then(Json::as_str)?;
+    match request.get("scalar").and_then(Json::as_str) {
+        Some("rational") | None => routing_key_for::<Rational>(op, request),
+        Some("f64") => routing_key_for::<f64>(op, request),
+        Some(_) => None,
+    }
+}
+
+fn routing_key_for<T: WireScalar>(op: &str, request: &Json) -> Option<String> {
+    let spec = ConsumerSpec::<T>::from_wire(request).ok()?;
+    let spec_canonical = crate::json::to_string(&spec.encode_onto(Json::obj()));
+    let extra = match op {
+        "solve" => crate::json::to_string(&T::from_wire(request.get("alpha")?)?.to_wire()),
+        "sweep" => crate::json::to_string(&Json::Arr(request.get("alphas")?.as_arr()?.to_vec())),
+        "interact" => crate::json::to_string(request.get("mechanism")?),
+        _ => return None,
+    };
+    Some(format!("{op}|{}|{spec_canonical}|{extra}", T::TAG))
 }
 
 /// A scalar backend that can travel over the wire.

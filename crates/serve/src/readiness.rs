@@ -1,0 +1,232 @@
+//! Nonblocking building blocks for the readiness loop: an incremental frame
+//! decoder and a buffered outbox.
+//!
+//! The blocking [`crate::frame`] helpers assume they may park on the socket;
+//! an event loop cannot. [`FrameReader`] accumulates whatever bytes a
+//! readiness-driven read produced and yields complete frames as they appear;
+//! [`Outbox`] queues rendered frames and pumps them out in `WouldBlock`-sized
+//! steps. Both preserve the wire format of [`crate::frame`] exactly.
+
+use std::io::{self, Read, Write};
+
+use crate::frame::MAX_FRAME_LEN;
+
+/// How many buffered-but-unsent bytes a connection may accumulate before it
+/// is declared dead. A client that stops *reading* while its requests are in
+/// flight would otherwise grow its outbox without bound (the readiness loop
+/// never blocks on writes, so there is no write timeout to save it); past
+/// this cap the connection is torn down instead. Generous enough for a full
+/// in-flight window of maximum-size frames not to trip it under ordinary
+/// slowness.
+pub const MAX_OUTBOX_BYTES: usize = 256 * 1024 * 1024;
+
+/// Incremental decoder for length-prefixed frames: feed it raw socket bytes,
+/// take complete frames out.
+pub struct FrameReader {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameReader {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Append raw bytes from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: decoded frames leave a dead prefix behind.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Read from `source` (a nonblocking socket) into the decode buffer
+    /// until it would block. Returns `Ok(true)` if the peer reached EOF.
+    pub fn fill(&mut self, source: &mut impl Read, scratch: &mut [u8]) -> io::Result<bool> {
+        loop {
+            match source.read(scratch) {
+                Ok(0) => return Ok(true),
+                Ok(n) => self.extend(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pop the next complete frame, if one is buffered. An oversized length
+    /// prefix is unrecoverable (the stream can never resynchronize) and
+    /// errors out, mirroring [`crate::frame::read_frame`].
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let pending = &self.buf[self.pos..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds limit {MAX_FRAME_LEN}"),
+            ));
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = pending[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(frame))
+    }
+
+    /// Whether undecoded bytes remain (a partial frame at EOF means the
+    /// stream was truncated mid-frame).
+    #[must_use]
+    pub fn has_partial(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        FrameReader::new()
+    }
+}
+
+/// A byte queue of rendered frames awaiting socket writability.
+pub struct Outbox {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Outbox {
+    /// An empty outbox.
+    #[must_use]
+    pub fn new() -> Self {
+        Outbox {
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Queue one frame (length prefix + payload). Errors if the payload is
+    /// oversized or the outbox would exceed [`MAX_OUTBOX_BYTES`].
+    pub fn push_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&len| len as usize <= MAX_FRAME_LEN)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "frame length {} exceeds limit {MAX_FRAME_LEN}",
+                        payload.len()
+                    ),
+                )
+            })?;
+        if self.len() + 4 + payload.len() > MAX_OUTBOX_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "connection outbox overflow (peer is not reading)",
+            ));
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(&len.to_be_bytes());
+        self.buf.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Unsent bytes queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether everything queued has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Write as much as the (nonblocking) sink accepts right now. Returns
+    /// whether the outbox is now empty.
+    pub fn pump(&mut self, sink: &mut impl Write) -> io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match sink.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.pos += n;
+                    if self.pos >= 64 * 1024 && self.pos == self.buf.len() {
+                        self.buf.clear();
+                        self.pos = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+impl Default for Outbox {
+    fn default() -> Self {
+        Outbox::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_reassemble_from_single_bytes() {
+        let mut reader = FrameReader::new();
+        let payload = b"{\"v\":2}";
+        let mut wire = (payload.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(payload);
+        for &byte in &wire[..wire.len() - 1] {
+            reader.extend(&[byte]);
+            assert!(reader.next_frame().unwrap().is_none());
+        }
+        reader.extend(&wire[wire.len() - 1..]);
+        assert_eq!(reader.next_frame().unwrap().unwrap(), payload);
+        assert!(!reader.has_partial());
+    }
+
+    #[test]
+    fn oversized_length_is_fatal() {
+        let mut reader = FrameReader::new();
+        reader.extend(&u32::MAX.to_be_bytes());
+        assert!(reader.next_frame().is_err());
+    }
+
+    #[test]
+    fn outbox_round_trips_frames() {
+        let mut outbox = Outbox::new();
+        outbox.push_frame(b"hello").unwrap();
+        outbox.push_frame(b"world").unwrap();
+        let mut sink = Vec::new();
+        assert!(outbox.pump(&mut sink).unwrap());
+        let mut reader = FrameReader::new();
+        reader.extend(&sink);
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"hello");
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"world");
+    }
+}

@@ -1,0 +1,123 @@
+//! Consistent hashing for the fleet tier: a fixed ring of virtual nodes
+//! mapping canonical request keys to shard indices.
+//!
+//! The paper's mechanisms are deterministic functions of the request, so a
+//! shard that owns a key owns *every* occurrence of it — sharding partitions
+//! the cache keyspace with zero cross-shard coordination, and each shard's
+//! LRU stays hot on exactly its slice of the corpus. The ring hashes stable
+//! shard **indices** (not addresses), so ownership survives shard restarts
+//! on fresh ephemeral ports, and adding a shard to a ring of N only moves
+//! the keys whose ring successor the new shard's virtual nodes capture —
+//! about 1/(N+1) of the keyspace (see `tests/ring.rs`).
+
+use privmech_core::fingerprint::fnv1a;
+
+/// Finalizing avalanche (SplitMix64's mixer) applied on top of FNV-1a.
+///
+/// FNV-1a is a fine byte-stream hash for table bucketing, but its *high*
+/// bits mix poorly — and ring placement is an order statistic on the full
+/// 64-bit value, so weak high bits cluster virtual nodes and skew ownership
+/// shares badly (observed >2x from uniform at 64 vnodes). One multiply-xor
+/// finalizer restores avalanche; it is applied identically to vnode points
+/// and key lookups, so it is just a change of hash function, not of scheme.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut z = fnv1a(bytes);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Virtual nodes per shard. Enough to keep ownership shares within a few
+/// percent of uniform at fleet sizes this repo targets (≤ dozens of shards).
+pub const DEFAULT_VNODES: usize = 64;
+
+/// A consistent-hash ring over `shards` shard indices.
+///
+/// Construction is deterministic: the same `(shards, vnodes)` always builds
+/// the identical ring, so every router replica — and every restart — agrees
+/// on ownership without coordination.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    /// `(point, shard)` sorted by point; lookup is the successor point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+    vnodes: usize,
+}
+
+impl ShardRing {
+    /// Build the ring for `shards` shards with `vnodes` virtual nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `vnodes` is zero — an empty ring can own
+    /// nothing.
+    #[must_use]
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        assert!(shards > 0, "a ring needs at least one shard");
+        assert!(vnodes > 0, "a ring needs at least one virtual node");
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                let point = ring_hash(format!("shard|{shard}|vnode|{vnode}").as_bytes());
+                points.push((point, shard));
+            }
+        }
+        // Sorting by (point, shard) makes collisions (astronomically rare
+        // with 64-bit points, but possible) resolve deterministically.
+        points.sort_unstable();
+        ShardRing {
+            points,
+            shards,
+            vnodes,
+        }
+    }
+
+    /// The ring with [`DEFAULT_VNODES`] virtual nodes per shard.
+    #[must_use]
+    pub fn with_default_vnodes(shards: usize) -> Self {
+        ShardRing::new(shards, DEFAULT_VNODES)
+    }
+
+    /// The shard owning `key`: hash the key onto the ring and walk clockwise
+    /// to the next virtual node (wrapping past the top).
+    #[must_use]
+    pub fn shard_for(&self, key: &str) -> usize {
+        let hash = ring_hash(key.as_bytes());
+        let at = self.points.partition_point(|&(point, _)| point < hash);
+        let (_, shard) = self.points[at % self.points.len()];
+        shard
+    }
+
+    /// Number of shards on the ring.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Virtual nodes per shard.
+    #[must_use]
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_key_owned_by_a_valid_shard() {
+        let ring = ShardRing::new(4, 8);
+        for i in 0..256 {
+            assert!(ring.shard_for(&format!("key|{i}")) < 4);
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = ShardRing::new(1, 8);
+        for i in 0..64 {
+            assert_eq!(ring.shard_for(&format!("key|{i}")), 0);
+        }
+    }
+}

@@ -1,0 +1,1192 @@
+//! The fleet router: one listen address fronting N `privmech-serve` shard
+//! processes, with requests partitioned by consistent hashing on the
+//! canonical request key.
+//!
+//! # Why routing preserves byte identity
+//!
+//! Every compute response is a deterministic function of the *parsed*
+//! request (the server re-renders parsed trees into its envelopes and cache
+//! keys; it never echoes raw client bytes), so any shard produces the same
+//! bytes for the same request — the paper's mechanisms are pure functions of
+//! the consumer. What sharding buys is **cache partitioning**: the ring
+//! ([`crate::ring`]) sends every spelling of a request that shares a
+//! canonical key ([`crate::proto::routing_key`], mirroring the server's
+//! key-memo keys) to the same shard, so each shard's LRU holds a disjoint
+//! slice of the keyspace and the fleet's aggregate cache capacity scales
+//! with shard count. Routing costs one parse and one re-render per frame —
+//! never a validation.
+//!
+//! # Mechanics
+//!
+//! The router is a single readiness loop (same machinery as the server's):
+//! it decodes client frames, rewrites each request's `id` to an internal
+//! ticket, forwards it on a multiplexed nonblocking connection to the owning
+//! shard, and splices the client's original `id` rendering back into each
+//! reply — including every `sweep_item` of a streaming sweep — before
+//! relaying it. The splice is lexical (the reply is never re-rendered), so
+//! relayed frames are byte-identical to what a direct connection would have
+//! read.
+//!
+//! Per-op routing:
+//!
+//! * `solve` / `sweep` / `interact` → the ring owner of the canonical key;
+//! * `stats` / `metrics` (including `reset`) → fanned out to every live
+//!   shard and aggregated, so fleet counters read like one server's;
+//! * `shutdown` → broadcast to every live shard (each dumps its cache file),
+//!   answered locally, then the router itself stops;
+//! * everything else (`ping`, `hello` negotiation, unknown ops, schema
+//!   errors) → the lowest live shard, whose reply is deterministic.
+//!
+//! A dead shard (connect failure, reset, EOF) fails **only its own
+//! requests**: every pending ticket on it is answered with a
+//! `shard_unavailable` error frame and the shard enters a short cooldown;
+//! reconnection is attempted (bounded) on the next request it owns, reading
+//! the shard's current address — [`RouterHandle::update_shard`] re-admits a
+//! restarted shard at a new port without disturbing ring ownership, which
+//! hashes stable shard *indices*.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json::{self, Json};
+use crate::metrics::TRACKED_OPS;
+use crate::proto::{routing_key, WireError, PROTOCOL_V1, PROTOCOL_VERSION};
+use crate::readiness::{FrameReader, Outbox};
+use crate::ring::{ShardRing, DEFAULT_VNODES};
+use crate::server::{error_response, ok_response, wire_error_json};
+use crate::sys::{EpollEvent, Poller, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+
+/// Configuration of a router instance.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address; use port 0 for an ephemeral port (read it back from
+    /// [`RouterHandle::addr`]).
+    pub addr: String,
+    /// Shard addresses, one per shard index. Ring ownership hashes the
+    /// *index*, so the order given here is the fleet's stable identity.
+    pub shards: Vec<String>,
+    /// Virtual nodes per shard on the ring.
+    pub vnodes: usize,
+    /// Per-client-connection bound on forwarded requests awaiting replies;
+    /// enforced by readiness gating exactly like the server's cap. 0
+    /// disables the bound.
+    pub max_inflight_per_conn: usize,
+}
+
+impl RouterConfig {
+    /// A router over the given shard addresses with default knobs.
+    #[must_use]
+    pub fn new(shards: Vec<String>) -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards,
+            vnodes: DEFAULT_VNODES,
+            max_inflight_per_conn: 256,
+        }
+    }
+}
+
+/// How long a failed shard stays in cooldown before forwarding retries it.
+const SHARD_COOLDOWN: Duration = Duration::from_millis(250);
+
+/// Per-request bound on reconnection attempts to a cold shard.
+const CONNECT_ATTEMPTS: usize = 2;
+
+/// Timeout of one reconnection attempt.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// How long a stopping router keeps flushing before force-closing.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+struct RouterShared {
+    stop: AtomicBool,
+    wake: WakeFd,
+    addr: SocketAddr,
+    /// Current shard addresses by index, consulted on every reconnection —
+    /// restarted shards may come back on fresh ephemeral ports.
+    addrs: Mutex<Vec<String>>,
+}
+
+/// A running router. Dropping the handle shuts it down and joins its thread.
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+    event: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound listen address (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Point shard `index` at a new address — re-admits a restarted shard.
+    /// Takes effect on the next reconnection attempt; ring ownership is
+    /// untouched (it hashes the index, not the address).
+    pub fn update_shard(&self, index: usize, addr: impl Into<String>) {
+        let mut addrs = self
+            .shared
+            .addrs
+            .lock()
+            .expect("shard address list poisoned");
+        if let Some(slot) = addrs.get_mut(index) {
+            *slot = addr.into();
+        }
+    }
+
+    /// Signal the loop to stop and join it. Also invoked on drop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Block until the router stops (e.g. a client sent `shutdown`).
+    pub fn join(mut self) {
+        if let Some(event) = self.event.take() {
+            let _ = event.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake.signal();
+        if let Some(event) = self.event.take() {
+            let _ = event.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind and start routing; returns immediately with a handle. Shards are
+/// connected lazily, on the first request each one owns.
+pub fn spawn(config: RouterConfig) -> io::Result<RouterHandle> {
+    if config.shards.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a router needs at least one shard",
+        ));
+    }
+    let listener =
+        TcpListener::bind(
+            config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address")
+            })?,
+        )?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(RouterShared {
+        stop: AtomicBool::new(false),
+        wake: WakeFd::new()?,
+        addr,
+        addrs: Mutex::new(config.shards.clone()),
+    });
+    let poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
+    poller.register(shared.wake.as_raw_fd(), TOKEN_WAKE, EPOLLIN)?;
+
+    let nshards = config.shards.len();
+    let now = Instant::now();
+    let event = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            RouterLoop {
+                shared,
+                poller,
+                listener,
+                ring: ShardRing::new(nshards, config.vnodes.max(1)),
+                max_inflight: config.max_inflight_per_conn,
+                clients: HashMap::new(),
+                shards: (0..nshards)
+                    .map(|_| ShardState::Down { until: now })
+                    .collect(),
+                owned: vec![HashSet::new(); nshards],
+                pendings: HashMap::new(),
+                aggs: HashMap::new(),
+                next_client_token: TOKEN_SHARD_BASE + nshards as u64,
+                next_ticket: 1,
+                scratch: vec![0u8; 64 * 1024],
+            }
+            .run();
+        })
+    };
+    Ok(RouterHandle {
+        shared,
+        event: Some(event),
+    })
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+/// Shard `i`'s connection carries token `TOKEN_SHARD_BASE + i`, stable
+/// across reconnections; client tokens start above the shard range.
+const TOKEN_SHARD_BASE: u64 = 2;
+
+struct ClientConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    outbox: Outbox,
+    interest: u32,
+    read_closed: bool,
+    closing: bool,
+    /// Forwarded requests awaiting their terminal reply (the readiness-gated
+    /// in-flight count).
+    inflight: usize,
+}
+
+struct ShardConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    outbox: Outbox,
+    interest: u32,
+}
+
+enum ShardState {
+    Up(ShardConn),
+    Down { until: Instant },
+}
+
+/// What a ticket (rewritten request id) resolves to when its reply arrives.
+enum Pending {
+    /// Relay to a client, restoring its original `id` rendering.
+    Forward {
+        client: u64,
+        id_rendering: String,
+        v: u64,
+    },
+    /// One member of a `stats`/`metrics` fan-out.
+    AggMember { agg: u64 },
+    /// A broadcast whose reply nobody needs (`shutdown`).
+    Discard,
+}
+
+/// An in-progress `stats`/`metrics` fan-out.
+struct Agg {
+    client: u64,
+    v: u64,
+    id_rendering: String,
+    waiting: usize,
+    successes: usize,
+    acc: AggAcc,
+}
+
+enum AggAcc {
+    Stats(StatsAcc),
+    Metrics(MetricsAcc),
+}
+
+/// Summed fleet cache counters, in the server's `stats` field order.
+#[derive(Default)]
+struct StatsAcc {
+    sums: [u64; STATS_SUM_FIELDS.len()],
+    max_inflight: u64,
+    inflight_peak: u64,
+}
+
+/// The `stats` result fields that add across shards (capacity and entry
+/// counts genuinely sum: shards hold disjoint keyspace slices).
+const STATS_SUM_FIELDS: [&str; 11] = [
+    "hits",
+    "misses",
+    "evictions",
+    "entries",
+    "capacity",
+    "shards",
+    "neg_hits",
+    "neg_misses",
+    "neg_evictions",
+    "neg_entries",
+    "neg_capacity",
+];
+
+/// Merged per-op latency histograms: counts and totals sum; sparse buckets
+/// merge by their `le_ns` bound.
+#[derive(Default)]
+struct MetricsAcc {
+    ops: HashMap<String, OpAcc>,
+}
+
+#[derive(Default)]
+struct OpAcc {
+    count: u64,
+    total_ns: u64,
+    buckets: HashMap<u64, u64>,
+}
+
+struct RouterLoop {
+    shared: Arc<RouterShared>,
+    poller: Poller,
+    listener: TcpListener,
+    ring: ShardRing,
+    max_inflight: usize,
+    clients: HashMap<u64, ClientConn>,
+    shards: Vec<ShardState>,
+    /// Tickets outstanding on each shard, for fault fan-out on death.
+    owned: Vec<HashSet<u64>>,
+    pendings: HashMap<u64, Pending>,
+    aggs: HashMap<u64, Agg>,
+    next_client_token: u64,
+    next_ticket: u64,
+    scratch: Vec<u8>,
+}
+
+impl RouterLoop {
+    fn run(mut self) {
+        let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+        loop {
+            let timeout = if draining { 20 } else { 500 };
+            let Ok(n) = self.poller.wait(&mut events, timeout) else {
+                break;
+            };
+            for event in &events[..n] {
+                let token = event.data;
+                let mask = event.events;
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.shared.wake.drain(),
+                    token if token < TOKEN_SHARD_BASE + self.shards.len() as u64 => {
+                        self.shard_ready((token - TOKEN_SHARD_BASE) as usize, mask);
+                    }
+                    token => self.client_ready(token, mask),
+                }
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                if !draining {
+                    draining = true;
+                    drain_deadline = Instant::now() + DRAIN_GRACE;
+                    let _ = self.poller.deregister(self.listener.as_raw_fd());
+                    let tokens: Vec<u64> = self.clients.keys().copied().collect();
+                    for token in tokens {
+                        if let Some(client) = self.clients.get_mut(&token) {
+                            client.read_closed = true;
+                            client.closing = true;
+                        }
+                        self.service_client(token);
+                    }
+                }
+                // Quiesced = every outbox flushed (shutdown broadcasts must
+                // reach the shards before the router exits).
+                let flushed = self.clients.values().all(|c| c.outbox.is_empty())
+                    && self.shards.iter().all(|s| match s {
+                        ShardState::Up(conn) => conn.outbox.is_empty(),
+                        ShardState::Down { .. } => true,
+                    });
+                if flushed || Instant::now() >= drain_deadline {
+                    break;
+                }
+            }
+        }
+        for (_, client) in self.clients.drain() {
+            let _ = client.stream.shutdown(Shutdown::Both);
+        }
+        for shard in &self.shards {
+            if let ShardState::Up(conn) = shard {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.stop.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_client_token;
+                    self.next_client_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, EPOLLIN)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.clients.insert(
+                        token,
+                        ClientConn {
+                            stream,
+                            reader: FrameReader::new(),
+                            outbox: Outbox::new(),
+                            interest: EPOLLIN,
+                            read_closed: false,
+                            closing: false,
+                            inflight: 0,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client side
+    // ------------------------------------------------------------------
+
+    fn client_ready(&mut self, token: u64, mask: u32) {
+        let Some(client) = self.clients.get_mut(&token) else {
+            return;
+        };
+        if mask & (EPOLLERR | EPOLLHUP) != 0 {
+            self.drop_client(token);
+            return;
+        }
+        if mask & EPOLLIN != 0 && !client.read_closed {
+            match client.reader.fill(&mut &client.stream, &mut self.scratch) {
+                Ok(eof) => client.read_closed |= eof,
+                Err(_) => {
+                    self.drop_client(token);
+                    return;
+                }
+            }
+        }
+        self.service_client(token);
+    }
+
+    /// Decode and dispatch buffered client frames (gated at the in-flight
+    /// cap), flush the outbox, update interest, tear down when finished.
+    fn service_client(&mut self, token: u64) {
+        enum DecodeEnd {
+            NoMore,
+            Capped,
+            Fatal,
+        }
+        let mut end = DecodeEnd::NoMore;
+        loop {
+            let frame = {
+                let Some(client) = self.clients.get_mut(&token) else {
+                    return;
+                };
+                if client.closing {
+                    break;
+                }
+                if self.max_inflight != 0 && client.inflight >= self.max_inflight {
+                    end = DecodeEnd::Capped;
+                    break;
+                }
+                match client.reader.next_frame() {
+                    Ok(Some(payload)) => payload,
+                    Ok(None) => break,
+                    Err(_) => {
+                        end = DecodeEnd::Fatal;
+                        break;
+                    }
+                }
+            };
+            self.handle_client_frame(token, &frame);
+        }
+        {
+            let Some(client) = self.clients.get_mut(&token) else {
+                return;
+            };
+            let truncated = matches!(end, DecodeEnd::NoMore)
+                && client.read_closed
+                && client.reader.has_partial();
+            if !client.closing && (matches!(end, DecodeEnd::Fatal) || truncated) {
+                client.closing = true;
+                let frame = error_response(
+                    PROTOCOL_VERSION,
+                    Json::Null,
+                    wire_error_json(&WireError::new("malformed_frame", "unreadable frame")),
+                    None,
+                );
+                let _ = client.outbox.push_frame(json::to_string(&frame).as_bytes());
+            }
+        }
+        self.flush_client(token);
+    }
+
+    /// Pump the client's outbox, refresh poller interest, and tear the
+    /// connection down once it has nothing left to do.
+    fn flush_client(&mut self, token: u64) {
+        let Some(client) = self.clients.get_mut(&token) else {
+            return;
+        };
+        let flushed = match client.outbox.pump(&mut &client.stream) {
+            Ok(emptied) => emptied,
+            Err(_) => {
+                self.drop_client(token);
+                return;
+            }
+        };
+        let at_cap = self.max_inflight != 0 && client.inflight >= self.max_inflight;
+        let readable = !client.read_closed && !client.closing && !at_cap;
+        let desired = if readable { EPOLLIN } else { 0 } | if flushed { 0 } else { EPOLLOUT };
+        if desired != client.interest
+            && self
+                .poller
+                .modify(client.stream.as_raw_fd(), token, desired)
+                .is_ok()
+        {
+            client.interest = desired;
+        }
+        if (client.closing || client.read_closed) && flushed && client.inflight == 0 {
+            self.drop_client(token);
+        }
+    }
+
+    fn drop_client(&mut self, token: u64) {
+        if let Some(client) = self.clients.remove(&token) {
+            let _ = self.poller.deregister(client.stream.as_raw_fd());
+            let _ = client.stream.shutdown(Shutdown::Both);
+        }
+        // Tickets this client had in flight drain lazily: replies arriving
+        // for a gone client are discarded on receipt.
+    }
+
+    /// Queue a locally-built reply frame on a client's outbox.
+    fn reply_local(&mut self, token: u64, frame: &Json) {
+        if let Some(client) = self.clients.get_mut(&token) {
+            let _ = client.outbox.push_frame(json::to_string(frame).as_bytes());
+        }
+        self.flush_client(token);
+    }
+
+    fn handle_client_frame(&mut self, token: u64, payload: &[u8]) {
+        // Frames the *server* would reject before reaching an op handler are
+        // rejected here with the identical bytes (same codes, same messages,
+        // same envelope rendering): there is nothing cache-dependent to
+        // route.
+        let Ok(text) = std::str::from_utf8(payload) else {
+            self.reply_local(
+                token,
+                &error_response(
+                    PROTOCOL_VERSION,
+                    Json::Null,
+                    wire_error_json(&WireError::new("malformed_json", "frame is not UTF-8")),
+                    None,
+                ),
+            );
+            return;
+        };
+        let request = match json::parse(text) {
+            Ok(value) => value,
+            Err(e) => {
+                self.reply_local(
+                    token,
+                    &error_response(
+                        PROTOCOL_VERSION,
+                        Json::Null,
+                        wire_error_json(&WireError::new("malformed_json", e.to_string())),
+                        None,
+                    ),
+                );
+                return;
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let v = request.get("v").and_then(Json::as_u64);
+        if v == Some(PROTOCOL_VERSION) && id == Json::Null {
+            // Enforced locally: the forwarded request necessarily carries a
+            // ticket id, so the shard could never reproduce this rejection.
+            self.reply_local(
+                token,
+                &error_response(
+                    PROTOCOL_VERSION,
+                    Json::Null,
+                    wire_error_json(&WireError::bad_request(
+                        "v2 requests must carry a client-chosen \"id\"",
+                    )),
+                    None,
+                ),
+            );
+            return;
+        }
+        // The v recorded on the ticket shapes only *synthesized* failure
+        // frames; the server echoes v2 for invalid versions, so mirror that.
+        let v_eff = match v {
+            Some(v @ (PROTOCOL_V1 | PROTOCOL_VERSION)) => v,
+            _ => PROTOCOL_VERSION,
+        };
+        // Fleet-level ops are only intercepted for valid versions — an
+        // invalid `v` must reach a shard so the client gets the server's
+        // exact `unsupported_version` bytes (and a bad-version `shutdown`
+        // must stop nothing).
+        let v_valid = matches!(v, Some(PROTOCOL_V1 | PROTOCOL_VERSION));
+        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+        match op {
+            "stats" | "metrics" if v_valid => self.handle_agg(token, v_eff, &id, &request),
+            "shutdown" if v_valid => self.handle_shutdown(token, v_eff, id, &request),
+            _ => {
+                let shard = match routing_key(&request) {
+                    Some(key) => self.ring.shard_for(&key),
+                    // Keyless requests (ping, hello, schema errors…) have
+                    // deterministic, cache-independent responses: any shard
+                    // answers them identically.
+                    None => self.lowest_live_shard(),
+                };
+                self.forward(token, shard, v_eff, &id, request);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Forwarding
+    // ------------------------------------------------------------------
+
+    /// Rewrite the request's id to a fresh ticket and queue it on `shard`'s
+    /// connection; on an unreachable shard, answer `shard_unavailable`.
+    fn forward(&mut self, token: u64, shard: usize, v: u64, id: &Json, mut request: Json) {
+        let id_rendering = json::to_string(id);
+        if !self.ensure_shard(shard) {
+            self.reply_local(token, &shard_unavailable_frame(v, &id_rendering, shard));
+            return;
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        set_field(&mut request, "id", Json::num_u64(ticket));
+        let ok = self.push_to_shard(shard, json::to_string(&request).as_bytes());
+        if !ok {
+            // The push killed the shard (overflow / write error): its
+            // pendings were already failed; fail this request the same way.
+            self.reply_local(token, &shard_unavailable_frame(v, &id_rendering, shard));
+            return;
+        }
+        self.pendings.insert(
+            ticket,
+            Pending::Forward {
+                client: token,
+                id_rendering,
+                v,
+            },
+        );
+        self.owned[shard].insert(ticket);
+        if let Some(client) = self.clients.get_mut(&token) {
+            client.inflight += 1;
+        }
+    }
+
+    /// The first shard accepting a connection, for keyless requests. Falls
+    /// back to shard 0 (whose unavailability then surfaces naturally).
+    fn lowest_live_shard(&mut self) -> usize {
+        for shard in 0..self.shards.len() {
+            if matches!(self.shards[shard], ShardState::Up(_)) {
+                return shard;
+            }
+        }
+        for shard in 0..self.shards.len() {
+            if self.ensure_shard(shard) {
+                return shard;
+            }
+        }
+        0
+    }
+
+    /// Make sure `shard` has a live connection, reconnecting (bounded) if
+    /// its cooldown has lapsed. Returns whether it is usable.
+    fn ensure_shard(&mut self, shard: usize) -> bool {
+        match &self.shards[shard] {
+            ShardState::Up(_) => true,
+            ShardState::Down { until } => {
+                if Instant::now() < *until {
+                    return false;
+                }
+                let addr = self
+                    .shared
+                    .addrs
+                    .lock()
+                    .expect("shard address list poisoned")
+                    .get(shard)
+                    .cloned()
+                    .unwrap_or_default();
+                for _ in 0..CONNECT_ATTEMPTS {
+                    let Some(resolved) = resolve(&addr) else {
+                        break;
+                    };
+                    let Ok(stream) = TcpStream::connect_timeout(&resolved, CONNECT_TIMEOUT) else {
+                        continue;
+                    };
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = TOKEN_SHARD_BASE + shard as u64;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, EPOLLIN)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.shards[shard] = ShardState::Up(ShardConn {
+                        stream,
+                        reader: FrameReader::new(),
+                        outbox: Outbox::new(),
+                        interest: EPOLLIN,
+                    });
+                    return true;
+                }
+                self.shards[shard] = ShardState::Down {
+                    until: Instant::now() + SHARD_COOLDOWN,
+                };
+                false
+            }
+        }
+    }
+
+    /// Queue one frame on a shard connection and flush. Returns false — and
+    /// fails the shard — if the push or flush breaks the connection.
+    fn push_to_shard(&mut self, shard: usize, payload: &[u8]) -> bool {
+        let pushed = match &mut self.shards[shard] {
+            ShardState::Up(conn) => conn.outbox.push_frame(payload).is_ok(),
+            ShardState::Down { .. } => false,
+        };
+        if !pushed {
+            self.kill_shard(shard);
+            return false;
+        }
+        self.flush_shard(shard)
+    }
+
+    /// Pump a shard's outbox and refresh its poller interest. Returns false
+    /// — and fails the shard — on a write error.
+    fn flush_shard(&mut self, shard: usize) -> bool {
+        let ShardState::Up(conn) = &mut self.shards[shard] else {
+            return false;
+        };
+        let flushed = match conn.outbox.pump(&mut &conn.stream) {
+            Ok(emptied) => emptied,
+            Err(_) => {
+                self.kill_shard(shard);
+                return false;
+            }
+        };
+        let desired = EPOLLIN | if flushed { 0 } else { EPOLLOUT };
+        if desired != conn.interest {
+            let token = TOKEN_SHARD_BASE + shard as u64;
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, desired)
+                .is_ok()
+            {
+                conn.interest = desired;
+            }
+        }
+        true
+    }
+
+    /// A shard connection failed: close it, start its cooldown, and fail
+    /// every ticket it owned with `shard_unavailable` — other shards'
+    /// traffic is untouched.
+    fn kill_shard(&mut self, shard: usize) {
+        let state = std::mem::replace(
+            &mut self.shards[shard],
+            ShardState::Down {
+                until: Instant::now() + SHARD_COOLDOWN,
+            },
+        );
+        if let ShardState::Up(conn) = state {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        let tickets: Vec<u64> = self.owned[shard].drain().collect();
+        for ticket in tickets {
+            match self.pendings.remove(&ticket) {
+                Some(Pending::Forward {
+                    client,
+                    id_rendering,
+                    v,
+                }) => {
+                    let frame = shard_unavailable_frame(v, &id_rendering, shard);
+                    if let Some(conn) = self.clients.get_mut(&client) {
+                        let _ = conn.outbox.push_frame(json::to_string(&frame).as_bytes());
+                        conn.inflight = conn.inflight.saturating_sub(1);
+                    }
+                    self.service_client(client);
+                }
+                Some(Pending::AggMember { agg }) => self.agg_member_done(agg, None),
+                Some(Pending::Discard) | None => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shard side
+    // ------------------------------------------------------------------
+
+    fn shard_ready(&mut self, shard: usize, mask: u32) {
+        if mask & (EPOLLERR | EPOLLHUP) != 0 {
+            self.kill_shard(shard);
+            return;
+        }
+        let mut eof = false;
+        if mask & EPOLLIN != 0 {
+            let ShardState::Up(conn) = &mut self.shards[shard] else {
+                return;
+            };
+            match conn.reader.fill(&mut &conn.stream, &mut self.scratch) {
+                Ok(e) => eof = e,
+                Err(_) => {
+                    self.kill_shard(shard);
+                    return;
+                }
+            }
+        }
+        // Relay every complete buffered reply before acting on the EOF, so
+        // a shard that answered-then-exited loses nothing.
+        loop {
+            let frame = {
+                let ShardState::Up(conn) = &mut self.shards[shard] else {
+                    return;
+                };
+                match conn.reader.next_frame() {
+                    Ok(Some(payload)) => payload,
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.kill_shard(shard);
+                        return;
+                    }
+                }
+            };
+            self.handle_shard_reply(shard, &frame);
+        }
+        if eof {
+            self.kill_shard(shard);
+            return;
+        }
+        if mask & EPOLLOUT != 0 {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// One reply frame from a shard: splice the original client id back in
+    /// (lexically — the reply is never re-rendered, preserving byte
+    /// identity) and relay it; terminal frames retire the ticket.
+    fn handle_shard_reply(&mut self, shard: usize, payload: &[u8]) {
+        let Ok(text) = std::str::from_utf8(payload) else {
+            return;
+        };
+        let Some((ticket, id_start, id_end)) = lexical_ticket(text) else {
+            return;
+        };
+        let head = &text[..text.len().min(96)];
+        let terminal = !head.contains("\"stream\":\"sweep_item\"");
+        // Relay first (under a shared borrow of the ticket), then retire the
+        // ticket and run the follow-up pass.
+        enum After {
+            Relay { client: u64 },
+            Agg { agg: u64 },
+            Discard,
+            Nothing,
+        }
+        let after = match self.pendings.get(&ticket) {
+            Some(Pending::Forward {
+                client,
+                id_rendering,
+                ..
+            }) => {
+                let client = *client;
+                let mut spliced = String::with_capacity(text.len() + id_rendering.len());
+                spliced.push_str(&text[..id_start]);
+                spliced.push_str(id_rendering);
+                spliced.push_str(&text[id_end..]);
+                if let Some(conn) = self.clients.get_mut(&client) {
+                    let _ = conn.outbox.push_frame(spliced.as_bytes());
+                }
+                After::Relay { client }
+            }
+            Some(Pending::AggMember { agg }) => After::Agg { agg: *agg },
+            Some(Pending::Discard) => After::Discard,
+            None => After::Nothing,
+        };
+        if terminal && !matches!(after, After::Nothing) {
+            self.pendings.remove(&ticket);
+            self.owned[shard].remove(&ticket);
+        }
+        match after {
+            After::Relay { client } => {
+                if terminal {
+                    if let Some(conn) = self.clients.get_mut(&client) {
+                        conn.inflight = conn.inflight.saturating_sub(1);
+                    }
+                    // May un-gate reads and decode more frames.
+                    self.service_client(client);
+                } else {
+                    self.flush_client(client);
+                }
+            }
+            After::Agg { agg } => {
+                if terminal {
+                    self.agg_member_done(agg, json::parse(text).ok());
+                }
+            }
+            After::Discard | After::Nothing => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fan-out ops
+    // ------------------------------------------------------------------
+
+    /// `stats` / `metrics`: forward (rewritten) copies to every reachable
+    /// shard and merge the results into one fleet-wide reply. `reset: true`
+    /// passes through inside the copies, so a fleet metrics reset clears
+    /// every shard's window in one op.
+    fn handle_agg(&mut self, token: u64, v: u64, id: &Json, request: &Json) {
+        let id_rendering = json::to_string(id);
+        let members: Vec<usize> = (0..self.shards.len())
+            .filter(|&shard| self.ensure_shard(shard))
+            .collect();
+        if members.is_empty() {
+            self.reply_local(token, &no_shard_frame(v, &id_rendering));
+            return;
+        }
+        let op = request.get("op").and_then(Json::as_str).unwrap_or("");
+        // Count the fan-out against the client's in-flight cap *before* the
+        // member loop: an all-members-fail fan-out completes synchronously
+        // inside it and releases the slot.
+        if let Some(client) = self.clients.get_mut(&token) {
+            client.inflight += 1;
+        }
+        let agg_id = self.next_ticket;
+        self.next_ticket += 1;
+        self.aggs.insert(
+            agg_id,
+            Agg {
+                client: token,
+                v,
+                id_rendering,
+                waiting: members.len(),
+                successes: 0,
+                acc: if op == "stats" {
+                    AggAcc::Stats(StatsAcc::default())
+                } else {
+                    AggAcc::Metrics(MetricsAcc::default())
+                },
+            },
+        );
+        for shard in members {
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            let mut copy = request.clone();
+            set_field(&mut copy, "id", Json::num_u64(ticket));
+            if self.push_to_shard(shard, json::to_string(&copy).as_bytes()) {
+                self.pendings
+                    .insert(ticket, Pending::AggMember { agg: agg_id });
+                self.owned[shard].insert(ticket);
+            } else {
+                self.agg_member_done(agg_id, None);
+            }
+        }
+    }
+
+    /// One fan-out member finished (with a parsed reply, or `None` on shard
+    /// failure); on the last member, build and send the merged reply.
+    fn agg_member_done(&mut self, agg_id: u64, reply: Option<Json>) {
+        let Some(agg) = self.aggs.get_mut(&agg_id) else {
+            return;
+        };
+        if let Some(reply) = reply {
+            if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+                if let Some(result) = reply.get("result") {
+                    match &mut agg.acc {
+                        AggAcc::Stats(acc) => merge_stats(acc, result),
+                        AggAcc::Metrics(acc) => merge_metrics(acc, result),
+                    }
+                    agg.successes += 1;
+                }
+            }
+        }
+        agg.waiting -= 1;
+        if agg.waiting > 0 {
+            return;
+        }
+        let agg = self.aggs.remove(&agg_id).expect("agg entry just seen");
+        let id = Json::Raw(agg.id_rendering.as_str().into());
+        let frame = if agg.successes == 0 {
+            error_response(
+                agg.v,
+                id,
+                wire_error_json(&WireError::new(
+                    "shard_unavailable",
+                    "no shard answered the fan-out",
+                )),
+                None,
+            )
+        } else {
+            let result = match agg.acc {
+                AggAcc::Stats(acc) => render_stats(&acc),
+                AggAcc::Metrics(acc) => render_metrics(&acc),
+            };
+            ok_response(agg.v, id, None, result)
+        };
+        let client = agg.client;
+        if let Some(conn) = self.clients.get_mut(&client) {
+            let _ = conn.outbox.push_frame(json::to_string(&frame).as_bytes());
+            conn.inflight = conn.inflight.saturating_sub(1);
+        }
+        self.service_client(client);
+    }
+
+    /// `shutdown`: broadcast to every reachable shard (each stops and dumps
+    /// its cache file), answer the client locally with the server's exact
+    /// reply shape, then stop the router once outboxes flush.
+    fn handle_shutdown(&mut self, token: u64, v: u64, id: Json, request: &Json) {
+        for shard in 0..self.shards.len() {
+            if !self.ensure_shard(shard) {
+                continue;
+            }
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            let mut copy = request.clone();
+            set_field(&mut copy, "id", Json::num_u64(ticket));
+            if self.push_to_shard(shard, json::to_string(&copy).as_bytes()) {
+                self.pendings.insert(ticket, Pending::Discard);
+                self.owned[shard].insert(ticket);
+            }
+        }
+        self.reply_local(
+            token,
+            &ok_response(v, id, None, Json::obj().with("stopping", Json::Bool(true))),
+        );
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The synthesized failure frame for a request owned by an unreachable
+/// shard. The client's original id rendering is spliced in verbatim.
+fn shard_unavailable_frame(v: u64, id_rendering: &str, shard: usize) -> Json {
+    error_response(
+        v,
+        Json::Raw(id_rendering.into()),
+        wire_error_json(&WireError::new(
+            "shard_unavailable",
+            format!("shard {shard} is unavailable"),
+        )),
+        None,
+    )
+}
+
+/// The failure frame for a fan-out that found no reachable shard at all.
+fn no_shard_frame(v: u64, id_rendering: &str) -> Json {
+    error_response(
+        v,
+        Json::Raw(id_rendering.into()),
+        wire_error_json(&WireError::new(
+            "shard_unavailable",
+            "no shard is available",
+        )),
+        None,
+    )
+}
+
+/// Replace (or insert) a top-level object field, preserving its position —
+/// the request is re-rendered afterwards, and the server derives everything
+/// from the parsed tree, so the rewrite cannot perturb response bytes.
+fn set_field(request: &mut Json, key: &str, value: Json) {
+    if let Json::Obj(pairs) = request {
+        if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+            return;
+        }
+        pairs.push((key.to_string(), value));
+    }
+}
+
+/// Locate the ticket in a reply's envelope `"id"` field, lexically: returns
+/// `(ticket, start, end)` with `start..end` spanning the digits. Envelopes
+/// always render `id` second (after `v`), before any payload that could
+/// contain the byte pattern.
+fn lexical_ticket(text: &str) -> Option<(u64, usize, usize)> {
+    let at = text.find("\"id\":")? + "\"id\":".len();
+    let digits = text[at..].bytes().take_while(u8::is_ascii_digit).count();
+    let ticket: u64 = text[at..at + digits].parse().ok()?;
+    Some((ticket, at, at + digits))
+}
+
+fn resolve(addr: &str) -> Option<SocketAddr> {
+    addr.to_socket_addrs().ok()?.next()
+}
+
+fn merge_stats(acc: &mut StatsAcc, result: &Json) {
+    for (slot, field) in acc.sums.iter_mut().zip(STATS_SUM_FIELDS) {
+        *slot += result.get(field).and_then(Json::as_u64).unwrap_or(0);
+    }
+    let max_inflight = result
+        .get("max_inflight")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    acc.max_inflight = acc.max_inflight.max(max_inflight);
+    let peak = result
+        .get("inflight_peak")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    acc.inflight_peak = acc.inflight_peak.max(peak);
+}
+
+/// Render summed fleet stats in the server's exact field order.
+fn render_stats(acc: &StatsAcc) -> Json {
+    let mut obj = Json::obj();
+    for (slot, field) in acc.sums.iter().zip(STATS_SUM_FIELDS) {
+        obj = obj.with(field, Json::num_u64(*slot));
+    }
+    obj.with("max_inflight", Json::num_u64(acc.max_inflight))
+        .with("inflight_peak", Json::num_u64(acc.inflight_peak))
+}
+
+fn merge_metrics(acc: &mut MetricsAcc, result: &Json) {
+    let Some(Json::Obj(ops)) = result.get("ops") else {
+        return;
+    };
+    for (op, entry) in ops {
+        let slot = acc.ops.entry(op.clone()).or_default();
+        slot.count += entry.get("count").and_then(Json::as_u64).unwrap_or(0);
+        slot.total_ns += entry.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+        for bucket in entry.get("buckets").and_then(Json::as_arr).unwrap_or(&[]) {
+            let le_ns = bucket.get("le_ns").and_then(Json::as_u64).unwrap_or(0);
+            let count = bucket.get("count").and_then(Json::as_u64).unwrap_or(0);
+            *slot.buckets.entry(le_ns).or_default() += count;
+        }
+    }
+}
+
+/// Render merged fleet metrics in the server's shape: tracked-op order,
+/// sparse buckets ascending by bound with the unbounded (`le_ns: 0`) bucket
+/// last.
+fn render_metrics(acc: &MetricsAcc) -> Json {
+    let mut ops = Json::obj();
+    for &op in TRACKED_OPS {
+        let Some(entry) = acc.ops.get(op) else {
+            continue;
+        };
+        if entry.count == 0 {
+            continue;
+        }
+        let mut bounds: Vec<u64> = entry.buckets.keys().copied().collect();
+        bounds.sort_unstable_by_key(|&le_ns| if le_ns == 0 { u64::MAX } else { le_ns });
+        let buckets = bounds
+            .into_iter()
+            .map(|le_ns| {
+                Json::obj()
+                    .with("le_ns", Json::num_u64(le_ns))
+                    .with("count", Json::num_u64(entry.buckets[&le_ns]))
+            })
+            .collect();
+        ops = ops.with(
+            op,
+            Json::obj()
+                .with("count", Json::num_u64(entry.count))
+                .with("total_ns", Json::num_u64(entry.total_ns))
+                .with("buckets", Json::Arr(buckets)),
+        );
+    }
+    Json::obj().with("ops", ops)
+}

@@ -3,19 +3,30 @@
 //!
 //! # Connection anatomy (protocol v2)
 //!
-//! Every connection gets a dedicated **reader thread** that does nothing but
-//! frame decoding: each decoded request is handed to a fixed, shared pool of
-//! **worker threads** (the compute budget), and every completed response is
-//! serialized through the connection's **writer** (a mutex over the write
-//! half, so frames never interleave mid-frame). Many requests from one
-//! connection can therefore be in flight at once, and replies may complete —
-//! and be written — **out of order**; clients match them by the request `id`
-//! they chose. v1 frames run through the same machinery and still behave as
-//! strict request/response because a v1 client only ever has one request in
-//! flight. A `v2` `sweep` streams: one `sweep_item` frame per completed α
-//! (completion order, each carrying its input `index`, via
-//! [`PrivacyEngine::sweep_with`]) and a terminal `sweep_done` frame with
-//! aggregate statistics.
+//! One **event-loop thread** owns every socket through an epoll-style
+//! readiness loop (the `sys` module's epoll wrapper): sockets are
+//! nonblocking, partial frames accumulate in a per-connection decoder (the
+//! `readiness` module's `FrameReader`) until a complete frame appears, and
+//! each decoded request is handed to a fixed, shared pool of **worker
+//! threads** (the compute budget). Completed responses are queued on the
+//! connection's **outbox** (`readiness::Outbox`) and pumped out as the socket turns
+//! writable, so frames never interleave mid-frame and no thread ever parks
+//! on a socket. Many requests from one connection can therefore be in flight
+//! at once, and replies may complete — and be written — **out of order**;
+//! clients match them by the request `id` they chose. v1 frames run through
+//! the same machinery and still behave as strict request/response because a
+//! v1 client only ever has one request in flight. A `v2` `sweep` streams:
+//! one `sweep_item` frame per completed α (completion order, each carrying
+//! its input `index`, via [`PrivacyEngine::sweep_with`]) and a terminal
+//! `sweep_done` frame with aggregate statistics.
+//!
+//! Backpressure is **readiness gating**: at the per-connection in-flight cap
+//! ([`ServerConfig::max_inflight_per_conn`]) the loop drops the connection's
+//! read interest — the client's sends back up into the kernel's TCP receive
+//! window — and restores it as terminal frames retire. A peer that stops
+//! *reading* accumulates outbox bytes instead of wedging a worker on a
+//! blocking write; past `readiness::MAX_OUTBOX_BYTES` the
+//! connection is torn down.
 //!
 //! # Caching
 //!
@@ -35,20 +46,20 @@
 //! bit-identity contract.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use privmech_core::{Mechanism, PrivacyEngine, PrivacyLevel, Solve};
 use privmech_numerics::Rational;
 
 use crate::cache::{CacheStats, ShardedCache};
-use crate::frame::{read_frame, write_frame};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::persist;
@@ -57,6 +68,8 @@ use crate::proto::{
     CacheDisposition, CacheMode, ConsumerSpec, WireError, WireScalar, PROTOCOL_V1,
     PROTOCOL_VERSION,
 };
+use crate::readiness::{FrameReader, Outbox};
+use crate::sys::{EpollEvent, Poller, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 
 /// Configuration of a serving instance.
 #[derive(Debug, Clone)]
@@ -65,7 +78,9 @@ pub struct ServerConfig {
     /// [`ServerHandle::addr`]).
     pub addr: String,
     /// Worker threads — the number of requests *computed* concurrently
-    /// (connections are limited only by reader threads, not by this pool).
+    /// (connections are limited only by event-loop bookkeeping, not by this
+    /// pool: an idle connection costs one epoll registration and two small
+    /// buffers, no thread).
     pub worker_threads: usize,
     /// Total response-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
@@ -87,11 +102,11 @@ pub struct ServerConfig {
     /// are portable by the bit-identity contract).
     pub cache_file: Option<PathBuf>,
     /// Per-connection bound on decoded requests in flight (queued for or
-    /// executing on the worker pool). At the cap the connection's reader
-    /// thread stops reading frames — real backpressure through the kernel's
-    /// TCP receive window — and resumes as terminal frames are written, so a
-    /// client pipelining thousands of requests costs bounded server memory.
-    /// 0 disables the bound.
+    /// executing on the worker pool). At the cap the event loop drops the
+    /// connection's read interest — real backpressure through the kernel's
+    /// TCP receive window — and restores it as terminal frames are written,
+    /// so a client pipelining thousands of requests costs bounded server
+    /// memory. 0 disables the bound.
     pub max_inflight_per_conn: usize,
 }
 
@@ -108,6 +123,35 @@ impl Default for ServerConfig {
             cache_file: None,
             max_inflight_per_conn: 256,
         }
+    }
+}
+
+/// The event loop's doorbell: worker threads push the token of a connection
+/// whose outbox or in-flight count changed, then signal the eventfd to pull
+/// the loop out of `epoll_wait`.
+struct LoopNotify {
+    wake: WakeFd,
+    dirty: Mutex<Vec<u64>>,
+}
+
+impl LoopNotify {
+    fn new() -> io::Result<Self> {
+        Ok(LoopNotify {
+            wake: WakeFd::new()?,
+            dirty: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn push(&self, token: u64) {
+        self.dirty
+            .lock()
+            .expect("dirty token list poisoned")
+            .push(token);
+        self.wake.signal();
+    }
+
+    fn take(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.dirty.lock().expect("dirty token list poisoned"))
     }
 }
 
@@ -139,13 +183,8 @@ struct Shared {
     sweep_threads: usize,
     stop: AtomicBool,
     addr: SocketAddr,
-    /// Live connections by id, so a stop can unblock reader threads parked
-    /// in blocking reads by closing their sockets out from under them.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    conn_seq: AtomicU64,
-    /// Reader-thread handles, joined on shutdown (populated by the accept
-    /// loop, drained once the accept loop has exited).
-    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Wakes the event loop when workers finish writes or the server stops.
+    notify: LoopNotify,
     cache_file: Option<PathBuf>,
     dumped: AtomicBool,
     /// Per-connection in-flight cap ([`ServerConfig::max_inflight_per_conn`];
@@ -174,86 +213,56 @@ impl Shared {
     }
 }
 
-/// Upper bound on one blocking socket write. Workers hold a connection's
-/// writer mutex across the write, so without a timeout a client that stops
-/// *reading* while its requests are in flight would wedge a worker — and,
-/// transitively, every worker completing a request for that connection —
-/// forever. With the timeout, the stalled write errors out, the writer is
-/// declared dead and the connection is torn down instead.
-const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
-
 /// One connection's write half, shared by every worker completing one of its
-/// requests. The mutex serializes whole frames; interleaving of frames
-/// *between* requests is what the `id` tag is for.
+/// requests. Workers never touch the socket: [`ConnWriter::send`] renders
+/// the frame into the outbox under a mutex (whole frames, so frames never
+/// interleave mid-frame; interleaving of frames *between* requests is what
+/// the `id` tag is for) and rings the event loop's doorbell to flush it.
 struct ConnWriter {
-    inner: Mutex<BufWriter<TcpStream>>,
-    /// Set on the first write failure (including a [`WRITE_TIMEOUT`] expiry,
-    /// after which the byte stream may be mid-frame and unrecoverable):
-    /// later sends fail fast instead of queueing behind a broken socket.
+    outbox: Mutex<Outbox>,
+    /// Set on the first unrecoverable failure (outbox overflow — the peer
+    /// stopped reading — or a socket error seen by the event loop): later
+    /// sends fail fast instead of queueing bytes that can never be
+    /// delivered.
     dead: AtomicBool,
-    /// A clone of the socket so a failed writer can tear the whole
-    /// connection down (unblocking its reader thread too).
-    stream: TcpStream,
-    /// Number of this connection's requests decoded but not yet answered
-    /// with a terminal frame. The reader blocks on [`ConnWriter::acquire`]
-    /// at the configured cap; workers release in [`run_job`] after the
-    /// terminal write.
-    inflight: Mutex<usize>,
-    /// Signalled on every release so a reader parked at the cap wakes.
-    inflight_cv: Condvar,
+    /// This connection's requests decoded but not yet answered with a
+    /// terminal frame. The event loop gates read interest at the configured
+    /// cap; workers decrement in [`run_job`] after the terminal write.
+    inflight: AtomicUsize,
+    /// The connection's event-loop token, for doorbell pushes.
+    token: u64,
+    notify: Arc<Shared>,
 }
 
 impl ConnWriter {
-    /// Whether a write has already failed (the connection is unrecoverable).
+    /// Whether the connection is unrecoverable.
     fn is_dead(&self) -> bool {
         self.dead.load(Ordering::Relaxed)
     }
 
-    /// Take one in-flight slot, blocking while the connection is at `cap`
-    /// (0 = unbounded). Returns the new depth, or `None` if the connection
-    /// died or the server stopped while waiting — the reader should close.
-    /// The wait is a timed loop rather than a bare `Condvar::wait` so a stop
-    /// signalled with no releases forthcoming still unblocks the reader.
-    fn acquire(&self, cap: usize, stop: &AtomicBool) -> Option<usize> {
-        let mut depth = self.inflight.lock().expect("inflight gate poisoned");
-        while cap != 0 && *depth >= cap {
-            if self.is_dead() || stop.load(Ordering::SeqCst) {
-                return None;
-            }
-            let (guard, _) = self
-                .inflight_cv
-                .wait_timeout(depth, std::time::Duration::from_millis(50))
-                .expect("inflight gate poisoned");
-            depth = guard;
-        }
-        *depth += 1;
-        Some(*depth)
-    }
-
     /// Return an in-flight slot (the request's terminal frame is written).
     fn release(&self) {
-        let mut depth = self.inflight.lock().expect("inflight gate poisoned");
-        *depth = depth.saturating_sub(1);
-        drop(depth);
-        self.inflight_cv.notify_one();
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.notify.notify.push(self.token);
     }
 
     fn send(&self, frame: &Json) -> io::Result<()> {
-        if self.dead.load(Ordering::Relaxed) {
+        if self.is_dead() {
             return Err(io::Error::new(
                 io::ErrorKind::BrokenPipe,
                 "connection writer is dead",
             ));
         }
         let bytes = json::to_string(frame);
-        let result = write_frame(
-            &mut *self.inner.lock().expect("connection writer poisoned"),
-            bytes.as_bytes(),
-        );
+        let result = self
+            .outbox
+            .lock()
+            .expect("connection outbox poisoned")
+            .push_frame(bytes.as_bytes());
         if result.is_err() {
             self.dead.store(true, Ordering::Relaxed);
-            let _ = self.stream.shutdown(Shutdown::Both);
         }
+        self.notify.notify.push(self.token);
         result
     }
 }
@@ -268,7 +277,7 @@ struct Job {
 /// threads.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -291,7 +300,7 @@ impl ServerHandle {
         self.shared.neg_cache.stats()
     }
 
-    /// Signal the accept loop to stop and join every thread. Also invoked on
+    /// Signal the event loop to stop and join every thread. Also invoked on
     /// drop; calling it explicitly surfaces the join.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -305,18 +314,8 @@ impl ServerHandle {
     }
 
     fn join_threads(&mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        let readers: Vec<JoinHandle<()>> = self
-            .shared
-            .readers
-            .lock()
-            .expect("reader registry poisoned")
-            .drain(..)
-            .collect();
-        for reader in readers {
-            let _ = reader.join();
+        if let Some(event) = self.event.take() {
+            let _ = event.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -338,17 +337,7 @@ impl Drop for ServerHandle {
 
 fn signal_stop(shared: &Shared) {
     shared.stop.store(true, Ordering::SeqCst);
-    // Unblock the accept loop with a throwaway connection.
-    let _ = TcpStream::connect(shared.addr);
-    // Unblock reader threads parked in blocking reads on open connections.
-    for stream in shared
-        .conns
-        .lock()
-        .expect("connection registry poisoned")
-        .values()
-    {
-        let _ = stream.shutdown(Shutdown::Both);
-    }
+    shared.notify.wake.signal();
 }
 
 /// Bind and start serving; returns immediately with a handle. If a cache
@@ -360,6 +349,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
                 io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address")
             })?,
         )?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
@@ -370,9 +360,7 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
         sweep_threads: config.sweep_threads.max(1),
         stop: AtomicBool::new(false),
         addr,
-        conns: Mutex::new(HashMap::new()),
-        conn_seq: AtomicU64::new(0),
-        readers: Mutex::new(Vec::new()),
+        notify: LoopNotify::new()?,
         cache_file: config.cache_file.clone(),
         dumped: AtomicBool::new(false),
         max_inflight: config.max_inflight_per_conn,
@@ -411,135 +399,330 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
                             signal_stop(&shared);
                         }
                     }
-                    Err(_) => break, // every reader and the accept loop are gone
+                    Err(_) => break, // the event loop is gone
                 }
             })
         })
         .collect();
 
-    let accept = {
+    // Register the listener and doorbell before the loop thread starts so
+    // setup failures surface here, not in a detached thread.
+    let poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
+    poller.register(shared.notify.wake.as_raw_fd(), TOKEN_WAKE, EPOLLIN)?;
+
+    let event = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                if let Ok(stream) = stream {
-                    let shared_conn = Arc::clone(&shared);
-                    let jobs_tx = jobs_tx.clone();
-                    let reader = std::thread::spawn(move || {
-                        read_connection(&shared_conn, stream, &jobs_tx);
-                    });
-                    let mut readers = shared.readers.lock().expect("reader registry poisoned");
-                    // Reap readers of closed connections here, on the accept
-                    // path, so handles don't accumulate for the server's
-                    // lifetime (joining a finished thread doesn't block).
-                    let mut live = Vec::with_capacity(readers.len() + 1);
-                    for handle in readers.drain(..) {
-                        if handle.is_finished() {
-                            let _ = handle.join();
-                        } else {
-                            live.push(handle);
-                        }
-                    }
-                    *readers = live;
-                    readers.push(reader);
-                }
+            EventLoop {
+                shared,
+                poller,
+                listener,
+                conns: HashMap::new(),
+                jobs_tx,
+                next_token: FIRST_CONN_TOKEN,
+                scratch: vec![0u8; 64 * 1024],
             }
-            drop(jobs_tx); // with the readers' clones gone, workers drain out
+            .run();
         })
     };
 
     Ok(ServerHandle {
         shared,
-        accept: Some(accept),
+        event: Some(event),
         workers,
     })
 }
 
-/// The per-connection reader loop: decode frames, feed the worker pool.
-fn read_connection(shared: &Arc<Shared>, stream: TcpStream, jobs_tx: &Sender<Job>) {
-    // Pipelined responses are many small back-to-back frames; leaving Nagle
-    // on would stall every frame after the first behind a delayed ACK
-    // (~40 ms each) whenever the client isn't writing.
-    let _ = stream.set_nodelay(true);
-    // Bound every blocking write so a non-reading client cannot wedge the
-    // worker pool through this connection's writer mutex (see WRITE_TIMEOUT).
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let (Ok(read_half), Ok(registered), Ok(writer_stream)) =
-        (stream.try_clone(), stream.try_clone(), stream.try_clone())
-    else {
-        return;
-    };
-    let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
-    shared
-        .conns
-        .lock()
-        .expect("connection registry poisoned")
-        .insert(conn_id, registered);
-    // A stop signalled between the registry insert and the reads below still
-    // lands: signal_stop closes the registered clone, which shares the
-    // underlying socket with both halves.
-    if shared.stop.load(Ordering::SeqCst) {
-        let _ = stream.shutdown(Shutdown::Both);
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long a stopping server keeps flushing outboxes and waiting for
+/// in-flight requests before force-closing what remains.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// One live connection's event-loop state. The per-connection frame state
+/// machine lives in `reader` (partial frames accumulate across readiness
+/// events) and `writer` (partially written frames drain across writability
+/// events).
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    writer: Arc<ConnWriter>,
+    /// The interest mask currently registered with the poller.
+    interest: u32,
+    /// Peer EOF seen (or reads retired by a server stop): buffered frames
+    /// still dispatch, but no more bytes arrive.
+    read_closed: bool,
+    /// Unrecoverable framing state: stop decoding, flush the outbox, close.
+    closing: bool,
+}
+
+impl Conn {
+    fn quiesced(&self) -> bool {
+        self.writer.inflight.load(Ordering::SeqCst) == 0
+            && self
+                .writer
+                .outbox
+                .lock()
+                .expect("connection outbox poisoned")
+                .is_empty()
     }
-    let mut reader = BufReader::new(read_half);
-    let writer = Arc::new(ConnWriter {
-        inner: Mutex::new(BufWriter::new(stream)),
-        dead: AtomicBool::new(false),
-        stream: writer_stream,
-        inflight: Mutex::new(0),
-        inflight_cv: Condvar::new(),
-    });
-    loop {
-        match read_frame(&mut reader) {
-            Ok(None) => break,
-            Ok(Some(payload)) => {
-                // Backpressure: take an in-flight slot *before* enqueueing;
-                // at the cap this blocks the reader, which in turn stops
-                // draining the socket, so the client's sends back up into
-                // TCP flow control instead of server memory.
-                let Some(depth) = writer.acquire(shared.max_inflight, &shared.stop) else {
+}
+
+/// The readiness loop: owns the listener, the poller and every connection.
+struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    jobs_tx: Sender<Job>,
+    next_token: u64,
+    scratch: Vec<u8>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+        loop {
+            let timeout = if draining { 20 } else { 500 };
+            let Ok(n) = self.poller.wait(&mut events, timeout) else {
+                break;
+            };
+            for event in &events[..n] {
+                let token = event.data;
+                let mask = event.events;
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.shared.notify.wake.drain(),
+                    token => self.conn_ready(token, mask),
+                }
+            }
+            for token in self.shared.notify.take() {
+                self.service(token);
+            }
+            if self.shared.stop.load(Ordering::SeqCst) {
+                if !draining {
+                    draining = true;
+                    drain_deadline = Instant::now() + DRAIN_GRACE;
+                    let _ = self.poller.deregister(self.listener.as_raw_fd());
+                    // Stop decoding new requests everywhere; in-flight ones
+                    // finish and their terminal frames flush below.
+                    let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                    for token in tokens {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.read_closed = true;
+                            conn.closing = true;
+                        }
+                        self.service(token);
+                    }
+                }
+                let quiesced = self.conns.values().all(Conn::quiesced);
+                if quiesced || Instant::now() >= drain_deadline {
                     break;
-                };
+                }
+            }
+        }
+        for (_, conn) in self.conns.drain() {
+            conn.writer.dead.store(true, Ordering::Relaxed);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        // Dropping `jobs_tx` (with `self`) lets the worker pool drain out.
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shared.stop.load(Ordering::SeqCst) {
+                        continue; // drop it; the loop is about to drain
+                    }
+                    // Pipelined responses are many small back-to-back
+                    // frames; leaving Nagle on would stall every frame after
+                    // the first behind a delayed ACK whenever the client
+                    // isn't writing.
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, EPOLLIN)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let writer = Arc::new(ConnWriter {
+                        outbox: Mutex::new(Outbox::new()),
+                        dead: AtomicBool::new(false),
+                        inflight: AtomicUsize::new(0),
+                        token,
+                        notify: Arc::clone(&self.shared),
+                    });
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            reader: FrameReader::new(),
+                            writer,
+                            interest: EPOLLIN,
+                            read_closed: false,
+                            closing: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// A readiness event on a connection: pull bytes in if readable, then
+    /// run the shared service pass (decode, dispatch, flush, re-gate).
+    fn conn_ready(&mut self, token: u64, mask: u32) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if mask & (EPOLLERR | EPOLLHUP) != 0 {
+            self.teardown(token);
+            return;
+        }
+        if mask & EPOLLIN != 0 && !conn.read_closed {
+            match conn.reader.fill(&mut &conn.stream, &mut self.scratch) {
+                Ok(eof) => conn.read_closed |= eof,
+                Err(_) => {
+                    self.teardown(token);
+                    return;
+                }
+            }
+        }
+        self.service(token);
+    }
+
+    /// The per-connection state machine advance: dispatch decodable frames
+    /// (gated by the in-flight cap), flush the outbox, update poller
+    /// interest, and tear the connection down once it is finished.
+    fn service(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.writer.is_dead() {
+            self.teardown(token);
+            return;
+        }
+        if !conn.closing {
+            dispatch_frames(conn, &self.shared, &self.jobs_tx);
+        }
+        let flushed = {
+            let mut outbox = conn
+                .writer
+                .outbox
+                .lock()
+                .expect("connection outbox poisoned");
+            match outbox.pump(&mut &conn.stream) {
+                Ok(emptied) => emptied,
+                Err(_) => {
+                    drop(outbox);
+                    self.teardown(token);
+                    return;
+                }
+            }
+        };
+        let at_cap = self.shared.max_inflight != 0
+            && conn.writer.inflight.load(Ordering::SeqCst) >= self.shared.max_inflight;
+        let readable = !conn.read_closed && !conn.closing && !at_cap;
+        let desired = if readable { EPOLLIN } else { 0 } | if flushed { 0 } else { EPOLLOUT };
+        if desired != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, desired)
+                .is_ok()
+        {
+            conn.interest = desired;
+        }
+        if (conn.closing || conn.read_closed) && flushed && conn.quiesced() {
+            self.teardown(token);
+        }
+    }
+
+    fn teardown(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            conn.writer.dead.store(true, Ordering::Relaxed);
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Decode and dispatch every complete buffered frame, stopping at the
+/// in-flight cap (readiness gating: the caller then drops read interest, so
+/// the client's sends back up into TCP flow control instead of server
+/// memory).
+fn dispatch_frames(conn: &mut Conn, shared: &Arc<Shared>, jobs_tx: &Sender<Job>) {
+    loop {
+        if shared.max_inflight != 0
+            && conn.writer.inflight.load(Ordering::SeqCst) >= shared.max_inflight
+        {
+            return;
+        }
+        match conn.reader.next_frame() {
+            Ok(Some(payload)) => {
+                let depth = conn.writer.inflight.fetch_add(1, Ordering::SeqCst) + 1;
                 shared
                     .inflight_peak
                     .fetch_max(depth as u64, Ordering::Relaxed);
                 let job = Job {
-                    writer: Arc::clone(&writer),
+                    writer: Arc::clone(&conn.writer),
                     payload,
                 };
                 // A send can only fail if every worker died; close then.
                 if jobs_tx.send(job).is_err() {
-                    break;
+                    conn.closing = true;
+                    return;
                 }
             }
+            Ok(None) => {
+                if conn.read_closed && conn.reader.has_partial() {
+                    // EOF mid-frame: framing is unrecoverable. Report if the
+                    // pipe still works, then close once everything flushes.
+                    let _ = conn.writer.send(&error_response(
+                        PROTOCOL_VERSION,
+                        Json::Null,
+                        wire_error_json(&WireError::new("malformed_frame", "unreadable frame")),
+                        None,
+                    ));
+                    conn.closing = true;
+                }
+                return;
+            }
             Err(_) => {
-                // Oversized or truncated frame: report if the pipe still
-                // works, then drop the connection (framing is unrecoverable).
-                let _ = writer.send(&error_response(
+                // Oversized frame: report if the pipe still works, then drop
+                // the connection (framing is unrecoverable).
+                let _ = conn.writer.send(&error_response(
                     PROTOCOL_VERSION,
                     Json::Null,
                     wire_error_json(&WireError::new("malformed_frame", "unreadable frame")),
                     None,
                 ));
-                break;
+                conn.closing = true;
+                return;
             }
         }
     }
-    shared
-        .conns
-        .lock()
-        .expect("connection registry poisoned")
-        .remove(&conn_id);
 }
 
 /// Handle one queued request on a worker thread; returns whether the server
 /// should stop afterwards.
 fn run_job(shared: &Arc<Shared>, job: &Job) -> bool {
-    // A request whose connection writer is already dead (stalled past
-    // WRITE_TIMEOUT, or a broken pipe) can never deliver a byte: skip the
-    // compute instead of burning a worker on it.
+    // A request whose connection writer is already dead (outbox overflow, or
+    // a socket error seen by the event loop) can never deliver a byte: skip
+    // the compute instead of burning a worker on it.
     if job.writer.is_dead() {
         job.writer.release();
         return false;
@@ -587,7 +770,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> bool {
     stop
 }
 
-fn ok_response(v: u64, id: Json, cache: Option<CacheDisposition>, result: Json) -> Json {
+pub(crate) fn ok_response(v: u64, id: Json, cache: Option<CacheDisposition>, result: Json) -> Json {
     let mut obj = Json::obj()
         .with("v", Json::num_u64(v))
         .with("id", id)
@@ -601,13 +784,18 @@ fn ok_response(v: u64, id: Json, cache: Option<CacheDisposition>, result: Json) 
 /// Render a [`WireError`] as the response's `error` object — also the exact
 /// form stored in the negative cache, so negative hits splice byte-identical
 /// bytes.
-fn wire_error_json(error: &WireError) -> Json {
+pub(crate) fn wire_error_json(error: &WireError) -> Json {
     Json::obj()
         .with("code", Json::str(error.code))
         .with("message", Json::str(error.message.clone()))
 }
 
-fn error_response(v: u64, id: Json, error: Json, cache: Option<CacheDisposition>) -> Json {
+pub(crate) fn error_response(
+    v: u64,
+    id: Json,
+    error: Json,
+    cache: Option<CacheDisposition>,
+) -> Json {
     let mut obj = Json::obj()
         .with("v", Json::num_u64(v))
         .with("id", id)

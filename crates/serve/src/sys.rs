@@ -1,0 +1,162 @@
+//! Minimal Linux `epoll`/`eventfd` bindings for the readiness loop.
+//!
+//! The build environment is offline (no `mio`, no `libc` crate), so the two
+//! syscall families the event loop needs are declared here directly — libc
+//! itself is always linked by `std` on Linux. This is the only module in the
+//! crate allowed to contain `unsafe`; everything above it speaks in terms of
+//! the safe [`Poller`] / [`WakeFd`] wrappers and `std`'s nonblocking sockets.
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::{AsRawFd, RawFd};
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x1;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x4;
+/// Error condition (`EPOLLERR`) — always reported, never requested.
+pub const EPOLLERR: u32 = 0x8;
+/// Peer hangup (`EPOLLHUP`) — always reported, never requested.
+pub const EPOLLHUP: u32 = 0x10;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One `struct epoll_event`. Packed, as the kernel ABI demands on x86-64.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-event mask (`EPOLLIN | …`).
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// A level-triggered epoll instance. Registered fds carry a `u64` token that
+/// comes back in each ready event.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Create the epoll instance.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers; the returned fd is owned
+        // by the Poller and closed on drop.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `event` outlives the call; the kernel copies it.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Register `fd` under `token` with the given interest mask.
+    pub fn register(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest mask of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Remove a registered fd.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait up to `timeout_ms` (−1 = forever) and fill `events` with ready
+    /// fds; returns how many. A signal interruption reports zero events.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let max = c_int::try_from(events.len()).unwrap_or(c_int::MAX);
+        // SAFETY: `events` is valid for `max` entries; the kernel writes at
+        // most that many.
+        let ret = unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), max, timeout_ms) };
+        match cvt(ret) {
+            Ok(n) => Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned and closed exactly once.
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// An `eventfd`-based wakeup: other threads [`signal`](WakeFd::signal) it to
+/// pull the event loop out of `epoll_wait`; the loop
+/// [`drain`](WakeFd::drain)s it when woken.
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    /// Create the eventfd (nonblocking, so signal and drain never stall).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: eventfd takes no pointers; the fd is owned.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(WakeFd { fd })
+    }
+
+    /// Wake the loop. Saturation (`EAGAIN` on a counter already at max) is
+    /// fine — the loop is guaranteed to wake either way.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live stack value.
+        unsafe { write(self.fd, std::ptr::addr_of!(one).cast(), 8) };
+    }
+
+    /// Consume all pending wakeups.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        // SAFETY: reads 8 bytes into a live stack value; nonblocking, so it
+        // returns EAGAIN once empty.
+        unsafe { read(self.fd, std::ptr::addr_of_mut!(buf).cast(), 8) };
+    }
+}
+
+impl AsRawFd for WakeFd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned and closed exactly once.
+        unsafe { close(self.fd) };
+    }
+}

@@ -1,0 +1,320 @@
+//! Torture tests for the epoll readiness loop: adversarial socket behavior
+//! that the old thread-per-connection reader never had to survive in one
+//! thread.
+//!
+//! The readiness loop owns every connection's partial-frame state machine,
+//! so the properties under test are about *interleaving*: a frame arriving
+//! one byte per TCP segment must decode exactly like a clean write; a
+//! connection stalled mid-frame must cost nothing but its buffer while other
+//! connections make full-speed progress; hundreds of idle registrations must
+//! not starve a hot pipelined one; and teardown must still flush every
+//! in-flight completion through the per-connection outbox before the socket
+//! closes. Every reply is checked byte-for-byte against a clean-connection
+//! oracle — the loop rewrite is only correct if it is invisible on the wire.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use privmech_numerics::{rat, Rational};
+use privmech_serve::frame::{read_frame, write_frame};
+use privmech_serve::json::{self, Json};
+use privmech_serve::proto::{ConsumerSpec, LossSpec, WireScalar};
+use privmech_serve::server::{self, ServerConfig};
+
+/// A v2 solve request (n = 3, absolute loss) at `alpha = num/den`.
+///
+/// Cache mode is `bypass` so the reply's `"cache"` disposition is the same
+/// whether the oracle or the torture connection asks first — full replies
+/// then compare byte-for-byte (the result bytes are cache-invariant anyway;
+/// the *disposition* echo is what bypass pins down).
+fn solve_payload(id: u64, num: i64, den: i64) -> Vec<u8> {
+    let spec = ConsumerSpec::<Rational>::minimax(3, LossSpec::Absolute);
+    let body = spec
+        .encode_onto(
+            Json::obj()
+                .with("v", Json::num_u64(2))
+                .with("id", Json::num_u64(id))
+                .with("op", Json::str("solve"))
+                .with("cache", Json::str("bypass")),
+        )
+        .with("alpha", rat(num, den).to_wire());
+    json::to_string(&body).into_bytes()
+}
+
+/// The payload wrapped in its length prefix — the exact bytes a client puts
+/// on the wire, for tests that need to split the write at arbitrary points.
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    write_frame(&mut wire, payload).expect("framing into a Vec cannot fail");
+    wire
+}
+
+/// The reply's echoed request id (every reply in these tests carries one).
+fn reply_id(reply: &[u8]) -> u64 {
+    json::parse(std::str::from_utf8(reply).expect("replies are UTF-8"))
+        .expect("replies are JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("v2 replies echo the request id")
+}
+
+/// Clean-connection oracle: send each payload with a single buffered write
+/// and collect the reply bytes, keyed by echoed id. Cached and uncached
+/// responses are byte-identical by the cache contract, so oracle replies
+/// compare exactly against replies produced later (or earlier) for the same
+/// request content and id.
+fn oracle_replies(addr: std::net::SocketAddr, payloads: &[Vec<u8>]) -> Vec<(u64, Vec<u8>)> {
+    let stream = TcpStream::connect(addr).expect("connect oracle");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    payloads
+        .iter()
+        .map(|payload| {
+            write_frame(&mut writer, payload).expect("oracle write");
+            writer.flush().expect("oracle flush");
+            let reply = read_frame(&mut reader)
+                .expect("oracle read")
+                .expect("oracle reply before EOF");
+            (reply_id(&reply), reply)
+        })
+        .collect()
+}
+
+fn lookup(replies: &[(u64, Vec<u8>)], id: u64) -> &[u8] {
+    &replies
+        .iter()
+        .find(|(got, _)| *got == id)
+        .unwrap_or_else(|| panic!("no reply for id {id}"))
+        .1
+}
+
+#[test]
+fn single_byte_trickle_decodes_byte_identically() {
+    let handle = server::spawn(ServerConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+
+    let payloads: Vec<Vec<u8>> = (0..3)
+        .map(|i| solve_payload(40 + i, 1 + i as i64, 7))
+        .collect();
+    let oracle = oracle_replies(addr, &payloads);
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // Drip all three frames — length prefixes included — one byte per
+    // segment. Nagle is off and the pauses keep the kernel from coalescing,
+    // so the readiness loop sees a `readable` wake-up per byte and must
+    // reassemble the frames across hundreds of partial reads.
+    for (i, payload) in payloads.iter().enumerate() {
+        for &byte in &framed(payload) {
+            stream.write_all(&[byte]).expect("trickle write");
+            if i == 0 {
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        }
+    }
+
+    for _ in 0..payloads.len() {
+        let reply = read_frame(&mut reader)
+            .expect("read reply")
+            .expect("reply before EOF");
+        assert_eq!(
+            reply,
+            lookup(&oracle, reply_id(&reply)),
+            "trickled frame produced different bytes than a clean write"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_stall_does_not_block_other_connections() {
+    let handle = server::spawn(ServerConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+
+    let loris_payload = solve_payload(7, 2, 9);
+    let oracle = oracle_replies(addr, std::slice::from_ref(&loris_payload));
+
+    // Loris 1 stalls inside the length prefix; loris 2 stalls halfway into
+    // the payload. Both hold their sockets open, sending nothing.
+    let wire = framed(&loris_payload);
+    let mut loris_prefix = TcpStream::connect(addr).expect("connect");
+    loris_prefix.set_nodelay(true).expect("nodelay");
+    loris_prefix.write_all(&wire[..2]).expect("partial prefix");
+
+    let mut loris_body = TcpStream::connect(addr).expect("connect");
+    loris_body.set_nodelay(true).expect("nodelay");
+    let half = 4 + loris_payload.len() / 2;
+    loris_body.write_all(&wire[..half]).expect("partial body");
+
+    // While both stall, a well-behaved connection gets full service. A
+    // blocking read anywhere in the loop would hang this whole section (and
+    // the test harness would time it out).
+    let busy: Vec<Vec<u8>> = (0..20)
+        .map(|i| solve_payload(100 + i, 1, 5 + i as i64))
+        .collect();
+    let busy_replies = oracle_replies(addr, &busy);
+    assert_eq!(busy_replies.len(), 20);
+
+    // The stalled connections are not dead, just slow: each completes its
+    // frame after the stall and still gets the exact oracle bytes.
+    for (mut loris, sent) in [(loris_prefix, 2), (loris_body, half)] {
+        let mut reader = BufReader::new(loris.try_clone().expect("clone"));
+        loris.write_all(&wire[sent..]).expect("finish frame");
+        let reply = read_frame(&mut reader)
+            .expect("read loris reply")
+            .expect("reply before EOF");
+        assert_eq!(reply, lookup(&oracle, 7));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_frames_complete_after_the_stall() {
+    let handle = server::spawn(ServerConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+
+    let payload = solve_payload(7, 2, 9);
+    let oracle = oracle_replies(addr, std::slice::from_ref(&payload));
+    let wire = framed(&payload);
+
+    for split in [2usize, 4 + payload.len() / 2] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        stream.write_all(&wire[..split]).expect("head");
+        // Let the readiness loop observe (and buffer) the partial frame
+        // before the tail arrives.
+        std::thread::sleep(Duration::from_millis(30));
+        stream.write_all(&wire[split..]).expect("tail");
+        let reply = read_frame(&mut reader)
+            .expect("read reply")
+            .expect("reply before EOF");
+        assert_eq!(
+            reply,
+            lookup(&oracle, 7),
+            "frame split at byte {split} produced different bytes"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn hundreds_of_idle_connections_do_not_starve_a_hot_one() {
+    const IDLE: usize = 512;
+    const REQUESTS: u64 = 100;
+
+    let handle = server::spawn(ServerConfig {
+        max_inflight_per_conn: 16,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // Cycle a handful of α values; ids are distinct so every reply is
+    // attributable.
+    let payloads: Vec<Vec<u8>> = (0..REQUESTS)
+        .map(|i| solve_payload(i, 1 + (i % 6) as i64, 11))
+        .collect();
+    let oracle = oracle_replies(addr, &payloads);
+
+    let idle: Vec<TcpStream> = (0..IDLE)
+        .map(|_| TcpStream::connect(addr).expect("connect idle"))
+        .collect();
+
+    // One hot connection pipelines everything in a burst, then drains.
+    let stream = TcpStream::connect(addr).expect("connect hot");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    for payload in &payloads {
+        write_frame(&mut writer, payload).expect("pipeline write");
+    }
+    writer.flush().expect("pipeline flush");
+
+    let mut seen = vec![false; REQUESTS as usize];
+    for _ in 0..REQUESTS {
+        let reply = read_frame(&mut reader)
+            .expect("read reply")
+            .expect("reply before EOF");
+        let id = reply_id(&reply);
+        assert_eq!(reply, lookup(&oracle, id));
+        assert!(!seen[id as usize], "duplicate reply for id {id}");
+        seen[id as usize] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "a pipelined request went unanswered"
+    );
+
+    // The idle connections were registered the whole time; prove a few are
+    // still serviceable rather than silently torn down.
+    for stream in idle.iter().take(3) {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let ping = br#"{"v":2,"id":1,"op":"ping"}"#;
+        write_frame(&mut writer, ping).expect("ping write");
+        writer.flush().expect("ping flush");
+        let reply = read_frame(&mut reader)
+            .expect("ping read")
+            .expect("ping reply before EOF");
+        assert_eq!(reply_id(&reply), 1);
+    }
+    drop(idle);
+    handle.shutdown();
+}
+
+#[test]
+fn teardown_flushes_replies_for_frames_in_flight() {
+    const SOLVES: u64 = 6;
+
+    let handle = server::spawn(ServerConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+
+    let payloads: Vec<Vec<u8>> = (0..SOLVES)
+        .map(|i| solve_payload(i, 1 + i as i64, 13))
+        .collect();
+    let oracle = oracle_replies(addr, &payloads);
+
+    // Burst every solve plus a shutdown on one connection, so the stop flag
+    // trips while solves are still queued or running. The drain phase must
+    // deliver every terminal reply before the socket closes.
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    for payload in &payloads {
+        write_frame(&mut writer, payload).expect("burst write");
+    }
+    write_frame(&mut writer, br#"{"v":2,"id":999,"op":"shutdown"}"#).expect("shutdown write");
+    writer.flush().expect("burst flush");
+
+    let mut solve_replies = 0u64;
+    let mut stopping_seen = false;
+    while let Some(reply) = read_frame(&mut reader).expect("read during teardown") {
+        let id = reply_id(&reply);
+        if id == 999 {
+            let parsed = json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+            assert_eq!(
+                parsed
+                    .get("result")
+                    .and_then(|r| r.get("stopping"))
+                    .and_then(Json::as_bool),
+                Some(true)
+            );
+            stopping_seen = true;
+        } else {
+            assert_eq!(reply, lookup(&oracle, id));
+            solve_replies += 1;
+        }
+    }
+    assert!(stopping_seen, "shutdown acknowledgement was dropped");
+    assert_eq!(
+        solve_replies, SOLVES,
+        "teardown dropped in-flight replies instead of flushing them"
+    );
+    handle.join();
+}

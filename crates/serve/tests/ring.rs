@@ -1,0 +1,175 @@
+//! Consistent-hash ring properties the fleet tier depends on.
+//!
+//! The router's correctness contract — routed responses byte-identical to a
+//! single process — only needs `shard_for` to be a *function* of the key.
+//! But its *performance* contract (each shard's LRU stays hot on its slice
+//! of the corpus, warm caches survive shard restarts) additionally needs:
+//!
+//! 1. **Stability**: the mapping is a pure function of `(shards, vnodes)`,
+//!    so a router restart — or a second router replica — agrees on
+//!    ownership with no coordination and no state carried across restarts.
+//! 2. **Disjoint ownership**: every key has exactly one owner, and with the
+//!    default virtual-node count no shard's share of a large corpus is
+//!    degenerate (empty or dominant).
+//! 3. **Minimal remap**: growing a ring of N by one shard moves only the
+//!    keys the new shard captures — about 1/(N+1) of the corpus, every one
+//!    of them moving *to* the new shard — instead of the ~100% an
+//!    `hash % N` scheme reshuffles.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use privmech_numerics::{rat, Rational};
+use privmech_serve::json::Json;
+use privmech_serve::proto::{routing_key, ConsumerSpec, LossSpec, WireScalar};
+use privmech_serve::ring::{ShardRing, DEFAULT_VNODES};
+
+/// A seeded corpus shaped like the keys the router actually hashes: the
+/// canonical routing keys of solve/sweep/interact requests over a spread of
+/// population sizes and α points (see [`routing_key`]), which embed the
+/// `"{op}|{tag}|{spec}|{payload}"` structure real traffic produces.
+fn routing_key_corpus(seed: u64, len: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut corpus = Vec::with_capacity(len);
+    while corpus.len() < len {
+        let n = rng.gen_range(2usize..=9);
+        let alpha = rat(rng.gen_range(1i64..=7), rng.gen_range(8i64..=64));
+        let spec = ConsumerSpec::<Rational>::minimax(n, LossSpec::Absolute);
+        let body = match rng.gen_range(0u8..3) {
+            0 => spec
+                .encode_onto(Json::obj().with("op", Json::str("solve")))
+                .with("alpha", alpha.to_wire()),
+            1 => spec
+                .encode_onto(Json::obj().with("op", Json::str("sweep")))
+                .with(
+                    "alphas",
+                    Json::Arr(vec![alpha.to_wire(), rat(1, 2).to_wire()]),
+                ),
+            _ => spec
+                .encode_onto(Json::obj().with("op", Json::str("interact")))
+                .with("mechanism", Json::str("optimal")),
+        };
+        let key = routing_key(&body).expect("compute requests always have a routing key");
+        corpus.push(key);
+    }
+    corpus.sort();
+    corpus.dedup();
+    corpus
+}
+
+/// A larger synthetic corpus for the statistical properties (balance,
+/// remap fraction), where we want enough distinct keys that the observed
+/// fractions concentrate near their expectations.
+fn synthetic_corpus(seed: u64, len: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| format!("solve|rational|corpus={i}|draw={}", rng.gen::<u64>()))
+        .collect()
+}
+
+#[test]
+fn mapping_is_stable_across_ring_reconstruction() {
+    // Two independently constructed rings — as after a router restart, or
+    // on a second router replica — agree on every key's owner.
+    let first = ShardRing::new(5, DEFAULT_VNODES);
+    let second = ShardRing::new(5, DEFAULT_VNODES);
+    for key in routing_key_corpus(0xA11CE, 300) {
+        assert_eq!(
+            first.shard_for(&key),
+            second.shard_for(&key),
+            "ring reconstruction changed the owner of {key:?}"
+        );
+    }
+}
+
+#[test]
+fn mapping_ignores_request_identity_but_not_content() {
+    // Routing keys are derived from request *content*, so two spellings of
+    // the same request (different id, different v) share an owner, while
+    // changing the population size n moves to an independent key.
+    let ring = ShardRing::with_default_vnodes(4);
+    let spec = ConsumerSpec::<Rational>::minimax(3, LossSpec::Absolute);
+    let body = |id: u64, v: u64| {
+        spec.encode_onto(
+            Json::obj()
+                .with("v", Json::num_u64(v))
+                .with("id", Json::num_u64(id))
+                .with("op", Json::str("solve")),
+        )
+        .with("alpha", rat(1, 4).to_wire())
+    };
+    let key_a = routing_key(&body(1, 2)).unwrap();
+    let key_b = routing_key(&body(999, 1)).unwrap();
+    assert_eq!(key_a, key_b, "id and v must not affect the routing key");
+    assert_eq!(ring.shard_for(&key_a), ring.shard_for(&key_b));
+
+    let other = ConsumerSpec::<Rational>::minimax(4, LossSpec::Absolute)
+        .encode_onto(Json::obj().with("op", Json::str("solve")))
+        .with("alpha", rat(1, 4).to_wire());
+    assert_ne!(key_a, routing_key(&other).unwrap());
+}
+
+#[test]
+fn ownership_is_disjoint_and_every_shard_holds_a_sane_share() {
+    const SHARDS: usize = 6;
+    const KEYS: usize = 20_000;
+    let ring = ShardRing::with_default_vnodes(SHARDS);
+    let mut counts = [0usize; SHARDS];
+    for key in synthetic_corpus(0xD15C0, KEYS) {
+        let owner = ring.shard_for(&key);
+        assert!(owner < SHARDS, "owner {owner} out of range for {key:?}");
+        // Disjointness: shard_for is deterministic, so asking again cannot
+        // hand the same key to a second shard.
+        assert_eq!(owner, ring.shard_for(&key));
+        counts[owner] += 1;
+    }
+    let uniform = KEYS / SHARDS;
+    for (shard, &count) in counts.iter().enumerate() {
+        // With 64 vnodes per shard the shares land within a few percent of
+        // uniform; 2x bounds in both directions leave generous slack while
+        // still catching a broken ring (empty or dominant shard).
+        assert!(
+            count > uniform / 2 && count < uniform * 2,
+            "shard {shard} owns {count} of {KEYS} keys (uniform would be {uniform})"
+        );
+    }
+}
+
+#[test]
+fn adding_a_shard_moves_only_its_fair_share_of_keys() {
+    const KEYS: usize = 20_000;
+    let corpus = synthetic_corpus(0x5EED, KEYS);
+    for n in 1..=7usize {
+        let before = ShardRing::with_default_vnodes(n);
+        let after = ShardRing::with_default_vnodes(n + 1);
+        let mut moved = 0usize;
+        for key in &corpus {
+            let old = before.shard_for(key);
+            let new = after.shard_for(key);
+            if old != new {
+                // Consistency: a key never migrates between surviving
+                // shards — the only possible new owner is the added shard.
+                assert_eq!(
+                    new, n,
+                    "{key:?} moved from shard {old} to surviving shard {new}"
+                );
+                moved += 1;
+            }
+        }
+        let expected = KEYS / (n + 1);
+        // The expectation is KEYS/(n+1); allow 2x slack for vnode-placement
+        // variance. An mod-N scheme would remap ~n/(n+1) of the corpus and
+        // blow through this bound immediately.
+        assert!(
+            moved < expected * 2,
+            "growing {n}->{} moved {moved} of {KEYS} keys (expected ~{expected})",
+            n + 1
+        );
+        // And the new shard must actually capture a real share, or adding
+        // capacity did nothing.
+        assert!(
+            moved > expected / 2,
+            "growing {n}->{} moved only {moved} of {KEYS} keys (expected ~{expected})",
+            n + 1
+        );
+    }
+}
