@@ -1,0 +1,177 @@
+//! Experiment E-ZOO-REGRET — the limits of universal optimality, as regret
+//! tables.
+//!
+//! Theorem 1 says one mechanism (the geometric) serves *every* minimax
+//! consumer of a count query optimally. Brenner–Nissim say that collapse is
+//! special to counts: for sum and median queries no single mechanism can be
+//! simultaneously optimal for all consumers. This experiment renders both
+//! halves as exact regret tables over the zoo's standard three-consumer
+//! panel (absolute loss / zero-one loss over full side information, plus
+//! absolute loss knowing only the endpoints):
+//!
+//! * **Count, n = 3, α = 1/4** — the geometric candidate's regret row is
+//!   identically zero and the tailored optimum reproduces the paper's
+//!   pinned 168/415.
+//! * **Sum, 2 rows × 2, α = 1/2** and **Median, 3 rows over {0,1,2},
+//!   α = 1/2** — no candidate row is all-zero, and a consumer pair with
+//!   *mutual* positive regret witnesses the impossibility.
+//!
+//! All arithmetic is exact rational; every printed fraction is the true
+//! optimum, not a float estimate. Set `PRIVMECH_SWEEP_QUICK=1` to print the
+//! three headline tables only (CI smoke); the full run additionally sweeps
+//! the sum counterexample across α to show it is not an artifact of one
+//! privacy level.
+
+use std::sync::Arc;
+
+use privmech_core::loss::{AbsoluteError, ZeroOneError};
+use privmech_core::{MinimaxConsumer, PrivacyLevel, SideInformation};
+use privmech_experiments::section;
+use privmech_numerics::{rat, Rational};
+use privmech_zoo::{regret_table, QueryClass, RegretTable};
+
+/// The standard three-consumer panel over `{0, …, bound}` (the same panel
+/// the zoo's pinned tests use).
+fn panel(bound: usize) -> Vec<MinimaxConsumer<Rational>> {
+    vec![
+        MinimaxConsumer::new("abs", Arc::new(AbsoluteError), SideInformation::full(bound)).unwrap(),
+        MinimaxConsumer::new(
+            "zero-one",
+            Arc::new(ZeroOneError),
+            SideInformation::full(bound),
+        )
+        .unwrap(),
+        MinimaxConsumer::new(
+            "abs-ends",
+            Arc::new(AbsoluteError),
+            SideInformation::new(bound, [0, bound]).unwrap(),
+        )
+        .unwrap(),
+    ]
+}
+
+fn print_table(table: &RegretTable<Rational>) {
+    println!(
+        "{:>22} | {}",
+        "candidate \\ consumer",
+        table
+            .consumer_names
+            .iter()
+            .map(|n| format!("{n:>16}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!(
+        "{:>22} | {}",
+        "(tailored optimum)",
+        table
+            .opt
+            .iter()
+            .map(|v| format!("{:>16}", v.to_string()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for (row, name) in table.candidate_names.iter().enumerate() {
+        println!(
+            "{name:>22} | {}",
+            table.regrets[row]
+                .iter()
+                .map(|v| format!("{:>16}", v.to_string()))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    match (&table.dominant[..], table.non_dominated_pair) {
+        (dominant, _) if !dominant.is_empty() => {
+            for &row in dominant {
+                println!(
+                    "=> dominant candidate: {} (regret row identically zero)",
+                    table.candidate_names[row]
+                );
+            }
+        }
+        (_, Some((j, k))) => println!(
+            "=> NO dominant candidate; consumers {} and {} have mutual positive regret \
+             ({} vs {}) — the Brenner–Nissim witness",
+            table.consumer_names[j],
+            table.consumer_names[k],
+            table.regrets[j][k],
+            table.regrets[k][j],
+        ),
+        _ => println!("=> no dominant candidate and no witnessing pair (unexpected)"),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("PRIVMECH_SWEEP_QUICK").is_ok_and(|v| v == "1");
+
+    section("Count query, n = 3, α = 1/4: Theorem 1 as a regret table");
+    let level = PrivacyLevel::new(rat(1, 4)).unwrap();
+    let count = regret_table(&QueryClass::Count { n: 3 }, &level, &panel(3)).unwrap();
+    print_table(&count);
+    println!(
+        "paper anchor: tailored optimum for the absolute consumer = {} (expected 168/415)",
+        count.opt[0]
+    );
+    assert_eq!(count.opt[0], rat(168, 415));
+    assert!(!count.dominant.is_empty(), "count table lost its collapse");
+
+    section("Sum query, 2 rows × per-row ≤ 2, α = 1/2: the collapse fails");
+    let level = PrivacyLevel::new(rat(1, 2)).unwrap();
+    let sum_class = QueryClass::Sum {
+        rows: 2,
+        per_row: 2,
+    };
+    let sum = regret_table(&sum_class, &level, &panel(4)).unwrap();
+    print_table(&sum);
+    assert!(sum.dominant.is_empty(), "sum table unexpectedly collapsed");
+    assert!(sum.non_dominated_pair.is_some(), "sum witness disappeared");
+
+    section("Median query, 3 rows over {0,1,2}, α = 1/2: the collapse fails");
+    let median = regret_table(
+        &QueryClass::Median { rows: 3, domain: 3 },
+        &level,
+        &panel(3),
+    )
+    .unwrap();
+    print_table(&median);
+    assert!(
+        median.dominant.is_empty(),
+        "median table unexpectedly collapsed"
+    );
+    assert!(
+        median.non_dominated_pair.is_some(),
+        "median witness disappeared"
+    );
+
+    if quick {
+        println!("\nPRIVMECH_SWEEP_QUICK=1: skipping the α-sweep of the sum counterexample");
+        return;
+    }
+
+    section("α-sweep: the sum counterexample is not special to α = 1/2");
+    println!(
+        "{:>8} {:>10} {:>22} {:>22}",
+        "alpha", "dominant?", "regret[j][k]", "regret[k][j]"
+    );
+    for (num, den) in [(1i64, 4i64), (1, 3), (1, 2), (2, 3), (3, 4)] {
+        let level = PrivacyLevel::new(rat(num, den)).unwrap();
+        let table = regret_table(&sum_class, &level, &panel(4)).unwrap();
+        let (j, k) = table
+            .non_dominated_pair
+            .expect("sum counterexample vanished at this α");
+        println!(
+            "{:>8} {:>10} {:>22} {:>22}",
+            format!("{num}/{den}"),
+            if table.dominant.is_empty() {
+                "no"
+            } else {
+                "YES"
+            },
+            table.regrets[j][k].to_string(),
+            table.regrets[k][j].to_string(),
+        );
+        assert!(table.dominant.is_empty());
+    }
+    println!("no α in the sweep admits a dominant candidate for the sum class.");
+}

@@ -39,6 +39,13 @@ pub trait Scalar:
     /// # Panics
     /// Panics if `den == 0`.
     fn from_ratio(num: i64, den: i64) -> Self;
+    /// Embed a finite `f64` exactly — every finite binary float is a
+    /// rational, so exact fields represent it without rounding. This is the
+    /// bridge for exact-arithmetic rescue solves of float models.
+    ///
+    /// # Panics
+    /// Panics if `v` is not finite.
+    fn from_f64(v: f64) -> Self;
     /// Convert to `f64` (possibly lossy) for reporting.
     fn to_f64(&self) -> f64;
     /// Absolute value.
@@ -182,6 +189,10 @@ impl Scalar for f64 {
         assert!(den != 0, "from_ratio with zero denominator");
         num as f64 / den as f64
     }
+    fn from_f64(v: f64) -> Self {
+        assert!(v.is_finite(), "from_f64 needs a finite value, got {v}");
+        v
+    }
     fn to_f64(&self) -> f64 {
         *self
     }
@@ -208,6 +219,10 @@ impl Scalar for Rational {
     }
     fn from_ratio(num: i64, den: i64) -> Self {
         Rational::from_ratio(num, den)
+    }
+    fn from_f64(v: f64) -> Self {
+        Rational::from_f64_exact(v)
+            .unwrap_or_else(|| panic!("from_f64 needs a finite value, got {v}"))
     }
     fn to_f64(&self) -> f64 {
         Rational::to_f64(self)

@@ -9,8 +9,9 @@
 //!
 //! ```text
 //! privmech-load [--addr HOST:PORT] [--label L] [--output PATH] [--no-record]
-//!               [--seed N] [--arrival-seed N] [--templates N] [--zipf F]
-//!               [--max-n N] [--op-mix S:W:I] [--connections N] [--requests N]
+//!               [--workload compute|zoo] [--seed N] [--arrival-seed N]
+//!               [--templates N] [--zipf F] [--max-n N] [--op-mix S:W:I]
+//!               [--connections N] [--requests N]
 //!               [--rate R | --ramp START:END:STEPS] [--p99-bound-ms F]
 //!               [--drain-secs F] [--fleet N] [--serve-bin PATH]
 //!               [--shard-cache-capacity N]
@@ -32,7 +33,7 @@ use std::time::Duration;
 
 use privmech_load::fleet::{self, Fleet, FleetConfig};
 use privmech_load::{ramp_search, run, RunConfig, Schedule};
-use privmech_load::{Population, WorkloadConfig};
+use privmech_load::{Population, WorkloadConfig, WorkloadKind};
 use privmech_serve::client::Client;
 use privmech_serve::json::{self, Json};
 use privmech_serve::server::{self, ServerConfig};
@@ -81,7 +82,8 @@ fn main() {
     let args = parse_args();
 
     eprintln!(
-        "privmech-load: {} templates (zipf s={}, max n={}, mix {}:{}:{}), seed {}",
+        "privmech-load: {} workload, {} templates (zipf s={}, max n={}, mix {}:{}:{}), seed {}",
+        args.workload.kind.name(),
         args.workload.templates,
         args.workload.zipf_exponent,
         args.workload.max_n,
@@ -145,6 +147,7 @@ fn main() {
     };
 
     let mut capacity = Json::obj()
+        .with("workload", Json::str(args.workload.kind.name()))
         .with("seed", Json::num_u64(args.workload.seed))
         .with("arrival_seed", Json::num_u64(args.arrival_seed))
         .with("templates", Json::num_u64(args.workload.templates as u64))
@@ -387,6 +390,13 @@ fn parse_args() -> Args {
             "--label" => parsed.label = value("--label"),
             "--output" => parsed.output = value("--output"),
             "--no-record" => parsed.record = false,
+            "--workload" => {
+                let raw = value("--workload");
+                parsed.workload.kind = WorkloadKind::from_name(&raw).unwrap_or_else(|| {
+                    eprintln!("--workload must be \"compute\" or \"zoo\", got {raw:?}");
+                    std::process::exit(2);
+                });
+            }
             "--seed" => parsed.workload.seed = parse(&value("--seed"), "--seed"),
             "--arrival-seed" => {
                 parsed.arrival_seed = parse(&value("--arrival-seed"), "--arrival-seed")
@@ -444,8 +454,9 @@ fn parse_args() -> Args {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: privmech-load [--addr HOST:PORT] [--label L] [--output PATH] \
-                     [--no-record] [--seed N] [--arrival-seed N] [--templates N] [--zipf F] \
-                     [--max-n N] [--op-mix S:W:I] [--connections N] [--requests N] \
+                     [--no-record] [--workload compute|zoo] [--seed N] [--arrival-seed N] \
+                     [--templates N] [--zipf F] [--max-n N] [--op-mix S:W:I] \
+                     [--connections N] [--requests N] \
                      [--rate R | --ramp START:END:STEPS] [--p99-bound-ms F] [--drain-secs F] \
                      [--fleet N] [--serve-bin PATH] [--shard-cache-capacity N]"
                 );

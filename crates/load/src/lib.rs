@@ -13,7 +13,8 @@
 //!   `(n, α, loss)` requests — Zipf-distributed popularity over a seeded,
 //!   deterministic template set, mixed `solve`/`sweep`/`interact` ops over
 //!   both scalar backends — the traffic shape that exercises the sharded
-//!   LRU cache and the exact-LP fallback path honestly,
+//!   LRU cache and the exact-LP fallback path honestly (`--workload zoo`
+//!   swaps in `zoo_table`/`zoo_eval` traffic over the same Zipf machinery),
 //! * [`schedule`] computes arrival timestamps **up front**, as a pure
 //!   function of the schedule (fixed-rate or ramp) and never of completion
 //!   times, so saturation shows up as queueing delay in the measured
@@ -46,4 +47,4 @@ pub use fleet::{Fleet, FleetConfig};
 pub use runner::{ramp_search, run, RampOutcome, RampStep, RunConfig, RunReport};
 pub use schedule::Schedule;
 pub use stats::{LatencyRecorder, LatencySummary};
-pub use workload::{Population, WorkloadConfig, ZipfSampler};
+pub use workload::{Population, WorkloadConfig, WorkloadKind, ZipfSampler};

@@ -32,8 +32,9 @@ use crate::schedule::Schedule;
 use crate::stats::{LatencyRecorder, LatencySummary};
 use crate::workload::Population;
 
-/// The op buckets a run reports (the compute ops the workload generates).
-pub const RUN_OPS: &[&str] = &["solve", "sweep", "interact"];
+/// The op buckets a run reports (the compute and zoo ops the workload
+/// generator can produce; ops with no completions are omitted from reports).
+pub const RUN_OPS: &[&str] = &["solve", "sweep", "interact", "zoo_table", "zoo_eval"];
 
 /// How a run connects and drains.
 #[derive(Debug, Clone)]

@@ -15,6 +15,8 @@ use std::collections::HashSet;
 use privmech_core::PrivacyLevel;
 use privmech_serve::json::{self, Json};
 use privmech_serve::proto::{matrix_to_wire, ConsumerSpec, LossSpec, WireScalar};
+use privmech_serve::zoo::{query_to_wire, ZooAgentSpec, ZooConsumerSpec};
+use privmech_zoo::{LdpProtocol, QueryClass};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -80,6 +82,37 @@ impl ZipfSampler {
     }
 }
 
+/// Which request family a population samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// The classic engine ops: `solve` / `sweep` / `interact`.
+    Compute,
+    /// The zoo ops: `zoo_table` / `zoo_eval` (LDP gaps and compositions).
+    /// The three op weights map to table : ldp : compose.
+    Zoo,
+}
+
+impl WorkloadKind {
+    /// The CLI/wire name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Compute => "compute",
+            WorkloadKind::Zoo => "zoo",
+        }
+    }
+
+    /// Parse a CLI name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "compute" => Some(WorkloadKind::Compute),
+            "zoo" => Some(WorkloadKind::Zoo),
+            _ => None,
+        }
+    }
+}
+
 /// Parameters of a synthetic population. Two equal configs generate
 /// byte-identical template sets.
 #[derive(Debug, Clone)]
@@ -87,17 +120,22 @@ pub struct WorkloadConfig {
     /// Master seed for template generation (arrival sampling takes its own
     /// seed so the same population can serve many request sequences).
     pub seed: u64,
+    /// Which request family to sample.
+    pub kind: WorkloadKind,
     /// Number of distinct request templates (Zipf ranks).
     pub templates: usize,
     /// Zipf popularity exponent (≈1.1 is the classic web-traffic shape).
     pub zipf_exponent: f64,
     /// Largest query-range bound `n` sampled (inclusive; smallest is 2).
     pub max_n: usize,
-    /// Relative weight of `solve` templates.
+    /// Relative weight of `solve` templates (`zoo_table` under
+    /// [`WorkloadKind::Zoo`]).
     pub solve_weight: u32,
-    /// Relative weight of `sweep` templates.
+    /// Relative weight of `sweep` templates (LDP `zoo_eval` under
+    /// [`WorkloadKind::Zoo`]).
     pub sweep_weight: u32,
-    /// Relative weight of `interact` templates.
+    /// Relative weight of `interact` templates (compose `zoo_eval` under
+    /// [`WorkloadKind::Zoo`]).
     pub interact_weight: u32,
 }
 
@@ -105,6 +143,7 @@ impl Default for WorkloadConfig {
     fn default() -> Self {
         WorkloadConfig {
             seed: 7,
+            kind: WorkloadKind::Compute,
             templates: 64,
             zipf_exponent: 1.1,
             max_n: 6,
@@ -119,8 +158,9 @@ impl Default for WorkloadConfig {
 /// `id` envelope fields (the runner stamps those per arrival).
 #[derive(Debug, Clone)]
 pub struct RequestTemplate {
-    /// The wire op (`"solve"`, `"sweep"` or `"interact"`) — the latency
-    /// bucket this template's arrivals are recorded under.
+    /// The wire op (`"solve"`, `"sweep"`, `"interact"`, `"zoo_table"` or
+    /// `"zoo_eval"`) — the latency bucket this template's arrivals are
+    /// recorded under.
     pub op: &'static str,
     /// The request body. Cloned and extended with `v`/`id` at send time.
     pub body: Json,
@@ -150,18 +190,36 @@ impl Population {
         let mut templates = Vec::with_capacity(config.templates);
         while templates.len() < config.templates {
             let pick = rng.gen_range(0..total_weight);
-            let op: &'static str = if pick < config.solve_weight {
-                "solve"
+            let slot = if pick < config.solve_weight {
+                0
             } else if pick < config.solve_weight + config.sweep_weight {
-                "sweep"
+                1
             } else {
-                "interact"
+                2
+            };
+            let op: &'static str = match (config.kind, slot) {
+                (WorkloadKind::Compute, 0) => "solve",
+                (WorkloadKind::Compute, 1) => "sweep",
+                (WorkloadKind::Compute, _) => "interact",
+                (WorkloadKind::Zoo, 0) => "zoo_table",
+                (WorkloadKind::Zoo, _) => "zoo_eval",
             };
             let n = rng.gen_range(2..=config.max_n);
-            let body = if rng.gen_bool(0.5) {
-                build_body::<privmech_numerics::Rational>(&mut rng, op, n)
-            } else {
-                build_body::<f64>(&mut rng, op, n)
+            let body = match config.kind {
+                WorkloadKind::Compute => {
+                    if rng.gen_bool(0.5) {
+                        build_body::<privmech_numerics::Rational>(&mut rng, op, n)
+                    } else {
+                        build_body::<f64>(&mut rng, op, n)
+                    }
+                }
+                WorkloadKind::Zoo => {
+                    if rng.gen_bool(0.5) {
+                        build_zoo_body::<privmech_numerics::Rational>(&mut rng, slot, n)
+                    } else {
+                        build_zoo_body::<f64>(&mut rng, slot, n)
+                    }
+                }
             };
             let Some(body) = body else { continue };
             // Distinctness by rendered bytes; collisions re-roll (the space
@@ -240,6 +298,79 @@ fn build_body<T: WireScalar>(rng: &mut StdRng, op: &'static str, n: usize) -> Op
     }
 }
 
+/// Build one zoo request body for weight slot `slot` (0 = `zoo_table`,
+/// 1 = LDP `zoo_eval`, 2 = compose `zoo_eval`) at size parameter `n`.
+fn build_zoo_body<T: WireScalar>(rng: &mut StdRng, slot: u32, n: usize) -> Option<Json> {
+    let base = Json::obj().with("scalar", Json::str(T::TAG));
+    match slot {
+        0 => {
+            let query = match rng.gen_range(0u32..3) {
+                0 => QueryClass::Count { n },
+                1 => QueryClass::Sum {
+                    rows: 2,
+                    per_row: rng.gen_range(2..=3),
+                },
+                _ => QueryClass::Median { rows: 3, domain: 3 },
+            };
+            let bound = query.result_bound();
+            let consumers: Vec<Json> = (0..rng.gen_range(1usize..=3))
+                .map(|_| {
+                    ZooConsumerSpec::<T> {
+                        support: rng.gen_bool(0.25).then(|| vec![0, bound]),
+                        loss: sample_loss(rng, bound),
+                    }
+                    .to_wire()
+                })
+                .collect();
+            let alpha: T = sample_alpha(rng);
+            Some(
+                base.with("op", Json::str("zoo_table"))
+                    .with("query", query_to_wire(&query))
+                    .with("alpha", alpha.to_wire())
+                    .with("consumers", Json::Arr(consumers)),
+            )
+        }
+        1 => {
+            let protocol = if rng.gen_bool(0.5) {
+                LdpProtocol::RandomizedResponse
+            } else {
+                LdpProtocol::Hadamard
+            };
+            let users = rng.gen_range(2..=n.max(2));
+            let alpha: T = sample_alpha(rng);
+            let loss = sample_loss::<T>(rng, users);
+            Some(
+                base.with("op", Json::str("zoo_eval"))
+                    .with("scenario", Json::str("ldp"))
+                    .with("protocol", Json::str(protocol.name()))
+                    .with("users", Json::num_u64(users as u64))
+                    .with("alpha", alpha.to_wire())
+                    .with("loss", loss.to_wire()),
+            )
+        }
+        _ => {
+            let agents: Vec<Json> = (0..rng.gen_range(1usize..=3))
+                .enumerate()
+                .map(|(i, _)| {
+                    let users = rng.gen_range(2..=n.clamp(2, 4));
+                    ZooAgentSpec::<T> {
+                        name: format!("a{i}"),
+                        users,
+                        alpha: sample_alpha(rng),
+                        loss: sample_loss(rng, users),
+                    }
+                    .to_wire()
+                })
+                .collect();
+            Some(
+                base.with("op", Json::str("zoo_eval"))
+                    .with("scenario", Json::str("compose"))
+                    .with("agents", Json::Arr(agents)),
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +398,43 @@ mod tests {
             assert!(rendered.insert(json::to_string(&template.body)));
         }
         assert_eq!(rendered.len(), 64);
+    }
+
+    #[test]
+    fn zoo_population_is_distinct_deterministic_and_zoo_tagged() {
+        let config = WorkloadConfig {
+            kind: WorkloadKind::Zoo,
+            templates: 32,
+            ..WorkloadConfig::default()
+        };
+        let population = Population::generate(&config);
+        let mut rendered = HashSet::new();
+        let mut tables = 0;
+        for template in &population.templates {
+            assert!(matches!(template.op, "zoo_table" | "zoo_eval"));
+            assert_eq!(
+                template.body.get("op").and_then(Json::as_str),
+                Some(template.op)
+            );
+            if template.op == "zoo_table" {
+                tables += 1;
+            } else {
+                assert!(matches!(
+                    template.body.get("scenario").and_then(Json::as_str),
+                    Some("ldp" | "compose")
+                ));
+            }
+            assert!(rendered.insert(json::to_string(&template.body)));
+        }
+        assert_eq!(rendered.len(), 32);
+        assert!(
+            tables > 0,
+            "the default mix must produce zoo_table templates"
+        );
+        // Same config, byte-identical population.
+        let again = Population::generate(&config);
+        for (a, b) in population.templates.iter().zip(&again.templates) {
+            assert_eq!(json::to_string(&a.body), json::to_string(&b.body));
+        }
     }
 }

@@ -28,13 +28,15 @@ use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use privmech_core::PivotStats;
+use privmech_zoo::{LdpProtocol, QueryClass};
 
 use crate::frame::{read_frame, write_frame};
 use crate::json::{self, Json};
 use crate::proto::{
     intern_code, rows_from_wire, stats_from_wire, CacheDisposition, CacheMode, ConsumerSpec,
-    WireError, WireScalar, PROTOCOL_V1, PROTOCOL_VERSION,
+    LossSpec, WireError, WireScalar, PROTOCOL_V1, PROTOCOL_VERSION,
 };
+use crate::zoo::{query_to_wire, ZooAgentSpec, ZooConsumerSpec};
 
 /// Client-side failure: transport, protocol, or a server-reported error.
 #[derive(Debug)]
@@ -645,6 +647,146 @@ impl Client {
                 induced,
                 stats,
             },
+            cache,
+            raw,
+        })
+    }
+
+    fn zoo_table_request<T: WireScalar>(
+        query: &QueryClass,
+        alpha: &T,
+        consumers: &[ZooConsumerSpec<T>],
+        cache: CacheMode,
+    ) -> Json {
+        Json::obj()
+            .with("op", Json::str("zoo_table"))
+            .with("scalar", Json::str(T::TAG))
+            .with("cache", Json::str(cache.as_wire()))
+            .with("query", query_to_wire(query))
+            .with("alpha", alpha.to_wire())
+            .with(
+                "consumers",
+                Json::Arr(consumers.iter().map(ZooConsumerSpec::to_wire).collect()),
+            )
+    }
+
+    fn zoo_ldp_request<T: WireScalar>(
+        protocol: LdpProtocol,
+        users: usize,
+        alpha: &T,
+        loss: &LossSpec<T>,
+        cache: CacheMode,
+    ) -> Json {
+        Json::obj()
+            .with("op", Json::str("zoo_eval"))
+            .with("scalar", Json::str(T::TAG))
+            .with("cache", Json::str(cache.as_wire()))
+            .with("scenario", Json::str("ldp"))
+            .with("protocol", Json::str(protocol.name()))
+            .with("users", Json::num_u64(users as u64))
+            .with("alpha", alpha.to_wire())
+            .with("loss", loss.to_wire())
+    }
+
+    fn zoo_compose_request<T: WireScalar>(agents: &[ZooAgentSpec<T>], cache: CacheMode) -> Json {
+        Json::obj()
+            .with("op", Json::str("zoo_eval"))
+            .with("scalar", Json::str(T::TAG))
+            .with("cache", Json::str(cache.as_wire()))
+            .with("scenario", Json::str("compose"))
+            .with(
+                "agents",
+                Json::Arr(agents.iter().map(ZooAgentSpec::to_wire).collect()),
+            )
+    }
+
+    /// Submit a `zoo_table` request without waiting.
+    pub fn submit_zoo_table<T: WireScalar>(
+        &mut self,
+        query: &QueryClass,
+        alpha: &T,
+        consumers: &[ZooConsumerSpec<T>],
+        cache: CacheMode,
+    ) -> Result<Ticket, ClientError> {
+        self.submit(Self::zoo_table_request(query, alpha, consumers, cache))
+    }
+
+    /// The minimax-regret table of a query class over a consumer panel
+    /// (blocking; the `zoo_table` op). The reply's `value` is the raw result
+    /// object — see `PROTOCOL.md` § Zoo operations for its fields
+    /// (`candidates`, `losses`, `regrets`, `dominant`, `non_dominated_pair`).
+    pub fn zoo_table<T: WireScalar>(
+        &mut self,
+        query: &QueryClass,
+        alpha: &T,
+        consumers: &[ZooConsumerSpec<T>],
+        cache: CacheMode,
+    ) -> Result<Reply<Json>, ClientError> {
+        let ticket = self.submit_zoo_table(query, alpha, consumers, cache)?;
+        let response = self.wait(ticket)?;
+        let (result, cache, raw) = cached_result(&response)?;
+        Ok(Reply {
+            value: result.clone(),
+            cache,
+            raw,
+        })
+    }
+
+    /// Submit a `zoo_eval` LDP-gap request without waiting.
+    pub fn submit_zoo_ldp<T: WireScalar>(
+        &mut self,
+        protocol: LdpProtocol,
+        users: usize,
+        alpha: &T,
+        loss: &LossSpec<T>,
+        cache: CacheMode,
+    ) -> Result<Ticket, ClientError> {
+        self.submit(Self::zoo_ldp_request(protocol, users, alpha, loss, cache))
+    }
+
+    /// One point of the local-model gap profile (blocking; `zoo_eval`
+    /// scenario `"ldp"`): the minimax loss of the protocol's induced central
+    /// mechanism next to the centralized optimum, and their difference.
+    pub fn zoo_ldp<T: WireScalar>(
+        &mut self,
+        protocol: LdpProtocol,
+        users: usize,
+        alpha: &T,
+        loss: &LossSpec<T>,
+        cache: CacheMode,
+    ) -> Result<Reply<Json>, ClientError> {
+        let ticket = self.submit_zoo_ldp(protocol, users, alpha, loss, cache)?;
+        let response = self.wait(ticket)?;
+        let (result, cache, raw) = cached_result(&response)?;
+        Ok(Reply {
+            value: result.clone(),
+            cache,
+            raw,
+        })
+    }
+
+    /// Submit a `zoo_eval` composition request without waiting.
+    pub fn submit_zoo_compose<T: WireScalar>(
+        &mut self,
+        agents: &[ZooAgentSpec<T>],
+        cache: CacheMode,
+    ) -> Result<Ticket, ClientError> {
+        self.submit(Self::zoo_compose_request(agents, cache))
+    }
+
+    /// Multi-agent composition (blocking; `zoo_eval` scenario `"compose"`):
+    /// each agent's tailored optimum plus the composed privacy level of the
+    /// joint release.
+    pub fn zoo_compose<T: WireScalar>(
+        &mut self,
+        agents: &[ZooAgentSpec<T>],
+        cache: CacheMode,
+    ) -> Result<Reply<Json>, ClientError> {
+        let ticket = self.submit_zoo_compose(agents, cache)?;
+        let response = self.wait(ticket)?;
+        let (result, cache, raw) = cached_result(&response)?;
+        Ok(Reply {
+            value: result.clone(),
             cache,
             raw,
         })

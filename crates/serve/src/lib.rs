@@ -123,6 +123,7 @@ pub mod router;
 pub mod server;
 #[allow(unsafe_code)]
 pub(crate) mod sys;
+pub mod zoo;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use client::{

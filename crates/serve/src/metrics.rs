@@ -25,7 +25,16 @@ pub const BUCKET_COUNT: usize = 31;
 /// outside this list is a no-op (there is nothing useful to aggregate for
 /// unparsable frames).
 pub const TRACKED_OPS: &[&str] = &[
-    "ping", "hello", "stats", "metrics", "solve", "sweep", "interact", "shutdown",
+    "ping",
+    "hello",
+    "stats",
+    "metrics",
+    "solve",
+    "sweep",
+    "interact",
+    "zoo_eval",
+    "zoo_table",
+    "shutdown",
 ];
 
 /// One operation's latency histogram.

@@ -23,8 +23,9 @@
 use std::sync::Arc;
 
 use privmech_core::{
-    AbsoluteError, ConsumerKind, CoreError, Mechanism, PivotStats, SolveRequest, SolveStrategy,
-    SquaredError, TableLoss, ToleranceError, ValidatedRequest, ZeroOneError,
+    AbsoluteError, ConsumerKind, CoreError, Interaction, Mechanism, PivotStats, Solve,
+    SolveRequest, SolveStrategy, SquaredError, TableLoss, ToleranceError, ValidatedRequest,
+    ZeroOneError,
 };
 use privmech_linalg::{Matrix, Scalar};
 use privmech_numerics::Rational;
@@ -186,15 +187,28 @@ pub fn routing_key(request: &Json) -> Option<String> {
 }
 
 fn routing_key_for<T: WireScalar>(op: &str, request: &Json) -> Option<String> {
-    let spec = ConsumerSpec::<T>::from_wire(request).ok()?;
-    let spec_canonical = crate::json::to_string(&spec.encode_onto(Json::obj()));
-    let extra = match op {
-        "solve" => crate::json::to_string(&T::from_wire(request.get("alpha")?)?.to_wire()),
-        "sweep" => crate::json::to_string(&Json::Arr(request.get("alphas")?.as_arr()?.to_vec())),
-        "interact" => crate::json::to_string(request.get("mechanism")?),
-        _ => return None,
-    };
-    Some(format!("{op}|{}|{spec_canonical}|{extra}", T::TAG))
+    // Dispatch on the op *first*: zoo requests carry no top-level consumer
+    // spec, so decoding one unconditionally would mis-route them all to the
+    // "anywhere" bucket.
+    match op {
+        "solve" | "sweep" | "interact" => {
+            let spec = ConsumerSpec::<T>::from_wire(request).ok()?;
+            let spec_canonical = crate::json::to_string(&spec.encode_onto(Json::obj()));
+            let extra = match op {
+                "solve" => crate::json::to_string(&T::from_wire(request.get("alpha")?)?.to_wire()),
+                "sweep" => {
+                    crate::json::to_string(&Json::Arr(request.get("alphas")?.as_arr()?.to_vec()))
+                }
+                _ => crate::json::to_string(request.get("mechanism")?),
+            };
+            Some(format!("{op}|{}|{spec_canonical}|{extra}", T::TAG))
+        }
+        "zoo_eval" | "zoo_table" => {
+            let parsed = crate::zoo::ZooRequest::<T>::from_wire(op, request).ok()?;
+            Some(format!("{op}|{}|{}", T::TAG, parsed.canonical()))
+        }
+        _ => None,
+    }
 }
 
 /// A scalar backend that can travel over the wire.
@@ -207,6 +221,15 @@ pub trait WireScalar: Scalar + Send + Sync {
 
     /// Decode one value; `None` on type or syntax mismatch.
     fn from_wire(value: &Json) -> Option<Self>;
+
+    /// Append the rendering of [`WireScalar::to_wire`] directly onto `out`
+    /// — byte-identical to `json::to_string(&self.to_wire())`, without
+    /// building the tree node. The direct result renderers
+    /// ([`render_solve`], [`render_interaction`], the zoo renderers) are
+    /// built on this, which is what keeps large-matrix miss paths from
+    /// allocating one `Json` node per cell (asserted against the tree
+    /// oracles in this module's tests).
+    fn render_onto(&self, out: &mut String);
 }
 
 impl WireScalar for Rational {
@@ -222,6 +245,13 @@ impl WireScalar for Rational {
         let text = value.as_str().or_else(|| value.num_text())?;
         text.parse().ok()
     }
+
+    fn render_onto(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        // The Display form is digits, '-' and '/' — nothing the JSON string
+        // escaper would touch, so quoting it verbatim matches the tree path.
+        let _ = write!(out, "\"{self}\"");
+    }
 }
 
 impl WireScalar for f64 {
@@ -234,6 +264,17 @@ impl WireScalar for f64 {
     fn from_wire(value: &Json) -> Option<Self> {
         let v = value.as_f64()?;
         v.is_finite().then_some(v)
+    }
+
+    fn render_onto(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        if self.is_finite() {
+            // Debug is the shortest round-tripping decimal — the same text
+            // `Json::num_f64` stores.
+            let _ = write!(out, "{self:?}");
+        } else {
+            out.push_str("null");
+        }
     }
 }
 
@@ -273,6 +314,25 @@ impl<T: WireScalar> LossSpec<T> {
                 ),
             ),
         }
+    }
+
+    /// Build the typed loss function. Table losses are validated for shape
+    /// here; monotonicity is checked wherever the loss is consumed (core
+    /// request validation, or the zoo's explicit `validate_monotone` pass).
+    pub fn to_loss(
+        &self,
+    ) -> Result<Arc<dyn privmech_core::LossFunction<T> + Send + Sync>, WireError> {
+        Ok(match self {
+            LossSpec::Absolute => Arc::new(AbsoluteError),
+            LossSpec::Squared => Arc::new(SquaredError),
+            LossSpec::ZeroOne => Arc::new(ZeroOneError),
+            LossSpec::Tolerance(width) => Arc::new(ToleranceError { width: *width }),
+            LossSpec::Table(rows) => {
+                let matrix = Matrix::from_rows(rows.clone())
+                    .map_err(|e| WireError::from(CoreError::from(e)))?;
+                Arc::new(TableLoss::new(matrix, "wire-table").map_err(WireError::from)?)
+            }
+        })
     }
 
     /// Decode the request's `"loss"` field.
@@ -492,17 +552,7 @@ impl<T: WireScalar> ConsumerSpec<T> {
     /// validation (monotone loss, support bounds, stochastic prior) happens
     /// here, inside [`SolveRequest::validate`].
     pub fn to_request(&self, alpha: T) -> Result<ValidatedRequest<T>, WireError> {
-        let loss: Arc<dyn privmech_core::LossFunction<T> + Send + Sync> = match &self.loss {
-            LossSpec::Absolute => Arc::new(AbsoluteError),
-            LossSpec::Squared => Arc::new(SquaredError),
-            LossSpec::ZeroOne => Arc::new(ZeroOneError),
-            LossSpec::Tolerance(width) => Arc::new(ToleranceError { width: *width }),
-            LossSpec::Table(rows) => {
-                let matrix = Matrix::from_rows(rows.clone())
-                    .map_err(|e| WireError::from(CoreError::from(e)))?;
-                Arc::new(TableLoss::new(matrix, "wire-table").map_err(WireError::from)?)
-            }
-        };
+        let loss = self.loss.to_loss()?;
         let builder = match self.kind {
             ConsumerKind::Minimax => {
                 let members = self
@@ -730,6 +780,91 @@ pub fn matrix_to_wire<T: WireScalar>(matrix: &Matrix<T>) -> Json {
     )
 }
 
+/// Append the rendering of [`matrix_to_wire`] directly onto `out` —
+/// byte-identical to `json::to_string(&matrix_to_wire(matrix))` without the
+/// per-cell `Json` nodes.
+pub fn render_matrix_onto<T: WireScalar>(out: &mut String, matrix: &Matrix<T>) {
+    out.push('[');
+    for (i, row) in matrix.row_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (r, cell) in row.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            cell.render_onto(out);
+        }
+        out.push(']');
+    }
+    out.push(']');
+}
+
+/// Encode a [`Solve`] as the `solve` op's `result` object — the **tree
+/// oracle** for [`render_solve`], kept for tests and decoding symmetry.
+#[must_use]
+pub fn solve_to_wire<T: WireScalar>(solve: &Solve<T>) -> Json {
+    Json::obj()
+        .with("alpha", solve.level.alpha().to_wire())
+        .with("loss", solve.loss.to_wire())
+        .with("mechanism", matrix_to_wire(solve.mechanism.matrix()))
+        .with("stats", stats_to_wire(&solve.stats))
+}
+
+/// Encode an [`Interaction`] as the `interact` op's `result` object — the
+/// **tree oracle** for [`render_interaction`].
+#[must_use]
+pub fn interaction_to_wire<T: WireScalar>(interaction: &Interaction<T>) -> Json {
+    Json::obj()
+        .with("loss", interaction.loss.to_wire())
+        .with(
+            "post_processing",
+            matrix_to_wire(&interaction.post_processing),
+        )
+        .with("induced", matrix_to_wire(interaction.induced.matrix()))
+        .with("stats", stats_to_wire(&interaction.lp_stats))
+}
+
+/// Render a solve result **once**, straight into a `String` — byte-identical
+/// to `json::to_string(&solve_to_wire(solve))` (asserted in tests) but
+/// without materializing the `(n+1)²`-node mechanism tree. This is the
+/// server's miss path: the returned string becomes the cache entry *and* the
+/// bytes spliced into the wire envelope, so large mechanisms are rendered
+/// exactly one time.
+#[must_use]
+pub fn render_solve<T: WireScalar>(solve: &Solve<T>) -> String {
+    let mut out = String::from("{\"alpha\":");
+    solve.level.alpha().render_onto(&mut out);
+    out.push_str(",\"loss\":");
+    solve.loss.render_onto(&mut out);
+    out.push_str(",\"mechanism\":");
+    render_matrix_onto(&mut out, solve.mechanism.matrix());
+    out.push_str(",\"stats\":");
+    out.push_str(&crate::json::to_string(&stats_to_wire(&solve.stats)));
+    out.push('}');
+    out
+}
+
+/// Render an interact result once, straight into a `String` — byte-identical
+/// to `json::to_string(&interaction_to_wire(interaction))`; see
+/// [`render_solve`].
+#[must_use]
+pub fn render_interaction<T: WireScalar>(interaction: &Interaction<T>) -> String {
+    let mut out = String::from("{\"loss\":");
+    interaction.loss.render_onto(&mut out);
+    out.push_str(",\"post_processing\":");
+    render_matrix_onto(&mut out, &interaction.post_processing);
+    out.push_str(",\"induced\":");
+    render_matrix_onto(&mut out, interaction.induced.matrix());
+    out.push_str(",\"stats\":");
+    out.push_str(&crate::json::to_string(&stats_to_wire(
+        &interaction.lp_stats,
+    )));
+    out.push('}');
+    out
+}
+
 /// Decode nested arrays into rows of scalars.
 pub fn rows_from_wire<T: WireScalar>(value: &Json) -> Result<Vec<Vec<T>>, WireError> {
     let rows = value
@@ -877,6 +1012,54 @@ mod tests {
             Json::Num("1".into()),
         ])]);
         assert!(mechanism_from_wire::<Rational>(&bad).is_err());
+    }
+
+    #[test]
+    fn scalar_render_onto_matches_tree_rendering() {
+        for r in [rat(5, 3), rat(-7, 2), rat(0, 1), rat(168, 415)] {
+            let mut direct = String::new();
+            r.render_onto(&mut direct);
+            assert_eq!(direct, crate::json::to_string(&r.to_wire()));
+        }
+        for x in [0.25f64, 1.0 / 3.0, -1.5e-8, 1e300, f64::NAN, f64::INFINITY] {
+            let mut direct = String::new();
+            x.render_onto(&mut direct);
+            assert_eq!(direct, crate::json::to_string(&x.to_wire()));
+        }
+    }
+
+    #[test]
+    fn direct_renderers_match_the_tree_oracles() {
+        // The render-once miss path must be invisible on the wire: the
+        // direct string renderers and the tree oracles agree byte for byte,
+        // for both scalar backends.
+        let engine = privmech_core::PrivacyEngine::with_threads(1);
+
+        let spec = ConsumerSpec::<Rational>::minimax(3, LossSpec::Absolute);
+        let validated = spec.to_request(rat(1, 4)).unwrap();
+        let solve = engine.solve(&validated).unwrap();
+        assert_eq!(
+            render_solve(&solve),
+            crate::json::to_string(&solve_to_wire(&solve))
+        );
+        let interaction = engine.interact(&solve.mechanism, &validated).unwrap();
+        assert_eq!(
+            render_interaction(&interaction),
+            crate::json::to_string(&interaction_to_wire(&interaction))
+        );
+
+        let spec = ConsumerSpec::<f64>::minimax(4, LossSpec::Squared);
+        let validated = spec.to_request(1.0 / 3.0).unwrap();
+        let solve = engine.solve(&validated).unwrap();
+        assert_eq!(
+            render_solve(&solve),
+            crate::json::to_string(&solve_to_wire(&solve))
+        );
+        let interaction = engine.interact(&solve.mechanism, &validated).unwrap();
+        assert_eq!(
+            render_interaction(&interaction),
+            crate::json::to_string(&interaction_to_wire(&interaction))
+        );
     }
 
     #[test]

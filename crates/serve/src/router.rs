@@ -263,8 +263,9 @@ enum Pending {
         id_rendering: String,
         v: u64,
     },
-    /// One member of a `stats`/`metrics` fan-out.
-    AggMember { agg: u64 },
+    /// One member of a `stats`/`metrics` fan-out, remembering which shard it
+    /// was sent to so `metrics` can report a per-shard breakdown.
+    AggMember { agg: u64, shard: usize },
     /// A broadcast whose reply nobody needs (`shutdown`).
     Discard,
 }
@@ -309,10 +310,13 @@ const STATS_SUM_FIELDS: [&str; 11] = [
 ];
 
 /// Merged per-op latency histograms: counts and totals sum; sparse buckets
-/// merge by their `le_ns` bound.
+/// merge by their `le_ns` bound. Each member's contribution is also kept
+/// keyed by shard index, so the fleet reply can expose per-shard latency
+/// skew (`shards: [{shard, ops: {...}}]`) from the one endpoint.
 #[derive(Default)]
 struct MetricsAcc {
     ops: HashMap<String, OpAcc>,
+    per_shard: Vec<(usize, HashMap<String, OpAcc>)>,
 }
 
 #[derive(Default)]
@@ -812,7 +816,7 @@ impl RouterLoop {
                     }
                     self.service_client(client);
                 }
-                Some(Pending::AggMember { agg }) => self.agg_member_done(agg, None),
+                Some(Pending::AggMember { agg, shard }) => self.agg_member_done(agg, shard, None),
                 Some(Pending::Discard) | None => {}
             }
         }
@@ -883,7 +887,7 @@ impl RouterLoop {
         // ticket and run the follow-up pass.
         enum After {
             Relay { client: u64 },
-            Agg { agg: u64 },
+            Agg { agg: u64, member: usize },
             Discard,
             Nothing,
         }
@@ -903,7 +907,10 @@ impl RouterLoop {
                 }
                 After::Relay { client }
             }
-            Some(Pending::AggMember { agg }) => After::Agg { agg: *agg },
+            Some(Pending::AggMember { agg, shard }) => After::Agg {
+                agg: *agg,
+                member: *shard,
+            },
             Some(Pending::Discard) => After::Discard,
             None => After::Nothing,
         };
@@ -923,9 +930,9 @@ impl RouterLoop {
                     self.flush_client(client);
                 }
             }
-            After::Agg { agg } => {
+            After::Agg { agg, member } => {
                 if terminal {
-                    self.agg_member_done(agg, json::parse(text).ok());
+                    self.agg_member_done(agg, member, json::parse(text).ok());
                 }
             }
             After::Discard | After::Nothing => {}
@@ -980,17 +987,17 @@ impl RouterLoop {
             set_field(&mut copy, "id", Json::num_u64(ticket));
             if self.push_to_shard(shard, json::to_string(&copy).as_bytes()) {
                 self.pendings
-                    .insert(ticket, Pending::AggMember { agg: agg_id });
+                    .insert(ticket, Pending::AggMember { agg: agg_id, shard });
                 self.owned[shard].insert(ticket);
             } else {
-                self.agg_member_done(agg_id, None);
+                self.agg_member_done(agg_id, shard, None);
             }
         }
     }
 
     /// One fan-out member finished (with a parsed reply, or `None` on shard
     /// failure); on the last member, build and send the merged reply.
-    fn agg_member_done(&mut self, agg_id: u64, reply: Option<Json>) {
+    fn agg_member_done(&mut self, agg_id: u64, shard: usize, reply: Option<Json>) {
         let Some(agg) = self.aggs.get_mut(&agg_id) else {
             return;
         };
@@ -999,7 +1006,7 @@ impl RouterLoop {
                 if let Some(result) = reply.get("result") {
                     match &mut agg.acc {
                         AggAcc::Stats(acc) => merge_stats(acc, result),
-                        AggAcc::Metrics(acc) => merge_metrics(acc, result),
+                        AggAcc::Metrics(acc) => merge_metrics(acc, shard, result),
                     }
                     agg.successes += 1;
                 }
@@ -1142,25 +1149,34 @@ fn render_stats(acc: &StatsAcc) -> Json {
         .with("inflight_peak", Json::num_u64(acc.inflight_peak))
 }
 
-fn merge_metrics(acc: &mut MetricsAcc, result: &Json) {
+fn merge_metrics(acc: &mut MetricsAcc, shard: usize, result: &Json) {
     let Some(Json::Obj(ops)) = result.get("ops") else {
         return;
     };
+    let mut mine: HashMap<String, OpAcc> = HashMap::new();
     for (op, entry) in ops {
+        let count = entry.get("count").and_then(Json::as_u64).unwrap_or(0);
+        let total_ns = entry.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
         let slot = acc.ops.entry(op.clone()).or_default();
-        slot.count += entry.get("count").and_then(Json::as_u64).unwrap_or(0);
-        slot.total_ns += entry.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+        slot.count += count;
+        slot.total_ns += total_ns;
+        let local = mine.entry(op.clone()).or_default();
+        local.count += count;
+        local.total_ns += total_ns;
         for bucket in entry.get("buckets").and_then(Json::as_arr).unwrap_or(&[]) {
             let le_ns = bucket.get("le_ns").and_then(Json::as_u64).unwrap_or(0);
             let count = bucket.get("count").and_then(Json::as_u64).unwrap_or(0);
             *slot.buckets.entry(le_ns).or_default() += count;
+            *local.buckets.entry(le_ns).or_default() += count;
         }
     }
+    acc.per_shard.push((shard, mine));
 }
 
 /// Render merged fleet metrics in the server's shape: tracked-op order,
 /// sparse buckets ascending by bound with the unbounded (`le_ns: 0`) bucket
-/// last.
+/// last. A fleet-only `shards` section follows the merged `ops`, giving the
+/// per-shard latency skew ([`render_shard_ops`]) in ascending shard order.
 fn render_metrics(acc: &MetricsAcc) -> Json {
     let mut ops = Json::obj();
     for &op in TRACKED_OPS {
@@ -1188,5 +1204,57 @@ fn render_metrics(acc: &MetricsAcc) -> Json {
                 .with("buckets", Json::Arr(buckets)),
         );
     }
-    Json::obj().with("ops", ops)
+    let mut members: Vec<&(usize, HashMap<String, OpAcc>)> = acc.per_shard.iter().collect();
+    members.sort_unstable_by_key(|(shard, _)| *shard);
+    let shards = members
+        .into_iter()
+        .map(|(shard, ops)| {
+            Json::obj()
+                .with("shard", Json::num_u64(*shard as u64))
+                .with("ops", render_shard_ops(ops))
+        })
+        .collect();
+    Json::obj()
+        .with("ops", ops)
+        .with("shards", Json::Arr(shards))
+}
+
+/// One shard's per-op latency summary inside the fleet `metrics` reply:
+/// `{count, total_ns, mean_ns, p99_le_ns}` per recorded op, in tracked-op
+/// order. `mean_ns` is the integer mean; `p99_le_ns` is the upper bound of
+/// the histogram bucket containing the 99th-percentile observation (`0`
+/// meaning it fell in the unbounded overflow bucket). Comparing these
+/// across entries is how an operator reads shard latency skew without
+/// connecting to each shard.
+fn render_shard_ops(ops: &HashMap<String, OpAcc>) -> Json {
+    let mut rendered = Json::obj();
+    for &op in TRACKED_OPS {
+        let Some(entry) = ops.get(op) else {
+            continue;
+        };
+        if entry.count == 0 {
+            continue;
+        }
+        let mut bounds: Vec<u64> = entry.buckets.keys().copied().collect();
+        bounds.sort_unstable_by_key(|&le_ns| if le_ns == 0 { u64::MAX } else { le_ns });
+        let target = entry.count - entry.count / 100;
+        let mut seen = 0u64;
+        let mut p99_le_ns = 0u64;
+        for le_ns in bounds {
+            seen += entry.buckets[&le_ns];
+            if seen >= target {
+                p99_le_ns = le_ns;
+                break;
+            }
+        }
+        rendered = rendered.with(
+            op,
+            Json::obj()
+                .with("count", Json::num_u64(entry.count))
+                .with("total_ns", Json::num_u64(entry.total_ns))
+                .with("mean_ns", Json::num_u64(entry.total_ns / entry.count))
+                .with("p99_le_ns", Json::num_u64(p99_le_ns)),
+        );
+    }
+    rendered
 }

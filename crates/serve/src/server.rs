@@ -56,7 +56,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use privmech_core::{Mechanism, PrivacyEngine, PrivacyLevel, Solve};
+use privmech_core::{Mechanism, PrivacyEngine, PrivacyLevel, RequestFingerprint};
 use privmech_numerics::Rational;
 
 use crate::cache::{CacheStats, ShardedCache};
@@ -64,9 +64,9 @@ use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::persist;
 use crate::proto::{
-    is_validation_code, matrix_to_wire, mechanism_from_wire, stats_from_wire, stats_to_wire,
-    CacheDisposition, CacheMode, ConsumerSpec, WireError, WireScalar, PROTOCOL_V1,
-    PROTOCOL_VERSION,
+    assemble_solves, is_validation_code, matrix_to_wire, mechanism_from_wire, render_interaction,
+    render_solve, stats_from_wire, stats_to_wire, CacheDisposition, CacheMode, ConsumerSpec,
+    WireError, WireScalar, PROTOCOL_V1, PROTOCOL_VERSION,
 };
 use crate::readiness::{FrameReader, Outbox};
 use crate::sys::{EpollEvent, Poller, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
@@ -993,6 +993,28 @@ fn handle_payload(
             };
             (Some(op_name), terminal, false)
         }
+        "zoo_eval" | "zoo_table" => {
+            let op_name: &'static str = if op == "zoo_eval" {
+                "zoo_eval"
+            } else {
+                "zoo_table"
+            };
+            let outcome = match request.get("scalar").and_then(Json::as_str) {
+                Some("rational") | None => {
+                    handle_zoo::<Rational>(shared, op_name, v, &id, &request)
+                }
+                Some("f64") => handle_zoo::<f64>(shared, op_name, v, &id, &request),
+                Some(other) => Err(ComputeError::from(WireError::new(
+                    "unsupported_scalar",
+                    format!("unknown scalar backend \"{other}\""),
+                ))),
+            };
+            let terminal = match outcome {
+                Ok(frame) => frame,
+                Err(e) => error_response(v, id, e.error, e.cache),
+            };
+            (Some(op_name), terminal, false)
+        }
         "" => (
             None,
             error_response(
@@ -1022,19 +1044,26 @@ fn handle_payload(
 /// Answer from the cache or compute; `Bypass` computes without touching the
 /// cache. With `verify_hits`, every hit re-computes and asserts byte
 /// identity against the cached rendering.
+///
+/// `compute` returns the **rendered** result object (see
+/// [`render_solve`] / [`render_interaction`] and the zoo renderers): the
+/// same string becomes the cache entry and the bytes spliced into the wire
+/// envelope, so a result — whose dominant cost on large requests used to be
+/// building and walking the `(n+1)²`-node mechanism tree — is rendered
+/// exactly once per miss and zero times per hit.
 fn serve_cached(
     shared: &Shared,
     key: &str,
     mode: CacheMode,
-    compute: impl FnOnce() -> Result<Json, WireError>,
+    compute: impl FnOnce() -> Result<String, WireError>,
 ) -> Result<(Json, CacheDisposition), WireError> {
     if mode == CacheMode::Bypass {
-        return Ok((compute()?, CacheDisposition::Bypass));
+        return Ok((Json::Raw(compute()?.into()), CacheDisposition::Bypass));
     }
     if let Some(cached) = shared.cache.get(key) {
         if shared.verify_hits {
             let fresh = compute()?;
-            if json::to_string(&fresh) != *cached {
+            if fresh != *cached {
                 return Err(WireError::new(
                     "cache_verify_failed",
                     "cached response is not byte-identical to a fresh solve",
@@ -1043,8 +1072,7 @@ fn serve_cached(
         }
         return Ok((Json::Raw(cached), CacheDisposition::Hit));
     }
-    let fresh = compute()?;
-    let rendered: Arc<str> = json::to_string(&fresh).into();
+    let rendered: Arc<str> = compute()?.into();
     shared.cache.insert(key, Arc::clone(&rendered));
     Ok((Json::Raw(rendered), CacheDisposition::Miss))
 }
@@ -1092,14 +1120,6 @@ fn validate_negatively_cached<X>(
         }
         Err(e) => Err(ComputeError::from(e)),
     }
-}
-
-fn solve_to_wire<T: WireScalar>(solve: &Solve<T>) -> Json {
-    Json::obj()
-        .with("alpha", solve.level.alpha().to_wire())
-        .with("loss", solve.loss.to_wire())
-        .with("mechanism", matrix_to_wire(solve.mechanism.matrix()))
-        .with("stats", stats_to_wire(&solve.stats))
 }
 
 /// The negative-cache key of a request: the *typed* spec re-encoded
@@ -1161,7 +1181,7 @@ fn handle_compute<T: WireScalar>(
                         let solve = PrivacyEngine::with_threads(1)
                             .solve(&validated)
                             .map_err(WireError::from)?;
-                        Ok(solve_to_wire(&solve))
+                        Ok(render_solve(&solve))
                     })
                     .map_err(ComputeError::from)?;
                     return Ok(ok_response(v, id.clone(), Some(cache), result));
@@ -1179,7 +1199,7 @@ fn handle_compute<T: WireScalar>(
                 let solve = PrivacyEngine::with_threads(1)
                     .solve(&validated)
                     .map_err(WireError::from)?;
-                Ok(solve_to_wire(&solve))
+                Ok(render_solve(&solve))
             })
             .map_err(ComputeError::from)?;
             Ok(ok_response(v, id.clone(), Some(cache), result))
@@ -1223,20 +1243,41 @@ fn handle_compute<T: WireScalar>(
                 let interaction = PrivacyEngine::with_threads(1)
                     .interact(&mechanism, &validated)
                     .map_err(WireError::from)?;
-                Ok(Json::obj()
-                    .with("loss", interaction.loss.to_wire())
-                    .with(
-                        "post_processing",
-                        matrix_to_wire(&interaction.post_processing),
-                    )
-                    .with("induced", matrix_to_wire(interaction.induced.matrix()))
-                    .with("stats", stats_to_wire(&interaction.lp_stats)))
+                Ok(render_interaction(&interaction))
             })
             .map_err(ComputeError::from)?;
             Ok(ok_response(v, id.clone(), Some(cache), result))
         }
         _ => unreachable!("dispatch covers every compute op"),
     }
+}
+
+/// One zoo op (`zoo_table` or `zoo_eval`; see [`crate::zoo`]): decode,
+/// validate through the negative cache, evaluate through the response cache.
+/// The cache key is the scenario's canonical form wrapped in a
+/// [`RequestFingerprint`], so zoo entries are keyed (and consistent-hash
+/// routed) exactly the way solves are, and every spelling of a scenario
+/// shares one entry.
+fn handle_zoo<T: WireScalar>(
+    shared: &Shared,
+    op: &'static str,
+    v: u64,
+    id: &Json,
+    request: &Json,
+) -> Result<Json, ComputeError> {
+    let mode = CacheMode::from_wire(request).map_err(ComputeError::from)?;
+    let parsed = crate::zoo::ZooRequest::<T>::from_wire(op, request).map_err(ComputeError::from)?;
+    let canonical = parsed.canonical();
+    let neg_key = neg_key_from(op, T::TAG, &canonical, "-");
+    let validated = validate_negatively_cached(shared, mode, &neg_key, || parsed.validate())?;
+    let key = format!(
+        "{op}|{}|{}",
+        T::TAG,
+        RequestFingerprint::from_canonical(format!("zoo-v1;{canonical}")).canonical()
+    );
+    let (result, cache) = serve_cached(shared, &key, mode, move || validated.evaluate())
+        .map_err(ComputeError::from)?;
+    Ok(ok_response(v, id.clone(), Some(cache), result))
 }
 
 /// The `sweep` op, in both protocol shapes: a monolithic v1 reply, or a v2
@@ -1335,10 +1376,8 @@ fn handle_sweep<T: WireScalar>(
     if !streaming {
         let (result, cache) = serve_cached(shared, &key, mode, move || {
             let solves = engine.sweep(&levels, &validated).map_err(WireError::from)?;
-            Ok(Json::obj().with(
-                "solves",
-                Json::Arr(solves.iter().map(solve_to_wire).collect()),
-            ))
+            let items: Vec<String> = solves.iter().map(render_solve).collect();
+            Ok(assemble_solves(items.iter().map(String::as_str)))
         })
         .map_err(ComputeError::from)?;
         return Ok(ok_response(v, id.clone(), Some(cache), result));
@@ -1353,10 +1392,8 @@ fn handle_sweep<T: WireScalar>(
                 let solves = engine
                     .sweep(&levels, &validated)
                     .map_err(|e| ComputeError::from(WireError::from(e)))?;
-                let fresh = json::to_string(&Json::obj().with(
-                    "solves",
-                    Json::Arr(solves.iter().map(solve_to_wire).collect()),
-                ));
+                let items: Vec<String> = solves.iter().map(render_solve).collect();
+                let fresh = assemble_solves(items.iter().map(String::as_str));
                 if fresh != *cached {
                     return Err(ComputeError::from(WireError::new(
                         "cache_verify_failed",
@@ -1381,7 +1418,7 @@ fn handle_sweep<T: WireScalar>(
             .sweep_with(&levels, &validated, |index, solve| match solve {
                 Ok(solve) => {
                     *aggregate += &solve.stats;
-                    let item: Arc<str> = json::to_string(&solve_to_wire(&solve)).into();
+                    let item: Arc<str> = render_solve(&solve).into();
                     let _ = writer.send(&sweep_item_frame(
                         v,
                         id,
@@ -1451,7 +1488,7 @@ fn replay_sweep_hit(
 }
 
 /// Parse just the trailing `"stats":{...}` object out of one cached solve
-/// rendering. [`solve_to_wire`] renders `stats` as the last field, so the
+/// rendering. [`render_solve`] renders `stats` as the last field, so the
 /// object runs from the marker to the item's closing brace.
 fn item_stats(item: &str) -> Option<privmech_core::PivotStats> {
     let at = item.rfind("\"stats\":")? + "\"stats\":".len();

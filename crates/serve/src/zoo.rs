@@ -1,0 +1,868 @@
+//! Wire layer for the zoo operations (`zoo_table`, `zoo_eval`).
+//!
+//! `privmech-zoo` maps the limits of the paper's universal-optimality
+//! theorem — regret tables over generalized query classes, LDP baselines,
+//! multi-agent composition. This module is the protocol face of that crate:
+//! it decodes zoo requests, validates them into typed scenarios
+//! ([`ZooValidated`]), and **renders each result exactly once** into the
+//! string that becomes both the cache entry and the bytes on the wire, so
+//! zoo replies obey the same cached ≡ uncached ≡ routed byte-identity
+//! contract as solves. The request/response shapes are documented in
+//! `crates/serve/PROTOCOL.md` § Zoo operations.
+//!
+//! Error discipline mirrors the compute ops: schema problems (missing or
+//! ill-typed fields, unknown kinds, oversized scenarios) are `bad_request`
+//! and never cached; deterministic domain validation failures surface as
+//! `CoreError`-mapped codes (`invalid_request`, `invalid_alpha`,
+//! `non_monotone_loss`, `invalid_side_information`, …) and ride the negative
+//! cache.
+
+use std::sync::Arc;
+
+use privmech_core::{
+    validate_monotone, LossFunction, MinimaxConsumer, PrivacyLevel, SideInformation,
+};
+use privmech_zoo::{compose, ldp_gap, regret_table, AgentSpec, LdpProtocol, QueryClass};
+
+use crate::json::{self, Json};
+use crate::proto::{LossSpec, WireError, WireScalar};
+
+/// Largest result-space bound a zoo request may demand. Matches
+/// [`privmech_zoo::MAX_LDP_USERS`]; regret tables solve one tailored LP per
+/// consumer plus one interaction LP per cell, so this also bounds the work a
+/// single frame can request.
+pub const MAX_ZOO_BOUND: usize = 64;
+
+/// Largest consumer panel of a `zoo_table` request (the table costs
+/// `O(consumers²)` interaction LPs).
+pub const MAX_ZOO_CONSUMERS: usize = 16;
+
+/// Largest agent list of a `zoo_eval` composition request.
+pub const MAX_ZOO_AGENTS: usize = 16;
+
+/// Decode a `query` object: `{kind: "count"|"sum"|"median", ...}`.
+pub fn query_from_wire(value: &Json) -> Result<QueryClass, WireError> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::bad_request("query needs a string \"kind\""))?;
+    let field = |name: &str| {
+        value.get(name).and_then(Json::as_usize).ok_or_else(|| {
+            WireError::bad_request(format!("{kind} query needs an integer \"{name}\""))
+        })
+    };
+    let query = match kind {
+        "count" => QueryClass::Count { n: field("n")? },
+        "sum" => QueryClass::Sum {
+            rows: field("rows")?,
+            per_row: field("per_row")?,
+        },
+        "median" => QueryClass::Median {
+            rows: field("rows")?,
+            domain: field("domain")?,
+        },
+        other => {
+            return Err(WireError::bad_request(format!(
+                "unknown query kind \"{other}\""
+            )))
+        }
+    };
+    // Guard the result space before anything is allocated (cf. MAX_WIRE_N):
+    // every parameter is bounded first so the product cannot overflow.
+    let params_ok = match query {
+        QueryClass::Count { n } => n <= MAX_ZOO_BOUND,
+        QueryClass::Sum { rows, per_row } => rows <= MAX_ZOO_BOUND && per_row <= MAX_ZOO_BOUND,
+        QueryClass::Median { rows, domain } => rows <= MAX_ZOO_BOUND && domain <= MAX_ZOO_BOUND,
+    };
+    if !params_ok || query.result_bound() > MAX_ZOO_BOUND {
+        return Err(WireError::bad_request(format!(
+            "query result space exceeds the zoo serving limit of {MAX_ZOO_BOUND}"
+        )));
+    }
+    Ok(query)
+}
+
+/// Encode a [`QueryClass`] as the request's `query` object (the client-side
+/// inverse of [`query_from_wire`]).
+#[must_use]
+pub fn query_to_wire(query: &QueryClass) -> Json {
+    let obj = Json::obj().with("kind", Json::str(query.kind()));
+    match *query {
+        QueryClass::Count { n } => obj.with("n", Json::num_u64(n as u64)),
+        QueryClass::Sum { rows, per_row } => obj
+            .with("rows", Json::num_u64(rows as u64))
+            .with("per_row", Json::num_u64(per_row as u64)),
+        QueryClass::Median { rows, domain } => obj
+            .with("rows", Json::num_u64(rows as u64))
+            .with("domain", Json::num_u64(domain as u64)),
+    }
+}
+
+/// One consumer of a `zoo_table` request: optional side information plus a
+/// loss. Consumers are named positionally (`c0`, `c1`, …) in the reply.
+#[derive(Debug, Clone)]
+pub struct ZooConsumerSpec<T: WireScalar> {
+    /// Minimax side information over the class's result space (`None` =
+    /// full).
+    pub support: Option<Vec<usize>>,
+    /// The loss function.
+    pub loss: LossSpec<T>,
+}
+
+impl<T: WireScalar> ZooConsumerSpec<T> {
+    /// Encode as one element of the request's `consumers` array.
+    #[must_use]
+    pub fn to_wire(&self) -> Json {
+        let mut obj = Json::obj();
+        if let Some(support) = &self.support {
+            obj = obj.with(
+                "support",
+                Json::Arr(support.iter().map(|&m| Json::num_u64(m as u64)).collect()),
+            );
+        }
+        obj.with("loss", self.loss.to_wire())
+    }
+
+    fn from_wire(value: &Json) -> Result<Self, WireError> {
+        let support = match value.get("support") {
+            Some(cells) => {
+                let cells = cells
+                    .as_arr()
+                    .ok_or_else(|| WireError::bad_request("consumer support must be an array"))?;
+                let mut out = Vec::with_capacity(cells.len());
+                for cell in cells {
+                    out.push(cell.as_usize().ok_or_else(|| {
+                        WireError::bad_request("support members must be non-negative integers")
+                    })?);
+                }
+                Some(out)
+            }
+            None => None,
+        };
+        let loss = LossSpec::from_wire(
+            value
+                .get("loss")
+                .ok_or_else(|| WireError::bad_request("consumer needs a loss"))?,
+        )?;
+        Ok(ZooConsumerSpec { support, loss })
+    }
+
+    /// Build the typed consumer named `c{index}`. Monotone-loss and
+    /// side-information validation happen here (deterministic
+    /// `CoreError`-mapped failures, negative-cacheable).
+    fn to_consumer(&self, index: usize, bound: usize) -> Result<MinimaxConsumer<T>, WireError> {
+        let loss = self.loss.to_loss()?;
+        let side = match &self.support {
+            Some(members) => {
+                SideInformation::new(bound, members.iter().copied()).map_err(WireError::from)?
+            }
+            None => SideInformation::full(bound),
+        };
+        MinimaxConsumer::new(format!("c{index}"), loss, side).map_err(WireError::from)
+    }
+}
+
+/// One agent of a `zoo_eval` composition request.
+#[derive(Debug, Clone)]
+pub struct ZooAgentSpec<T: WireScalar> {
+    /// Display name (defaults to `a{index}`; restricted to
+    /// `[A-Za-z0-9_-]{1,32}` so replies render without escaping).
+    pub name: String,
+    /// The agent's count-query bound.
+    pub users: usize,
+    /// The agent's own privacy parameter.
+    pub alpha: T,
+    /// The agent's loss function.
+    pub loss: LossSpec<T>,
+}
+
+fn valid_agent_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 32
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+impl<T: WireScalar> ZooAgentSpec<T> {
+    /// Encode as one element of the request's `agents` array.
+    #[must_use]
+    pub fn to_wire(&self) -> Json {
+        Json::obj()
+            .with("name", Json::str(self.name.clone()))
+            .with("users", Json::num_u64(self.users as u64))
+            .with("alpha", self.alpha.to_wire())
+            .with("loss", self.loss.to_wire())
+    }
+
+    fn from_wire(index: usize, value: &Json) -> Result<Self, WireError> {
+        let name = match value.get("name") {
+            Some(v) => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| WireError::bad_request("agent name must be a string"))?;
+                if !valid_agent_name(name) {
+                    return Err(WireError::bad_request(
+                        "agent names are 1-32 chars of [A-Za-z0-9_-]",
+                    ));
+                }
+                name.to_string()
+            }
+            None => format!("a{index}"),
+        };
+        let users = value
+            .get("users")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| WireError::bad_request("agent needs an integer \"users\""))?;
+        if users == 0 || users > MAX_ZOO_BOUND {
+            return Err(WireError::bad_request(format!(
+                "agent users must be 1 ..= {MAX_ZOO_BOUND}"
+            )));
+        }
+        let alpha = value
+            .get("alpha")
+            .and_then(T::from_wire)
+            .ok_or_else(|| WireError::bad_request("agent needs a scalar \"alpha\""))?;
+        let loss = LossSpec::from_wire(
+            value
+                .get("loss")
+                .ok_or_else(|| WireError::bad_request("agent needs a loss"))?,
+        )?;
+        Ok(ZooAgentSpec {
+            name,
+            users,
+            alpha,
+            loss,
+        })
+    }
+
+    fn canonical(&self) -> String {
+        json::to_string(&self.to_wire())
+    }
+}
+
+/// A decoded (schema-valid, not yet domain-validated) zoo request.
+#[derive(Debug, Clone)]
+pub enum ZooRequest<T: WireScalar> {
+    /// `zoo_table`: the minimax-regret table of a query class over a
+    /// consumer panel.
+    Table {
+        /// The query class.
+        query: QueryClass,
+        /// The shared privacy parameter.
+        alpha: T,
+        /// The consumer panel (columns, named `c0`, `c1`, … in the reply).
+        consumers: Vec<ZooConsumerSpec<T>>,
+    },
+    /// `zoo_eval` scenario `"ldp"`: one point of the locality-gap profile.
+    Ldp {
+        /// The per-user local randomizer.
+        protocol: LdpProtocol,
+        /// Number of users (and count bound).
+        users: usize,
+        /// The privacy parameter.
+        alpha: T,
+        /// The consumer's loss function.
+        loss: LossSpec<T>,
+    },
+    /// `zoo_eval` scenario `"compose"`: multi-agent composition.
+    Compose {
+        /// The agents, released side by side.
+        agents: Vec<ZooAgentSpec<T>>,
+    },
+}
+
+impl<T: WireScalar> ZooRequest<T> {
+    /// Decode a zoo request frame (`op` is `"zoo_table"` or `"zoo_eval"`).
+    /// Every failure here is schema-level `bad_request`.
+    pub fn from_wire(op: &str, request: &Json) -> Result<Self, WireError> {
+        match op {
+            "zoo_table" => {
+                let query = query_from_wire(
+                    request
+                        .get("query")
+                        .ok_or_else(|| WireError::bad_request("zoo_table needs a \"query\""))?,
+                )?;
+                let alpha = request
+                    .get("alpha")
+                    .and_then(T::from_wire)
+                    .ok_or_else(|| WireError::bad_request("zoo_table needs a scalar \"alpha\""))?;
+                let cells = request
+                    .get("consumers")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        WireError::bad_request("zoo_table needs a \"consumers\" array")
+                    })?;
+                if cells.is_empty() || cells.len() > MAX_ZOO_CONSUMERS {
+                    return Err(WireError::bad_request(format!(
+                        "zoo_table takes 1 ..= {MAX_ZOO_CONSUMERS} consumers"
+                    )));
+                }
+                let mut consumers = Vec::with_capacity(cells.len());
+                for cell in cells {
+                    consumers.push(ZooConsumerSpec::from_wire(cell)?);
+                }
+                Ok(ZooRequest::Table {
+                    query,
+                    alpha,
+                    consumers,
+                })
+            }
+            "zoo_eval" => match request.get("scenario").and_then(Json::as_str) {
+                Some("ldp") => {
+                    let protocol = request
+                        .get("protocol")
+                        .and_then(Json::as_str)
+                        .and_then(LdpProtocol::from_name)
+                        .ok_or_else(|| {
+                            WireError::bad_request(
+                                "ldp scenario needs a protocol (\"randomized_response\" or \"hadamard\")",
+                            )
+                        })?;
+                    let users = request
+                        .get("users")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| {
+                            WireError::bad_request("ldp scenario needs an integer \"users\"")
+                        })?;
+                    if users > MAX_ZOO_BOUND {
+                        return Err(WireError::bad_request(format!(
+                            "ldp users exceed the zoo serving limit of {MAX_ZOO_BOUND}"
+                        )));
+                    }
+                    let alpha = request.get("alpha").and_then(T::from_wire).ok_or_else(|| {
+                        WireError::bad_request("ldp scenario needs a scalar \"alpha\"")
+                    })?;
+                    let loss = LossSpec::from_wire(
+                        request
+                            .get("loss")
+                            .ok_or_else(|| WireError::bad_request("ldp scenario needs a loss"))?,
+                    )?;
+                    Ok(ZooRequest::Ldp {
+                        protocol,
+                        users,
+                        alpha,
+                        loss,
+                    })
+                }
+                Some("compose") => {
+                    let cells = request
+                        .get("agents")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| {
+                            WireError::bad_request("compose scenario needs an \"agents\" array")
+                        })?;
+                    if cells.is_empty() || cells.len() > MAX_ZOO_AGENTS {
+                        return Err(WireError::bad_request(format!(
+                            "compose takes 1 ..= {MAX_ZOO_AGENTS} agents"
+                        )));
+                    }
+                    let mut agents = Vec::with_capacity(cells.len());
+                    for (index, cell) in cells.iter().enumerate() {
+                        agents.push(ZooAgentSpec::from_wire(index, cell)?);
+                    }
+                    Ok(ZooRequest::Compose { agents })
+                }
+                Some(other) => Err(WireError::bad_request(format!(
+                    "unknown zoo scenario \"{other}\""
+                ))),
+                None => Err(WireError::bad_request(
+                    "zoo_eval needs a string \"scenario\" (\"ldp\" or \"compose\")",
+                )),
+            },
+            _ => Err(WireError::bad_request(format!(
+                "\"{op}\" is not a zoo operation"
+            ))),
+        }
+    }
+
+    /// The canonical text form of this request: every spelling of the same
+    /// scenario renders identically, so cache keys, negative-cache keys and
+    /// routing keys built from it agree across clients and shards.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match self {
+            ZooRequest::Table {
+                query,
+                alpha,
+                consumers,
+            } => {
+                let panel: Vec<String> = consumers
+                    .iter()
+                    .map(|c| json::to_string(&c.to_wire()))
+                    .collect();
+                format!(
+                    "table;{};alpha={};consumers=[{}]",
+                    query.canonical(),
+                    json::to_string(&alpha.to_wire()),
+                    panel.join(",")
+                )
+            }
+            ZooRequest::Ldp {
+                protocol,
+                users,
+                alpha,
+                loss,
+            } => format!(
+                "ldp;protocol={};users={users};alpha={};loss={}",
+                protocol.name(),
+                json::to_string(&alpha.to_wire()),
+                json::to_string(&loss.to_wire())
+            ),
+            ZooRequest::Compose { agents } => {
+                let list: Vec<String> = agents.iter().map(ZooAgentSpec::canonical).collect();
+                format!("compose;agents=[{}]", list.join(","))
+            }
+        }
+    }
+
+    /// Domain validation: build the typed scenario, surfacing deterministic
+    /// `CoreError`-mapped failures (negative-cacheable) without running any
+    /// LP.
+    pub fn validate(&self) -> Result<ZooValidated<T>, WireError> {
+        match self {
+            ZooRequest::Table {
+                query,
+                alpha,
+                consumers,
+            } => {
+                query.validate().map_err(WireError::from)?;
+                let level = PrivacyLevel::new(alpha.clone()).map_err(WireError::from)?;
+                let bound = query.result_bound();
+                let mut typed = Vec::with_capacity(consumers.len());
+                for (index, consumer) in consumers.iter().enumerate() {
+                    typed.push(consumer.to_consumer(index, bound)?);
+                }
+                Ok(ZooValidated::Table {
+                    query: query.clone(),
+                    level,
+                    consumers: typed,
+                })
+            }
+            ZooRequest::Ldp {
+                protocol,
+                users,
+                alpha,
+                loss,
+            } => {
+                let level = PrivacyLevel::new(alpha.clone()).map_err(WireError::from)?;
+                let loss = loss.to_loss()?;
+                validate_monotone(*users, loss.as_ref()).map_err(WireError::from)?;
+                Ok(ZooValidated::Ldp {
+                    protocol: *protocol,
+                    users: *users,
+                    level,
+                    loss,
+                })
+            }
+            ZooRequest::Compose { agents } => {
+                let mut typed = Vec::with_capacity(agents.len());
+                for agent in agents {
+                    // Per-agent level and loss validation up front, so a bad
+                    // α or a non-monotone table is a validate-stage error.
+                    PrivacyLevel::new(agent.alpha.clone()).map_err(WireError::from)?;
+                    let loss = agent.loss.to_loss()?;
+                    validate_monotone(agent.users, loss.as_ref()).map_err(WireError::from)?;
+                    typed.push(AgentSpec {
+                        name: agent.name.clone(),
+                        users: agent.users,
+                        alpha: agent.alpha.clone(),
+                        loss,
+                    });
+                }
+                Ok(ZooValidated::Compose { agents: typed })
+            }
+        }
+    }
+}
+
+/// A domain-validated zoo scenario, ready to evaluate.
+pub enum ZooValidated<T: WireScalar> {
+    /// A regret table over a consumer panel.
+    Table {
+        /// The query class.
+        query: QueryClass,
+        /// The shared privacy level.
+        level: PrivacyLevel<T>,
+        /// The typed consumer panel (`c0`, `c1`, …).
+        consumers: Vec<MinimaxConsumer<T>>,
+    },
+    /// One locality-gap point.
+    Ldp {
+        /// The per-user channel.
+        protocol: LdpProtocol,
+        /// Number of users.
+        users: usize,
+        /// The privacy level.
+        level: PrivacyLevel<T>,
+        /// The consumer's loss.
+        loss: Arc<dyn LossFunction<T> + Send + Sync>,
+    },
+    /// A multi-agent composition.
+    Compose {
+        /// The typed agents.
+        agents: Vec<AgentSpec<T>>,
+    },
+}
+
+impl<T: WireScalar> std::fmt::Debug for ZooValidated<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZooValidated::Table {
+                query, consumers, ..
+            } => f
+                .debug_struct("Table")
+                .field("query", query)
+                .field("consumers", &consumers.len())
+                .finish_non_exhaustive(),
+            ZooValidated::Ldp {
+                protocol, users, ..
+            } => f
+                .debug_struct("Ldp")
+                .field("protocol", protocol)
+                .field("users", users)
+                .finish_non_exhaustive(),
+            ZooValidated::Compose { agents } => f
+                .debug_struct("Compose")
+                .field("agents", &agents.len())
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+fn render_scalars_onto<T: WireScalar>(out: &mut String, items: &[T]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.render_onto(out);
+    }
+    out.push(']');
+}
+
+fn render_rows_onto<T: WireScalar>(out: &mut String, rows: &[Vec<T>]) {
+    out.push('[');
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_scalars_onto(out, row);
+    }
+    out.push(']');
+}
+
+/// Quote a name whose characters are already known JSON-safe (consumer and
+/// candidate names are positional or `[A-Za-z0-9_:-]`).
+fn render_names_onto(out: &mut String, names: &[String]) {
+    out.push('[');
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push('"');
+    }
+    out.push(']');
+}
+
+impl<T: WireScalar> ZooValidated<T> {
+    /// Evaluate the scenario and render its `result` object **once** —
+    /// the returned string is stored in the cache and spliced verbatim into
+    /// the response envelope (the render-once discipline of the solve miss
+    /// path, see `PROTOCOL.md` § Zoo operations for the shapes).
+    pub fn evaluate(&self) -> Result<String, WireError> {
+        use std::fmt::Write as _;
+        match self {
+            ZooValidated::Table {
+                query,
+                level,
+                consumers,
+            } => {
+                let table = regret_table(query, level, consumers).map_err(WireError::from)?;
+                let mut out = String::from("{\"class\":\"");
+                out.push_str(&table.class.canonical());
+                out.push_str("\",\"alpha\":");
+                table.alpha.render_onto(&mut out);
+                out.push_str(",\"consumers\":");
+                render_names_onto(&mut out, &table.consumer_names);
+                out.push_str(",\"candidates\":");
+                render_names_onto(&mut out, &table.candidate_names);
+                out.push_str(",\"opt\":");
+                render_scalars_onto(&mut out, &table.opt);
+                out.push_str(",\"losses\":");
+                render_rows_onto(&mut out, &table.losses);
+                out.push_str(",\"regrets\":");
+                render_rows_onto(&mut out, &table.regrets);
+                out.push_str(",\"dominant\":[");
+                for (i, idx) in table.dominant.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{idx}");
+                }
+                out.push_str("],\"non_dominated_pair\":");
+                match table.non_dominated_pair {
+                    Some((j, k)) => {
+                        let _ = write!(out, "[{j},{k}]");
+                    }
+                    None => out.push_str("null"),
+                }
+                out.push('}');
+                Ok(out)
+            }
+            ZooValidated::Ldp {
+                protocol,
+                users,
+                level,
+                loss,
+            } => {
+                let point =
+                    ldp_gap(*protocol, *users, level, Arc::clone(loss)).map_err(WireError::from)?;
+                let mut out = String::from("{\"protocol\":\"");
+                out.push_str(protocol.name());
+                let _ = write!(out, "\",\"users\":{},\"alpha\":", point.users);
+                level.alpha().render_onto(&mut out);
+                out.push_str(",\"ldp_loss\":");
+                point.ldp_loss.render_onto(&mut out);
+                out.push_str(",\"central_loss\":");
+                point.central_loss.render_onto(&mut out);
+                out.push_str(",\"gap\":");
+                point.gap.render_onto(&mut out);
+                out.push('}');
+                Ok(out)
+            }
+            ZooValidated::Compose { agents } => {
+                let report = compose(agents).map_err(WireError::from)?;
+                let mut out = String::from("{\"agents\":[");
+                for (i, agent) in report.per_agent.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"users\":{},\"alpha\":",
+                        agent.name, agent.users
+                    );
+                    agent.alpha.render_onto(&mut out);
+                    out.push_str(",\"loss\":");
+                    agent.loss.render_onto(&mut out);
+                    out.push('}');
+                }
+                out.push_str("],\"composed_alpha\":");
+                report.composed_alpha.render_onto(&mut out);
+                out.push_str(",\"joint_loss\":");
+                report.joint_loss.render_onto(&mut out);
+                out.push('}');
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use privmech_numerics::{rat, Rational};
+
+    use super::*;
+
+    fn table_request_with(kind_obj: Json, alpha: &str, consumers: Vec<Json>) -> Json {
+        Json::obj()
+            .with("query", kind_obj)
+            .with("alpha", Json::str(alpha))
+            .with("consumers", Json::Arr(consumers))
+    }
+
+    fn table_request(kind_obj: Json, alpha: &str) -> Json {
+        table_request_with(
+            kind_obj,
+            alpha,
+            vec![Json::obj().with("loss", Json::str("absolute"))],
+        )
+    }
+
+    #[test]
+    fn table_request_round_trips_and_has_a_stable_canonical() {
+        let request = table_request(query_to_wire(&QueryClass::Count { n: 2 }), "1/2");
+        let parsed = ZooRequest::<Rational>::from_wire("zoo_table", &request).unwrap();
+        assert_eq!(
+            parsed.canonical(),
+            "table;count;n=2;alpha=\"1/2\";consumers=[{\"loss\":\"absolute\"}]"
+        );
+        // A differently-spelled alpha (decimal literal) canonicalizes the
+        // same, so both spellings share one cache entry and one shard.
+        let respelled = table_request(query_to_wire(&QueryClass::Count { n: 2 }), "1/2")
+            .with("cache", Json::str("use"));
+        let reparsed = ZooRequest::<Rational>::from_wire("zoo_table", &respelled).unwrap();
+        assert_eq!(parsed.canonical(), reparsed.canonical());
+    }
+
+    #[test]
+    fn schema_rejections_are_bad_request() {
+        for request in [
+            Json::obj(), // no query
+            table_request(Json::obj().with("kind", Json::str("mean")), "1/2"),
+            table_request(
+                Json::obj()
+                    .with("kind", Json::str("count"))
+                    .with("n", Json::num_u64(65)),
+                "1/2",
+            ),
+            table_request_with(
+                query_to_wire(&QueryClass::Count { n: 2 }),
+                "1/2",
+                Vec::new(),
+            ),
+        ] {
+            let err = ZooRequest::<Rational>::from_wire("zoo_table", &request).unwrap_err();
+            assert_eq!(err.code, "bad_request");
+        }
+        let err = ZooRequest::<Rational>::from_wire(
+            "zoo_eval",
+            &Json::obj().with("scenario", Json::str("teleport")),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+    }
+
+    #[test]
+    fn domain_rejections_carry_core_codes() {
+        // Degenerate class parameters pass the schema but fail validation
+        // with the core's (negative-cacheable) code.
+        let request = table_request(
+            Json::obj()
+                .with("kind", Json::str("median"))
+                .with("rows", Json::num_u64(4))
+                .with("domain", Json::num_u64(2)),
+            "1/2",
+        );
+        let parsed = ZooRequest::<Rational>::from_wire("zoo_table", &request).unwrap();
+        assert_eq!(parsed.validate().unwrap_err().code, "invalid_request");
+        // A bad α is invalid_alpha.
+        let request = table_request(query_to_wire(&QueryClass::Count { n: 2 }), "3/2");
+        let parsed = ZooRequest::<Rational>::from_wire("zoo_table", &request).unwrap();
+        assert_eq!(parsed.validate().unwrap_err().code, "invalid_alpha");
+        // Out-of-range support is invalid_side_information.
+        let request = table_request_with(
+            query_to_wire(&QueryClass::Count { n: 2 }),
+            "1/2",
+            vec![Json::obj()
+                .with("support", Json::Arr(vec![Json::num_u64(9)]))
+                .with("loss", Json::str("absolute"))],
+        );
+        let parsed = ZooRequest::<Rational>::from_wire("zoo_table", &request).unwrap();
+        assert_eq!(
+            parsed.validate().unwrap_err().code,
+            "invalid_side_information"
+        );
+    }
+
+    #[test]
+    fn table_evaluation_renders_valid_deterministic_json() {
+        let request = table_request(query_to_wire(&QueryClass::Count { n: 2 }), "1/2");
+        let parsed = ZooRequest::<Rational>::from_wire("zoo_table", &request).unwrap();
+        let validated = parsed.validate().unwrap();
+        let rendered = validated.evaluate().unwrap();
+        assert_eq!(rendered, validated.evaluate().unwrap(), "deterministic");
+        let tree = json::parse(&rendered).unwrap();
+        // Renders canonically (Raw splicing relies on this).
+        assert_eq!(json::to_string(&tree), rendered);
+        assert_eq!(tree.get("class").and_then(Json::as_str), Some("count;n=2"));
+        // Theorem 1 on the wire: the geometric candidate dominates counts.
+        let candidates = tree.get("candidates").and_then(Json::as_arr).unwrap();
+        let g = candidates
+            .iter()
+            .position(|c| c.as_str() == Some("geometric"))
+            .unwrap();
+        let dominant = tree.get("dominant").and_then(Json::as_arr).unwrap();
+        assert!(dominant.iter().any(|d| d.as_usize() == Some(g)));
+    }
+
+    #[test]
+    fn ldp_evaluation_reports_a_positive_gap() {
+        let request = Json::obj()
+            .with("scenario", Json::str("ldp"))
+            .with("protocol", Json::str("randomized_response"))
+            .with("users", Json::num_u64(2))
+            .with("alpha", Json::str("1/2"))
+            .with("loss", Json::str("absolute"));
+        let parsed = ZooRequest::<Rational>::from_wire("zoo_eval", &request).unwrap();
+        let rendered = parsed.validate().unwrap().evaluate().unwrap();
+        let tree = json::parse(&rendered).unwrap();
+        assert_eq!(json::to_string(&tree), rendered);
+        let gap: Rational = tree.get("gap").unwrap().as_str().unwrap().parse().unwrap();
+        assert!(gap > Rational::zero());
+    }
+
+    #[test]
+    fn compose_evaluation_multiplies_levels() {
+        let agent = |name: &str, alpha: &str| {
+            Json::obj()
+                .with("name", Json::str(name))
+                .with("users", Json::num_u64(3))
+                .with("alpha", Json::str(alpha))
+                .with("loss", Json::str("absolute"))
+        };
+        let request = Json::obj().with("scenario", Json::str("compose")).with(
+            "agents",
+            Json::Arr(vec![agent("north", "1/4"), agent("south", "1/2")]),
+        );
+        let parsed = ZooRequest::<Rational>::from_wire("zoo_eval", &request).unwrap();
+        let rendered = parsed.validate().unwrap().evaluate().unwrap();
+        let tree = json::parse(&rendered).unwrap();
+        assert_eq!(json::to_string(&tree), rendered);
+        assert_eq!(
+            tree.get("composed_alpha").and_then(Json::as_str),
+            Some("1/8")
+        );
+        let agents = tree.get("agents").and_then(Json::as_arr).unwrap();
+        // The first agent is the paper's pinned Table 1(a) instance.
+        assert_eq!(
+            agents[0].get("loss").and_then(Json::as_str),
+            Some("168/415")
+        );
+        // Unnamed agents default to positional names.
+        let request = Json::obj().with("scenario", Json::str("compose")).with(
+            "agents",
+            Json::Arr(vec![Json::obj()
+                .with("users", Json::num_u64(2))
+                .with("alpha", Json::str("1/2"))
+                .with("loss", Json::str("absolute"))]),
+        );
+        let parsed = ZooRequest::<Rational>::from_wire("zoo_eval", &request).unwrap();
+        let rendered = parsed.validate().unwrap().evaluate().unwrap();
+        assert!(rendered.contains("\"name\":\"a0\""));
+    }
+
+    #[test]
+    fn f64_backend_evaluates_too() {
+        let request = Json::obj()
+            .with("query", query_to_wire(&QueryClass::Count { n: 2 }))
+            .with("alpha", Json::Num("0.5".into()))
+            .with(
+                "consumers",
+                Json::Arr(vec![Json::obj().with("loss", Json::str("absolute"))]),
+            );
+        let parsed = ZooRequest::<f64>::from_wire("zoo_table", &request).unwrap();
+        let rendered = parsed.validate().unwrap().evaluate().unwrap();
+        let tree = json::parse(&rendered).unwrap();
+        assert_eq!(json::to_string(&tree), rendered);
+    }
+
+    #[test]
+    fn canonical_distinguishes_scenarios() {
+        let ldp = Json::obj()
+            .with("scenario", Json::str("ldp"))
+            .with("protocol", Json::str("hadamard"))
+            .with("users", Json::num_u64(3))
+            .with("alpha", Json::str("1/3"))
+            .with("loss", Json::str("zero-one"));
+        let parsed = ZooRequest::<Rational>::from_wire("zoo_eval", &ldp).unwrap();
+        assert_eq!(
+            parsed.canonical(),
+            "ldp;protocol=hadamard;users=3;alpha=\"1/3\";loss=\"zero-one\""
+        );
+        assert_eq!(rat(1, 3).to_string(), "1/3");
+    }
+}

@@ -1,0 +1,526 @@
+//! End-to-end contracts of the zoo operations (`zoo_table`, `zoo_eval`):
+//!
+//! * **cached ≡ uncached ≡ bypass, bit for bit** — for generated zoo
+//!   requests on both scalar backends, the cache-hit reply, the fresh reply,
+//!   and the cache-bypass reply are byte-identical;
+//! * **the paper's boundary, over the wire** — the count table collapses to
+//!   the geometric row (Theorem 1) while the sum and median tables expose a
+//!   non-dominated candidate pair (the Brenner–Nissim counterexamples), all
+//!   read back from the serving tier with exact `Rational` payloads;
+//! * **fleet transparency** — zoo replies routed through `privmech-router`
+//!   are byte-identical to asking the owning shard directly, and the fleet
+//!   `metrics` reply breaks per-op latency down per shard.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use privmech_numerics::{rat, Rational};
+use privmech_serve::client::Client;
+use privmech_serve::frame::{read_frame, write_frame};
+use privmech_serve::json::{self, Json};
+use privmech_serve::proto::{routing_key, CacheDisposition, CacheMode, LossSpec, WireScalar};
+use privmech_serve::ring::ShardRing;
+use privmech_serve::router::{self, RouterConfig};
+use privmech_serve::server::{self, ServerConfig};
+use privmech_serve::zoo::{query_to_wire, ZooAgentSpec, ZooConsumerSpec};
+use privmech_zoo::{LdpProtocol, QueryClass};
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+
+fn test_server() -> server::ServerHandle {
+    server::spawn(ServerConfig {
+        worker_threads: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+/// The regret-table panel pinned by the zoo crate's unit tests: a full
+/// absolute consumer, a full zero-one consumer, and an endpoints-only
+/// absolute consumer.
+fn panel<T: WireScalar>(bound: usize) -> Vec<ZooConsumerSpec<T>> {
+    vec![
+        ZooConsumerSpec {
+            support: None,
+            loss: LossSpec::Absolute,
+        },
+        ZooConsumerSpec {
+            support: None,
+            loss: LossSpec::ZeroOne,
+        },
+        ZooConsumerSpec {
+            support: Some(vec![0, bound]),
+            loss: LossSpec::Absolute,
+        },
+    ]
+}
+
+/// A generated zoo-table shape shared by both backends.
+#[derive(Debug, Clone)]
+struct Shape {
+    query: QueryClass,
+    consumers: usize,
+    losses: [usize; 3],
+    endpoints: bool,
+    alpha_num: usize,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (
+        0usize..3,
+        2usize..=4,
+        1usize..=3,
+        (0usize..3, 0usize..3, 0usize..3),
+        proptest::arbitrary::any::<bool>(),
+        1usize..=6,
+    )
+        .prop_map(|(kind, n, consumers, losses, endpoints, alpha_num)| Shape {
+            query: match kind {
+                0 => QueryClass::Count { n },
+                1 => QueryClass::Sum {
+                    rows: 2,
+                    per_row: 2,
+                },
+                _ => QueryClass::Median { rows: 3, domain: 3 },
+            },
+            consumers,
+            losses: [losses.0, losses.1, losses.2],
+            endpoints,
+            alpha_num,
+        })
+}
+
+fn consumers_of<T: WireScalar>(shape: &Shape) -> Vec<ZooConsumerSpec<T>> {
+    let bound = shape.query.result_bound();
+    (0..shape.consumers)
+        .map(|i| ZooConsumerSpec {
+            support: (shape.endpoints && i == 0).then(|| vec![0, bound]),
+            loss: match shape.losses[i] {
+                0 => LossSpec::Absolute,
+                1 => LossSpec::ZeroOne,
+                _ => LossSpec::Squared,
+            },
+        })
+        .collect()
+}
+
+/// The property, checked per generated shape: hit ≡ fresh ≡ bypass, bit for
+/// bit.
+fn check_table_identity<T: WireScalar>(
+    client: &mut Client,
+    query: &QueryClass,
+    alpha: T,
+    consumers: &[ZooConsumerSpec<T>],
+) {
+    let first = client
+        .zoo_table(query, &alpha, consumers, CacheMode::Use)
+        .expect("zoo_table");
+    let second = client
+        .zoo_table(query, &alpha, consumers, CacheMode::Use)
+        .expect("zoo_table again");
+    let bypass = client
+        .zoo_table(query, &alpha, consumers, CacheMode::Bypass)
+        .expect("zoo_table bypass");
+    assert_eq!(
+        second.cache,
+        CacheDisposition::Hit,
+        "second identical zoo_table must hit"
+    );
+    assert_eq!(bypass.cache, CacheDisposition::Bypass);
+    assert_eq!(
+        first.raw, second.raw,
+        "cached zoo reply must be byte-identical"
+    );
+    assert_eq!(first.raw, bypass.raw, "bypass must render the same bytes");
+    // The reply is canonical JSON: parse → re-render is the identity.
+    let reparsed = json::parse(&first.raw).expect("reply parses");
+    assert_eq!(json::to_string(&reparsed), first.raw);
+}
+
+#[test]
+fn zoo_tables_are_bit_identical_cached_uncached_bypassed_rational() {
+    let handle = test_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let strategy = shape_strategy();
+    let mut rng = TestRng::deterministic("zoo::rational");
+    for _ in 0..6 {
+        let shape = strategy.generate(&mut rng);
+        let alpha = rat(shape.alpha_num as i64, 7);
+        check_table_identity::<Rational>(&mut client, &shape.query, alpha, &consumers_of(&shape));
+    }
+    let stats = handle.cache_stats();
+    assert!(stats.hits >= 6, "one hit per generated case, got {stats:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn zoo_tables_are_bit_identical_cached_uncached_bypassed_f64() {
+    let handle = test_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let strategy = shape_strategy();
+    let mut rng = TestRng::deterministic("zoo::f64");
+    for _ in 0..4 {
+        let shape = strategy.generate(&mut rng);
+        let alpha = shape.alpha_num as f64 / 7.0;
+        check_table_identity::<f64>(&mut client, &shape.query, alpha, &consumers_of(&shape));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn count_table_collapses_to_geometric_over_the_wire() {
+    // Theorem 1 read back from the serving tier: the geometric candidate
+    // dominates every consumer of the count panel, and the paper's pinned
+    // optimum anchors the absolute column.
+    let handle = test_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let reply = client
+        .zoo_table(
+            &QueryClass::Count { n: 3 },
+            &rat(1, 4),
+            &panel::<Rational>(3),
+            CacheMode::Use,
+        )
+        .expect("count table");
+    let candidates = reply
+        .value
+        .get("candidates")
+        .and_then(Json::as_arr)
+        .unwrap();
+    let g = candidates
+        .iter()
+        .position(|c| c.as_str() == Some("geometric"))
+        .expect("count tables carry the geometric candidate");
+    let dominant = reply.value.get("dominant").and_then(Json::as_arr).unwrap();
+    assert!(
+        dominant.iter().any(|d| d.as_usize() == Some(g)),
+        "geometric must dominate the count table: {dominant:?}"
+    );
+    assert!(
+        matches!(reply.value.get("non_dominated_pair"), Some(Json::Null)),
+        "a dominated count table has no counterexample pair"
+    );
+    // Exact pinned anchor: Table 1(a) of the paper.
+    let opt = reply.value.get("opt").and_then(Json::as_arr).unwrap();
+    assert_eq!(opt[0].as_str(), Some("168/415"));
+    // The geometric row's regrets are identically zero.
+    let regrets = reply.value.get("regrets").and_then(Json::as_arr).unwrap();
+    for cell in regrets[g].as_arr().unwrap() {
+        assert_eq!(cell.as_str(), Some("0"));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn sum_and_median_tables_expose_non_dominated_pairs_over_the_wire() {
+    // The Brenner–Nissim boundary, served: beyond counts no candidate
+    // dominates, and the reply names a mutually-regretful pair exactly.
+    let handle = test_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let cases = [
+        (
+            QueryClass::Sum {
+                rows: 2,
+                per_row: 2,
+            },
+            4usize,
+        ),
+        (QueryClass::Median { rows: 3, domain: 3 }, 3usize),
+    ];
+    for (query, bound) in cases {
+        let reply = client
+            .zoo_table(
+                &query,
+                &rat(1, 2),
+                &panel::<Rational>(bound),
+                CacheMode::Use,
+            )
+            .expect("table");
+        let dominant = reply.value.get("dominant").and_then(Json::as_arr).unwrap();
+        assert!(
+            dominant.is_empty(),
+            "{} table should have no dominant candidate: {dominant:?}",
+            query.kind()
+        );
+        let pair = reply
+            .value
+            .get("non_dominated_pair")
+            .and_then(Json::as_arr)
+            .expect("counterexample pair");
+        let (j, k) = (pair[0].as_usize().unwrap(), pair[1].as_usize().unwrap());
+        let regrets = reply.value.get("regrets").and_then(Json::as_arr).unwrap();
+        let cell = |row: usize, col: usize| {
+            regrets[row].as_arr().unwrap()[col]
+                .as_str()
+                .unwrap()
+                .to_string()
+        };
+        assert_ne!(cell(j, k), "0", "pair member j must regret k's column");
+        assert_ne!(cell(k, j), "0", "pair member k must regret j's column");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn ldp_gap_is_positive_and_composition_multiplies_levels() {
+    let handle = test_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // The local model pays a strictly positive premium over the centralized
+    // optimum, and re-asking hits the cache byte-identically.
+    let first = client
+        .zoo_ldp(
+            LdpProtocol::RandomizedResponse,
+            3,
+            &rat(1, 4),
+            &LossSpec::<Rational>::Absolute,
+            CacheMode::Use,
+        )
+        .expect("ldp gap");
+    let second = client
+        .zoo_ldp(
+            LdpProtocol::RandomizedResponse,
+            3,
+            &rat(1, 4),
+            &LossSpec::<Rational>::Absolute,
+            CacheMode::Use,
+        )
+        .expect("ldp gap again");
+    assert_eq!(second.cache, CacheDisposition::Hit);
+    assert_eq!(first.raw, second.raw);
+    assert_eq!(
+        first.value.get("central_loss").and_then(Json::as_str),
+        Some("168/415")
+    );
+    let gap = first.value.get("gap").and_then(Json::as_str).unwrap();
+    assert_ne!(gap, "0", "the local model must pay a positive premium");
+    assert!(
+        !gap.starts_with('-'),
+        "the gap can never be negative: {gap}"
+    );
+
+    // Composition: α's multiply exactly (1/2 · 1/4 = 1/8).
+    let agents = vec![
+        ZooAgentSpec {
+            name: "census".to_string(),
+            users: 3,
+            alpha: rat(1, 2),
+            loss: LossSpec::Absolute,
+        },
+        ZooAgentSpec {
+            name: "health".to_string(),
+            users: 3,
+            alpha: rat(1, 4),
+            loss: LossSpec::Absolute,
+        },
+    ];
+    let composed = client
+        .zoo_compose(&agents, CacheMode::Use)
+        .expect("compose");
+    assert_eq!(
+        composed.value.get("composed_alpha").and_then(Json::as_str),
+        Some("1/8")
+    );
+    let reported = composed.value.get("agents").and_then(Json::as_arr).unwrap();
+    assert_eq!(reported.len(), 2);
+    assert_eq!(
+        reported[0].get("name").and_then(Json::as_str),
+        Some("census")
+    );
+    // The second agent is the paper's pinned instance (n = 3, α = 1/4).
+    assert_eq!(
+        reported[1].get("loss").and_then(Json::as_str),
+        Some("168/415")
+    );
+    handle.shutdown();
+}
+
+// ----------------------------------------------------------------------
+// Fleet tier
+// ----------------------------------------------------------------------
+
+/// A `privmech-serve` child process and the address it bound.
+struct Shard {
+    child: Child,
+    addr: String,
+}
+
+impl Shard {
+    fn spawn() -> Shard {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_privmech-serve"))
+            .args(["--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn privmech-serve");
+        let stdout = child.stdout.take().expect("child stdout is piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines.next().expect("shard banner").expect("read banner");
+        let addr = banner
+            .strip_prefix("privmech-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected shard banner: {banner}"))
+            .to_string();
+        std::thread::spawn(move || lines.for_each(drop));
+        Shard { child, addr }
+    }
+
+    fn kill(&mut self) {
+        self.child.kill().expect("kill shard");
+        self.child.wait().expect("reap shard");
+    }
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+/// One length-prefixed request/response exchange on `stream`.
+fn rpc(stream: &TcpStream, body: &Json) -> Vec<u8> {
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    write_frame(&mut writer, json::to_string(body).as_bytes()).expect("write");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    read_frame(&mut reader)
+        .expect("read")
+        .expect("reply before EOF")
+}
+
+fn parse(reply: &[u8]) -> Json {
+    json::parse(std::str::from_utf8(reply).expect("UTF-8 reply")).expect("JSON reply")
+}
+
+/// A v2 `zoo_table` body over the pinned panel; `d` varies the α so bodies
+/// spread across the ring.
+fn zoo_table_body(id: u64, d: i64, cache: &str) -> Json {
+    Json::obj()
+        .with("v", Json::num_u64(2))
+        .with("id", Json::num_u64(id))
+        .with("op", Json::str("zoo_table"))
+        .with("cache", Json::str(cache))
+        .with("query", query_to_wire(&QueryClass::Count { n: 3 }))
+        .with("alpha", rat(1, d).to_wire())
+        .with(
+            "consumers",
+            Json::Arr(
+                panel::<Rational>(3)
+                    .iter()
+                    .map(ZooConsumerSpec::to_wire)
+                    .collect(),
+            ),
+        )
+}
+
+/// A v2 `zoo_eval` LDP body.
+fn zoo_ldp_body(id: u64, users: usize, cache: &str) -> Json {
+    Json::obj()
+        .with("v", Json::num_u64(2))
+        .with("id", Json::num_u64(id))
+        .with("op", Json::str("zoo_eval"))
+        .with("cache", Json::str(cache))
+        .with("scenario", Json::str("ldp"))
+        .with("protocol", Json::str("randomized_response"))
+        .with("users", Json::num_u64(users as u64))
+        .with("alpha", rat(1, 4).to_wire())
+        .with("loss", Json::str("absolute"))
+}
+
+#[test]
+fn routed_zoo_replies_are_byte_identical_and_metrics_split_per_shard() {
+    let shards = [Shard::spawn(), Shard::spawn()];
+    let handle = router::spawn(RouterConfig::new(
+        shards.iter().map(|s| s.addr.clone()).collect(),
+    ))
+    .expect("spawn router");
+    let ring = ShardRing::with_default_vnodes(2);
+    let routed = connect(&handle.addr().to_string());
+
+    // Routed zoo replies are byte-identical to the owning shard's, and zoo
+    // requests carry routing keys (they are never scattered arbitrarily).
+    let mut bodies: Vec<Json> = (2..6)
+        .enumerate()
+        .map(|(id, d)| zoo_table_body(id as u64, d, "bypass"))
+        .collect();
+    bodies.push(zoo_ldp_body(50, 2, "bypass"));
+    bodies.push(zoo_ldp_body(51, 3, "bypass"));
+    for body in &bodies {
+        let key = routing_key(body).expect("zoo requests have routing keys");
+        let owner = ring.shard_for(&key);
+        let via_router = rpc(&routed, body);
+        let direct = rpc(&connect(&shards[owner].addr), body);
+        assert_eq!(
+            via_router, direct,
+            "routed zoo reply diverged from the owning shard"
+        );
+        assert_eq!(
+            parse(&via_router).get("ok").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    // Routing is consistent: re-asking a cacheable spelling through the
+    // router hits the same shard's warm cache.
+    let first = rpc(&routed, &zoo_table_body(100, 4, "use"));
+    let second = rpc(&routed, &zoo_table_body(101, 4, "use"));
+    assert_eq!(
+        parse(&second).get("cache").and_then(Json::as_str),
+        Some("hit")
+    );
+    assert_eq!(
+        parse(&first).get("result").map(json::to_string),
+        parse(&second).get("result").map(json::to_string),
+    );
+
+    // The fleet `metrics` reply merges ops across shards *and* appends a
+    // per-shard latency-skew section an operator can read from the one
+    // endpoint.
+    let metrics = parse(&rpc(
+        &routed,
+        &Json::obj()
+            .with("v", Json::num_u64(2))
+            .with("id", Json::num_u64(999))
+            .with("op", Json::str("metrics")),
+    ));
+    let result = metrics.get("result").expect("metrics result");
+    let merged = result.get("ops").expect("merged ops");
+    let table_count = merged
+        .get("zoo_table")
+        .and_then(|o| o.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let eval_count = merged
+        .get("zoo_eval")
+        .and_then(|o| o.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(table_count >= 6 && eval_count >= 2, "fleet counters merge");
+    let per_shard = result.get("shards").and_then(Json::as_arr).expect("shards");
+    assert_eq!(per_shard.len(), 2, "one entry per live shard");
+    let mut shard_total = 0;
+    for (i, entry) in per_shard.iter().enumerate() {
+        assert_eq!(entry.get("shard").and_then(Json::as_usize), Some(i));
+        let ops = entry.get("ops").expect("per-shard ops");
+        for op in ["zoo_table", "zoo_eval"] {
+            let Some(stats) = ops.get(op) else { continue };
+            let count = stats.get("count").and_then(Json::as_u64).unwrap();
+            let total_ns = stats.get("total_ns").and_then(Json::as_u64).unwrap();
+            let mean_ns = stats.get("mean_ns").and_then(Json::as_u64).unwrap();
+            assert_eq!(mean_ns, total_ns / count, "mean is the integer mean");
+            assert!(stats.get("p99_le_ns").and_then(Json::as_u64).is_some());
+            if op == "zoo_table" {
+                shard_total += count;
+            }
+        }
+    }
+    assert!(
+        shard_total >= table_count,
+        "per-shard zoo_table counts ({shard_total}) cover the merged count \
+         ({table_count}; direct traffic may add more)"
+    );
+
+    handle.shutdown();
+    for mut shard in shards {
+        shard.kill();
+    }
+}

@@ -1,0 +1,43 @@
+//! # privmech-zoo — the limits of universal optimality, made computable
+//!
+//! The paper proves one mechanism (the geometric) is simultaneously optimal
+//! for *every* minimax consumer of a count query. This crate maps the edges
+//! of that theorem with three exact, deterministic experiment families:
+//!
+//! * **Query classes and regret tables** ([`query`], [`tailored`],
+//!   [`regret`]): generalize the count setup to sum and median queries via
+//!   their induced adjacency on the result space, solve each consumer's
+//!   tailored optimum, evaluate every candidate mechanism against every
+//!   consumer (interaction LP), and exhibit the Brenner–Nissim
+//!   impossibility — count tables collapse to a zero-regret geometric row,
+//!   sum/median tables contain a non-dominated consumer pair.
+//! * **LDP baselines** ([`ldp`]): randomized-response and Hadamard-response
+//!   per-user channels, their exact induced central mechanisms, and the
+//!   exact price of locality versus the centralized tailored optimum
+//!   (Duchi–Jordan–Wainwright, computed rather than bounded).
+//! * **Multi-agent composition** ([`mod@compose`]): per-agent tailored
+//!   mechanisms released side by side, with the composed privacy level
+//!   (`∏ α_a`) and joint loss.
+//!
+//! Everything is evaluated through `privmech-core`'s `PrivacyEngine` and
+//! exact `Rational` arithmetic (with the `f64` backend available through
+//! the same generic interfaces), so zoo results obey the same bit-identity
+//! contracts as solves: the serving layer caches, fingerprints and routes
+//! them byte-identically (`zoo_eval` / `zoo_table` in
+//! `crates/serve/PROTOCOL.md`). See `ZOO.md` for the experiment narrative
+//! and reproduction commands.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod compose;
+pub mod ldp;
+pub mod query;
+pub mod regret;
+pub mod tailored;
+
+pub use compose::{compose, AgentReport, AgentSpec, Composition};
+pub use ldp::{induced_mechanism, ldp_gap, LdpGap, LdpProtocol, MAX_LDP_USERS};
+pub use query::QueryClass;
+pub use regret::{regret_table, RegretTable};
+pub use tailored::{is_private_for_class, tailored_optimum, TailoredOptimum};

@@ -1,0 +1,237 @@
+//! Query classes and the adjacency structure they induce on the result space.
+//!
+//! The paper fixes one query class — counts — where two databases differing
+//! in one row produce results at distance at most one, so differential
+//! privacy constrains *consecutive* rows of the release mechanism. Other
+//! query classes induce other neighbor relations on the result space, and
+//! the entire limits-of-universality story (Brenner–Nissim) lives in that
+//! difference. A [`QueryClass`] names a query family over small databases
+//! and exposes the induced adjacency as an explicit edge list; everything
+//! downstream (the generalized tailored LP in [`crate::tailored`], the
+//! regret tables in [`crate::regret`]) is parameterized by those edges and
+//! nothing else.
+
+use privmech_core::{CoreError, RequestFingerprint, Result};
+
+/// A query family over small databases, reduced to the structure that
+/// matters for oblivious mechanisms: the size of the result space and which
+/// result pairs are *adjacent* (achievable by changing a single database
+/// row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryClass {
+    /// The paper's count query over `n` rows: results `{0, …, n}`, one row
+    /// change moves the count by at most one, so adjacency is the path
+    /// graph on consecutive results.
+    Count {
+        /// Number of database rows (results range over `{0, …, n}`).
+        n: usize,
+    },
+    /// A sum query over `rows` rows each holding a value in
+    /// `{0, …, per_row}`: results `{0, …, rows·per_row}`, one row change
+    /// moves the sum by at most `per_row`, so adjacency is the distance-≤
+    /// `per_row` band. For `per_row = 1` this *is* the count query.
+    Sum {
+        /// Number of database rows.
+        rows: usize,
+        /// Largest value a single row can contribute.
+        per_row: usize,
+    },
+    /// A median query over an odd number of rows with values in
+    /// `{0, …, domain}`: padding a database as
+    /// `(0, …, 0, m, domain, …, domain)` and rewriting the middle row moves
+    /// the median anywhere, so every result pair is adjacent — the complete
+    /// graph. This is the structure under which Brenner–Nissim rule out a
+    /// universally optimal mechanism.
+    Median {
+        /// Number of database rows (odd, at least 3).
+        rows: usize,
+        /// Largest row value (results range over `{0, …, domain}`).
+        domain: usize,
+    },
+}
+
+impl QueryClass {
+    /// The short class name used in canonical strings and on the wire.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryClass::Count { .. } => "count",
+            QueryClass::Sum { .. } => "sum",
+            QueryClass::Median { .. } => "median",
+        }
+    }
+
+    /// Check the class parameters; every constructor path into the zoo goes
+    /// through this before any LP is built.
+    pub fn validate(&self) -> Result<()> {
+        let reject = |reason: String| Err(CoreError::InvalidRequest { reason });
+        match *self {
+            QueryClass::Count { n } => {
+                if n == 0 {
+                    return reject("count query needs at least one row".into());
+                }
+            }
+            QueryClass::Sum { rows, per_row } => {
+                if rows == 0 || per_row == 0 {
+                    return reject(format!(
+                        "sum query needs rows >= 1 and per_row >= 1, got rows = {rows}, per_row = {per_row}"
+                    ));
+                }
+            }
+            QueryClass::Median { rows, domain } => {
+                if rows < 3 || rows % 2 == 0 {
+                    return reject(format!(
+                        "median query needs an odd number of rows >= 3, got {rows}"
+                    ));
+                }
+                if domain == 0 {
+                    return reject("median query needs a domain of at least {0, 1}".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The largest possible result `N`; the result space is `{0, …, N}` and
+    /// mechanisms for this class are `(N+1) × (N+1)` row-stochastic
+    /// matrices, exactly like the paper's count mechanisms at `n = N`.
+    #[must_use]
+    pub fn result_bound(&self) -> usize {
+        match *self {
+            QueryClass::Count { n } => n,
+            QueryClass::Sum { rows, per_row } => rows * per_row,
+            QueryClass::Median { domain, .. } => domain,
+        }
+    }
+
+    /// The induced adjacency: every pair `(a, b)` with `a < b` such that
+    /// some single-row change maps a database with result `a` to one with
+    /// result `b`. Differential privacy for this class bounds the row
+    /// ratios of the mechanism exactly on these pairs.
+    #[must_use]
+    pub fn adjacent_pairs(&self) -> Vec<(usize, usize)> {
+        let bound = self.result_bound();
+        let reach = match *self {
+            QueryClass::Count { .. } => 1,
+            QueryClass::Sum { per_row, .. } => per_row,
+            QueryClass::Median { .. } => bound,
+        };
+        let mut pairs = Vec::new();
+        for a in 0..bound {
+            for b in (a + 1)..=bound.min(a + reach) {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    /// The canonical text form, stable across releases — the zoo's cache
+    /// and routing keys are built from it.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match *self {
+            QueryClass::Count { n } => format!("count;n={n}"),
+            QueryClass::Sum { rows, per_row } => format!("sum;rows={rows};per_row={per_row}"),
+            QueryClass::Median { rows, domain } => format!("median;rows={rows};domain={domain}"),
+        }
+    }
+
+    /// A [`RequestFingerprint`] over the canonical form, versioned like the
+    /// core request fingerprints so zoo evaluations are keyed (and routed)
+    /// the same way solves are.
+    #[must_use]
+    pub fn fingerprint(&self) -> RequestFingerprint {
+        RequestFingerprint::from_canonical(format!("zoo-v1;{}", self.canonical()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_adjacency_is_the_path_graph() {
+        let q = QueryClass::Count { n: 3 };
+        q.validate().unwrap();
+        assert_eq!(q.result_bound(), 3);
+        assert_eq!(q.adjacent_pairs(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn sum_adjacency_is_the_distance_band() {
+        let q = QueryClass::Sum {
+            rows: 2,
+            per_row: 2,
+        };
+        q.validate().unwrap();
+        assert_eq!(q.result_bound(), 4);
+        assert_eq!(
+            q.adjacent_pairs(),
+            vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]
+        );
+    }
+
+    #[test]
+    fn sum_with_unit_rows_is_count() {
+        let sum = QueryClass::Sum {
+            rows: 4,
+            per_row: 1,
+        };
+        let count = QueryClass::Count { n: 4 };
+        assert_eq!(sum.adjacent_pairs(), count.adjacent_pairs());
+        assert_eq!(sum.result_bound(), count.result_bound());
+    }
+
+    #[test]
+    fn median_adjacency_is_complete() {
+        let q = QueryClass::Median { rows: 3, domain: 2 };
+        q.validate().unwrap();
+        assert_eq!(q.result_bound(), 2);
+        assert_eq!(q.adjacent_pairs(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_classes() {
+        assert!(QueryClass::Count { n: 0 }.validate().is_err());
+        assert!(QueryClass::Sum {
+            rows: 0,
+            per_row: 2
+        }
+        .validate()
+        .is_err());
+        assert!(QueryClass::Sum {
+            rows: 2,
+            per_row: 0
+        }
+        .validate()
+        .is_err());
+        assert!(QueryClass::Median { rows: 2, domain: 2 }
+            .validate()
+            .is_err());
+        assert!(QueryClass::Median { rows: 1, domain: 2 }
+            .validate()
+            .is_err());
+        assert!(QueryClass::Median { rows: 3, domain: 0 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn canonical_forms_are_stable() {
+        assert_eq!(QueryClass::Count { n: 3 }.canonical(), "count;n=3");
+        assert_eq!(
+            QueryClass::Sum {
+                rows: 2,
+                per_row: 2
+            }
+            .canonical(),
+            "sum;rows=2;per_row=2"
+        );
+        assert_eq!(
+            QueryClass::Median { rows: 3, domain: 3 }.canonical(),
+            "median;rows=3;domain=3"
+        );
+        let fp = QueryClass::Count { n: 3 }.fingerprint();
+        assert_eq!(fp.canonical(), "zoo-v1;count;n=3");
+    }
+}

@@ -1,0 +1,341 @@
+//! The consumer-tailored optimum for an arbitrary [`QueryClass`].
+//!
+//! This is the Section 2.5 LP of the paper with one generalization: the
+//! differential-privacy rows run over the query class's induced adjacency
+//! ([`QueryClass::adjacent_pairs`]) instead of only consecutive results.
+//! For [`QueryClass::Count`] the constructed model is *term for term* the
+//! model `privmech-core` builds for `SolveStrategy::DirectLp` — the tests
+//! pin that the optimal loss agrees exactly with
+//! [`PrivacyEngine::solve`](privmech_core::PrivacyEngine::solve) — so the
+//! zoo degrades to the paper's setting rather than sitting beside it.
+//!
+//! Like the core template, the `-α` coefficients of the DP rows are
+//! registered as [`ModelTemplate`] parameter slots so one model can be
+//! re-solved across α without rebuilding (and so the α = 0 rows are still
+//! emitted with their terms intact).
+//!
+//! # Float solves and the exact rescue
+//!
+//! The `f64` backend prices by Bland's rule on an unscaled dense tableau,
+//! and Bland's termination proof assumes exact arithmetic. The generalized
+//! adjacency polytopes are degenerate enough that roundoff can genuinely
+//! cycle the float solve into its iteration cap (observed on sum classes —
+//! tens of thousands of consecutive degenerate pivots with the phase-1
+//! objective pinned). Every finite float is exactly representable as a
+//! rational, so when that happens [`tailored_optimum`] rebuilds the same
+//! model over [`Rational`], solves it exactly
+//! (exact Bland cannot cycle), and rounds the optimal mechanism to `f64`
+//! once at the end. Exact callers never take this path.
+
+use privmech_core::loss::tabulate_loss;
+use privmech_core::{
+    CoreError, Mechanism, MinimaxConsumer, PivotStats, PrivacyLevel, Result, SolverOptions,
+};
+use privmech_linalg::{Matrix, Scalar};
+use privmech_lp::{LinExpr, LpError, Model, ModelTemplate, Relation, Var};
+use privmech_numerics::Rational;
+
+use crate::query::QueryClass;
+
+/// A tailored optimum: the loss-minimizing mechanism among all mechanisms
+/// that are α-differentially private *for this query class*, for one
+/// minimax consumer.
+#[derive(Debug, Clone)]
+pub struct TailoredOptimum<T: Scalar> {
+    /// The optimal release mechanism over the class's result space.
+    pub mechanism: Mechanism<T>,
+    /// Its worst-case expected loss over the consumer's side information.
+    pub loss: T,
+    /// Pivot statistics of the underlying LP solve.
+    pub stats: PivotStats,
+}
+
+/// Solve the generalized tailored LP for `consumer` at `level`.
+///
+/// The consumer's side information must live over the class's result space
+/// (`consumer.side_information().n() == class.result_bound()`).
+pub fn tailored_optimum<T: Scalar>(
+    class: &QueryClass,
+    consumer: &MinimaxConsumer<T>,
+    level: &PrivacyLevel<T>,
+    options: &SolverOptions,
+) -> Result<TailoredOptimum<T>> {
+    class.validate()?;
+    let bound = class.result_bound();
+    if consumer.side_information().n() != bound {
+        return Err(CoreError::InvalidSideInformation {
+            reason: format!(
+                "consumer side information is over {{0, …, {}}}, query class \"{}\" has results {{0, …, {bound}}}",
+                consumer.side_information().n(),
+                class.kind()
+            ),
+        });
+    }
+    let size = bound + 1;
+    let losses = tabulate_loss(consumer.loss(), size);
+    let members = consumer.side_information().members();
+
+    let mut built = build_template::<T>(class, size, members, &losses)?;
+    let (matrix, stats) = match built.template.solve_at(level.alpha(), options) {
+        Ok(solution) => (
+            Matrix::from_fn(size, size, |i, r| {
+                solution.value(built.x_vars[i][r]).clone()
+            }),
+            solution.stats,
+        ),
+        Err(LpError::Internal(_)) if !T::is_exact() => {
+            // Exact rescue (module docs): the float Bland tableau cycled
+            // into its iteration cap. Lift the (exactly representable)
+            // float inputs to rationals, solve the identical model
+            // exactly, and round the optimal mechanism once at the end.
+            let exact_losses = Matrix::from_fn(size, size, |i, r| {
+                Rational::from_f64(losses.row(i)[r].to_f64())
+            });
+            let exact_alpha: Rational = Rational::from_f64(level.alpha().to_f64());
+            let mut exact = build_template::<Rational>(class, size, members, &exact_losses)?;
+            let solution = exact
+                .template
+                .solve_at(&exact_alpha, options)
+                .map_err(CoreError::from)?;
+            (
+                Matrix::from_fn(size, size, |i, r| {
+                    T::from_f64(solution.value(exact.x_vars[i][r]).to_f64())
+                }),
+                solution.stats,
+            )
+        }
+        Err(e) => return Err(CoreError::from(e)),
+    };
+    let mechanism = Mechanism::from_matrix_normalized(matrix)?;
+    let loss = consumer.disutility(&mechanism)?;
+    Ok(TailoredOptimum {
+        mechanism,
+        loss,
+        stats,
+    })
+}
+
+/// The tailored LP as a reusable α-template plus its release variables.
+struct BuiltTemplate<S: Scalar> {
+    template: ModelTemplate<S>,
+    x_vars: Vec<Vec<Var>>,
+}
+
+/// Build the tailored model over an arbitrary scalar field. Generic over
+/// the field so the float entry point and its exact rescue construct the
+/// *same* model term for term (same constraints, labels, and slot order).
+fn build_template<S: Scalar>(
+    class: &QueryClass,
+    size: usize,
+    members: &[usize],
+    losses: &Matrix<S>,
+) -> Result<BuiltTemplate<S>> {
+    let mut model: Model<S> = Model::new();
+
+    // x_vars[i][r] = probability of releasing r when the true result is i —
+    // identical to the core skeleton up to the DP edge set below.
+    let mut x_vars = Vec::with_capacity(size);
+    for i in 0..size {
+        x_vars.push(model.add_nonneg_vars(&format!("x_{i}"), size));
+    }
+    for (i, row) in x_vars.iter().enumerate() {
+        let mut row_sum = LinExpr::new();
+        for &var in row {
+            row_sum.add_term(var, S::one());
+        }
+        model.add_labeled_constraint(row_sum, Relation::Eq, S::one(), Some(format!("row_{i}")))?;
+    }
+
+    // Differential privacy over the class's adjacency: for every adjacent
+    // result pair (a, b), x[a][r] - α·x[b][r] >= 0 and symmetrically. The α
+    // coefficient is a template parameter slot, exactly as in the core
+    // count-query template (placeholder -1, bound below).
+    let mut slots = Vec::new();
+    let neg_one = -S::one();
+    for (a, b) in class.adjacent_pairs() {
+        #[allow(clippy::needless_range_loop)] // r indexes x_vars[a] and x_vars[b] together
+        for r in 0..size {
+            let down = LinExpr::term(x_vars[a][r], S::one()).plus(x_vars[b][r], neg_one.clone());
+            model.add_labeled_constraint(
+                down,
+                Relation::Ge,
+                S::zero(),
+                Some(format!("dp_down_{a}_{b}_{r}")),
+            )?;
+            slots.push((model.num_constraints() - 1, x_vars[b][r]));
+            let up = LinExpr::term(x_vars[b][r], S::one()).plus(x_vars[a][r], neg_one.clone());
+            model.add_labeled_constraint(
+                up,
+                Relation::Ge,
+                S::zero(),
+                Some(format!("dp_up_{a}_{b}_{r}")),
+            )?;
+            slots.push((model.num_constraints() - 1, x_vars[a][r]));
+        }
+    }
+
+    // Minimax epigraph objective over the consumer's side information.
+    let mut exprs = Vec::new();
+    for &i in members {
+        let mut expr = LinExpr::new();
+        for (r, cost) in losses.row(i).iter().enumerate() {
+            expr.add_term(x_vars[i][r], cost.clone());
+        }
+        exprs.push(expr);
+    }
+    model.minimize_max(exprs)?;
+
+    let mut template = ModelTemplate::new(model);
+    for (constraint, var) in slots {
+        template
+            .bind_scaled(constraint, var, -S::one())
+            .map_err(CoreError::from)?;
+    }
+    Ok(BuiltTemplate { template, x_vars })
+}
+
+/// Whether `mechanism` is α-differentially private *for this query class*:
+/// the [`Mechanism::is_differentially_private`] check generalized from
+/// consecutive rows to the class's adjacency pairs.
+#[must_use]
+pub fn is_private_for_class<T: Scalar>(
+    mechanism: &Mechanism<T>,
+    class: &QueryClass,
+    level: &PrivacyLevel<T>,
+) -> bool {
+    if mechanism.n() != class.result_bound() {
+        return false;
+    }
+    let alpha = level.alpha();
+    let tol = T::tolerance();
+    for (a, b) in class.adjacent_pairs() {
+        let (Ok(row_a), Ok(row_b)) = (mechanism.row(a), mechanism.row(b)) else {
+            return false;
+        };
+        for (pa, pb) in row_a.iter().zip(row_b.iter()) {
+            let lo = alpha.clone() * pb.clone() - tol.clone();
+            if *pa < lo {
+                return false;
+            }
+            let lo = alpha.clone() * pa.clone() - tol.clone();
+            if *pb < lo {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use privmech_core::loss::{AbsoluteError, ZeroOneError};
+    use privmech_core::{
+        geometric_mechanism, PrivacyEngine, SideInformation, SolveRequest, SolveStrategy,
+    };
+    use privmech_numerics::{rat, Rational};
+
+    use super::*;
+
+    fn consumer(n: usize) -> MinimaxConsumer<Rational> {
+        MinimaxConsumer::new("abs", Arc::new(AbsoluteError), SideInformation::full(n)).unwrap()
+    }
+
+    #[test]
+    fn count_class_reproduces_the_engine_optimum_exactly() {
+        // The zoo LP on QueryClass::Count must agree with the engine's
+        // tailored optimum — same optimal loss, and a mechanism that is
+        // α-DP with the same disutility — anchoring the generalization to
+        // the paper's setting.
+        let level = PrivacyLevel::new(rat(1, 4)).unwrap();
+        let class = QueryClass::Count { n: 3 };
+        let c = consumer(3);
+        let zoo = tailored_optimum(&class, &c, &level, &SolverOptions::default()).unwrap();
+        let engine_solve = PrivacyEngine::new()
+            .solve(
+                &SolveRequest::minimax()
+                    .name("anchor")
+                    .loss(Arc::new(AbsoluteError))
+                    .support(3, 0..=3)
+                    .privacy_level(rat(1, 4))
+                    .strategy(SolveStrategy::DirectLp)
+                    .validate()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(zoo.loss, engine_solve.loss);
+        // The paper's pinned optimum for (n = 3, α = 1/4, absolute, full S).
+        assert_eq!(zoo.loss, rat(168, 415));
+        assert!(is_private_for_class(&zoo.mechanism, &class, &level));
+    }
+
+    #[test]
+    fn median_optimum_is_private_under_the_complete_graph() {
+        let level = PrivacyLevel::new(rat(1, 3)).unwrap();
+        let class = QueryClass::Median { rows: 3, domain: 3 };
+        let c = consumer(3);
+        let zoo = tailored_optimum(&class, &c, &level, &SolverOptions::default()).unwrap();
+        assert!(is_private_for_class(&zoo.mechanism, &class, &level));
+        // The complete graph strictly contains the path graph, so the
+        // median optimum can be no better than the count optimum — and for
+        // absolute loss it is strictly worse.
+        let count = tailored_optimum(
+            &QueryClass::Count { n: 3 },
+            &c,
+            &level,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        assert!(zoo.loss > count.loss);
+    }
+
+    #[test]
+    fn geometric_mechanism_is_not_private_for_wider_adjacency() {
+        // The geometric mechanism's row ratios at distance k are α^k < α,
+        // so it leaves the feasible set as soon as the adjacency widens —
+        // the structural reason universal optimality cannot survive
+        // verbatim beyond count queries.
+        let level = PrivacyLevel::new(rat(1, 2)).unwrap();
+        let g = geometric_mechanism(4, &level).unwrap();
+        assert!(is_private_for_class(
+            &g,
+            &QueryClass::Count { n: 4 },
+            &level
+        ));
+        assert!(!is_private_for_class(
+            &g,
+            &QueryClass::Sum {
+                rows: 2,
+                per_row: 2
+            },
+            &level
+        ));
+    }
+
+    #[test]
+    fn mismatched_support_is_rejected() {
+        let level = PrivacyLevel::new(rat(1, 2)).unwrap();
+        let class = QueryClass::Sum {
+            rows: 2,
+            per_row: 2,
+        };
+        let c = consumer(3); // class result space is {0..4}
+        let err = tailored_optimum(&class, &c, &level, &SolverOptions::default());
+        assert!(matches!(err, Err(CoreError::InvalidSideInformation { .. })));
+    }
+
+    #[test]
+    fn zero_one_loss_on_median_matches_randomized_response() {
+        // Under the complete graph, the tailored optimum for 0/1 loss is
+        // the maximal randomized response (Kairouz et al.'s extremal
+        // mechanism shape): staying probability p = (1-α)/(1-α+(N+1)α) + off.
+        let level = PrivacyLevel::new(rat(1, 2)).unwrap();
+        let class = QueryClass::Median { rows: 3, domain: 2 };
+        let c =
+            MinimaxConsumer::new("zo", Arc::new(ZeroOneError), SideInformation::full(2)).unwrap();
+        let zoo = tailored_optimum(&class, &c, &level, &SolverOptions::default()).unwrap();
+        let rr = privmech_core::randomized_response(2, &level).unwrap();
+        assert_eq!(zoo.loss, c.disutility(&rr).unwrap());
+    }
+}

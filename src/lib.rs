@@ -85,6 +85,12 @@
 //!   completed α), with v1 clients still served via per-frame version
 //!   negotiation. Wire format: `crates/serve/PROTOCOL.md`; demos:
 //!   `examples/serving.rs`, `examples/pipelining.rs`.
+//! * **Map the theorem's limits.** The [`zoo`] module generalizes the
+//!   tailored LP beyond counts (sum/median query classes), builds
+//!   minimax-regret tables exhibiting where universal optimality provably
+//!   fails (Brenner–Nissim), prices local privacy exactly against the
+//!   centralized optimum, and composes multi-agent releases — all served
+//!   over the wire as `zoo_table`/`zoo_eval` (`crates/zoo/ZOO.md`).
 //!
 //! The seed's free functions (`optimal_mechanism`, `optimal_interaction`,
 //! `bayesian_*`) were removed in PR 5 after two releases as `#[deprecated]`
@@ -121,6 +127,12 @@ pub mod core {
 /// Database substrate: records, count queries, obliviousness.
 pub mod db {
     pub use privmech_db::*;
+}
+
+/// The query/mechanism zoo: sum/median regret tables (Brenner–Nissim),
+/// LDP baselines, multi-agent composition; narrative: `crates/zoo/ZOO.md`.
+pub mod zoo {
+    pub use privmech_zoo::*;
 }
 
 /// Serving layer: cached, batched TCP service over the engine.
